@@ -1,0 +1,167 @@
+//! Analytical FMM model (paper §IV-B): computation costs of the two
+//! dominant phases (eqs 8–9) and their cache-oblivious memory-access
+//! bounds (eqs 12 and 14), combined per phase with the overlap law
+//! `T = max(T_flop, T_mem)` (eq 2).
+//!
+//! Deliberately untuned (§VII-B quotes MAPE = 84.5 % for exactly this
+//! model) and single-core: the feature vector is `(t, N, q, k)` but `t` is
+//! ignored.
+
+use crate::traits::AnalyticalModel;
+use lam_machine::arch::MachineDescription;
+
+/// The §IV-B model over a machine description.
+#[derive(Debug, Clone)]
+pub struct FmmAnalyticalModel {
+    machine: MachineDescription,
+}
+
+impl FmmAnalyticalModel {
+    /// Build for a machine.
+    pub fn new(machine: MachineDescription) -> Self {
+        Self { machine }
+    }
+
+    /// Cache size `Z` in elements (the last-level cache, as the
+    /// cache-oblivious bound intends the largest reuse window).
+    fn z_elements(&self) -> f64 {
+        let m = &self.machine;
+        m.caches
+            .last()
+            .map(|c| c.capacity_elements(m.element_bytes) as f64)
+            .unwrap_or(1.0)
+    }
+
+    /// P2P computation cost (eq 8): `27 q N t_c`.
+    pub fn t_flop_p2p(&self, n: f64, q: f64) -> f64 {
+        27.0 * q * n * self.machine.time_per_flop()
+    }
+
+    /// M2L computation cost (eq 9): `189 N k⁶ / q · t_c`.
+    pub fn t_flop_m2l(&self, n: f64, q: f64, k: f64) -> f64 {
+        189.0 * n * k.powi(6) / q * self.machine.time_per_flop()
+    }
+
+    /// P2P memory cost (eq 12): `N β + N L / (Z^{1/3} q^{2/3}) β`.
+    pub fn t_mem_p2p(&self, n: f64, q: f64) -> f64 {
+        let m = &self.machine;
+        let l = m.elements_per_line() as f64;
+        let z = self.z_elements();
+        (n + n * l / (z.powf(1.0 / 3.0) * q.powf(2.0 / 3.0))) * m.beta_mem()
+    }
+
+    /// M2L memory cost (eq 14): `N k⁶/q β + N k² L / (q Z^{1/3}) β`.
+    pub fn t_mem_m2l(&self, n: f64, q: f64, k: f64) -> f64 {
+        let m = &self.machine;
+        let l = m.elements_per_line() as f64;
+        let z = self.z_elements();
+        (n * k.powi(6) / q + n * k * k * l / (q * z.powf(1.0 / 3.0))) * m.beta_mem()
+    }
+}
+
+impl AnalyticalModel for FmmAnalyticalModel {
+    /// Features `(t, N, q, k)`; `t` is ignored (single-core model).
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert!(x.len() >= 4, "expected features (t, N, q, k)");
+        let (n, q, k) = (x[1], x[2], x[3]);
+        assert!(n > 0.0 && q > 0.0 && k > 0.0, "N, q, k must be positive");
+        let p2p = self.t_flop_p2p(n, q).max(self.t_mem_p2p(n, q));
+        let m2l = self.t_flop_m2l(n, q, k).max(self.t_mem_m2l(n, q, k));
+        p2p + m2l
+    }
+
+    fn name(&self) -> &'static str {
+        "fmm_am"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lam_machine::arch::MachineDescription;
+
+    fn model() -> FmmAnalyticalModel {
+        FmmAnalyticalModel::new(MachineDescription::blue_waters_xe6())
+    }
+
+    #[test]
+    fn k6_scaling_of_m2l() {
+        let m = model();
+        let a = m.t_flop_m2l(4096.0, 64.0, 4.0);
+        let b = m.t_flop_m2l(4096.0, 64.0, 8.0);
+        assert!((b / a - 64.0).abs() < 1e-9, "ratio {}", b / a);
+    }
+
+    #[test]
+    fn p2p_linear_in_q_and_n() {
+        let m = model();
+        assert!((m.t_flop_p2p(8192.0, 64.0) / m.t_flop_p2p(4096.0, 64.0) - 2.0).abs() < 1e-12);
+        assert!((m.t_flop_p2p(4096.0, 128.0) / m.t_flop_p2p(4096.0, 64.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_positive_and_k_monotone() {
+        let m = model();
+        let mut prev = 0.0;
+        for k in 2..=12 {
+            let t = m.predict(&[1.0, 8192.0, 64.0, k as f64]);
+            assert!(t > prev, "k={k}: {t} <= {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn thread_column_ignored() {
+        let m = model();
+        let a = m.predict(&[1.0, 4096.0, 64.0, 6.0]);
+        let b = m.predict(&[16.0, 4096.0, 64.0, 6.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn q_tradeoff_exists() {
+        // For large k the model should prefer larger q (fewer cells),
+        // mirroring the real tradeoff.
+        let m = model();
+        let small_q = m.predict(&[1.0, 16384.0, 32.0, 12.0]);
+        let large_q = m.predict(&[1.0, 16384.0, 256.0, 12.0]);
+        assert!(large_q < small_q);
+    }
+
+    #[test]
+    fn memory_terms_positive() {
+        let m = model();
+        assert!(m.t_mem_p2p(4096.0, 64.0) > 0.0);
+        assert!(m.t_mem_m2l(4096.0, 64.0, 6.0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected features")]
+    fn short_features_panic() {
+        model().predict(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ballpark_of_oracle_without_matching() {
+        use lam_fmm::config::space_paper;
+        use lam_fmm::oracle::FmmOracle;
+        let machine = MachineDescription::blue_waters_xe6();
+        let oracle = FmmOracle::new(machine.clone(), 3).without_noise();
+        let am = model();
+        let mut log_ratios = Vec::new();
+        for cfg in space_paper().configs().iter().step_by(53) {
+            let x = cfg.features();
+            let r = am.predict(&x) / oracle.execution_time(cfg);
+            log_ratios.push(r.ln());
+        }
+        let mean: f64 = log_ratios.iter().sum::<f64>() / log_ratios.len() as f64;
+        // Within a factor ~30 on (geometric) average, but not exact.
+        assert!(mean.abs() < 3.4, "geometric mean ratio {}", mean.exp());
+        let spread: f64 = log_ratios
+            .iter()
+            .map(|l| (l - mean) * (l - mean))
+            .sum::<f64>()
+            / log_ratios.len() as f64;
+        assert!(spread.sqrt() > 0.05, "AM suspiciously exact");
+    }
+}

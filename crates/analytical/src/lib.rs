@@ -1,0 +1,23 @@
+//! # lam-analytical
+//!
+//! The paper's §IV analytical performance models, implemented verbatim and
+//! deliberately **untuned** (the evaluation studies how well the hybrid
+//! model corrects inaccurate analytical models — §VII quotes MAPE ≈ 42 %
+//! for the blocked stencil model and ≈ 84.5 % for the FMM model):
+//!
+//! * [`stencil`] — the multi-level cache-miss model of de la Cruz &
+//!   Araya-Polo (eqs 3–7) with the conditional `nplanes` case analysis and
+//!   linear-interpolation smoothing, plus the spatial-blocking extension
+//!   (eq 15);
+//! * [`fmm`] — computation costs of P2P and M2L (eqs 8–9) and the
+//!   cache-oblivious memory bounds (eqs 10–14);
+//! * [`traits`] — the [`traits::AnalyticalModel`] abstraction the hybrid
+//!   model in `lam-core` stacks on.
+
+pub mod fmm;
+pub mod stencil;
+pub mod traits;
+
+pub use fmm::FmmAnalyticalModel;
+pub use stencil::{BlockedStencilModel, StencilAnalyticalModel};
+pub use traits::AnalyticalModel;

@@ -1,0 +1,316 @@
+//! Analytical stencil model (paper §IV-A): the multi-level cache model of
+//! de la Cruz & Araya-Polo with the `nplanes` case analysis (eq 7's
+//! conditional table), linear-interpolation smoothing between cases, and
+//! the spatial-blocking extension of §VII-A (eq 15).
+//!
+//! The model is *single-core* and *untuned* by design: §VII evaluates the
+//! hybrid approach with exactly these inaccuracies left in.
+
+use crate::traits::AnalyticalModel;
+use lam_machine::arch::MachineDescription;
+
+/// Number of read planes for an order-`l` stencil: `P_read = 2l + 1`.
+fn p_read(order: usize) -> f64 {
+    (2 * order + 1) as f64
+}
+
+/// `R_col = P_read / (2 P_read − 1)` from the paper.
+fn r_col(order: usize) -> f64 {
+    let p = p_read(order);
+    p / (2.0 * p - 1.0)
+}
+
+/// Smoothed `nplanes` for one cache level.
+///
+/// The paper's conditional table maps the level's capacity (in lines,
+/// `size_Li / W`) to a number of `II×JJ` planes re-read per `k` iteration:
+///
+/// * `cap·R_col ≥ S_total`          → 1
+/// * `cap > S_total`                → (1, P_read−1]
+/// * `cap·R_col > S_read`           → (P_read−1, P_read]
+/// * `cap·R_col ≥ P_read·II`        → (P_read, 2·P_read−1]
+/// * otherwise                      → 2·P_read−1
+///
+/// We realize the intervals with piecewise-linear interpolation in
+/// `log(cap)` between the case boundaries, which is monotone and matches
+/// the table at every boundary — the "linear interpolation to smooth
+/// discontinuities" the paper prescribes.
+pub fn nplanes(
+    cap_lines: f64,
+    s_total: f64,
+    s_read: f64,
+    ii: f64,
+    order: usize,
+) -> f64 {
+    let p = p_read(order);
+    let rc = r_col(order);
+    // Case boundaries expressed as capacities (decreasing):
+    let t1 = s_total / rc; // nplanes = 1 at/above this
+    let t2 = s_total; // nplanes = p − 1
+    let t3 = s_read / rc; // nplanes = p
+    let t4 = (p * ii) / rc; // nplanes = 2p − 1 at/below this
+    let pts: [(f64, f64); 4] = [
+        (t1, 1.0),
+        (t2, p - 1.0),
+        (t3, p),
+        (t4, 2.0 * p - 1.0),
+    ];
+    // Guard against degenerate orderings on tiny problems: sort by capacity
+    // descending and clamp outside the bracket.
+    let mut pts = pts;
+    pts.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite thresholds"));
+    if cap_lines >= pts[0].0 {
+        return 1.0; // largest capacity case: a single plane re-read
+    }
+    if cap_lines <= pts[3].0 {
+        return 2.0 * p - 1.0;
+    }
+    for w in pts.windows(2) {
+        let (c_hi, n_lo) = w[0];
+        let (c_lo, n_hi) = w[1];
+        if cap_lines <= c_hi && cap_lines >= c_lo {
+            if c_hi <= c_lo {
+                return n_hi;
+            }
+            // interpolate in log-capacity
+            let x = (cap_lines.ln() - c_lo.ln()) / (c_hi.ln() - c_lo.ln());
+            return n_hi + (n_lo - n_hi) * x;
+        }
+    }
+    2.0 * p - 1.0
+}
+
+/// Shared core of the grid-only and blocked models: time one sweep of a
+/// (possibly tiled) volume.
+#[derive(Debug, Clone)]
+struct CacheModel {
+    machine: MachineDescription,
+    order: usize,
+    timesteps: usize,
+}
+
+impl CacheModel {
+    /// Time to sweep a tile of interior extent `(ti, tj, tk)` embedded in a
+    /// grid walked `nb` times (eq 15: misses scale by the number of
+    /// blocks).
+    fn sweep_time(&self, ti: f64, tj: f64, tk: f64, nb: f64) -> f64 {
+        let m = &self.machine;
+        let w = m.elements_per_line() as f64;
+        let l = self.order as f64;
+        // §VII-A reassignment of the extended dimensions for a tile.
+        let ii = ((ti + 2.0 * l) / w).ceil() * w;
+        let jj = tj + 2.0 * l;
+        let kk = tk + 2.0 * l;
+        let s_read = ii * jj;
+        let s_write = ti * tj;
+        let p = p_read(self.order);
+        let s_total = p * s_read + 1.0 * s_write; // eq 3, write-allocate
+
+        // Misses per level (eq 7 / eq 15), in cache lines.
+        let lines_per_row = (ii / w).ceil();
+        let misses: Vec<f64> = m
+            .caches
+            .iter()
+            .map(|level| {
+                let cap_lines = level.capacity_elements(m.element_bytes) as f64 / w;
+                let np = nplanes(cap_lines, s_total, s_read, ii, self.order);
+                lines_per_row * jj * kk * np * nb
+            })
+            .collect();
+
+        // eq 5/6: T = Σ_i T_Li + T_mem with
+        //   Hits_Li = Misses_{L(i−1)} − Misses_Li (element loads for L1).
+        let accesses_elems = (p + 1.0) * ti * tj * tk * nb; // reads + writes per point
+        let mut t = 0.0;
+        for (i, &miss) in misses.iter().enumerate() {
+            let hits_elems = if i == 0 {
+                (accesses_elems - miss * w).max(0.0)
+            } else {
+                ((misses[i - 1] - miss) * w).max(0.0)
+            };
+            t += hits_elems * m.beta_cache(i);
+        }
+        t += misses.last().copied().unwrap_or(0.0) * w * m.beta_mem();
+        t * self.timesteps as f64
+    }
+}
+
+/// Grid-only analytical model (Fig 5 / Fig 7 feature layouts): features
+/// `(I, J, K)` or `(I, J, K, t)` — the thread column, when present, is
+/// ignored (the model is single-core, exactly as in the paper's Fig 7
+/// study).
+#[derive(Debug, Clone)]
+pub struct StencilAnalyticalModel {
+    core: CacheModel,
+}
+
+impl StencilAnalyticalModel {
+    /// Build for a machine; `timesteps` must match the oracle/measurement
+    /// protocol (the workspace default is 4).
+    pub fn new(machine: MachineDescription, timesteps: usize) -> Self {
+        Self {
+            core: CacheModel {
+                machine,
+                order: 1,
+                timesteps,
+            },
+        }
+    }
+}
+
+impl AnalyticalModel for StencilAnalyticalModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert!(x.len() >= 3, "expected features (I, J, K, ...)");
+        let (i, j, k) = (x[0], x[1], x[2]);
+        self.core.sweep_time(i, j, k, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "stencil_am"
+    }
+}
+
+/// Blocked analytical model (Fig 3A / Fig 6 feature layout): features
+/// `(I, J, K, bi, bj, bk)`; applies the §VII-A spatial-blocking rewrite
+/// (eq 15).
+#[derive(Debug, Clone)]
+pub struct BlockedStencilModel {
+    core: CacheModel,
+}
+
+impl BlockedStencilModel {
+    /// Build for a machine with the experiment's timestep count.
+    pub fn new(machine: MachineDescription, timesteps: usize) -> Self {
+        Self {
+            core: CacheModel {
+                machine,
+                order: 1,
+                timesteps,
+            },
+        }
+    }
+}
+
+impl AnalyticalModel for BlockedStencilModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert!(
+            x.len() >= 6,
+            "expected features (I, J, K, bi, bj, bk)"
+        );
+        let (i, j, k) = (x[0], x[1], x[2]);
+        let (ti, tj, tk) = (x[3].max(1.0), x[4].max(1.0), x[5].max(1.0));
+        let nb = (i / ti).ceil() * (j / tj).ceil() * (k / tk).ceil();
+        self.core.sweep_time(ti.min(i), tj.min(j), tk.min(k), nb)
+    }
+
+    fn name(&self) -> &'static str {
+        "stencil_blocked_am"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lam_machine::arch::MachineDescription;
+
+    fn grid_model() -> StencilAnalyticalModel {
+        StencilAnalyticalModel::new(MachineDescription::blue_waters_xe6(), 4)
+    }
+
+    fn blocked_model() -> BlockedStencilModel {
+        BlockedStencilModel::new(MachineDescription::blue_waters_xe6(), 4)
+    }
+
+    #[test]
+    fn nplanes_limits() {
+        // Huge cache → 1 plane; tiny cache → 2p−1 planes.
+        assert_eq!(nplanes(1e12, 1e4, 3e3, 130.0, 1), 1.0);
+        assert_eq!(nplanes(1.0, 1e4, 3e3, 130.0, 1), 5.0);
+    }
+
+    #[test]
+    fn nplanes_monotone_in_capacity() {
+        let (s_total, s_read, ii) = (4.0 * 130.0 * 130.0, 130.0 * 130.0, 130.0);
+        let mut prev = f64::INFINITY;
+        for exp in 0..30 {
+            let cap = 2.0f64.powi(exp);
+            let np = nplanes(cap, s_total, s_read, ii, 1);
+            assert!(np <= prev + 1e-12, "cap {cap}: {np} > {prev}");
+            assert!((1.0..=5.0).contains(&np));
+            prev = np;
+        }
+    }
+
+    #[test]
+    fn prediction_positive_and_monotone_in_size() {
+        let m = grid_model();
+        let t1 = m.predict(&[128.0, 128.0, 128.0]);
+        let t2 = m.predict(&[256.0, 256.0, 256.0]);
+        assert!(t1 > 0.0);
+        assert!(t2 > 6.0 * t1, "t1 {t1} t2 {t2}");
+    }
+
+    #[test]
+    fn grid_model_ignores_thread_column() {
+        let m = grid_model();
+        let a = m.predict(&[128.0, 128.0, 1.0]);
+        let b = m.predict(&[128.0, 128.0, 1.0, 8.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blocked_model_full_block_matches_unblocked() {
+        let g = grid_model();
+        let b = blocked_model();
+        let unblocked = g.predict(&[1.0, 128.0, 128.0]);
+        let full_block = b.predict(&[1.0, 128.0, 128.0, 1.0, 128.0, 128.0]);
+        assert!(
+            (unblocked - full_block).abs() / unblocked < 1e-9,
+            "{unblocked} vs {full_block}"
+        );
+    }
+
+    #[test]
+    fn tiny_blocks_predicted_slower() {
+        let b = blocked_model();
+        let full = b.predict(&[1.0, 128.0, 128.0, 1.0, 128.0, 128.0]);
+        let tiny = b.predict(&[1.0, 128.0, 128.0, 1.0, 1.0, 1.0]);
+        assert!(tiny > full, "tiny {tiny} full {full}");
+    }
+
+    #[test]
+    fn blocked_model_clamps_oversized_blocks() {
+        let b = blocked_model();
+        let exact = b.predict(&[1.0, 64.0, 64.0, 1.0, 64.0, 64.0]);
+        let oversized = b.predict(&[1.0, 64.0, 64.0, 8.0, 128.0, 128.0]);
+        assert!((exact - oversized).abs() / exact < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected features")]
+    fn short_feature_vector_panics() {
+        grid_model().predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn correlates_with_oracle_but_not_exact() {
+        // The untuned AM must be in the oracle's ballpark (same order of
+        // magnitude) without matching it — that is the §VII regime.
+        use lam_stencil::config::space_grid_only;
+        use lam_stencil::oracle::StencilOracle;
+        let machine = MachineDescription::blue_waters_xe6();
+        let oracle = StencilOracle::new(machine.clone(), 5).without_noise();
+        let am = grid_model();
+        let space = space_grid_only();
+        let mut ratio_min = f64::INFINITY;
+        let mut ratio_max = 0.0f64;
+        for cfg in space.configs().iter().step_by(37) {
+            let x = [cfg.i as f64, cfg.j as f64, cfg.k as f64];
+            let r = am.predict(&x) / oracle.execution_time(cfg);
+            ratio_min = ratio_min.min(r);
+            ratio_max = ratio_max.max(r);
+        }
+        assert!(ratio_min > 0.05, "AM collapsed: min ratio {ratio_min}");
+        assert!(ratio_max < 20.0, "AM exploded: max ratio {ratio_max}");
+    }
+}

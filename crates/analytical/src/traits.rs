@@ -1,0 +1,67 @@
+//! The analytical-model abstraction the hybrid framework builds on.
+
+/// A closed-form performance model: a pure function from a feature vector
+/// to a predicted execution time in seconds.
+///
+/// Unlike a machine-learning [`lam_ml::model::Regressor`] an analytical
+/// model needs no training — it is derived from first principles (machine
+/// parameters and algorithm structure). The hybrid model treats its
+/// prediction as one more feature of the learning problem.
+pub trait AnalyticalModel: Send + Sync {
+    /// Predicted execution time (seconds) for a feature vector laid out as
+    /// the corresponding dataset's columns.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Predict a batch of rows.
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str {
+        "analytical"
+    }
+}
+
+impl<M: AnalyticalModel + ?Sized> AnalyticalModel for Box<M> {
+    fn predict(&self, x: &[f64]) -> f64 {
+        (**self).predict(x)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// A constant-time model; useful as a degenerate baseline in tests (it
+/// carries no information, so stacking it should not help).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantModel(pub f64);
+
+impl AnalyticalModel for ConstantModel {
+    fn predict(&self, _x: &[f64]) -> f64 {
+        self.0
+    }
+    fn name(&self) -> &'static str {
+        "constant"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model_ignores_input() {
+        let m = ConstantModel(2.5);
+        assert_eq!(m.predict(&[1.0, 2.0]), 2.5);
+        assert_eq!(m.predict(&[]), 2.5);
+        assert_eq!(m.predict_batch(&[vec![0.0], vec![9.9]]), vec![2.5, 2.5]);
+    }
+
+    #[test]
+    fn boxed_model_delegates() {
+        let m: Box<dyn AnalyticalModel> = Box::new(ConstantModel(1.0));
+        assert_eq!(m.predict(&[3.0]), 1.0);
+        assert_eq!(m.name(), "constant");
+    }
+}

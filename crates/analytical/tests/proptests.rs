@@ -1,0 +1,96 @@
+//! Property-based tests for the analytical models.
+
+use lam_analytical::fmm::FmmAnalyticalModel;
+use lam_analytical::stencil::{nplanes, BlockedStencilModel, StencilAnalyticalModel};
+use lam_analytical::traits::AnalyticalModel;
+use lam_machine::arch::MachineDescription;
+use proptest::prelude::*;
+
+fn machine() -> MachineDescription {
+    MachineDescription::blue_waters_xe6()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// nplanes is always within the paper's bracket [1, 2·P_read − 1] and
+    /// monotone non-increasing in cache capacity.
+    #[test]
+    fn nplanes_bracket_and_monotonicity(
+        jj in 4.0f64..600.0,
+        ii in 8.0f64..600.0,
+        c1 in 1.0f64..1e8,
+        c2 in 1.0f64..1e8,
+    ) {
+        let s_read = ii * jj;
+        let s_total = 3.0 * s_read + (ii - 2.0) * (jj - 2.0);
+        let lo = c1.min(c2);
+        let hi = c1.max(c2);
+        let np_lo = nplanes(lo, s_total, s_read, ii, 1);
+        let np_hi = nplanes(hi, s_total, s_read, ii, 1);
+        prop_assert!((1.0..=5.0).contains(&np_lo));
+        prop_assert!((1.0..=5.0).contains(&np_hi));
+        prop_assert!(np_hi <= np_lo + 1e-9, "capacity {hi} gave {np_hi} > {np_lo} at {lo}");
+    }
+
+    /// The grid model predicts positive, finite times that scale with the
+    /// number of points.
+    #[test]
+    fn stencil_model_positive_and_scales(i in 1u32..128, j in 8u32..256, k in 8u32..256) {
+        let m = StencilAnalyticalModel::new(machine(), 4);
+        let t = m.predict(&[i as f64, j as f64, k as f64]);
+        prop_assert!(t.is_finite() && t > 0.0);
+        let t2 = m.predict(&[i as f64, j as f64, 2.0 * k as f64]);
+        prop_assert!(t2 > t, "doubling K must not speed things up");
+    }
+
+    /// Blocked model with the full-grid block equals the unblocked model.
+    #[test]
+    fn blocked_degenerates_to_unblocked(i in 1u32..64, j in 8u32..128, k in 8u32..128) {
+        let g = StencilAnalyticalModel::new(machine(), 4);
+        let b = BlockedStencilModel::new(machine(), 4);
+        let (i, j, k) = (i as f64, j as f64, k as f64);
+        let unblocked = g.predict(&[i, j, k]);
+        let full = b.predict(&[i, j, k, i, j, k]);
+        prop_assert!((unblocked - full).abs() < 1e-9 * unblocked.max(1e-30));
+    }
+
+    /// For a fixed tile shape, the model is linear in the number of tiles:
+    /// doubling the grid in a blocked dimension doubles the prediction.
+    /// (Shrinking blocks is NOT monotone — blocking can legitimately be
+    /// predicted faster once the working set drops into a cache level.)
+    #[test]
+    fn linear_in_tile_count(
+        jt in 2u32..32,
+        kt in 2u32..32,
+        bj in 2u32..32,
+        bk in 2u32..32,
+    ) {
+        let b = BlockedStencilModel::new(machine(), 4);
+        // Grid dimensions exact multiples of the tile.
+        let j = (jt * bj) as f64;
+        let k = (kt * bk) as f64;
+        let one = b.predict(&[1.0, j, k, 1.0, bj as f64, bk as f64]);
+        let two = b.predict(&[1.0, 2.0 * j, k, 1.0, bj as f64, bk as f64]);
+        prop_assert!(
+            (two - 2.0 * one).abs() < 1e-6 * two.max(1e-30),
+            "doubling tiles: {two} vs 2x{one}"
+        );
+    }
+
+    /// FMM model: positive, finite, monotone in N and k, and independent
+    /// of t (it is a single-core model).
+    #[test]
+    fn fmm_model_structure(t in 1u32..=16, n in 1024u32..40000, q in 8u32..512, k in 2u32..=12) {
+        prop_assume!(q <= n);
+        let m = FmmAnalyticalModel::new(machine());
+        let x = [t as f64, n as f64, q as f64, k as f64];
+        let base = m.predict(&x);
+        prop_assert!(base.is_finite() && base > 0.0);
+        prop_assert_eq!(m.predict(&[1.0, n as f64, q as f64, k as f64]), base);
+        prop_assert!(m.predict(&[t as f64, 2.0 * n as f64, q as f64, k as f64]) > base);
+        if k < 12 {
+            prop_assert!(m.predict(&[t as f64, n as f64, q as f64, (k + 1) as f64]) > base);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion bench: the machine-model substrate — trace-driven cache
+//! simulation throughput and the cost of one oracle evaluation (the price
+//! of generating ground-truth datasets).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lam_fmm::config::FmmConfig;
+use lam_fmm::oracle::FmmOracle;
+use lam_machine::arch::MachineDescription;
+use lam_machine::cache::Cache;
+use lam_machine::hierarchy::CacheHierarchy;
+use lam_stencil::config::StencilConfig;
+use lam_stencil::oracle::StencilOracle;
+use std::hint::black_box;
+
+fn bench_cache_access(c: &mut Criterion) {
+    let machine = MachineDescription::blue_waters_xe6();
+    let mut group = c.benchmark_group("cache_sim");
+    let n = 10_000u64;
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("l1_stream", |b| {
+        let mut cache = Cache::from_level(&machine.caches[0]);
+        b.iter(|| {
+            for i in 0..n {
+                cache.access(black_box(i * 8));
+            }
+        })
+    });
+
+    group.bench_function("hierarchy_stream", |b| {
+        let mut h = CacheHierarchy::new(&machine);
+        b.iter(|| {
+            for i in 0..n {
+                h.access(black_box(i * 8));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_oracles(c: &mut Criterion) {
+    let machine = MachineDescription::blue_waters_xe6();
+    let stencil = StencilOracle::new(machine.clone(), 1);
+    let fmm = FmmOracle::new(machine, 1);
+    let mut group = c.benchmark_group("oracle_eval");
+    group.bench_function("stencil", |b| {
+        let cfg = StencilConfig::unblocked(128, 128, 128);
+        b.iter(|| stencil.execution_time(black_box(&cfg)))
+    });
+    group.bench_function("fmm", |b| {
+        let cfg = FmmConfig {
+            t: 8,
+            n: 16384,
+            q: 64,
+            k: 8,
+        };
+        b.iter(|| fmm.execution_time(black_box(&cfg)))
+    });
+    group.finish();
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generation");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("grid_only_729"),
+        &729usize,
+        |b, _| {
+            let machine = MachineDescription::blue_waters_xe6();
+            let space = lam_stencil::config::space_grid_only();
+            let oracle = StencilOracle::new(machine, 1);
+            b.iter(|| oracle.generate_dataset(black_box(&space)))
+        },
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_cache_access, bench_oracles, bench_dataset_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion bench: the six FMM kernels and the end-to-end solver, across
+//! expansion orders — the paper's second application and the source of its
+//! `k⁶` analytical scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lam_fmm::exec::Fmm;
+use lam_fmm::expansion::{taylor_tensor, MultiIndexSet};
+use lam_fmm::kernels::{self, KernelCtx};
+use lam_fmm::particle::random_cube;
+use std::hint::black_box;
+
+fn bench_taylor_tensor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("taylor_tensor");
+    for k in [4usize, 8, 12] {
+        let set = MultiIndexSet::new(2 * k - 1);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &set, |b, set| {
+            b.iter(|| taylor_tensor(black_box(set), black_box([0.7, -0.4, 0.9])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_m2l(c: &mut Criterion) {
+    let mut group = c.benchmark_group("m2l_single_pair");
+    for k in [4usize, 6, 8] {
+        let ctx = KernelCtx::new(k);
+        let sources = random_cube(32, 1);
+        let mut moments = vec![0.0; ctx.n_terms()];
+        kernels::p2m(&ctx, &sources, [0.5, 0.5, 0.5], &mut moments);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &ctx, |b, ctx| {
+            let mut local = vec![0.0; ctx.n_terms()];
+            b.iter(|| {
+                kernels::m2l(
+                    ctx,
+                    black_box(&moments),
+                    [0.1, 0.1, 0.1],
+                    [0.9, 0.9, 0.9],
+                    &mut local,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_p2p(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2p_leaf_pair");
+    for q in [32usize, 128] {
+        let targets = random_cube(q, 2);
+        let sources = random_cube(q, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, _| {
+            let mut phi = vec![0.0; targets.len()];
+            b.iter(|| kernels::p2p(black_box(&targets), black_box(&sources), &mut phi))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_fmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fmm_end_to_end");
+    group.sample_size(10);
+    let particles = random_cube(4096, 5);
+    for k in [3usize, 5] {
+        let fmm = Fmm::new(k, 64, 1);
+        group.bench_with_input(BenchmarkId::new("order", k), &fmm, |b, fmm| {
+            b.iter(|| fmm.potentials(black_box(&particles)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_taylor_tensor, bench_m2l, bench_p2p, bench_full_fmm
+}
+criterion_main!(benches);

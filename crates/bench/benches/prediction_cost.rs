@@ -1,0 +1,53 @@
+//! Criterion bench: prediction cost per model family — the paper's central
+//! motivation is "minimize prediction cost while providing reasonable
+//! accuracy". Compares one prediction by: the analytical model alone, a
+//! fitted Extra Trees forest, and the hybrid (AM + stacked forest).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lam_analytical::stencil::BlockedStencilModel;
+use lam_analytical::traits::AnalyticalModel;
+use lam_bench::runners::{defaults, stencil_dataset, StandardModels};
+use lam_core::hybrid::{HybridConfig, HybridModel};
+use lam_machine::arch::MachineDescription;
+use lam_ml::model::Regressor;
+use lam_ml::sampling::train_test_split_fraction;
+use lam_stencil::config::space_grid_blocking;
+use std::hint::black_box;
+
+fn bench_prediction_cost(c: &mut Criterion) {
+    let data = stencil_dataset(&space_grid_blocking());
+    let (train, test) = train_test_split_fraction(&data, 0.04, 9);
+    let machine = MachineDescription::blue_waters_xe6();
+    let row = test.row(0);
+
+    let am = BlockedStencilModel::new(machine.clone(), defaults::STENCIL_TIMESTEPS);
+    c.bench_function("predict/analytical", |b| {
+        b.iter(|| am.predict(black_box(row)))
+    });
+
+    let mut et = StandardModels::extra_trees(3);
+    et.fit(&train).unwrap();
+    c.bench_function("predict/extra_trees", |b| {
+        b.iter(|| et.predict_row(black_box(row)))
+    });
+
+    let mut hybrid = HybridModel::new(
+        Box::new(BlockedStencilModel::new(
+            machine,
+            defaults::STENCIL_TIMESTEPS,
+        )),
+        StandardModels::extra_trees(3),
+        HybridConfig::default(),
+    );
+    hybrid.fit(&train).unwrap();
+    c.bench_function("predict/hybrid", |b| {
+        b.iter(|| hybrid.predict_row(black_box(row)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_prediction_cost
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion bench: throughput of the real stencil kernel variants (naive
+//! vs blocked vs threaded) — the executable workload behind the paper's
+//! first application.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lam_stencil::config::StencilConfig;
+use lam_stencil::grid::Grid3;
+use lam_stencil::kernel::{step_blocked, step_naive, step_threaded, Coefficients};
+use std::hint::black_box;
+
+fn grid(n: usize) -> Grid3 {
+    let mut g = Grid3::new(n, n, n, 1);
+    g.fill_with(|x, y, z| ((x * 7 + y * 5 + z * 3) % 11) as f64);
+    g
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let n = 64;
+    let src = grid(n);
+    let mut dst = src.clone();
+    let coef = Coefficients::default();
+    let mut group = c.benchmark_group("stencil_sweep_64cubed");
+    group.throughput(Throughput::Elements((n * n * n) as u64));
+
+    group.bench_function("naive", |b| {
+        b.iter(|| step_naive(black_box(&src), &mut dst, coef))
+    });
+
+    for (bi, bj, bk) in [(64, 8, 8), (16, 16, 16), (64, 64, 64)] {
+        let cfg = StencilConfig {
+            i: n,
+            j: n,
+            k: n,
+            bi,
+            bj,
+            bk,
+            unroll: 1,
+            threads: 1,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("blocked", format!("{bi}x{bj}x{bk}")),
+            &cfg,
+            |b, cfg| b.iter(|| step_blocked(black_box(&src), &mut dst, coef, cfg)),
+        );
+    }
+
+    for t in [2usize, 4] {
+        let cfg = StencilConfig {
+            threads: t,
+            ..StencilConfig::unblocked(n, n, n)
+        };
+        group.bench_with_input(BenchmarkId::new("threads", t), &cfg, |b, cfg| {
+            b.iter(|| step_threaded(black_box(&src), &mut dst, coef, cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_unroll(c: &mut Criterion) {
+    let n = 64;
+    let src = grid(n);
+    let mut dst = src.clone();
+    let coef = Coefficients::default();
+    let mut group = c.benchmark_group("stencil_unroll");
+    group.throughput(Throughput::Elements((n * n * n) as u64));
+    for u in [1usize, 2, 4, 8] {
+        let cfg = StencilConfig {
+            unroll: u,
+            ..StencilConfig::unblocked(n, n, n)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(u), &cfg, |b, cfg| {
+            b.iter(|| step_blocked(black_box(&src), &mut dst, coef, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_variants, bench_unroll
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench: cost of fitting and evaluating the ML substrate
+//! (single trees and forests) as dataset size grows — the "training cost"
+//! axis of the paper's motivation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lam_bench::runners::stencil_dataset;
+use lam_data::Dataset;
+use lam_ml::forest::ExtraTreesRegressor;
+use lam_ml::model::Regressor;
+use lam_ml::sampling::train_test_split_count;
+use lam_ml::tree::{DecisionTreeRegressor, TreeParams};
+use lam_stencil::config::space_grid_blocking;
+use std::hint::black_box;
+
+fn dataset() -> Dataset {
+    stencil_dataset(&space_grid_blocking())
+}
+
+fn bench_tree_fit(c: &mut Criterion) {
+    let data = dataset();
+    let mut group = c.benchmark_group("tree_fit");
+    for n in [100usize, 400, 1600] {
+        let (train, _) = train_test_split_count(&data, n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &train, |b, train| {
+            b.iter(|| {
+                let mut t = DecisionTreeRegressor::new(TreeParams::default(), 7);
+                t.fit(black_box(train)).unwrap();
+                t
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_forest_fit(c: &mut Criterion) {
+    let data = dataset();
+    let (train, _) = train_test_split_count(&data, 400, 1);
+    let mut group = c.benchmark_group("extra_trees_fit_400rows");
+    group.sample_size(10);
+    for trees in [10usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(trees), &trees, |b, &trees| {
+            b.iter(|| {
+                let mut f = ExtraTreesRegressor::with_params(trees, TreeParams::default(), 7);
+                f.fit(black_box(&train)).unwrap();
+                f
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = dataset();
+    let (train, test) = train_test_split_count(&data, 800, 1);
+    let mut forest = ExtraTreesRegressor::with_params(100, TreeParams::default(), 7);
+    forest.fit(&train).unwrap();
+    let row = test.row(0);
+    c.bench_function("extra_trees_predict_row", |b| {
+        b.iter(|| forest.predict_row(black_box(row)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tree_fit, bench_forest_fit, bench_predict
+}
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Ablation study over the hybrid model's design choices — the knobs the
+//! paper fixes without sweeping:
+//!
+//! 1. aggregation weight (0 = analytical only, 1 = stacked only);
+//! 2. raw vs. log-transformed stacked feature;
+//! 3. ML base model under the stack (extra trees / random forest / single
+//!    tree);
+//! 4. stacking vs. simply *adding* the AM output to the feature-less mean.
+//!
+//! Run: `cargo run -p lam-bench --release --bin ablations`
+
+use lam_analytical::fmm::FmmAnalyticalModel;
+use lam_analytical::stencil::BlockedStencilModel;
+use lam_analytical::traits::AnalyticalModel;
+use lam_bench::report::{print_series, FigureReport, NamedSeries};
+use lam_bench::runners::{defaults, fmm_dataset, stencil_dataset, StandardModels};
+use lam_core::evaluate::{evaluate_model, EvaluationConfig};
+use lam_core::hybrid::{HybridConfig, HybridModel};
+use lam_data::Dataset;
+use lam_machine::arch::MachineDescription;
+
+fn stencil_am() -> Box<dyn AnalyticalModel> {
+    Box::new(BlockedStencilModel::new(
+        MachineDescription::blue_waters_xe6(),
+        defaults::STENCIL_TIMESTEPS,
+    ))
+}
+
+fn fmm_am() -> Box<dyn AnalyticalModel> {
+    Box::new(FmmAnalyticalModel::new(MachineDescription::blue_waters_xe6()))
+}
+
+fn run_variant<F>(
+    data: &Dataset,
+    cfg: &EvaluationConfig,
+    label: &str,
+    series: &mut Vec<NamedSeries>,
+    factory: F,
+) where
+    F: Fn(u64) -> Box<dyn lam_ml::model::Regressor>,
+{
+    let points = evaluate_model(data, cfg, factory);
+    print_series(label, &points);
+    series.push(NamedSeries {
+        label: label.to_string(),
+        points,
+    });
+}
+
+fn main() {
+    let mut all = Vec::new();
+
+    // ---- Stencil grid+blocking, 2% training window.
+    let data = stencil_dataset(&lam_stencil::config::space_grid_blocking());
+    let cfg = EvaluationConfig::new(vec![0.02], defaults::TRIALS, 91);
+    println!("=== ablation: stencil grid+blocking @ 2% training ===");
+
+    for (label, w) in [
+        ("stencil: stacking only (w=1 equivalent)", None),
+        ("stencil: aggregate w=0.75", Some(0.75)),
+        ("stencil: aggregate w=0.5 (paper default)", Some(0.5)),
+        ("stencil: aggregate w=0.25", Some(0.25)),
+    ] {
+        run_variant(&data, &cfg, label, &mut all, move |seed| {
+            let config = match w {
+                None => HybridConfig::default(),
+                Some(sw) => HybridConfig {
+                    aggregate: true,
+                    stacked_weight: sw,
+                    log_feature: false,
+                },
+            };
+            Box::new(HybridModel::new(
+                stencil_am(),
+                StandardModels::extra_trees(seed),
+                config,
+            ))
+        });
+    }
+
+    for (label, base) in [
+        (
+            "stencil: base = single tree",
+            StandardModels::decision_tree as fn(u64) -> Box<dyn lam_ml::model::Regressor>,
+        ),
+        ("stencil: base = random forest", StandardModels::random_forest),
+        ("stencil: base = extra trees", StandardModels::extra_trees),
+    ] {
+        run_variant(&data, &cfg, label, &mut all, move |seed| {
+            Box::new(HybridModel::new(
+                stencil_am(),
+                base(seed),
+                HybridConfig::default(),
+            ))
+        });
+    }
+
+    // ---- FMM, 20% training window: raw vs log stacked feature.
+    let data = fmm_dataset(&lam_fmm::config::space_paper());
+    let cfg = EvaluationConfig::new(vec![0.20], defaults::TRIALS, 92);
+    println!("\n=== ablation: FMM @ 20% training ===");
+    for (label, log_feature) in [
+        ("fmm: raw AM feature", false),
+        ("fmm: log AM feature", true),
+    ] {
+        run_variant(&data, &cfg, label, &mut all, move |seed| {
+            Box::new(HybridModel::new(
+                fmm_am(),
+                StandardModels::extra_trees(seed),
+                HybridConfig {
+                    log_feature,
+                    ..HybridConfig::default()
+                },
+            ))
+        });
+    }
+    // Aggregating a 187%-MAPE AM should *hurt* on FMM — verify the paper's
+    // implied guidance that aggregation requires a representative AM.
+    run_variant(
+        &data,
+        &cfg,
+        "fmm: aggregate w=0.5 (expected worse)",
+        &mut all,
+        move |seed| {
+            Box::new(HybridModel::new(
+                fmm_am(),
+                StandardModels::extra_trees(seed),
+                HybridConfig {
+                    aggregate: true,
+                    stacked_weight: 0.5,
+                    log_feature: true,
+                },
+            ))
+        },
+    );
+
+    let report = FigureReport {
+        figure: "ablations".into(),
+        title: "hybrid-model design-choice ablations".into(),
+        dataset_rows: data.len(),
+        series: all,
+        notes: vec![],
+    };
+    let path = report.save().expect("write results");
+    println!("\nsaved {}", path.display());
+}

@@ -1,0 +1,52 @@
+//! Figure 3B: MAPE of Decision Trees / Extra Trees / Random Forests vs
+//! training-set size on the FMM dataset, `X = (t, N, q, k)`, training
+//! windows {10, 20, 40, 60, 80}%.
+//!
+//! Paper shape: even with 80% of the data for training, pure ML stays at
+//! MAPE ≈ 100–200% — execution times span orders of magnitude and trees
+//! extrapolate the k⁶ scaling poorly.
+//!
+//! Run: `cargo run -p lam-bench --release --bin fig3_fmm`
+
+use lam_bench::report::{print_series, FigureReport, NamedSeries};
+use lam_bench::runners::{defaults, fmm_dataset, StandardModels};
+use lam_core::evaluate::{evaluate_model, EvaluationConfig};
+use lam_fmm::config::space_paper;
+
+fn main() {
+    let data = fmm_dataset(&space_paper());
+    println!("Fig 3B — pure-ML models on FMM (t,N,q,k) ({} configs)", data.len());
+    let config = EvaluationConfig::new(
+        vec![0.10, 0.20, 0.40, 0.60, 0.80],
+        defaults::TRIALS,
+        32,
+    );
+    let mut series = Vec::new();
+    for (label, factory) in [
+        (
+            "Decision Trees",
+            StandardModels::decision_tree as fn(u64) -> _,
+        ),
+        ("Extra Trees", StandardModels::extra_trees as fn(u64) -> _),
+        (
+            "Random Forests",
+            StandardModels::random_forest as fn(u64) -> _,
+        ),
+    ] {
+        let points = evaluate_model(&data, &config, factory);
+        print_series(label, &points);
+        series.push(NamedSeries {
+            label: label.to_string(),
+            points,
+        });
+    }
+    let report = FigureReport {
+        figure: "fig3_fmm".into(),
+        title: "MAPE of ML models vs training size, FMM".into(),
+        dataset_rows: data.len(),
+        series,
+        notes: vec![],
+    };
+    let path = report.save().expect("write results");
+    println!("\nsaved {}", path.display());
+}

@@ -1,0 +1,54 @@
+//! Figure 3A: MAPE of Decision Trees / Extra Trees / Random Forests vs
+//! training-set size on the stencil grid+blocking dataset,
+//! `X = (I, J, K, bi, bj, bk)`, training windows {1, 2, 4, 6, 10}%.
+//!
+//! Paper shape: MAPE falls and tightens as the window grows; all models are
+//! poor at 1–2% (20–100%), and Extra Trees is the best performer.
+//!
+//! Run: `cargo run -p lam-bench --release --bin fig3_stencil`
+
+use lam_bench::report::{print_series, FigureReport, NamedSeries};
+use lam_bench::runners::{defaults, stencil_dataset, StandardModels};
+use lam_core::evaluate::{evaluate_model, EvaluationConfig};
+use lam_stencil::config::space_grid_blocking;
+
+fn main() {
+    let data = stencil_dataset(&space_grid_blocking());
+    println!(
+        "Fig 3A — pure-ML models on stencil grid+blocking ({} configs)",
+        data.len()
+    );
+    let config = EvaluationConfig::new(
+        vec![0.01, 0.02, 0.04, 0.06, 0.10],
+        defaults::TRIALS,
+        31,
+    );
+    let mut series = Vec::new();
+    for (label, factory) in [
+        (
+            "Decision Trees",
+            StandardModels::decision_tree as fn(u64) -> _,
+        ),
+        ("Extra Trees", StandardModels::extra_trees as fn(u64) -> _),
+        (
+            "Random Forests",
+            StandardModels::random_forest as fn(u64) -> _,
+        ),
+    ] {
+        let points = evaluate_model(&data, &config, factory);
+        print_series(label, &points);
+        series.push(NamedSeries {
+            label: label.to_string(),
+            points,
+        });
+    }
+    let report = FigureReport {
+        figure: "fig3_stencil".into(),
+        title: "MAPE of ML models vs training size, stencil grid+blocking".into(),
+        dataset_rows: data.len(),
+        series,
+        notes: vec![],
+    };
+    let path = report.save().expect("write results");
+    println!("\nsaved {}", path.display());
+}

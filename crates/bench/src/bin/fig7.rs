@@ -1,0 +1,66 @@
+//! Figure 7: stencil with grid sizes *and multithreading* — a region the
+//! serial analytical model does not cover at all. Pure Extra Trees vs
+//! hybrid at training windows {1, 2, 4}%.
+//!
+//! Paper protocol: "Here we do not aggregate the analytical and stacked
+//! models predictions as the analytical models do not capture the
+//! parallelism" — stacking only.
+//!
+//! Run: `cargo run -p lam-bench --release --bin fig7`
+
+use lam_analytical::stencil::StencilAnalyticalModel;
+use lam_bench::report::{print_series, FigureReport, NamedSeries};
+use lam_bench::runners::{defaults, stencil_dataset, StandardModels};
+use lam_core::evaluate::{analytical_mape, evaluate_model, EvaluationConfig};
+use lam_core::hybrid::HybridConfig;
+use lam_machine::arch::MachineDescription;
+use lam_stencil::config::space_grid_threads;
+
+fn main() {
+    let data = stencil_dataset(&space_grid_threads());
+    let machine = MachineDescription::blue_waters_xe6();
+    println!(
+        "Fig 7 — stencil, grid sizes + threads, serial AM ({} configs)",
+        data.len()
+    );
+
+    let am = StencilAnalyticalModel::new(machine.clone(), defaults::STENCIL_TIMESTEPS);
+    let am_mape = analytical_mape(&data, &am);
+
+    let cfg = EvaluationConfig::new(vec![0.01, 0.02, 0.04], defaults::TRIALS, 71);
+    let et = evaluate_model(&data, &cfg, StandardModels::extra_trees);
+    print_series("Extra Trees", &et);
+
+    let machine2 = machine.clone();
+    let hybrid = evaluate_model(&data, &cfg, move |seed| {
+        StandardModels::hybrid(
+            Box::new(StencilAnalyticalModel::new(
+                machine2.clone(),
+                defaults::STENCIL_TIMESTEPS,
+            )),
+            HybridConfig::default(), // no aggregation (paper Fig 7 protocol)
+            seed,
+        )
+    });
+    print_series("Hybrid (serial AM, stacking only)", &hybrid);
+    println!("\n  serial analytical model alone: MAPE {am_mape:.1}%");
+
+    let report = FigureReport {
+        figure: "fig7".into(),
+        title: "ET vs Hybrid, stencil grid+threads".into(),
+        dataset_rows: data.len(),
+        series: vec![
+            NamedSeries {
+                label: "Extra Trees".into(),
+                points: et,
+            },
+            NamedSeries {
+                label: "Hybrid".into(),
+                points: hybrid,
+            },
+        ],
+        notes: vec![("am_mape".into(), am_mape)],
+    };
+    let path = report.save().expect("write results");
+    println!("saved {}", path.display());
+}

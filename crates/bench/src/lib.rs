@@ -1,0 +1,15 @@
+//! # lam-bench
+//!
+//! Experiment harness regenerating every evaluation figure of *Learning
+//! with Analytical Models* (Ibeid et al., 2019). One binary per figure —
+//! see DESIGN.md §4 for the index — plus Criterion micro-benchmarks for
+//! the prediction-cost story (`benches/`).
+//!
+//! All binaries print aligned tables to stdout and write a JSON record
+//! under `results/` so EXPERIMENTS.md can cite exact numbers.
+
+pub mod report;
+pub mod runners;
+
+pub use report::{print_series, FigureReport};
+pub use runners::{fmm_dataset, stencil_dataset, StandardModels};

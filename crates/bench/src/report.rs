@@ -1,0 +1,107 @@
+//! Figure-report formatting and JSON persistence.
+
+use lam_core::evaluate::SeriesPoint;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A named MAPE-vs-training-window series (one panel line of a figure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NamedSeries {
+    /// Legend label, e.g. "Extra Trees" or "Hybrid".
+    pub label: String,
+    /// The per-window-size score distributions.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// Everything one figure binary produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureReport {
+    /// Figure id, e.g. "fig5".
+    pub figure: String,
+    /// Human description.
+    pub title: String,
+    /// Dataset size used.
+    pub dataset_rows: usize,
+    /// The series (one per model family/panel).
+    pub series: Vec<NamedSeries>,
+    /// Optional extra scalars (e.g. analytical-model MAPE).
+    pub notes: Vec<(String, f64)>,
+}
+
+impl FigureReport {
+    /// Write the report as pretty JSON under `results/`.
+    pub fn save(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.figure));
+        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        Ok(path)
+    }
+}
+
+/// Print a series as an aligned text table (the stdout analogue of the
+/// paper's box plots: mean, quartiles, extremes per window size).
+pub fn print_series(label: &str, points: &[SeriesPoint]) {
+    println!("\n  {label}");
+    println!(
+        "    {:>9} | {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "train", "mean", "q1", "median", "q3", "max"
+    );
+    println!("    {}", "-".repeat(58));
+    for p in points {
+        let s = &p.summary;
+        println!(
+            "    {:>8.1}% | {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            p.fraction * 100.0,
+            s.mean,
+            s.q1,
+            s.median,
+            s.q3,
+            s.max
+        );
+    }
+}
+
+/// Print a compact paper-vs-measured comparison line.
+pub fn print_note(name: &str, value: f64) {
+    println!("  {name}: {value:.2}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lam_data::Summary;
+
+    fn point(fraction: f64) -> SeriesPoint {
+        let scores = vec![10.0, 12.0, 14.0];
+        SeriesPoint {
+            fraction,
+            summary: Summary::of(&scores).unwrap(),
+            scores,
+        }
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = FigureReport {
+            figure: "figX".into(),
+            title: "test".into(),
+            dataset_rows: 100,
+            series: vec![NamedSeries {
+                label: "et".into(),
+                points: vec![point(0.1)],
+            }],
+            notes: vec![("am_mape".into(), 42.0)],
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        let back: FigureReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.figure, "figX");
+        assert_eq!(back.series[0].points[0].scores.len(), 3);
+    }
+
+    #[test]
+    fn printing_does_not_panic() {
+        print_series("demo", &[point(0.01), point(0.02)]);
+        print_note("x", 1.5);
+    }
+}

@@ -1,0 +1,95 @@
+//! Shared experiment plumbing: dataset construction on the simulated Blue
+//! Waters node and the standard model factories the figures compare.
+
+use lam_core::hybrid::{HybridConfig, HybridModel};
+use lam_data::Dataset;
+use lam_fmm::config::FmmSpace;
+use lam_machine::arch::MachineDescription;
+use lam_ml::forest::{ExtraTreesRegressor, RandomForestRegressor};
+use lam_ml::model::Regressor;
+use lam_ml::tree::{DecisionTreeRegressor, TreeParams};
+use lam_stencil::config::StencilSpace;
+
+/// Workspace-wide experiment constants.
+pub mod defaults {
+    /// Timesteps per modeled stencil run (oracle and analytical model must
+    /// agree).
+    pub const STENCIL_TIMESTEPS: usize = 4;
+    /// Noise seed for dataset generation (fixed → reproducible datasets).
+    pub const NOISE_SEED: u64 = 20190520;
+    /// Trees per forest in the figure experiments.
+    pub const N_TREES: usize = 100;
+    /// Resampling trials per training-window size.
+    pub const TRIALS: usize = 15;
+}
+
+/// Generate a stencil dataset on the Blue Waters description.
+pub fn stencil_dataset(space: &StencilSpace) -> Dataset {
+    let machine = MachineDescription::blue_waters_xe6();
+    lam_stencil::oracle::StencilOracle::new(machine, defaults::NOISE_SEED)
+        .generate_dataset(space)
+}
+
+/// Generate the FMM dataset on the Blue Waters description.
+pub fn fmm_dataset(space: &FmmSpace) -> Dataset {
+    let machine = MachineDescription::blue_waters_xe6();
+    lam_fmm::oracle::FmmOracle::new(machine, defaults::NOISE_SEED).generate_dataset(space)
+}
+
+/// Factories for the model families the paper compares.
+pub struct StandardModels;
+
+impl StandardModels {
+    /// Single CART tree (`DecisionTreeRegressor` in Fig 3).
+    pub fn decision_tree(seed: u64) -> Box<dyn Regressor> {
+        Box::new(DecisionTreeRegressor::new(TreeParams::default(), seed))
+    }
+
+    /// Extra-trees forest (the paper's best performer and hybrid base).
+    pub fn extra_trees(seed: u64) -> Box<dyn Regressor> {
+        Box::new(ExtraTreesRegressor::with_params(
+            defaults::N_TREES,
+            TreeParams::default(),
+            seed,
+        ))
+    }
+
+    /// Random forest.
+    pub fn random_forest(seed: u64) -> Box<dyn Regressor> {
+        Box::new(RandomForestRegressor::with_params(
+            defaults::N_TREES,
+            TreeParams::default(),
+            seed,
+        ))
+    }
+
+    /// Hybrid = analytical model stacked under extra trees.
+    pub fn hybrid(
+        am: Box<dyn lam_analytical::traits::AnalyticalModel>,
+        config: HybridConfig,
+        seed: u64,
+    ) -> Box<dyn Regressor> {
+        Box::new(HybridModel::new(am, Self::extra_trees(seed), config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lam_stencil::config::space_grid_only;
+
+    #[test]
+    fn dataset_builders_work() {
+        let d = stencil_dataset(&space_grid_only());
+        assert_eq!(d.len(), 729);
+        let d = fmm_dataset(&lam_fmm::config::space_small());
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn factories_produce_named_models() {
+        assert_eq!(StandardModels::decision_tree(0).name(), "decision_tree");
+        assert_eq!(StandardModels::extra_trees(0).name(), "extra_trees");
+        assert_eq!(StandardModels::random_forest(0).name(), "random_forest");
+    }
+}

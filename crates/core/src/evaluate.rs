@@ -1,0 +1,238 @@
+//! The §VII experiment protocol: for each training-window size, uniformly
+//! sample a training set, fit a model, score MAPE on the held-out
+//! remainder, and repeat over independent trials (the paper's figures show
+//! the score distribution per window size).
+
+use lam_data::{Dataset, Summary};
+use lam_ml::metrics::mape;
+use lam_ml::model::Regressor;
+use lam_ml::rng::derive_seeds;
+use lam_ml::sampling::train_test_split_fraction;
+use serde::{Deserialize, Serialize};
+
+/// Protocol parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvaluationConfig {
+    /// Training-window sizes as fractions of the full dataset (the paper's
+    /// x-axes, e.g. `[0.01, 0.02, 0.04]`).
+    pub train_fractions: Vec<f64>,
+    /// Independent resampling trials per window size.
+    pub trials: usize,
+    /// Base seed; trial `i` of fraction `j` gets an independent derived
+    /// seed.
+    pub seed: u64,
+}
+
+impl EvaluationConfig {
+    /// Standard protocol: given fractions, 10 trials.
+    pub fn new(train_fractions: Vec<f64>, trials: usize, seed: u64) -> Self {
+        Self {
+            train_fractions,
+            trials,
+            seed,
+        }
+    }
+}
+
+/// One (window size, trial) outcome.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Training fraction used.
+    pub fraction: f64,
+    /// Trial index.
+    pub trial: usize,
+    /// Training rows.
+    pub train_size: usize,
+    /// MAPE (%) on the held-out remainder.
+    pub mape: f64,
+}
+
+/// Aggregated outcomes for one window size (one x position of a paper
+/// figure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Training fraction.
+    pub fraction: f64,
+    /// Per-trial MAPE scores.
+    pub scores: Vec<f64>,
+    /// Summary statistics of `scores`.
+    pub summary: Summary,
+}
+
+impl SeriesPoint {
+    fn from_scores(fraction: f64, scores: Vec<f64>) -> Self {
+        let summary = Summary::of(&scores).expect("at least one trial");
+        Self {
+            fraction,
+            scores,
+            summary,
+        }
+    }
+}
+
+/// Evaluate a model family over the protocol. `factory(seed)` must return
+/// a fresh unfitted model for each trial; trials resample the training
+/// window with independent seeds.
+///
+/// Returns one [`SeriesPoint`] per training fraction (in input order).
+pub fn evaluate_model<F>(
+    data: &Dataset,
+    config: &EvaluationConfig,
+    factory: F,
+) -> Vec<SeriesPoint>
+where
+    F: Fn(u64) -> Box<dyn Regressor>,
+{
+    assert!(config.trials >= 1, "need at least one trial");
+    assert!(
+        !config.train_fractions.is_empty(),
+        "need at least one training fraction"
+    );
+    let all_seeds = derive_seeds(config.seed, config.trials * config.train_fractions.len());
+    let mut out = Vec::with_capacity(config.train_fractions.len());
+    for (fi, &fraction) in config.train_fractions.iter().enumerate() {
+        let mut scores = Vec::with_capacity(config.trials);
+        for trial in 0..config.trials {
+            let seed = all_seeds[fi * config.trials + trial];
+            let (train, test) = train_test_split_fraction(data, fraction, seed);
+            let mut model = factory(seed);
+            model
+                .fit(&train)
+                .expect("training data validated upstream");
+            let preds = model.predict(&test);
+            let score = mape(test.response(), &preds).expect("positive responses");
+            scores.push(score);
+        }
+        out.push(SeriesPoint::from_scores(fraction, scores));
+    }
+    out
+}
+
+/// All trial outcomes (flat), for detailed logging.
+pub fn evaluate_model_trials<F>(
+    data: &Dataset,
+    config: &EvaluationConfig,
+    factory: F,
+) -> Vec<TrialOutcome>
+where
+    F: Fn(u64) -> Box<dyn Regressor>,
+{
+    let series = evaluate_model(data, config, factory);
+    let mut out = Vec::new();
+    for p in series {
+        let n = data.len();
+        for (trial, &score) in p.scores.iter().enumerate() {
+            let train_size = (((n as f64) * p.fraction).round() as usize).clamp(1, n - 1);
+            out.push(TrialOutcome {
+                fraction: p.fraction,
+                trial,
+                train_size,
+                mape: score,
+            });
+        }
+    }
+    out
+}
+
+/// MAPE of an analytical model alone on a full dataset (the paper quotes
+/// these as the untuned-model baselines: 42 % and 84.5 %).
+pub fn analytical_mape(
+    data: &Dataset,
+    am: &dyn lam_analytical::traits::AnalyticalModel,
+) -> f64 {
+    let preds: Vec<f64> = (0..data.len()).map(|i| am.predict(data.row(i))).collect();
+    mape(data.response(), &preds).expect("positive responses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lam_analytical::traits::ConstantModel;
+    use lam_ml::forest::ExtraTreesRegressor;
+    use lam_ml::tree::TreeParams;
+
+    fn dataset() -> Dataset {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..20 {
+            for b in 0..20 {
+                rows.push(vec![a as f64, b as f64]);
+                ys.push(1.0 + a as f64 * 2.0 + b as f64);
+            }
+        }
+        Dataset::from_rows(vec!["a".into(), "b".into()], &rows, ys).unwrap()
+    }
+
+    fn et_factory(seed: u64) -> Box<dyn Regressor> {
+        Box::new(ExtraTreesRegressor::with_params(
+            20,
+            TreeParams::default(),
+            seed,
+        ))
+    }
+
+    #[test]
+    fn series_structure() {
+        let d = dataset();
+        let cfg = EvaluationConfig::new(vec![0.1, 0.3], 4, 1);
+        let series = evaluate_model(&d, &cfg, et_factory);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].scores.len(), 4);
+        assert!(series.iter().all(|p| p.scores.iter().all(|&s| s >= 0.0)));
+    }
+
+    #[test]
+    fn more_data_less_error() {
+        let d = dataset();
+        let cfg = EvaluationConfig::new(vec![0.02, 0.5], 6, 3);
+        let series = evaluate_model(&d, &cfg, et_factory);
+        assert!(
+            series[1].summary.mean < series[0].summary.mean,
+            "2%: {} vs 50%: {}",
+            series[0].summary.mean,
+            series[1].summary.mean
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = dataset();
+        let cfg = EvaluationConfig::new(vec![0.1], 3, 9);
+        let a = evaluate_model(&d, &cfg, et_factory);
+        let b = evaluate_model(&d, &cfg, et_factory);
+        assert_eq!(a[0].scores, b[0].scores);
+    }
+
+    #[test]
+    fn trial_outcomes_flatten() {
+        let d = dataset();
+        let cfg = EvaluationConfig::new(vec![0.1, 0.2], 3, 2);
+        let trials = evaluate_model_trials(&d, &cfg, et_factory);
+        assert_eq!(trials.len(), 6);
+        assert!(trials.iter().all(|t| t.train_size >= 1));
+    }
+
+    #[test]
+    fn analytical_mape_computes() {
+        let d = dataset();
+        let mean_y = d.response().iter().sum::<f64>() / d.len() as f64;
+        let m = analytical_mape(&d, &ConstantModel(mean_y));
+        assert!(m > 0.0 && m < 200.0);
+        // Perfect "analytical model": zero error.
+        struct Exact;
+        impl lam_analytical::traits::AnalyticalModel for Exact {
+            fn predict(&self, x: &[f64]) -> f64 {
+                1.0 + x[0] * 2.0 + x[1]
+            }
+        }
+        assert!(analytical_mape(&d, &Exact) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let d = dataset();
+        let cfg = EvaluationConfig::new(vec![0.1], 0, 0);
+        evaluate_model(&d, &cfg, et_factory);
+    }
+}

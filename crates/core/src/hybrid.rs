@@ -1,0 +1,311 @@
+//! The hybrid analytical + machine-learning model (paper Fig 4).
+//!
+//! Training: predict every training row with the analytical model, append
+//! the prediction as an extra feature column, and fit the ML regressor on
+//! the augmented dataset (stacking). Prediction: augment the incoming
+//! feature row the same way and evaluate the stacked model; optionally
+//! aggregate the stacked and analytical predictions (bagging-style
+//! averaging).
+
+use lam_analytical::traits::AnalyticalModel;
+use lam_data::Dataset;
+use lam_ml::model::{FitError, Regressor};
+
+/// Name of the stacked feature column added to augmented datasets.
+pub const AM_FEATURE: &str = "am_prediction";
+
+/// Hybrid-model options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridConfig {
+    /// Aggregate the analytical and stacked predictions (Fig 4's optional
+    /// "Results Aggregation" stage). Weight below applies to the stacked
+    /// model; the analytical model gets `1 − weight`.
+    pub aggregate: bool,
+    /// Stacked-model weight used when `aggregate` is on. The paper's plain
+    /// bagging average corresponds to `0.5`.
+    pub stacked_weight: f64,
+    /// Stack on `ln(am_prediction)` instead of the raw value — useful when
+    /// responses span decades (FMM). The ML model still predicts raw
+    /// seconds; only the stacked *feature* is transformed.
+    pub log_feature: bool,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self {
+            aggregate: false,
+            stacked_weight: 0.5,
+            log_feature: false,
+        }
+    }
+}
+
+impl HybridConfig {
+    /// The paper's full pipeline with aggregation enabled.
+    pub fn with_aggregation() -> Self {
+        Self {
+            aggregate: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// A hybrid model: analytical model + ML regressor, stacked (and optionally
+/// aggregated).
+pub struct HybridModel {
+    am: Box<dyn AnalyticalModel>,
+    ml: Box<dyn Regressor>,
+    config: HybridConfig,
+    fitted: bool,
+}
+
+impl HybridModel {
+    /// Build from an analytical model and an (unfitted) ML regressor.
+    pub fn new(
+        am: Box<dyn AnalyticalModel>,
+        ml: Box<dyn Regressor>,
+        config: HybridConfig,
+    ) -> Self {
+        Self {
+            am,
+            ml,
+            config,
+            fitted: false,
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &HybridConfig {
+        &self.config
+    }
+
+    /// Analytical prediction for a raw feature row (before stacking).
+    pub fn analytical_prediction(&self, x: &[f64]) -> f64 {
+        self.am.predict(x)
+    }
+
+    fn stacked_feature(&self, am_pred: f64) -> f64 {
+        if self.config.log_feature {
+            am_pred.max(f64::MIN_POSITIVE).ln()
+        } else {
+            am_pred
+        }
+    }
+
+    /// Augment a dataset with the analytical-model feature column.
+    pub fn augment(&self, data: &Dataset) -> Dataset {
+        let preds: Vec<f64> = (0..data.len())
+            .map(|i| self.stacked_feature(self.am.predict(data.row(i))))
+            .collect();
+        data.with_column(AM_FEATURE, &preds)
+            .expect("augmentation length matches dataset")
+    }
+}
+
+impl Regressor for HybridModel {
+    fn fit(&mut self, data: &Dataset) -> Result<(), FitError> {
+        if !(0.0..=1.0).contains(&self.config.stacked_weight) {
+            return Err(FitError::Invalid(format!(
+                "stacked_weight {} outside [0, 1]",
+                self.config.stacked_weight
+            )));
+        }
+        let augmented = self.augment(data);
+        self.ml.fit(&augmented)?;
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        assert!(self.fitted, "HybridModel used before fit");
+        let am_pred = self.am.predict(x);
+        let mut row = Vec::with_capacity(x.len() + 1);
+        row.extend_from_slice(x);
+        row.push(self.stacked_feature(am_pred));
+        let stacked = self.ml.predict_row(&row);
+        if self.config.aggregate {
+            let w = self.config.stacked_weight;
+            w * stacked + (1.0 - w) * am_pred
+        } else {
+            stacked
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lam_analytical::traits::ConstantModel;
+    use lam_ml::forest::ExtraTreesRegressor;
+    use lam_ml::metrics::mape;
+    use lam_ml::sampling::train_test_split_fraction;
+    use lam_ml::tree::TreeParams;
+
+    /// An analytical model that is correlated with the truth but off by a
+    /// structured error — the regime the hybrid should exploit.
+    struct RoughModel;
+    impl AnalyticalModel for RoughModel {
+        fn predict(&self, x: &[f64]) -> f64 {
+            // truth below is x0² + 5 x1; the AM knows only 0.6·x0².
+            0.6 * x[0] * x[0]
+        }
+    }
+
+    fn synthetic() -> Dataset {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..24 {
+            for b in 0..24 {
+                let x0 = a as f64 / 2.0;
+                let x1 = b as f64 / 2.0;
+                rows.push(vec![x0, x1]);
+                ys.push(x0 * x0 + 5.0 * x1 + 1.0);
+            }
+        }
+        Dataset::from_rows(vec!["x0".into(), "x1".into()], &rows, ys).unwrap()
+    }
+
+    fn extra_trees(seed: u64) -> Box<dyn Regressor> {
+        Box::new(ExtraTreesRegressor::with_params(
+            60,
+            TreeParams::default(),
+            seed,
+        ))
+    }
+
+    #[test]
+    fn hybrid_beats_pure_ml_on_small_training_sets() {
+        let data = synthetic();
+        let (train, test) = train_test_split_fraction(&data, 0.05, 9);
+
+        let mut pure = extra_trees(1);
+        pure.fit(&train).unwrap();
+        let pure_mape = mape(test.response(), &pure.predict(&test)).unwrap();
+
+        let mut hybrid = HybridModel::new(
+            Box::new(RoughModel),
+            extra_trees(1),
+            HybridConfig::default(),
+        );
+        hybrid.fit(&train).unwrap();
+        let hybrid_mape = mape(test.response(), &hybrid.predict(&test)).unwrap();
+
+        assert!(
+            hybrid_mape < pure_mape,
+            "hybrid {hybrid_mape} vs pure {pure_mape}"
+        );
+    }
+
+    #[test]
+    fn augment_appends_am_column() {
+        let data = synthetic();
+        let h = HybridModel::new(
+            Box::new(ConstantModel(2.0)),
+            extra_trees(0),
+            HybridConfig::default(),
+        );
+        let aug = h.augment(&data);
+        assert_eq!(aug.n_features(), 3);
+        assert_eq!(aug.feature_names()[2], AM_FEATURE);
+        assert_eq!(aug.row(5)[2], 2.0);
+    }
+
+    #[test]
+    fn log_feature_transforms_column() {
+        let data = synthetic();
+        let h = HybridModel::new(
+            Box::new(ConstantModel(std::f64::consts::E)),
+            extra_trees(0),
+            HybridConfig {
+                log_feature: true,
+                ..HybridConfig::default()
+            },
+        );
+        let aug = h.augment(&data);
+        assert!((aug.row(0)[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_mixes_predictions() {
+        let data = synthetic();
+        // AM constant 100; stacked model fits truth well. With weight 0 the
+        // hybrid must return the AM exactly.
+        let mut h = HybridModel::new(
+            Box::new(ConstantModel(100.0)),
+            extra_trees(3),
+            HybridConfig {
+                aggregate: true,
+                stacked_weight: 0.0,
+                log_feature: false,
+            },
+        );
+        h.fit(&data).unwrap();
+        assert_eq!(h.predict_row(data.row(0)), 100.0);
+
+        let mut h = HybridModel::new(
+            Box::new(ConstantModel(100.0)),
+            extra_trees(3),
+            HybridConfig {
+                aggregate: true,
+                stacked_weight: 1.0,
+                log_feature: false,
+            },
+        );
+        h.fit(&data).unwrap();
+        // weight 1 → pure stacked prediction (close to truth, not 100)
+        let p = h.predict_row(data.row(0));
+        assert!((p - data.response()[0]).abs() < 20.0);
+    }
+
+    #[test]
+    fn invalid_weight_rejected() {
+        let data = synthetic();
+        let mut h = HybridModel::new(
+            Box::new(ConstantModel(1.0)),
+            extra_trees(0),
+            HybridConfig {
+                aggregate: true,
+                stacked_weight: 1.5,
+                log_feature: false,
+            },
+        );
+        assert!(matches!(h.fit(&data), Err(FitError::Invalid(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn unfitted_panics() {
+        let h = HybridModel::new(
+            Box::new(ConstantModel(1.0)),
+            extra_trees(0),
+            HybridConfig::default(),
+        );
+        h.predict_row(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn uninformative_am_does_not_destroy_model() {
+        // Stacking a constant feature should leave tree performance roughly
+        // unchanged (trees simply never split on it).
+        let data = synthetic();
+        let (train, test) = train_test_split_fraction(&data, 0.3, 4);
+        let mut pure = extra_trees(7);
+        pure.fit(&train).unwrap();
+        let pure_mape = mape(test.response(), &pure.predict(&test)).unwrap();
+        let mut h = HybridModel::new(
+            Box::new(ConstantModel(42.0)),
+            extra_trees(7),
+            HybridConfig::default(),
+        );
+        h.fit(&train).unwrap();
+        let h_mape = mape(test.response(), &h.predict(&test)).unwrap();
+        assert!(
+            h_mape < pure_mape * 1.5 + 2.0,
+            "constant AM hurt badly: {h_mape} vs {pure_mape}"
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # lam-core
+//!
+//! The paper's contribution: a **hybrid performance model** that couples an
+//! analytical model with a machine-learning regressor using the two
+//! ensemble mechanisms of Fig 4:
+//!
+//! 1. **Stacking** — the analytical model's prediction is appended to the
+//!    feature vector of the ML model ("the analytical model predictions are
+//!    regarded as additional features for the machine learning model");
+//! 2. **Bagging-style aggregation** (optional) — the analytical and
+//!    stacked-model predictions are aggregated into the final prediction.
+//!    This step is "supplementary and its benefits depend on how
+//!    representative the analytical models are" — it is disabled for the
+//!    Fig 7 study, where the analytical model does not capture parallelism.
+//!
+//! [`evaluate`] provides the experiment protocol of §VII: uniformly sample
+//! a training window, fit pure-ML and hybrid models, score MAPE on the
+//! held-out remainder, repeat over trials.
+
+pub mod evaluate;
+pub mod hybrid;
+pub mod wrap;
+
+pub use evaluate::{evaluate_model, EvaluationConfig, SeriesPoint, TrialOutcome};
+pub use hybrid::{HybridConfig, HybridModel};
+pub use wrap::AnalyticalRegressor;

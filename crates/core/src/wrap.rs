@@ -1,0 +1,62 @@
+//! Adapter letting an [`AnalyticalModel`] participate anywhere a
+//! [`Regressor`] is expected (ensembles, evaluation harnesses, baselines).
+//! Fitting is a no-op — analytical models need no training data, which is
+//! the whole point of the hybrid approach.
+
+use lam_analytical::traits::AnalyticalModel;
+use lam_data::Dataset;
+use lam_ml::model::{FitError, Regressor};
+
+/// An analytical model wrapped as a (training-free) regressor.
+pub struct AnalyticalRegressor {
+    model: Box<dyn AnalyticalModel>,
+}
+
+impl AnalyticalRegressor {
+    /// Wrap a model.
+    pub fn new(model: Box<dyn AnalyticalModel>) -> Self {
+        Self { model }
+    }
+
+    /// Borrow the wrapped model.
+    pub fn inner(&self) -> &dyn AnalyticalModel {
+        self.model.as_ref()
+    }
+}
+
+impl Regressor for AnalyticalRegressor {
+    fn fit(&mut self, _data: &Dataset) -> Result<(), FitError> {
+        Ok(()) // analytical models are training-free
+    }
+
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        self.model.predict(x)
+    }
+
+    fn name(&self) -> &'static str {
+        "analytical"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lam_analytical::traits::ConstantModel;
+
+    #[test]
+    fn wraps_and_predicts() {
+        let mut r = AnalyticalRegressor::new(Box::new(ConstantModel(3.5)));
+        let d = Dataset::new(vec!["x".into()], vec![1.0], vec![9.0]).unwrap();
+        r.fit(&d).unwrap();
+        assert_eq!(r.predict_row(&[0.0]), 3.5);
+        // Fit does not change the analytical prediction.
+        assert_eq!(r.predict(&d), vec![3.5]);
+    }
+
+    #[test]
+    fn fit_is_noop_even_on_empty_data() {
+        let mut r = AnalyticalRegressor::new(Box::new(ConstantModel(1.0)));
+        let empty = Dataset::empty(vec!["x".into()]);
+        assert!(r.fit(&empty).is_ok());
+    }
+}

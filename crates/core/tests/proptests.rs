@@ -1,0 +1,118 @@
+//! Property-based tests for the hybrid framework.
+
+use lam_analytical::traits::AnalyticalModel;
+use lam_core::hybrid::{HybridConfig, HybridModel};
+use lam_core::wrap::AnalyticalRegressor;
+use lam_data::Dataset;
+use lam_ml::model::Regressor;
+use lam_ml::tree::{DecisionTreeRegressor, TreeParams};
+use proptest::prelude::*;
+
+/// A linear "analytical model" with arbitrary coefficients.
+#[derive(Clone)]
+struct LinearAm {
+    w0: f64,
+    w1: f64,
+    bias: f64,
+}
+
+impl AnalyticalModel for LinearAm {
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.bias + self.w0 * x[0] + self.w1 * x[1]
+    }
+}
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (6usize..40).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-50.0f64..50.0, n * 2),
+            proptest::collection::vec(1.0f64..500.0, n),
+        )
+            .prop_map(|(features, response)| {
+                Dataset::new(vec!["a".into(), "b".into()], features, response).unwrap()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// When the analytical model IS the truth, the hybrid with aggregation
+    /// weight 0 reproduces it exactly on any input.
+    #[test]
+    fn perfect_am_with_zero_weight_is_exact(d in dataset_strategy(), w0 in -2.0f64..2.0, w1 in -2.0f64..2.0, bias in 1.0f64..10.0) {
+        let am = LinearAm { w0, w1, bias };
+        // Response = AM prediction, guaranteed positive by construction?
+        // Rebuild response from the AM to make it the exact truth.
+        let response: Vec<f64> = (0..d.len()).map(|i| am.predict(d.row(i))).collect();
+        prop_assume!(response.iter().all(|&y| y.is_finite()));
+        let data = Dataset::new(
+            d.feature_names().to_vec(),
+            d.features().to_vec(),
+            response,
+        ).unwrap();
+        let mut h = HybridModel::new(
+            Box::new(am.clone()),
+            Box::new(DecisionTreeRegressor::new(TreeParams::default(), 1)),
+            HybridConfig { aggregate: true, stacked_weight: 0.0, log_feature: false },
+        );
+        h.fit(&data).unwrap();
+        for i in 0..data.len() {
+            let p = h.predict_row(data.row(i));
+            prop_assert!((p - data.response()[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Aggregation output always lies between the AM and stacked
+    /// predictions.
+    #[test]
+    fn aggregation_is_convex(d in dataset_strategy(), w in 0.0f64..1.0) {
+        let am = LinearAm { w0: 1.0, w1: -0.5, bias: 3.0 };
+        let mut h = HybridModel::new(
+            Box::new(am.clone()),
+            Box::new(DecisionTreeRegressor::new(TreeParams::default(), 2)),
+            HybridConfig { aggregate: true, stacked_weight: w, log_feature: false },
+        );
+        h.fit(&d).unwrap();
+        // Pure stacked variant for reference.
+        let mut stacked_only = HybridModel::new(
+            Box::new(am),
+            Box::new(DecisionTreeRegressor::new(TreeParams::default(), 2)),
+            HybridConfig::default(),
+        );
+        stacked_only.fit(&d).unwrap();
+        for i in 0..d.len() {
+            let x = d.row(i);
+            let agg = h.predict_row(x);
+            let am_p = h.analytical_prediction(x);
+            let st_p = stacked_only.predict_row(x);
+            let lo = am_p.min(st_p) - 1e-9;
+            let hi = am_p.max(st_p) + 1e-9;
+            prop_assert!(agg >= lo && agg <= hi, "agg {agg} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// The augmented dataset always gains exactly one column and preserves
+    /// the response.
+    #[test]
+    fn augment_shape(d in dataset_strategy()) {
+        let h = HybridModel::new(
+            Box::new(LinearAm { w0: 0.1, w1: 0.2, bias: 1.0 }),
+            Box::new(DecisionTreeRegressor::new(TreeParams::default(), 0)),
+            HybridConfig::default(),
+        );
+        let aug = h.augment(&d);
+        prop_assert_eq!(aug.n_features(), d.n_features() + 1);
+        prop_assert_eq!(aug.response(), d.response());
+    }
+
+    /// The analytical-regressor adapter is unaffected by what it is
+    /// "fitted" on.
+    #[test]
+    fn analytical_regressor_fit_invariant(d in dataset_strategy(), x0 in -5.0f64..5.0, x1 in -5.0f64..5.0) {
+        let mut r = AnalyticalRegressor::new(Box::new(LinearAm { w0: 2.0, w1: 1.0, bias: 0.5 }));
+        let before = r.predict_row(&[x0, x1]);
+        r.fit(&d).unwrap();
+        prop_assert_eq!(r.predict_row(&[x0, x1]), before);
+    }
+}

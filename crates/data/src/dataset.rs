@@ -1,0 +1,481 @@
+//! Dense, row-major dataset: a feature matrix with named columns plus a
+//! response vector (execution time, in this workspace).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced by [`Dataset`] constructors and accessors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// The flat feature buffer length is not `rows * cols`.
+    ShapeMismatch {
+        /// Expected number of values (`rows * cols`).
+        expected: usize,
+        /// Number of values actually supplied.
+        actual: usize,
+    },
+    /// The response vector length differs from the number of rows.
+    ResponseLength {
+        /// Number of feature rows.
+        rows: usize,
+        /// Length of the response vector supplied.
+        len: usize,
+    },
+    /// The number of feature names differs from the number of columns.
+    NameCount {
+        /// Number of feature columns.
+        cols: usize,
+        /// Number of names supplied.
+        names: usize,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of rows in the dataset.
+        rows: usize,
+    },
+    /// A non-finite (NaN/inf) value was found where finite data is required.
+    NonFinite {
+        /// Row of the offending value (response rows use the same indexing).
+        row: usize,
+        /// Column of the offending value, or `usize::MAX` for the response.
+        col: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DatasetError::ShapeMismatch { expected, actual } => {
+                write!(f, "feature buffer has {actual} values, expected {expected}")
+            }
+            DatasetError::ResponseLength { rows, len } => {
+                write!(f, "response has {len} values for {rows} rows")
+            }
+            DatasetError::NameCount { cols, names } => {
+                write!(f, "{names} feature names supplied for {cols} columns")
+            }
+            DatasetError::RowOutOfBounds { index, rows } => {
+                write!(f, "row index {index} out of bounds for {rows} rows")
+            }
+            DatasetError::NonFinite { row, col } => {
+                if col == usize::MAX {
+                    write!(f, "non-finite response at row {row}")
+                } else {
+                    write!(f, "non-finite feature at row {row}, column {col}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A dense dataset: `rows` observations of `cols` features plus a response.
+///
+/// Features are stored row-major in one contiguous allocation so that a row
+/// view is a plain slice — the layout every downstream consumer (tree
+/// splitters, analytical models, scalers) iterates over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    features: Vec<f64>,
+    response: Vec<f64>,
+    cols: usize,
+}
+
+impl Dataset {
+    /// Create a dataset from a flat row-major buffer.
+    pub fn new(
+        feature_names: Vec<String>,
+        features: Vec<f64>,
+        response: Vec<f64>,
+    ) -> Result<Self, DatasetError> {
+        let cols = feature_names.len();
+        if cols == 0 {
+            if !features.is_empty() {
+                return Err(DatasetError::ShapeMismatch {
+                    expected: 0,
+                    actual: features.len(),
+                });
+            }
+            return Ok(Self {
+                feature_names,
+                features,
+                response,
+                cols: 0,
+            });
+        }
+        if !features.len().is_multiple_of(cols) {
+            return Err(DatasetError::ShapeMismatch {
+                expected: (features.len() / cols) * cols,
+                actual: features.len(),
+            });
+        }
+        let rows = features.len() / cols;
+        if response.len() != rows {
+            return Err(DatasetError::ResponseLength {
+                rows,
+                len: response.len(),
+            });
+        }
+        Ok(Self {
+            feature_names,
+            features,
+            response,
+            cols,
+        })
+    }
+
+    /// Create an empty dataset with the given schema.
+    pub fn empty(feature_names: Vec<String>) -> Self {
+        let cols = feature_names.len();
+        Self {
+            feature_names,
+            features: Vec::new(),
+            response: Vec::new(),
+            cols,
+        }
+    }
+
+    /// Build from per-row feature vectors.
+    pub fn from_rows(
+        feature_names: Vec<String>,
+        rows: &[Vec<f64>],
+        response: Vec<f64>,
+    ) -> Result<Self, DatasetError> {
+        let cols = feature_names.len();
+        let mut features = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            if row.len() != cols {
+                return Err(DatasetError::ShapeMismatch {
+                    expected: cols,
+                    actual: row.len(),
+                });
+            }
+            features.extend_from_slice(row);
+        }
+        Self::new(feature_names, features, response)
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self.features.len().checked_div(self.cols) {
+            Some(rows) => rows,
+            None => self.response.len(), // zero-feature datasets
+        }
+    }
+
+    /// `true` when the dataset holds no observations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of feature columns.
+    #[inline]
+    pub fn n_features(&self) -> usize {
+        self.cols
+    }
+
+    /// Feature (column) names.
+    #[inline]
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// The contiguous row-major feature buffer.
+    #[inline]
+    pub fn features(&self) -> &[f64] {
+        &self.features
+    }
+
+    /// The response vector.
+    #[inline]
+    pub fn response(&self) -> &[f64] {
+        &self.response
+    }
+
+    /// A single observation's features.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Checked access to a single observation's features.
+    pub fn try_row(&self, i: usize) -> Result<&[f64], DatasetError> {
+        if i >= self.len() {
+            return Err(DatasetError::RowOutOfBounds {
+                index: i,
+                rows: self.len(),
+            });
+        }
+        Ok(self.row(i))
+    }
+
+    /// Iterate over `(features, response)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], f64)> + '_ {
+        (0..self.len()).map(move |i| (self.row(i), self.response[i]))
+    }
+
+    /// Append an observation. Panics if the row width differs from the schema.
+    pub fn push(&mut self, row: &[f64], y: f64) {
+        assert_eq!(
+            row.len(),
+            self.cols,
+            "row width {} != dataset width {}",
+            row.len(),
+            self.cols
+        );
+        self.features.extend_from_slice(row);
+        self.response.push(y);
+    }
+
+    /// Column index of a feature name, if present.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.feature_names.iter().position(|n| n == name)
+    }
+
+    /// Extract a feature column as an owned vector.
+    pub fn column_values(&self, col: usize) -> Vec<f64> {
+        (0..self.len()).map(|r| self.row(r)[col]).collect()
+    }
+
+    /// Select a subset of rows (by index, in the given order) into a new dataset.
+    pub fn select(&self, indices: &[usize]) -> Result<Self, DatasetError> {
+        let mut features = Vec::with_capacity(indices.len() * self.cols);
+        let mut response = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(DatasetError::RowOutOfBounds {
+                    index: i,
+                    rows: self.len(),
+                });
+            }
+            features.extend_from_slice(self.row(i));
+            response.push(self.response[i]);
+        }
+        Ok(Self {
+            feature_names: self.feature_names.clone(),
+            features,
+            response,
+            cols: self.cols,
+        })
+    }
+
+    /// Split into `(selected, rest)` by row indices; `indices` need not be sorted.
+    pub fn partition(&self, indices: &[usize]) -> Result<(Self, Self), DatasetError> {
+        let mut mask = vec![false; self.len()];
+        for &i in indices {
+            if i >= self.len() {
+                return Err(DatasetError::RowOutOfBounds {
+                    index: i,
+                    rows: self.len(),
+                });
+            }
+            mask[i] = true;
+        }
+        let selected = self.select(indices)?;
+        let rest_idx: Vec<usize> = (0..self.len()).filter(|&i| !mask[i]).collect();
+        let rest = self.select(&rest_idx)?;
+        Ok((selected, rest))
+    }
+
+    /// Append a new feature column (e.g. an analytical-model prediction used
+    /// as a stacked feature). Returns the new dataset; `self` is unchanged.
+    pub fn with_column(&self, name: &str, values: &[f64]) -> Result<Self, DatasetError> {
+        if values.len() != self.len() {
+            return Err(DatasetError::ResponseLength {
+                rows: self.len(),
+                len: values.len(),
+            });
+        }
+        let new_cols = self.cols + 1;
+        let mut features = Vec::with_capacity(self.len() * new_cols);
+        for (i, v) in values.iter().enumerate() {
+            features.extend_from_slice(self.row(i));
+            features.push(*v);
+        }
+        let mut feature_names = self.feature_names.clone();
+        feature_names.push(name.to_string());
+        Ok(Self {
+            feature_names,
+            features,
+            response: self.response.clone(),
+            cols: new_cols,
+        })
+    }
+
+    /// Verify that every feature and response value is finite.
+    pub fn validate_finite(&self) -> Result<(), DatasetError> {
+        for r in 0..self.len() {
+            for (c, v) in self.row(r).iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(DatasetError::NonFinite { row: r, col: c });
+                }
+            }
+            if !self.response[r].is_finite() {
+                return Err(DatasetError::NonFinite {
+                    row: r,
+                    col: usize::MAX,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenate two datasets with identical schemas.
+    pub fn concat(&self, other: &Self) -> Result<Self, DatasetError> {
+        if self.feature_names != other.feature_names {
+            return Err(DatasetError::NameCount {
+                cols: self.cols,
+                names: other.cols,
+            });
+        }
+        let mut out = self.clone();
+        out.features.extend_from_slice(&other.features);
+        out.response.extend_from_slice(&other.response);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: &[&str]) -> Vec<String> {
+        n.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn new_validates_shape() {
+        let err = Dataset::new(names(&["a", "b"]), vec![1.0, 2.0, 3.0], vec![0.0]);
+        assert!(matches!(err, Err(DatasetError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn new_validates_response() {
+        let err = Dataset::new(names(&["a"]), vec![1.0, 2.0], vec![0.0]);
+        assert!(matches!(
+            err,
+            Err(DatasetError::ResponseLength { rows: 2, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn row_access_and_iter() {
+        let d = Dataset::new(
+            names(&["a", "b"]),
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![10.0, 20.0],
+        )
+        .unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.row(0), &[1.0, 2.0]);
+        assert_eq!(d.row(1), &[3.0, 4.0]);
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs[1], (&[3.0, 4.0][..], 20.0));
+    }
+
+    #[test]
+    fn try_row_bounds() {
+        let d = Dataset::new(names(&["a"]), vec![1.0], vec![2.0]).unwrap();
+        assert!(d.try_row(0).is_ok());
+        assert!(matches!(
+            d.try_row(1),
+            Err(DatasetError::RowOutOfBounds { index: 1, rows: 1 })
+        ));
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut d = Dataset::empty(names(&["a", "b"]));
+        d.push(&[1.0, 2.0], 3.0);
+        d.push(&[4.0, 5.0], 6.0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.response(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn push_wrong_width_panics() {
+        let mut d = Dataset::empty(names(&["a", "b"]));
+        d.push(&[1.0], 3.0);
+    }
+
+    #[test]
+    fn select_and_partition() {
+        let d = Dataset::new(
+            names(&["x"]),
+            vec![0.0, 1.0, 2.0, 3.0],
+            vec![0.0, 10.0, 20.0, 30.0],
+        )
+        .unwrap();
+        let s = d.select(&[2, 0]).unwrap();
+        assert_eq!(s.response(), &[20.0, 0.0]);
+        let (train, test) = d.partition(&[1, 3]).unwrap();
+        assert_eq!(train.response(), &[10.0, 30.0]);
+        assert_eq!(test.response(), &[0.0, 20.0]);
+    }
+
+    #[test]
+    fn partition_out_of_bounds() {
+        let d = Dataset::new(names(&["x"]), vec![0.0], vec![0.0]).unwrap();
+        assert!(d.partition(&[7]).is_err());
+    }
+
+    #[test]
+    fn with_column_appends_feature() {
+        let d = Dataset::new(names(&["x"]), vec![1.0, 2.0], vec![5.0, 6.0]).unwrap();
+        let d2 = d.with_column("am", &[0.5, 0.6]).unwrap();
+        assert_eq!(d2.n_features(), 2);
+        assert_eq!(d2.row(1), &[2.0, 0.6]);
+        assert_eq!(d2.feature_names()[1], "am");
+        // original untouched
+        assert_eq!(d.n_features(), 1);
+    }
+
+    #[test]
+    fn with_column_length_mismatch() {
+        let d = Dataset::new(names(&["x"]), vec![1.0], vec![5.0]).unwrap();
+        assert!(d.with_column("am", &[0.5, 0.6]).is_err());
+    }
+
+    #[test]
+    fn validate_finite_catches_nan() {
+        let d = Dataset::new(names(&["x"]), vec![f64::NAN], vec![5.0]).unwrap();
+        assert!(matches!(
+            d.validate_finite(),
+            Err(DatasetError::NonFinite { row: 0, col: 0 })
+        ));
+        let d = Dataset::new(names(&["x"]), vec![1.0], vec![f64::INFINITY]).unwrap();
+        assert!(d.validate_finite().is_err());
+    }
+
+    #[test]
+    fn concat_requires_same_schema() {
+        let a = Dataset::new(names(&["x"]), vec![1.0], vec![1.0]).unwrap();
+        let b = Dataset::new(names(&["y"]), vec![2.0], vec![2.0]).unwrap();
+        assert!(a.concat(&b).is_err());
+        let c = Dataset::new(names(&["x"]), vec![2.0], vec![2.0]).unwrap();
+        let joined = a.concat(&c).unwrap();
+        assert_eq!(joined.len(), 2);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let d = Dataset::empty(names(&["i", "j", "k"]));
+        assert_eq!(d.column("j"), Some(1));
+        assert_eq!(d.column("zz"), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Dataset::new(names(&["x"]), vec![1.0, 2.0], vec![3.0, 4.0]).unwrap();
+        let s = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&s).unwrap();
+        assert_eq!(d, back);
+    }
+}

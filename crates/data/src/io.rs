@@ -1,0 +1,194 @@
+//! CSV and JSON persistence for [`Dataset`]s and experiment results.
+//!
+//! The CSV dialect is deliberately minimal (no quoting — all values are
+//! numeric; the header carries the schema) because the only producers and
+//! consumers are inside this workspace and external plotting scripts.
+
+use crate::dataset::{Dataset, DatasetError};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Error type for dataset I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// Malformed CSV content.
+    Parse(String),
+    /// Structural problem building the dataset.
+    Dataset(DatasetError),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse(m) => write!(f, "csv parse error: {m}"),
+            IoError::Dataset(e) => write!(f, "dataset error: {e}"),
+            IoError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<DatasetError> for IoError {
+    fn from(e: DatasetError) -> Self {
+        IoError::Dataset(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+/// Serialize a dataset as CSV. The last column is the response, named
+/// `response`.
+pub fn to_csv_string(d: &Dataset) -> String {
+    let mut s = String::new();
+    for name in d.feature_names() {
+        s.push_str(name);
+        s.push(',');
+    }
+    s.push_str("response\n");
+    for (row, y) in d.iter() {
+        for v in row {
+            let _ = write!(s, "{v},");
+        }
+        let _ = writeln!(s, "{y}");
+    }
+    s
+}
+
+/// Parse a dataset from the CSV dialect written by [`to_csv_string`].
+pub fn from_csv_string(s: &str) -> Result<Dataset, IoError> {
+    let mut lines = s.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| IoError::Parse("empty csv".to_string()))?;
+    let mut cols: Vec<String> = header.split(',').map(|c| c.trim().to_string()).collect();
+    let last = cols
+        .pop()
+        .ok_or_else(|| IoError::Parse("header has no columns".to_string()))?;
+    if last != "response" {
+        return Err(IoError::Parse(format!(
+            "last column must be `response`, got `{last}`"
+        )));
+    }
+    let n_features = cols.len();
+    let mut features = Vec::new();
+    let mut response = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != n_features + 1 {
+            return Err(IoError::Parse(format!(
+                "line {}: expected {} fields, got {}",
+                lineno + 2,
+                n_features + 1,
+                parts.len()
+            )));
+        }
+        for p in &parts[..n_features] {
+            features.push(p.trim().parse::<f64>().map_err(|e| {
+                IoError::Parse(format!("line {}: bad number `{p}`: {e}", lineno + 2))
+            })?);
+        }
+        let y = parts[n_features];
+        response.push(
+            y.trim()
+                .parse::<f64>()
+                .map_err(|e| IoError::Parse(format!("line {}: bad number `{y}`: {e}", lineno + 2)))?,
+        );
+    }
+    Ok(Dataset::new(cols, features, response)?)
+}
+
+/// Write a dataset to a CSV file.
+pub fn write_csv<P: AsRef<Path>>(d: &Dataset, path: P) -> Result<(), IoError> {
+    fs::write(path, to_csv_string(d))?;
+    Ok(())
+}
+
+/// Read a dataset from a CSV file.
+pub fn read_csv<P: AsRef<Path>>(path: P) -> Result<Dataset, IoError> {
+    from_csv_string(&fs::read_to_string(path)?)
+}
+
+/// Write any serializable value (datasets, fitted models, experiment
+/// summaries) as pretty JSON.
+pub fn write_json<T: serde::Serialize, P: AsRef<Path>>(value: &T, path: P) -> Result<(), IoError> {
+    fs::write(path, serde_json::to_string_pretty(value)?)?;
+    Ok(())
+}
+
+/// Read a JSON value written by [`write_json`].
+pub fn read_json<T: serde::de::DeserializeOwned, P: AsRef<Path>>(path: P) -> Result<T, IoError> {
+    Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::new(
+            vec!["i".to_string(), "j".to_string()],
+            vec![1.0, 2.0, 3.0, 4.5],
+            vec![0.5, 0.25],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let d = sample();
+        let s = to_csv_string(&d);
+        let back = from_csv_string(&s).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn csv_header_checked() {
+        assert!(from_csv_string("a,b\n1,2\n").is_err());
+        assert!(from_csv_string("").is_err());
+    }
+
+    #[test]
+    fn csv_field_count_checked() {
+        let s = "a,response\n1,2\n1,2,3\n";
+        let err = from_csv_string(s).unwrap_err();
+        assert!(matches!(err, IoError::Parse(_)));
+    }
+
+    #[test]
+    fn csv_bad_number() {
+        let s = "a,response\nxyz,2\n";
+        assert!(from_csv_string(s).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("lam_data_io_test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("d.csv");
+        let d = sample();
+        write_csv(&d, &p).unwrap();
+        assert_eq!(read_csv(&p).unwrap(), d);
+        let pj = dir.join("d.json");
+        write_json(&d, &pj).unwrap();
+        let back: Dataset = read_json(&pj).unwrap();
+        assert_eq!(back, d);
+    }
+}

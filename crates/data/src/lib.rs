@@ -1,0 +1,20 @@
+//! # lam-data
+//!
+//! Dataset substrate for the `lam` workspace: a dense row-major feature
+//! matrix with named columns and a response vector, parameter-space
+//! enumeration helpers that mirror the configuration grids of the paper
+//! (*Learning with Analytical Models*, Ibeid et al., 2019), and CSV/JSON
+//! persistence.
+//!
+//! The crate deliberately has no machine-learning logic; it is the layer
+//! both the applications (which *generate* data) and the models (which
+//! *consume* data) depend on.
+
+pub mod dataset;
+pub mod io;
+pub mod space;
+pub mod stats;
+
+pub use dataset::{Dataset, DatasetError};
+pub use space::{ParamRange, ParamSpace};
+pub use stats::Summary;

@@ -1,0 +1,215 @@
+//! Parameter-space enumeration.
+//!
+//! The paper's datasets are cartesian grids over tuning parameters, e.g.
+//! `I×J×K = 1×16×16 … 1×128×128` with a 16-point stride, crossed with block
+//! sizes `bi×bj×bk = 1×1×1 … I×J×K`. [`ParamSpace`] enumerates such grids,
+//! with support for dependent ranges (block sizes bounded by the grid size).
+
+use serde::{Deserialize, Serialize};
+
+/// An inclusive arithmetic range `start, start+step, …, ≤ end`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParamRange {
+    /// First value.
+    pub start: u64,
+    /// Inclusive upper bound.
+    pub end: u64,
+    /// Stride between consecutive values (must be ≥ 1).
+    pub step: u64,
+}
+
+impl ParamRange {
+    /// Construct a range; panics on a zero step or inverted bounds.
+    pub fn new(start: u64, end: u64, step: u64) -> Self {
+        assert!(step >= 1, "step must be >= 1");
+        assert!(start <= end, "start must be <= end");
+        Self { start, end, step }
+    }
+
+    /// A range holding a single value.
+    pub fn single(v: u64) -> Self {
+        Self {
+            start: v,
+            end: v,
+            step: 1,
+        }
+    }
+
+    /// Values of the range in order.
+    pub fn values(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut v = self.start;
+        while v <= self.end {
+            out.push(v);
+            match v.checked_add(self.step) {
+                Some(next) => v = next,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        ((self.end - self.start) / self.step + 1) as usize
+    }
+
+    /// `true` when the range is empty (cannot happen via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.start > self.end
+    }
+}
+
+/// A named cartesian product of [`ParamRange`]s with optional dependent
+/// dimensions computed per point.
+#[derive(Debug, Clone, Default)]
+pub struct ParamSpace {
+    names: Vec<String>,
+    ranges: Vec<ParamRange>,
+}
+
+impl ParamSpace {
+    /// Empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an independent dimension.
+    pub fn dim(mut self, name: &str, range: ParamRange) -> Self {
+        self.names.push(name.to_string());
+        self.ranges.push(range);
+        self
+    }
+
+    /// Dimension names in declaration order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Total number of points in the cartesian product.
+    pub fn len(&self) -> usize {
+        self.ranges.iter().map(|r| r.len()).product()
+    }
+
+    /// `true` if no dimensions were declared.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Enumerate all points (each point is one value per dimension).
+    pub fn points(&self) -> Vec<Vec<u64>> {
+        if self.ranges.is_empty() {
+            return Vec::new();
+        }
+        let value_lists: Vec<Vec<u64>> = self.ranges.iter().map(|r| r.values()).collect();
+        let total: usize = value_lists.iter().map(|v| v.len()).product();
+        let mut out = Vec::with_capacity(total);
+        let mut idx = vec![0usize; value_lists.len()];
+        loop {
+            out.push(
+                idx.iter()
+                    .zip(&value_lists)
+                    .map(|(&i, vals)| vals[i])
+                    .collect::<Vec<u64>>(),
+            );
+            // odometer increment
+            let mut d = value_lists.len();
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < value_lists[d].len() {
+                    break;
+                }
+                idx[d] = 0;
+                if d == 0 {
+                    return out;
+                }
+            }
+        }
+    }
+
+    /// Enumerate points and keep only those satisfying `pred`.
+    pub fn filtered_points<F: Fn(&[u64]) -> bool>(&self, pred: F) -> Vec<Vec<u64>> {
+        self.points().into_iter().filter(|p| pred(p)).collect()
+    }
+}
+
+/// Enumerate the divisor-style block sizes the paper uses: all values of a
+/// base range that do not exceed `limit`, i.e. `1, …` up to the dimension
+/// size. The paper sweeps `bi×bj×bk = 1×1×1 … I×J×K`; to keep the space
+/// finite it samples block edges from a geometric ladder.
+pub fn block_ladder(limit: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut v = 1u64;
+    while v < limit {
+        out.push(v);
+        v *= 2;
+    }
+    out.push(limit);
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_values_and_len() {
+        let r = ParamRange::new(16, 128, 16);
+        let vals = r.values();
+        assert_eq!(vals.len(), 8);
+        assert_eq!(vals[0], 16);
+        assert_eq!(*vals.last().unwrap(), 128);
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn range_single() {
+        assert_eq!(ParamRange::single(5).values(), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "step")]
+    fn range_zero_step_panics() {
+        ParamRange::new(0, 1, 0);
+    }
+
+    #[test]
+    fn space_cartesian_product() {
+        let s = ParamSpace::new()
+            .dim("a", ParamRange::new(1, 2, 1))
+            .dim("b", ParamRange::new(10, 30, 10));
+        assert_eq!(s.len(), 6);
+        let pts = s.points();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], vec![1, 10]);
+        assert_eq!(pts[5], vec![2, 30]);
+    }
+
+    #[test]
+    fn space_filter() {
+        let s = ParamSpace::new()
+            .dim("a", ParamRange::new(1, 4, 1))
+            .dim("b", ParamRange::new(1, 4, 1));
+        let pts = s.filtered_points(|p| p[1] <= p[0]);
+        assert_eq!(pts.len(), 10); // triangular number
+    }
+
+    #[test]
+    fn empty_space() {
+        let s = ParamSpace::new();
+        assert!(s.is_empty());
+        assert!(s.points().is_empty());
+    }
+
+    #[test]
+    fn ladder_covers_limit() {
+        assert_eq!(block_ladder(16), vec![1, 2, 4, 8, 16]);
+        assert_eq!(block_ladder(48), vec![1, 2, 4, 8, 16, 32, 48]);
+        assert_eq!(block_ladder(1), vec![1]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Summary statistics used across the workspace (experiment reporting,
+//! tree split quality, noise calibration).
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute a summary; returns `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+        Some(Self {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            q1: percentile_sorted(&sorted, 0.25),
+            median: percentile_sorted(&sorted, 0.5),
+            q3: percentile_sorted(&sorted, 0.75),
+            max: sorted[n - 1],
+        })
+    }
+}
+
+/// Linear-interpolated percentile of an already sorted slice, `p` in `[0,1]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 1.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Mean of a slice (0 for empty, which is convenient for accumulators).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population variance of a slice (0 for fewer than 2 values).
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Weighted sum-of-squared-deviations helper used by tree splitters:
+/// computes `sum((y - mean)^2)` in a single pass via the identity
+/// `sum(y^2) - n*mean^2` with compensation against catastrophic cancellation.
+pub fn sum_sq_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_single() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.q1, 7.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert!((percentile_sorted(&v, 0.5) - 5.0).abs() < 1e-12);
+        assert_eq!(percentile_sorted(&v, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&v, 1.0), 10.0);
+    }
+
+    #[test]
+    fn variance_and_ssd() {
+        let v = [1.0, 3.0];
+        assert!((variance(&v) - 1.0).abs() < 1e-12);
+        assert!((sum_sq_dev(&v) - 2.0).abs() < 1e-12);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the dataset substrate.
+
+use lam_data::dataset::Dataset;
+use lam_data::io::{from_csv_string, to_csv_string};
+use lam_data::space::{block_ladder, ParamRange, ParamSpace};
+use lam_data::stats::{percentile_sorted, Summary};
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (1usize..40, 1usize..4).prop_flat_map(|(rows, cols)| {
+        (
+            proptest::collection::vec(-1e6f64..1e6, rows * cols),
+            proptest::collection::vec(-1e6f64..1e6, rows),
+            Just(cols),
+        )
+            .prop_map(|(features, response, cols)| {
+                let names = (0..cols).map(|c| format!("f{c}")).collect();
+                Dataset::new(names, features, response).unwrap()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSV round-trips exactly (Rust float Display is shortest-exact).
+    #[test]
+    fn csv_round_trip(d in dataset_strategy()) {
+        let back = from_csv_string(&to_csv_string(&d)).unwrap();
+        prop_assert_eq!(back, d);
+    }
+
+    /// JSON round-trips exactly.
+    #[test]
+    fn json_round_trip(d in dataset_strategy()) {
+        let s = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&s).unwrap();
+        prop_assert_eq!(back, d);
+    }
+
+    /// Selection preserves rows and order.
+    #[test]
+    fn select_preserves(d in dataset_strategy(), seed in 0usize..100) {
+        let idx: Vec<usize> = (0..d.len()).filter(|i| (i + seed) % 3 != 0).collect();
+        prop_assume!(!idx.is_empty());
+        let s = d.select(&idx).unwrap();
+        prop_assert_eq!(s.len(), idx.len());
+        for (pos, &orig) in idx.iter().enumerate() {
+            prop_assert_eq!(s.row(pos), d.row(orig));
+            prop_assert_eq!(s.response()[pos], d.response()[orig]);
+        }
+    }
+
+    /// Partition is a disjoint cover.
+    #[test]
+    fn partition_covers(d in dataset_strategy(), stride in 2usize..5) {
+        let idx: Vec<usize> = (0..d.len()).step_by(stride).collect();
+        let (sel, rest) = d.partition(&idx).unwrap();
+        prop_assert_eq!(sel.len() + rest.len(), d.len());
+    }
+
+    /// with_column leaves existing columns untouched.
+    #[test]
+    fn with_column_preserves(d in dataset_strategy()) {
+        let extra: Vec<f64> = (0..d.len()).map(|i| i as f64).collect();
+        let aug = d.with_column("extra", &extra).unwrap();
+        prop_assert_eq!(aug.n_features(), d.n_features() + 1);
+        for i in 0..d.len() {
+            prop_assert_eq!(&aug.row(i)[..d.n_features()], d.row(i));
+            prop_assert_eq!(aug.row(i)[d.n_features()], i as f64);
+        }
+    }
+
+    /// Range values are sorted, within bounds, and match the length
+    /// formula.
+    #[test]
+    fn range_invariants(start in 0u64..1000, len in 0u64..50, step in 1u64..40) {
+        let end = start + len * step;
+        let r = ParamRange::new(start, end, step);
+        let vals = r.values();
+        prop_assert_eq!(vals.len(), r.len());
+        prop_assert_eq!(vals[0], start);
+        prop_assert!(*vals.last().unwrap() <= end);
+        prop_assert!(vals.windows(2).all(|w| w[1] == w[0] + step));
+    }
+
+    /// The cartesian product has the product cardinality and every point
+    /// respects its per-dimension range.
+    #[test]
+    fn space_cardinality(a_len in 1u64..6, b_len in 1u64..6) {
+        let s = ParamSpace::new()
+            .dim("a", ParamRange::new(0, a_len - 1, 1))
+            .dim("b", ParamRange::new(10, 10 + (b_len - 1) * 5, 5));
+        let pts = s.points();
+        prop_assert_eq!(pts.len(), (a_len * b_len) as usize);
+        prop_assert_eq!(pts.len(), s.len());
+        for p in &pts {
+            prop_assert!(p[0] < a_len);
+            prop_assert!(p[1] >= 10 && (p[1] - 10) % 5 == 0);
+        }
+    }
+
+    /// Block ladders are sorted, start at 1, end at the limit, dedup'd.
+    #[test]
+    fn ladder_invariants(limit in 1u64..5000) {
+        let l = block_ladder(limit);
+        prop_assert_eq!(l[0], 1);
+        prop_assert_eq!(*l.last().unwrap(), limit);
+        prop_assert!(l.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Summary quartiles are ordered and bounded by min/max.
+    #[test]
+    fn summary_ordering(values in proptest::collection::vec(-1e9f64..1e9, 1..100)) {
+        let s = Summary::of(&values).unwrap();
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std >= 0.0);
+    }
+
+    /// Percentiles are monotone in p.
+    #[test]
+    fn percentile_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..50), p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        let mut sorted = values;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        prop_assert!(percentile_sorted(&sorted, lo) <= percentile_sorted(&sorted, hi) + 1e-9);
+    }
+}

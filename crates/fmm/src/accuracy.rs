@@ -1,0 +1,113 @@
+//! Direct N-body reference and error norms for FMM validation.
+
+use crate::particle::Particle;
+use rayon::prelude::*;
+
+/// O(N²) direct potential at every particle (self-interaction excluded).
+pub fn direct_potentials(particles: &[Particle]) -> Vec<f64> {
+    particles
+        .par_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut acc = 0.0;
+            for (j, s) in particles.iter().enumerate() {
+                if i != j {
+                    acc += s.charge / t.dist2(s).sqrt();
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Relative L2 error `‖a − b‖₂ / ‖b‖₂`.
+pub fn relative_l2_error(approx: &[f64], exact: &[f64]) -> f64 {
+    assert_eq!(approx.len(), exact.len(), "length mismatch");
+    if exact.is_empty() {
+        return 0.0;
+    }
+    let num: f64 = approx
+        .iter()
+        .zip(exact)
+        .map(|(a, e)| (a - e) * (a - e))
+        .sum();
+    let den: f64 = exact.iter().map(|e| e * e).sum();
+    if den == 0.0 {
+        return if num == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (num / den).sqrt()
+}
+
+/// Maximum relative pointwise error (with an absolute floor to avoid
+/// dividing by tiny potentials).
+pub fn max_relative_error(approx: &[f64], exact: &[f64]) -> f64 {
+    assert_eq!(approx.len(), exact.len(), "length mismatch");
+    approx
+        .iter()
+        .zip(exact)
+        .map(|(a, e)| (a - e).abs() / e.abs().max(1e-12))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particle::random_cube;
+
+    #[test]
+    fn direct_is_symmetric_for_two_unit_charges() {
+        let ps = vec![
+            Particle {
+                pos: [0.0, 0.0, 0.0],
+                charge: 1.0,
+            },
+            Particle {
+                pos: [1.0, 0.0, 0.0],
+                charge: 1.0,
+            },
+        ];
+        let phi = direct_potentials(&ps);
+        assert_eq!(phi[0], 1.0);
+        assert_eq!(phi[1], 1.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let ps = random_cube(200, 1);
+        let par = direct_potentials(&ps);
+        // sequential reference
+        let mut seq = vec![0.0; ps.len()];
+        for (i, t) in ps.iter().enumerate() {
+            for (j, s) in ps.iter().enumerate() {
+                if i != j {
+                    seq[i] += s.charge / t.dist2(s).sqrt();
+                }
+            }
+        }
+        for (a, b) in par.iter().zip(&seq) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn l2_error_basics() {
+        assert_eq!(relative_l2_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        let e = relative_l2_error(&[1.1, 2.0], &[1.0, 2.0]);
+        assert!((e - 0.1 / 5.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(relative_l2_error(&[], &[]), 0.0);
+        assert_eq!(relative_l2_error(&[0.0], &[0.0]), 0.0);
+        assert_eq!(relative_l2_error(&[1.0], &[0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn max_relative_error_finds_worst() {
+        let e = max_relative_error(&[1.0, 2.2], &[1.0, 2.0]);
+        assert!((e - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        relative_l2_error(&[1.0], &[1.0, 2.0]);
+    }
+}

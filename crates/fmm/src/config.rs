@@ -1,0 +1,233 @@
+//! FMM configurations and the paper's dataset space
+//! `X = (t, N, q, k)`: threads `t = 1…16`, particles
+//! `N ∈ {4096, 8192, 16384}`, particles per leaf `q`, expansion order
+//! `k = 2…12`.
+
+use lam_data::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// One FMM run configuration (the paper's modeling vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FmmConfig {
+    /// Worker threads (`t`).
+    pub t: usize,
+    /// Total particles (`N`).
+    pub n: usize,
+    /// Particles per leaf cell (`q`).
+    pub q: usize,
+    /// Expansion order (`k`).
+    pub k: usize,
+}
+
+impl FmmConfig {
+    /// Feature names of the modeling vector.
+    pub fn feature_names() -> Vec<String> {
+        vec!["t".into(), "N".into(), "q".into(), "k".into()]
+    }
+
+    /// Feature vector `(t, N, q, k)` as `f64`.
+    pub fn features(&self) -> Vec<f64> {
+        vec![self.t as f64, self.n as f64, self.q as f64, self.k as f64]
+    }
+
+    /// Validity: everything positive, `k ≥ 1`, `q ≤ N`.
+    pub fn is_valid(&self) -> bool {
+        self.t >= 1 && self.n >= 1 && self.q >= 1 && self.k >= 1 && self.q <= self.n
+    }
+
+    /// Expansion terms `k(k+1)(k+2)/6` (Cartesian Taylor).
+    pub fn n_terms(&self) -> usize {
+        self.k * (self.k + 1) * (self.k + 2) / 6
+    }
+
+    /// Leaf level of the (complete) octree this configuration builds.
+    pub fn tree_levels(&self) -> usize {
+        let mut levels = 0usize;
+        while self.n > self.q * (1usize << (3 * levels)) {
+            levels += 1;
+        }
+        levels
+    }
+
+    /// Number of leaf cells.
+    pub fn n_leaves(&self) -> usize {
+        1usize << (3 * self.tree_levels())
+    }
+
+    /// Stable configuration hash for the noise model.
+    pub fn hash64(&self) -> u64 {
+        lam_machine::noise::hash_config(&[
+            self.t as u64,
+            self.n as u64,
+            self.q as u64,
+            self.k as u64,
+        ])
+    }
+}
+
+/// An enumerable FMM configuration space.
+#[derive(Debug, Clone)]
+pub struct FmmSpace {
+    /// Label for reports.
+    pub name: &'static str,
+    configs: Vec<FmmConfig>,
+}
+
+impl FmmSpace {
+    /// All configurations.
+    pub fn configs(&self) -> &[FmmConfig] {
+        &self.configs
+    }
+
+    /// Size of the space.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Build a dataset skeleton (features only) — responses come from the
+    /// oracle or real measurement.
+    pub fn dataset_with<F: Fn(&FmmConfig) -> f64>(&self, response: F) -> Dataset {
+        let mut d = Dataset::empty(FmmConfig::feature_names());
+        for c in &self.configs {
+            d.push(&c.features(), response(c));
+        }
+        d
+    }
+}
+
+/// The paper's FMM space (Fig 3B / Fig 8): `t = 1…16`,
+/// `N ∈ {4096, 8192, 16384}`, `q ∈ {32, 64, 128, 256}`, `k = 2…12`.
+pub fn space_paper() -> FmmSpace {
+    let mut configs = Vec::new();
+    for t in 1..=16usize {
+        for &n in &[4096usize, 8192, 16384] {
+            for &q in &[32usize, 64, 128, 256] {
+                for k in 2..=12usize {
+                    let c = FmmConfig { t, n, q, k };
+                    debug_assert!(c.is_valid());
+                    configs.push(c);
+                }
+            }
+        }
+    }
+    FmmSpace {
+        name: "fmm-tnqk",
+        configs,
+    }
+}
+
+/// A reduced space for quick tests and examples (`t ≤ 4`, `k ≤ 6`,
+/// `N ≤ 8192`).
+pub fn space_small() -> FmmSpace {
+    let mut configs = Vec::new();
+    for t in 1..=4usize {
+        for &n in &[4096usize, 8192] {
+            for &q in &[32usize, 64, 128] {
+                for k in 2..=6usize {
+                    configs.push(FmmConfig { t, n, q, k });
+                }
+            }
+        }
+    }
+    FmmSpace {
+        name: "fmm-small",
+        configs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_size() {
+        let s = space_paper();
+        assert_eq!(s.len(), 16 * 3 * 4 * 11);
+        assert!(s.configs().iter().all(|c| c.is_valid()));
+    }
+
+    #[test]
+    fn features_round_trip() {
+        let c = FmmConfig {
+            t: 4,
+            n: 8192,
+            q: 64,
+            k: 6,
+        };
+        assert_eq!(c.features(), vec![4.0, 8192.0, 64.0, 6.0]);
+        assert_eq!(FmmConfig::feature_names().len(), 4);
+    }
+
+    #[test]
+    fn terms_formula() {
+        let c = FmmConfig {
+            t: 1,
+            n: 1,
+            q: 1,
+            k: 4,
+        };
+        assert_eq!(c.n_terms(), 20);
+    }
+
+    #[test]
+    fn tree_levels_consistent() {
+        let c = FmmConfig {
+            t: 1,
+            n: 4096,
+            q: 64,
+            k: 4,
+        };
+        assert_eq!(c.tree_levels(), 2);
+        assert_eq!(c.n_leaves(), 64);
+        let c = FmmConfig {
+            t: 1,
+            n: 16384,
+            q: 32,
+            k: 4,
+        };
+        assert_eq!(c.tree_levels(), 3);
+    }
+
+    #[test]
+    fn invalid_configs_detected() {
+        assert!(!FmmConfig {
+            t: 0,
+            n: 10,
+            q: 1,
+            k: 2
+        }
+        .is_valid());
+        assert!(!FmmConfig {
+            t: 1,
+            n: 10,
+            q: 20,
+            k: 2
+        }
+        .is_valid());
+    }
+
+    #[test]
+    fn dataset_with_response() {
+        let s = space_small();
+        let d = s.dataset_with(|c| (c.n * c.k) as f64);
+        assert_eq!(d.len(), s.len());
+        assert_eq!(d.response()[0], (s.configs()[0].n * s.configs()[0].k) as f64);
+    }
+
+    #[test]
+    fn hash_distinguishes() {
+        let a = FmmConfig {
+            t: 1,
+            n: 4096,
+            q: 64,
+            k: 4,
+        };
+        let b = FmmConfig { k: 5, ..a };
+        assert_ne!(a.hash64(), b.hash64());
+    }
+}

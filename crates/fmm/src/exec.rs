@@ -1,0 +1,280 @@
+//! The FMM driver: upward pass (P2M, M2M), horizontal pass (M2L), downward
+//! pass (L2L, L2P) and near-field P2P, parallelized over cells with a
+//! Rayon pool sized by the configuration's thread count.
+
+use crate::config::FmmConfig;
+use crate::kernels::{self, KernelCtx};
+use crate::lists;
+use crate::octree::{CellId, Octree};
+use crate::particle::Particle;
+use rayon::prelude::*;
+
+/// A configured FMM solver.
+#[derive(Debug, Clone)]
+pub struct Fmm {
+    ctx: KernelCtx,
+    /// Particles per leaf target used for tree construction.
+    pub q: usize,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Fmm {
+    /// Build a solver for expansion order `k`, leaf population `q`, and
+    /// `threads` workers.
+    pub fn new(k: usize, q: usize, threads: usize) -> Self {
+        assert!(k >= 1, "expansion order must be >= 1");
+        assert!(q >= 1, "leaf population must be >= 1");
+        Self {
+            ctx: KernelCtx::new(k),
+            q,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Build from a configuration vector.
+    pub fn from_config(cfg: &FmmConfig) -> Self {
+        Self::new(cfg.k, cfg.q, cfg.t)
+    }
+
+    /// Compute the potential at every particle (sources = targets, the
+    /// paper's setting). Returns potentials in the *input* particle order.
+    pub fn potentials(&self, particles: &[Particle]) -> Vec<f64> {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .expect("rayon pool");
+        pool.install(|| self.potentials_inner(particles))
+    }
+
+    fn potentials_inner(&self, particles: &[Particle]) -> Vec<f64> {
+        let n = particles.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let tree = Octree::build(particles, self.q);
+        let levels = tree.levels;
+        let n_terms = self.ctx.n_terms();
+
+        // Degenerate shallow trees (< 2 levels) have no well-separated
+        // cells: everything is near field.
+        if levels < 2 {
+            let mut phi = vec![0.0; n];
+            kernels::p2p(particles, particles, &mut phi);
+            return phi;
+        }
+
+        // --- Upward: P2M at leaves.
+        let n_leaves = tree.n_leaves();
+        let mut multipoles: Vec<Vec<f64>> = (0..=levels)
+            .map(|l| vec![0.0; Octree::n_cells(l) * n_terms])
+            .collect();
+        {
+            let leaf_m: Vec<Vec<f64>> = (0..n_leaves)
+                .into_par_iter()
+                .map(|m| {
+                    let cell = CellId {
+                        level: levels,
+                        index: m,
+                    };
+                    let mut mom = vec![0.0; n_terms];
+                    kernels::p2m(&self.ctx, tree.leaf_particles(m), cell.center(), &mut mom);
+                    mom
+                })
+                .collect();
+            let lvl = &mut multipoles[levels];
+            for (m, mom) in leaf_m.into_iter().enumerate() {
+                lvl[m * n_terms..(m + 1) * n_terms].copy_from_slice(&mom);
+            }
+        }
+
+        // --- Upward: M2M to coarser levels.
+        for level in (1..=levels).rev() {
+            let (coarse, fine) = {
+                let (a, b) = multipoles.split_at_mut(level);
+                (&mut a[level - 1], &b[0])
+            };
+            let parent_cells = Octree::n_cells(level - 1);
+            let updates: Vec<Vec<f64>> = (0..parent_cells)
+                .into_par_iter()
+                .map(|pi| {
+                    let parent = CellId {
+                        level: level - 1,
+                        index: pi,
+                    };
+                    let mut acc = vec![0.0; n_terms];
+                    for child in parent.children() {
+                        let cm = &fine[child.index * n_terms..(child.index + 1) * n_terms];
+                        kernels::m2m(&self.ctx, cm, child.center(), parent.center(), &mut acc);
+                    }
+                    acc
+                })
+                .collect();
+            for (pi, acc) in updates.into_iter().enumerate() {
+                coarse[pi * n_terms..(pi + 1) * n_terms].copy_from_slice(&acc);
+            }
+        }
+
+        // --- Horizontal + downward: locals per level.
+        let mut locals: Vec<Vec<f64>> = (0..=levels)
+            .map(|l| vec![0.0; Octree::n_cells(l) * n_terms])
+            .collect();
+        for level in 2..=levels {
+            let source_m = &multipoles[level];
+            let parent_locals = if level > 2 {
+                Some(locals[level - 1].clone())
+            } else {
+                None
+            };
+            let updated: Vec<Vec<f64>> = (0..Octree::n_cells(level))
+                .into_par_iter()
+                .map(|ci| {
+                    let cell = CellId { level, index: ci };
+                    let center = cell.center();
+                    let mut local = vec![0.0; n_terms];
+                    // M2L from the well-separated list.
+                    for src in lists::well_separated(cell) {
+                        let mom = &source_m[src.index * n_terms..(src.index + 1) * n_terms];
+                        kernels::m2l(&self.ctx, mom, src.center(), center, &mut local);
+                    }
+                    // L2L from the parent.
+                    if let Some(pl) = &parent_locals {
+                        let parent = cell.parent();
+                        let p = &pl[parent.index * n_terms..(parent.index + 1) * n_terms];
+                        kernels::l2l(&self.ctx, p, parent.center(), center, &mut local);
+                    }
+                    local
+                })
+                .collect();
+            let lvl = &mut locals[level];
+            for (ci, local) in updated.into_iter().enumerate() {
+                lvl[ci * n_terms..(ci + 1) * n_terms].copy_from_slice(&local);
+            }
+        }
+
+        // --- Leaves: L2P + near-field P2P, producing potentials in tree
+        // (Morton-sorted) particle order.
+        let leaf_locals = &locals[levels];
+        let leaf_phis: Vec<Vec<f64>> = (0..n_leaves)
+            .into_par_iter()
+            .map(|m| {
+                let cell = CellId {
+                    level: levels,
+                    index: m,
+                };
+                let targets = tree.leaf_particles(m);
+                let mut phi = vec![0.0; targets.len()];
+                let local = &leaf_locals[m * n_terms..(m + 1) * n_terms];
+                kernels::l2p(&self.ctx, local, cell.center(), targets, &mut phi);
+                for nb in lists::neighbors(cell) {
+                    kernels::p2p(targets, tree.leaf_particles(nb.index), &mut phi);
+                }
+                phi
+            })
+            .collect();
+        let mut sorted_phi = Vec::with_capacity(n);
+        for phi in leaf_phis {
+            sorted_phi.extend(phi);
+        }
+
+        // Map back to input order: reconstruct the permutation by rebuilding
+        // leaf assignment on the original order.
+        unsort(&tree, particles, &sorted_phi)
+    }
+
+    /// Expansion order.
+    pub fn order(&self) -> usize {
+        self.ctx.order
+    }
+}
+
+/// Map potentials computed in tree order back to the original particle
+/// order (the counting sort in `Octree::build` is stable, so re-running the
+/// count reproduces the permutation).
+fn unsort(tree: &Octree, original: &[Particle], sorted_phi: &[f64]) -> Vec<f64> {
+    let side = 1usize << tree.levels;
+    let leaf_of = |p: &Particle| -> usize {
+        let gx = ((p.pos[0] * side as f64) as usize).min(side - 1);
+        let gy = ((p.pos[1] * side as f64) as usize).min(side - 1);
+        let gz = ((p.pos[2] * side as f64) as usize).min(side - 1);
+        crate::octree::morton_encode([gx, gy, gz])
+    };
+    let mut cursor: Vec<usize> = tree.leaf_offsets[..tree.n_leaves()].to_vec();
+    let mut out = vec![0.0; original.len()];
+    for (i, p) in original.iter().enumerate() {
+        let m = leaf_of(p);
+        out[i] = sorted_phi[cursor[m]];
+        cursor[m] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::{direct_potentials, relative_l2_error};
+    use crate::particle::random_cube;
+
+    #[test]
+    fn fmm_matches_direct_small() {
+        let ps = random_cube(512, 42);
+        let fmm = Fmm::new(6, 16, 1);
+        let phi = fmm.potentials(&ps);
+        let exact = direct_potentials(&ps);
+        let err = relative_l2_error(&phi, &exact);
+        assert!(err < 1e-3, "relative L2 error {err}");
+    }
+
+    #[test]
+    fn accuracy_improves_with_order() {
+        let ps = random_cube(512, 7);
+        let exact = direct_potentials(&ps);
+        let err_lo = relative_l2_error(&Fmm::new(2, 16, 1).potentials(&ps), &exact);
+        let err_hi = relative_l2_error(&Fmm::new(7, 16, 1).potentials(&ps), &exact);
+        assert!(
+            err_hi < err_lo / 10.0,
+            "order 2: {err_lo}, order 7: {err_hi}"
+        );
+    }
+
+    #[test]
+    fn threaded_matches_serial() {
+        let ps = random_cube(512, 3);
+        let serial = Fmm::new(4, 16, 1).potentials(&ps);
+        let threaded = Fmm::new(4, 16, 4).potentials(&ps);
+        for (a, b) in serial.iter().zip(&threaded) {
+            assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn shallow_tree_falls_back_to_direct() {
+        let ps = random_cube(32, 5);
+        let fmm = Fmm::new(4, 64, 1); // q=64 > 32 → 0 levels
+        let phi = fmm.potentials(&ps);
+        let exact = direct_potentials(&ps);
+        assert!(relative_l2_error(&phi, &exact) < 1e-14);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(Fmm::new(3, 8, 1).potentials(&[]).is_empty());
+    }
+
+    #[test]
+    fn output_order_matches_input_order() {
+        let ps = random_cube(256, 13);
+        let fmm = Fmm::new(6, 8, 1);
+        let phi = fmm.potentials(&ps);
+        let exact = direct_potentials(&ps);
+        // Check a few individual particles (not just the norm) to catch
+        // permutation bugs. Scale by the typical potential magnitude, not
+        // the pointwise one — random ±charges make some potentials nearly
+        // cancel, which would make a pointwise relative error meaningless.
+        let scale = exact.iter().map(|e| e.abs()).sum::<f64>() / exact.len() as f64;
+        for i in [0usize, 17, 100, 255] {
+            let rel = (phi[i] - exact[i]).abs() / scale;
+            assert!(rel < 1e-2, "particle {i}: {} vs {}", phi[i], exact[i]);
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! The six FMM kernels for the 3-D Laplace potential with Cartesian Taylor
+//! expansions.
+//!
+//! Conventions (see [`crate::expansion`] for the derivative recurrence):
+//!
+//! * multipole moments: `M_a = Σ_i q_i (x_i − c)^a`, `|a| < k`;
+//! * a multipole at `c` evaluates as `φ(y) = Σ_a M_a T_a(c − y)`;
+//! * local coefficients: `φ(y) = Σ_b L_b (y − c_l)^b`, `|b| < k`.
+
+use crate::expansion::{factorials, multi_binomial, taylor_tensor, MultiIndexSet};
+use crate::particle::Particle;
+
+/// Precomputed context shared by all expansion kernels of one FMM run.
+#[derive(Debug, Clone)]
+pub struct KernelCtx {
+    /// Expansion order `k`.
+    pub order: usize,
+    /// Multi-indices of the expansions (`|a| < k`).
+    pub set: MultiIndexSet,
+    /// Extended set for M2L tensors (`|a| < 2k − 1`).
+    pub set2: MultiIndexSet,
+    /// Factorial table up to `2k`.
+    pub fact: Vec<f64>,
+    /// For every `(b, a)` pair of expansion indices: the position of `a+b`
+    /// in `set2` and the binomial `C(a+b, b)` with alternating sign
+    /// `(−1)^|b|` folded in. Flattened `b`-major.
+    m2l_table: Vec<(u32, f64)>,
+}
+
+impl KernelCtx {
+    /// Build the context for expansion order `k ≥ 1`.
+    pub fn new(order: usize) -> Self {
+        let set = MultiIndexSet::new(order);
+        let set2 = MultiIndexSet::new(2 * order - 1);
+        let fact = factorials(2 * order);
+        let n = set.len();
+        let mut m2l_table = Vec::with_capacity(n * n);
+        for b in set.indices() {
+            let sign = if (b[0] + b[1] + b[2]) % 2 == 1 { -1.0 } else { 1.0 };
+            for a in set.indices() {
+                let ab = [a[0] + b[0], a[1] + b[1], a[2] + b[2]];
+                let pos = set2
+                    .position(ab[0] as usize, ab[1] as usize, ab[2] as usize)
+                    .expect("a+b within extended set");
+                let coef = sign * multi_binomial(&fact, ab, *b);
+                m2l_table.push((pos as u32, coef));
+            }
+        }
+        Self {
+            order,
+            set,
+            set2,
+            fact,
+            m2l_table,
+        }
+    }
+
+    /// Terms per expansion.
+    pub fn n_terms(&self) -> usize {
+        self.set.len()
+    }
+}
+
+/// P2P: direct pairwise interaction. Adds the potential induced by
+/// `sources` to `potentials[i]` for each target. Skips the self-interaction
+/// when source and target slices alias (detected by identical positions).
+pub fn p2p(targets: &[Particle], sources: &[Particle], potentials: &mut [f64]) {
+    debug_assert_eq!(targets.len(), potentials.len());
+    for (t, phi) in targets.iter().zip(potentials.iter_mut()) {
+        let mut acc = 0.0;
+        for s in sources {
+            let d2 = t.dist2(s);
+            if d2 > 0.0 {
+                acc += s.charge / d2.sqrt();
+            }
+        }
+        *phi += acc;
+    }
+}
+
+/// P2M: accumulate the multipole moments of `sources` about `center`.
+pub fn p2m(ctx: &KernelCtx, sources: &[Particle], center: [f64; 3], moments: &mut [f64]) {
+    debug_assert_eq!(moments.len(), ctx.n_terms());
+    for s in sources {
+        let dx = [
+            s.pos[0] - center[0],
+            s.pos[1] - center[1],
+            s.pos[2] - center[2],
+        ];
+        let pw = ctx.set.powers(dx);
+        for (m, p) in moments.iter_mut().zip(&pw) {
+            *m += s.charge * p;
+        }
+    }
+}
+
+/// M2M: translate child moments about `child_center` into parent moments
+/// about `parent_center` (accumulating).
+pub fn m2m(
+    ctx: &KernelCtx,
+    child: &[f64],
+    child_center: [f64; 3],
+    parent_center: [f64; 3],
+    parent: &mut [f64],
+) {
+    let shift = [
+        child_center[0] - parent_center[0],
+        child_center[1] - parent_center[1],
+        child_center[2] - parent_center[2],
+    ];
+    let pw = ctx.set.powers(shift);
+    // M'_a = Σ_{b ≤ a} C(a, b) shift^{a−b} M_b
+    for (ia, a) in ctx.set.indices().iter().enumerate() {
+        let mut acc = 0.0;
+        for (ib, b) in ctx.set.indices().iter().enumerate() {
+            if b[0] <= a[0] && b[1] <= a[1] && b[2] <= a[2] {
+                let diff = [a[0] - b[0], a[1] - b[1], a[2] - b[2]];
+                let idiff = ctx
+                    .set
+                    .position(diff[0] as usize, diff[1] as usize, diff[2] as usize)
+                    .expect("difference within set");
+                acc += multi_binomial(&ctx.fact, *a, *b) * pw[idiff] * child[ib];
+            }
+        }
+        parent[ia] += acc;
+    }
+}
+
+/// M2L: convert a source multipole about `source_center` into local
+/// coefficients about `target_center` (accumulating). The two cells must be
+/// well separated.
+pub fn m2l(
+    ctx: &KernelCtx,
+    moments: &[f64],
+    source_center: [f64; 3],
+    target_center: [f64; 3],
+    local: &mut [f64],
+) {
+    let r = [
+        source_center[0] - target_center[0],
+        source_center[1] - target_center[1],
+        source_center[2] - target_center[2],
+    ];
+    let t = taylor_tensor(&ctx.set2, r);
+    let n = ctx.n_terms();
+    // L_b = (−1)^|b| Σ_a M_a C(a+b, b) T_{a+b}(R)
+    for (ib, l) in local.iter_mut().enumerate().take(n) {
+        let row = &ctx.m2l_table[ib * n..(ib + 1) * n];
+        let mut acc = 0.0;
+        for (ia, &(pos, coef)) in row.iter().enumerate() {
+            acc += moments[ia] * coef * t[pos as usize];
+        }
+        *l += acc;
+    }
+}
+
+/// L2L: translate parent local coefficients about `parent_center` to a
+/// child expansion about `child_center` (accumulating).
+pub fn l2l(
+    ctx: &KernelCtx,
+    parent: &[f64],
+    parent_center: [f64; 3],
+    child_center: [f64; 3],
+    child: &mut [f64],
+) {
+    let shift = [
+        child_center[0] - parent_center[0],
+        child_center[1] - parent_center[1],
+        child_center[2] - parent_center[2],
+    ];
+    let pw = ctx.set.powers(shift);
+    // L'_c = Σ_{b ≥ c} C(b, c) L_b shift^{b−c}
+    for (ic, c) in ctx.set.indices().iter().enumerate() {
+        let mut acc = 0.0;
+        for (ib, b) in ctx.set.indices().iter().enumerate() {
+            if c[0] <= b[0] && c[1] <= b[1] && c[2] <= b[2] {
+                let diff = [b[0] - c[0], b[1] - c[1], b[2] - c[2]];
+                let idiff = ctx
+                    .set
+                    .position(diff[0] as usize, diff[1] as usize, diff[2] as usize)
+                    .expect("difference within set");
+                acc += multi_binomial(&ctx.fact, *b, *c) * pw[idiff] * parent[ib];
+            }
+        }
+        child[ic] += acc;
+    }
+}
+
+/// L2P: evaluate a local expansion at each target, adding to `potentials`.
+pub fn l2p(
+    ctx: &KernelCtx,
+    local: &[f64],
+    center: [f64; 3],
+    targets: &[Particle],
+    potentials: &mut [f64],
+) {
+    debug_assert_eq!(targets.len(), potentials.len());
+    for (t, phi) in targets.iter().zip(potentials.iter_mut()) {
+        let dx = [
+            t.pos[0] - center[0],
+            t.pos[1] - center[1],
+            t.pos[2] - center[2],
+        ];
+        let pw = ctx.set.powers(dx);
+        *phi += local.iter().zip(&pw).map(|(l, p)| l * p).sum::<f64>();
+    }
+}
+
+/// M2P: evaluate a multipole directly at a target (used in tests to verify
+/// P2M/M2M independently of the local-expansion path).
+pub fn m2p(ctx: &KernelCtx, moments: &[f64], center: [f64; 3], target: [f64; 3]) -> f64 {
+    let r = [
+        center[0] - target[0],
+        center[1] - target[1],
+        center[2] - target[2],
+    ];
+    let t = taylor_tensor(&ctx.set, r);
+    moments.iter().zip(&t).map(|(m, tt)| m * tt).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particle::random_cube;
+
+    fn direct_potential(target: [f64; 3], sources: &[Particle]) -> f64 {
+        sources
+            .iter()
+            .map(|s| {
+                let dx = target[0] - s.pos[0];
+                let dy = target[1] - s.pos[1];
+                let dz = target[2] - s.pos[2];
+                s.charge / (dx * dx + dy * dy + dz * dz).sqrt()
+            })
+            .sum()
+    }
+
+    /// Sources in a small box at origin-corner, target far away.
+    fn cluster_and_far_target() -> (Vec<Particle>, [f64; 3]) {
+        let mut sources = random_cube(40, 11);
+        for s in &mut sources {
+            for d in 0..3 {
+                s.pos[d] *= 0.1; // shrink into [0, 0.1)³
+            }
+        }
+        (sources, [0.9, 0.85, 0.95])
+    }
+
+    #[test]
+    fn p2m_m2p_converges_with_order() {
+        let (sources, target) = cluster_and_far_target();
+        let exact = direct_potential(target, &sources);
+        let center = [0.05, 0.05, 0.05];
+        let mut prev_err = f64::INFINITY;
+        for k in [2usize, 4, 6, 8] {
+            let ctx = KernelCtx::new(k);
+            let mut m = vec![0.0; ctx.n_terms()];
+            p2m(&ctx, &sources, center, &mut m);
+            let approx = m2p(&ctx, &m, center, target);
+            let err = (approx - exact).abs() / exact.abs();
+            assert!(err < prev_err * 1.2, "order {k}: err {err} prev {prev_err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-6, "order-8 relative error {prev_err}");
+    }
+
+    #[test]
+    fn m2m_preserves_far_field() {
+        let (sources, target) = cluster_and_far_target();
+        let ctx = KernelCtx::new(6);
+        // Two half-clusters with their own centers.
+        let (lo, hi): (Vec<Particle>, Vec<Particle>) =
+            sources.iter().partition(|s| s.pos[0] < 0.05);
+        let c_lo = [0.025, 0.05, 0.05];
+        let c_hi = [0.075, 0.05, 0.05];
+        let parent_c = [0.05, 0.05, 0.05];
+        let mut m_lo = vec![0.0; ctx.n_terms()];
+        let mut m_hi = vec![0.0; ctx.n_terms()];
+        p2m(&ctx, &lo, c_lo, &mut m_lo);
+        p2m(&ctx, &hi, c_hi, &mut m_hi);
+        let mut parent = vec![0.0; ctx.n_terms()];
+        m2m(&ctx, &m_lo, c_lo, parent_c, &mut parent);
+        m2m(&ctx, &m_hi, c_hi, parent_c, &mut parent);
+        // Compare against a direct P2M to the parent center.
+        let mut direct_m = vec![0.0; ctx.n_terms()];
+        p2m(&ctx, &sources, parent_c, &mut direct_m);
+        let via_children = m2p(&ctx, &parent, parent_c, target);
+        let via_direct = m2p(&ctx, &direct_m, parent_c, target);
+        assert!(
+            (via_children - via_direct).abs() < 1e-10,
+            "{via_children} vs {via_direct}"
+        );
+    }
+
+    #[test]
+    fn m2l_l2p_approximates_direct() {
+        let (sources, _) = cluster_and_far_target();
+        let source_c = [0.05, 0.05, 0.05];
+        let target_c = [0.85, 0.85, 0.85];
+        // Targets near the local center.
+        let targets: Vec<Particle> = (0..5)
+            .map(|i| Particle {
+                pos: [
+                    0.82 + 0.012 * i as f64,
+                    0.86,
+                    0.84,
+                ],
+                charge: 0.0,
+            })
+            .collect();
+        let ctx = KernelCtx::new(8);
+        let mut m = vec![0.0; ctx.n_terms()];
+        p2m(&ctx, &sources, source_c, &mut m);
+        let mut local = vec![0.0; ctx.n_terms()];
+        m2l(&ctx, &m, source_c, target_c, &mut local);
+        let mut phi = vec![0.0; targets.len()];
+        l2p(&ctx, &local, target_c, &targets, &mut phi);
+        for (t, &p) in targets.iter().zip(&phi) {
+            let exact = direct_potential(t.pos, &sources);
+            let err = (p - exact).abs() / exact.abs();
+            assert!(err < 1e-4, "target {:?}: err {err}", t.pos);
+        }
+    }
+
+    #[test]
+    fn l2l_preserves_evaluation() {
+        let (sources, _) = cluster_and_far_target();
+        let source_c = [0.05, 0.05, 0.05];
+        let parent_c = [0.75, 0.75, 0.75];
+        let child_c = [0.8, 0.7, 0.8];
+        let eval_at = Particle {
+            pos: [0.81, 0.69, 0.79],
+            charge: 0.0,
+        };
+        let ctx = KernelCtx::new(8);
+        let mut m = vec![0.0; ctx.n_terms()];
+        p2m(&ctx, &sources, source_c, &mut m);
+        let mut parent_l = vec![0.0; ctx.n_terms()];
+        m2l(&ctx, &m, source_c, parent_c, &mut parent_l);
+        let mut child_l = vec![0.0; ctx.n_terms()];
+        l2l(&ctx, &parent_l, parent_c, child_c, &mut child_l);
+        let mut via_parent = vec![0.0];
+        l2p(&ctx, &parent_l, parent_c, std::slice::from_ref(&eval_at), &mut via_parent);
+        let mut via_child = vec![0.0];
+        l2p(&ctx, &child_l, child_c, std::slice::from_ref(&eval_at), &mut via_child);
+        // L2L is exact on the truncated polynomial.
+        assert!(
+            (via_parent[0] - via_child[0]).abs() < 1e-10,
+            "{} vs {}",
+            via_parent[0],
+            via_child[0]
+        );
+    }
+
+    #[test]
+    fn p2p_matches_direct_and_skips_self() {
+        let ps = random_cube(20, 4);
+        let mut phi = vec![0.0; ps.len()];
+        p2p(&ps, &ps, &mut phi);
+        for (i, p) in ps.iter().enumerate() {
+            let mut exact = 0.0;
+            for (j, s) in ps.iter().enumerate() {
+                if i != j {
+                    exact += s.charge / p.dist2(s).sqrt();
+                }
+            }
+            assert!((phi[i] - exact).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn p2m_empty_sources_is_zero() {
+        let ctx = KernelCtx::new(4);
+        let mut m = vec![0.0; ctx.n_terms()];
+        p2m(&ctx, &[], [0.5; 3], &mut m);
+        assert!(m.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn monopole_term_is_total_charge() {
+        let ps = random_cube(50, 8);
+        let ctx = KernelCtx::new(3);
+        let mut m = vec![0.0; ctx.n_terms()];
+        p2m(&ctx, &ps, [0.5; 3], &mut m);
+        let total: f64 = ps.iter().map(|p| p.charge).sum();
+        assert!((m[0] - total).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,29 @@
+//! # lam-fmm
+//!
+//! The second application of the paper: a fast multipole method for the 3-D
+//! Laplace kernel with Cartesian Taylor expansions (the expansion family
+//! ExaFMM's Cartesian variant uses), random particles in a cube, and the
+//! modeling vector `X = (t, N, q, k)` — threads, particles, particles per
+//! leaf cell, and expansion order.
+//!
+//! The crate provides a *real, runnable* FMM — octree construction
+//! ([`octree`]), the six kernels P2M / M2M / M2L / L2L / L2P / P2P
+//! ([`kernels`]), interaction lists ([`lists`]), a threaded driver
+//! ([`exec`]), and accuracy validation against the direct sum
+//! ([`accuracy`]) — plus the simulated-execution oracle ([`oracle`]) used
+//! as reproducible ground truth for the paper's figures.
+
+pub mod accuracy;
+pub mod config;
+pub mod exec;
+pub mod expansion;
+pub mod kernels;
+pub mod lists;
+pub mod octree;
+pub mod oracle;
+pub mod particle;
+
+pub use config::{FmmConfig, FmmSpace};
+pub use exec::Fmm;
+pub use oracle::FmmOracle;
+pub use particle::Particle;

@@ -1,0 +1,142 @@
+//! Interaction lists for the complete octree.
+//!
+//! * The **neighbour list** of a cell: cells at the same level within one
+//!   cell of it in Chebyshev distance, including itself (≤ 27; exactly 27
+//!   for interior cells — the paper's `b_P2P = 26` source neighbours plus
+//!   the cell itself).
+//! * The **well-separated (M2L) list**: children of the parent's neighbours
+//!   that are not neighbours of the cell itself (≤ 189 for interior cells —
+//!   the paper's `b_M2L = 189`).
+
+use crate::octree::CellId;
+
+/// Same-level neighbours of `cell` (including `cell` itself).
+pub fn neighbors(cell: CellId) -> Vec<CellId> {
+    let side = 1isize << cell.level;
+    let c = cell.coords();
+    let mut out = Vec::with_capacity(27);
+    for dz in -1..=1isize {
+        for dy in -1..=1isize {
+            for dx in -1..=1isize {
+                let nx = c[0] as isize + dx;
+                let ny = c[1] as isize + dy;
+                let nz = c[2] as isize + dz;
+                if nx < 0 || ny < 0 || nz < 0 || nx >= side || ny >= side || nz >= side {
+                    continue;
+                }
+                out.push(CellId::from_coords(
+                    cell.level,
+                    [nx as usize, ny as usize, nz as usize],
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Source neighbours only (the neighbour list without the cell itself).
+pub fn source_neighbors(cell: CellId) -> Vec<CellId> {
+    neighbors(cell).into_iter().filter(|&n| n != cell).collect()
+}
+
+/// The M2L / well-separated list of `cell`: children of the parent's
+/// neighbours that are not adjacent to `cell`. Empty for levels < 2.
+pub fn well_separated(cell: CellId) -> Vec<CellId> {
+    if cell.level < 2 {
+        return Vec::new();
+    }
+    let c = cell.coords();
+    let mut out = Vec::with_capacity(189);
+    for pn in neighbors(cell.parent()) {
+        for child in pn.children() {
+            let cc = child.coords();
+            // Adjacent (Chebyshev ≤ 1) cells are handled by P2P/neighbour
+            // interactions, not M2L.
+            let adjacent = (0..3).all(|d| {
+                let a = c[d] as isize;
+                let b = cc[d] as isize;
+                (a - b).abs() <= 1
+            });
+            if !adjacent {
+                out.push(child);
+            }
+        }
+    }
+    out
+}
+
+/// `true` when two same-level cells are well separated (their centers are
+/// at least two cell widths apart in some axis).
+pub fn is_well_separated(a: CellId, b: CellId) -> bool {
+    assert_eq!(a.level, b.level, "cells must share a level");
+    let ca = a.coords();
+    let cb = b.coords();
+    (0..3).any(|d| (ca[d] as isize - cb[d] as isize).abs() > 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_cell_has_27_neighbors() {
+        // Level 3 → side 8; cell (3,3,3) is interior.
+        let cell = CellId::from_coords(3, [3, 3, 3]);
+        assert_eq!(neighbors(cell).len(), 27);
+        assert_eq!(source_neighbors(cell).len(), 26);
+    }
+
+    #[test]
+    fn corner_cell_has_8_neighbors() {
+        let cell = CellId::from_coords(2, [0, 0, 0]);
+        assert_eq!(neighbors(cell).len(), 8);
+    }
+
+    #[test]
+    fn interior_m2l_list_is_189() {
+        // Level 3, a cell whose parent is interior at level 2 and which is
+        // interior within the parent's 6³ candidate block: (3,3,3)'s parent
+        // is (1,1,1), interior on the 4-wide level-2 grid.
+        let cell = CellId::from_coords(3, [3, 3, 3]);
+        assert_eq!(well_separated(cell).len(), 189);
+    }
+
+    #[test]
+    fn m2l_list_members_are_well_separated_same_level() {
+        let cell = CellId::from_coords(3, [2, 5, 4]);
+        let ws = well_separated(cell);
+        assert!(!ws.is_empty());
+        for w in &ws {
+            assert_eq!(w.level, cell.level);
+            assert!(is_well_separated(cell, *w));
+        }
+    }
+
+    #[test]
+    fn m2l_and_neighbors_disjoint_cover_parent_neighborhood() {
+        let cell = CellId::from_coords(2, [1, 2, 1]);
+        let ws = well_separated(cell);
+        let nb = neighbors(cell);
+        for w in &ws {
+            assert!(!nb.contains(w));
+        }
+        // Every child of every parent neighbour is either adjacent or in WS.
+        let mut candidates = 0;
+        for pn in neighbors(cell.parent()) {
+            candidates += pn.children().len();
+        }
+        assert_eq!(candidates, ws.len() + nb.len());
+    }
+
+    #[test]
+    fn no_m2l_below_level_2() {
+        assert!(well_separated(CellId::root()).is_empty());
+        assert!(well_separated(CellId::from_coords(1, [1, 0, 1])).is_empty());
+    }
+
+    #[test]
+    fn boundary_cells_have_smaller_lists() {
+        let corner = CellId::from_coords(3, [0, 0, 0]);
+        assert!(well_separated(corner).len() < 189);
+    }
+}

@@ -1,0 +1,288 @@
+//! Complete octree over the unit cube.
+//!
+//! The paper assumes a nearly-uniform particle distribution and therefore a
+//! *full* oct-tree: every cell at the leaf level exists. Cells are indexed
+//! by Morton (Z-order) codes, which makes parent/child/coordinate
+//! conversions pure bit-twiddling and keeps sibling data contiguous.
+
+use crate::particle::Particle;
+
+/// A cell address: refinement level and Morton index within that level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellId {
+    /// Level (0 = root).
+    pub level: usize,
+    /// Morton index in `0 .. 8^level`.
+    pub index: usize,
+}
+
+impl CellId {
+    /// The root cell.
+    pub fn root() -> Self {
+        Self { level: 0, index: 0 }
+    }
+
+    /// Parent cell (panics at the root).
+    pub fn parent(&self) -> CellId {
+        assert!(self.level > 0, "root has no parent");
+        CellId {
+            level: self.level - 1,
+            index: self.index >> 3,
+        }
+    }
+
+    /// The eight children.
+    pub fn children(&self) -> [CellId; 8] {
+        std::array::from_fn(|o| CellId {
+            level: self.level + 1,
+            index: (self.index << 3) | o,
+        })
+    }
+
+    /// Integer grid coordinates within the level (each `< 2^level`).
+    pub fn coords(&self) -> [usize; 3] {
+        morton_decode(self.index)
+    }
+
+    /// Build from grid coordinates.
+    pub fn from_coords(level: usize, c: [usize; 3]) -> Self {
+        debug_assert!(c.iter().all(|&v| v < (1 << level)));
+        Self {
+            level,
+            index: morton_encode(c),
+        }
+    }
+
+    /// Cell center in the unit cube.
+    pub fn center(&self) -> [f64; 3] {
+        let h = self.half_width();
+        let c = self.coords();
+        [
+            (2.0 * c[0] as f64 + 1.0) * h,
+            (2.0 * c[1] as f64 + 1.0) * h,
+            (2.0 * c[2] as f64 + 1.0) * h,
+        ]
+    }
+
+    /// Half the cell edge length.
+    pub fn half_width(&self) -> f64 {
+        0.5 / (1u64 << self.level) as f64
+    }
+}
+
+/// Interleave the low 21 bits of each coordinate (x lowest).
+pub fn morton_encode(c: [usize; 3]) -> usize {
+    fn spread(mut v: u64) -> u64 {
+        v &= 0x1F_FFFF;
+        v = (v | (v << 32)) & 0x0000_1F00_0000_FFFF;
+        v = (v | (v << 16)) & 0x001F_0000_FF00_00FF;
+        v = (v | (v << 8)) & 0x100F_00F0_0F00_F00F;
+        v = (v | (v << 4)) & 0x10C3_0C30_C30C_30C3;
+        v = (v | (v << 2)) & 0x1249_2492_4924_9249;
+        v
+    }
+    (spread(c[0] as u64) | (spread(c[1] as u64) << 1) | (spread(c[2] as u64) << 2)) as usize
+}
+
+/// Inverse of [`morton_encode`].
+pub fn morton_decode(m: usize) -> [usize; 3] {
+    fn compact(mut v: u64) -> u64 {
+        v &= 0x1249_2492_4924_9249;
+        v = (v ^ (v >> 2)) & 0x10C3_0C30_C30C_30C3;
+        v = (v ^ (v >> 4)) & 0x100F_00F0_0F00_F00F;
+        v = (v ^ (v >> 8)) & 0x001F_0000_FF00_00FF;
+        v = (v ^ (v >> 16)) & 0x0000_1F00_0000_FFFF;
+        v = (v ^ (v >> 32)) & 0x1F_FFFF;
+        v
+    }
+    let m = m as u64;
+    [
+        compact(m) as usize,
+        compact(m >> 1) as usize,
+        compact(m >> 2) as usize,
+    ]
+}
+
+/// A complete octree with particles bucketed into Morton-ordered leaves.
+#[derive(Debug, Clone)]
+pub struct Octree {
+    /// Leaf level `L`; leaves are the `8^L` cells at this level.
+    pub levels: usize,
+    /// Particles reordered so each leaf's particles are contiguous.
+    pub particles: Vec<Particle>,
+    /// `leaf_offsets[m] .. leaf_offsets[m+1]` = particle range of leaf with
+    /// Morton index `m`. Length `8^L + 1`.
+    pub leaf_offsets: Vec<usize>,
+}
+
+impl Octree {
+    /// Build a complete octree whose leaf population targets `q` particles
+    /// per leaf: the leaf level is the smallest `L` with `N / 8^L ≤ q`.
+    pub fn build(particles: &[Particle], q: usize) -> Self {
+        assert!(q >= 1, "q must be >= 1");
+        let n = particles.len();
+        let mut levels = 0usize;
+        while n > q * (1usize << (3 * levels)) {
+            levels += 1;
+            assert!(levels <= 20, "tree too deep");
+        }
+        Self::build_with_levels(particles, levels)
+    }
+
+    /// Build with an explicit leaf level.
+    pub fn build_with_levels(particles: &[Particle], levels: usize) -> Self {
+        let n_leaves = 1usize << (3 * levels);
+        let side = 1usize << levels;
+        // Counting sort by leaf Morton index.
+        let leaf_of = |p: &Particle| -> usize {
+            let gx = ((p.pos[0] * side as f64) as usize).min(side - 1);
+            let gy = ((p.pos[1] * side as f64) as usize).min(side - 1);
+            let gz = ((p.pos[2] * side as f64) as usize).min(side - 1);
+            morton_encode([gx, gy, gz])
+        };
+        let mut counts = vec![0usize; n_leaves + 1];
+        for p in particles {
+            counts[leaf_of(p) + 1] += 1;
+        }
+        for m in 0..n_leaves {
+            counts[m + 1] += counts[m];
+        }
+        let leaf_offsets = counts.clone();
+        let mut cursor = counts;
+        let mut sorted = vec![
+            Particle {
+                pos: [0.0; 3],
+                charge: 0.0
+            };
+            particles.len()
+        ];
+        for p in particles {
+            let m = leaf_of(p);
+            sorted[cursor[m]] = *p;
+            cursor[m] += 1;
+        }
+        Self {
+            levels,
+            particles: sorted,
+            leaf_offsets,
+        }
+    }
+
+    /// Number of leaves (`8^L`).
+    pub fn n_leaves(&self) -> usize {
+        1usize << (3 * self.levels)
+    }
+
+    /// Particles of the leaf with Morton index `m`.
+    pub fn leaf_particles(&self, m: usize) -> &[Particle] {
+        &self.particles[self.leaf_offsets[m]..self.leaf_offsets[m + 1]]
+    }
+
+    /// Global index range of a leaf's particles in [`Octree::particles`].
+    pub fn leaf_range(&self, m: usize) -> std::ops::Range<usize> {
+        self.leaf_offsets[m]..self.leaf_offsets[m + 1]
+    }
+
+    /// Number of cells at `level`.
+    pub fn n_cells(level: usize) -> usize {
+        1usize << (3 * level)
+    }
+
+    /// Mean particles per leaf.
+    pub fn mean_leaf_population(&self) -> f64 {
+        self.particles.len() as f64 / self.n_leaves() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particle::random_cube;
+
+    #[test]
+    fn morton_round_trip() {
+        for c in [[0, 0, 0], [1, 2, 3], [7, 7, 7], [100, 50, 25], [1023, 0, 512]] {
+            assert_eq!(morton_decode(morton_encode(c)), c);
+        }
+    }
+
+    #[test]
+    fn morton_locality_of_children() {
+        let parent = CellId {
+            level: 2,
+            index: 5,
+        };
+        for (o, ch) in parent.children().iter().enumerate() {
+            assert_eq!(ch.index, (5 << 3) | o);
+            assert_eq!(ch.parent(), parent);
+        }
+    }
+
+    #[test]
+    fn cell_geometry() {
+        let root = CellId::root();
+        assert_eq!(root.center(), [0.5, 0.5, 0.5]);
+        assert_eq!(root.half_width(), 0.5);
+        let c = CellId::from_coords(1, [1, 0, 1]);
+        assert_eq!(c.center(), [0.75, 0.25, 0.75]);
+        assert_eq!(c.half_width(), 0.25);
+    }
+
+    #[test]
+    fn build_partitions_all_particles() {
+        let ps = random_cube(1000, 3);
+        let tree = Octree::build(&ps, 32);
+        assert_eq!(tree.particles.len(), 1000);
+        let total: usize = (0..tree.n_leaves()).map(|m| tree.leaf_particles(m).len()).sum();
+        assert_eq!(total, 1000);
+        // 1000 / 8^1 = 125 > 32; 1000 / 8^2 = 15.6 ≤ 32 → 2 levels.
+        assert_eq!(tree.levels, 2);
+    }
+
+    #[test]
+    fn particles_land_in_their_leaf() {
+        let ps = random_cube(500, 9);
+        let tree = Octree::build(&ps, 16);
+        let side = 1usize << tree.levels;
+        for m in 0..tree.n_leaves() {
+            let cell = CellId {
+                level: tree.levels,
+                index: m,
+            };
+            let center = cell.center();
+            let h = cell.half_width();
+            for p in tree.leaf_particles(m) {
+                for (pd, cd) in p.pos.iter().zip(&center) {
+                    assert!(
+                        (pd - cd).abs() <= h + 1e-12,
+                        "particle escaped its leaf (side {side})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_leaf_when_few_particles() {
+        let ps = random_cube(10, 0);
+        let tree = Octree::build(&ps, 64);
+        assert_eq!(tree.levels, 0);
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.leaf_particles(0).len(), 10);
+    }
+
+    #[test]
+    fn mean_population_near_q() {
+        let ps = random_cube(4096, 5);
+        let tree = Octree::build(&ps, 64);
+        // 4096/8^2=64 → exactly 2 levels, mean 64.
+        assert_eq!(tree.levels, 2);
+        assert!((tree.mean_leaf_population() - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be")]
+    fn zero_q_panics() {
+        Octree::build(&random_cube(8, 0), 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Simulated-execution oracle for the FMM: reproducible ground-truth
+//! execution times over a [`MachineDescription`].
+//!
+//! Mirrors the structure of the paper's §IV-B analytical models (P2P and
+//! M2L dominate) but adds everything they ignore: the other four kernels,
+//! tree construction, boundary-corrected interaction-list sizes (the
+//! analytical model assumes the interior values 26/189 everywhere),
+//! realistic per-interaction flop counts (`sqrt`/`div` are not one flop),
+//! cache residency of leaf blocks and expansion tables, load imbalance,
+//! per-level synchronization, and measurement noise.
+
+use crate::config::{FmmConfig, FmmSpace};
+use lam_data::Dataset;
+use lam_machine::arch::MachineDescription;
+use lam_machine::contention::ThreadModel;
+use lam_machine::noise::NoiseModel;
+use rayon::prelude::*;
+
+/// Flops charged per particle-pair interaction (3 subs, 3 mults + 2 adds
+/// for `r²`, `rsqrt` ≈ 8, multiply-accumulate ≈ 2).
+pub const FLOPS_PER_PAIR: f64 = 19.0;
+
+/// FMM ground-truth time model.
+#[derive(Debug, Clone)]
+pub struct FmmOracle {
+    machine: MachineDescription,
+    thread_model: ThreadModel,
+    noise: NoiseModel,
+}
+
+impl FmmOracle {
+    /// Oracle on a machine with 4% measurement noise (FMM timings jitter
+    /// more than stencil sweeps: irregular access, allocation).
+    pub fn new(machine: MachineDescription, noise_seed: u64) -> Self {
+        Self {
+            machine,
+            thread_model: ThreadModel {
+                serial_fraction: 0.03,
+                sync_overhead_s: 8e-6,
+                bandwidth_saturation_threads: 6.0,
+            },
+            noise: NoiseModel::new(0.04, noise_seed),
+        }
+    }
+
+    /// Disable noise (model-validation tests).
+    pub fn without_noise(mut self) -> Self {
+        self.noise = NoiseModel::none();
+        self
+    }
+
+    /// The simulated machine.
+    pub fn machine(&self) -> &MachineDescription {
+        &self.machine
+    }
+
+    /// Mean neighbour-list size (including self) at tree side `s`,
+    /// accounting for boundary cells — the paper's model assumes 27.
+    fn avg_neighbors(side: usize) -> f64 {
+        let s = side as f64;
+        ((3.0 * s - 2.0) / s).powi(3)
+    }
+
+    /// Mean well-separated-list size at a level with side `s` (s ≥ 4):
+    /// all children of parent neighbours minus own neighbours.
+    fn avg_well_separated(side: usize) -> f64 {
+        let sp = (side / 2) as f64;
+        let candidates = 8.0 * ((3.0 * sp - 2.0) / sp).powi(3);
+        candidates - Self::avg_neighbors(side)
+    }
+
+    /// Deterministic "measured" execution time in seconds for one
+    /// configuration.
+    pub fn execution_time(&self, cfg: &FmmConfig) -> f64 {
+        assert!(cfg.is_valid(), "invalid FMM configuration {cfg:?}");
+        let m = &self.machine;
+        let n = cfg.n as f64;
+        let levels = cfg.tree_levels();
+        let terms = cfg.n_terms() as f64;
+        let tc = m.time_per_flop();
+
+        if levels < 2 {
+            // Degenerate: all-pairs.
+            let flops = n * n * FLOPS_PER_PAIR;
+            let t = flops * tc + n * 32.0 * 1e-9; // token traffic
+            return self.noise.apply(t, cfg.hash64());
+        }
+
+        let leaves = cfg.n_leaves() as f64;
+        let q_eff = n / leaves;
+        let side = 1usize << levels;
+
+        // --- P2P: leaves × avg-neighbour × q_eff² pair interactions.
+        // The inner loop vectorizes well; charge 85% flop efficiency.
+        let pairs = leaves * Self::avg_neighbors(side) * q_eff * q_eff;
+        let flops_p2p = pairs * FLOPS_PER_PAIR / 0.85;
+        // Memory: per target leaf, gather 4 streams (x,y,z,w) of each
+        // neighbour's particles. Residency: the 27-leaf working set.
+        let leaf_bytes = q_eff * 4.0 * m.element_bytes as f64;
+        let working_set = 27.0 * leaf_bytes;
+        let elems_p2p = leaves * Self::avg_neighbors(side) * q_eff * 4.0;
+        let beta_p2p = self.effective_beta(working_set, 0.7);
+        let t_p2p = (flops_p2p * tc).max(elems_p2p * beta_p2p);
+
+        // --- M2L: cells at levels 2..=L, boundary-corrected list sizes.
+        let mut t_m2l = 0.0;
+        let mut m2l_pairs_total = 0.0;
+        for level in 2..=levels {
+            let s = 1usize << level;
+            let cells = (s * s * s) as f64;
+            let list = Self::avg_well_separated(s);
+            m2l_pairs_total += cells * list;
+        }
+        {
+            // Per pair: ExaFMM's own operation count for the Cartesian
+            // M2L is k⁶ per cell pair (the paper's 189·k⁶ per target cell),
+            // plus the derivative-tensor build (~10 flops per entry of the
+            // extended multi-index set). The translation kernel is an
+            // irregular triple loop that runs far from peak — charge 45%
+            // flop efficiency.
+            let terms2 = {
+                let k2 = 2 * cfg.k - 1;
+                (k2 * (k2 + 1) * (k2 + 2) / 6) as f64
+            };
+            let k6 = (cfg.k as f64).powi(6);
+            let flops_m2l = m2l_pairs_total * (k6 + 10.0 * terms2) / 0.45;
+            // Memory: read source multipole (terms elements) per pair; the
+            // per-level multipole table is `cells × terms` elements.
+            let elems_m2l = m2l_pairs_total * terms;
+            let table_bytes = leaves * terms * m.element_bytes as f64;
+            let beta_m2l = self.effective_beta(table_bytes, 0.85);
+            t_m2l += (flops_m2l * tc).max(elems_m2l * beta_m2l);
+        }
+
+        // --- P2M + L2P: N × terms each, ~6 flops per term (power ladder +
+        // multiply-accumulate).
+        let flops_pl = 2.0 * n * terms * 6.0;
+        let t_pl = flops_pl * tc;
+
+        // --- M2M + L2L: interior cells × terms² translations, 4 flops each
+        // (binomial × power × moment, accumulate), both passes.
+        let total_cells: f64 = (1..=levels).map(|l| (1u64 << (3 * l)) as f64).sum();
+        let flops_mmll = 2.0 * total_cells * terms * terms * 4.0;
+        let t_mmll = flops_mmll * tc;
+
+        // --- Tree construction: counting sort + Morton, ~(40 + 12·L)
+        // cycles per particle.
+        let t_tree = n * (40.0 + 12.0 * levels as f64) * m.cycle_seconds();
+
+        let serial = t_p2p + t_m2l + t_pl + t_mmll + t_tree;
+
+        // Memory-bound share of the whole run (drives thread scaling).
+        let mem_share = {
+            let mem_fraction_p2p = 0.35; // gathers under compute
+            let mem_fraction_m2l = 0.45;
+            ((t_p2p * mem_fraction_p2p + t_m2l * mem_fraction_m2l) / serial).clamp(0.05, 0.9)
+        };
+
+        // --- Threads: scale, then add load imbalance (few leaves per
+        // worker → idle tails) and per-level barriers.
+        let t_threads = cfg.t;
+        let mut t_par = self
+            .thread_model
+            .scale_time(serial, t_threads, mem_share, m);
+        if t_threads > 1 {
+            let slabs = leaves / t_threads as f64;
+            let imbalance = 1.0 + 0.35 / slabs.max(1.0).sqrt();
+            t_par *= imbalance;
+            t_par += levels as f64 * 2.0 * self.thread_model.sync_overhead_s;
+        }
+
+        self.noise.apply(t_par, cfg.hash64())
+    }
+
+    /// Effective seconds-per-element for a working set of `bytes`,
+    /// interpolating between cache and memory bandwidth; `locality` scales
+    /// the cache-hit share (1.0 = perfectly streamed).
+    fn effective_beta(&self, bytes: f64, locality: f64) -> f64 {
+        let m = &self.machine;
+        let mut beta = m.beta_mem();
+        // Walk levels from largest to smallest; if the working set fits,
+        // traffic is mostly served there.
+        for (i, level) in m.caches.iter().enumerate().rev() {
+            if bytes <= 0.75 * level.size_bytes as f64 {
+                beta = m.beta_cache(i) * locality + m.beta_mem() * (1.0 - locality);
+            }
+        }
+        beta
+    }
+
+    /// Generate the paper's dataset: features `(t, N, q, k)`, response =
+    /// oracle seconds. Deterministic; rows in space order.
+    pub fn generate_dataset(&self, space: &FmmSpace) -> Dataset {
+        let rows: Vec<f64> = space
+            .configs()
+            .par_iter()
+            .map(|c| self.execution_time(c))
+            .collect();
+        let mut d = Dataset::empty(FmmConfig::feature_names());
+        for (c, y) in space.configs().iter().zip(rows) {
+            d.push(&c.features(), y);
+        }
+        d
+    }
+}
+
+/// Convenience wrapper mirroring `lam_stencil::oracle::generate_dataset`.
+pub fn generate_dataset(
+    space: &FmmSpace,
+    machine: &MachineDescription,
+    noise_seed: u64,
+) -> Dataset {
+    FmmOracle::new(machine.clone(), noise_seed).generate_dataset(space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{space_paper, space_small};
+
+    fn oracle() -> FmmOracle {
+        FmmOracle::new(MachineDescription::blue_waters_xe6(), 11)
+    }
+
+    fn cfg(t: usize, n: usize, q: usize, k: usize) -> FmmConfig {
+        FmmConfig { t, n, q, k }
+    }
+
+    #[test]
+    fn deterministic_and_positive() {
+        let o = oracle();
+        let c = cfg(4, 8192, 64, 6);
+        let t = o.execution_time(&c);
+        assert!(t > 0.0);
+        assert_eq!(t, o.execution_time(&c));
+    }
+
+    #[test]
+    fn higher_order_costs_more() {
+        let o = oracle().without_noise();
+        let t_lo = o.execution_time(&cfg(1, 8192, 64, 3));
+        let t_hi = o.execution_time(&cfg(1, 8192, 64, 12));
+        assert!(t_hi > t_lo * 10.0, "k=3: {t_lo}, k=12: {t_hi}");
+    }
+
+    #[test]
+    fn more_particles_cost_more() {
+        let o = oracle().without_noise();
+        let t_small = o.execution_time(&cfg(1, 4096, 64, 6));
+        let t_large = o.execution_time(&cfg(1, 16384, 64, 6));
+        assert!(t_large > t_small * 2.0);
+    }
+
+    #[test]
+    fn q_trades_p2p_against_m2l() {
+        // Small q → more leaves → M2L dominates for large k;
+        // large q → P2P dominates for small k.
+        let o = oracle().without_noise();
+        let t_small_q = o.execution_time(&cfg(1, 16384, 32, 12));
+        let t_large_q = o.execution_time(&cfg(1, 16384, 256, 12));
+        // With k=12 the expansion work dwarfs P2P, so fewer cells wins.
+        assert!(t_large_q < t_small_q, "large q {t_large_q} small q {t_small_q}");
+        let t_small_q2 = o.execution_time(&cfg(1, 16384, 32, 2));
+        let t_large_q2 = o.execution_time(&cfg(1, 16384, 256, 2));
+        // With k=2 the P2P quadratic term wins instead.
+        assert!(t_small_q2 < t_large_q2, "small q {t_small_q2} large q {t_large_q2}");
+    }
+
+    #[test]
+    fn threads_help_but_sublinearly() {
+        let o = oracle().without_noise();
+        let t1 = o.execution_time(&cfg(1, 16384, 64, 8));
+        let t8 = o.execution_time(&cfg(8, 16384, 64, 8));
+        assert!(t8 < t1 / 2.0, "t1 {t1} t8 {t8}");
+        assert!(t8 > t1 / 8.0, "superlinear: t1 {t1} t8 {t8}");
+    }
+
+    #[test]
+    fn degenerate_tree_uses_direct_sum() {
+        let o = oracle().without_noise();
+        let c = cfg(1, 64, 64, 4); // q = N → 0 levels
+        let t = o.execution_time(&c);
+        let expect = 64.0 * 64.0 * FLOPS_PER_PAIR * o.machine().time_per_flop();
+        assert!((t - expect).abs() / expect < 0.5, "t {t} expect {expect}");
+    }
+
+    #[test]
+    fn response_spans_orders_of_magnitude() {
+        let o = oracle();
+        let d = o.generate_dataset(&space_paper());
+        let min = d.response().iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = d.response().iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max / min > 100.0,
+            "dynamic range too small: {min} .. {max}"
+        );
+        d.validate_finite().unwrap();
+    }
+
+    #[test]
+    fn dataset_matches_space() {
+        let o = oracle();
+        let s = space_small();
+        let d = o.generate_dataset(&s);
+        assert_eq!(d.len(), s.len());
+        assert_eq!(d.n_features(), 4);
+        assert_eq!(o.generate_dataset(&s), d);
+    }
+
+    #[test]
+    fn boundary_corrected_lists_below_interior_values() {
+        assert!(FmmOracle::avg_neighbors(4) < 27.0);
+        assert!(FmmOracle::avg_well_separated(4) < 189.0);
+        // Large trees approach the interior values.
+        assert!(FmmOracle::avg_neighbors(64) > 25.0);
+        assert!(FmmOracle::avg_well_separated(64) > 160.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FMM configuration")]
+    fn invalid_config_panics() {
+        oracle().execution_time(&cfg(0, 10, 1, 2));
+    }
+}

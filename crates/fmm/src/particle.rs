@@ -1,0 +1,83 @@
+//! Particles and the paper's source distribution (uniform random in a
+//! cube).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A point source/target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Particle {
+    /// Position in the unit cube `[0, 1)³`.
+    pub pos: [f64; 3],
+    /// Charge / mass / weight `w_i`.
+    pub charge: f64,
+}
+
+impl Particle {
+    /// Squared distance to another particle.
+    #[inline]
+    pub fn dist2(&self, other: &Particle) -> f64 {
+        let dx = self.pos[0] - other.pos[0];
+        let dy = self.pos[1] - other.pos[1];
+        let dz = self.pos[2] - other.pos[2];
+        dx * dx + dy * dy + dz * dz
+    }
+}
+
+/// Generate `n` particles uniformly random in the unit cube with charges in
+/// `[-1, 1)` (seeded, reproducible).
+pub fn random_cube(n: usize, seed: u64) -> Vec<Particle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Particle {
+            pos: [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()],
+            charge: rng.random::<f64>() * 2.0 - 1.0,
+        })
+        .collect()
+}
+
+/// Generate `n` particles with unit positive charge (useful in tests where
+/// cancellation would hide errors).
+pub fn random_cube_unit_charge(n: usize, seed: u64) -> Vec<Particle> {
+    let mut ps = random_cube(n, seed);
+    for p in &mut ps {
+        p.charge = 1.0 / n as f64;
+    }
+    ps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible() {
+        assert_eq!(random_cube(100, 5), random_cube(100, 5));
+        assert_ne!(random_cube(100, 5), random_cube(100, 6));
+    }
+
+    #[test]
+    fn inside_unit_cube() {
+        for p in random_cube(1000, 1) {
+            for d in 0..3 {
+                assert!((0.0..1.0).contains(&p.pos[d]));
+            }
+            assert!((-1.0..1.0).contains(&p.charge));
+        }
+    }
+
+    #[test]
+    fn dist2_symmetric() {
+        let ps = random_cube(10, 2);
+        assert_eq!(ps[0].dist2(&ps[1]), ps[1].dist2(&ps[0]));
+        assert_eq!(ps[3].dist2(&ps[3]), 0.0);
+    }
+
+    #[test]
+    fn unit_charges_sum_to_one() {
+        let ps = random_cube_unit_charge(64, 3);
+        let total: f64 = ps.iter().map(|p| p.charge).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

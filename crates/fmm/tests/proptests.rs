@@ -1,0 +1,132 @@
+//! Property-based tests for the FMM substrate: octree invariants,
+//! expansion algebra, interaction-list geometry, and end-to-end accuracy.
+
+use lam_fmm::config::FmmConfig;
+use lam_fmm::expansion::{taylor_tensor, MultiIndexSet};
+use lam_fmm::kernels::{self, KernelCtx};
+use lam_fmm::lists;
+use lam_fmm::octree::{morton_decode, morton_encode, CellId, Octree};
+use lam_fmm::oracle::FmmOracle;
+use lam_fmm::particle::{random_cube, Particle};
+use lam_machine::arch::MachineDescription;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Morton encode/decode are inverse bijections on the cube grid.
+    #[test]
+    fn morton_bijection(x in 0usize..1024, y in 0usize..1024, z in 0usize..1024) {
+        prop_assert_eq!(morton_decode(morton_encode([x, y, z])), [x, y, z]);
+    }
+
+    /// Octree construction partitions the particle set: counts conserve
+    /// and every particle lands in the cell containing its position.
+    #[test]
+    fn octree_partition_invariant(n in 1usize..600, q in 1usize..128, seed in 0u64..50) {
+        let ps = random_cube(n, seed);
+        let tree = Octree::build(&ps, q);
+        let total: usize = (0..tree.n_leaves()).map(|m| tree.leaf_particles(m).len()).sum();
+        prop_assert_eq!(total, n);
+        // Population target: N / 8^L ≤ q.
+        prop_assert!(n <= q * tree.n_leaves());
+        for m in 0..tree.n_leaves() {
+            let cell = CellId { level: tree.levels, index: m };
+            let c = cell.center();
+            let h = cell.half_width() + 1e-12;
+            for p in tree.leaf_particles(m) {
+                for (pd, cd) in p.pos.iter().zip(&c) {
+                    prop_assert!((pd - cd).abs() <= h);
+                }
+            }
+        }
+    }
+
+    /// Neighbour lists are symmetric: `a ∈ N(b)` ⇔ `b ∈ N(a)`.
+    #[test]
+    fn neighbor_symmetry(level in 1usize..4, ix in 0usize..8, iy in 0usize..8, iz in 0usize..8) {
+        let side = 1usize << level;
+        prop_assume!(ix < side && iy < side && iz < side);
+        let a = CellId::from_coords(level, [ix, iy, iz]);
+        for b in lists::neighbors(a) {
+            prop_assert!(lists::neighbors(b).contains(&a));
+        }
+    }
+
+    /// Well-separated lists never include adjacent cells, and sizes are
+    /// bounded by the interior maximum of 189.
+    #[test]
+    fn well_separated_bounds(level in 2usize..4, ix in 0usize..8, iy in 0usize..8, iz in 0usize..8) {
+        let side = 1usize << level;
+        prop_assume!(ix < side && iy < side && iz < side);
+        let cell = CellId::from_coords(level, [ix, iy, iz]);
+        let ws = lists::well_separated(cell);
+        prop_assert!(ws.len() <= 189);
+        for w in &ws {
+            prop_assert!(lists::is_well_separated(cell, *w));
+        }
+    }
+
+    /// The derivative tensor is invariant under coordinate reflection with
+    /// matching multi-index parity: T_a(-r) = (-1)^|a| T_a(r).
+    #[test]
+    fn tensor_reflection_parity(x in 0.2f64..2.0, y in -2.0f64..2.0, z in -2.0f64..2.0) {
+        let set = MultiIndexSet::new(5);
+        let t_pos = taylor_tensor(&set, [x, y, z]);
+        let t_neg = taylor_tensor(&set, [-x, -y, -z]);
+        for (i, a) in set.indices().iter().enumerate() {
+            let parity = if (a[0] + a[1] + a[2]) % 2 == 1 { -1.0 } else { 1.0 };
+            prop_assert!((t_pos[i] - parity * t_neg[i]).abs() < 1e-10 * (1.0 + t_pos[i].abs()));
+        }
+    }
+
+    /// P2M moments are linear in charges.
+    #[test]
+    fn p2m_linear_in_charge(seed in 0u64..100, scale in 0.1f64..10.0) {
+        let ctx = KernelCtx::new(4);
+        let ps = random_cube(20, seed);
+        let scaled: Vec<Particle> = ps.iter().map(|p| Particle { charge: p.charge * scale, ..*p }).collect();
+        let mut m1 = vec![0.0; ctx.n_terms()];
+        let mut m2 = vec![0.0; ctx.n_terms()];
+        kernels::p2m(&ctx, &ps, [0.5; 3], &mut m1);
+        kernels::p2m(&ctx, &scaled, [0.5; 3], &mut m2);
+        for (a, b) in m1.iter().zip(&m2) {
+            prop_assert!((a * scale - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    /// The oracle behaves like a time: positive, finite, deterministic.
+    #[test]
+    fn fmm_oracle_well_behaved(t in 1usize..=16, n in 1000usize..20000, qi in 0usize..4, k in 2usize..=12) {
+        let q = [32usize, 64, 128, 256][qi];
+        prop_assume!(q <= n);
+        let oracle = FmmOracle::new(MachineDescription::blue_waters_xe6(), 9);
+        let cfg = FmmConfig { t, n, q, k };
+        let time = oracle.execution_time(&cfg);
+        prop_assert!(time.is_finite() && time > 0.0);
+        prop_assert_eq!(time, oracle.execution_time(&cfg));
+    }
+
+    /// Noise-free oracle is monotone in the expansion order.
+    #[test]
+    fn fmm_oracle_monotone_in_k(n in 4000usize..20000, qi in 0usize..4, k in 2usize..12) {
+        let q = [32usize, 64, 128, 256][qi];
+        prop_assume!(q <= n);
+        let oracle = FmmOracle::new(MachineDescription::blue_waters_xe6(), 9).without_noise();
+        let lo = oracle.execution_time(&FmmConfig { t: 1, n, q, k });
+        let hi = oracle.execution_time(&FmmConfig { t: 1, n, q, k: k + 1 });
+        prop_assert!(hi >= lo);
+    }
+}
+
+/// End-to-end FMM accuracy on random inputs (not a proptest: expensive).
+#[test]
+fn fmm_accuracy_random_configs() {
+    use lam_fmm::accuracy::{direct_potentials, relative_l2_error};
+    use lam_fmm::exec::Fmm;
+    for (n, q, k, seed) in [(256usize, 8usize, 5usize, 1u64), (512, 16, 6, 2), (700, 10, 6, 3)] {
+        let ps = random_cube(n, seed);
+        let err = relative_l2_error(&Fmm::new(k, q, 1).potentials(&ps), &direct_potentials(&ps));
+        assert!(err < 5e-3, "N={n} q={q} k={k}: err {err}");
+    }
+}

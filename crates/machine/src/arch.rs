@@ -1,0 +1,307 @@
+//! Machine descriptions: clock, core topology, cache hierarchy, and memory
+//! system, with the Blue Waters XE6 node preset used throughout the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// One level of the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheLevel {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Cache-line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity (ways). `0` denotes fully associative.
+    pub associativity: u32,
+    /// Load-to-use latency in core cycles.
+    pub latency_cycles: f64,
+    /// Sustained bandwidth from this level to the core, bytes/cycle.
+    pub bandwidth_bytes_per_cycle: f64,
+    /// `true` when the level is shared by all cores of a socket (e.g. L3).
+    pub shared: bool,
+}
+
+impl CacheLevel {
+    /// Number of cache lines.
+    pub fn n_lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Number of sets for the configured associativity.
+    pub fn n_sets(&self) -> u64 {
+        let ways = if self.associativity == 0 {
+            self.n_lines() as u32
+        } else {
+            self.associativity
+        };
+        (self.n_lines() / ways as u64).max(1)
+    }
+
+    /// Elements of `element_bytes` each that fit in the cache.
+    pub fn capacity_elements(&self, element_bytes: u64) -> u64 {
+        self.size_bytes / element_bytes
+    }
+
+    /// Elements per cache line (the paper's `W`).
+    pub fn elements_per_line(&self, element_bytes: u64) -> u64 {
+        (self.line_bytes / element_bytes).max(1)
+    }
+}
+
+/// A single-node machine description.
+///
+/// All times derived from it are in **seconds**; bandwidths in bytes/second.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineDescription {
+    /// Human-readable name.
+    pub name: String,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Physical cores per socket (Bulldozer counts one core per
+    /// integer-cluster; two clusters share one FPU module).
+    pub cores_per_socket: usize,
+    /// Sockets per node.
+    pub sockets: usize,
+    /// Peak double-precision flops per core per cycle.
+    pub flops_per_cycle: f64,
+    /// Cache hierarchy ordered L1 → Ln (last level closest to memory).
+    pub caches: Vec<CacheLevel>,
+    /// Sustained main-memory bandwidth per socket, GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Main-memory access latency in nanoseconds.
+    pub mem_latency_ns: f64,
+    /// Size of one data element in bytes (f64 → 8).
+    pub element_bytes: u64,
+    /// Fraction of two "cores" sharing an FPU module (Interlagos: each pair
+    /// of integer cores shares one floating-point unit). `1.0` means fully
+    /// independent FPUs.
+    pub fpu_sharing: f64,
+}
+
+impl MachineDescription {
+    /// The Blue Waters XE6 compute node of the paper: dual-socket AMD
+    /// Interlagos model 6276, 2.3 GHz, 16 KB L1D / 2 MB L2 / 8 MB shared L3
+    /// per socket.
+    pub fn blue_waters_xe6() -> Self {
+        Self {
+            name: "Blue Waters XE6 (2x AMD Interlagos 6276)".to_string(),
+            clock_ghz: 2.3,
+            cores_per_socket: 8,
+            sockets: 2,
+            // One 4-wide FMA-capable FPU shared per module; 4 flops/cycle is
+            // a realistic sustained figure per Bulldozer core pair.
+            flops_per_cycle: 4.0,
+            caches: vec![
+                CacheLevel {
+                    size_bytes: 16 * 1024,
+                    line_bytes: 64,
+                    associativity: 4,
+                    latency_cycles: 4.0,
+                    bandwidth_bytes_per_cycle: 64.0,
+                    shared: false,
+                },
+                CacheLevel {
+                    size_bytes: 2 * 1024 * 1024,
+                    line_bytes: 64,
+                    associativity: 16,
+                    latency_cycles: 21.0,
+                    bandwidth_bytes_per_cycle: 16.0,
+                    shared: false,
+                },
+                CacheLevel {
+                    size_bytes: 8 * 1024 * 1024,
+                    line_bytes: 64,
+                    associativity: 64,
+                    latency_cycles: 87.0,
+                    bandwidth_bytes_per_cycle: 12.0,
+                    shared: true,
+                },
+            ],
+            mem_bandwidth_gbs: 25.6, // half of the node's ~51.2 GB/s per socket
+            mem_latency_ns: 95.0,
+            element_bytes: 8,
+            fpu_sharing: 0.5,
+        }
+    }
+
+    /// A generic small laptop-class machine (used by tests and the
+    /// hardware-change example: a target the models were *not* built for).
+    pub fn laptop_x86() -> Self {
+        Self {
+            name: "Generic laptop x86-64".to_string(),
+            clock_ghz: 3.2,
+            cores_per_socket: 4,
+            sockets: 1,
+            flops_per_cycle: 16.0,
+            caches: vec![
+                CacheLevel {
+                    size_bytes: 32 * 1024,
+                    line_bytes: 64,
+                    associativity: 8,
+                    latency_cycles: 4.0,
+                    bandwidth_bytes_per_cycle: 64.0,
+                    shared: false,
+                },
+                CacheLevel {
+                    size_bytes: 512 * 1024,
+                    line_bytes: 64,
+                    associativity: 8,
+                    latency_cycles: 14.0,
+                    bandwidth_bytes_per_cycle: 32.0,
+                    shared: false,
+                },
+                CacheLevel {
+                    size_bytes: 8 * 1024 * 1024,
+                    line_bytes: 64,
+                    associativity: 16,
+                    latency_cycles: 50.0,
+                    bandwidth_bytes_per_cycle: 16.0,
+                    shared: true,
+                },
+            ],
+            mem_bandwidth_gbs: 40.0,
+            mem_latency_ns: 80.0,
+            element_bytes: 8,
+            fpu_sharing: 1.0,
+        }
+    }
+
+    /// Clock period in seconds.
+    #[inline]
+    pub fn cycle_seconds(&self) -> f64 {
+        1e-9 / self.clock_ghz
+    }
+
+    /// Time per double-precision flop on one core, seconds (the paper's
+    /// `t_c`).
+    #[inline]
+    pub fn time_per_flop(&self) -> f64 {
+        self.cycle_seconds() / self.flops_per_cycle
+    }
+
+    /// Inverse memory bandwidth in seconds per *element* (the paper's
+    /// `β_mem`), for a single core's share of one socket.
+    #[inline]
+    pub fn beta_mem(&self) -> f64 {
+        self.element_bytes as f64 / (self.mem_bandwidth_gbs * 1e9)
+    }
+
+    /// Inverse bandwidth of cache level `i` (0-based) in seconds per element.
+    pub fn beta_cache(&self, level: usize) -> f64 {
+        let l = &self.caches[level];
+        self.element_bytes as f64 / (l.bandwidth_bytes_per_cycle * self.clock_ghz * 1e9)
+    }
+
+    /// Elements per cache line (`W` in the paper), from the L1 line size.
+    pub fn elements_per_line(&self) -> u64 {
+        self.caches
+            .first()
+            .map(|l| l.elements_per_line(self.element_bytes))
+            .unwrap_or(1)
+    }
+
+    /// Total cores in the node.
+    pub fn total_cores(&self) -> usize {
+        self.cores_per_socket * self.sockets
+    }
+
+    /// Basic structural validation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clock_ghz <= 0.0 {
+            return Err("clock must be positive".to_string());
+        }
+        if self.caches.is_empty() {
+            return Err("at least one cache level required".to_string());
+        }
+        let mut prev = 0u64;
+        for (i, c) in self.caches.iter().enumerate() {
+            if c.size_bytes <= prev {
+                return Err(format!("cache level {i} not larger than level {}", i - 1));
+            }
+            if c.line_bytes == 0 || c.size_bytes % c.line_bytes != 0 {
+                return Err(format!("cache level {i} line size invalid"));
+            }
+            prev = c.size_bytes;
+        }
+        if self.element_bytes == 0 {
+            return Err("element size must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blue_waters_preset_valid() {
+        let m = MachineDescription::blue_waters_xe6();
+        m.validate().unwrap();
+        assert_eq!(m.total_cores(), 16);
+        assert_eq!(m.elements_per_line(), 8);
+        assert_eq!(m.caches.len(), 3);
+    }
+
+    #[test]
+    fn laptop_preset_valid() {
+        MachineDescription::laptop_x86().validate().unwrap();
+    }
+
+    #[test]
+    fn derived_times_sane() {
+        let m = MachineDescription::blue_waters_xe6();
+        // 2.3 GHz, 4 flops/cycle → ~0.109 ns per flop.
+        let tc = m.time_per_flop();
+        assert!((tc - 1.0869e-10).abs() / tc < 1e-3, "tc = {tc}");
+        // 25.6 GB/s → 8 bytes / 25.6e9 = 0.3125 ns per element.
+        let beta = m.beta_mem();
+        assert!((beta - 3.125e-10).abs() / beta < 1e-6, "beta = {beta}");
+        // L1 faster than L2 faster than L3 faster than memory.
+        assert!(m.beta_cache(0) < m.beta_cache(1));
+        assert!(m.beta_cache(1) < m.beta_cache(2));
+        assert!(m.beta_cache(2) < m.beta_mem());
+    }
+
+    #[test]
+    fn cache_level_geometry() {
+        let l1 = MachineDescription::blue_waters_xe6().caches[0];
+        assert_eq!(l1.n_lines(), 256);
+        assert_eq!(l1.n_sets(), 64);
+        assert_eq!(l1.elements_per_line(8), 8);
+        assert_eq!(l1.capacity_elements(8), 2048);
+    }
+
+    #[test]
+    fn fully_associative_sets() {
+        let c = CacheLevel {
+            size_bytes: 4096,
+            line_bytes: 64,
+            associativity: 0,
+            latency_cycles: 1.0,
+            bandwidth_bytes_per_cycle: 1.0,
+            shared: false,
+        };
+        assert_eq!(c.n_sets(), 1);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut m = MachineDescription::blue_waters_xe6();
+        m.clock_ghz = 0.0;
+        assert!(m.validate().is_err());
+        let mut m = MachineDescription::blue_waters_xe6();
+        m.caches[1].size_bytes = m.caches[0].size_bytes;
+        assert!(m.validate().is_err());
+        let mut m = MachineDescription::blue_waters_xe6();
+        m.caches.clear();
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = MachineDescription::blue_waters_xe6();
+        let s = serde_json::to_string(&m).unwrap();
+        let back: MachineDescription = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+}

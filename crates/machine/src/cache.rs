@@ -1,0 +1,259 @@
+//! Set-associative LRU cache simulator.
+//!
+//! Trace-driven: feed it byte addresses, it reports hits and misses. Used to
+//! validate the closed-form miss models in `lam-analytical` on small grids
+//! and by the cache-behaviour benches.
+
+use crate::arch::CacheLevel;
+
+/// Result of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// Line present.
+    Hit,
+    /// Line absent; it has been filled (possibly evicting another line).
+    Miss,
+}
+
+/// A single-level, set-associative, write-allocate LRU cache.
+///
+/// Tags are stored per set in recency order (index 0 = most recently used);
+/// with the small associativities of real caches a `Vec` scan beats fancier
+/// structures.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    line_bytes: u64,
+    n_sets: u64,
+    ways: usize,
+    /// `sets[s]` = tags in recency order, most recent first.
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Build from a [`CacheLevel`] description.
+    pub fn from_level(level: &CacheLevel) -> Self {
+        let ways = if level.associativity == 0 {
+            level.n_lines() as usize
+        } else {
+            level.associativity as usize
+        };
+        Self::new(level.size_bytes, level.line_bytes, ways)
+    }
+
+    /// Build from raw geometry. `size` must be a multiple of `line * ways`.
+    pub fn new(size_bytes: u64, line_bytes: u64, ways: usize) -> Self {
+        assert!(line_bytes > 0 && size_bytes > 0 && ways > 0);
+        let n_lines = size_bytes / line_bytes;
+        assert!(
+            n_lines >= ways as u64,
+            "cache smaller than one full set ({n_lines} lines, {ways} ways)"
+        );
+        let n_sets = (n_lines / ways as u64).max(1);
+        Self {
+            line_bytes,
+            n_sets,
+            ways,
+            sets: vec![Vec::with_capacity(ways); n_sets as usize],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn n_sets(&self) -> u64 {
+        self.n_sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Access the byte at `addr`; returns hit or miss and updates LRU state.
+    pub fn access(&mut self, addr: u64) -> AccessResult {
+        let line = addr / self.line_bytes;
+        let set_idx = (line % self.n_sets) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            // Move to front (most recently used).
+            let tag = set.remove(pos);
+            set.insert(0, tag);
+            self.hits += 1;
+            AccessResult::Hit
+        } else {
+            if set.len() == self.ways {
+                set.pop(); // evict LRU
+            }
+            set.insert(0, line);
+            self.misses += 1;
+            AccessResult::Miss
+        }
+    }
+
+    /// Access a whole element (may straddle a line boundary → two accesses;
+    /// the common aligned case issues one).
+    pub fn access_element(&mut self, addr: u64, element_bytes: u64) -> AccessResult {
+        let first = self.access(addr);
+        let last_byte = addr + element_bytes - 1;
+        if last_byte / self.line_bytes != addr / self.line_bytes {
+            // Straddles: the second access's result is subsumed; report miss
+            // if either missed.
+            let second = self.access(last_byte);
+            if first == AccessResult::Miss || second == AccessResult::Miss {
+                return AccessResult::Miss;
+            }
+        }
+        first
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; 0 when nothing has been accessed.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Forget contents and counters.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(1024, 64, 2);
+        assert_eq!(c.access(0), AccessResult::Miss);
+        assert_eq!(c.access(8), AccessResult::Hit); // same line
+        assert_eq!(c.access(64), AccessResult::Miss); // next line
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2-way, want a single set: size = 2 lines.
+        let mut c = Cache::new(128, 64, 2);
+        assert_eq!(c.n_sets(), 1);
+        c.access(0); // A
+        c.access(64); // B  (LRU: B, A)
+        c.access(0); // touch A (LRU: A, B)
+        c.access(128); // C evicts B
+        assert_eq!(c.access(0), AccessResult::Hit); // A survived
+        assert_eq!(c.access(64), AccessResult::Miss); // B was evicted
+    }
+
+    #[test]
+    fn set_mapping_conflicts() {
+        // 2 sets, 1 way: addresses 0 and 128 map to set 0 and conflict;
+        // 64 maps to set 1.
+        let mut c = Cache::new(128, 64, 1);
+        assert_eq!(c.n_sets(), 2);
+        c.access(0);
+        assert_eq!(c.access(64), AccessResult::Miss);
+        assert_eq!(c.access(0), AccessResult::Hit);
+        c.access(128); // conflicts with 0
+        assert_eq!(c.access(0), AccessResult::Miss);
+    }
+
+    #[test]
+    fn hit_plus_miss_equals_accesses() {
+        let mut c = Cache::new(4096, 64, 4);
+        for i in 0..1000u64 {
+            c.access(i * 24);
+        }
+        assert_eq!(c.hits() + c.misses(), c.accesses());
+        assert_eq!(c.accesses(), 1000);
+    }
+
+    #[test]
+    fn working_set_within_capacity_all_hits_after_warmup() {
+        let mut c = Cache::new(4096, 64, 4); // 64 lines
+        let lines = 32u64;
+        for pass in 0..3 {
+            for l in 0..lines {
+                let r = c.access(l * 64);
+                if pass > 0 {
+                    assert_eq!(r, AccessResult::Hit, "pass {pass} line {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes_lru() {
+        // Cyclic sweep over 2x capacity with true LRU → every access misses.
+        let mut c = Cache::new(1024, 64, 16); // fully assoc, 16 lines
+        let lines = 32u64;
+        for _ in 0..3 {
+            for l in 0..lines {
+                c.access(l * 64);
+            }
+        }
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn element_straddling_lines() {
+        let mut c = Cache::new(1024, 64, 2);
+        // Element at byte 60, 8 bytes → straddles lines 0 and 1.
+        assert_eq!(c.access_element(60, 8), AccessResult::Miss);
+        assert_eq!(c.accesses(), 2);
+        assert_eq!(c.access_element(60, 8), AccessResult::Hit);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = Cache::new(1024, 64, 2);
+        c.access(0);
+        c.reset();
+        assert_eq!(c.accesses(), 0);
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.access(0), AccessResult::Miss);
+    }
+
+    #[test]
+    fn from_level_geometry() {
+        let l1 = crate::arch::MachineDescription::blue_waters_xe6().caches[0];
+        let c = Cache::from_level(&l1);
+        assert_eq!(c.n_sets(), 64);
+        assert_eq!(c.ways(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than one full set")]
+    fn degenerate_geometry_panics() {
+        Cache::new(64, 64, 2);
+    }
+}

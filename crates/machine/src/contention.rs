@@ -1,0 +1,177 @@
+//! Thread-scaling model: how single-core execution time maps to `t` threads
+//! on a real node.
+//!
+//! The paper's analytical models are single-core; the *actual* machine adds
+//! effects the hybrid model must learn: bandwidth saturation of the shared
+//! memory system, Amdahl-style serial fractions, per-thread synchronization
+//! overhead, and the Interlagos quirk that two integer cores share one FPU
+//! module (so flop-bound code stops scaling at half the thread count).
+
+use crate::arch::MachineDescription;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the thread-contention model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreadModel {
+    /// Fraction of single-thread work that cannot be parallelized.
+    pub serial_fraction: f64,
+    /// Per-thread synchronization/fork-join overhead, seconds.
+    pub sync_overhead_s: f64,
+    /// Number of threads at which memory bandwidth saturates (memory-bound
+    /// codes gain nothing beyond this point; typically 4–6 on Interlagos).
+    pub bandwidth_saturation_threads: f64,
+}
+
+impl Default for ThreadModel {
+    fn default() -> Self {
+        Self {
+            serial_fraction: 0.02,
+            sync_overhead_s: 4e-6,
+            bandwidth_saturation_threads: 5.0,
+        }
+    }
+}
+
+impl ThreadModel {
+    /// Effective parallel speedup for *compute-bound* work on `t` threads.
+    ///
+    /// Amdahl with FPU-module sharing: beyond `cores * fpu_sharing`
+    /// effective FPUs, extra threads add little for flop-bound kernels.
+    pub fn compute_speedup(&self, t: usize, machine: &MachineDescription) -> f64 {
+        assert!(t >= 1, "need at least one thread");
+        let t = t as f64;
+        let fpus = machine.total_cores() as f64 * machine.fpu_sharing;
+        // Effective compute lanes: linear until FPUs are exhausted, then a
+        // mild 20% gain per extra thread pair (integer/AGU work still scales).
+        let lanes = if t <= fpus { t } else { fpus + 0.2 * (t - fpus) };
+        1.0 / (self.serial_fraction + (1.0 - self.serial_fraction) / lanes)
+    }
+
+    /// Effective parallel speedup for *memory-bound* work on `t` threads:
+    /// linear until the shared memory system saturates, flat afterwards,
+    /// with a small cliff past one socket (NUMA traffic).
+    pub fn memory_speedup(&self, t: usize, machine: &MachineDescription) -> f64 {
+        assert!(t >= 1, "need at least one thread");
+        let t_f = t as f64;
+        let sat = self.bandwidth_saturation_threads;
+        let raw = if t_f <= sat {
+            t_f
+        } else {
+            // soft saturation: asymptote at ~1.25 * sat
+            sat + (1.0 - (-((t_f - sat) / sat)).exp()) * 0.25 * sat
+        };
+        // Second socket brings its own memory controllers: allow another
+        // linear region when threads spill past one socket.
+        let per_socket = machine.cores_per_socket as f64;
+        let sockets_used = (t_f / per_socket).ceil().min(machine.sockets as f64);
+        let speedup = raw * sockets_used.max(1.0).sqrt();
+        1.0 / (self.serial_fraction + (1.0 - self.serial_fraction) / speedup)
+    }
+
+    /// Map a single-thread time to `t` threads for a workload whose
+    /// memory-bound share is `mem_share ∈ [0,1]`.
+    pub fn scale_time(
+        &self,
+        t1_seconds: f64,
+        t: usize,
+        mem_share: f64,
+        machine: &MachineDescription,
+    ) -> f64 {
+        assert!((0.0..=1.0).contains(&mem_share), "mem_share outside [0,1]");
+        let mem = t1_seconds * mem_share / self.memory_speedup(t, machine);
+        let cpu = t1_seconds * (1.0 - mem_share) / self.compute_speedup(t, machine);
+        mem + cpu + self.sync_overhead_s * (t.saturating_sub(1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bw() -> MachineDescription {
+        MachineDescription::blue_waters_xe6()
+    }
+
+    #[test]
+    fn one_thread_is_identity() {
+        let m = ThreadModel::default();
+        let t1 = 1.0;
+        let t = m.scale_time(t1, 1, 0.5, &bw());
+        assert!((t - t1 / m.memory_speedup(1, &bw()) * 0.5
+            - t1 / m.compute_speedup(1, &bw()) * 0.5)
+            .abs()
+            < 1e-9);
+        // speedup(1) ≈ 1 → time ≈ t1
+        assert!((t - 1.0).abs() < 0.05, "t = {t}");
+    }
+
+    #[test]
+    fn speedups_monotone_nondecreasing() {
+        let m = ThreadModel::default();
+        let mach = bw();
+        let mut prev_c = 0.0;
+        let mut prev_m = 0.0;
+        for t in 1..=16 {
+            let c = m.compute_speedup(t, &mach);
+            let mm = m.memory_speedup(t, &mach);
+            assert!(c >= prev_c - 1e-9, "compute at t={t}");
+            assert!(mm >= prev_m - 1e-9, "memory at t={t}");
+            prev_c = c;
+            prev_m = mm;
+        }
+    }
+
+    #[test]
+    fn memory_bound_saturates_earlier_than_compute() {
+        let m = ThreadModel::default();
+        let mach = bw();
+        // Gain from 6 → 8 threads should be much smaller for memory-bound.
+        let mem_gain = m.memory_speedup(8, &mach) / m.memory_speedup(6, &mach);
+        let cpu_gain = m.compute_speedup(8, &mach) / m.compute_speedup(6, &mach);
+        assert!(mem_gain < cpu_gain, "mem {mem_gain} vs cpu {cpu_gain}");
+    }
+
+    #[test]
+    fn fpu_sharing_limits_compute_scaling() {
+        let m = ThreadModel {
+            serial_fraction: 0.0,
+            ..ThreadModel::default()
+        };
+        let mach = bw(); // 16 cores, fpu_sharing 0.5 → 8 effective FPUs
+        let s8 = m.compute_speedup(8, &mach);
+        let s16 = m.compute_speedup(16, &mach);
+        assert!(s8 > 7.5);
+        assert!(s16 < 12.0, "16-thread speedup {s16} should be FPU-limited");
+    }
+
+    #[test]
+    fn sync_overhead_grows_with_threads() {
+        let m = ThreadModel::default();
+        let mach = bw();
+        // Tiny kernel: overhead dominates, more threads = slower.
+        let t2 = m.scale_time(1e-6, 2, 1.0, &mach);
+        let t16 = m.scale_time(1e-6, 16, 1.0, &mach);
+        assert!(t16 > t2, "t16 {t16} t2 {t2}");
+    }
+
+    #[test]
+    fn scale_time_helps_large_kernels() {
+        let m = ThreadModel::default();
+        let mach = bw();
+        let t1 = 1.0;
+        let t4 = m.scale_time(t1, 4, 1.0, &mach);
+        assert!(t4 < t1 / 2.5, "4 threads gave {t4}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        ThreadModel::default().compute_speedup(0, &bw());
+    }
+
+    #[test]
+    #[should_panic(expected = "mem_share")]
+    fn bad_mem_share_panics() {
+        ThreadModel::default().scale_time(1.0, 2, 1.5, &bw());
+    }
+}

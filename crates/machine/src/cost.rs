@@ -1,0 +1,213 @@
+//! Execution-cost engine implementing the paper's single-node law
+//! `T = max(Tflops, Tmem)` (eq. 2), generalized to a per-cache-level
+//! traffic breakdown (eq. 5), with partial overlap support.
+
+use crate::arch::MachineDescription;
+use serde::{Deserialize, Serialize};
+
+/// Traffic and work tallies for one kernel execution on one core.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Floating-point operations executed.
+    pub flops: f64,
+    /// Elements transferred from each cache level (index 0 = L1), i.e. hits
+    /// serviced at that level.
+    pub level_elements: Vec<f64>,
+    /// Elements transferred from main memory.
+    pub memory_elements: f64,
+    /// Fixed overhead in seconds (loop control, sync, calls).
+    pub overhead_seconds: f64,
+}
+
+impl CostBreakdown {
+    /// Total data elements moved (all levels + memory).
+    pub fn total_elements(&self) -> f64 {
+        self.level_elements.iter().sum::<f64>() + self.memory_elements
+    }
+}
+
+/// Cost model over a machine description.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    machine: MachineDescription,
+    /// Fraction of memory time hidden under compute, in `[0, 1]`.
+    /// `1.0` = perfect overlap → `max` law (paper's assumption);
+    /// `0.0` = fully serialized → sum.
+    pub overlap: f64,
+}
+
+impl CostModel {
+    /// Perfect-overlap model (the paper's eq. 2).
+    pub fn new(machine: MachineDescription) -> Self {
+        Self {
+            machine,
+            overlap: 1.0,
+        }
+    }
+
+    /// Set a partial overlap factor.
+    pub fn with_overlap(mut self, overlap: f64) -> Self {
+        assert!((0.0..=1.0).contains(&overlap), "overlap outside [0,1]");
+        self.overlap = overlap;
+        self
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &MachineDescription {
+        &self.machine
+    }
+
+    /// Compute time for floating-point work alone (seconds).
+    pub fn t_flops(&self, flops: f64) -> f64 {
+        flops * self.machine.time_per_flop()
+    }
+
+    /// Data-movement time for a breakdown (seconds): per-level elements at
+    /// each level's inverse bandwidth plus memory elements at `β_mem`
+    /// (the paper's eq. 5 with `T_Li = data · β_Li`).
+    pub fn t_mem(&self, b: &CostBreakdown) -> f64 {
+        let mut t = b.memory_elements * self.machine.beta_mem();
+        for (i, &elems) in b.level_elements.iter().enumerate() {
+            if i < self.machine.caches.len() {
+                t += elems * self.machine.beta_cache(i);
+            } else {
+                t += elems * self.machine.beta_mem();
+            }
+        }
+        t
+    }
+
+    /// Total execution time under the overlap law:
+    /// `max(Tf, Tm) + (1 - overlap) * min(Tf, Tm) + overhead`.
+    pub fn execution_time(&self, b: &CostBreakdown) -> f64 {
+        let tf = self.t_flops(b.flops);
+        let tm = self.t_mem(b);
+        tf.max(tm) + (1.0 - self.overlap) * tf.min(tm) + b.overhead_seconds
+    }
+
+    /// Arithmetic intensity of a breakdown, flops per byte.
+    pub fn arithmetic_intensity(&self, b: &CostBreakdown) -> f64 {
+        let bytes = b.total_elements() * self.machine.element_bytes as f64;
+        if bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            b.flops / bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(MachineDescription::blue_waters_xe6())
+    }
+
+    #[test]
+    fn flop_bound_kernel() {
+        let m = model();
+        let b = CostBreakdown {
+            flops: 1e9,
+            level_elements: vec![0.0, 0.0, 0.0],
+            memory_elements: 1.0,
+            overhead_seconds: 0.0,
+        };
+        let t = m.execution_time(&b);
+        // 1e9 flops at ~9.2 Gflop/s per core → ~0.109 s.
+        assert!((t - m.t_flops(1e9)).abs() / t < 1e-6);
+    }
+
+    #[test]
+    fn memory_bound_kernel() {
+        let m = model();
+        let b = CostBreakdown {
+            flops: 1.0,
+            level_elements: vec![0.0, 0.0, 0.0],
+            memory_elements: 1e9,
+            overhead_seconds: 0.0,
+        };
+        let t = m.execution_time(&b);
+        assert!((t - m.t_mem(&b)).abs() / t < 1e-6);
+        // 8 GB at 25.6 GB/s → 0.3125 s.
+        assert!((t - 0.3125).abs() < 1e-3, "t = {t}");
+    }
+
+    #[test]
+    fn max_law_with_perfect_overlap() {
+        let m = model();
+        let b = CostBreakdown {
+            flops: 1e8,
+            level_elements: vec![0.0; 3],
+            memory_elements: 1e8,
+            overhead_seconds: 0.0,
+        };
+        let t = m.execution_time(&b);
+        assert!((t - m.t_flops(1e8).max(m.t_mem(&b))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_overlap_sums() {
+        let m = model().with_overlap(0.0);
+        let b = CostBreakdown {
+            flops: 1e8,
+            level_elements: vec![0.0; 3],
+            memory_elements: 1e8,
+            overhead_seconds: 0.0,
+        };
+        let t = m.execution_time(&b);
+        let expect = m.t_flops(1e8) + m.t_mem(&b);
+        assert!((t - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn cache_level_traffic_cheaper_than_memory() {
+        let m = model();
+        let from_l1 = CostBreakdown {
+            flops: 0.0,
+            level_elements: vec![1e8, 0.0, 0.0],
+            memory_elements: 0.0,
+            overhead_seconds: 0.0,
+        };
+        let from_mem = CostBreakdown {
+            flops: 0.0,
+            level_elements: vec![0.0, 0.0, 0.0],
+            memory_elements: 1e8,
+            overhead_seconds: 0.0,
+        };
+        assert!(m.t_mem(&from_l1) < m.t_mem(&from_mem) / 2.0);
+    }
+
+    #[test]
+    fn overhead_added() {
+        let m = model();
+        let b = CostBreakdown {
+            overhead_seconds: 0.5,
+            ..Default::default()
+        };
+        assert!((m.execution_time(&b) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arithmetic_intensity_computed() {
+        let m = model();
+        let b = CostBreakdown {
+            flops: 800.0,
+            level_elements: vec![0.0; 3],
+            memory_elements: 100.0, // 800 bytes
+            overhead_seconds: 0.0,
+        };
+        assert!((m.arithmetic_intensity(&b) - 1.0).abs() < 1e-12);
+        let pure = CostBreakdown {
+            flops: 5.0,
+            ..Default::default()
+        };
+        assert!(m.arithmetic_intensity(&pure).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn bad_overlap_panics() {
+        model().with_overlap(1.5);
+    }
+}

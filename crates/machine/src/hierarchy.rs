@@ -1,0 +1,167 @@
+//! Multi-level cache hierarchy simulation: an access walks L1 → Ln → memory,
+//! filling every level on the way back (inclusive hierarchy).
+
+use crate::arch::MachineDescription;
+use crate::cache::{AccessResult, Cache};
+
+/// Where an access was serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServicedBy {
+    /// Hit in cache level `i` (0-based: 0 = L1).
+    Level(usize),
+    /// Missed every level; serviced by main memory.
+    Memory,
+}
+
+/// A stack of [`Cache`]s mirroring a machine's hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    levels: Vec<Cache>,
+    /// Per-level hit counters (index = level).
+    level_hits: Vec<u64>,
+    memory_accesses: u64,
+    total: u64,
+}
+
+impl CacheHierarchy {
+    /// Build the hierarchy described by `machine`.
+    pub fn new(machine: &MachineDescription) -> Self {
+        let levels: Vec<Cache> = machine.caches.iter().map(Cache::from_level).collect();
+        let n = levels.len();
+        Self {
+            levels,
+            level_hits: vec![0; n],
+            memory_accesses: 0,
+            total: 0,
+        }
+    }
+
+    /// Access a byte address; returns which level serviced it.
+    pub fn access(&mut self, addr: u64) -> ServicedBy {
+        self.total += 1;
+        let mut serviced = ServicedBy::Memory;
+        let mut fill_from = self.levels.len();
+        for (i, cache) in self.levels.iter_mut().enumerate() {
+            match cache.access(addr) {
+                AccessResult::Hit => {
+                    serviced = ServicedBy::Level(i);
+                    fill_from = i;
+                    break;
+                }
+                AccessResult::Miss => {
+                    // keep walking down; the `access` call already filled
+                    // this level (write-allocate on miss).
+                }
+            }
+        }
+        if fill_from == self.levels.len() {
+            self.memory_accesses += 1;
+        } else {
+            self.level_hits[fill_from] += 1;
+        }
+        serviced
+    }
+
+    /// Hits recorded at cache level `i`.
+    pub fn hits_at(&self, level: usize) -> u64 {
+        self.level_hits[level]
+    }
+
+    /// Accesses that reached main memory.
+    pub fn memory_accesses(&self) -> u64 {
+        self.memory_accesses
+    }
+
+    /// Total accesses issued.
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// Misses observed at level `i` (accesses that had to look deeper).
+    pub fn misses_at(&self, level: usize) -> u64 {
+        self.levels[level].misses()
+    }
+
+    /// Reset all levels and counters.
+    pub fn reset(&mut self) {
+        for l in &mut self.levels {
+            l.reset();
+        }
+        for h in &mut self.level_hits {
+            *h = 0;
+        }
+        self.memory_accesses = 0;
+        self.total = 0;
+    }
+
+    /// Number of cache levels.
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::MachineDescription;
+
+    fn hierarchy() -> CacheHierarchy {
+        CacheHierarchy::new(&MachineDescription::blue_waters_xe6())
+    }
+
+    #[test]
+    fn first_touch_goes_to_memory() {
+        let mut h = hierarchy();
+        assert_eq!(h.access(0), ServicedBy::Memory);
+        assert_eq!(h.memory_accesses(), 1);
+    }
+
+    #[test]
+    fn second_touch_hits_l1() {
+        let mut h = hierarchy();
+        h.access(0);
+        assert_eq!(h.access(0), ServicedBy::Level(0));
+        assert_eq!(h.hits_at(0), 1);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut h = hierarchy();
+        // Touch a working set of 64 KiB (4x L1 capacity, well within L2).
+        let lines = (64 * 1024) / 64;
+        for l in 0..lines {
+            h.access(l * 64);
+        }
+        // Re-walk: L1 (16 KiB) cannot hold it, L2 can → mostly L2 hits.
+        let mut l2_hits = 0;
+        for l in 0..lines {
+            if h.access(l * 64) == ServicedBy::Level(1) {
+                l2_hits += 1;
+            }
+        }
+        assert!(
+            l2_hits > lines * 8 / 10,
+            "expected most L2 hits, got {l2_hits}/{lines}"
+        );
+    }
+
+    #[test]
+    fn conservation_of_accesses() {
+        let mut h = hierarchy();
+        for i in 0..10_000u64 {
+            h.access((i * 136) % (1 << 22));
+        }
+        let serviced: u64 =
+            (0..h.n_levels()).map(|l| h.hits_at(l)).sum::<u64>() + h.memory_accesses();
+        assert_eq!(serviced, h.total_accesses());
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut h = hierarchy();
+        h.access(0);
+        h.reset();
+        assert_eq!(h.total_accesses(), 0);
+        assert_eq!(h.access(0), ServicedBy::Memory);
+    }
+}

@@ -1,0 +1,30 @@
+//! # lam-machine
+//!
+//! Machine-model substrate standing in for the paper's Blue Waters Cray XE6
+//! testbed: a machine description (clock, cores, cache hierarchy, memory
+//! system) with an AMD Interlagos 6276 preset, a set-associative LRU cache
+//! simulator, a multi-level execution-cost engine built on the paper's
+//! `T = max(Tflops, Tmem)` law, a thread-contention model, and a
+//! deterministic measurement-noise model.
+//!
+//! The application crates (`lam-stencil`, `lam-fmm`) use this crate to
+//! compute *ground-truth* execution times that include the non-idealities
+//! (conflict misses, prefetching, bandwidth saturation, jitter) that the
+//! paper's simplified analytical models in `lam-analytical` deliberately
+//! ignore — reproducing the analytical-vs-actual gap the hybrid model
+//! learns to correct.
+
+pub mod arch;
+pub mod cache;
+pub mod contention;
+pub mod cost;
+pub mod hierarchy;
+pub mod noise;
+pub mod roofline;
+
+pub use arch::{CacheLevel, MachineDescription};
+pub use cache::{AccessResult, Cache};
+pub use contention::ThreadModel;
+pub use cost::{CostBreakdown, CostModel};
+pub use hierarchy::CacheHierarchy;
+pub use noise::NoiseModel;

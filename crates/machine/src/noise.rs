@@ -1,0 +1,139 @@
+//! Deterministic measurement-noise model.
+//!
+//! Real measured execution times jitter (OS interference, DVFS, cache state
+//! from previous runs). The oracle multiplies its deterministic time by a
+//! lognormal factor seeded by a hash of the configuration, so datasets are
+//! perfectly reproducible while still exhibiting realistic scatter — which
+//! is what keeps the ML problem honest (no model can reach 0% MAPE).
+
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative lognormal noise: factor = exp(sigma * z), z ~ N(0, 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Log-space standard deviation (0.03 ≈ ±3% typical jitter).
+    pub sigma: f64,
+    /// Base seed mixed with the per-configuration hash.
+    pub seed: u64,
+}
+
+impl NoiseModel {
+    /// Create a noise model.
+    pub fn new(sigma: f64, seed: u64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        Self { sigma, seed }
+    }
+
+    /// Noise disabled.
+    pub fn none() -> Self {
+        Self {
+            sigma: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Deterministic noise factor for a configuration hash. Repeated calls
+    /// with the same `(seed, config_hash)` return the same factor.
+    pub fn factor(&self, config_hash: u64) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        let z = standard_normal(mix(self.seed, config_hash));
+        (self.sigma * z).exp()
+    }
+
+    /// Apply noise to a time value.
+    pub fn apply(&self, seconds: f64, config_hash: u64) -> f64 {
+        seconds * self.factor(config_hash)
+    }
+}
+
+/// Stateless 64-bit mix of two values (splitmix-style finalizer).
+#[inline]
+pub fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(31) ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash a slice of u64 configuration fields.
+pub fn hash_config(fields: &[u64]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &f in fields {
+        h = mix(h, f);
+    }
+    h
+}
+
+/// Deterministic standard-normal sample from a 64-bit state (Box–Muller on
+/// two derived uniforms).
+fn standard_normal(state: u64) -> f64 {
+    let u1_bits = mix(state, 0xA5A5_A5A5_A5A5_A5A5);
+    let u2_bits = mix(state, 0x5A5A_5A5A_5A5A_5A5A);
+    let u1 = ((u1_bits >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64);
+    let u2 = (u2_bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_factors() {
+        let n = NoiseModel::new(0.05, 42);
+        assert_eq!(n.factor(123), n.factor(123));
+        assert_ne!(n.factor(123), n.factor(124));
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let n = NoiseModel::none();
+        assert_eq!(n.factor(99), 1.0);
+        assert_eq!(n.apply(3.5, 99), 3.5);
+    }
+
+    #[test]
+    fn factors_centered_near_one() {
+        let n = NoiseModel::new(0.03, 7);
+        let k = 20_000u64;
+        let mean: f64 = (0..k).map(|i| n.factor(i)).sum::<f64>() / k as f64;
+        // lognormal mean = exp(sigma^2/2) ≈ 1.00045
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        let spread: f64 = (0..k)
+            .map(|i| (n.factor(i).ln()).powi(2))
+            .sum::<f64>()
+            / k as f64;
+        assert!((spread.sqrt() - 0.03).abs() < 0.005, "sigma {}", spread.sqrt());
+    }
+
+    #[test]
+    fn factors_always_positive() {
+        let n = NoiseModel::new(0.5, 1);
+        for i in 0..10_000u64 {
+            assert!(n.factor(i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn hash_config_order_sensitive() {
+        assert_ne!(hash_config(&[1, 2]), hash_config(&[2, 1]));
+        assert_eq!(hash_config(&[1, 2]), hash_config(&[1, 2]));
+        assert_ne!(hash_config(&[]), hash_config(&[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn negative_sigma_panics() {
+        NoiseModel::new(-0.1, 0);
+    }
+
+    #[test]
+    fn different_seeds_different_noise() {
+        let a = NoiseModel::new(0.1, 1);
+        let b = NoiseModel::new(0.1, 2);
+        let same = (0..100).filter(|&i| a.factor(i) == b.factor(i)).count();
+        assert!(same < 5);
+    }
+}

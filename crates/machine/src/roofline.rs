@@ -1,0 +1,90 @@
+//! Roofline helper: attainable performance as a function of arithmetic
+//! intensity. Used by examples and the docs to show where the stencil and
+//! FMM kernels sit on the simulated machine.
+
+use crate::arch::MachineDescription;
+
+/// The roofline of a machine, per core.
+#[derive(Debug, Clone, Copy)]
+pub struct Roofline {
+    /// Peak compute, flop/s.
+    pub peak_flops: f64,
+    /// Peak memory bandwidth, bytes/s.
+    pub peak_bandwidth: f64,
+}
+
+impl Roofline {
+    /// Single-core roofline of a machine.
+    pub fn per_core(machine: &MachineDescription) -> Self {
+        Self {
+            peak_flops: machine.flops_per_cycle * machine.clock_ghz * 1e9,
+            peak_bandwidth: machine.mem_bandwidth_gbs * 1e9,
+        }
+    }
+
+    /// Whole-node roofline (all cores, all sockets; FPU sharing applied).
+    pub fn per_node(machine: &MachineDescription) -> Self {
+        let effective_fpus = machine.total_cores() as f64 * machine.fpu_sharing;
+        Self {
+            peak_flops: machine.flops_per_cycle * machine.clock_ghz * 1e9 * effective_fpus,
+            peak_bandwidth: machine.mem_bandwidth_gbs * 1e9 * machine.sockets as f64,
+        }
+    }
+
+    /// Attainable flop/s at arithmetic intensity `ai` (flops/byte).
+    pub fn attainable(&self, ai: f64) -> f64 {
+        (self.peak_bandwidth * ai).min(self.peak_flops)
+    }
+
+    /// The ridge point: intensity at which the kernel stops being
+    /// memory-bound, flops/byte.
+    pub fn ridge(&self) -> f64 {
+        self.peak_flops / self.peak_bandwidth
+    }
+
+    /// `true` when a kernel of intensity `ai` is memory-bound.
+    pub fn memory_bound(&self, ai: f64) -> bool {
+        ai < self.ridge()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_is_memory_bound_on_blue_waters() {
+        let m = MachineDescription::blue_waters_xe6();
+        let r = Roofline::per_core(&m);
+        // 7-point stencil: ~8 flops per 24 bytes streamed (read + write +
+        // write-allocate fill) ≈ 0.33 flop/B.
+        assert!(r.memory_bound(0.33));
+    }
+
+    #[test]
+    fn attainable_clamps_at_peak() {
+        let m = MachineDescription::blue_waters_xe6();
+        let r = Roofline::per_core(&m);
+        assert_eq!(r.attainable(1e9), r.peak_flops);
+        assert!(r.attainable(0.1) < r.peak_flops);
+        assert!((r.attainable(0.1) - 0.1 * r.peak_bandwidth).abs() < 1.0);
+    }
+
+    #[test]
+    fn ridge_consistent() {
+        let m = MachineDescription::blue_waters_xe6();
+        let r = Roofline::per_core(&m);
+        let ridge = r.ridge();
+        assert!((r.attainable(ridge) - r.peak_flops).abs() / r.peak_flops < 1e-12);
+        assert!(!r.memory_bound(ridge * 1.01));
+    }
+
+    #[test]
+    fn node_roofline_scales() {
+        let m = MachineDescription::blue_waters_xe6();
+        let core = Roofline::per_core(&m);
+        let node = Roofline::per_node(&m);
+        assert!(node.peak_flops > core.peak_flops * 4.0);
+        assert!((node.peak_bandwidth - core.peak_bandwidth * 2.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the cache simulator and cost engine.
+
+use lam_machine::arch::MachineDescription;
+use lam_machine::cache::{AccessResult, Cache};
+use lam_machine::contention::ThreadModel;
+use lam_machine::cost::{CostBreakdown, CostModel};
+use lam_machine::hierarchy::CacheHierarchy;
+use lam_machine::noise::NoiseModel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hits + misses always equals accesses, for any trace.
+    #[test]
+    fn cache_conservation(addrs in proptest::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut c = Cache::new(4096, 64, 4);
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        prop_assert!(c.resident_lines() <= 64);
+    }
+
+    /// Repeating any trace that fits in cache yields all hits the second
+    /// time.
+    #[test]
+    fn cache_warm_replay_hits(lines in proptest::collection::vec(0u64..16, 1..16)) {
+        // 16 distinct lines, fully associative cache of 64 lines.
+        let mut c = Cache::new(4096, 64, 64);
+        for &l in &lines {
+            c.access(l * 64);
+        }
+        for &l in &lines {
+            prop_assert_eq!(c.access(l * 64), AccessResult::Hit);
+        }
+    }
+
+    /// An immediately repeated access is always a hit.
+    #[test]
+    fn immediate_rereference_hits(addr in 0u64..10_000_000) {
+        let mut c = Cache::new(1024, 64, 2);
+        c.access(addr);
+        prop_assert_eq!(c.access(addr), AccessResult::Hit);
+    }
+
+    /// The hierarchy services every access at exactly one place.
+    #[test]
+    fn hierarchy_conservation(addrs in proptest::collection::vec(0u64..4_000_000, 1..300)) {
+        let m = MachineDescription::blue_waters_xe6();
+        let mut h = CacheHierarchy::new(&m);
+        for &a in &addrs {
+            h.access(a);
+        }
+        let serviced: u64 = (0..h.n_levels()).map(|l| h.hits_at(l)).sum::<u64>() + h.memory_accesses();
+        prop_assert_eq!(serviced, addrs.len() as u64);
+    }
+
+    /// Execution time is monotone in both flops and memory elements.
+    #[test]
+    fn cost_monotone(f1 in 0.0f64..1e9, f2 in 0.0f64..1e9, m1 in 0.0f64..1e9, m2 in 0.0f64..1e9) {
+        let model = CostModel::new(MachineDescription::blue_waters_xe6());
+        let mk = |flops: f64, mem: f64| CostBreakdown {
+            flops,
+            level_elements: vec![0.0; 3],
+            memory_elements: mem,
+            overhead_seconds: 0.0,
+        };
+        let (flo, fhi) = (f1.min(f2), f1.max(f2));
+        let (mlo, mhi) = (m1.min(m2), m1.max(m2));
+        prop_assert!(model.execution_time(&mk(fhi, mlo)) >= model.execution_time(&mk(flo, mlo)) - 1e-18);
+        prop_assert!(model.execution_time(&mk(flo, mhi)) >= model.execution_time(&mk(flo, mlo)) - 1e-18);
+    }
+
+    /// Overlap interpolates between max (1.0) and sum (0.0).
+    #[test]
+    fn overlap_bounds(flops in 1.0f64..1e9, mem in 1.0f64..1e9, overlap in 0.0f64..1.0) {
+        let machine = MachineDescription::blue_waters_xe6();
+        let b = CostBreakdown {
+            flops,
+            level_elements: vec![0.0; 3],
+            memory_elements: mem,
+            overhead_seconds: 0.0,
+        };
+        let t_max = CostModel::new(machine.clone()).execution_time(&b);
+        let t_sum = CostModel::new(machine.clone()).with_overlap(0.0).execution_time(&b);
+        let t = CostModel::new(machine).with_overlap(overlap).execution_time(&b);
+        prop_assert!(t >= t_max - 1e-15);
+        prop_assert!(t <= t_sum + 1e-15);
+    }
+
+    /// Thread speedups are ≥ ~1 and bounded by the thread count.
+    #[test]
+    fn speedup_bounds(t in 1usize..=16) {
+        let m = ThreadModel::default();
+        let machine = MachineDescription::blue_waters_xe6();
+        let c = m.compute_speedup(t, &machine);
+        let mm = m.memory_speedup(t, &machine);
+        prop_assert!(c >= 0.9 && c <= t as f64 + 1e-9, "compute {c}");
+        prop_assert!(mm >= 0.9, "memory {mm}");
+        prop_assert!(mm <= t as f64 * 1.5 + 1e-9, "memory {mm} vs t {t}");
+    }
+
+    /// Noise factors are positive, deterministic, and centered near 1.
+    #[test]
+    fn noise_properties(sigma in 0.0f64..0.3, seed in 0u64..1000, hash in 0u64..1_000_000) {
+        let n = NoiseModel::new(sigma, seed);
+        let f = n.factor(hash);
+        prop_assert!(f > 0.0);
+        prop_assert_eq!(f, n.factor(hash));
+        // 5-sigma lognormal bound
+        prop_assert!(f.ln().abs() <= sigma * 6.0 + 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Bootstrap aggregation over any base regressor (Breiman, 1996).
+
+use super::{aggregate, Aggregation};
+use crate::model::{validate_training_data, FitError, Regressor};
+use crate::rng::{derive_seeds, Xoshiro256};
+use lam_data::Dataset;
+
+/// Bagging: fit `n_estimators` clones of a base model on bootstrap resamples
+/// and aggregate their predictions.
+///
+/// The base model is supplied as a factory closure so each replica starts
+/// from a fresh, independently seeded instance.
+pub struct BaggingRegressor {
+    factory: Box<dyn Fn(u64) -> Box<dyn Regressor> + Send + Sync>,
+    n_estimators: usize,
+    sample_fraction: f64,
+    aggregation: Aggregation,
+    seed: u64,
+    members: Vec<Box<dyn Regressor>>,
+}
+
+impl BaggingRegressor {
+    /// Create a bagging ensemble. `factory(seed)` must return a fresh
+    /// unfitted base model.
+    pub fn new<F>(n_estimators: usize, seed: u64, factory: F) -> Self
+    where
+        F: Fn(u64) -> Box<dyn Regressor> + Send + Sync + 'static,
+    {
+        Self {
+            factory: Box::new(factory),
+            n_estimators,
+            sample_fraction: 1.0,
+            aggregation: Aggregation::Mean,
+            seed,
+            members: Vec::new(),
+        }
+    }
+
+    /// Fraction of the training set drawn (with replacement) per member.
+    pub fn with_sample_fraction(mut self, f: f64) -> Self {
+        self.sample_fraction = f;
+        self
+    }
+
+    /// Change how member predictions are combined.
+    pub fn with_aggregation(mut self, a: Aggregation) -> Self {
+        self.aggregation = a;
+        self
+    }
+
+    /// Fitted members (empty before `fit`).
+    pub fn members(&self) -> &[Box<dyn Regressor>] {
+        &self.members
+    }
+}
+
+impl Regressor for BaggingRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), FitError> {
+        validate_training_data(data)?;
+        if self.n_estimators == 0 {
+            return Err(FitError::Invalid("n_estimators must be >= 1".to_string()));
+        }
+        if !(self.sample_fraction > 0.0 && self.sample_fraction <= 1.0) {
+            return Err(FitError::Invalid(format!(
+                "sample_fraction {} outside (0, 1]",
+                self.sample_fraction
+            )));
+        }
+        let n = data.len();
+        let m = ((n as f64) * self.sample_fraction).ceil().max(1.0) as usize;
+        let seeds = derive_seeds(self.seed, self.n_estimators);
+        let mut members = Vec::with_capacity(self.n_estimators);
+        for &s in &seeds {
+            let mut rng = Xoshiro256::seeded(s ^ 0xBA66_1276_0000_0001);
+            let sample: Vec<usize> = (0..m).map(|_| rng.next_below(n)).collect();
+            let boot = data.select(&sample).expect("indices in range");
+            let mut model = (self.factory)(s);
+            model.fit(&boot)?;
+            members.push(model);
+        }
+        self.members = members;
+        Ok(())
+    }
+
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        assert!(!self.members.is_empty(), "BaggingRegressor used before fit");
+        let mut preds: Vec<f64> = self.members.iter().map(|m| m.predict_row(x)).collect();
+        aggregate(&mut preds, self.aggregation)
+    }
+
+    fn name(&self) -> &'static str {
+        "bagging"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MeanRegressor;
+    use crate::tree::{DecisionTreeRegressor, TreeParams};
+
+    fn line() -> Dataset {
+        let xs: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x + 2.0).collect();
+        Dataset::new(vec!["x".into()], xs, ys).unwrap()
+    }
+
+    #[test]
+    fn bagged_trees_fit_line() {
+        let d = line();
+        let mut b = BaggingRegressor::new(30, 7, |seed| {
+            Box::new(DecisionTreeRegressor::new(TreeParams::default(), seed))
+        });
+        b.fit(&d).unwrap();
+        let pred = b.predict_row(&[32.0]);
+        assert!((pred - 98.0).abs() < 6.0, "pred {pred}");
+        assert_eq!(b.members().len(), 30);
+    }
+
+    #[test]
+    fn bagging_of_mean_models_equals_grand_mean_statistically() {
+        // Each member predicts its bootstrap mean; the aggregate is close to
+        // the overall mean.
+        let d = line();
+        let grand = d.response().iter().sum::<f64>() / d.len() as f64;
+        let mut b = BaggingRegressor::new(64, 1, |_| Box::new(MeanRegressor::new()));
+        b.fit(&d).unwrap();
+        assert!((b.predict_row(&[0.0]) - grand).abs() < 8.0);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let d = line();
+        let mut b = BaggingRegressor::new(0, 0, |_| Box::new(MeanRegressor::new()));
+        assert!(matches!(b.fit(&d), Err(FitError::Invalid(_))));
+        let mut b = BaggingRegressor::new(3, 0, |_| Box::new(MeanRegressor::new()))
+            .with_sample_fraction(0.0);
+        assert!(matches!(b.fit(&d), Err(FitError::Invalid(_))));
+    }
+
+    #[test]
+    fn median_aggregation_robust() {
+        let d = line();
+        let mut b = BaggingRegressor::new(9, 5, |seed| {
+            Box::new(DecisionTreeRegressor::new(TreeParams::default(), seed))
+        })
+        .with_aggregation(Aggregation::Median);
+        b.fit(&d).unwrap();
+        let pred = b.predict_row(&[10.0]);
+        assert!((pred - 32.0).abs() < 6.0);
+    }
+
+    #[test]
+    fn subsampled_bagging_works() {
+        let d = line();
+        let mut b = BaggingRegressor::new(20, 3, |seed| {
+            Box::new(DecisionTreeRegressor::new(TreeParams::default(), seed))
+        })
+        .with_sample_fraction(0.5);
+        b.fit(&d).unwrap();
+        let pred = b.predict_row(&[16.0]);
+        assert!((pred - 50.0).abs() < 10.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Gradient-boosted regression trees (least-squares boosting).
+//!
+//! An extension beyond the paper's model zoo: each stage fits a shallow
+//! tree to the current residuals and is added with a learning rate. Useful
+//! as a stronger pure-ML baseline in the experiment harness and as an
+//! alternative hybrid base.
+
+use super::super::model::{validate_training_data, FitError, Regressor};
+use super::super::tree::{DecisionTreeRegressor, TreeParams};
+use lam_data::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Least-squares gradient boosting over CART trees.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GradientBoostingRegressor {
+    /// Boosting stages.
+    pub n_estimators: usize,
+    /// Shrinkage applied to each stage's contribution.
+    pub learning_rate: f64,
+    /// Parameters of the stage trees (depth defaults to 3).
+    pub tree_params: TreeParams,
+    seed: u64,
+    base: f64,
+    stages: Vec<DecisionTreeRegressor>,
+}
+
+impl GradientBoostingRegressor {
+    /// Standard configuration: `n` stages, learning rate `lr`, depth-3
+    /// stage trees.
+    pub fn new(n_estimators: usize, learning_rate: f64, seed: u64) -> Self {
+        Self {
+            n_estimators,
+            learning_rate,
+            tree_params: TreeParams {
+                max_depth: Some(3),
+                ..TreeParams::default()
+            },
+            seed,
+            base: 0.0,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Override the stage-tree parameters.
+    pub fn with_tree_params(mut self, params: TreeParams) -> Self {
+        self.tree_params = params;
+        self
+    }
+
+    /// Number of fitted stages.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Staged prediction: value after each boosting stage (for monitoring
+    /// or early stopping).
+    pub fn staged_predict_row(&self, x: &[f64]) -> Vec<f64> {
+        let mut acc = self.base;
+        self.stages
+            .iter()
+            .map(|t| {
+                acc += self.learning_rate * t.predict_row(x);
+                acc
+            })
+            .collect()
+    }
+}
+
+impl Regressor for GradientBoostingRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), FitError> {
+        validate_training_data(data)?;
+        if self.n_estimators == 0 {
+            return Err(FitError::Invalid("n_estimators must be >= 1".to_string()));
+        }
+        if !(self.learning_rate > 0.0 && self.learning_rate <= 1.0) {
+            return Err(FitError::Invalid(format!(
+                "learning_rate {} outside (0, 1]",
+                self.learning_rate
+            )));
+        }
+        self.tree_params.validate()?;
+        self.stages.clear();
+        // Base prediction: the mean (the LS-optimal constant).
+        self.base = data.response().iter().sum::<f64>() / data.len() as f64;
+        let mut residuals: Vec<f64> = data.response().iter().map(|y| y - self.base).collect();
+        let seeds = crate::rng::derive_seeds(self.seed, self.n_estimators);
+        for &stage_seed in &seeds {
+            let stage_data = Dataset::new(
+                data.feature_names().to_vec(),
+                data.features().to_vec(),
+                residuals.clone(),
+            )
+            .expect("shape preserved");
+            let mut tree = DecisionTreeRegressor::new(self.tree_params, stage_seed);
+            tree.fit(&stage_data)?;
+            for (i, r) in residuals.iter_mut().enumerate() {
+                *r -= self.learning_rate * tree.predict_row(data.row(i));
+            }
+            self.stages.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        assert!(
+            !self.stages.is_empty(),
+            "GradientBoostingRegressor used before fit"
+        );
+        self.base
+            + self.learning_rate
+                * self
+                    .stages
+                    .iter()
+                    .map(|t| t.predict_row(x))
+                    .sum::<f64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "gradient_boosting"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mape;
+
+    fn wave() -> Dataset {
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 / 20.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 10.0 + x + 2.0 * x.sin()).collect();
+        Dataset::new(vec!["x".into()], xs, ys).unwrap()
+    }
+
+    #[test]
+    fn boosting_fits_nonlinear_target() {
+        let d = wave();
+        let mut g = GradientBoostingRegressor::new(200, 0.1, 1);
+        g.fit(&d).unwrap();
+        let err = mape(d.response(), &g.predict(&d)).unwrap();
+        assert!(err < 1.0, "train MAPE {err}");
+    }
+
+    #[test]
+    fn more_stages_fit_better() {
+        let d = wave();
+        let mut few = GradientBoostingRegressor::new(10, 0.1, 1);
+        let mut many = GradientBoostingRegressor::new(150, 0.1, 1);
+        few.fit(&d).unwrap();
+        many.fit(&d).unwrap();
+        let e_few = mape(d.response(), &few.predict(&d)).unwrap();
+        let e_many = mape(d.response(), &many.predict(&d)).unwrap();
+        assert!(e_many < e_few, "few {e_few} many {e_many}");
+    }
+
+    #[test]
+    fn staged_predictions_converge_monotonically_on_mean_start() {
+        let d = wave();
+        let mut g = GradientBoostingRegressor::new(50, 0.2, 2);
+        g.fit(&d).unwrap();
+        let staged = g.staged_predict_row(d.row(100));
+        assert_eq!(staged.len(), 50);
+        let finals = *staged.last().unwrap();
+        assert!((finals - g.predict_row(d.row(100))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let d = wave();
+        assert!(GradientBoostingRegressor::new(0, 0.1, 0).fit(&d).is_err());
+        assert!(GradientBoostingRegressor::new(10, 0.0, 0).fit(&d).is_err());
+        assert!(GradientBoostingRegressor::new(10, 1.5, 0).fit(&d).is_err());
+    }
+
+    #[test]
+    fn constant_target_handled() {
+        let d = Dataset::new(vec!["x".into()], vec![1.0, 2.0, 3.0], vec![5.0; 3]).unwrap();
+        let mut g = GradientBoostingRegressor::new(5, 0.5, 0);
+        g.fit(&d).unwrap();
+        assert!((g.predict_row(&[2.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = wave();
+        let mut g = GradientBoostingRegressor::new(20, 0.1, 3);
+        g.fit(&d).unwrap();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: GradientBoostingRegressor = serde_json::from_str(&json).unwrap();
+        assert_eq!(g.predict_row(d.row(7)), back.predict_row(d.row(7)));
+    }
+}

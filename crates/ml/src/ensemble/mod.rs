@@ -1,0 +1,53 @@
+//! Ensemble meta-algorithms.
+//!
+//! The paper's hybrid model is built from exactly these two pieces:
+//! *stacking* (one model's prediction feeds the next level as a feature) and
+//! *bagging* (resampled replicas of a predictor whose outputs are averaged).
+//! Both are generic over [`crate::model::Regressor`], so they compose with
+//! trees, forests, linear models, and — in `lam-core` — analytical models
+//! wrapped as regressors.
+
+mod bagging;
+mod boosting;
+mod stacking;
+
+pub use bagging::BaggingRegressor;
+pub use boosting::GradientBoostingRegressor;
+pub use stacking::StackingRegressor;
+
+/// How an ensemble combines member predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Arithmetic mean of member predictions.
+    Mean,
+    /// Median of member predictions (robust to one wild member).
+    Median,
+}
+
+pub(crate) fn aggregate(values: &mut [f64], how: Aggregation) -> f64 {
+    debug_assert!(!values.is_empty());
+    match how {
+        Aggregation::Mean => values.iter().sum::<f64>() / values.len() as f64,
+        Aggregation::Median => {
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite predictions"));
+            let n = values.len();
+            if n % 2 == 1 {
+                values[n / 2]
+            } else {
+                0.5 * (values[n / 2 - 1] + values[n / 2])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median() {
+        assert_eq!(aggregate(&mut [1.0, 2.0, 9.0], Aggregation::Mean), 4.0);
+        assert_eq!(aggregate(&mut [1.0, 2.0, 9.0], Aggregation::Median), 2.0);
+        assert_eq!(aggregate(&mut [1.0, 3.0], Aggregation::Median), 2.0);
+    }
+}

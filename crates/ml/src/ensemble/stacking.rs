@@ -1,0 +1,188 @@
+//! Stacked generalization (Wolpert, 1992): level-0 models' predictions are
+//! appended to the feature vector of a level-1 (meta) model.
+//!
+//! This is the exact mechanism the hybrid model in `lam-core` uses — there
+//! the level-0 "model" is the analytical model, whose prediction becomes an
+//! additional feature of the machine-learning regressor.
+
+use crate::model::{validate_training_data, FitError, Regressor};
+use lam_data::Dataset;
+
+/// Stacking ensemble: `level0` models each contribute one extra feature
+/// column; `meta` is trained on the augmented dataset.
+pub struct StackingRegressor {
+    level0: Vec<Box<dyn Regressor>>,
+    meta: Box<dyn Regressor>,
+    /// When `true`, level-0 models are (re)fit on the training data before
+    /// the meta model; when `false`, they are assumed pre-fitted (the case
+    /// for analytical models, which need no training).
+    fit_level0: bool,
+    fitted: bool,
+}
+
+impl StackingRegressor {
+    /// Create a stacking ensemble that fits its level-0 models.
+    pub fn new(level0: Vec<Box<dyn Regressor>>, meta: Box<dyn Regressor>) -> Self {
+        Self {
+            level0,
+            meta,
+            fit_level0: true,
+            fitted: false,
+        }
+    }
+
+    /// Create a stacking ensemble over *pre-fitted* (or training-free)
+    /// level-0 models; only the meta model is trained.
+    pub fn with_prefit_level0(
+        level0: Vec<Box<dyn Regressor>>,
+        meta: Box<dyn Regressor>,
+    ) -> Self {
+        Self {
+            level0,
+            meta,
+            fit_level0: false,
+            fitted: false,
+        }
+    }
+
+    /// Augment `data` with one column per level-0 model prediction.
+    fn augment(&self, data: &Dataset) -> Dataset {
+        let mut out = data.clone();
+        for (k, m) in self.level0.iter().enumerate() {
+            let preds = m.predict(data);
+            out = out
+                .with_column(&format!("level0_{k}"), &preds)
+                .expect("prediction length matches dataset");
+        }
+        out
+    }
+
+    /// Number of level-0 models.
+    pub fn n_level0(&self) -> usize {
+        self.level0.len()
+    }
+}
+
+impl Regressor for StackingRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), FitError> {
+        validate_training_data(data)?;
+        if self.level0.is_empty() {
+            return Err(FitError::Invalid(
+                "stacking needs at least one level-0 model".to_string(),
+            ));
+        }
+        if self.fit_level0 {
+            for m in &mut self.level0 {
+                m.fit(data)?;
+            }
+        }
+        let augmented = self.augment(data);
+        self.meta.fit(&augmented)?;
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        assert!(self.fitted, "StackingRegressor used before fit");
+        let mut augmented = Vec::with_capacity(x.len() + self.level0.len());
+        augmented.extend_from_slice(x);
+        for m in &self.level0 {
+            augmented.push(m.predict_row(x));
+        }
+        self.meta.predict_row(&augmented)
+    }
+
+    fn name(&self) -> &'static str {
+        "stacking"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearRegressor;
+    use crate::model::MeanRegressor;
+    use crate::tree::{DecisionTreeRegressor, TreeParams};
+
+    fn quadratic() -> Dataset {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 / 4.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| x * x + 1.0).collect();
+        Dataset::new(vec!["x".into()], xs, ys).unwrap()
+    }
+
+    #[test]
+    fn stacking_tree_on_linear_beats_linear() {
+        let d = quadratic();
+        let mut lin = LinearRegressor::default();
+        lin.fit(&d).unwrap();
+        let lin_sse: f64 = d
+            .iter()
+            .map(|(x, y)| (lin.predict_row(x) - y).powi(2))
+            .sum();
+
+        let mut stack = StackingRegressor::new(
+            vec![Box::new(LinearRegressor::default())],
+            Box::new(DecisionTreeRegressor::new(TreeParams::default(), 0)),
+        );
+        stack.fit(&d).unwrap();
+        let stack_sse: f64 = d
+            .iter()
+            .map(|(x, y)| (stack.predict_row(x) - y).powi(2))
+            .sum();
+        assert!(stack_sse < lin_sse * 0.1, "stack {stack_sse} lin {lin_sse}");
+    }
+
+    #[test]
+    fn prefit_level0_not_refit() {
+        // Pre-fit a mean model on dataset A, stack on dataset B: the level-0
+        // prediction must still come from A's mean.
+        let a = Dataset::new(vec!["x".into()], vec![0.0, 1.0], vec![100.0, 100.0]).unwrap();
+        let b = quadratic();
+        let mut level0 = MeanRegressor::new();
+        level0.fit(&a).unwrap();
+        let mut stack = StackingRegressor::with_prefit_level0(
+            vec![Box::new(level0)],
+            Box::new(DecisionTreeRegressor::new(TreeParams::default(), 0)),
+        );
+        stack.fit(&b).unwrap();
+        // works and still predicts b's targets on training points
+        let err: f64 = b
+            .iter()
+            .map(|(x, y)| (stack.predict_row(x) - y).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-9);
+    }
+
+    #[test]
+    fn empty_level0_rejected() {
+        let d = quadratic();
+        let mut stack = StackingRegressor::new(vec![], Box::new(MeanRegressor::new()));
+        assert!(matches!(stack.fit(&d), Err(FitError::Invalid(_))));
+    }
+
+    #[test]
+    fn multiple_level0_models() {
+        let d = quadratic();
+        let mut stack = StackingRegressor::new(
+            vec![
+                Box::new(LinearRegressor::default()),
+                Box::new(MeanRegressor::new()),
+            ],
+            Box::new(DecisionTreeRegressor::new(TreeParams::default(), 0)),
+        );
+        stack.fit(&d).unwrap();
+        assert_eq!(stack.n_level0(), 2);
+        let (x, y) = (d.row(5), d.response()[5]);
+        assert!((stack.predict_row(x) - y).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn unfitted_panics() {
+        let stack = StackingRegressor::new(
+            vec![Box::new(MeanRegressor::new())],
+            Box::new(MeanRegressor::new()),
+        );
+        stack.predict_row(&[1.0]);
+    }
+}

@@ -1,0 +1,366 @@
+//! Tree ensembles: random forests (bootstrap + best splits over random
+//! feature subsets) and extremely randomized trees (no bootstrap by default +
+//! random thresholds), mirroring scikit-learn's regressors of the same names.
+//!
+//! Trees are fit in parallel with Rayon; per-tree RNG streams are derived
+//! from the forest seed so parallel and serial fits produce identical models.
+
+use crate::model::{validate_training_data, FitError, Regressor};
+use crate::rng::{derive_seeds, Xoshiro256};
+use crate::tree::{DecisionTreeRegressor, Splitter, TreeParams};
+use lam_data::Dataset;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Shared implementation of both forest flavours.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Forest {
+    n_estimators: usize,
+    params: TreeParams,
+    bootstrap: bool,
+    seed: u64,
+    trees: Vec<DecisionTreeRegressor>,
+    n_features: usize,
+}
+
+impl Forest {
+    /// Build an unfitted forest.
+    pub fn new(
+        n_estimators: usize,
+        params: TreeParams,
+        bootstrap: bool,
+        seed: u64,
+    ) -> Self {
+        Self {
+            n_estimators,
+            params,
+            bootstrap,
+            seed,
+            trees: Vec::new(),
+            n_features: 0,
+        }
+    }
+
+    /// Fitted member trees (empty before `fit`).
+    pub fn trees(&self) -> &[DecisionTreeRegressor] {
+        &self.trees
+    }
+
+    /// Number of member trees requested.
+    pub fn n_estimators(&self) -> usize {
+        self.n_estimators
+    }
+
+    /// Mean impurity-decrease feature importances across member trees.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.n_features];
+        for t in &self.trees {
+            for (a, v) in acc.iter_mut().zip(t.feature_importances()) {
+                *a += v;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for v in &mut acc {
+                *v /= total;
+            }
+        }
+        acc
+    }
+
+    fn fit_impl(&mut self, data: &Dataset) -> Result<(), FitError> {
+        validate_training_data(data)?;
+        self.params.validate()?;
+        if self.n_estimators == 0 {
+            return Err(FitError::Invalid("n_estimators must be >= 1".to_string()));
+        }
+        self.n_features = data.n_features();
+        let seeds = derive_seeds(self.seed, self.n_estimators);
+        let bootstrap = self.bootstrap;
+        let params = self.params;
+        let trees: Result<Vec<DecisionTreeRegressor>, FitError> = seeds
+            .par_iter()
+            .map(|&tree_seed| {
+                let mut tree = DecisionTreeRegressor::new(params, tree_seed);
+                if bootstrap {
+                    // Bootstrap resample (with replacement) using a stream
+                    // independent from the split stream.
+                    let mut rng = Xoshiro256::seeded(tree_seed ^ 0xB007_57A9_0000_0001);
+                    let n = data.len();
+                    let sample: Vec<usize> = (0..n).map(|_| rng.next_below(n)).collect();
+                    let boot = data.select(&sample).expect("indices in range");
+                    tree.fit(&boot)?;
+                } else {
+                    tree.fit(data)?;
+                }
+                Ok(tree)
+            })
+            .collect();
+        self.trees = trees?;
+        Ok(())
+    }
+
+    fn predict_row_impl(&self, x: &[f64]) -> f64 {
+        assert!(!self.trees.is_empty(), "forest used before fit");
+        let sum: f64 = self.trees.iter().map(|t| t.predict_row(x)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    fn predict_row_with_std_impl(&self, x: &[f64]) -> (f64, f64) {
+        assert!(!self.trees.is_empty(), "forest used before fit");
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict_row(x)).collect();
+        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
+            / preds.len() as f64;
+        (mean, var.sqrt())
+    }
+}
+
+/// Random forest regressor: bootstrap sampling + best-split trees over a
+/// random feature subset per split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForestRegressor {
+    inner: Forest,
+}
+
+impl RandomForestRegressor {
+    /// Construct with explicit tree parameters. The splitter is forced to
+    /// `Best` (that is what makes it a random *forest* rather than extra
+    /// trees); feature subsampling comes from `params.max_features`.
+    pub fn with_params(n_estimators: usize, mut params: TreeParams, seed: u64) -> Self {
+        params.splitter = Splitter::Best;
+        Self {
+            inner: Forest::new(n_estimators, params, true, seed),
+        }
+    }
+
+    /// scikit-learn-like defaults: 100 trees, all features, bootstrap.
+    pub fn new(seed: u64) -> Self {
+        Self::with_params(100, TreeParams::default(), seed)
+    }
+
+    /// Mean impurity-decrease feature importances.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        self.inner.feature_importances()
+    }
+
+    /// Access the fitted member trees.
+    pub fn trees(&self) -> &[DecisionTreeRegressor] {
+        self.inner.trees()
+    }
+
+    /// Prediction with an uncertainty estimate: the mean and standard
+    /// deviation of the member-tree predictions (ensemble disagreement).
+    pub fn predict_row_with_std(&self, x: &[f64]) -> (f64, f64) {
+        self.inner.predict_row_with_std_impl(x)
+    }
+}
+
+impl Regressor for RandomForestRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), FitError> {
+        self.inner.fit_impl(data)
+    }
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        self.inner.predict_row_impl(x)
+    }
+    fn name(&self) -> &'static str {
+        "random_forest"
+    }
+}
+
+/// Extremely randomized trees: no bootstrap (whole training set per tree),
+/// random thresholds per candidate feature.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtraTreesRegressor {
+    inner: Forest,
+}
+
+impl ExtraTreesRegressor {
+    /// Construct with explicit tree parameters; the splitter is forced to
+    /// `Random`.
+    pub fn with_params(n_estimators: usize, mut params: TreeParams, seed: u64) -> Self {
+        params.splitter = Splitter::Random;
+        Self {
+            inner: Forest::new(n_estimators, params, false, seed),
+        }
+    }
+
+    /// scikit-learn-like defaults: 100 trees, all features, no bootstrap.
+    pub fn new(seed: u64) -> Self {
+        Self::with_params(100, TreeParams::default(), seed)
+    }
+
+    /// Enable bootstrap resampling (off by default, as in scikit-learn).
+    pub fn with_bootstrap(mut self, bootstrap: bool) -> Self {
+        self.inner.bootstrap = bootstrap;
+        self
+    }
+
+    /// Mean impurity-decrease feature importances.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        self.inner.feature_importances()
+    }
+
+    /// Access the fitted member trees.
+    pub fn trees(&self) -> &[DecisionTreeRegressor] {
+        self.inner.trees()
+    }
+
+    /// Prediction with an uncertainty estimate: the mean and standard
+    /// deviation of the member-tree predictions (ensemble disagreement).
+    pub fn predict_row_with_std(&self, x: &[f64]) -> (f64, f64) {
+        self.inner.predict_row_with_std_impl(x)
+    }
+}
+
+impl Regressor for ExtraTreesRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), FitError> {
+        self.inner.fit_impl(data)
+    }
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        self.inner.predict_row_impl(x)
+    }
+    fn name(&self) -> &'static str {
+        "extra_trees"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mape;
+    use crate::tree::MaxFeatures;
+
+    /// y = x0^2 + 3*x1 with mild nonlinearity; 256 points on an 16x16 grid.
+    fn surface() -> Dataset {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..16 {
+            for b in 0..16 {
+                let x0 = a as f64 / 4.0;
+                let x1 = b as f64 / 4.0;
+                rows.push(vec![x0, x1]);
+                ys.push(x0 * x0 + 3.0 * x1 + 1.0);
+            }
+        }
+        Dataset::from_rows(vec!["x0".into(), "x1".into()], &rows, ys).unwrap()
+    }
+
+    #[test]
+    fn random_forest_learns_surface() {
+        let d = surface();
+        let mut rf = RandomForestRegressor::with_params(60, TreeParams::default(), 3);
+        rf.fit(&d).unwrap();
+        let preds = rf.predict(&d);
+        let err = mape(d.response(), &preds).unwrap();
+        assert!(err < 10.0, "train MAPE {err}");
+    }
+
+    #[test]
+    fn extra_trees_learns_surface() {
+        let d = surface();
+        let mut et = ExtraTreesRegressor::with_params(60, TreeParams::default(), 3);
+        et.fit(&d).unwrap();
+        let preds = et.predict(&d);
+        let err = mape(d.response(), &preds).unwrap();
+        assert!(err < 5.0, "train MAPE {err}");
+    }
+
+    #[test]
+    fn forest_prediction_is_tree_mean() {
+        let d = surface();
+        let mut et = ExtraTreesRegressor::with_params(7, TreeParams::default(), 1);
+        et.fit(&d).unwrap();
+        let x = d.row(10);
+        let mean: f64 =
+            et.trees().iter().map(|t| t.predict_row(x)).sum::<f64>() / et.trees().len() as f64;
+        assert!((et.predict_row(x) - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = surface();
+        let mut a = RandomForestRegressor::with_params(20, TreeParams::default(), 9);
+        let mut b = RandomForestRegressor::with_params(20, TreeParams::default(), 9);
+        a.fit(&d).unwrap();
+        b.fit(&d).unwrap();
+        for i in 0..d.len() {
+            assert_eq!(a.predict_row(d.row(i)), b.predict_row(d.row(i)));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        // Fully grown extra trees interpolate training points exactly, so
+        // seed differences only show off-grid: probe between grid nodes.
+        let d = surface();
+        let mut a = ExtraTreesRegressor::with_params(5, TreeParams::default(), 1);
+        let mut b = ExtraTreesRegressor::with_params(5, TreeParams::default(), 2);
+        a.fit(&d).unwrap();
+        b.fit(&d).unwrap();
+        let probes: Vec<[f64; 2]> = (0..60)
+            .map(|i| [0.125 + (i % 15) as f64 / 4.0, 0.125 + (i / 15) as f64 / 1.1])
+            .collect();
+        let same = probes
+            .iter()
+            .filter(|p| a.predict_row(&p[..]) == b.predict_row(&p[..]))
+            .count();
+        assert!(same < probes.len(), "seeds produced identical forests");
+    }
+
+    #[test]
+    fn zero_estimators_rejected() {
+        let d = surface();
+        let mut f = RandomForestRegressor::with_params(0, TreeParams::default(), 0);
+        assert!(matches!(f.fit(&d), Err(FitError::Invalid(_))));
+    }
+
+    #[test]
+    fn feature_subsampling_works() {
+        let d = surface();
+        let params = TreeParams {
+            max_features: MaxFeatures::Count(1),
+            ..TreeParams::default()
+        };
+        let mut rf = RandomForestRegressor::with_params(40, params, 5);
+        rf.fit(&d).unwrap();
+        let err = mape(d.response(), &rf.predict(&d)).unwrap();
+        assert!(err < 25.0, "train MAPE {err}");
+    }
+
+    #[test]
+    fn importances_normalized() {
+        let d = surface();
+        let mut et = ExtraTreesRegressor::with_params(20, TreeParams::default(), 4);
+        et.fit(&d).unwrap();
+        let imp = et.feature_importances();
+        assert_eq!(imp.len(), 2);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncertainty_larger_off_grid() {
+        let d = surface();
+        let mut rf = RandomForestRegressor::with_params(40, TreeParams::default(), 2);
+        rf.fit(&d).unwrap();
+        let (mean_in, std_in) = rf.predict_row_with_std(d.row(100));
+        // Far outside the training domain trees disagree via their
+        // bootstrap differences much more than on a training point.
+        let (_, std_out) = rf.predict_row_with_std(&[40.0, -7.0]);
+        assert!(std_in >= 0.0);
+        assert!(std_out >= std_in, "in {std_in} out {std_out}");
+        assert!((mean_in - rf.predict_row(d.row(100))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = surface();
+        let mut et = ExtraTreesRegressor::with_params(5, TreeParams::default(), 4);
+        et.fit(&d).unwrap();
+        let json = serde_json::to_string(&et).unwrap();
+        let back: ExtraTreesRegressor = serde_json::from_str(&json).unwrap();
+        for i in 0..d.len() {
+            assert_eq!(et.predict_row(d.row(i)), back.predict_row(d.row(i)));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! k-nearest-neighbours regression baseline.
+//!
+//! Performance-model feature spaces are low-dimensional (4–8 columns), so a
+//! brute-force scan is appropriate; features should be standardized first
+//! (see [`crate::preprocessing::StandardScaler`]).
+
+use crate::model::{validate_training_data, FitError, Regressor};
+use lam_data::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Distance-weighted or uniform k-NN regression.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnRegressor {
+    /// Number of neighbours consulted.
+    pub k: usize,
+    /// Weight predictions by inverse distance when `true`.
+    pub distance_weighted: bool,
+    train: Option<Dataset>,
+}
+
+impl KnnRegressor {
+    /// Uniform-weight k-NN.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            distance_weighted: false,
+            train: None,
+        }
+    }
+
+    /// Enable inverse-distance weighting.
+    pub fn weighted(mut self) -> Self {
+        self.distance_weighted = true;
+        self
+    }
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), FitError> {
+        validate_training_data(data)?;
+        if self.k == 0 {
+            return Err(FitError::Invalid("k must be >= 1".to_string()));
+        }
+        if self.k > data.len() {
+            return Err(FitError::Invalid(format!(
+                "k = {} exceeds training size {}",
+                self.k,
+                data.len()
+            )));
+        }
+        self.train = Some(data.clone());
+        Ok(())
+    }
+
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        let train = self.train.as_ref().expect("KnnRegressor used before fit");
+        // Collect (distance², y) and partial-select the k smallest.
+        let mut dists: Vec<(f64, f64)> = train.iter().map(|(row, y)| (sq_dist(row, x), y)).collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("finite distances")
+        });
+        let neighbours = &dists[..k];
+        if self.distance_weighted {
+            let mut wsum = 0.0;
+            let mut acc = 0.0;
+            for &(d2, y) in neighbours {
+                if d2 == 0.0 {
+                    return y; // exact match dominates
+                }
+                let w = 1.0 / d2.sqrt();
+                wsum += w;
+                acc += w * y;
+            }
+            acc / wsum
+        } else {
+            neighbours.iter().map(|&(_, y)| y).sum::<f64>() / k as f64
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Dataset {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..10 {
+            rows.push(vec![a as f64]);
+            ys.push(a as f64 * 2.0);
+        }
+        Dataset::from_rows(vec!["x".into()], &rows, ys).unwrap()
+    }
+
+    #[test]
+    fn one_nn_exact_on_training_points() {
+        let d = grid();
+        let mut m = KnnRegressor::new(1);
+        m.fit(&d).unwrap();
+        for (x, y) in d.iter() {
+            assert_eq!(m.predict_row(x), y);
+        }
+    }
+
+    #[test]
+    fn three_nn_averages() {
+        let d = grid();
+        let mut m = KnnRegressor::new(3);
+        m.fit(&d).unwrap();
+        // Neighbours of 5.0 are {4,5,6} → mean y = 10.
+        assert!((m.predict_row(&[5.0]) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_exact_match_short_circuits() {
+        let d = grid();
+        let mut m = KnnRegressor::new(3).weighted();
+        m.fit(&d).unwrap();
+        assert_eq!(m.predict_row(&[4.0]), 8.0);
+    }
+
+    #[test]
+    fn weighted_interpolates() {
+        let d = grid();
+        let mut m = KnnRegressor::new(2).weighted();
+        m.fit(&d).unwrap();
+        // Halfway between 4 and 5 → equal weights → (8 + 10) / 2.
+        let p = m.predict_row(&[4.5]);
+        assert!((p - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let d = grid();
+        assert!(matches!(
+            KnnRegressor::new(0).fit(&d),
+            Err(FitError::Invalid(_))
+        ));
+        assert!(matches!(
+            KnnRegressor::new(11).fit(&d),
+            Err(FitError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,46 @@
+//! # lam-ml
+//!
+//! From-scratch supervised regression substrate replacing the paper's use of
+//! scikit-learn: CART regression trees, random forests, extremely randomized
+//! trees (extra trees), generic bagging and stacking ensembles, feature
+//! standardization, error metrics (MAPE first — the paper's score), and
+//! sampling utilities (uniform random training-set selection, k-fold CV).
+//!
+//! Everything is deterministic given a seed; forest training is
+//! data-parallel over trees via Rayon.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lam_data::Dataset;
+//! use lam_ml::forest::ExtraTreesRegressor;
+//! use lam_ml::model::Regressor;
+//!
+//! // y = 2*x, learn it from 32 points.
+//! let xs: Vec<f64> = (0..32).map(|i| i as f64).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x).collect();
+//! let data = Dataset::new(vec!["x".into()], xs, ys).unwrap();
+//! let mut model = ExtraTreesRegressor::with_params(50, Default::default(), 7);
+//! model.fit(&data).unwrap();
+//! let yhat = model.predict_row(&[10.0]);
+//! assert!((yhat - 20.0).abs() < 4.0);
+//! ```
+
+pub mod ensemble;
+pub mod forest;
+pub mod knn;
+pub mod linear;
+pub mod metrics;
+pub mod model;
+pub mod preprocessing;
+pub mod rng;
+pub mod sampling;
+pub mod tree;
+pub mod tuning;
+
+pub use ensemble::{BaggingRegressor, GradientBoostingRegressor, StackingRegressor};
+pub use forest::{ExtraTreesRegressor, RandomForestRegressor};
+pub use metrics::{mae, mape, r2, rmse};
+pub use model::{FitError, Regressor};
+pub use preprocessing::StandardScaler;
+pub use tree::{DecisionTreeRegressor, TreeParams};

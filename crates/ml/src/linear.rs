@@ -1,0 +1,236 @@
+//! Linear least-squares baseline (with optional ridge regularization),
+//! solved by normal equations + Gaussian elimination with partial pivoting.
+//!
+//! Used as a meta-learner option and as a weak baseline in the experiment
+//! reports; the feature counts here are tiny (≤ 10), so the dense solver is
+//! the right tool.
+
+use crate::model::{validate_training_data, FitError, Regressor};
+use lam_data::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Ordinary least squares / ridge regression with an intercept.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearRegressor {
+    /// L2 penalty (0 = OLS). The intercept is never penalized.
+    pub ridge: f64,
+    coef: Vec<f64>,
+    intercept: f64,
+    fitted: bool,
+}
+
+impl Default for LinearRegressor {
+    fn default() -> Self {
+        Self::new(0.0)
+    }
+}
+
+impl LinearRegressor {
+    /// Create with the given ridge penalty (`0.0` for plain OLS).
+    pub fn new(ridge: f64) -> Self {
+        Self {
+            ridge,
+            coef: Vec::new(),
+            intercept: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// Fitted coefficients (empty before fit).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coef
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+/// Solve `A x = b` for a dense symmetric-ish system via Gaussian elimination
+/// with partial pivoting. Returns `None` for singular systems.
+fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot: largest |value| in this column at or below the diagonal.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite matrix")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        let (pivot_rows, rest) = a.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        for (off, row) in rest.iter_mut().enumerate() {
+            let factor = row[col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for (rk, pk) in row[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *rk -= factor * pk;
+            }
+            b[col + 1 + off] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+impl Regressor for LinearRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), FitError> {
+        validate_training_data(data)?;
+        if self.ridge < 0.0 {
+            return Err(FitError::Invalid("ridge penalty must be >= 0".to_string()));
+        }
+        let p = data.n_features();
+        let n = data.len();
+        // Augmented design: [x, 1] → normal equations of size (p+1).
+        let dim = p + 1;
+        let mut xtx = vec![vec![0.0; dim]; dim];
+        let mut xty = vec![0.0; dim];
+        for i in 0..n {
+            let row = data.row(i);
+            let y = data.response()[i];
+            for a in 0..dim {
+                let xa = if a < p { row[a] } else { 1.0 };
+                xty[a] += xa * y;
+                for b in a..dim {
+                    let xb = if b < p { row[b] } else { 1.0 };
+                    xtx[a][b] += xa * xb;
+                }
+            }
+        }
+        // Mirror the upper triangle and add the ridge penalty (not on the
+        // intercept). Index loops: the symmetric mirror is clearest with
+        // explicit coordinates.
+        #[allow(clippy::needless_range_loop)]
+        for a in 0..dim {
+            for b in 0..a {
+                let mirrored = xtx[b][a];
+                xtx[a][b] = mirrored;
+            }
+        }
+        for (a, row) in xtx.iter_mut().enumerate().take(p) {
+            row[a] += self.ridge;
+        }
+        let solution = solve_dense(xtx, xty).ok_or_else(|| {
+            FitError::Invalid("singular design matrix; add ridge regularization".to_string())
+        })?;
+        self.intercept = solution[p];
+        self.coef = solution[..p].to_vec();
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        assert!(self.fitted, "LinearRegressor used before fit");
+        self.intercept
+            + self
+                .coef
+                .iter()
+                .zip(x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x - 2.0).collect();
+        let d = Dataset::new(vec!["x".into()], xs, ys).unwrap();
+        let mut m = LinearRegressor::default();
+        m.fit(&d).unwrap();
+        assert!((m.coefficients()[0] - 3.0).abs() < 1e-9);
+        assert!((m.intercept() + 2.0).abs() < 1e-9);
+        assert!((m.predict_row(&[100.0]) - 298.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_features() {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..5 {
+            for b in 0..5 {
+                rows.push(vec![a as f64, b as f64]);
+                ys.push(2.0 * a as f64 - 1.0 * b as f64 + 0.5);
+            }
+        }
+        let d = Dataset::from_rows(vec!["a".into(), "b".into()], &rows, ys).unwrap();
+        let mut m = LinearRegressor::default();
+        m.fit(&d).unwrap();
+        assert!((m.coefficients()[0] - 2.0).abs() < 1e-9);
+        assert!((m.coefficients()[1] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_without_ridge_errors() {
+        // Duplicate column → singular normal equations.
+        let rows = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let d = Dataset::from_rows(
+            vec!["a".into(), "b".into()],
+            &rows,
+            vec![1.0, 2.0, 3.0],
+        )
+        .unwrap();
+        let mut m = LinearRegressor::default();
+        assert!(matches!(m.fit(&d), Err(FitError::Invalid(_))));
+        // Ridge fixes it.
+        let mut m = LinearRegressor::new(1e-6);
+        m.fit(&d).unwrap();
+        assert!((m.predict_row(&[2.0, 2.0]) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn negative_ridge_rejected() {
+        let d = Dataset::new(vec!["x".into()], vec![1.0, 2.0], vec![1.0, 2.0]).unwrap();
+        assert!(matches!(
+            LinearRegressor::new(-1.0).fit(&d),
+            Err(FitError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn solver_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_dense(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solver_pivoting() {
+        // Requires a row swap to avoid dividing by ~0.
+        let a = vec![vec![1e-16, 1.0], vec![1.0, 1.0]];
+        let x = solve_dense(a, vec![1.0, 2.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solver_singular_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_dense(a, vec![1.0, 2.0]).is_none());
+    }
+}

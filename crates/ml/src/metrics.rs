@@ -1,0 +1,180 @@
+//! Regression error metrics. MAPE is the paper's headline score; the others
+//! support the wider experiment reports.
+
+/// Error from metric computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricError {
+    /// The two slices differ in length.
+    LengthMismatch,
+    /// No observations.
+    Empty,
+    /// MAPE undefined: a true value is zero.
+    ZeroTruth,
+}
+
+impl std::fmt::Display for MetricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricError::LengthMismatch => write!(f, "prediction/truth length mismatch"),
+            MetricError::Empty => write!(f, "metric of empty sample"),
+            MetricError::ZeroTruth => write!(f, "MAPE undefined for zero true values"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+fn check(y_true: &[f64], y_pred: &[f64]) -> Result<(), MetricError> {
+    if y_true.len() != y_pred.len() {
+        return Err(MetricError::LengthMismatch);
+    }
+    if y_true.is_empty() {
+        return Err(MetricError::Empty);
+    }
+    Ok(())
+}
+
+/// Mean Absolute Percentage Error, in percent:
+/// `100/n * Σ |y - ŷ| / |y|`.
+pub fn mape(y_true: &[f64], y_pred: &[f64]) -> Result<f64, MetricError> {
+    check(y_true, y_pred)?;
+    let mut acc = 0.0;
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        if t == 0.0 {
+            return Err(MetricError::ZeroTruth);
+        }
+        acc += ((t - p) / t).abs();
+    }
+    Ok(100.0 * acc / y_true.len() as f64)
+}
+
+/// Median absolute percentage error, in percent (robust companion to MAPE).
+pub fn medape(y_true: &[f64], y_pred: &[f64]) -> Result<f64, MetricError> {
+    check(y_true, y_pred)?;
+    let mut apes: Vec<f64> = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(&t, &p)| {
+            if t == 0.0 {
+                Err(MetricError::ZeroTruth)
+            } else {
+                Ok(((t - p) / t).abs())
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    apes.sort_by(|a, b| a.partial_cmp(b).expect("finite APEs"));
+    let n = apes.len();
+    let med = if n % 2 == 1 {
+        apes[n / 2]
+    } else {
+        0.5 * (apes[n / 2 - 1] + apes[n / 2])
+    };
+    Ok(100.0 * med)
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> Result<f64, MetricError> {
+    check(y_true, y_pred)?;
+    Ok(y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(&t, &p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64)
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> Result<f64, MetricError> {
+    check(y_true, y_pred)?;
+    let mse = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(&t, &p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / y_true.len() as f64;
+    Ok(mse.sqrt())
+}
+
+/// Coefficient of determination `R² = 1 - SS_res / SS_tot`. Returns 0 when
+/// the truth is constant and predictions are imperfect (scikit-learn
+/// convention would be 0 too for that degenerate case... it actually returns
+/// 0.0 only when SS_res > 0; perfect predictions give 1.0).
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> Result<f64, MetricError> {
+    check(y_true, y_pred)?;
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_tot: f64 = y_true.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(&t, &p)| (t - p) * (t - p))
+        .sum();
+    if ss_tot == 0.0 {
+        return Ok(if ss_res == 0.0 { 1.0 } else { 0.0 });
+    }
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_basic() {
+        // errors: 10% and 20%
+        let m = mape(&[10.0, 10.0], &[9.0, 12.0]).unwrap();
+        assert!((m - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_perfect_zero() {
+        assert_eq!(mape(&[5.0, 7.0], &[5.0, 7.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mape_zero_truth_rejected() {
+        assert_eq!(mape(&[0.0], &[1.0]), Err(MetricError::ZeroTruth));
+    }
+
+    #[test]
+    fn mape_scale_invariant() {
+        let a = mape(&[10.0, 20.0], &[11.0, 18.0]).unwrap();
+        let b = mape(&[100.0, 200.0], &[110.0, 180.0]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn medape_robust_to_outlier() {
+        let t = [10.0, 10.0, 10.0];
+        let p = [10.0, 10.0, 1000.0];
+        assert!(mape(&t, &p).unwrap() > 1000.0);
+        assert_eq!(medape(&t, &p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mae_rmse() {
+        let t = [0.0, 0.0];
+        let p = [3.0, -4.0];
+        assert!((mae(&t, &p).unwrap() - 3.5).abs() < 1e-12);
+        assert!((rmse(&t, &p).unwrap() - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(r2(&t, &t).unwrap(), 1.0);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!((r2(&t, &mean_pred).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_constant_truth() {
+        assert_eq!(r2(&[5.0, 5.0], &[5.0, 5.0]).unwrap(), 1.0);
+        assert_eq!(r2(&[5.0, 5.0], &[4.0, 6.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn shape_checks() {
+        assert_eq!(mape(&[1.0], &[1.0, 2.0]), Err(MetricError::LengthMismatch));
+        assert_eq!(mae(&[], &[]), Err(MetricError::Empty));
+    }
+}

@@ -1,0 +1,166 @@
+//! The [`Regressor`] trait implemented by every model in this crate, plus
+//! fitting errors shared across models.
+
+use lam_data::Dataset;
+use std::fmt;
+
+/// Errors raised by `fit`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// The training set holds no observations.
+    EmptyDataset,
+    /// The training set has no feature columns.
+    NoFeatures,
+    /// A feature or response value was NaN/inf.
+    NonFiniteData,
+    /// Model-specific precondition failed (message explains).
+    Invalid(String),
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::EmptyDataset => write!(f, "cannot fit on an empty dataset"),
+            FitError::NoFeatures => write!(f, "cannot fit on a dataset with zero features"),
+            FitError::NonFiniteData => write!(f, "dataset contains non-finite values"),
+            FitError::Invalid(m) => write!(f, "invalid model configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Common checks every `fit` implementation performs first.
+pub fn validate_training_data(data: &Dataset) -> Result<(), FitError> {
+    if data.is_empty() {
+        return Err(FitError::EmptyDataset);
+    }
+    if data.n_features() == 0 {
+        return Err(FitError::NoFeatures);
+    }
+    data.validate_finite()
+        .map_err(|_| FitError::NonFiniteData)?;
+    Ok(())
+}
+
+/// A supervised regression model mapping a feature vector to a scalar.
+///
+/// All models in this workspace predict *execution time*; the trait is
+/// object-safe so ensembles can hold heterogeneous `Box<dyn Regressor>`
+/// members (the hybrid model mixes analytical and learned components).
+pub trait Regressor: Send + Sync {
+    /// Fit the model to the dataset, replacing any previous fit.
+    fn fit(&mut self, data: &Dataset) -> Result<(), FitError>;
+
+    /// Predict the response for a single feature row.
+    ///
+    /// Panics or returns unspecified values if called before a successful
+    /// `fit` (each implementation documents its behaviour; most panic).
+    fn predict_row(&self, x: &[f64]) -> f64;
+
+    /// Predict the response for every row of `data`.
+    fn predict(&self, data: &Dataset) -> Vec<f64> {
+        (0..data.len()).map(|i| self.predict_row(data.row(i))).collect()
+    }
+
+    /// Short human-readable model name for reports.
+    fn name(&self) -> &'static str {
+        "regressor"
+    }
+}
+
+impl Regressor for Box<dyn Regressor> {
+    fn fit(&mut self, data: &Dataset) -> Result<(), FitError> {
+        (**self).fit(data)
+    }
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        (**self).predict_row(x)
+    }
+    fn predict(&self, data: &Dataset) -> Vec<f64> {
+        (**self).predict(data)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Trivial baseline predicting the training-set mean. Useful in tests and as
+/// a sanity floor in experiment reports.
+#[derive(Debug, Clone, Default)]
+pub struct MeanRegressor {
+    mean: Option<f64>,
+}
+
+impl MeanRegressor {
+    /// New, unfitted.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Regressor for MeanRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), FitError> {
+        if data.is_empty() {
+            return Err(FitError::EmptyDataset);
+        }
+        self.mean = Some(data.response().iter().sum::<f64>() / data.len() as f64);
+        Ok(())
+    }
+
+    fn predict_row(&self, _x: &[f64]) -> f64 {
+        self.mean.expect("MeanRegressor used before fit")
+    }
+
+    fn name(&self) -> &'static str {
+        "mean"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(xs: &[f64], ys: &[f64]) -> Dataset {
+        Dataset::new(vec!["x".into()], xs.to_vec(), ys.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn mean_regressor_predicts_mean() {
+        let d = data(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]);
+        let mut m = MeanRegressor::new();
+        m.fit(&d).unwrap();
+        assert!((m.predict_row(&[100.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(m.predict(&d), vec![4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn mean_regressor_empty_errors() {
+        let d = Dataset::empty(vec!["x".into()]);
+        assert_eq!(MeanRegressor::new().fit(&d), Err(FitError::EmptyDataset));
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn mean_regressor_unfitted_panics() {
+        MeanRegressor::new().predict_row(&[1.0]);
+    }
+
+    #[test]
+    fn validate_rejects_bad_data() {
+        let empty = Dataset::empty(vec!["x".into()]);
+        assert_eq!(validate_training_data(&empty), Err(FitError::EmptyDataset));
+        let no_feat = Dataset::new(vec![], vec![], vec![1.0]).unwrap();
+        assert_eq!(validate_training_data(&no_feat), Err(FitError::NoFeatures));
+        let nan = data(&[f64::NAN], &[1.0]);
+        assert_eq!(validate_training_data(&nan), Err(FitError::NonFiniteData));
+    }
+
+    #[test]
+    fn boxed_regressor_delegates() {
+        let d = data(&[1.0], &[5.0]);
+        let mut boxed: Box<dyn Regressor> = Box::new(MeanRegressor::new());
+        boxed.fit(&d).unwrap();
+        assert_eq!(boxed.predict_row(&[0.0]), 5.0);
+        assert_eq!(boxed.name(), "mean");
+    }
+}

@@ -1,0 +1,284 @@
+//! Feature preprocessing. The paper standardizes features to zero mean and
+//! unit variance before training (a scikit-learn convention); tree models
+//! are scale-invariant but the scalers matter for the linear/kNN baselines
+//! and keep the pipeline faithful.
+
+use crate::model::FitError;
+use lam_data::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Zero-mean unit-variance standardization, fitted per feature column.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// New, unfitted scaler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fit on a dataset's feature columns.
+    pub fn fit(&mut self, data: &Dataset) -> Result<(), FitError> {
+        if data.is_empty() {
+            return Err(FitError::EmptyDataset);
+        }
+        let cols = data.n_features();
+        let n = data.len() as f64;
+        let mut means = vec![0.0; cols];
+        for i in 0..data.len() {
+            for (c, v) in data.row(i).iter().enumerate() {
+                means[c] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; cols];
+        for i in 0..data.len() {
+            for (c, v) in data.row(i).iter().enumerate() {
+                let d = v - means[c];
+                vars[c] += d * d;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                // Constant columns transform to zero instead of dividing by 0.
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        self.means = means;
+        self.stds = stds;
+        Ok(())
+    }
+
+    /// `true` once fitted.
+    pub fn is_fitted(&self) -> bool {
+        !self.means.is_empty()
+    }
+
+    /// Transform one row in place.
+    pub fn transform_row(&self, x: &mut [f64]) {
+        assert!(self.is_fitted(), "StandardScaler used before fit");
+        assert_eq!(x.len(), self.means.len(), "row width mismatch");
+        for (i, v) in x.iter_mut().enumerate() {
+            *v = (*v - self.means[i]) / self.stds[i];
+        }
+    }
+
+    /// Transform a dataset's features; the response is untouched.
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        let mut features = data.features().to_vec();
+        let cols = data.n_features();
+        for row in features.chunks_mut(cols) {
+            self.transform_row(row);
+        }
+        Dataset::new(
+            data.feature_names().to_vec(),
+            features,
+            data.response().to_vec(),
+        )
+        .expect("shape preserved")
+    }
+
+    /// Inverse-transform one row in place.
+    pub fn inverse_transform_row(&self, x: &mut [f64]) {
+        assert!(self.is_fitted(), "StandardScaler used before fit");
+        for (i, v) in x.iter_mut().enumerate() {
+            *v = *v * self.stds[i] + self.means[i];
+        }
+    }
+
+    /// Fit then transform, in one step.
+    pub fn fit_transform(&mut self, data: &Dataset) -> Result<Dataset, FitError> {
+        self.fit(data)?;
+        Ok(self.transform(data))
+    }
+
+    /// Per-column means (empty before fit).
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-column standard deviations (constant columns report 1.0).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+/// Min–max scaling to `[0, 1]` per feature column.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// New, unfitted scaler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fit per-column min/range.
+    pub fn fit(&mut self, data: &Dataset) -> Result<(), FitError> {
+        if data.is_empty() {
+            return Err(FitError::EmptyDataset);
+        }
+        let cols = data.n_features();
+        let mut mins = vec![f64::INFINITY; cols];
+        let mut maxs = vec![f64::NEG_INFINITY; cols];
+        for i in 0..data.len() {
+            for (c, v) in data.row(i).iter().enumerate() {
+                mins[c] = mins[c].min(*v);
+                maxs[c] = maxs[c].max(*v);
+            }
+        }
+        self.ranges = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| if hi > lo { hi - lo } else { 1.0 })
+            .collect();
+        self.mins = mins;
+        Ok(())
+    }
+
+    /// Transform a dataset's features into `[0, 1]` per column.
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        assert!(!self.mins.is_empty(), "MinMaxScaler used before fit");
+        let cols = data.n_features();
+        let mut features = data.features().to_vec();
+        for row in features.chunks_mut(cols) {
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.mins[i]) / self.ranges[i];
+            }
+        }
+        Dataset::new(
+            data.feature_names().to_vec(),
+            features,
+            data.response().to_vec(),
+        )
+        .expect("shape preserved")
+    }
+}
+
+/// Natural-log transform of the response, used when execution times span
+/// orders of magnitude (the FMM dataset). Inverse is [`LogTarget::invert`].
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct LogTarget;
+
+impl LogTarget {
+    /// Replace the response with `ln(y)`; all responses must be positive.
+    pub fn apply(data: &Dataset) -> Result<Dataset, FitError> {
+        if data.response().iter().any(|&y| y <= 0.0) {
+            return Err(FitError::Invalid(
+                "log-target requires positive responses".to_string(),
+            ));
+        }
+        let response = data.response().iter().map(|y| y.ln()).collect();
+        Ok(Dataset::new(
+            data.feature_names().to_vec(),
+            data.features().to_vec(),
+            response,
+        )
+        .expect("shape preserved"))
+    }
+
+    /// Map a prediction in log space back to the original scale.
+    #[inline]
+    pub fn invert(pred: f64) -> f64 {
+        pred.exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::new(
+            vec!["a".into(), "b".into()],
+            vec![1.0, 10.0, 3.0, 10.0, 5.0, 10.0],
+            vec![1.0, 2.0, 3.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_var() {
+        let d = sample();
+        let mut s = StandardScaler::new();
+        let t = s.fit_transform(&d).unwrap();
+        let col0: Vec<f64> = t.column_values(0);
+        let mean: f64 = col0.iter().sum::<f64>() / 3.0;
+        let var: f64 = col0.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 3.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_scaler_constant_column_safe() {
+        let d = sample();
+        let mut s = StandardScaler::new();
+        let t = s.fit_transform(&d).unwrap();
+        // column b is constant 10 → all zeros, no NaN
+        for v in t.column_values(1) {
+            assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn standard_scaler_round_trip() {
+        let d = sample();
+        let mut s = StandardScaler::new();
+        s.fit(&d).unwrap();
+        let mut row = d.row(1).to_vec();
+        let orig = row.clone();
+        s.transform_row(&mut row);
+        s.inverse_transform_row(&mut row);
+        for (a, b) in row.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standard_scaler_empty_rejected() {
+        let d = Dataset::empty(vec!["x".into()]);
+        assert!(StandardScaler::new().fit(&d).is_err());
+    }
+
+    #[test]
+    fn minmax_bounds() {
+        let d = sample();
+        let mut s = MinMaxScaler::new();
+        s.fit(&d).unwrap();
+        let t = s.transform(&d);
+        for v in t.column_values(0) {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        assert_eq!(t.column_values(0)[0], 0.0);
+        assert_eq!(t.column_values(0)[2], 1.0);
+    }
+
+    #[test]
+    fn log_target_round_trip() {
+        let d = sample();
+        let logd = LogTarget::apply(&d).unwrap();
+        for (orig, logged) in d.response().iter().zip(logd.response()) {
+            assert!((LogTarget::invert(*logged) - orig).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_target_rejects_nonpositive() {
+        let d = Dataset::new(vec!["x".into()], vec![1.0], vec![0.0]).unwrap();
+        assert!(LogTarget::apply(&d).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Small deterministic RNG utilities shared by the ensemble code.
+//!
+//! Forest training derives one independent stream per tree from a base seed
+//! with SplitMix64 — the standard way to seed many parallel PRNGs without
+//! correlation — so results are identical whether trees are fit serially or
+//! in parallel.
+
+/// SplitMix64 step: maps a seed to a well-mixed 64-bit value.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive `n` independent sub-seeds from `base`.
+pub fn derive_seeds(base: u64, n: usize) -> Vec<u64> {
+    let mut state = base ^ 0xD1B5_4A32_D192_ED03;
+    (0..n).map(|_| splitmix64(&mut state)).collect()
+}
+
+/// A tiny, fast xoshiro256** PRNG. Local implementation so the hot tree
+/// splitter does not depend on `rand`'s trait machinery in inner loops.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seed the generator; distinct seeds give independent streams.
+    pub fn seeded(seed: u64) -> Self {
+        let mut st = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut st);
+        }
+        // All-zero state is invalid; splitmix of any seed avoids it, but be safe.
+        if s.iter().all(|&v| v == 0) {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits → [0,1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be nonzero.
+    #[inline]
+    pub fn next_below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        // Multiply-shift rejection-free bound; bias is negligible for n << 2^64.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn next_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Standard-normal sample via Box–Muller (used by the noise model and
+    /// synthetic datasets; keeps `rand_distr` out of the dependency tree).
+    pub fn next_normal(&mut self) -> f64 {
+        loop {
+            let u1 = self.next_f64();
+            if u1 <= f64::EPSILON {
+                continue;
+            }
+            let u2 = self.next_f64();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `0..n` (k ≤ n), in random order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} from {n}");
+        // Partial Fisher–Yates over an index vector; O(n) allocation but the
+        // datasets here are small (≤ tens of thousands of rows).
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.next_below(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Xoshiro256::seeded(1);
+        let mut b = Xoshiro256::seeded(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = Xoshiro256::seeded(1);
+        let mut b = Xoshiro256::seeded(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Xoshiro256::seeded(42);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_in_bounds_and_covers() {
+        let mut r = Xoshiro256::seeded(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.next_below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = Xoshiro256::seeded(9);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.next_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = Xoshiro256::seeded(5);
+        let s = r.sample_indices(100, 40);
+        assert_eq!(s.len(), 40);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40);
+        assert!(sorted.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn derive_seeds_unique() {
+        let seeds = derive_seeds(7, 100);
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Xoshiro256::seeded(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,256 @@
+//! Training-set construction: uniform random sampling (the paper's method),
+//! train/test splitting, and k-fold cross-validation.
+
+use crate::rng::Xoshiro256;
+use lam_data::Dataset;
+
+/// Uniformly sample `fraction` of the dataset (without replacement) as the
+/// training set; the remainder is the test set. This is exactly the
+/// "window size of the training set" protocol in the paper's figures.
+///
+/// `fraction` is clamped so at least one point lands on each side when the
+/// dataset has ≥ 2 rows.
+pub fn train_test_split_fraction(
+    data: &Dataset,
+    fraction: f64,
+    seed: u64,
+) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction {fraction} outside [0, 1]"
+    );
+    let n = data.len();
+    let mut k = ((n as f64) * fraction).round() as usize;
+    if n >= 2 {
+        k = k.clamp(1, n - 1);
+    } else {
+        k = k.min(n);
+    }
+    let mut rng = Xoshiro256::seeded(seed);
+    let train_idx = rng.sample_indices(n, k);
+    data.partition(&train_idx)
+        .expect("sampled indices in range")
+}
+
+/// Split by an explicit training-set size.
+pub fn train_test_split_count(data: &Dataset, n_train: usize, seed: u64) -> (Dataset, Dataset) {
+    let n = data.len();
+    assert!(n_train <= n, "n_train {n_train} exceeds dataset size {n}");
+    let mut rng = Xoshiro256::seeded(seed);
+    let train_idx = rng.sample_indices(n, n_train);
+    data.partition(&train_idx)
+        .expect("sampled indices in range")
+}
+
+/// Latin-hypercube-style stratified training split: sort the dataset by a
+/// 1-D projection of its features (the row sum of standardized columns),
+/// cut it into `k` equal strata, and draw one training point per stratum.
+///
+/// An extension beyond the paper's uniform sampling: for the same training
+/// budget, stratified windows cover the configuration space more evenly and
+/// typically lower small-window MAPE.
+pub fn train_test_split_stratified(
+    data: &Dataset,
+    n_train: usize,
+    seed: u64,
+) -> (Dataset, Dataset) {
+    let n = data.len();
+    assert!(
+        n_train >= 1 && n_train < n,
+        "need 1 <= n_train ({n_train}) < rows ({n})"
+    );
+    // Standardize columns so no single feature dominates the projection.
+    let cols = data.n_features();
+    let mut mean = vec![0.0; cols];
+    let mut var = vec![0.0; cols];
+    for i in 0..n {
+        for (c, v) in data.row(i).iter().enumerate() {
+            mean[c] += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+    for i in 0..n {
+        for (c, v) in data.row(i).iter().enumerate() {
+            var[c] += (v - mean[c]).powi(2);
+        }
+    }
+    let std: Vec<f64> = var
+        .iter()
+        .map(|v| {
+            let s = (v / n as f64).sqrt();
+            if s > 0.0 {
+                s
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let score = |i: usize| -> f64 {
+        data.row(i)
+            .iter()
+            .enumerate()
+            .map(|(c, v)| (v - mean[c]) / std[c])
+            .sum()
+    };
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| score(a).partial_cmp(&score(b)).expect("finite features"));
+    let mut rng = Xoshiro256::seeded(seed);
+    let mut train_idx = Vec::with_capacity(n_train);
+    for stratum in 0..n_train {
+        let lo = stratum * n / n_train;
+        let hi = ((stratum + 1) * n / n_train).max(lo + 1);
+        let pick = lo + rng.next_below(hi - lo);
+        train_idx.push(order[pick]);
+    }
+    data.partition(&train_idx).expect("indices in range")
+}
+
+/// K-fold cross-validation index sets: returns `k` (train, test) pairs
+/// covering the dataset, shuffled by `seed`.
+pub fn k_fold(data: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+    assert!(k >= 2, "k must be >= 2");
+    let n = data.len();
+    assert!(n >= k, "dataset smaller than k");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = Xoshiro256::seeded(seed);
+    rng.shuffle(&mut order);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let lo = f * n / k;
+        let hi = (f + 1) * n / k;
+        let test_idx: Vec<usize> = order[lo..hi].to_vec();
+        let train_idx: Vec<usize> = order[..lo].iter().chain(&order[hi..]).copied().collect();
+        folds.push((
+            data.select(&train_idx).expect("in range"),
+            data.select(&test_idx).expect("in range"),
+        ));
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize) -> Dataset {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys = xs.clone();
+        Dataset::new(vec!["x".into()], xs, ys).unwrap()
+    }
+
+    #[test]
+    fn fraction_split_sizes() {
+        let d = dataset(100);
+        let (train, test) = train_test_split_fraction(&d, 0.2, 1);
+        assert_eq!(train.len(), 20);
+        assert_eq!(test.len(), 80);
+    }
+
+    #[test]
+    fn fraction_split_disjoint_and_complete() {
+        let d = dataset(50);
+        let (train, test) = train_test_split_fraction(&d, 0.3, 7);
+        let mut all: Vec<i64> = train
+            .response()
+            .iter()
+            .chain(test.response())
+            .map(|&v| v as i64)
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn tiny_fraction_clamps_to_one() {
+        let d = dataset(10);
+        let (train, test) = train_test_split_fraction(&d, 0.001, 3);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 9);
+    }
+
+    #[test]
+    fn full_fraction_leaves_one_test_point() {
+        let d = dataset(10);
+        let (train, test) = train_test_split_fraction(&d, 1.0, 3);
+        assert_eq!(train.len(), 9);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = dataset(30);
+        let (a, _) = train_test_split_fraction(&d, 0.5, 11);
+        let (b, _) = train_test_split_fraction(&d, 0.5, 11);
+        assert_eq!(a.response(), b.response());
+        let (c, _) = train_test_split_fraction(&d, 0.5, 12);
+        assert_ne!(a.response(), c.response());
+    }
+
+    #[test]
+    fn count_split() {
+        let d = dataset(10);
+        let (train, test) = train_test_split_count(&d, 4, 0);
+        assert_eq!(train.len(), 4);
+        assert_eq!(test.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn count_split_too_large_panics() {
+        let d = dataset(5);
+        train_test_split_count(&d, 6, 0);
+    }
+
+    #[test]
+    fn stratified_split_sizes_and_disjoint() {
+        let d = dataset(100);
+        let (train, test) = train_test_split_stratified(&d, 10, 3);
+        assert_eq!(train.len(), 10);
+        assert_eq!(test.len(), 90);
+        let mut all: Vec<i64> = train
+            .response()
+            .iter()
+            .chain(test.response())
+            .map(|&v| v as i64)
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn stratified_split_covers_range() {
+        // One pick per stratum → training points spread over the response
+        // range (here response == feature).
+        let d = dataset(100);
+        let (train, _) = train_test_split_stratified(&d, 10, 7);
+        let min = train.response().iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = train.response().iter().cloned().fold(0.0, f64::max);
+        assert!(min < 10.0, "lowest stratum sampled: min {min}");
+        assert!(max >= 90.0, "highest stratum sampled: max {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "n_train")]
+    fn stratified_rejects_degenerate_sizes() {
+        let d = dataset(10);
+        train_test_split_stratified(&d, 10, 0);
+    }
+
+    #[test]
+    fn k_fold_covers_everything() {
+        let d = dataset(25);
+        let folds = k_fold(&d, 4, 5);
+        assert_eq!(folds.len(), 4);
+        let mut test_points: Vec<i64> = folds
+            .iter()
+            .flat_map(|(_, test)| test.response().iter().map(|&v| v as i64))
+            .collect();
+        test_points.sort_unstable();
+        assert_eq!(test_points, (0..25).collect::<Vec<i64>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 25);
+        }
+    }
+}

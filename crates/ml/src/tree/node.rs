@@ -1,0 +1,74 @@
+//! Flat tree-node storage.
+//!
+//! Nodes live in one `Vec` and reference children by index, which keeps a
+//! fitted tree in a single allocation (cache-friendly prediction walks, cheap
+//! serde).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within its tree's node vector.
+pub type NodeId = usize;
+
+/// One tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Terminal node carrying the mean response of its training samples.
+    Leaf {
+        /// Predicted value.
+        value: f64,
+    },
+    /// Internal split: `x[feature] <= threshold` goes left, else right.
+    Internal {
+        /// Feature column index.
+        feature: u32,
+        /// Split threshold.
+        threshold: f64,
+        /// Left child id.
+        left: NodeId,
+        /// Right child id.
+        right: NodeId,
+        /// Sum-of-squared-deviations improvement achieved by this split
+        /// (used for feature importances).
+        improvement: f64,
+    },
+}
+
+impl Node {
+    /// `true` for leaves.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_detection() {
+        assert!(Node::Leaf { value: 1.0 }.is_leaf());
+        assert!(!Node::Internal {
+            feature: 0,
+            threshold: 0.5,
+            left: 1,
+            right: 2,
+            improvement: 0.0
+        }
+        .is_leaf());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let n = Node::Internal {
+            feature: 3,
+            threshold: 1.25,
+            left: 10,
+            right: 11,
+            improvement: 2.5,
+        };
+        let s = serde_json::to_string(&n).unwrap();
+        let back: Node = serde_json::from_str(&s).unwrap();
+        assert_eq!(n, back);
+    }
+}

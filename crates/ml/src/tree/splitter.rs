@@ -1,0 +1,297 @@
+//! Split search: candidate-feature selection plus *best* (exhaustive scan
+//! over sorted cut points) and *random* (extra-trees style uniform
+//! threshold) strategies, both scored by variance reduction.
+
+use super::TreeParams;
+use crate::rng::Xoshiro256;
+use lam_data::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// How many features a split considers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MaxFeatures {
+    /// All features (scikit-learn default for regression).
+    All,
+    /// `ceil(sqrt(n_features))`.
+    Sqrt,
+    /// `ceil(log2(n_features))`.
+    Log2,
+    /// A fraction of features in `(0, 1]`.
+    Fraction(f64),
+    /// An explicit count (clamped to `n_features`).
+    Count(usize),
+}
+
+impl MaxFeatures {
+    /// Resolve to a concrete count for `n_features` columns (≥ 1).
+    pub fn resolve(self, n_features: usize) -> usize {
+        let k = match self {
+            MaxFeatures::All => n_features,
+            MaxFeatures::Sqrt => (n_features as f64).sqrt().ceil() as usize,
+            MaxFeatures::Log2 => (n_features as f64).log2().ceil().max(1.0) as usize,
+            MaxFeatures::Fraction(f) => ((n_features as f64) * f).ceil() as usize,
+            MaxFeatures::Count(c) => c,
+        };
+        k.clamp(1, n_features)
+    }
+}
+
+/// Split strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Splitter {
+    /// Scan every cut point of every candidate feature (CART).
+    Best,
+    /// One uniform-random threshold per candidate feature (extra trees).
+    Random,
+}
+
+/// A chosen split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitCandidate {
+    /// Feature column.
+    pub feature: usize,
+    /// Threshold (`<=` goes left).
+    pub threshold: f64,
+    /// Sum-of-squared-deviations reduction relative to the unsplit node.
+    pub improvement: f64,
+}
+
+/// Find the best split of `indices` under `params`, or `None` when no valid
+/// split exists (all candidate features constant, or leaf constraints
+/// unsatisfiable).
+pub fn find_split(
+    data: &Dataset,
+    indices: &[usize],
+    params: &TreeParams,
+    rng: &mut Xoshiro256,
+) -> Option<SplitCandidate> {
+    let n = indices.len();
+    let n_features = data.n_features();
+    let k = params.max_features.resolve(n_features);
+
+    // Candidate features: all, or a random subset without replacement.
+    let candidates: Vec<usize> = if k == n_features {
+        (0..n_features).collect()
+    } else {
+        rng.sample_indices(n_features, k)
+    };
+
+    // Node-level statistics for improvement computation.
+    let sum: f64 = indices.iter().map(|&i| data.response()[i]).sum();
+    let sum_sq: f64 = indices
+        .iter()
+        .map(|&i| {
+            let y = data.response()[i];
+            y * y
+        })
+        .sum();
+    let parent_ssd = sum_sq - sum * sum / n as f64;
+
+    let mut best: Option<SplitCandidate> = None;
+    let mut consider = |cand: SplitCandidate| {
+        if cand.improvement > best.map_or(1e-18, |b| b.improvement) {
+            best = Some(cand);
+        }
+    };
+
+    match params.splitter {
+        Splitter::Best => {
+            // Reusable buffer of (value, y) pairs.
+            let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(n);
+            for &f in &candidates {
+                pairs.clear();
+                pairs.extend(
+                    indices
+                        .iter()
+                        .map(|&i| (data.row(i)[f], data.response()[i])),
+                );
+                pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+                if pairs[0].0 == pairs[n - 1].0 {
+                    continue; // constant feature
+                }
+                // Prefix scan: try every boundary between distinct values.
+                let mut left_sum = 0.0;
+                let mut left_sq = 0.0;
+                for cut in 1..n {
+                    let (v_prev, y_prev) = pairs[cut - 1];
+                    left_sum += y_prev;
+                    left_sq += y_prev * y_prev;
+                    let v_next = pairs[cut].0;
+                    if v_next <= v_prev {
+                        continue; // same feature value; not a valid boundary
+                    }
+                    if cut < params.min_samples_leaf || n - cut < params.min_samples_leaf {
+                        continue;
+                    }
+                    let right_sum = sum - left_sum;
+                    let right_sq = sum_sq - left_sq;
+                    let left_ssd = left_sq - left_sum * left_sum / cut as f64;
+                    let right_ssd = right_sq - right_sum * right_sum / (n - cut) as f64;
+                    let improvement = parent_ssd - left_ssd - right_ssd;
+                    // Midpoint threshold, as in CART; guards against placing
+                    // the threshold exactly on a sample value.
+                    let threshold = v_prev + 0.5 * (v_next - v_prev);
+                    consider(SplitCandidate {
+                        feature: f,
+                        threshold,
+                        improvement,
+                    });
+                }
+            }
+        }
+        Splitter::Random => {
+            for &f in &candidates {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for &i in indices {
+                    let v = data.row(i)[f];
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                if hi <= lo {
+                    continue; // constant feature
+                }
+                let threshold = rng.next_range(lo, hi);
+                let mut left_n = 0usize;
+                let mut left_sum = 0.0;
+                let mut left_sq = 0.0;
+                for &i in indices {
+                    if data.row(i)[f] <= threshold {
+                        let y = data.response()[i];
+                        left_n += 1;
+                        left_sum += y;
+                        left_sq += y * y;
+                    }
+                }
+                let right_n = n - left_n;
+                if left_n < params.min_samples_leaf || right_n < params.min_samples_leaf {
+                    continue;
+                }
+                let right_sum = sum - left_sum;
+                let right_sq = sum_sq - left_sq;
+                let left_ssd = left_sq - left_sum * left_sum / left_n as f64;
+                let right_ssd = right_sq - right_sum * right_sum / right_n as f64;
+                consider(SplitCandidate {
+                    feature: f,
+                    threshold,
+                    improvement: parent_ssd - left_ssd - right_ssd,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> Dataset {
+        // y jumps from 0 to 10 at x = 4.5 → best split threshold near 4.5.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| if x < 4.5 { 0.0 } else { 10.0 }).collect();
+        Dataset::new(vec!["x".into()], xs, ys).unwrap()
+    }
+
+    #[test]
+    fn best_split_finds_step() {
+        let d = step_data();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let mut rng = Xoshiro256::seeded(0);
+        let s = find_split(&d, &idx, &TreeParams::default(), &mut rng).unwrap();
+        assert_eq!(s.feature, 0);
+        assert!((s.threshold - 4.5).abs() < 1e-12, "threshold {}", s.threshold);
+        // Perfect split removes all variance: improvement == parent SSD == 250.
+        assert!((s.improvement - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_feature_yields_none() {
+        let d = Dataset::new(vec!["x".into()], vec![1.0; 6], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+            .unwrap();
+        let idx: Vec<usize> = (0..6).collect();
+        let mut rng = Xoshiro256::seeded(0);
+        assert!(find_split(&d, &idx, &TreeParams::default(), &mut rng).is_none());
+        let params = TreeParams {
+            splitter: Splitter::Random,
+            ..TreeParams::default()
+        };
+        assert!(find_split(&d, &idx, &params, &mut rng).is_none());
+    }
+
+    #[test]
+    fn min_samples_leaf_blocks_edge_cuts() {
+        let d = step_data();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let mut rng = Xoshiro256::seeded(0);
+        let params = TreeParams {
+            min_samples_leaf: 5,
+            ..TreeParams::default()
+        };
+        let s = find_split(&d, &idx, &params, &mut rng).unwrap();
+        // Only the 5|5 cut is allowed; it happens to be the step.
+        assert!((s.threshold - 4.5).abs() < 1e-12);
+        let params = TreeParams {
+            min_samples_leaf: 6,
+            ..TreeParams::default()
+        };
+        assert!(find_split(&d, &idx, &params, &mut rng).is_none());
+    }
+
+    #[test]
+    fn random_split_within_range() {
+        let d = step_data();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let params = TreeParams {
+            splitter: Splitter::Random,
+            ..TreeParams::default()
+        };
+        for seed in 0..20 {
+            let mut rng = Xoshiro256::seeded(seed);
+            if let Some(s) = find_split(&d, &idx, &params, &mut rng) {
+                assert!(s.threshold >= 0.0 && s.threshold < 9.0);
+                assert!(s.improvement > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn max_features_resolution() {
+        assert_eq!(MaxFeatures::All.resolve(10), 10);
+        assert_eq!(MaxFeatures::Sqrt.resolve(9), 3);
+        assert_eq!(MaxFeatures::Sqrt.resolve(10), 4);
+        assert_eq!(MaxFeatures::Log2.resolve(8), 3);
+        assert_eq!(MaxFeatures::Log2.resolve(1), 1);
+        assert_eq!(MaxFeatures::Fraction(0.5).resolve(10), 5);
+        assert_eq!(MaxFeatures::Fraction(0.01).resolve(10), 1);
+        assert_eq!(MaxFeatures::Count(3).resolve(10), 3);
+        assert_eq!(MaxFeatures::Count(30).resolve(10), 10);
+    }
+
+    #[test]
+    fn ties_in_feature_values_not_split() {
+        // Two distinct values only; the only valid boundary is between them.
+        let d = Dataset::new(
+            vec!["x".into()],
+            vec![1.0, 1.0, 2.0, 2.0],
+            vec![0.0, 0.0, 8.0, 8.0],
+        )
+        .unwrap();
+        let idx: Vec<usize> = (0..4).collect();
+        let mut rng = Xoshiro256::seeded(0);
+        let s = find_split(&d, &idx, &TreeParams::default(), &mut rng).unwrap();
+        assert!((s.threshold - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_features_picks_informative_one() {
+        // Feature 0 is noise-free signal, feature 1 is constant.
+        let rows: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64, 3.0]).collect();
+        let ys: Vec<f64> = (0..12).map(|i| if i < 6 { 0.0 } else { 1.0 }).collect();
+        let d = Dataset::from_rows(vec!["sig".into(), "const".into()], &rows, ys).unwrap();
+        let idx: Vec<usize> = (0..12).collect();
+        let mut rng = Xoshiro256::seeded(1);
+        let s = find_split(&d, &idx, &TreeParams::default(), &mut rng).unwrap();
+        assert_eq!(s.feature, 0);
+    }
+}

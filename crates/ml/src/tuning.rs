@@ -1,0 +1,127 @@
+//! Hyperparameter search: exhaustive grid search scored by k-fold
+//! cross-validated MAPE.
+//!
+//! The paper uses scikit-learn defaults throughout; this module supports
+//! the workflow a practitioner would actually run on a new application —
+//! and the ablation harness uses it to check the defaults are sane.
+
+use crate::metrics::mape;
+use crate::model::{FitError, Regressor};
+use crate::sampling::k_fold;
+use lam_data::Dataset;
+
+/// Result of evaluating one hyperparameter point.
+#[derive(Debug, Clone)]
+pub struct GridPoint<P> {
+    /// The parameter value.
+    pub params: P,
+    /// Mean cross-validated MAPE (%).
+    pub cv_mape: f64,
+    /// Per-fold scores.
+    pub fold_scores: Vec<f64>,
+}
+
+/// Exhaustively evaluate `candidates` with `k`-fold CV; returns all points
+/// sorted best-first. `factory(params, seed)` builds a fresh model.
+pub fn grid_search<P, F>(
+    data: &Dataset,
+    candidates: Vec<P>,
+    k: usize,
+    seed: u64,
+    factory: F,
+) -> Result<Vec<GridPoint<P>>, FitError>
+where
+    P: Clone,
+    F: Fn(&P, u64) -> Box<dyn Regressor>,
+{
+    if candidates.is_empty() {
+        return Err(FitError::Invalid("no candidates supplied".to_string()));
+    }
+    if data.len() < k {
+        return Err(FitError::Invalid(format!(
+            "dataset of {} rows cannot be split into {k} folds",
+            data.len()
+        )));
+    }
+    let folds = k_fold(data, k, seed);
+    let mut out = Vec::with_capacity(candidates.len());
+    for params in candidates {
+        let mut fold_scores = Vec::with_capacity(k);
+        for (fi, (train, test)) in folds.iter().enumerate() {
+            let mut model = factory(&params, seed ^ (fi as u64).wrapping_mul(0x9E37));
+            model.fit(train)?;
+            let preds = model.predict(test);
+            let score = mape(test.response(), &preds)
+                .map_err(|e| FitError::Invalid(format!("metric failure: {e}")))?;
+            fold_scores.push(score);
+        }
+        let cv_mape = fold_scores.iter().sum::<f64>() / fold_scores.len() as f64;
+        out.push(GridPoint {
+            params,
+            cv_mape,
+            fold_scores,
+        });
+    }
+    out.sort_by(|a, b| a.cv_mape.partial_cmp(&b.cv_mape).expect("finite scores"));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::ExtraTreesRegressor;
+    use crate::knn::KnnRegressor;
+    use crate::tree::TreeParams;
+
+    fn dataset() -> Dataset {
+        let xs: Vec<f64> = (0..120).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 5.0 + x * x).collect();
+        Dataset::new(vec!["x".into()], xs, ys).unwrap()
+    }
+
+    #[test]
+    fn grid_search_ranks_knn_k() {
+        // On a smooth noiseless function, small k should beat large k.
+        let d = dataset();
+        let ranked = grid_search(&d, vec![1usize, 5, 40], 4, 3, |&k, _| {
+            Box::new(KnnRegressor::new(k))
+        })
+        .unwrap();
+        assert_eq!(ranked.len(), 3);
+        assert!(ranked.windows(2).all(|w| w[0].cv_mape <= w[1].cv_mape));
+        assert!(ranked[0].params < 40, "best k = {}", ranked[0].params);
+    }
+
+    #[test]
+    fn grid_search_over_forest_size() {
+        let d = dataset();
+        let ranked = grid_search(&d, vec![5usize, 50], 3, 1, |&n, seed| {
+            Box::new(ExtraTreesRegressor::with_params(
+                n,
+                TreeParams::default(),
+                seed,
+            ))
+        })
+        .unwrap();
+        // Bigger forest should not be (much) worse.
+        let best = &ranked[0];
+        assert!(best.cv_mape <= ranked[1].cv_mape);
+        assert_eq!(best.fold_scores.len(), 3);
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let d = dataset();
+        let r = grid_search(&d, Vec::<usize>::new(), 3, 0, |_, _| {
+            Box::new(KnnRegressor::new(1))
+        });
+        assert!(matches!(r, Err(FitError::Invalid(_))));
+    }
+
+    #[test]
+    fn too_few_rows_rejected() {
+        let d = Dataset::new(vec!["x".into()], vec![1.0, 2.0], vec![1.0, 2.0]).unwrap();
+        let r = grid_search(&d, vec![1usize], 5, 0, |_, _| Box::new(KnnRegressor::new(1)));
+        assert!(matches!(r, Err(FitError::Invalid(_))));
+    }
+}

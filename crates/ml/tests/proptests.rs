@@ -1,0 +1,160 @@
+//! Property-based tests for the ML substrate.
+
+use lam_data::Dataset;
+use lam_ml::ensemble::BaggingRegressor;
+use lam_ml::forest::ExtraTreesRegressor;
+use lam_ml::metrics::{mae, mape, r2, rmse};
+use lam_ml::model::Regressor;
+use lam_ml::preprocessing::StandardScaler;
+use lam_ml::sampling::{k_fold, train_test_split_fraction};
+use lam_ml::tree::{DecisionTreeRegressor, TreeParams};
+use proptest::prelude::*;
+
+/// Arbitrary small dataset: n rows, 2 features, finite values.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (4usize..60).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-100.0f64..100.0, n * 2),
+            proptest::collection::vec(0.1f64..1000.0, n),
+        )
+            .prop_map(|(features, response)| {
+                Dataset::new(vec!["a".into(), "b".into()], features, response).unwrap()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tree predictions never leave the training-target range (leaf values
+    /// are means of training targets).
+    #[test]
+    fn tree_predictions_within_target_range(data in dataset_strategy(), px in -200.0f64..200.0, py in -200.0f64..200.0) {
+        let mut t = DecisionTreeRegressor::new(TreeParams::default(), 1);
+        t.fit(&data).unwrap();
+        let lo = data.response().iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.response().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let p = t.predict_row(&[px, py]);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+    }
+
+    /// Forest predictions are convex combinations of tree predictions, so
+    /// they also stay in the target range.
+    #[test]
+    fn forest_predictions_within_target_range(data in dataset_strategy()) {
+        let mut f = ExtraTreesRegressor::with_params(10, TreeParams::default(), 3);
+        f.fit(&data).unwrap();
+        let lo = data.response().iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.response().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for i in 0..data.len() {
+            let p = f.predict_row(data.row(i));
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+
+    /// A depth-unbounded tree interpolates training data whenever feature
+    /// rows are distinct.
+    #[test]
+    fn tree_interpolates_distinct_rows(n in 4usize..40) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let ys: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 2.0).collect();
+        let data = Dataset::from_rows(vec!["a".into(), "b".into()], &rows, ys).unwrap();
+        let mut t = DecisionTreeRegressor::new(TreeParams::default(), 0);
+        t.fit(&data).unwrap();
+        for (x, y) in data.iter() {
+            prop_assert!((t.predict_row(x) - y).abs() < 1e-9);
+        }
+    }
+
+    /// Standardization round-trips.
+    #[test]
+    fn scaler_round_trip(data in dataset_strategy()) {
+        let mut s = StandardScaler::new();
+        s.fit(&data).unwrap();
+        for i in 0..data.len() {
+            let mut row = data.row(i).to_vec();
+            let orig = row.clone();
+            s.transform_row(&mut row);
+            s.inverse_transform_row(&mut row);
+            for (a, b) in row.iter().zip(&orig) {
+                prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+            }
+        }
+    }
+
+    /// Split fractions produce disjoint, complete partitions.
+    #[test]
+    fn split_partitions_completely(data in dataset_strategy(), frac in 0.05f64..0.95, seed in 0u64..1000) {
+        let (train, test) = train_test_split_fraction(&data, frac, seed);
+        prop_assert_eq!(train.len() + test.len(), data.len());
+        prop_assert!(!train.is_empty());
+        prop_assert!(!test.is_empty());
+    }
+
+    /// K-fold covers every row exactly once as test data.
+    #[test]
+    fn k_fold_covers(data in dataset_strategy(), k in 2usize..5, seed in 0u64..100) {
+        prop_assume!(data.len() >= k);
+        let folds = k_fold(&data, k, seed);
+        let total_test: usize = folds.iter().map(|(_, t)| t.len()).sum();
+        prop_assert_eq!(total_test, data.len());
+    }
+
+    /// Metric identities: perfect predictions give zero error and R² = 1;
+    /// MAPE is scale-invariant.
+    #[test]
+    fn metric_identities(ys in proptest::collection::vec(0.5f64..100.0, 2..30), scale in 0.1f64..50.0) {
+        prop_assert_eq!(mape(&ys, &ys).unwrap(), 0.0);
+        prop_assert_eq!(mae(&ys, &ys).unwrap(), 0.0);
+        prop_assert_eq!(rmse(&ys, &ys).unwrap(), 0.0);
+        if ys.iter().any(|&y| (y - ys[0]).abs() > 1e-9) {
+            prop_assert!((r2(&ys, &ys).unwrap() - 1.0).abs() < 1e-12);
+        }
+        // scale invariance of MAPE
+        let perturbed: Vec<f64> = ys.iter().map(|y| y * 1.1).collect();
+        let a = mape(&ys, &perturbed).unwrap();
+        let ys2: Vec<f64> = ys.iter().map(|y| y * scale).collect();
+        let perturbed2: Vec<f64> = perturbed.iter().map(|y| y * scale).collect();
+        let b = mape(&ys2, &perturbed2).unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// MAE ≤ RMSE (Jensen).
+    #[test]
+    fn mae_le_rmse(
+        ys in proptest::collection::vec(0.5f64..100.0, 2..30),
+        noise in proptest::collection::vec(-5.0f64..5.0, 30)
+    ) {
+        let preds: Vec<f64> = ys.iter().zip(&noise).map(|(y, n)| y + n).collect();
+        let mae_v = mae(&ys, &preds).unwrap();
+        let rmse_v = rmse(&ys, &preds).unwrap();
+        prop_assert!(mae_v <= rmse_v + 1e-12);
+    }
+
+    /// Bagging with one member behaves like a (resampled) base model: its
+    /// prediction stays within the training-target range.
+    #[test]
+    fn bagging_stays_in_range(data in dataset_strategy()) {
+        let mut b = BaggingRegressor::new(5, 3, |seed| {
+            Box::new(DecisionTreeRegressor::new(TreeParams::default(), seed))
+        });
+        b.fit(&data).unwrap();
+        let lo = data.response().iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.response().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let p = b.predict_row(data.row(0));
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    /// Forests are deterministic in their seed regardless of Rayon
+    /// scheduling.
+    #[test]
+    fn forest_seed_determinism(data in dataset_strategy(), seed in 0u64..50) {
+        let mut a = ExtraTreesRegressor::with_params(8, TreeParams::default(), seed);
+        let mut b = ExtraTreesRegressor::with_params(8, TreeParams::default(), seed);
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        for i in 0..data.len() {
+            prop_assert_eq!(a.predict_row(data.row(i)), b.predict_row(data.row(i)));
+        }
+    }
+}

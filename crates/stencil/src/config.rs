@@ -1,0 +1,359 @@
+//! Stencil configurations and the paper's dataset spaces.
+//!
+//! The full PATUS modeling vector is `X = (I, J, K, bi, bj, bk, u, t)`;
+//! each evaluation figure uses a projection of it:
+//!
+//! * Fig 3A / Fig 6 — `X = (I, J, K, bi, bj, bk)`, grids `1×16×16 … 1×128×128`
+//!   (16-point stride), blocks `1×1×1 … I×J×K`;
+//! * Fig 5 — `X = (I, J, K)`, grids `128³ … 256³` (16-point stride);
+//! * Fig 7 — `X = (I, J, K, t)`, grids `128×128×1 … 176×176×1`, `t = 1…8`.
+
+use lam_data::space::block_ladder;
+use lam_data::ParamRange;
+use serde::{Deserialize, Serialize};
+
+/// A concrete stencil run configuration (the full modeling vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StencilConfig {
+    /// Interior grid points in x.
+    pub i: usize,
+    /// Interior grid points in y.
+    pub j: usize,
+    /// Interior grid points in z.
+    pub k: usize,
+    /// Block size in x (`0 < bi <= i`).
+    pub bi: usize,
+    /// Block size in y.
+    pub bj: usize,
+    /// Block size in z.
+    pub bk: usize,
+    /// Inner-loop unroll factor (1 = no unrolling; paper allows 0–8, where
+    /// 0 means "no unrolling", which we normalize to 1).
+    pub unroll: usize,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl StencilConfig {
+    /// Unblocked, serial configuration for a grid.
+    pub fn unblocked(i: usize, j: usize, k: usize) -> Self {
+        Self {
+            i,
+            j,
+            k,
+            bi: i,
+            bj: j,
+            bk: k,
+            unroll: 1,
+            threads: 1,
+        }
+    }
+
+    /// Total interior points.
+    pub fn points(&self) -> usize {
+        self.i * self.j * self.k
+    }
+
+    /// Clamp block sizes into `[1, dim]` and unroll/threads into sane
+    /// ranges; returns the normalized configuration.
+    pub fn normalized(mut self) -> Self {
+        self.bi = self.bi.clamp(1, self.i);
+        self.bj = self.bj.clamp(1, self.j);
+        self.bk = self.bk.clamp(1, self.k);
+        self.unroll = self.unroll.clamp(1, 8);
+        self.threads = self.threads.max(1);
+        self
+    }
+
+    /// Validity check (block sizes within dims, nonzero everything).
+    pub fn is_valid(&self) -> bool {
+        self.i > 0
+            && self.j > 0
+            && self.k > 0
+            && (1..=self.i).contains(&self.bi)
+            && (1..=self.j).contains(&self.bj)
+            && (1..=self.k).contains(&self.bk)
+            && (1..=8).contains(&self.unroll)
+            && self.threads >= 1
+    }
+
+    /// Stable hash of the configuration for the noise model.
+    pub fn hash64(&self) -> u64 {
+        lam_machine::noise::hash_config(&[
+            self.i as u64,
+            self.j as u64,
+            self.k as u64,
+            self.bi as u64,
+            self.bj as u64,
+            self.bk as u64,
+            self.unroll as u64,
+            self.threads as u64,
+        ])
+    }
+}
+
+/// Which projection of the modeling vector a dataset exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StencilFeatures {
+    /// `(I, J, K)` — Fig 5.
+    GridOnly,
+    /// `(I, J, K, bi, bj, bk)` — Fig 3A and Fig 6.
+    GridAndBlocking,
+    /// `(I, J, K, t)` — Fig 7.
+    GridAndThreads,
+}
+
+impl StencilFeatures {
+    /// Feature-column names for this projection.
+    pub fn names(self) -> Vec<String> {
+        match self {
+            StencilFeatures::GridOnly => vec!["I".into(), "J".into(), "K".into()],
+            StencilFeatures::GridAndBlocking => vec![
+                "I".into(),
+                "J".into(),
+                "K".into(),
+                "bi".into(),
+                "bj".into(),
+                "bk".into(),
+            ],
+            StencilFeatures::GridAndThreads => {
+                vec!["I".into(), "J".into(), "K".into(), "t".into()]
+            }
+        }
+    }
+
+    /// Project a configuration onto this feature vector.
+    pub fn project(self, c: &StencilConfig) -> Vec<f64> {
+        match self {
+            StencilFeatures::GridOnly => vec![c.i as f64, c.j as f64, c.k as f64],
+            StencilFeatures::GridAndBlocking => vec![
+                c.i as f64,
+                c.j as f64,
+                c.k as f64,
+                c.bi as f64,
+                c.bj as f64,
+                c.bk as f64,
+            ],
+            StencilFeatures::GridAndThreads => {
+                vec![c.i as f64, c.j as f64, c.k as f64, c.threads as f64]
+            }
+        }
+    }
+}
+
+/// An enumerable stencil configuration space with an associated feature
+/// projection.
+#[derive(Debug, Clone)]
+pub struct StencilSpace {
+    /// Dataset label used in reports.
+    pub name: &'static str,
+    /// Feature projection.
+    pub features: StencilFeatures,
+    configs: Vec<StencilConfig>,
+}
+
+impl StencilSpace {
+    /// All configurations in the space.
+    pub fn configs(&self) -> &[StencilConfig] {
+        &self.configs
+    }
+
+    /// Number of configurations.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// `true` when empty (never for the paper spaces).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self) -> Vec<String> {
+        self.features.names()
+    }
+}
+
+/// Fig 5 space: grid sizes only, `128³ … 256³` with a 16-point stride
+/// (9 values per axis → 729 configurations).
+pub fn space_grid_only() -> StencilSpace {
+    let axis = ParamRange::new(128, 256, 16).values();
+    let mut configs = Vec::new();
+    for &i in &axis {
+        for &j in &axis {
+            for &k in &axis {
+                configs.push(StencilConfig::unblocked(i as usize, j as usize, k as usize));
+            }
+        }
+    }
+    StencilSpace {
+        name: "stencil-grid",
+        features: StencilFeatures::GridOnly,
+        configs,
+    }
+}
+
+/// Fig 3A / Fig 6 space: thin grids `1×16×16 … 1×128×128` (16-point stride)
+/// crossed with loop blocks `1×1×1 … I×J×K` drawn from a geometric ladder
+/// per axis (the paper's full cross product is unbounded; the ladder keeps
+/// every decade of block shapes while bounding the enumeration).
+pub fn space_grid_blocking() -> StencilSpace {
+    let axis = ParamRange::new(16, 128, 16).values();
+    let mut configs = Vec::new();
+    for &j in &axis {
+        for &k in &axis {
+            let (i, j, k) = (1usize, j as usize, k as usize);
+            for &bj in &block_ladder(j as u64) {
+                for &bk in &block_ladder(k as u64) {
+                    configs.push(
+                        StencilConfig {
+                            i,
+                            j,
+                            k,
+                            bi: 1,
+                            bj: bj as usize,
+                            bk: bk as usize,
+                            unroll: 1,
+                            threads: 1,
+                        }
+                        .normalized(),
+                    );
+                }
+            }
+        }
+    }
+    StencilSpace {
+        name: "stencil-grid-blocking",
+        features: StencilFeatures::GridAndBlocking,
+        configs,
+    }
+}
+
+/// Fig 7 space: planar grids `128×128×1 … 176×176×1` with `t = 1…8`
+/// threads. The paper's 16-point stride gives 4 values per axis; we use an
+/// 8-point stride (7 values) so the 1% training window still contains a few
+/// samples — noted in EXPERIMENTS.md.
+pub fn space_grid_threads() -> StencilSpace {
+    let axis = ParamRange::new(128, 176, 8).values();
+    let mut configs = Vec::new();
+    for &i in &axis {
+        for &j in &axis {
+            for t in 1..=8usize {
+                configs.push(StencilConfig {
+                    i: i as usize,
+                    j: j as usize,
+                    k: 1,
+                    bi: i as usize,
+                    bj: j as usize,
+                    bk: 1,
+                    unroll: 1,
+                    threads: t,
+                });
+            }
+        }
+    }
+    StencilSpace {
+        name: "stencil-grid-threads",
+        features: StencilFeatures::GridAndThreads,
+        configs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unblocked_is_valid() {
+        let c = StencilConfig::unblocked(16, 32, 64);
+        assert!(c.is_valid());
+        assert_eq!(c.points(), 16 * 32 * 64);
+        assert_eq!(c.bi, 16);
+    }
+
+    #[test]
+    fn normalization_clamps() {
+        let c = StencilConfig {
+            i: 8,
+            j: 8,
+            k: 8,
+            bi: 100,
+            bj: 0,
+            bk: 3,
+            unroll: 0,
+            threads: 0,
+        }
+        .normalized();
+        assert!(c.is_valid());
+        assert_eq!(c.bi, 8);
+        assert_eq!(c.bj, 1);
+        assert_eq!(c.unroll, 1);
+        assert_eq!(c.threads, 1);
+    }
+
+    #[test]
+    fn hash_distinguishes_configs() {
+        let a = StencilConfig::unblocked(16, 16, 16);
+        let mut b = a;
+        b.bj = 8;
+        assert_ne!(a.hash64(), b.hash64());
+        assert_eq!(a.hash64(), a.hash64());
+    }
+
+    #[test]
+    fn grid_only_space_is_729() {
+        let s = space_grid_only();
+        assert_eq!(s.len(), 729);
+        assert!(s.configs().iter().all(|c| c.is_valid()));
+        assert_eq!(s.feature_names().len(), 3);
+        let c = &s.configs()[0];
+        assert_eq!(c.i, 128);
+        let c = s.configs().last().unwrap();
+        assert_eq!((c.i, c.j, c.k), (256, 256, 256));
+    }
+
+    #[test]
+    fn blocking_space_shape() {
+        let s = space_grid_blocking();
+        // 8 J values x 8 K values, ladder(16..128) gives 5..8 values each.
+        assert!(s.len() > 1500, "len {}", s.len());
+        assert!(s.configs().iter().all(|c| c.is_valid()));
+        assert!(s.configs().iter().all(|c| c.i == 1 && c.bi == 1));
+        assert_eq!(s.feature_names().len(), 6);
+    }
+
+    #[test]
+    fn threads_space_shape() {
+        let s = space_grid_threads();
+        assert_eq!(s.len(), 7 * 7 * 8);
+        assert!(s.configs().iter().all(|c| c.is_valid()));
+        assert!(s.configs().iter().any(|c| c.threads == 8));
+        assert_eq!(s.feature_names(), vec!["I", "J", "K", "t"]);
+    }
+
+    #[test]
+    fn projection_matches_features() {
+        let c = StencilConfig {
+            i: 10,
+            j: 20,
+            k: 30,
+            bi: 2,
+            bj: 4,
+            bk: 8,
+            unroll: 2,
+            threads: 3,
+        };
+        assert_eq!(
+            StencilFeatures::GridOnly.project(&c),
+            vec![10.0, 20.0, 30.0]
+        );
+        assert_eq!(
+            StencilFeatures::GridAndBlocking.project(&c),
+            vec![10.0, 20.0, 30.0, 2.0, 4.0, 8.0]
+        );
+        assert_eq!(
+            StencilFeatures::GridAndThreads.project(&c),
+            vec![10.0, 20.0, 30.0, 3.0]
+        );
+    }
+}

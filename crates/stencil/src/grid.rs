@@ -1,0 +1,173 @@
+//! Ghosted 3-D grid storage for stencil sweeps.
+//!
+//! Memory layout is `x` fastest (unit stride), then `y`, then `z` — the
+//! layout the paper's cache model assumes (`II` contiguous, planes of
+//! `II × JJ`). One ghost layer of width `l` (the stencil order) surrounds
+//! the interior.
+
+/// A 3-D grid of `f64` with ghost layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid3 {
+    /// Interior points in x.
+    pub nx: usize,
+    /// Interior points in y.
+    pub ny: usize,
+    /// Interior points in z.
+    pub nz: usize,
+    /// Ghost-layer width (stencil order; 1 for the 7-point stencil).
+    pub ghost: usize,
+    data: Vec<f64>,
+}
+
+impl Grid3 {
+    /// Allocate a zero-filled grid.
+    pub fn new(nx: usize, ny: usize, nz: usize, ghost: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid dims must be positive");
+        let (xx, yy, zz) = (nx + 2 * ghost, ny + 2 * ghost, nz + 2 * ghost);
+        Self {
+            nx,
+            ny,
+            nz,
+            ghost,
+            data: vec![0.0; xx * yy * zz],
+        }
+    }
+
+    /// Padded (ghost-inclusive) x dimension — the paper's `II`.
+    #[inline]
+    pub fn xx(&self) -> usize {
+        self.nx + 2 * self.ghost
+    }
+
+    /// Padded y dimension — the paper's `JJ`.
+    #[inline]
+    pub fn yy(&self) -> usize {
+        self.ny + 2 * self.ghost
+    }
+
+    /// Padded z dimension — the paper's `KK`.
+    #[inline]
+    pub fn zz(&self) -> usize {
+        self.nz + 2 * self.ghost
+    }
+
+    /// Flat index of padded coordinates (including ghosts, origin at the
+    /// padded corner).
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * self.yy() + y) * self.xx() + x
+    }
+
+    /// Read an interior point by interior coordinates (0-based, excluding
+    /// ghosts).
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> f64 {
+        let g = self.ghost;
+        self.data[self.idx(x + g, y + g, z + g)]
+    }
+
+    /// Write an interior point by interior coordinates.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: f64) {
+        let g = self.ghost;
+        let i = self.idx(x + g, y + g, z + g);
+        self.data[i] = v;
+    }
+
+    /// Borrow the raw buffer.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Fill the interior with `f(x, y, z)`; ghosts are left at zero
+    /// (homogeneous Dirichlet boundary).
+    pub fn fill_with<F: Fn(usize, usize, usize) -> f64>(&mut self, f: F) {
+        for z in 0..self.nz {
+            for y in 0..self.ny {
+                for x in 0..self.nx {
+                    self.set(x, y, z, f(x, y, z));
+                }
+            }
+        }
+    }
+
+    /// Sum of interior values (checksum for correctness tests).
+    pub fn interior_sum(&self) -> f64 {
+        let mut acc = 0.0;
+        for z in 0..self.nz {
+            for y in 0..self.ny {
+                for x in 0..self.nx {
+                    acc += self.get(x, y, z);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Total allocated elements (with ghosts).
+    pub fn padded_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let g = Grid3::new(4, 5, 6, 1);
+        assert_eq!(g.xx(), 6);
+        assert_eq!(g.yy(), 7);
+        assert_eq!(g.zz(), 8);
+        assert_eq!(g.padded_len(), 6 * 7 * 8);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut g = Grid3::new(3, 3, 3, 1);
+        g.set(0, 0, 0, 1.5);
+        g.set(2, 2, 2, 2.5);
+        assert_eq!(g.get(0, 0, 0), 1.5);
+        assert_eq!(g.get(2, 2, 2), 2.5);
+        assert_eq!(g.get(1, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn x_is_unit_stride() {
+        let g = Grid3::new(4, 4, 4, 1);
+        assert_eq!(g.idx(2, 1, 1) - g.idx(1, 1, 1), 1);
+        assert_eq!(g.idx(1, 2, 1) - g.idx(1, 1, 1), g.xx());
+        assert_eq!(g.idx(1, 1, 2) - g.idx(1, 1, 1), g.xx() * g.yy());
+    }
+
+    #[test]
+    fn fill_and_sum() {
+        let mut g = Grid3::new(2, 2, 2, 1);
+        g.fill_with(|x, y, z| (x + y + z) as f64);
+        // sum over 2x2x2 of (x+y+z): each coordinate sums to 4 over 8 points
+        assert_eq!(g.interior_sum(), 12.0);
+    }
+
+    #[test]
+    fn ghosts_stay_zero() {
+        let mut g = Grid3::new(2, 2, 2, 1);
+        g.fill_with(|_, _, _| 1.0);
+        // Corner ghost at padded (0,0,0):
+        assert_eq!(g.data()[0], 0.0);
+        assert_eq!(g.interior_sum(), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        Grid3::new(0, 1, 1, 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! 27-point 3-D stencil — the other stencil the paper names ("a 7-point or
+//! a 27-point stencil is often used for 3-D domains").
+//!
+//! The update averages the full 3×3×3 neighbourhood with three weights:
+//! centre `c0`, the 6 face neighbours `c1`, the 12 edge neighbours `c2`,
+//! and the 8 corner neighbours `c3`.
+
+use crate::config::StencilConfig;
+use crate::grid::Grid3;
+
+/// Weights of the 27-point update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coefficients27 {
+    /// Centre weight.
+    pub c0: f64,
+    /// Face-neighbour weight (6 points).
+    pub c1: f64,
+    /// Edge-neighbour weight (12 points).
+    pub c2: f64,
+    /// Corner-neighbour weight (8 points).
+    pub c3: f64,
+}
+
+impl Default for Coefficients27 {
+    fn default() -> Self {
+        // A conservative smoothing kernel: weights sum to 1.
+        Self {
+            c0: 0.4,
+            c1: 0.05,
+            c2: 0.02,
+            c3: 0.0075,
+        }
+    }
+}
+
+impl Coefficients27 {
+    /// Sum of all 27 weights (1.0 for a conservative kernel).
+    pub fn total_weight(&self) -> f64 {
+        self.c0 + 6.0 * self.c1 + 12.0 * self.c2 + 8.0 * self.c3
+    }
+}
+
+/// Flops per interior point: 26 adds within shells + 4 multiplies + 3 adds.
+pub const FLOPS_PER_POINT_27: f64 = 33.0;
+
+/// One naive 27-point sweep.
+pub fn step27_naive(src: &Grid3, dst: &mut Grid3, coef: Coefficients27) {
+    assert_eq!(
+        (src.nx, src.ny, src.nz, src.ghost),
+        (dst.nx, dst.ny, dst.nz, dst.ghost),
+        "source and destination grids must have identical shapes"
+    );
+    let (nx, ny, nz, g) = (src.nx, src.ny, src.nz, src.ghost);
+    let xx = src.xx();
+    let yy = src.yy();
+    let s = src.data();
+    let d = dst.data_mut();
+    let at = |x: usize, y: usize, z: usize| s[(z * yy + y) * xx + x];
+    for z in g..(nz + g) {
+        for y in g..(ny + g) {
+            for x in g..(nx + g) {
+                let mut faces = 0.0;
+                let mut edges = 0.0;
+                let mut corners = 0.0;
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let dist = dx.abs() + dy.abs() + dz.abs();
+                            if dist == 0 {
+                                continue;
+                            }
+                            let v = at(
+                                (x as i64 + dx) as usize,
+                                (y as i64 + dy) as usize,
+                                (z as i64 + dz) as usize,
+                            );
+                            match dist {
+                                1 => faces += v,
+                                2 => edges += v,
+                                _ => corners += v,
+                            }
+                        }
+                    }
+                }
+                d[(z * yy + y) * xx + x] = coef.c0 * at(x, y, z)
+                    + coef.c1 * faces
+                    + coef.c2 * edges
+                    + coef.c3 * corners;
+            }
+        }
+    }
+}
+
+/// One blocked 27-point sweep; results identical to [`step27_naive`].
+pub fn step27_blocked(src: &Grid3, dst: &mut Grid3, coef: Coefficients27, cfg: &StencilConfig) {
+    let cfg = cfg.normalized();
+    assert_eq!(
+        (src.nx, src.ny, src.nz, src.ghost),
+        (dst.nx, dst.ny, dst.nz, dst.ghost),
+        "source and destination grids must have identical shapes"
+    );
+    let g = src.ghost;
+    let xx = src.xx();
+    let yy = src.yy();
+    let s = src.data();
+    let d = dst.data_mut();
+    let at = |x: usize, y: usize, z: usize| s[(z * yy + y) * xx + x];
+    let (nx, ny, nz) = (src.nx, src.ny, src.nz);
+    let mut z0 = g;
+    while z0 < nz + g {
+        let z1 = (z0 + cfg.bk).min(nz + g);
+        let mut y0 = g;
+        while y0 < ny + g {
+            let y1 = (y0 + cfg.bj).min(ny + g);
+            let mut x0 = g;
+            while x0 < nx + g {
+                let x1 = (x0 + cfg.bi).min(nx + g);
+                for z in z0..z1 {
+                    for y in y0..y1 {
+                        for x in x0..x1 {
+                            // Unrolled shell sums (same classification as
+                            // the naive kernel, loop-free).
+                            let faces = at(x - 1, y, z)
+                                + at(x + 1, y, z)
+                                + at(x, y - 1, z)
+                                + at(x, y + 1, z)
+                                + at(x, y, z - 1)
+                                + at(x, y, z + 1);
+                            let edges = at(x - 1, y - 1, z)
+                                + at(x + 1, y - 1, z)
+                                + at(x - 1, y + 1, z)
+                                + at(x + 1, y + 1, z)
+                                + at(x - 1, y, z - 1)
+                                + at(x + 1, y, z - 1)
+                                + at(x - 1, y, z + 1)
+                                + at(x + 1, y, z + 1)
+                                + at(x, y - 1, z - 1)
+                                + at(x, y + 1, z - 1)
+                                + at(x, y - 1, z + 1)
+                                + at(x, y + 1, z + 1);
+                            let corners = at(x - 1, y - 1, z - 1)
+                                + at(x + 1, y - 1, z - 1)
+                                + at(x - 1, y + 1, z - 1)
+                                + at(x + 1, y + 1, z - 1)
+                                + at(x - 1, y - 1, z + 1)
+                                + at(x + 1, y - 1, z + 1)
+                                + at(x - 1, y + 1, z + 1)
+                                + at(x + 1, y + 1, z + 1);
+                            d[(z * yy + y) * xx + x] = coef.c0 * at(x, y, z)
+                                + coef.c1 * faces
+                                + coef.c2 * edges
+                                + coef.c3 * corners;
+                        }
+                    }
+                }
+                x0 = x1;
+            }
+            y0 = y1;
+        }
+        z0 = z1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn init(nx: usize, ny: usize, nz: usize) -> Grid3 {
+        let mut g = Grid3::new(nx, ny, nz, 1);
+        g.fill_with(|x, y, z| ((x * 13 + y * 29 + z * 7) % 23) as f64 - 11.0);
+        g
+    }
+
+    #[test]
+    fn default_weights_conservative() {
+        assert!((Coefficients27::default().total_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let src = init(11, 9, 8);
+        let mut expect = src.clone();
+        step27_naive(&src, &mut expect, Coefficients27::default());
+        for (bi, bj, bk) in [(1, 1, 1), (4, 3, 2), (11, 9, 8), (16, 16, 16)] {
+            let cfg = StencilConfig {
+                i: 11,
+                j: 9,
+                k: 8,
+                bi,
+                bj,
+                bk,
+                unroll: 1,
+                threads: 1,
+            }
+            .normalized();
+            let mut got = src.clone();
+            step27_blocked(&src, &mut got, Coefficients27::default(), &cfg);
+            assert_eq!(got.data(), expect.data(), "blocks ({bi},{bj},{bk})");
+        }
+    }
+
+    #[test]
+    fn constant_field_invariant_in_the_interior() {
+        let mut g = Grid3::new(10, 10, 10, 1);
+        g.fill_with(|_, _, _| 3.0);
+        let mut out = g.clone();
+        step27_naive(&g, &mut out, Coefficients27::default());
+        for z in 1..9 {
+            for y in 1..9 {
+                for x in 1..9 {
+                    assert!((out.get(x, y, z) - 3.0).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_roughness() {
+        let mut g = Grid3::new(12, 12, 12, 1);
+        g.fill_with(|x, y, z| if (x + y + z) % 2 == 0 { 1.0 } else { -1.0 });
+        let mut out = g.clone();
+        step27_naive(&g, &mut out, Coefficients27::default());
+        // Interior-of-interior variance must shrink under averaging.
+        let rough = |grid: &Grid3| {
+            let mut acc = 0.0;
+            for z in 2..10 {
+                for y in 2..10 {
+                    for x in 2..10 {
+                        acc += grid.get(x, y, z).powi(2);
+                    }
+                }
+            }
+            acc
+        };
+        assert!(rough(&out) < rough(&g) * 0.9);
+    }
+}

@@ -1,0 +1,28 @@
+//! # lam-stencil
+//!
+//! The first application of the paper: a 7-point 3-D stencil in the style of
+//! the PATUS-generated code used by Ibeid et al. — with the same tuning
+//! knobs (grid size `I×J×K`, loop blocking `bi×bj×bk`, inner-loop unrolling
+//! `u`, threads `t`) forming the modeling vector
+//! `X = (I, J, K, bi, bj, bk, u, t)`.
+//!
+//! Two execution paths are provided:
+//!
+//! * [`kernel`] — a *real, runnable* stencil (naive, blocked, unrolled,
+//!   multithreaded) with wall-clock measurement in [`measure`]; and
+//! * [`oracle`] — a *simulated* execution on a [`lam_machine`] description,
+//!   which serves as the reproducible ground truth for every experiment
+//!   (the paper measured on Blue Waters; see DESIGN.md §1 for the
+//!   substitution argument).
+
+pub mod config;
+pub mod grid;
+pub mod kernel;
+pub mod kernel27;
+pub mod measure;
+pub mod oracle;
+pub mod trace;
+
+pub use config::{StencilConfig, StencilSpace};
+pub use grid::Grid3;
+pub use oracle::StencilOracle;

@@ -1,0 +1,71 @@
+//! Wall-clock measurement of the *real* stencil kernel on the host machine.
+//!
+//! Used by the `hardware_change` example and available to anyone who wants
+//! to regenerate the paper's experiments against genuine measurements
+//! instead of the simulated oracle (slower, machine-dependent).
+
+use crate::config::{StencilConfig, StencilSpace};
+use crate::grid::Grid3;
+use crate::kernel::{run, Coefficients};
+use lam_data::Dataset;
+use std::time::Instant;
+
+/// Measure one configuration: median wall-clock seconds of `reps` runs of
+/// `timesteps` sweeps.
+pub fn measure_config(cfg: &StencilConfig, timesteps: usize, reps: usize) -> f64 {
+    assert!(reps >= 1, "need at least one repetition");
+    let cfg = cfg.normalized();
+    let mut grid = Grid3::new(cfg.i, cfg.j, cfg.k, 1);
+    grid.fill_with(|x, y, z| ((x ^ y ^ z) & 7) as f64);
+    let coef = Coefficients::default();
+    // Warm-up run to populate caches and the Rayon pool.
+    let _ = run(&grid, coef, &cfg, 1);
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = run(&grid, coef, &cfg, timesteps);
+            let dt = t0.elapsed().as_secs_f64();
+            // Keep the optimizer honest.
+            std::hint::black_box(out.interior_sum());
+            dt
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+/// Measure a whole space into a dataset (features per the space's
+/// projection, response = median wall-clock seconds).
+pub fn measure_dataset(space: &StencilSpace, timesteps: usize, reps: usize) -> Dataset {
+    let mut data = Dataset::empty(space.feature_names());
+    for cfg in space.configs() {
+        let y = measure_config(cfg, timesteps, reps);
+        data.push(&space.features.project(cfg), y);
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_is_positive() {
+        let cfg = StencilConfig::unblocked(16, 16, 16);
+        let t = measure_config(&cfg, 2, 1);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn larger_work_measures_slower() {
+        let small = measure_config(&StencilConfig::unblocked(8, 8, 8), 1, 3);
+        let large = measure_config(&StencilConfig::unblocked(64, 64, 64), 8, 3);
+        assert!(large > small, "small {small} large {large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "repetition")]
+    fn zero_reps_panics() {
+        measure_config(&StencilConfig::unblocked(8, 8, 8), 1, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests: every tuned stencil variant computes exactly the
+//! naive result, and the oracle behaves like a time.
+
+use lam_stencil::config::StencilConfig;
+use lam_stencil::grid::Grid3;
+use lam_stencil::kernel::{step_blocked, step_naive, step_threaded, Coefficients};
+use lam_stencil::oracle::StencilOracle;
+use lam_machine::arch::MachineDescription;
+use proptest::prelude::*;
+
+fn grid_with_pattern(nx: usize, ny: usize, nz: usize, salt: u64) -> Grid3 {
+    let mut g = Grid3::new(nx, ny, nz, 1);
+    g.fill_with(|x, y, z| {
+        let h = (x as u64)
+            .wrapping_mul(0x9E3779B9)
+            .wrapping_add((y as u64).wrapping_mul(0x85EBCA6B))
+            .wrapping_add((z as u64).wrapping_mul(0xC2B2AE35))
+            .wrapping_add(salt);
+        ((h % 17) as f64) - 8.0
+    });
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked + unrolled kernel ≡ naive kernel, bit for bit, for any
+    /// block shape and unroll factor.
+    #[test]
+    fn blocked_equals_naive(
+        nx in 1usize..14,
+        ny in 1usize..14,
+        nz in 1usize..14,
+        bi in 1usize..16,
+        bj in 1usize..16,
+        bk in 1usize..16,
+        unroll in 1usize..=8,
+        salt in 0u64..100,
+    ) {
+        let src = grid_with_pattern(nx, ny, nz, salt);
+        let mut expect = src.clone();
+        step_naive(&src, &mut expect, Coefficients::default());
+        let cfg = StencilConfig {
+            i: nx,
+            j: ny,
+            k: nz,
+            bi,
+            bj,
+            bk,
+            unroll,
+            threads: 1,
+        }
+        .normalized();
+        let mut got = src.clone();
+        step_blocked(&src, &mut got, Coefficients::default(), &cfg);
+        prop_assert_eq!(got.data(), expect.data());
+    }
+
+    /// Threaded kernel ≡ naive kernel for any thread count.
+    #[test]
+    fn threaded_equals_naive(
+        nx in 1usize..12,
+        ny in 1usize..12,
+        nz in 1usize..12,
+        threads in 1usize..=8,
+        salt in 0u64..100,
+    ) {
+        let src = grid_with_pattern(nx, ny, nz, salt);
+        let mut expect = src.clone();
+        step_naive(&src, &mut expect, Coefficients::default());
+        let cfg = StencilConfig {
+            threads,
+            ..StencilConfig::unblocked(nx, ny, nz)
+        };
+        let mut got = src.clone();
+        step_threaded(&src, &mut got, Coefficients::default(), &cfg);
+        prop_assert_eq!(got.data(), expect.data());
+    }
+
+    /// Oracle times are positive, finite, and deterministic for arbitrary
+    /// valid configurations.
+    #[test]
+    fn oracle_well_behaved(
+        j in 8usize..200,
+        k in 8usize..200,
+        bj in 1usize..200,
+        bk in 1usize..200,
+        unroll in 1usize..=8,
+        threads in 1usize..=16,
+    ) {
+        let oracle = StencilOracle::new(MachineDescription::blue_waters_xe6(), 5);
+        let cfg = StencilConfig {
+            i: 1,
+            j,
+            k,
+            bi: 1,
+            bj,
+            bk,
+            unroll,
+            threads,
+        }
+        .normalized();
+        let t = oracle.execution_time(&cfg);
+        prop_assert!(t.is_finite() && t > 0.0);
+        prop_assert_eq!(t, oracle.execution_time(&cfg));
+    }
+
+    /// More grid points never makes the (noise-free) serial oracle faster.
+    #[test]
+    fn oracle_monotone_in_volume(j in 16usize..100, k in 16usize..100) {
+        let oracle = StencilOracle::new(MachineDescription::blue_waters_xe6(), 5).without_noise();
+        let small = oracle.execution_time(&StencilConfig::unblocked(1, j, k));
+        let bigger = oracle.execution_time(&StencilConfig::unblocked(1, j * 2, k));
+        prop_assert!(bigger > small);
+    }
+}

@@ -1,0 +1,77 @@
+//! Model selection with cross-validated grid search: pick hyperparameters
+//! for the hybrid's ML base on a new application *before* spending the
+//! measurement budget.
+//!
+//! Run: `cargo run --release --example model_selection`
+
+use lam::analytical::stencil::BlockedStencilModel;
+use lam::core::hybrid::{HybridConfig, HybridModel};
+use lam::machine::arch::MachineDescription;
+use lam::ml::ensemble::GradientBoostingRegressor;
+use lam::ml::forest::ExtraTreesRegressor;
+use lam::ml::model::Regressor;
+use lam::ml::sampling::train_test_split_fraction;
+use lam::ml::tree::{MaxFeatures, TreeParams};
+use lam::ml::tuning::grid_search;
+use lam::stencil::config::space_grid_blocking;
+use lam::stencil::oracle::StencilOracle;
+
+fn main() {
+    let machine = MachineDescription::blue_waters_xe6();
+    let data = StencilOracle::new(machine.clone(), 7).generate_dataset(&space_grid_blocking());
+    // Only 4% of the space is "measured"; all tuning happens inside it.
+    let (train, test) = train_test_split_fraction(&data, 0.04, 21);
+    println!(
+        "tuning on {} measured configs ({} held out for the final check)",
+        train.len(),
+        test.len()
+    );
+
+    // 1. Grid-search the extra-trees leaf size with 4-fold CV.
+    let leaf_candidates = vec![1usize, 2, 5, 10];
+    let ranked = grid_search(&train, leaf_candidates, 4, 3, |&leaf, seed| {
+        let params = TreeParams {
+            min_samples_leaf: leaf,
+            max_features: MaxFeatures::All,
+            ..TreeParams::default()
+        };
+        Box::new(ExtraTreesRegressor::with_params(100, params, seed))
+    })
+    .expect("grid search");
+    println!("\nextra-trees min_samples_leaf, by cross-validated MAPE:");
+    for p in &ranked {
+        println!("  leaf = {:>2}: CV MAPE {:.1}%", p.params, p.cv_mape);
+    }
+    let best_leaf = ranked[0].params;
+
+    // 2. Compare tuned-ET hybrid against a boosting-based hybrid.
+    let am = || Box::new(BlockedStencilModel::new(machine.clone(), 4));
+    let params = TreeParams {
+        min_samples_leaf: best_leaf,
+        ..TreeParams::default()
+    };
+    let mut et_hybrid = HybridModel::new(
+        am(),
+        Box::new(ExtraTreesRegressor::with_params(100, params, 5)),
+        HybridConfig::default(),
+    );
+    et_hybrid.fit(&train).expect("fit ET hybrid");
+    let mut gb_hybrid = HybridModel::new(
+        am(),
+        Box::new(GradientBoostingRegressor::new(300, 0.1, 5)),
+        HybridConfig::default(),
+    );
+    gb_hybrid.fit(&train).expect("fit GB hybrid");
+
+    let score = |m: &dyn Regressor| {
+        lam::ml::metrics::mape(test.response(), &m.predict(&test)).unwrap()
+    };
+    let et_mape = score(&et_hybrid);
+    let gb_mape = score(&gb_hybrid);
+    println!("\nheld-out MAPE: hybrid(extra trees, leaf={best_leaf}) {et_mape:.1}%");
+    println!("held-out MAPE: hybrid(gradient boosting)      {gb_mape:.1}%");
+    println!(
+        "selected base: {}",
+        if et_mape <= gb_mape { "extra trees" } else { "gradient boosting" }
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a hybrid performance model in ~30 lines.
+//!
+//! Generates the paper's stencil grid-size dataset on a simulated Blue
+//! Waters node, trains a hybrid (analytical + extra trees) model on 2% of
+//! it, and compares its accuracy against a pure-ML model trained on the
+//! same 2%.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use lam::analytical::stencil::StencilAnalyticalModel;
+use lam::core::hybrid::{HybridConfig, HybridModel};
+use lam::machine::arch::MachineDescription;
+use lam::ml::forest::ExtraTreesRegressor;
+use lam::ml::metrics::mape;
+use lam::ml::model::Regressor;
+use lam::ml::sampling::train_test_split_fraction;
+use lam::stencil::config::space_grid_only;
+use lam::stencil::oracle::StencilOracle;
+
+fn main() {
+    // 1. Ground truth: "measured" execution times for 729 grid sizes.
+    let machine = MachineDescription::blue_waters_xe6();
+    let oracle = StencilOracle::new(machine.clone(), 42);
+    let data = oracle.generate_dataset(&space_grid_only());
+    println!("dataset: {} configurations, features {:?}", data.len(), data.feature_names());
+
+    // 2. Train on a 2% window, evaluate on the remaining 98%.
+    let (train, test) = train_test_split_fraction(&data, 0.02, 7);
+    println!("training on {} samples, testing on {}", train.len(), test.len());
+
+    // 3. Pure machine learning.
+    let mut pure = ExtraTreesRegressor::new(1);
+    pure.fit(&train).expect("fit pure model");
+    let pure_mape = mape(test.response(), &pure.predict(&test)).unwrap();
+
+    // 4. Hybrid: the analytical model's prediction becomes an extra
+    //    feature; predictions are aggregated with the analytical model.
+    let am = StencilAnalyticalModel::new(machine, 4);
+    let mut hybrid = HybridModel::new(
+        Box::new(am),
+        Box::new(ExtraTreesRegressor::new(1)),
+        HybridConfig::with_aggregation(),
+    );
+    hybrid.fit(&train).expect("fit hybrid model");
+    let hybrid_mape = mape(test.response(), &hybrid.predict(&test)).unwrap();
+
+    println!("pure extra trees : MAPE {pure_mape:.1}%");
+    println!("hybrid           : MAPE {hybrid_mape:.1}%");
+    assert!(
+        hybrid_mape < pure_mape,
+        "the hybrid model should win at this training size"
+    );
+    println!("hybrid wins with only {} training samples.", train.len());
+}

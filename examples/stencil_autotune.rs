@@ -1,0 +1,90 @@
+//! Autotuning with a hybrid model: pick the best loop-blocking
+//! configuration for a stencil *without* measuring every candidate.
+//!
+//! This is the workload the paper's introduction motivates: the blocking
+//! space is too large to measure exhaustively, a pure ML model needs too
+//! many samples, and the analytical model alone is ~50% off. The hybrid
+//! model trained on a 3% sample ranks configurations well enough to find a
+//! near-optimal blocking.
+//!
+//! Run: `cargo run --release --example stencil_autotune`
+
+use lam::analytical::stencil::BlockedStencilModel;
+use lam::core::hybrid::{HybridConfig, HybridModel};
+use lam::machine::arch::MachineDescription;
+use lam::ml::forest::ExtraTreesRegressor;
+use lam::ml::model::Regressor;
+use lam::ml::sampling::train_test_split_fraction;
+use lam::stencil::config::space_grid_blocking;
+use lam::stencil::oracle::StencilOracle;
+
+fn main() {
+    let machine = MachineDescription::blue_waters_xe6();
+    let oracle = StencilOracle::new(machine.clone(), 2024);
+    let space = space_grid_blocking();
+    let data = oracle.generate_dataset(&space);
+
+    // "Measure" only 3% of the space.
+    let (train, _) = train_test_split_fraction(&data, 0.03, 5);
+    println!(
+        "blocking space: {} configurations; measured sample: {}",
+        space.len(),
+        train.len()
+    );
+
+    let mut model = HybridModel::new(
+        Box::new(BlockedStencilModel::new(machine, 4)),
+        Box::new(ExtraTreesRegressor::new(3)),
+        HybridConfig::default(),
+    );
+    model.fit(&train).expect("fit hybrid");
+
+    // Rank every candidate for one target grid by *predicted* time.
+    let target = (1usize, 128usize, 128usize);
+    let mut candidates: Vec<(usize, f64)> = space
+        .configs()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| (c.i, c.j, c.k) == target)
+        .map(|(idx, c)| {
+            let x = space.features.project(c);
+            (idx, model.predict_row(&x))
+        })
+        .collect();
+    candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"));
+
+    // Compare the predicted-best block against the true best and worst.
+    let truth: Vec<(usize, f64)> = space
+        .configs()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| (c.i, c.j, c.k) == target)
+        .map(|(idx, c)| (idx, oracle.execution_time(c)))
+        .collect();
+    let true_best = truth
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    let true_worst = truth
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    let chosen = candidates[0].0;
+    let chosen_time = oracle.execution_time(&space.configs()[chosen]);
+
+    let cfg = &space.configs()[chosen];
+    println!(
+        "target grid {}x{}x{}: predicted-best blocking = {}x{}x{}",
+        target.0, target.1, target.2, cfg.bi, cfg.bj, cfg.bk
+    );
+    println!("  actual time of chosen blocking: {:.3} ms", chosen_time * 1e3);
+    println!("  true best  : {:.3} ms", true_best.1 * 1e3);
+    println!("  true worst : {:.3} ms", true_worst.1 * 1e3);
+    let regret = chosen_time / true_best.1;
+    println!("  regret vs true best: {:.2}x", regret);
+    assert!(
+        regret < 1.5,
+        "hybrid-guided tuning should land within 50% of the optimum"
+    );
+    assert!(chosen_time < true_worst.1 * 0.5, "and far from the worst");
+}

@@ -1,0 +1,43 @@
+//! # lam — Learning with Analytical Models
+//!
+//! Facade crate re-exporting the full workspace: a Rust reproduction of
+//! *Learning with Analytical Models* (Ibeid, Meng, Dobon, Olson, Gropp;
+//! IPPS 2019, arXiv:1810.11772). The paper's contribution — a hybrid
+//! performance model that stacks an analytical model's prediction as a
+//! feature of a machine-learning regressor and optionally bags the two —
+//! lives in [`core`]; everything it depends on (ML substrate, machine
+//! model, stencil and FMM applications, analytical models) is built from
+//! scratch in the sibling crates.
+//!
+//! ```no_run
+//! use lam::prelude::*;
+//!
+//! // Generate a stencil dataset on the simulated Blue Waters node,
+//! // train a hybrid model on 2% of it, and evaluate MAPE on the rest.
+//! let machine = MachineDescription::blue_waters_xe6();
+//! let space = lam::stencil::config::space_grid_only();
+//! let dataset = lam::stencil::oracle::generate_dataset(&space, &machine, 42);
+//! ```
+
+pub use lam_analytical as analytical;
+pub use lam_core as core;
+pub use lam_data as data;
+pub use lam_fmm as fmm;
+pub use lam_machine as machine;
+pub use lam_ml as ml;
+pub use lam_stencil as stencil;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use lam_analytical::traits::AnalyticalModel;
+    pub use lam_core::evaluate::{EvaluationConfig, TrialOutcome};
+    pub use lam_core::hybrid::{HybridConfig, HybridModel};
+    pub use lam_data::{Dataset, ParamRange, ParamSpace};
+    pub use lam_machine::arch::MachineDescription;
+    pub use lam_ml::metrics::mape;
+    pub use lam_ml::model::Regressor;
+    pub use lam_ml::{
+        forest::{ExtraTreesRegressor, RandomForestRegressor},
+        tree::DecisionTreeRegressor,
+    };
+}

@@ -1,0 +1,189 @@
+//! Cross-crate integration tests: the full pipeline
+//! dataset generation → training → prediction → evaluation, spanning
+//! `lam-machine`, `lam-stencil`, `lam-fmm`, `lam-analytical`, `lam-ml`,
+//! and `lam-core`.
+
+use lam::analytical::fmm::FmmAnalyticalModel;
+use lam::analytical::stencil::{BlockedStencilModel, StencilAnalyticalModel};
+use lam::core::evaluate::{analytical_mape, evaluate_model, EvaluationConfig};
+use lam::core::hybrid::{HybridConfig, HybridModel};
+use lam::machine::arch::MachineDescription;
+use lam::ml::forest::ExtraTreesRegressor;
+use lam::ml::metrics::mape;
+use lam::ml::model::Regressor;
+use lam::ml::sampling::train_test_split_fraction;
+use lam::stencil::oracle::StencilOracle;
+
+const TIMESTEPS: usize = 4;
+
+fn machine() -> MachineDescription {
+    MachineDescription::blue_waters_xe6()
+}
+
+#[test]
+fn stencil_pipeline_hybrid_beats_pure_ml_at_small_window() {
+    let oracle = StencilOracle::new(machine(), 1);
+    let data = oracle.generate_dataset(&lam::stencil::config::space_grid_only());
+    let (train, test) = train_test_split_fraction(&data, 0.02, 5);
+
+    let mut pure = ExtraTreesRegressor::with_params(60, Default::default(), 2);
+    pure.fit(&train).unwrap();
+    let pure_mape = mape(test.response(), &pure.predict(&test)).unwrap();
+
+    let mut hybrid = HybridModel::new(
+        Box::new(StencilAnalyticalModel::new(machine(), TIMESTEPS)),
+        Box::new(ExtraTreesRegressor::with_params(60, Default::default(), 2)),
+        HybridConfig::with_aggregation(),
+    );
+    hybrid.fit(&train).unwrap();
+    let hybrid_mape = mape(test.response(), &hybrid.predict(&test)).unwrap();
+
+    assert!(
+        hybrid_mape < pure_mape,
+        "hybrid {hybrid_mape:.1}% should beat pure {pure_mape:.1}%"
+    );
+    assert!(hybrid_mape < 15.0, "hybrid should be accurate: {hybrid_mape:.1}%");
+}
+
+#[test]
+fn fmm_pipeline_hybrid_beats_pure_ml() {
+    let data = lam::fmm::oracle::generate_dataset(
+        &lam::fmm::config::space_small(),
+        &machine(),
+        3,
+    );
+    let (train, test) = train_test_split_fraction(&data, 0.2, 9);
+
+    let mut pure = ExtraTreesRegressor::with_params(60, Default::default(), 4);
+    pure.fit(&train).unwrap();
+    let pure_mape = mape(test.response(), &pure.predict(&test)).unwrap();
+
+    let mut hybrid = HybridModel::new(
+        Box::new(FmmAnalyticalModel::new(machine())),
+        Box::new(ExtraTreesRegressor::with_params(60, Default::default(), 4)),
+        HybridConfig {
+            log_feature: true,
+            ..HybridConfig::default()
+        },
+    );
+    hybrid.fit(&train).unwrap();
+    let hybrid_mape = mape(test.response(), &hybrid.predict(&test)).unwrap();
+
+    assert!(
+        hybrid_mape < pure_mape,
+        "hybrid {hybrid_mape:.1}% should beat pure {pure_mape:.1}%"
+    );
+}
+
+#[test]
+fn analytical_models_are_inaccurate_but_correlated() {
+    // The §VII regime: blocking AM ~40-60%, FMM AM ~100-250% on our
+    // simulated node — far from exact, far from useless.
+    let blocking = StencilOracle::new(machine(), 7)
+        .generate_dataset(&lam::stencil::config::space_grid_blocking());
+    let am = BlockedStencilModel::new(machine(), TIMESTEPS);
+    let m = analytical_mape(&blocking, &am);
+    assert!((20.0..90.0).contains(&m), "blocking AM MAPE {m:.1}%");
+
+    let fmm = lam::fmm::oracle::generate_dataset(
+        &lam::fmm::config::space_paper(),
+        &machine(),
+        7,
+    );
+    let am = FmmAnalyticalModel::new(machine());
+    let m = analytical_mape(&fmm, &am);
+    assert!((60.0..400.0).contains(&m), "FMM AM MAPE {m:.1}%");
+}
+
+#[test]
+fn evaluation_protocol_runs_end_to_end() {
+    let data = StencilOracle::new(machine(), 11)
+        .generate_dataset(&lam::stencil::config::space_grid_only());
+    let cfg = EvaluationConfig::new(vec![0.02, 0.10], 3, 13);
+    let series = evaluate_model(&data, &cfg, |seed| {
+        Box::new(ExtraTreesRegressor::with_params(30, Default::default(), seed))
+    });
+    assert_eq!(series.len(), 2);
+    // More training data → lower error (the universal Fig 3 shape).
+    assert!(series[1].summary.mean < series[0].summary.mean);
+}
+
+#[test]
+fn dataset_round_trips_through_csv_and_json() {
+    let data = StencilOracle::new(machine(), 2)
+        .generate_dataset(&lam::stencil::config::space_grid_only());
+    let dir = std::env::temp_dir().join("lam_integration_io");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let csv_path = dir.join("stencil.csv");
+    lam::data::io::write_csv(&data, &csv_path).unwrap();
+    let back = lam::data::io::read_csv(&csv_path).unwrap();
+    assert_eq!(back.len(), data.len());
+    // CSV stores full f64 precision via Display round-trip.
+    for i in 0..data.len() {
+        assert_eq!(back.response()[i], data.response()[i]);
+    }
+
+    let json_path = dir.join("stencil.json");
+    lam::data::io::write_json(&data, &json_path).unwrap();
+    let back: lam::data::Dataset = lam::data::io::read_json(&json_path).unwrap();
+    assert_eq!(back, data);
+}
+
+#[test]
+fn fitted_model_serializes_and_restores() {
+    let data = StencilOracle::new(machine(), 4)
+        .generate_dataset(&lam::stencil::config::space_grid_only());
+    let (train, test) = train_test_split_fraction(&data, 0.1, 1);
+    let mut model = ExtraTreesRegressor::with_params(20, Default::default(), 6);
+    model.fit(&train).unwrap();
+    let json = serde_json::to_string(&model).unwrap();
+    let restored: ExtraTreesRegressor = serde_json::from_str(&json).unwrap();
+    for i in 0..test.len().min(50) {
+        assert_eq!(model.predict_row(test.row(i)), restored.predict_row(test.row(i)));
+    }
+}
+
+#[test]
+fn real_stencil_kernel_agrees_with_itself_under_tuning() {
+    // The *runnable* application: every tuning configuration computes the
+    // same numerical answer (blocking/unroll/threads change time only).
+    use lam::stencil::config::StencilConfig;
+    use lam::stencil::grid::Grid3;
+    use lam::stencil::kernel::{run, Coefficients};
+    let mut g = Grid3::new(20, 18, 16, 1);
+    g.fill_with(|x, y, z| ((x * 3 + y * 5 + z * 7) % 9) as f64);
+    let reference = run(
+        &g,
+        Coefficients::default(),
+        &StencilConfig::unblocked(20, 18, 16),
+        3,
+    );
+    for cfg in [
+        StencilConfig {
+            bi: 4,
+            bj: 4,
+            bk: 4,
+            unroll: 3,
+            ..StencilConfig::unblocked(20, 18, 16)
+        },
+        StencilConfig {
+            threads: 4,
+            ..StencilConfig::unblocked(20, 18, 16)
+        },
+    ] {
+        let out = run(&g, Coefficients::default(), &cfg, 3);
+        assert_eq!(out.data(), reference.data());
+    }
+}
+
+#[test]
+fn real_fmm_validates_against_direct_sum() {
+    use lam::fmm::accuracy::{direct_potentials, relative_l2_error};
+    use lam::fmm::exec::Fmm;
+    use lam::fmm::particle::random_cube;
+    let ps = random_cube(1024, 77);
+    let fmm = Fmm::new(5, 32, 2);
+    let err = relative_l2_error(&fmm.potentials(&ps), &direct_potentials(&ps));
+    assert!(err < 5e-3, "relative L2 error {err}");
+}
