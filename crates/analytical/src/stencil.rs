@@ -35,13 +35,7 @@ fn r_col(order: usize) -> f64 {
 /// `log(cap)` between the case boundaries, which is monotone and matches
 /// the table at every boundary — the "linear interpolation to smooth
 /// discontinuities" the paper prescribes.
-pub fn nplanes(
-    cap_lines: f64,
-    s_total: f64,
-    s_read: f64,
-    ii: f64,
-    order: usize,
-) -> f64 {
+pub fn nplanes(cap_lines: f64, s_total: f64, s_read: f64, ii: f64, order: usize) -> f64 {
     let p = p_read(order);
     let rc = r_col(order);
     // Case boundaries expressed as capacities (decreasing):
@@ -49,12 +43,7 @@ pub fn nplanes(
     let t2 = s_total; // nplanes = p − 1
     let t3 = s_read / rc; // nplanes = p
     let t4 = (p * ii) / rc; // nplanes = 2p − 1 at/below this
-    let pts: [(f64, f64); 4] = [
-        (t1, 1.0),
-        (t2, p - 1.0),
-        (t3, p),
-        (t4, 2.0 * p - 1.0),
-    ];
+    let pts: [(f64, f64); 4] = [(t1, 1.0), (t2, p - 1.0), (t3, p), (t4, 2.0 * p - 1.0)];
     // Guard against degenerate orderings on tiny problems: sort by capacity
     // descending and clamp outside the bracket.
     let mut pts = pts;
@@ -193,10 +182,7 @@ impl BlockedStencilModel {
 
 impl AnalyticalModel for BlockedStencilModel {
     fn predict(&self, x: &[f64]) -> f64 {
-        assert!(
-            x.len() >= 6,
-            "expected features (I, J, K, bi, bj, bk)"
-        );
+        assert!(x.len() >= 6, "expected features (I, J, K, bi, bj, bk)");
         let (i, j, k) = (x[0], x[1], x[2]);
         let (ti, tj, tk) = (x[3].max(1.0), x[4].max(1.0), x[5].max(1.0));
         let nb = (i / ti).ceil() * (j / tj).ceil() * (k / tk).ceil();

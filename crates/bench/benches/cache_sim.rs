@@ -60,6 +60,7 @@ fn bench_oracles(c: &mut Criterion) {
 }
 
 fn bench_dataset_generation(c: &mut Criterion) {
+    use lam_core::workload::Workload as _;
     let mut group = c.benchmark_group("dataset_generation");
     group.sample_size(10);
     group.bench_with_input(
@@ -68,8 +69,8 @@ fn bench_dataset_generation(c: &mut Criterion) {
         |b, _| {
             let machine = MachineDescription::blue_waters_xe6();
             let space = lam_stencil::config::space_grid_only();
-            let oracle = StencilOracle::new(machine, 1);
-            b.iter(|| oracle.generate_dataset(black_box(&space)))
+            let workload = lam_stencil::workload::StencilWorkload::new(machine, space, 1);
+            b.iter(|| black_box(&workload).generate_dataset())
         },
     );
     group.finish();

@@ -4,31 +4,19 @@
 //! 1. aggregation weight (0 = analytical only, 1 = stacked only);
 //! 2. raw vs. log-transformed stacked feature;
 //! 3. ML base model under the stack (extra trees / random forest / single
-//!    tree);
-//! 4. stacking vs. simply *adding* the AM output to the feature-less mean.
+//!    tree).
+//!
+//! Generic over [`Workload`]: every variant stacks the scenario's own
+//! analytical model, so the sweep applies unchanged to any new scenario.
 //!
 //! Run: `cargo run -p lam-bench --release --bin ablations`
 
-use lam_analytical::fmm::FmmAnalyticalModel;
-use lam_analytical::stencil::BlockedStencilModel;
-use lam_analytical::traits::AnalyticalModel;
 use lam_bench::report::{print_series, FigureReport, NamedSeries};
-use lam_bench::runners::{defaults, fmm_dataset, stencil_dataset, StandardModels};
+use lam_bench::runners::{blue_waters_fmm, blue_waters_stencil, defaults, StandardModels};
 use lam_core::evaluate::{evaluate_model, EvaluationConfig};
 use lam_core::hybrid::{HybridConfig, HybridModel};
+use lam_core::workload::Workload;
 use lam_data::Dataset;
-use lam_machine::arch::MachineDescription;
-
-fn stencil_am() -> Box<dyn AnalyticalModel> {
-    Box::new(BlockedStencilModel::new(
-        MachineDescription::blue_waters_xe6(),
-        defaults::STENCIL_TIMESTEPS,
-    ))
-}
-
-fn fmm_am() -> Box<dyn AnalyticalModel> {
-    Box::new(FmmAnalyticalModel::new(MachineDescription::blue_waters_xe6()))
-}
 
 fn run_variant<F>(
     data: &Dataset,
@@ -37,7 +25,7 @@ fn run_variant<F>(
     series: &mut Vec<NamedSeries>,
     factory: F,
 ) where
-    F: Fn(u64) -> Box<dyn lam_ml::model::Regressor>,
+    F: Fn(u64) -> Box<dyn lam_ml::model::Regressor> + Sync,
 {
     let points = evaluate_model(data, cfg, factory);
     print_series(label, &points);
@@ -51,7 +39,8 @@ fn main() {
     let mut all = Vec::new();
 
     // ---- Stencil grid+blocking, 2% training window.
-    let data = stencil_dataset(&lam_stencil::config::space_grid_blocking());
+    let stencil = blue_waters_stencil(lam_stencil::config::space_grid_blocking());
+    let data = stencil.generate_dataset();
     let cfg = EvaluationConfig::new(vec![0.02], defaults::TRIALS, 91);
     println!("=== ablation: stencil grid+blocking @ 2% training ===");
 
@@ -61,7 +50,7 @@ fn main() {
         ("stencil: aggregate w=0.5 (paper default)", Some(0.5)),
         ("stencil: aggregate w=0.25", Some(0.25)),
     ] {
-        run_variant(&data, &cfg, label, &mut all, move |seed| {
+        run_variant(&data, &cfg, label, &mut all, |seed| {
             let config = match w {
                 None => HybridConfig::default(),
                 Some(sw) => HybridConfig {
@@ -70,11 +59,7 @@ fn main() {
                     log_feature: false,
                 },
             };
-            Box::new(HybridModel::new(
-                stencil_am(),
-                StandardModels::extra_trees(seed),
-                config,
-            ))
+            StandardModels::hybrid_for(&stencil, config, seed)
         });
     }
 
@@ -83,12 +68,15 @@ fn main() {
             "stencil: base = single tree",
             StandardModels::decision_tree as fn(u64) -> Box<dyn lam_ml::model::Regressor>,
         ),
-        ("stencil: base = random forest", StandardModels::random_forest),
+        (
+            "stencil: base = random forest",
+            StandardModels::random_forest,
+        ),
         ("stencil: base = extra trees", StandardModels::extra_trees),
     ] {
-        run_variant(&data, &cfg, label, &mut all, move |seed| {
+        run_variant(&data, &cfg, label, &mut all, |seed| {
             Box::new(HybridModel::new(
-                stencil_am(),
+                stencil.analytical_model(),
                 base(seed),
                 HybridConfig::default(),
             ))
@@ -96,22 +84,23 @@ fn main() {
     }
 
     // ---- FMM, 20% training window: raw vs log stacked feature.
-    let data = fmm_dataset(&lam_fmm::config::space_paper());
+    let fmm = blue_waters_fmm(lam_fmm::config::space_paper());
+    let data = fmm.generate_dataset();
     let cfg = EvaluationConfig::new(vec![0.20], defaults::TRIALS, 92);
     println!("\n=== ablation: FMM @ 20% training ===");
     for (label, log_feature) in [
         ("fmm: raw AM feature", false),
         ("fmm: log AM feature", true),
     ] {
-        run_variant(&data, &cfg, label, &mut all, move |seed| {
-            Box::new(HybridModel::new(
-                fmm_am(),
-                StandardModels::extra_trees(seed),
+        run_variant(&data, &cfg, label, &mut all, |seed| {
+            StandardModels::hybrid_for(
+                &fmm,
                 HybridConfig {
                     log_feature,
                     ..HybridConfig::default()
                 },
-            ))
+                seed,
+            )
         });
     }
     // Aggregating a 187%-MAPE AM should *hurt* on FMM — verify the paper's
@@ -121,16 +110,16 @@ fn main() {
         &cfg,
         "fmm: aggregate w=0.5 (expected worse)",
         &mut all,
-        move |seed| {
-            Box::new(HybridModel::new(
-                fmm_am(),
-                StandardModels::extra_trees(seed),
+        |seed| {
+            StandardModels::hybrid_for(
+                &fmm,
                 HybridConfig {
                     aggregate: true,
                     stacked_weight: 0.5,
                     log_feature: true,
                 },
-            ))
+                seed,
+            )
         },
     );
 

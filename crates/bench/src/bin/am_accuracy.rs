@@ -3,42 +3,40 @@
 //! The paper quotes the *untuned* analytical models at MAPE ≈ 42 % on the
 //! stencil grid+blocking dataset and ≈ 84.5 % on the FMM dataset, and uses
 //! an accurate AM for the grid-only dataset (Fig 5). This binary prints
-//! our equivalents on the simulated Blue Waters node.
+//! our equivalents on the simulated Blue Waters node — each workload
+//! supplies the analytical model the paper pairs with its feature layout.
 //!
 //! Run: `cargo run -p lam-bench --release --bin am_accuracy`
 
-use lam_analytical::fmm::FmmAnalyticalModel;
-use lam_analytical::stencil::{BlockedStencilModel, StencilAnalyticalModel};
-use lam_bench::runners::{defaults, fmm_dataset, stencil_dataset};
 use lam_bench::report::print_note;
+use lam_bench::runners::{blue_waters_fmm, blue_waters_stencil};
 use lam_core::evaluate::analytical_mape;
-use lam_machine::arch::MachineDescription;
+use lam_core::workload::Workload;
 use lam_stencil::config::{space_grid_blocking, space_grid_only, space_grid_threads};
 
+fn report_am<W: Workload>(label: &str, workload: &W) {
+    let data = workload.generate_dataset();
+    print_note(label, analytical_mape(&data, &*workload.analytical_model()));
+}
+
 fn main() {
-    let machine = MachineDescription::blue_waters_xe6();
-    println!("Analytical-model MAPE on the simulated {}", machine.name);
+    println!("Analytical-model MAPE on the simulated Blue Waters node");
     println!("(paper, untuned on Blue Waters: blocking 42%, FMM 84.5%)\n");
 
-    let grid = stencil_dataset(&space_grid_only());
-    let am = StencilAnalyticalModel::new(machine.clone(), defaults::STENCIL_TIMESTEPS);
-    print_note("stencil grid-only AM MAPE (Fig 5 regime)", analytical_mape(&grid, &am));
-
-    let blocking = stencil_dataset(&space_grid_blocking());
-    let am = BlockedStencilModel::new(machine.clone(), defaults::STENCIL_TIMESTEPS);
-    print_note(
+    report_am(
+        "stencil grid-only AM MAPE (Fig 5 regime)",
+        &blue_waters_stencil(space_grid_only()),
+    );
+    report_am(
         "stencil grid+blocking AM MAPE (paper: 42)",
-        analytical_mape(&blocking, &am),
+        &blue_waters_stencil(space_grid_blocking()),
     );
-
-    let threads = stencil_dataset(&space_grid_threads());
-    let am = StencilAnalyticalModel::new(machine.clone(), defaults::STENCIL_TIMESTEPS);
-    print_note(
+    report_am(
         "stencil grid+threads, serial AM MAPE (Fig 7 regime)",
-        analytical_mape(&threads, &am),
+        &blue_waters_stencil(space_grid_threads()),
     );
-
-    let fmm = fmm_dataset(&lam_fmm::config::space_paper());
-    let am = FmmAnalyticalModel::new(machine);
-    print_note("fmm AM MAPE (paper: 84.5)", analytical_mape(&fmm, &am));
+    report_am(
+        "fmm AM MAPE (paper: 84.5)",
+        &blue_waters_fmm(lam_fmm::config::space_paper()),
+    );
 }

@@ -44,10 +44,7 @@ fn main() {
     let cases = [
         ("32^3 unblocked", StencilConfig::unblocked(32, 32, 32)),
         ("48^3 unblocked", StencilConfig::unblocked(48, 48, 48)),
-        (
-            "1x96x96 unblocked",
-            StencilConfig::unblocked(1, 96, 96),
-        ),
+        ("1x96x96 unblocked", StencilConfig::unblocked(1, 96, 96)),
         (
             "1x96x96 blocks 32x32",
             StencilConfig {

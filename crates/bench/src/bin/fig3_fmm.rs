@@ -8,45 +8,18 @@
 //!
 //! Run: `cargo run -p lam-bench --release --bin fig3_fmm`
 
-use lam_bench::report::{print_series, FigureReport, NamedSeries};
-use lam_bench::runners::{defaults, fmm_dataset, StandardModels};
-use lam_core::evaluate::{evaluate_model, EvaluationConfig};
+use lam_bench::runners::{blue_waters_fmm, run_pure_ml_panel};
 use lam_fmm::config::space_paper;
 
 fn main() {
-    let data = fmm_dataset(&space_paper());
-    println!("Fig 3B — pure-ML models on FMM (t,N,q,k) ({} configs)", data.len());
-    let config = EvaluationConfig::new(
+    let workload = blue_waters_fmm(space_paper());
+    let report = run_pure_ml_panel(
+        &workload,
+        "fig3_fmm",
+        "Fig 3B — pure-ML models on FMM (t,N,q,k)",
         vec![0.10, 0.20, 0.40, 0.60, 0.80],
-        defaults::TRIALS,
         32,
     );
-    let mut series = Vec::new();
-    for (label, factory) in [
-        (
-            "Decision Trees",
-            StandardModels::decision_tree as fn(u64) -> _,
-        ),
-        ("Extra Trees", StandardModels::extra_trees as fn(u64) -> _),
-        (
-            "Random Forests",
-            StandardModels::random_forest as fn(u64) -> _,
-        ),
-    ] {
-        let points = evaluate_model(&data, &config, factory);
-        print_series(label, &points);
-        series.push(NamedSeries {
-            label: label.to_string(),
-            points,
-        });
-    }
-    let report = FigureReport {
-        figure: "fig3_fmm".into(),
-        title: "MAPE of ML models vs training size, FMM".into(),
-        dataset_rows: data.len(),
-        series,
-        notes: vec![],
-    };
     let path = report.save().expect("write results");
     println!("\nsaved {}", path.display());
 }

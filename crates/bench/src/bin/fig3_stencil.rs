@@ -7,48 +7,18 @@
 //!
 //! Run: `cargo run -p lam-bench --release --bin fig3_stencil`
 
-use lam_bench::report::{print_series, FigureReport, NamedSeries};
-use lam_bench::runners::{defaults, stencil_dataset, StandardModels};
-use lam_core::evaluate::{evaluate_model, EvaluationConfig};
+use lam_bench::runners::{blue_waters_stencil, run_pure_ml_panel};
 use lam_stencil::config::space_grid_blocking;
 
 fn main() {
-    let data = stencil_dataset(&space_grid_blocking());
-    println!(
-        "Fig 3A — pure-ML models on stencil grid+blocking ({} configs)",
-        data.len()
-    );
-    let config = EvaluationConfig::new(
+    let workload = blue_waters_stencil(space_grid_blocking());
+    let report = run_pure_ml_panel(
+        &workload,
+        "fig3_stencil",
+        "Fig 3A — pure-ML models on stencil grid+blocking",
         vec![0.01, 0.02, 0.04, 0.06, 0.10],
-        defaults::TRIALS,
         31,
     );
-    let mut series = Vec::new();
-    for (label, factory) in [
-        (
-            "Decision Trees",
-            StandardModels::decision_tree as fn(u64) -> _,
-        ),
-        ("Extra Trees", StandardModels::extra_trees as fn(u64) -> _),
-        (
-            "Random Forests",
-            StandardModels::random_forest as fn(u64) -> _,
-        ),
-    ] {
-        let points = evaluate_model(&data, &config, factory);
-        print_series(label, &points);
-        series.push(NamedSeries {
-            label: label.to_string(),
-            points,
-        });
-    }
-    let report = FigureReport {
-        figure: "fig3_stencil".into(),
-        title: "MAPE of ML models vs training size, stencil grid+blocking".into(),
-        dataset_rows: data.len(),
-        series,
-        notes: vec![],
-    };
     let path = report.save().expect("write results");
     println!("\nsaved {}", path.display());
 }

@@ -8,57 +8,26 @@
 //!
 //! Run: `cargo run -p lam-bench --release --bin fig5`
 
-use lam_analytical::stencil::StencilAnalyticalModel;
-use lam_bench::report::{print_series, FigureReport, NamedSeries};
-use lam_bench::runners::{defaults, stencil_dataset, StandardModels};
-use lam_core::evaluate::{analytical_mape, evaluate_model, EvaluationConfig};
+use lam_bench::runners::{blue_waters_stencil, run_et_vs_hybrid, EtVsHybridSpec};
 use lam_core::hybrid::HybridConfig;
-use lam_machine::arch::MachineDescription;
 use lam_stencil::config::space_grid_only;
 
 fn main() {
-    let data = stencil_dataset(&space_grid_only());
-    let machine = MachineDescription::blue_waters_xe6();
-    println!("Fig 5 — stencil, grid sizes only ({} configs)", data.len());
-
-    let am = StencilAnalyticalModel::new(machine.clone(), defaults::STENCIL_TIMESTEPS);
-    let am_mape = analytical_mape(&data, &am);
-
-    let et_cfg = EvaluationConfig::new(vec![0.10, 0.15, 0.20], defaults::TRIALS, 51);
-    let et = evaluate_model(&data, &et_cfg, StandardModels::extra_trees);
-    print_series("Extra Trees (10/15/20% training)", &et);
-
-    let hy_cfg = EvaluationConfig::new(vec![0.01, 0.02, 0.04], defaults::TRIALS, 52);
-    let machine2 = machine.clone();
-    let hybrid = evaluate_model(&data, &hy_cfg, move |seed| {
-        StandardModels::hybrid(
-            Box::new(StencilAnalyticalModel::new(
-                machine2.clone(),
-                defaults::STENCIL_TIMESTEPS,
-            )),
-            HybridConfig::with_aggregation(),
-            seed,
-        )
-    });
-    print_series("Hybrid (1/2/4% training)", &hybrid);
-    println!("\n  analytical model alone: MAPE {am_mape:.1}%");
-
-    let report = FigureReport {
-        figure: "fig5".into(),
-        title: "ET vs Hybrid, stencil grid-only".into(),
-        dataset_rows: data.len(),
-        series: vec![
-            NamedSeries {
-                label: "Extra Trees".into(),
-                points: et,
-            },
-            NamedSeries {
-                label: "Hybrid".into(),
-                points: hybrid,
-            },
-        ],
-        notes: vec![("am_mape".into(), am_mape)],
-    };
+    let workload = blue_waters_stencil(space_grid_only());
+    let report = run_et_vs_hybrid(
+        &workload,
+        EtVsHybridSpec {
+            figure: "fig5".into(),
+            title: "Fig 5 — stencil, grid sizes only".into(),
+            et_fractions: vec![0.10, 0.15, 0.20],
+            hybrid_fractions: vec![0.01, 0.02, 0.04],
+            hybrid_config: HybridConfig::with_aggregation(),
+            et_label: "Extra Trees (10/15/20% training)".into(),
+            hybrid_label: "Hybrid (1/2/4% training)".into(),
+            et_seed: 51,
+            hybrid_seed: 52,
+        },
+    );
     let path = report.save().expect("write results");
     println!("saved {}", path.display());
 }

@@ -3,66 +3,33 @@
 //! Trees vs hybrid, both at training windows {1, 2, 4}%.
 //!
 //! Paper shape: incorporating the (inaccurate!) analytical model cuts the
-//! percentage error roughly in half. No aggregation — stacking only would
-//! also be reasonable; the paper aggregates here, so we do too.
+//! percentage error roughly in half. Stacking only: with an AM this
+//! inaccurate, averaging its raw prediction in would re-introduce its
+//! 40–50% error floor.
 //!
 //! Run: `cargo run -p lam-bench --release --bin fig6`
 
-use lam_analytical::stencil::BlockedStencilModel;
-use lam_bench::report::{print_series, FigureReport, NamedSeries};
-use lam_bench::runners::{defaults, stencil_dataset, StandardModels};
-use lam_core::evaluate::{analytical_mape, evaluate_model, EvaluationConfig};
+use lam_bench::runners::{blue_waters_stencil, run_et_vs_hybrid, EtVsHybridSpec};
 use lam_core::hybrid::HybridConfig;
-use lam_machine::arch::MachineDescription;
 use lam_stencil::config::space_grid_blocking;
 
 fn main() {
-    let data = stencil_dataset(&space_grid_blocking());
-    let machine = MachineDescription::blue_waters_xe6();
-    println!(
-        "Fig 6 — stencil, grid sizes + loop blocking ({} configs)",
-        data.len()
+    let workload = blue_waters_stencil(space_grid_blocking());
+    let report = run_et_vs_hybrid(
+        &workload,
+        EtVsHybridSpec {
+            figure: "fig6".into(),
+            title: "Fig 6 — stencil, grid sizes + loop blocking".into(),
+            et_fractions: vec![0.01, 0.02, 0.04],
+            hybrid_fractions: vec![0.01, 0.02, 0.04],
+            hybrid_config: HybridConfig::default(),
+            et_label: "Extra Trees".into(),
+            hybrid_label: "Hybrid".into(),
+            et_seed: 61,
+            hybrid_seed: 61,
+        },
     );
-
-    let am = BlockedStencilModel::new(machine.clone(), defaults::STENCIL_TIMESTEPS);
-    let am_mape = analytical_mape(&data, &am);
-
-    let cfg = EvaluationConfig::new(vec![0.01, 0.02, 0.04], defaults::TRIALS, 61);
-    let et = evaluate_model(&data, &cfg, StandardModels::extra_trees);
-    print_series("Extra Trees", &et);
-
-    let machine2 = machine.clone();
-    let hybrid = evaluate_model(&data, &cfg, move |seed| {
-        StandardModels::hybrid(
-            Box::new(BlockedStencilModel::new(
-                machine2.clone(),
-                defaults::STENCIL_TIMESTEPS,
-            )),
-            // Stacking only: with an AM this inaccurate, averaging its raw
-            // prediction in would re-introduce its 40–50% error floor.
-            HybridConfig::default(),
-            seed,
-        )
-    });
-    print_series("Hybrid", &hybrid);
-    println!("\n  analytical model alone: MAPE {am_mape:.1}% (paper: 42%)");
-
-    let report = FigureReport {
-        figure: "fig6".into(),
-        title: "ET vs Hybrid, stencil grid+blocking".into(),
-        dataset_rows: data.len(),
-        series: vec![
-            NamedSeries {
-                label: "Extra Trees".into(),
-                points: et,
-            },
-            NamedSeries {
-                label: "Hybrid".into(),
-                points: hybrid,
-            },
-        ],
-        notes: vec![("am_mape".into(), am_mape)],
-    };
+    println!("  (paper: AM alone 42%)");
     let path = report.save().expect("write results");
     println!("saved {}", path.display());
 }

@@ -4,63 +4,32 @@
 //!
 //! Paper protocol: "Here we do not aggregate the analytical and stacked
 //! models predictions as the analytical models do not capture the
-//! parallelism" — stacking only.
+//! parallelism" — stacking only. The workload's `analytical_model()`
+//! returns the serial model for the threaded feature layout, encoding
+//! exactly that protocol.
 //!
 //! Run: `cargo run -p lam-bench --release --bin fig7`
 
-use lam_analytical::stencil::StencilAnalyticalModel;
-use lam_bench::report::{print_series, FigureReport, NamedSeries};
-use lam_bench::runners::{defaults, stencil_dataset, StandardModels};
-use lam_core::evaluate::{analytical_mape, evaluate_model, EvaluationConfig};
+use lam_bench::runners::{blue_waters_stencil, run_et_vs_hybrid, EtVsHybridSpec};
 use lam_core::hybrid::HybridConfig;
-use lam_machine::arch::MachineDescription;
 use lam_stencil::config::space_grid_threads;
 
 fn main() {
-    let data = stencil_dataset(&space_grid_threads());
-    let machine = MachineDescription::blue_waters_xe6();
-    println!(
-        "Fig 7 — stencil, grid sizes + threads, serial AM ({} configs)",
-        data.len()
+    let workload = blue_waters_stencil(space_grid_threads());
+    let report = run_et_vs_hybrid(
+        &workload,
+        EtVsHybridSpec {
+            figure: "fig7".into(),
+            title: "Fig 7 — stencil, grid sizes + threads, serial AM".into(),
+            et_fractions: vec![0.01, 0.02, 0.04],
+            hybrid_fractions: vec![0.01, 0.02, 0.04],
+            hybrid_config: HybridConfig::default(),
+            et_label: "Extra Trees".into(),
+            hybrid_label: "Hybrid (serial AM, stacking only)".into(),
+            et_seed: 71,
+            hybrid_seed: 71,
+        },
     );
-
-    let am = StencilAnalyticalModel::new(machine.clone(), defaults::STENCIL_TIMESTEPS);
-    let am_mape = analytical_mape(&data, &am);
-
-    let cfg = EvaluationConfig::new(vec![0.01, 0.02, 0.04], defaults::TRIALS, 71);
-    let et = evaluate_model(&data, &cfg, StandardModels::extra_trees);
-    print_series("Extra Trees", &et);
-
-    let machine2 = machine.clone();
-    let hybrid = evaluate_model(&data, &cfg, move |seed| {
-        StandardModels::hybrid(
-            Box::new(StencilAnalyticalModel::new(
-                machine2.clone(),
-                defaults::STENCIL_TIMESTEPS,
-            )),
-            HybridConfig::default(), // no aggregation (paper Fig 7 protocol)
-            seed,
-        )
-    });
-    print_series("Hybrid (serial AM, stacking only)", &hybrid);
-    println!("\n  serial analytical model alone: MAPE {am_mape:.1}%");
-
-    let report = FigureReport {
-        figure: "fig7".into(),
-        title: "ET vs Hybrid, stencil grid+threads".into(),
-        dataset_rows: data.len(),
-        series: vec![
-            NamedSeries {
-                label: "Extra Trees".into(),
-                points: et,
-            },
-            NamedSeries {
-                label: "Hybrid".into(),
-                points: hybrid,
-            },
-        ],
-        notes: vec![("am_mape".into(), am_mape)],
-    };
     let path = report.save().expect("write results");
     println!("saved {}", path.display());
 }

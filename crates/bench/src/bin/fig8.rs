@@ -4,63 +4,36 @@
 //!
 //! Paper shape: pure ML sits above 100% MAPE; the hybrid drops it to
 //! ≈ 15–35%. The FMM needs larger training windows than the stencil
-//! because of the algorithm's complexity.
+//! because of the algorithm's complexity. The hybrid stacks on the *log*
+//! of the AM prediction (FMM times span orders of magnitude), with no
+//! aggregation.
 //!
 //! Run: `cargo run -p lam-bench --release --bin fig8`
 
-use lam_analytical::fmm::FmmAnalyticalModel;
-use lam_bench::report::{print_series, FigureReport, NamedSeries};
-use lam_bench::runners::{defaults, fmm_dataset, StandardModels};
-use lam_core::evaluate::{analytical_mape, evaluate_model, EvaluationConfig};
+use lam_bench::runners::{blue_waters_fmm, run_et_vs_hybrid, EtVsHybridSpec};
 use lam_core::hybrid::HybridConfig;
 use lam_fmm::config::space_paper;
-use lam_machine::arch::MachineDescription;
 
 fn main() {
-    let data = fmm_dataset(&space_paper());
-    let machine = MachineDescription::blue_waters_xe6();
-    println!("Fig 8 — FMM (t,N,q,k) ({} configs)", data.len());
-
-    let am = FmmAnalyticalModel::new(machine.clone());
-    let am_mape = analytical_mape(&data, &am);
-
-    let cfg = EvaluationConfig::new(vec![0.15, 0.20, 0.25], defaults::TRIALS, 81);
-    let et = evaluate_model(&data, &cfg, StandardModels::extra_trees);
-    print_series("Extra Trees", &et);
-
-    let machine2 = machine.clone();
-    let hybrid = evaluate_model(&data, &cfg, move |seed| {
-        StandardModels::hybrid(
-            Box::new(FmmAnalyticalModel::new(machine2.clone())),
-            // Stack on the log of the AM prediction: FMM times span orders
-            // of magnitude. No aggregation (the AM is untuned, 84.5%-class
-            // error).
-            HybridConfig {
+    let workload = blue_waters_fmm(space_paper());
+    let report = run_et_vs_hybrid(
+        &workload,
+        EtVsHybridSpec {
+            figure: "fig8".into(),
+            title: "Fig 8 — FMM (t,N,q,k)".into(),
+            et_fractions: vec![0.15, 0.20, 0.25],
+            hybrid_fractions: vec![0.15, 0.20, 0.25],
+            hybrid_config: HybridConfig {
                 log_feature: true,
                 ..HybridConfig::default()
             },
-            seed,
-        )
-    });
-    print_series("Hybrid", &hybrid);
-    println!("\n  analytical model alone: MAPE {am_mape:.1}% (paper: 84.5%)");
-
-    let report = FigureReport {
-        figure: "fig8".into(),
-        title: "ET vs Hybrid, FMM".into(),
-        dataset_rows: data.len(),
-        series: vec![
-            NamedSeries {
-                label: "Extra Trees".into(),
-                points: et,
-            },
-            NamedSeries {
-                label: "Hybrid".into(),
-                points: hybrid,
-            },
-        ],
-        notes: vec![("am_mape".into(), am_mape)],
-    };
+            et_label: "Extra Trees".into(),
+            hybrid_label: "Hybrid".into(),
+            et_seed: 81,
+            hybrid_seed: 81,
+        },
+    );
+    println!("  (paper: AM alone 84.5%)");
     let path = report.save().expect("write results");
     println!("saved {}", path.display());
 }

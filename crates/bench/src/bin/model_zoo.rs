@@ -4,34 +4,37 @@
 //! in `lam-ml` (mean, linear/ridge, k-NN, single tree, random forest,
 //! extra trees, gradient boosting) and the hybrid, at one representative
 //! training window per application — a quick map of where each model
-//! family lands.
+//! family lands. Generic over [`Workload`]: the hybrid entry stacks each
+//! scenario's own analytical model, so adding a scenario adds a panel
+//! without new code here.
 //!
 //! Run: `cargo run -p lam-bench --release --bin model_zoo`
 
-use lam_analytical::fmm::FmmAnalyticalModel;
-use lam_analytical::stencil::BlockedStencilModel;
 use lam_bench::report::{print_series, FigureReport, NamedSeries};
-use lam_bench::runners::{defaults, fmm_dataset, stencil_dataset, StandardModels};
+use lam_bench::runners::{blue_waters_fmm, blue_waters_stencil, defaults, StandardModels};
 use lam_core::evaluate::{evaluate_model, EvaluationConfig};
-use lam_core::hybrid::{HybridConfig, HybridModel};
-use lam_data::Dataset;
-use lam_machine::arch::MachineDescription;
+use lam_core::hybrid::HybridConfig;
+use lam_core::workload::Workload;
 use lam_ml::ensemble::GradientBoostingRegressor;
 use lam_ml::knn::KnnRegressor;
 use lam_ml::linear::LinearRegressor;
 use lam_ml::model::{MeanRegressor, Regressor};
 
-type Factory = Box<dyn Fn(u64) -> Box<dyn Regressor>>;
+type Factory<'a> = Box<dyn Fn(u64) -> Box<dyn Regressor> + Sync + 'a>;
 
-fn zoo(stencil: bool) -> Vec<(&'static str, Factory)> {
-    let machine = MachineDescription::blue_waters_xe6();
-    let mut out: Vec<(&'static str, Factory)> = vec![
+/// All model families, ending with the hybrid built from the workload's
+/// own analytical model.
+fn zoo<'a, W: Workload>(
+    workload: &'a W,
+    hybrid_config: HybridConfig,
+) -> Vec<(&'static str, Factory<'a>)> {
+    vec![
         ("mean", Box::new(|_| Box::new(MeanRegressor::new()))),
+        ("ridge", Box::new(|_| Box::new(LinearRegressor::new(1e-6)))),
         (
-            "ridge",
-            Box::new(|_| Box::new(LinearRegressor::new(1e-6))),
+            "knn-5",
+            Box::new(|_| Box::new(KnnRegressor::new(5).weighted())),
         ),
-        ("knn-5", Box::new(|_| Box::new(KnnRegressor::new(5).weighted()))),
         ("decision tree", Box::new(StandardModels::decision_tree)),
         ("random forest", Box::new(StandardModels::random_forest)),
         ("extra trees", Box::new(StandardModels::extra_trees)),
@@ -39,73 +42,68 @@ fn zoo(stencil: bool) -> Vec<(&'static str, Factory)> {
             "gradient boosting",
             Box::new(|seed| Box::new(GradientBoostingRegressor::new(300, 0.1, seed))),
         ),
-    ];
-    if stencil {
-        let m = machine.clone();
-        out.push((
+        (
             "hybrid (ET + AM)",
-            Box::new(move |seed| {
-                Box::new(HybridModel::new(
-                    Box::new(BlockedStencilModel::new(
-                        m.clone(),
-                        defaults::STENCIL_TIMESTEPS,
-                    )),
-                    StandardModels::extra_trees(seed),
-                    HybridConfig::default(),
-                ))
-            }),
-        ));
-    } else {
-        let m = machine;
-        out.push((
-            "hybrid (ET + AM)",
-            Box::new(move |seed| {
-                Box::new(HybridModel::new(
-                    Box::new(FmmAnalyticalModel::new(m.clone())),
-                    StandardModels::extra_trees(seed),
-                    HybridConfig {
-                        log_feature: true,
-                        ..HybridConfig::default()
-                    },
-                ))
-            }),
-        ));
-    }
-    out
+            Box::new(move |seed| StandardModels::hybrid_for(workload, hybrid_config, seed)),
+        ),
+    ]
 }
 
-fn run(data: &Dataset, fraction: f64, seed: u64, stencil: bool, series: &mut Vec<NamedSeries>) {
+fn run<W: Workload>(
+    workload: &W,
+    hybrid_config: HybridConfig,
+    fraction: f64,
+    seed: u64,
+    series: &mut Vec<NamedSeries>,
+) -> usize {
+    let data = workload.generate_dataset();
+    println!(
+        "=== model zoo: {} @ {:.0}% training ({} rows) ===",
+        workload.name(),
+        fraction * 100.0,
+        data.len()
+    );
     let cfg = EvaluationConfig::new(vec![fraction], defaults::TRIALS, seed);
-    for (label, factory) in zoo(stencil) {
-        let points = evaluate_model(data, &cfg, |s| factory(s));
-        print_series(label, &points);
+    for (label, factory) in zoo(workload, hybrid_config) {
+        let points = evaluate_model(&data, &cfg, |s| factory(s));
+        print_series(&format!("{}: {label}", workload.name()), &points);
         series.push(NamedSeries {
-            label: label.to_string(),
+            label: format!("{}: {label}", workload.name()),
             points,
         });
     }
+    data.len()
 }
 
 fn main() {
     let mut series = Vec::new();
+    let mut notes = Vec::new();
 
-    let data = stencil_dataset(&lam_stencil::config::space_grid_blocking());
-    println!(
-        "=== model zoo: stencil grid+blocking @ 4% training ({} rows) ===",
-        data.len()
+    let stencil = blue_waters_stencil(lam_stencil::config::space_grid_blocking());
+    let stencil_rows = run(&stencil, HybridConfig::default(), 0.04, 101, &mut series);
+    notes.push(("stencil_dataset_rows".to_string(), stencil_rows as f64));
+
+    println!();
+    let fmm = blue_waters_fmm(lam_fmm::config::space_paper());
+    let fmm_rows = run(
+        &fmm,
+        HybridConfig {
+            log_feature: true,
+            ..HybridConfig::default()
+        },
+        0.20,
+        102,
+        &mut series,
     );
-    run(&data, 0.04, 101, true, &mut series);
-
-    let data = fmm_dataset(&lam_fmm::config::space_paper());
-    println!("\n=== model zoo: FMM @ 20% training ({} rows) ===", data.len());
-    run(&data, 0.20, 102, false, &mut series);
+    notes.push(("fmm_dataset_rows".to_string(), fmm_rows as f64));
 
     let report = FigureReport {
         figure: "model_zoo".into(),
         title: "all model families on both applications".into(),
-        dataset_rows: data.len(),
+        // Two panels, two datasets; per-panel row counts are in `notes`.
+        dataset_rows: stencil_rows + fmm_rows,
         series,
-        notes: vec![],
+        notes,
     };
     let path = report.save().expect("write results");
     println!("\nsaved {}", path.display());

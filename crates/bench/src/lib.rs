@@ -12,4 +12,7 @@ pub mod report;
 pub mod runners;
 
 pub use report::{print_series, FigureReport};
-pub use runners::{fmm_dataset, stencil_dataset, StandardModels};
+pub use runners::{
+    blue_waters_fmm, blue_waters_stencil, fmm_dataset, run_et_vs_hybrid, run_pure_ml_panel,
+    stencil_dataset, EtVsHybridSpec, StandardModels,
+};

@@ -34,7 +34,10 @@ impl FigureReport {
         let dir = Path::new("results");
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.figure));
-        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(self).expect("serializable"),
+        )?;
         Ok(path)
     }
 }

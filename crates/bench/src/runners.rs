@@ -1,14 +1,21 @@
-//! Shared experiment plumbing: dataset construction on the simulated Blue
-//! Waters node and the standard model factories the figures compare.
+//! Shared experiment plumbing, generic over [`Workload`]s: dataset
+//! construction on the simulated Blue Waters node, the standard model
+//! factories the figures compare, and the two figure-panel protocols
+//! (pure-ML comparison, Extra Trees vs hybrid) every binary reuses.
 
+use crate::report::{print_series, FigureReport, NamedSeries};
+use lam_core::evaluate::{analytical_mape, evaluate_model, EvaluationConfig};
 use lam_core::hybrid::{HybridConfig, HybridModel};
+use lam_core::workload::Workload;
 use lam_data::Dataset;
 use lam_fmm::config::FmmSpace;
+use lam_fmm::workload::FmmWorkload;
 use lam_machine::arch::MachineDescription;
 use lam_ml::forest::{ExtraTreesRegressor, RandomForestRegressor};
 use lam_ml::model::Regressor;
 use lam_ml::tree::{DecisionTreeRegressor, TreeParams};
 use lam_stencil::config::StencilSpace;
+use lam_stencil::workload::StencilWorkload;
 
 /// Workspace-wide experiment constants.
 pub mod defaults {
@@ -23,17 +30,32 @@ pub mod defaults {
     pub const TRIALS: usize = 15;
 }
 
+/// The stencil scenario on the Blue Waters description.
+pub fn blue_waters_stencil(space: StencilSpace) -> StencilWorkload {
+    StencilWorkload::new(
+        MachineDescription::blue_waters_xe6(),
+        space,
+        defaults::NOISE_SEED,
+    )
+}
+
+/// The FMM scenario on the Blue Waters description.
+pub fn blue_waters_fmm(space: FmmSpace) -> FmmWorkload {
+    FmmWorkload::new(
+        MachineDescription::blue_waters_xe6(),
+        space,
+        defaults::NOISE_SEED,
+    )
+}
+
 /// Generate a stencil dataset on the Blue Waters description.
 pub fn stencil_dataset(space: &StencilSpace) -> Dataset {
-    let machine = MachineDescription::blue_waters_xe6();
-    lam_stencil::oracle::StencilOracle::new(machine, defaults::NOISE_SEED)
-        .generate_dataset(space)
+    blue_waters_stencil(space.clone()).generate_dataset()
 }
 
 /// Generate the FMM dataset on the Blue Waters description.
 pub fn fmm_dataset(space: &FmmSpace) -> Dataset {
-    let machine = MachineDescription::blue_waters_xe6();
-    lam_fmm::oracle::FmmOracle::new(machine, defaults::NOISE_SEED).generate_dataset(space)
+    blue_waters_fmm(space.clone()).generate_dataset()
 }
 
 /// Factories for the model families the paper compares.
@@ -71,6 +93,116 @@ impl StandardModels {
     ) -> Box<dyn Regressor> {
         Box::new(HybridModel::new(am, Self::extra_trees(seed), config))
     }
+
+    /// Hybrid for a workload: stacks the scenario's own analytical model
+    /// under extra trees.
+    pub fn hybrid_for<W: Workload>(
+        workload: &W,
+        config: HybridConfig,
+        seed: u64,
+    ) -> Box<dyn Regressor> {
+        Self::hybrid(workload.analytical_model(), config, seed)
+    }
+}
+
+/// The Fig 3 protocol: decision trees / extra trees / random forests on
+/// one workload's dataset across training windows. Prints each series and
+/// returns the report.
+pub fn run_pure_ml_panel<W: Workload>(
+    workload: &W,
+    figure: &str,
+    title: &str,
+    train_fractions: Vec<f64>,
+    seed: u64,
+) -> FigureReport {
+    let data = workload.generate_dataset();
+    println!("{title} ({} configs)", data.len());
+    let config = EvaluationConfig::new(train_fractions, defaults::TRIALS, seed);
+    let mut series = Vec::new();
+    for (label, factory) in [
+        (
+            "Decision Trees",
+            StandardModels::decision_tree as fn(u64) -> Box<dyn Regressor>,
+        ),
+        ("Extra Trees", StandardModels::extra_trees),
+        ("Random Forests", StandardModels::random_forest),
+    ] {
+        let points = evaluate_model(&data, &config, factory);
+        print_series(label, &points);
+        series.push(NamedSeries {
+            label: label.to_string(),
+            points,
+        });
+    }
+    FigureReport {
+        figure: figure.to_string(),
+        title: title.to_string(),
+        dataset_rows: data.len(),
+        series,
+        notes: vec![],
+    }
+}
+
+/// One Extra-Trees-vs-hybrid figure (Figs 5–8 all share this shape).
+pub struct EtVsHybridSpec {
+    /// Report id, e.g. `fig5`.
+    pub figure: String,
+    /// Human title printed above the panel.
+    pub title: String,
+    /// Training windows for the pure Extra Trees series.
+    pub et_fractions: Vec<f64>,
+    /// Training windows for the hybrid series.
+    pub hybrid_fractions: Vec<f64>,
+    /// Hybrid options (aggregation, log feature) per the paper's protocol
+    /// for the figure.
+    pub hybrid_config: HybridConfig,
+    /// Legend label for the Extra Trees series.
+    pub et_label: String,
+    /// Legend label for the hybrid series.
+    pub hybrid_label: String,
+    /// Evaluation seed for the Extra Trees series.
+    pub et_seed: u64,
+    /// Evaluation seed for the hybrid series.
+    pub hybrid_seed: u64,
+}
+
+/// The Figs 5–8 protocol: pure Extra Trees vs the hybrid built from the
+/// workload's own analytical model, plus the analytical-only MAPE note.
+/// Prints both series and returns the report.
+pub fn run_et_vs_hybrid<W: Workload>(workload: &W, spec: EtVsHybridSpec) -> FigureReport {
+    let data = workload.generate_dataset();
+    println!("{} ({} configs)", spec.title, data.len());
+
+    let am_mape = analytical_mape(&data, &*workload.analytical_model());
+
+    let et_cfg = EvaluationConfig::new(spec.et_fractions, defaults::TRIALS, spec.et_seed);
+    let et = evaluate_model(&data, &et_cfg, StandardModels::extra_trees);
+    print_series(&spec.et_label, &et);
+
+    let hy_cfg = EvaluationConfig::new(spec.hybrid_fractions, defaults::TRIALS, spec.hybrid_seed);
+    let hybrid_config = spec.hybrid_config;
+    let hybrid = evaluate_model(&data, &hy_cfg, |seed| {
+        StandardModels::hybrid_for(workload, hybrid_config, seed)
+    });
+    print_series(&spec.hybrid_label, &hybrid);
+    println!("\n  analytical model alone: MAPE {am_mape:.1}%");
+
+    FigureReport {
+        figure: spec.figure,
+        title: spec.title,
+        dataset_rows: data.len(),
+        series: vec![
+            NamedSeries {
+                label: spec.et_label,
+                points: et,
+            },
+            NamedSeries {
+                label: spec.hybrid_label,
+                points: hybrid,
+            },
+        ],
+        notes: vec![("am_mape".into(), am_mape)],
+    }
 }
 
 #[cfg(test)]
@@ -87,9 +219,25 @@ mod tests {
     }
 
     #[test]
+    fn workload_dataset_is_generic() {
+        fn rows<W: Workload>(w: &W) -> usize {
+            w.generate_dataset().len()
+        }
+        let w = blue_waters_stencil(space_grid_only());
+        assert_eq!(rows(&w), 729);
+        let w = blue_waters_fmm(lam_fmm::config::space_small());
+        assert_eq!(rows(&w), w.space().len());
+    }
+
+    #[test]
     fn factories_produce_named_models() {
         assert_eq!(StandardModels::decision_tree(0).name(), "decision_tree");
         assert_eq!(StandardModels::extra_trees(0).name(), "extra_trees");
         assert_eq!(StandardModels::random_forest(0).name(), "random_forest");
+        let w = blue_waters_fmm(lam_fmm::config::space_small());
+        assert_eq!(
+            StandardModels::hybrid_for(&w, HybridConfig::default(), 0).name(),
+            "hybrid"
+        );
     }
 }

@@ -3,11 +3,13 @@
 //! remainder, and repeat over independent trials (the paper's figures show
 //! the score distribution per window size).
 
+use crate::workload::Workload;
 use lam_data::{Dataset, Summary};
 use lam_ml::metrics::mape;
 use lam_ml::model::Regressor;
 use lam_ml::rng::derive_seeds;
 use lam_ml::sampling::train_test_split_fraction;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Protocol parameters.
@@ -74,14 +76,15 @@ impl SeriesPoint {
 /// a fresh unfitted model for each trial; trials resample the training
 /// window with independent seeds.
 ///
+/// All `(fraction, trial)` cells run in parallel over the available cores
+/// (each cell fits its own model on its own resample). Seeds are derived
+/// up front from `config.seed`, so results are identical to a sequential
+/// run of the same configuration.
+///
 /// Returns one [`SeriesPoint`] per training fraction (in input order).
-pub fn evaluate_model<F>(
-    data: &Dataset,
-    config: &EvaluationConfig,
-    factory: F,
-) -> Vec<SeriesPoint>
+pub fn evaluate_model<F>(data: &Dataset, config: &EvaluationConfig, factory: F) -> Vec<SeriesPoint>
 where
-    F: Fn(u64) -> Box<dyn Regressor>,
+    F: Fn(u64) -> Box<dyn Regressor> + Sync,
 {
     assert!(config.trials >= 1, "need at least one trial");
     assert!(
@@ -89,23 +92,44 @@ where
         "need at least one training fraction"
     );
     let all_seeds = derive_seeds(config.seed, config.trials * config.train_fractions.len());
-    let mut out = Vec::with_capacity(config.train_fractions.len());
-    for (fi, &fraction) in config.train_fractions.iter().enumerate() {
-        let mut scores = Vec::with_capacity(config.trials);
-        for trial in 0..config.trials {
+    let cells: Vec<(usize, usize)> = (0..config.train_fractions.len())
+        .flat_map(|fi| (0..config.trials).map(move |trial| (fi, trial)))
+        .collect();
+    let scores: Vec<f64> = cells
+        .par_iter()
+        .map(|&(fi, trial)| {
+            let fraction = config.train_fractions[fi];
             let seed = all_seeds[fi * config.trials + trial];
             let (train, test) = train_test_split_fraction(data, fraction, seed);
             let mut model = factory(seed);
-            model
-                .fit(&train)
-                .expect("training data validated upstream");
+            model.fit(&train).expect("training data validated upstream");
             let preds = model.predict(&test);
-            let score = mape(test.response(), &preds).expect("positive responses");
-            scores.push(score);
-        }
-        out.push(SeriesPoint::from_scores(fraction, scores));
-    }
-    out
+            mape(test.response(), &preds).expect("positive responses")
+        })
+        .collect();
+    config
+        .train_fractions
+        .iter()
+        .enumerate()
+        .map(|(fi, &fraction)| {
+            let cell_scores = scores[fi * config.trials..(fi + 1) * config.trials].to_vec();
+            SeriesPoint::from_scores(fraction, cell_scores)
+        })
+        .collect()
+}
+
+/// [`evaluate_model`] over a [`Workload`]: generates the scenario dataset
+/// and runs the protocol on it.
+pub fn evaluate_workload<W, F>(
+    workload: &W,
+    config: &EvaluationConfig,
+    factory: F,
+) -> Vec<SeriesPoint>
+where
+    W: Workload,
+    F: Fn(u64) -> Box<dyn Regressor> + Sync,
+{
+    evaluate_model(&workload.generate_dataset(), config, factory)
 }
 
 /// All trial outcomes (flat), for detailed logging.
@@ -115,7 +139,7 @@ pub fn evaluate_model_trials<F>(
     factory: F,
 ) -> Vec<TrialOutcome>
 where
-    F: Fn(u64) -> Box<dyn Regressor>,
+    F: Fn(u64) -> Box<dyn Regressor> + Sync,
 {
     let series = evaluate_model(data, config, factory);
     let mut out = Vec::new();
@@ -136,10 +160,7 @@ where
 
 /// MAPE of an analytical model alone on a full dataset (the paper quotes
 /// these as the untuned-model baselines: 42 % and 84.5 %).
-pub fn analytical_mape(
-    data: &Dataset,
-    am: &dyn lam_analytical::traits::AnalyticalModel,
-) -> f64 {
+pub fn analytical_mape(data: &Dataset, am: &dyn lam_analytical::traits::AnalyticalModel) -> f64 {
     let preds: Vec<f64> = (0..data.len()).map(|i| am.predict(data.row(i))).collect();
     mape(data.response(), &preds).expect("positive responses")
 }

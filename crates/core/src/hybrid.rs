@@ -61,11 +61,7 @@ pub struct HybridModel {
 
 impl HybridModel {
     /// Build from an analytical model and an (unfitted) ML regressor.
-    pub fn new(
-        am: Box<dyn AnalyticalModel>,
-        ml: Box<dyn Regressor>,
-        config: HybridConfig,
-    ) -> Self {
+    pub fn new(am: Box<dyn AnalyticalModel>, ml: Box<dyn Regressor>, config: HybridConfig) -> Self {
         Self {
             am,
             ml,

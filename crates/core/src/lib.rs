@@ -17,10 +17,20 @@
 //! a training window, fit pure-ML and hybrid models, score MAPE on the
 //! held-out remainder, repeat over trials.
 
+//!
+//! [`workload`] abstracts one application scenario (configuration space,
+//! feature projection, oracle, analytical model) behind a single trait so
+//! the whole pipeline — dataset generation, evaluation, figure binaries —
+//! is generic over scenarios.
+
 pub mod evaluate;
 pub mod hybrid;
+pub mod workload;
 pub mod wrap;
 
-pub use evaluate::{evaluate_model, EvaluationConfig, SeriesPoint, TrialOutcome};
+pub use evaluate::{
+    evaluate_model, evaluate_workload, EvaluationConfig, SeriesPoint, TrialOutcome,
+};
 pub use hybrid::{HybridConfig, HybridModel};
+pub use workload::Workload;
 pub use wrap::AnalyticalRegressor;

@@ -1,0 +1,290 @@
+//! The [`Workload`] abstraction: everything the hybrid-modeling pipeline
+//! needs to know about one application scenario.
+//!
+//! The paper evaluates the same protocol on two applications (stencil,
+//! FMM) that each provide the same four ingredients: an enumerable
+//! configuration space, a feature projection, a ground-truth oracle, and
+//! an untuned analytical model. This trait captures that contract once so
+//! dataset generation, evaluation, and every figure binary are generic —
+//! adding a third scenario is one trait impl, not another copy of the
+//! pipeline.
+//!
+//! [`Workload::generate_dataset`] has a rayon-parallel default
+//! implementation; because each oracle evaluation is a pure function of
+//! its configuration and rows are stitched back in space order, it is
+//! byte-identical to the sequential reference
+//! [`Workload::generate_dataset_seq`] (asserted by
+//! [`conformance::assert_parallel_matches_sequential`]).
+
+use lam_analytical::traits::AnalyticalModel;
+use lam_data::Dataset;
+use rayon::prelude::*;
+
+/// One application scenario of the hybrid-modeling study.
+pub trait Workload: Send + Sync {
+    /// A point of the tuning-parameter space.
+    type Config: Clone + Send + Sync;
+
+    /// Short dataset label for reports (e.g. `stencil-grid`).
+    fn name(&self) -> &str;
+
+    /// Feature-column names, matching [`Workload::features`] order.
+    fn feature_names(&self) -> Vec<String>;
+
+    /// The enumerable configuration space, in canonical order.
+    fn param_space(&self) -> &[Self::Config];
+
+    /// Project a configuration onto the modeling feature vector.
+    fn features(&self, cfg: &Self::Config) -> Vec<f64>;
+
+    /// Ground-truth ("measured") execution time in seconds — the oracle.
+    fn execution_time(&self, cfg: &Self::Config) -> f64;
+
+    /// A scalar problem-size proxy (grid points, particle count, …);
+    /// noise-free oracle time must grow with it on average.
+    fn problem_size(&self, cfg: &Self::Config) -> f64;
+
+    /// The paper's untuned analytical model for this scenario's feature
+    /// layout (a fresh boxed instance; cheap to construct).
+    fn analytical_model(&self) -> Box<dyn AnalyticalModel>;
+
+    /// Generate the scenario dataset: one row per configuration, features
+    /// per [`Workload::features`], response from the oracle. Rows are
+    /// computed in parallel and kept in space order, so the result is
+    /// byte-identical to [`Workload::generate_dataset_seq`].
+    fn generate_dataset(&self) -> Dataset {
+        let rows: Vec<(Vec<f64>, f64)> = self
+            .param_space()
+            .par_iter()
+            .map(|cfg| (self.features(cfg), self.execution_time(cfg)))
+            .collect();
+        collect_rows(self.feature_names(), rows)
+    }
+
+    /// Sequential reference implementation of dataset generation.
+    fn generate_dataset_seq(&self) -> Dataset {
+        let rows: Vec<(Vec<f64>, f64)> = self
+            .param_space()
+            .iter()
+            .map(|cfg| (self.features(cfg), self.execution_time(cfg)))
+            .collect();
+        collect_rows(self.feature_names(), rows)
+    }
+}
+
+fn collect_rows(names: Vec<String>, rows: Vec<(Vec<f64>, f64)>) -> Dataset {
+    let mut data = Dataset::empty(names);
+    for (features, y) in &rows {
+        data.push(features, *y);
+    }
+    data
+}
+
+pub mod conformance {
+    //! Shared conformance suite every [`Workload`] implementation must
+    //! pass. Application crates call these from their integration tests;
+    //! keeping the assertions here means a new scenario inherits the full
+    //! contract check by writing one test.
+
+    use super::Workload;
+
+    /// Dataset shape matches the declared space: one row per
+    /// configuration, one column per feature name, all values finite,
+    /// all responses positive.
+    pub fn assert_dataset_matches_space<W: Workload>(workload: &W) {
+        let data = workload.generate_dataset();
+        assert_eq!(
+            data.len(),
+            workload.param_space().len(),
+            "{}: dataset rows != space cardinality",
+            workload.name()
+        );
+        assert_eq!(
+            data.n_features(),
+            workload.feature_names().len(),
+            "{}: dataset columns != feature names",
+            workload.name()
+        );
+        data.validate_finite()
+            .unwrap_or_else(|e| panic!("{}: non-finite dataset: {e}", workload.name()));
+        assert!(
+            data.response().iter().all(|&y| y > 0.0),
+            "{}: oracle produced a non-positive time",
+            workload.name()
+        );
+    }
+
+    /// Two independently built workloads with the same seed generate
+    /// identical datasets.
+    pub fn assert_deterministic<W: Workload, F: Fn() -> W>(make: F) {
+        let a = make().generate_dataset();
+        let b = make().generate_dataset();
+        assert_eq!(a, b, "workload dataset not deterministic under fixed seed");
+    }
+
+    /// The rayon-parallel dataset path is byte-identical to the
+    /// sequential reference.
+    pub fn assert_parallel_matches_sequential<W: Workload>(workload: &W) {
+        let par = workload.generate_dataset();
+        let seq = workload.generate_dataset_seq();
+        assert_eq!(par.feature_names(), seq.feature_names());
+        assert_eq!(par.len(), seq.len());
+        for i in 0..par.len() {
+            for (a, b) in par.row(i).iter().zip(seq.row(i)) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}: row {i} features differ",
+                    workload.name()
+                );
+            }
+            assert_eq!(
+                par.response()[i].to_bits(),
+                seq.response()[i].to_bits(),
+                "{}: row {i} response differs",
+                workload.name()
+            );
+        }
+    }
+
+    /// On a noise-free oracle, execution time grows with problem size on
+    /// average: the mean time over the configurations at the *largest*
+    /// distinct problem size must exceed the mean at the *smallest*.
+    /// Comparing whole size groups keeps the check fair on factorial
+    /// spaces — each group holds the same mix of the other tuning
+    /// dimensions, so they average out.
+    pub fn assert_monotone_in_problem_size<W: Workload>(noise_free: &W) {
+        let configs = noise_free.param_space();
+        let sizes: Vec<f64> = configs.iter().map(|c| noise_free.problem_size(c)).collect();
+        let min = sizes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sizes.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            min < max,
+            "{}: space has a single problem size; monotonicity check is vacuous",
+            noise_free.name()
+        );
+        let mean_time_at = |size: f64| -> f64 {
+            let group: Vec<f64> = configs
+                .iter()
+                .zip(&sizes)
+                .filter(|(_, &s)| s == size)
+                .map(|(c, _)| noise_free.execution_time(c))
+                .collect();
+            group.iter().sum::<f64>() / group.len() as f64
+        };
+        let small = mean_time_at(min);
+        let large = mean_time_at(max);
+        assert!(
+            large > small,
+            "{}: mean noise-free time not monotone in problem size (small {small}, large {large})",
+            noise_free.name()
+        );
+    }
+
+    /// The full conformance suite: dataset/space agreement, seeded
+    /// determinism, parallel/sequential identity, and size monotonicity.
+    ///
+    /// `make` must build the same seeded workload on every call;
+    /// `noise_free` is the same scenario with measurement noise disabled.
+    pub fn assert_workload_conformance<W: Workload, F: Fn() -> W>(make: F, noise_free: &W) {
+        let workload = make();
+        assert_dataset_matches_space(&workload);
+        assert_parallel_matches_sequential(&workload);
+        assert_deterministic(make);
+        assert_monotone_in_problem_size(noise_free);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lam_analytical::traits::ConstantModel;
+
+    /// A tiny synthetic workload exercising the default methods.
+    struct Toy {
+        configs: Vec<u64>,
+        noise: f64,
+    }
+
+    impl Toy {
+        fn new(noise: f64) -> Self {
+            Self {
+                configs: (1..=30).collect(),
+                noise,
+            }
+        }
+    }
+
+    impl Workload for Toy {
+        type Config = u64;
+        fn name(&self) -> &str {
+            "toy"
+        }
+        fn feature_names(&self) -> Vec<String> {
+            vec!["n".to_string()]
+        }
+        fn param_space(&self) -> &[u64] {
+            &self.configs
+        }
+        fn features(&self, cfg: &u64) -> Vec<f64> {
+            vec![*cfg as f64]
+        }
+        fn execution_time(&self, cfg: &u64) -> f64 {
+            // Deterministic pseudo-noise keyed on the config.
+            let jitter =
+                1.0 + self.noise * (((cfg.wrapping_mul(2654435761) % 97) as f64 / 97.0) - 0.5);
+            *cfg as f64 * jitter
+        }
+        fn problem_size(&self, cfg: &u64) -> f64 {
+            *cfg as f64
+        }
+        fn analytical_model(&self) -> Box<dyn AnalyticalModel> {
+            Box::new(ConstantModel(1.0))
+        }
+    }
+
+    #[test]
+    fn default_generate_dataset_matches_space_order() {
+        let w = Toy::new(0.1);
+        let d = w.generate_dataset();
+        assert_eq!(d.len(), 30);
+        assert_eq!(d.row(0), &[1.0]);
+        assert_eq!(d.row(29), &[30.0]);
+    }
+
+    #[test]
+    fn toy_passes_conformance() {
+        conformance::assert_workload_conformance(|| Toy::new(0.1), &Toy::new(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not monotone")]
+    fn conformance_catches_inverted_oracle() {
+        struct Inverted(Toy);
+        impl Workload for Inverted {
+            type Config = u64;
+            fn name(&self) -> &str {
+                "inverted"
+            }
+            fn feature_names(&self) -> Vec<String> {
+                self.0.feature_names()
+            }
+            fn param_space(&self) -> &[u64] {
+                self.0.param_space()
+            }
+            fn features(&self, cfg: &u64) -> Vec<f64> {
+                self.0.features(cfg)
+            }
+            fn execution_time(&self, cfg: &u64) -> f64 {
+                1.0 / (*cfg as f64)
+            }
+            fn problem_size(&self, cfg: &u64) -> f64 {
+                *cfg as f64
+            }
+            fn analytical_model(&self) -> Box<dyn AnalyticalModel> {
+                self.0.analytical_model()
+            }
+        }
+        conformance::assert_monotone_in_problem_size(&Inverted(Toy::new(0.0)));
+    }
+}

@@ -107,9 +107,9 @@ pub fn from_csv_string(s: &str) -> Result<Dataset, IoError> {
         }
         let y = parts[n_features];
         response.push(
-            y.trim()
-                .parse::<f64>()
-                .map_err(|e| IoError::Parse(format!("line {}: bad number `{y}`: {e}", lineno + 2)))?,
+            y.trim().parse::<f64>().map_err(|e| {
+                IoError::Parse(format!("line {}: bad number `{y}`: {e}", lineno + 2))
+            })?,
         );
     }
     Ok(Dataset::new(cols, features, response)?)

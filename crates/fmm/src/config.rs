@@ -216,7 +216,10 @@ mod tests {
         let s = space_small();
         let d = s.dataset_with(|c| (c.n * c.k) as f64);
         assert_eq!(d.len(), s.len());
-        assert_eq!(d.response()[0], (s.configs()[0].n * s.configs()[0].k) as f64);
+        assert_eq!(
+            d.response()[0],
+            (s.configs()[0].n * s.configs()[0].k) as f64
+        );
     }
 
     #[test]

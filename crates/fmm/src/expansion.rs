@@ -200,8 +200,8 @@ mod tests {
         let dx = [2.0, -1.5, 0.5];
         let pw = s.powers(dx);
         for (i, a) in s.indices().iter().enumerate() {
-            let expect = dx[0].powi(a[0] as i32) * dx[1].powi(a[1] as i32)
-                * dx[2].powi(a[2] as i32);
+            let expect =
+                dx[0].powi(a[0] as i32) * dx[1].powi(a[1] as i32) * dx[2].powi(a[2] as i32);
             assert!((pw[i] - expect).abs() < 1e-12);
         }
     }
@@ -222,14 +222,14 @@ mod tests {
         assert!((t[i] - dx_num).abs() < 1e-6, "{} vs {}", t[i], dx_num);
 
         // T_(0,2,0) = ∂y² f / 2
-        let dyy_num = (f([r[0], r[1] + h, r[2]]) - 2.0 * f(r) + f([r[0], r[1] - h, r[2]]))
-            / (h * h)
-            / 2.0;
+        let dyy_num =
+            (f([r[0], r[1] + h, r[2]]) - 2.0 * f(r) + f([r[0], r[1] - h, r[2]])) / (h * h) / 2.0;
         let i = set.position(0, 2, 0).unwrap();
         assert!((t[i] - dyy_num).abs() < 1e-5, "{} vs {}", t[i], dyy_num);
 
         // T_(1,1,0) = ∂x∂y f
-        let dxy_num = (f([r[0] + h, r[1] + h, r[2]]) - f([r[0] + h, r[1] - h, r[2]])
+        let dxy_num = (f([r[0] + h, r[1] + h, r[2]])
+            - f([r[0] + h, r[1] - h, r[2]])
             - f([r[0] - h, r[1] + h, r[2]])
             + f([r[0] - h, r[1] - h, r[2]]))
             / (4.0 * h * h);

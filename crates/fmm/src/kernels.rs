@@ -36,7 +36,11 @@ impl KernelCtx {
         let n = set.len();
         let mut m2l_table = Vec::with_capacity(n * n);
         for b in set.indices() {
-            let sign = if (b[0] + b[1] + b[2]) % 2 == 1 { -1.0 } else { 1.0 };
+            let sign = if (b[0] + b[1] + b[2]) % 2 == 1 {
+                -1.0
+            } else {
+                1.0
+            };
             for a in set.indices() {
                 let ab = [a[0] + b[0], a[1] + b[1], a[2] + b[2]];
                 let pos = set2
@@ -300,11 +304,7 @@ mod tests {
         // Targets near the local center.
         let targets: Vec<Particle> = (0..5)
             .map(|i| Particle {
-                pos: [
-                    0.82 + 0.012 * i as f64,
-                    0.86,
-                    0.84,
-                ],
+                pos: [0.82 + 0.012 * i as f64, 0.86, 0.84],
                 charge: 0.0,
             })
             .collect();
@@ -340,9 +340,21 @@ mod tests {
         let mut child_l = vec![0.0; ctx.n_terms()];
         l2l(&ctx, &parent_l, parent_c, child_c, &mut child_l);
         let mut via_parent = vec![0.0];
-        l2p(&ctx, &parent_l, parent_c, std::slice::from_ref(&eval_at), &mut via_parent);
+        l2p(
+            &ctx,
+            &parent_l,
+            parent_c,
+            std::slice::from_ref(&eval_at),
+            &mut via_parent,
+        );
         let mut via_child = vec![0.0];
-        l2p(&ctx, &child_l, child_c, std::slice::from_ref(&eval_at), &mut via_child);
+        l2p(
+            &ctx,
+            &child_l,
+            child_c,
+            std::slice::from_ref(&eval_at),
+            &mut via_child,
+        );
         // L2L is exact on the truncated polynomial.
         assert!(
             (via_parent[0] - via_child[0]).abs() < 1e-10,

@@ -22,8 +22,10 @@ pub mod lists;
 pub mod octree;
 pub mod oracle;
 pub mod particle;
+pub mod workload;
 
 pub use config::{FmmConfig, FmmSpace};
 pub use exec::Fmm;
 pub use oracle::FmmOracle;
 pub use particle::Particle;
+pub use workload::FmmWorkload;

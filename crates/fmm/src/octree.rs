@@ -201,17 +201,20 @@ mod tests {
 
     #[test]
     fn morton_round_trip() {
-        for c in [[0, 0, 0], [1, 2, 3], [7, 7, 7], [100, 50, 25], [1023, 0, 512]] {
+        for c in [
+            [0, 0, 0],
+            [1, 2, 3],
+            [7, 7, 7],
+            [100, 50, 25],
+            [1023, 0, 512],
+        ] {
             assert_eq!(morton_decode(morton_encode(c)), c);
         }
     }
 
     #[test]
     fn morton_locality_of_children() {
-        let parent = CellId {
-            level: 2,
-            index: 5,
-        };
+        let parent = CellId { level: 2, index: 5 };
         for (o, ch) in parent.children().iter().enumerate() {
             assert_eq!(ch.index, (5 << 3) | o);
             assert_eq!(ch.parent(), parent);
@@ -233,7 +236,9 @@ mod tests {
         let ps = random_cube(1000, 3);
         let tree = Octree::build(&ps, 32);
         assert_eq!(tree.particles.len(), 1000);
-        let total: usize = (0..tree.n_leaves()).map(|m| tree.leaf_particles(m).len()).sum();
+        let total: usize = (0..tree.n_leaves())
+            .map(|m| tree.leaf_particles(m).len())
+            .sum();
         assert_eq!(total, 1000);
         // 1000 / 8^1 = 125 > 32; 1000 / 8^2 = 15.6 ≤ 32 → 2 levels.
         assert_eq!(tree.levels, 2);

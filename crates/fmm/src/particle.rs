@@ -31,7 +31,11 @@ pub fn random_cube(n: usize, seed: u64) -> Vec<Particle> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| Particle {
-            pos: [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()],
+            pos: [
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+            ],
             charge: rng.random::<f64>() * 2.0 - 1.0,
         })
         .collect()

@@ -1,0 +1,125 @@
+//! [`Workload`] implementation for the FMM application: one value ties
+//! together a configuration space, the simulated-measurement oracle, and
+//! the paper's §IV-B analytical model.
+
+use crate::config::{FmmConfig, FmmSpace};
+use crate::oracle::FmmOracle;
+use lam_analytical::fmm::FmmAnalyticalModel;
+use lam_analytical::traits::AnalyticalModel;
+use lam_core::workload::Workload;
+use lam_machine::arch::MachineDescription;
+
+/// The FMM scenario: an [`FmmSpace`] evaluated by an [`FmmOracle`] on one
+/// machine.
+#[derive(Debug, Clone)]
+pub struct FmmWorkload {
+    oracle: FmmOracle,
+    space: FmmSpace,
+}
+
+impl FmmWorkload {
+    /// Build the scenario on a machine with the given noise seed.
+    pub fn new(machine: MachineDescription, space: FmmSpace, noise_seed: u64) -> Self {
+        Self {
+            oracle: FmmOracle::new(machine, noise_seed),
+            space,
+        }
+    }
+
+    /// Disable measurement noise (model validation, conformance tests).
+    pub fn without_noise(mut self) -> Self {
+        self.oracle = self.oracle.without_noise();
+        self
+    }
+
+    /// The underlying oracle.
+    pub fn oracle(&self) -> &FmmOracle {
+        &self.oracle
+    }
+
+    /// The configuration space.
+    pub fn space(&self) -> &FmmSpace {
+        &self.space
+    }
+}
+
+impl Workload for FmmWorkload {
+    type Config = FmmConfig;
+
+    fn name(&self) -> &str {
+        self.space.name
+    }
+
+    fn feature_names(&self) -> Vec<String> {
+        FmmConfig::feature_names()
+    }
+
+    fn param_space(&self) -> &[FmmConfig] {
+        self.space.configs()
+    }
+
+    fn features(&self, cfg: &FmmConfig) -> Vec<f64> {
+        cfg.features()
+    }
+
+    fn execution_time(&self, cfg: &FmmConfig) -> f64 {
+        self.oracle.execution_time(cfg)
+    }
+
+    fn problem_size(&self, cfg: &FmmConfig) -> f64 {
+        cfg.n as f64
+    }
+
+    fn analytical_model(&self) -> Box<dyn AnalyticalModel> {
+        Box::new(FmmAnalyticalModel::new(self.oracle.machine().clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{space_paper, space_small};
+
+    fn workload(space: FmmSpace) -> FmmWorkload {
+        FmmWorkload::new(MachineDescription::blue_waters_xe6(), space, 11)
+    }
+
+    #[test]
+    fn dataset_matches_space() {
+        let w = workload(space_small());
+        let d = w.generate_dataset();
+        assert_eq!(d.len(), w.space().len());
+        assert_eq!(d.n_features(), 4);
+        assert_eq!(w.generate_dataset(), d);
+    }
+
+    #[test]
+    fn response_spans_orders_of_magnitude() {
+        let w = workload(space_paper());
+        let d = w.generate_dataset();
+        let min = d.response().iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = d.response().iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 100.0, "dynamic range too small: {min} .. {max}");
+        d.validate_finite().unwrap();
+    }
+
+    #[test]
+    fn analytical_model_predicts_on_features() {
+        let w = workload(space_small());
+        let am = w.analytical_model();
+        let x = w.features(&w.param_space()[0]);
+        assert!(am.predict(&x) > 0.0);
+    }
+
+    #[test]
+    fn problem_size_is_particle_count() {
+        let w = workload(space_small());
+        let c = FmmConfig {
+            t: 2,
+            n: 8192,
+            q: 64,
+            k: 4,
+        };
+        assert_eq!(w.problem_size(&c), 8192.0);
+    }
+}

@@ -124,7 +124,11 @@ proptest! {
 fn fmm_accuracy_random_configs() {
     use lam_fmm::accuracy::{direct_potentials, relative_l2_error};
     use lam_fmm::exec::Fmm;
-    for (n, q, k, seed) in [(256usize, 8usize, 5usize, 1u64), (512, 16, 6, 2), (700, 10, 6, 3)] {
+    for (n, q, k, seed) in [
+        (256usize, 8usize, 5usize, 1u64),
+        (512, 16, 6, 2),
+        (700, 10, 6, 3),
+    ] {
         let ps = random_cube(n, seed);
         let err = relative_l2_error(&Fmm::new(k, q, 1).potentials(&ps), &direct_potentials(&ps));
         assert!(err < 5e-3, "N={n} q={q} k={k}: err {err}");

@@ -1,0 +1,24 @@
+//! The shared `lam-core` Workload conformance suite, run against the FMM
+//! configuration spaces.
+
+use lam_core::workload::conformance;
+use lam_fmm::config::{space_paper, space_small, FmmSpace};
+use lam_fmm::workload::FmmWorkload;
+use lam_machine::arch::MachineDescription;
+
+fn check(space: fn() -> FmmSpace) {
+    let machine = MachineDescription::blue_waters_xe6();
+    let make = || FmmWorkload::new(machine.clone(), space(), 42);
+    let noise_free = make().without_noise();
+    conformance::assert_workload_conformance(make, &noise_free);
+}
+
+#[test]
+fn small_space_conforms() {
+    check(space_small);
+}
+
+#[test]
+fn paper_space_conforms() {
+    check(space_paper);
+}

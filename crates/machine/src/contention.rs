@@ -43,7 +43,11 @@ impl ThreadModel {
         let fpus = machine.total_cores() as f64 * machine.fpu_sharing;
         // Effective compute lanes: linear until FPUs are exhausted, then a
         // mild 20% gain per extra thread pair (integer/AGU work still scales).
-        let lanes = if t <= fpus { t } else { fpus + 0.2 * (t - fpus) };
+        let lanes = if t <= fpus {
+            t
+        } else {
+            fpus + 0.2 * (t - fpus)
+        };
         1.0 / (self.serial_fraction + (1.0 - self.serial_fraction) / lanes)
     }
 
@@ -97,10 +101,11 @@ mod tests {
         let m = ThreadModel::default();
         let t1 = 1.0;
         let t = m.scale_time(t1, 1, 0.5, &bw());
-        assert!((t - t1 / m.memory_speedup(1, &bw()) * 0.5
-            - t1 / m.compute_speedup(1, &bw()) * 0.5)
-            .abs()
-            < 1e-9);
+        assert!(
+            (t - t1 / m.memory_speedup(1, &bw()) * 0.5 - t1 / m.compute_speedup(1, &bw()) * 0.5)
+                .abs()
+                < 1e-9
+        );
         // speedup(1) ≈ 1 → time ≈ t1
         assert!((t - 1.0).abs() < 0.05, "t = {t}");
     }

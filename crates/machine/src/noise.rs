@@ -101,11 +101,12 @@ mod tests {
         let mean: f64 = (0..k).map(|i| n.factor(i)).sum::<f64>() / k as f64;
         // lognormal mean = exp(sigma^2/2) ≈ 1.00045
         assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
-        let spread: f64 = (0..k)
-            .map(|i| (n.factor(i).ln()).powi(2))
-            .sum::<f64>()
-            / k as f64;
-        assert!((spread.sqrt() - 0.03).abs() < 0.005, "sigma {}", spread.sqrt());
+        let spread: f64 = (0..k).map(|i| (n.factor(i).ln()).powi(2)).sum::<f64>() / k as f64;
+        assert!(
+            (spread.sqrt() - 0.03).abs() < 0.005,
+            "sigma {}",
+            spread.sqrt()
+        );
     }
 
     #[test]

@@ -106,13 +106,7 @@ impl Regressor for GradientBoostingRegressor {
             !self.stages.is_empty(),
             "GradientBoostingRegressor used before fit"
         );
-        self.base
-            + self.learning_rate
-                * self
-                    .stages
-                    .iter()
-                    .map(|t| t.predict_row(x))
-                    .sum::<f64>()
+        self.base + self.learning_rate * self.stages.iter().map(|t| t.predict_row(x)).sum::<f64>()
     }
 
     fn name(&self) -> &'static str {

@@ -33,10 +33,7 @@ impl StackingRegressor {
 
     /// Create a stacking ensemble over *pre-fitted* (or training-free)
     /// level-0 models; only the meta model is trained.
-    pub fn with_prefit_level0(
-        level0: Vec<Box<dyn Regressor>>,
-        meta: Box<dyn Regressor>,
-    ) -> Self {
+    pub fn with_prefit_level0(level0: Vec<Box<dyn Regressor>>, meta: Box<dyn Regressor>) -> Self {
         Self {
             level0,
             meta,

@@ -25,12 +25,7 @@ pub struct Forest {
 
 impl Forest {
     /// Build an unfitted forest.
-    pub fn new(
-        n_estimators: usize,
-        params: TreeParams,
-        bootstrap: bool,
-        seed: u64,
-    ) -> Self {
+    pub fn new(n_estimators: usize, params: TreeParams, bootstrap: bool, seed: u64) -> Self {
         Self {
             n_estimators,
             params,
@@ -110,8 +105,7 @@ impl Forest {
         assert!(!self.trees.is_empty(), "forest used before fit");
         let preds: Vec<f64> = self.trees.iter().map(|t| t.predict_row(x)).collect();
         let mean = preds.iter().sum::<f64>() / preds.len() as f64;
-        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
-            / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / preds.len() as f64;
         (mean, var.sqrt())
     }
 }

@@ -37,10 +37,7 @@ impl KnnRegressor {
 
 #[inline]
 fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>()
 }
 
 impl Regressor for KnnRegressor {
@@ -63,7 +60,8 @@ impl Regressor for KnnRegressor {
     fn predict_row(&self, x: &[f64]) -> f64 {
         let train = self.train.as_ref().expect("KnnRegressor used before fit");
         // Collect (distance², y) and partial-select the k smallest.
-        let mut dists: Vec<(f64, f64)> = train.iter().map(|(row, y)| (sq_dist(row, x), y)).collect();
+        let mut dists: Vec<(f64, f64)> =
+            train.iter().map(|(row, y)| (sq_dist(row, x), y)).collect();
         let k = self.k.min(dists.len());
         dists.select_nth_unstable_by(k - 1, |a, b| {
             a.0.partial_cmp(&b.0).expect("finite distances")

@@ -138,13 +138,7 @@ impl Regressor for LinearRegressor {
 
     fn predict_row(&self, x: &[f64]) -> f64 {
         assert!(self.fitted, "LinearRegressor used before fit");
-        self.intercept
-            + self
-                .coef
-                .iter()
-                .zip(x)
-                .map(|(c, v)| c * v)
-                .sum::<f64>()
+        self.intercept + self.coef.iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
     }
 
     fn name(&self) -> &'static str {
@@ -189,12 +183,8 @@ mod tests {
     fn singular_without_ridge_errors() {
         // Duplicate column → singular normal equations.
         let rows = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
-        let d = Dataset::from_rows(
-            vec!["a".into(), "b".into()],
-            &rows,
-            vec![1.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let d =
+            Dataset::from_rows(vec!["a".into(), "b".into()], &rows, vec![1.0, 2.0, 3.0]).unwrap();
         let mut m = LinearRegressor::default();
         assert!(matches!(m.fit(&d), Err(FitError::Invalid(_))));
         // Ridge fixes it.

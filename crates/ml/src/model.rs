@@ -60,7 +60,9 @@ pub trait Regressor: Send + Sync {
 
     /// Predict the response for every row of `data`.
     fn predict(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len()).map(|i| self.predict_row(data.row(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict_row(data.row(i)))
+            .collect()
     }
 
     /// Short human-readable model name for reports.

@@ -10,11 +10,7 @@ use lam_data::Dataset;
 ///
 /// `fraction` is clamped so at least one point lands on each side when the
 /// dataset has ≥ 2 rows.
-pub fn train_test_split_fraction(
-    data: &Dataset,
-    fraction: f64,
-    seed: u64,
-) -> (Dataset, Dataset) {
+pub fn train_test_split_fraction(data: &Dataset, fraction: f64, seed: u64) -> (Dataset, Dataset) {
     assert!(
         (0.0..=1.0).contains(&fraction),
         "fraction {fraction} outside [0, 1]"
@@ -225,7 +221,11 @@ mod tests {
         // range (here response == feature).
         let d = dataset(100);
         let (train, _) = train_test_split_stratified(&d, 10, 7);
-        let min = train.response().iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = train
+            .response()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let max = train.response().iter().cloned().fold(0.0, f64::max);
         assert!(min < 10.0, "lowest stratum sampled: min {min}");
         assert!(max >= 90.0, "highest stratum sampled: max {max}");

@@ -132,9 +132,7 @@ impl DecisionTreeRegressor {
     fn depth_of(&self, id: usize) -> usize {
         match self.nodes[id] {
             Node::Leaf { .. } => 0,
-            Node::Internal { left, right, .. } => {
-                1 + self.depth_of(left).max(self.depth_of(right))
-            }
+            Node::Internal { left, right, .. } => 1 + self.depth_of(left).max(self.depth_of(right)),
         }
     }
 
@@ -173,10 +171,7 @@ impl DecisionTreeRegressor {
         let mean = ys.iter().sum::<f64>() / n as f64;
 
         let stop = n < self.params.min_samples_split
-            || self
-                .params
-                .max_depth
-                .is_some_and(|d| depth >= d)
+            || self.params.max_depth.is_some_and(|d| depth >= d)
             || ys.iter().all(|&y| (y - ys[0]).abs() < 1e-30);
 
         if !stop {

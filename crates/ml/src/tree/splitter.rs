@@ -189,7 +189,10 @@ mod tests {
     fn step_data() -> Dataset {
         // y jumps from 0 to 10 at x = 4.5 → best split threshold near 4.5.
         let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| if x < 4.5 { 0.0 } else { 10.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x < 4.5 { 0.0 } else { 10.0 })
+            .collect();
         Dataset::new(vec!["x".into()], xs, ys).unwrap()
     }
 
@@ -200,15 +203,23 @@ mod tests {
         let mut rng = Xoshiro256::seeded(0);
         let s = find_split(&d, &idx, &TreeParams::default(), &mut rng).unwrap();
         assert_eq!(s.feature, 0);
-        assert!((s.threshold - 4.5).abs() < 1e-12, "threshold {}", s.threshold);
+        assert!(
+            (s.threshold - 4.5).abs() < 1e-12,
+            "threshold {}",
+            s.threshold
+        );
         // Perfect split removes all variance: improvement == parent SSD == 250.
         assert!((s.improvement - 250.0).abs() < 1e-9);
     }
 
     #[test]
     fn constant_feature_yields_none() {
-        let d = Dataset::new(vec!["x".into()], vec![1.0; 6], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
-            .unwrap();
+        let d = Dataset::new(
+            vec!["x".into()],
+            vec![1.0; 6],
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap();
         let idx: Vec<usize> = (0..6).collect();
         let mut rng = Xoshiro256::seeded(0);
         assert!(find_split(&d, &idx, &TreeParams::default(), &mut rng).is_none());

@@ -121,7 +121,9 @@ mod tests {
     #[test]
     fn too_few_rows_rejected() {
         let d = Dataset::new(vec!["x".into()], vec![1.0, 2.0], vec![1.0, 2.0]).unwrap();
-        let r = grid_search(&d, vec![1usize], 5, 0, |_, _| Box::new(KnnRegressor::new(1)));
+        let r = grid_search(&d, vec![1usize], 5, 0, |_, _| {
+            Box::new(KnnRegressor::new(1))
+        });
         assert!(matches!(r, Err(FitError::Invalid(_))));
     }
 }

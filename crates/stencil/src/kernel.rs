@@ -179,12 +179,7 @@ pub fn step_threaded(src: &Grid3, dst: &mut Grid3, coef: Coefficients, cfg: &Ste
 }
 
 /// Run `timesteps` sweeps with buffer swapping; returns the final grid.
-pub fn run(
-    initial: &Grid3,
-    coef: Coefficients,
-    cfg: &StencilConfig,
-    timesteps: usize,
-) -> Grid3 {
+pub fn run(initial: &Grid3, coef: Coefficients, cfg: &StencilConfig, timesteps: usize) -> Grid3 {
     let mut a = initial.clone();
     let mut b = initial.clone();
     for _ in 0..timesteps {
@@ -299,7 +294,12 @@ mod tests {
         // Heat equation with zero boundary: energy decays monotonically.
         let mut src = Grid3::new(10, 10, 10, 1);
         src.fill_with(|x, y, z| if (x, y, z) == (5, 5, 5) { 100.0 } else { 0.0 });
-        let out = run(&src, Coefficients::default(), &StencilConfig::unblocked(10, 10, 10), 5);
+        let out = run(
+            &src,
+            Coefficients::default(),
+            &StencilConfig::unblocked(10, 10, 10),
+            5,
+        );
         let total = out.interior_sum();
         assert!(total > 0.0 && total < 100.0, "sum {total}");
         // Peak spreads out.

@@ -82,10 +82,8 @@ pub fn step27_naive(src: &Grid3, dst: &mut Grid3, coef: Coefficients27) {
                         }
                     }
                 }
-                d[(z * yy + y) * xx + x] = coef.c0 * at(x, y, z)
-                    + coef.c1 * faces
-                    + coef.c2 * edges
-                    + coef.c3 * corners;
+                d[(z * yy + y) * xx + x] =
+                    coef.c0 * at(x, y, z) + coef.c1 * faces + coef.c2 * edges + coef.c3 * corners;
             }
         }
     }

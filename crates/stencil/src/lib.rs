@@ -22,6 +22,9 @@ pub mod kernel27;
 pub mod measure;
 pub mod oracle;
 pub mod trace;
+pub mod workload;
+
+pub use workload::StencilWorkload;
 
 pub use config::{StencilConfig, StencilSpace};
 pub use grid::Grid3;

@@ -24,7 +24,6 @@ use lam_data::Dataset;
 use lam_machine::arch::MachineDescription;
 use lam_machine::contention::ThreadModel;
 use lam_machine::noise::NoiseModel;
-use rayon::prelude::*;
 
 /// Stencil ground-truth time model over a machine.
 #[derive(Debug, Clone)]
@@ -75,9 +74,7 @@ impl StencilOracle {
             .scale_time(serial, cfg.threads, mem_share, &self.machine);
         if cfg.threads > 1 {
             // Fork/join barrier once per sweep.
-            t += self.timesteps as f64
-                * self.thread_model.sync_overhead_s
-                * cfg.threads as f64;
+            t += self.timesteps as f64 * self.thread_model.sync_overhead_s * cfg.threads as f64;
             // Tiny working sets parallelize poorly: a small plane already
             // fits one core's private cache, and splitting it trades cache
             // locality for coherence traffic and idle tails.
@@ -100,9 +97,8 @@ impl StencilOracle {
         let ii = ti + ghost;
         let jj = tj + ghost;
         let points = (cfg.i * cfg.j * cfg.k) as f64;
-        let n_blocks = (cfg.i as f64 / ti).ceil()
-            * (cfg.j as f64 / tj).ceil()
-            * (cfg.k as f64 / tk).ceil();
+        let n_blocks =
+            (cfg.i as f64 / ti).ceil() * (cfg.j as f64 / tj).ceil() * (cfg.k as f64 / tk).ceil();
 
         // --- Cache-resident working set per k-iteration of a tile:
         // Pread = 3 planes of ii*jj (k-1, k, k+1) + 1 written plane.
@@ -178,9 +174,12 @@ impl StencilOracle {
             4 => 0.90,
             _ => 0.92 + 0.02 * (u - 4.0), // register pressure creeps back
         };
-        let remainder_churn = if ti % u > 0.0 { 1.0 + 0.04 * u / ti.max(1.0) } else { 1.0 };
-        let t_flop_per_point =
-            FLOPS_PER_POINT * m.time_per_flop() * unroll_gain * remainder_churn;
+        let remainder_churn = if ti % u > 0.0 {
+            1.0 + 0.04 * u / ti.max(1.0)
+        } else {
+            1.0
+        };
+        let t_flop_per_point = FLOPS_PER_POINT * m.time_per_flop() * unroll_gain * remainder_churn;
 
         // --- Loop overhead: block setup + per-row control.
         let rows = jj * (tk + ghost) * n_blocks;
@@ -197,42 +196,25 @@ impl StencilOracle {
         let t_mem = 3.0 * m.beta_mem();
         (t_mem / (t_mem + t_flop)).clamp(0.0, 1.0)
     }
-
-    /// Generate the dataset for a configuration space: features per the
-    /// space's projection, response = oracle time. Rows are produced in
-    /// parallel and kept in space order (deterministic).
-    pub fn generate_dataset(&self, space: &StencilSpace) -> Dataset {
-        let rows: Vec<(Vec<f64>, f64)> = space
-            .configs()
-            .par_iter()
-            .map(|cfg| {
-                let features = space.features.project(cfg);
-                let y = self.execution_time(cfg);
-                (features, y)
-            })
-            .collect();
-        let mut data = Dataset::empty(space.feature_names());
-        for (features, y) in &rows {
-            data.push(features, *y);
-        }
-        data
-    }
 }
 
-/// Convenience: build the oracle on Blue Waters and generate a space's
-/// dataset in one call.
+/// Convenience: wrap the machine and space in a
+/// [`StencilWorkload`](crate::workload::StencilWorkload) and generate its
+/// dataset (rayon-parallel, deterministic for a fixed seed).
 pub fn generate_dataset(
-    space: &StencilSpace,
     machine: &MachineDescription,
+    space: &StencilSpace,
     noise_seed: u64,
 ) -> Dataset {
-    StencilOracle::new(machine.clone(), noise_seed).generate_dataset(space)
+    use lam_core::workload::Workload as _;
+    crate::workload::StencilWorkload::new(machine.clone(), space.clone(), noise_seed)
+        .generate_dataset()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{space_grid_blocking, space_grid_only, space_grid_threads};
+    use crate::config::space_grid_only;
 
     fn oracle() -> StencilOracle {
         StencilOracle::new(MachineDescription::blue_waters_xe6(), 7)
@@ -274,7 +256,10 @@ mod tests {
         let t_unblocked = o.execution_time(&big_grid);
         let t_tiny = o.execution_time(&tiny_blocks);
         // 1x1 blocks explode loop overhead.
-        assert!(t_tiny > t_unblocked * 1.5, "tiny {t_tiny} unblocked {t_unblocked}");
+        assert!(
+            t_tiny > t_unblocked * 1.5,
+            "tiny {t_tiny} unblocked {t_unblocked}"
+        );
     }
 
     #[test]
@@ -285,7 +270,10 @@ mod tests {
         let t1 = o.execution_time(&c1);
         let t4 = o.execution_time(&c4);
         assert!(t4 < t1, "t1 {t1} t4 {t4}");
-        assert!(t4 > t1 / 8.0, "superlinear scaling is a bug: t1 {t1} t4 {t4}");
+        assert!(
+            t4 > t1 / 8.0,
+            "superlinear scaling is a bug: t1 {t1} t4 {t4}"
+        );
     }
 
     #[test]
@@ -299,24 +287,12 @@ mod tests {
     }
 
     #[test]
-    fn dataset_generation_matches_spaces() {
-        let o = oracle();
-        for space in [space_grid_only(), space_grid_blocking(), space_grid_threads()] {
-            let d = o.generate_dataset(&space);
-            assert_eq!(d.len(), space.len(), "space {}", space.name);
-            assert_eq!(d.n_features(), space.feature_names().len());
-            d.validate_finite().unwrap();
-            assert!(d.response().iter().all(|&y| y > 0.0));
-        }
-    }
-
-    #[test]
-    fn dataset_deterministic_across_calls() {
-        let o = oracle();
+    fn free_generate_dataset_covers_space() {
+        let machine = MachineDescription::blue_waters_xe6();
         let s = space_grid_only();
-        let a = o.generate_dataset(&s);
-        let b = o.generate_dataset(&s);
-        assert_eq!(a, b);
+        let d = generate_dataset(&machine, &s, 42);
+        assert_eq!(d.len(), s.len());
+        assert_eq!(d, generate_dataset(&machine, &s, 42));
     }
 
     #[test]
@@ -326,6 +302,9 @@ mod tests {
         let c = StencilConfig::unblocked(128, 128, 128);
         let tb = bw.execution_time(&c);
         let tl = laptop.execution_time(&c);
-        assert!(tl < tb, "laptop {tl} should beat Blue Waters node core {tb}");
+        assert!(
+            tl < tb,
+            "laptop {tl} should beat Blue Waters node core {tb}"
+        );
     }
 }

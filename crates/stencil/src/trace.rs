@@ -104,7 +104,11 @@ mod tests {
         let cfg = StencilConfig::unblocked(24, 24, 24);
         let t = trace_sweep(&cfg, &machine());
         for w in t.level_misses.windows(2) {
-            assert!(w[1] <= w[0], "deeper level missed more: {:?}", t.level_misses);
+            assert!(
+                w[1] <= w[0],
+                "deeper level missed more: {:?}",
+                t.level_misses
+            );
         }
         assert_eq!(t.memory_accesses, t.llc_misses());
     }

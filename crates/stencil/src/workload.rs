@@ -1,0 +1,147 @@
+//! [`Workload`] implementation for the stencil application: one value ties
+//! together a configuration space, the simulated-measurement oracle, and
+//! the matching §IV analytical model.
+
+use crate::config::{StencilConfig, StencilFeatures, StencilSpace};
+use crate::oracle::StencilOracle;
+use lam_analytical::stencil::{BlockedStencilModel, StencilAnalyticalModel};
+use lam_analytical::traits::AnalyticalModel;
+use lam_core::workload::Workload;
+use lam_machine::arch::MachineDescription;
+
+/// The stencil scenario: a [`StencilSpace`] evaluated by a
+/// [`StencilOracle`] on one machine.
+#[derive(Debug, Clone)]
+pub struct StencilWorkload {
+    oracle: StencilOracle,
+    space: StencilSpace,
+}
+
+impl StencilWorkload {
+    /// Build the scenario on a machine with the given noise seed.
+    pub fn new(machine: MachineDescription, space: StencilSpace, noise_seed: u64) -> Self {
+        Self {
+            oracle: StencilOracle::new(machine, noise_seed),
+            space,
+        }
+    }
+
+    /// Disable measurement noise (model validation, conformance tests).
+    pub fn without_noise(mut self) -> Self {
+        self.oracle = self.oracle.without_noise();
+        self
+    }
+
+    /// The underlying oracle.
+    pub fn oracle(&self) -> &StencilOracle {
+        &self.oracle
+    }
+
+    /// The configuration space.
+    pub fn space(&self) -> &StencilSpace {
+        &self.space
+    }
+}
+
+impl Workload for StencilWorkload {
+    type Config = StencilConfig;
+
+    fn name(&self) -> &str {
+        self.space.name
+    }
+
+    fn feature_names(&self) -> Vec<String> {
+        self.space.feature_names()
+    }
+
+    fn param_space(&self) -> &[StencilConfig] {
+        self.space.configs()
+    }
+
+    fn features(&self, cfg: &StencilConfig) -> Vec<f64> {
+        self.space.features.project(cfg)
+    }
+
+    fn execution_time(&self, cfg: &StencilConfig) -> f64 {
+        self.oracle.execution_time(cfg)
+    }
+
+    fn problem_size(&self, cfg: &StencilConfig) -> f64 {
+        cfg.points() as f64
+    }
+
+    /// The analytical model the paper pairs with this feature layout: the
+    /// blocking-aware model (eq 15) when block sizes are features, the
+    /// serial cache-miss model (eqs 3–7) otherwise — including the
+    /// threaded space, where the paper deliberately stacks a model that
+    /// "does not capture the parallelism".
+    fn analytical_model(&self) -> Box<dyn AnalyticalModel> {
+        let machine = self.oracle.machine().clone();
+        let timesteps = self.oracle.timesteps;
+        match self.space.features {
+            StencilFeatures::GridAndBlocking => {
+                Box::new(BlockedStencilModel::new(machine, timesteps))
+            }
+            StencilFeatures::GridOnly | StencilFeatures::GridAndThreads => {
+                Box::new(StencilAnalyticalModel::new(machine, timesteps))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{space_grid_blocking, space_grid_only, space_grid_threads};
+
+    fn workload(space: StencilSpace) -> StencilWorkload {
+        StencilWorkload::new(MachineDescription::blue_waters_xe6(), space, 7)
+    }
+
+    #[test]
+    fn dataset_generation_matches_spaces() {
+        for space in [
+            space_grid_only(),
+            space_grid_blocking(),
+            space_grid_threads(),
+        ] {
+            let w = workload(space);
+            let d = w.generate_dataset();
+            assert_eq!(d.len(), w.space().len(), "space {}", w.name());
+            assert_eq!(d.n_features(), w.feature_names().len());
+            d.validate_finite().unwrap();
+            assert!(d.response().iter().all(|&y| y > 0.0));
+        }
+    }
+
+    #[test]
+    fn dataset_deterministic_across_calls() {
+        let w = workload(space_grid_only());
+        assert_eq!(w.generate_dataset(), w.generate_dataset());
+    }
+
+    #[test]
+    fn analytical_model_tracks_feature_layout() {
+        let grid = workload(space_grid_only());
+        let blocking = workload(space_grid_blocking());
+        let threads = workload(space_grid_threads());
+        // Serial model takes (I, J, K); blocked model takes
+        // (I, J, K, bi, bj, bk). Predictions must be finite and positive
+        // on each space's own feature layout.
+        for w in [&grid, &threads] {
+            let am = w.analytical_model();
+            let x = w.features(&w.param_space()[0]);
+            assert!(am.predict(&x).is_finite());
+        }
+        let am = blocking.analytical_model();
+        let x = blocking.features(&blocking.param_space()[0]);
+        assert!(am.predict(&x) > 0.0);
+    }
+
+    #[test]
+    fn problem_size_is_grid_points() {
+        let w = workload(space_grid_only());
+        let c = StencilConfig::unblocked(128, 144, 160);
+        assert_eq!(w.problem_size(&c), (128 * 144 * 160) as f64);
+    }
+}

@@ -1,11 +1,11 @@
 //! Property-based tests: every tuned stencil variant computes exactly the
 //! naive result, and the oracle behaves like a time.
 
+use lam_machine::arch::MachineDescription;
 use lam_stencil::config::StencilConfig;
 use lam_stencil::grid::Grid3;
 use lam_stencil::kernel::{step_blocked, step_naive, step_threaded, Coefficients};
 use lam_stencil::oracle::StencilOracle;
-use lam_machine::arch::MachineDescription;
 use proptest::prelude::*;
 
 fn grid_with_pattern(nx: usize, ny: usize, nz: usize, salt: u64) -> Grid3 {

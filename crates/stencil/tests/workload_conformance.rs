@@ -1,0 +1,29 @@
+//! The shared `lam-core` Workload conformance suite, run against every
+//! stencil configuration space.
+
+use lam_core::workload::conformance;
+use lam_machine::arch::MachineDescription;
+use lam_stencil::config::{space_grid_blocking, space_grid_only, space_grid_threads, StencilSpace};
+use lam_stencil::workload::StencilWorkload;
+
+fn check(space: fn() -> StencilSpace) {
+    let machine = MachineDescription::blue_waters_xe6();
+    let make = || StencilWorkload::new(machine.clone(), space(), 42);
+    let noise_free = make().without_noise();
+    conformance::assert_workload_conformance(make, &noise_free);
+}
+
+#[test]
+fn grid_only_space_conforms() {
+    check(space_grid_only);
+}
+
+#[test]
+fn grid_blocking_space_conforms() {
+    check(space_grid_blocking);
+}
+
+#[test]
+fn grid_threads_space_conforms() {
+    check(space_grid_threads);
+}

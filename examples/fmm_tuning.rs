@@ -5,13 +5,13 @@
 //!
 //! Run: `cargo run --release --example fmm_tuning`
 
-use lam::analytical::fmm::FmmAnalyticalModel;
 use lam::core::hybrid::{HybridConfig, HybridModel};
+use lam::core::workload::Workload;
 use lam::fmm::accuracy::{direct_potentials, relative_l2_error};
 use lam::fmm::config::{space_paper, FmmConfig};
 use lam::fmm::exec::Fmm;
-use lam::fmm::oracle::FmmOracle;
 use lam::fmm::particle::random_cube;
+use lam::fmm::workload::FmmWorkload;
 use lam::machine::arch::MachineDescription;
 use lam::ml::forest::ExtraTreesRegressor;
 use lam::ml::model::Regressor;
@@ -19,14 +19,14 @@ use lam::ml::sampling::train_test_split_fraction;
 
 fn main() {
     let machine = MachineDescription::blue_waters_xe6();
-    let oracle = FmmOracle::new(machine.clone(), 99);
-    let space = space_paper();
-    let data = oracle.generate_dataset(&space);
+    let workload = FmmWorkload::new(machine, space_paper(), 99);
+    let data = workload.generate_dataset();
+    let oracle = workload.oracle();
 
     // Train the hybrid on 20% of the (t, N, q, k) space.
     let (train, _) = train_test_split_fraction(&data, 0.20, 11);
     let mut model = HybridModel::new(
-        Box::new(FmmAnalyticalModel::new(machine)),
+        workload.analytical_model(),
         Box::new(ExtraTreesRegressor::new(8)),
         HybridConfig {
             log_feature: true,
@@ -47,7 +47,11 @@ fn main() {
         };
         let pred = model.predict_row(&cfg.features());
         let actual = oracle.execution_time(&cfg);
-        println!("  q = {q:>3}: predicted {:.1} ms, actual {:.1} ms", pred * 1e3, actual * 1e3);
+        println!(
+            "  q = {q:>3}: predicted {:.1} ms, actual {:.1} ms",
+            pred * 1e3,
+            actual * 1e3
+        );
         if pred < best.1 {
             best = (q, pred);
         }

@@ -10,8 +10,8 @@
 //!
 //! Run: `cargo run --release --example hardware_change`
 
-use lam::analytical::stencil::StencilAnalyticalModel;
 use lam::core::hybrid::{HybridConfig, HybridModel};
+use lam::core::workload::Workload;
 use lam::machine::arch::MachineDescription;
 use lam::ml::forest::ExtraTreesRegressor;
 use lam::ml::metrics::mape;
@@ -19,11 +19,11 @@ use lam::ml::model::Regressor;
 use lam::ml::sampling::train_test_split_fraction;
 use lam::stencil::config::{space_grid_only, StencilConfig};
 use lam::stencil::measure::measure_config;
-use lam::stencil::oracle::StencilOracle;
+use lam::stencil::workload::StencilWorkload;
 
 fn evaluate_on(machine: MachineDescription, label: &str) -> (f64, f64) {
-    let oracle = StencilOracle::new(machine.clone(), 77);
-    let data = oracle.generate_dataset(&space_grid_only());
+    let workload = StencilWorkload::new(machine, space_grid_only(), 77);
+    let data = workload.generate_dataset();
     let (train, test) = train_test_split_fraction(&data, 0.02, 3);
 
     let mut pure = ExtraTreesRegressor::new(5);
@@ -31,7 +31,7 @@ fn evaluate_on(machine: MachineDescription, label: &str) -> (f64, f64) {
     let pure_mape = mape(test.response(), &pure.predict(&test)).unwrap();
 
     let mut hybrid = HybridModel::new(
-        Box::new(StencilAnalyticalModel::new(machine, 4)),
+        workload.analytical_model(),
         Box::new(ExtraTreesRegressor::new(5)),
         HybridConfig::with_aggregation(),
     );

@@ -4,8 +4,8 @@
 //!
 //! Run: `cargo run --release --example model_selection`
 
-use lam::analytical::stencil::BlockedStencilModel;
 use lam::core::hybrid::{HybridConfig, HybridModel};
+use lam::core::workload::Workload;
 use lam::machine::arch::MachineDescription;
 use lam::ml::ensemble::GradientBoostingRegressor;
 use lam::ml::forest::ExtraTreesRegressor;
@@ -14,11 +14,12 @@ use lam::ml::sampling::train_test_split_fraction;
 use lam::ml::tree::{MaxFeatures, TreeParams};
 use lam::ml::tuning::grid_search;
 use lam::stencil::config::space_grid_blocking;
-use lam::stencil::oracle::StencilOracle;
+use lam::stencil::workload::StencilWorkload;
 
 fn main() {
     let machine = MachineDescription::blue_waters_xe6();
-    let data = StencilOracle::new(machine.clone(), 7).generate_dataset(&space_grid_blocking());
+    let workload = StencilWorkload::new(machine, space_grid_blocking(), 7);
+    let data = workload.generate_dataset();
     // Only 4% of the space is "measured"; all tuning happens inside it.
     let (train, test) = train_test_split_fraction(&data, 0.04, 21);
     println!(
@@ -45,7 +46,7 @@ fn main() {
     let best_leaf = ranked[0].params;
 
     // 2. Compare tuned-ET hybrid against a boosting-based hybrid.
-    let am = || Box::new(BlockedStencilModel::new(machine.clone(), 4));
+    let am = || workload.analytical_model();
     let params = TreeParams {
         min_samples_leaf: best_leaf,
         ..TreeParams::default()
@@ -63,15 +64,18 @@ fn main() {
     );
     gb_hybrid.fit(&train).expect("fit GB hybrid");
 
-    let score = |m: &dyn Regressor| {
-        lam::ml::metrics::mape(test.response(), &m.predict(&test)).unwrap()
-    };
+    let score =
+        |m: &dyn Regressor| lam::ml::metrics::mape(test.response(), &m.predict(&test)).unwrap();
     let et_mape = score(&et_hybrid);
     let gb_mape = score(&gb_hybrid);
     println!("\nheld-out MAPE: hybrid(extra trees, leaf={best_leaf}) {et_mape:.1}%");
     println!("held-out MAPE: hybrid(gradient boosting)      {gb_mape:.1}%");
     println!(
         "selected base: {}",
-        if et_mape <= gb_mape { "extra trees" } else { "gradient boosting" }
+        if et_mape <= gb_mape {
+            "extra trees"
+        } else {
+            "gradient boosting"
+        }
     );
 }

@@ -7,26 +7,34 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use lam::analytical::stencil::StencilAnalyticalModel;
 use lam::core::hybrid::{HybridConfig, HybridModel};
+use lam::core::workload::Workload;
 use lam::machine::arch::MachineDescription;
 use lam::ml::forest::ExtraTreesRegressor;
 use lam::ml::metrics::mape;
 use lam::ml::model::Regressor;
 use lam::ml::sampling::train_test_split_fraction;
 use lam::stencil::config::space_grid_only;
-use lam::stencil::oracle::StencilOracle;
+use lam::stencil::workload::StencilWorkload;
 
 fn main() {
     // 1. Ground truth: "measured" execution times for 729 grid sizes.
     let machine = MachineDescription::blue_waters_xe6();
-    let oracle = StencilOracle::new(machine.clone(), 42);
-    let data = oracle.generate_dataset(&space_grid_only());
-    println!("dataset: {} configurations, features {:?}", data.len(), data.feature_names());
+    let workload = StencilWorkload::new(machine, space_grid_only(), 42);
+    let data = workload.generate_dataset();
+    println!(
+        "dataset: {} configurations, features {:?}",
+        data.len(),
+        data.feature_names()
+    );
 
     // 2. Train on a 2% window, evaluate on the remaining 98%.
     let (train, test) = train_test_split_fraction(&data, 0.02, 7);
-    println!("training on {} samples, testing on {}", train.len(), test.len());
+    println!(
+        "training on {} samples, testing on {}",
+        train.len(),
+        test.len()
+    );
 
     // 3. Pure machine learning.
     let mut pure = ExtraTreesRegressor::new(1);
@@ -35,9 +43,9 @@ fn main() {
 
     // 4. Hybrid: the analytical model's prediction becomes an extra
     //    feature; predictions are aggregated with the analytical model.
-    let am = StencilAnalyticalModel::new(machine, 4);
+    //    The workload supplies the matching analytical model.
     let mut hybrid = HybridModel::new(
-        Box::new(am),
+        workload.analytical_model(),
         Box::new(ExtraTreesRegressor::new(1)),
         HybridConfig::with_aggregation(),
     );

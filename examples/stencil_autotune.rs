@@ -9,20 +9,21 @@
 //!
 //! Run: `cargo run --release --example stencil_autotune`
 
-use lam::analytical::stencil::BlockedStencilModel;
 use lam::core::hybrid::{HybridConfig, HybridModel};
+use lam::core::workload::Workload;
 use lam::machine::arch::MachineDescription;
 use lam::ml::forest::ExtraTreesRegressor;
 use lam::ml::model::Regressor;
 use lam::ml::sampling::train_test_split_fraction;
 use lam::stencil::config::space_grid_blocking;
-use lam::stencil::oracle::StencilOracle;
+use lam::stencil::workload::StencilWorkload;
 
 fn main() {
     let machine = MachineDescription::blue_waters_xe6();
-    let oracle = StencilOracle::new(machine.clone(), 2024);
-    let space = space_grid_blocking();
-    let data = oracle.generate_dataset(&space);
+    let workload = StencilWorkload::new(machine, space_grid_blocking(), 2024);
+    let space = workload.space().clone();
+    let data = workload.generate_dataset();
+    let oracle = workload.oracle();
 
     // "Measure" only 3% of the space.
     let (train, _) = train_test_split_fraction(&data, 0.03, 5);
@@ -33,7 +34,7 @@ fn main() {
     );
 
     let mut model = HybridModel::new(
-        Box::new(BlockedStencilModel::new(machine, 4)),
+        workload.analytical_model(),
         Box::new(ExtraTreesRegressor::new(3)),
         HybridConfig::default(),
     );
@@ -77,7 +78,10 @@ fn main() {
         "target grid {}x{}x{}: predicted-best blocking = {}x{}x{}",
         target.0, target.1, target.2, cfg.bi, cfg.bj, cfg.bk
     );
-    println!("  actual time of chosen blocking: {:.3} ms", chosen_time * 1e3);
+    println!(
+        "  actual time of chosen blocking: {:.3} ms",
+        chosen_time * 1e3
+    );
     println!("  true best  : {:.3} ms", true_best.1 * 1e3);
     println!("  true worst : {:.3} ms", true_worst.1 * 1e3);
     let regret = chosen_time / true_best.1;

@@ -12,11 +12,22 @@
 //! ```no_run
 //! use lam::prelude::*;
 //!
-//! // Generate a stencil dataset on the simulated Blue Waters node,
-//! // train a hybrid model on 2% of it, and evaluate MAPE on the rest.
+//! // Generate a stencil dataset on the simulated Blue Waters node, train
+//! // a hybrid model on 2% of it, and evaluate MAPE on the rest.
 //! let machine = MachineDescription::blue_waters_xe6();
 //! let space = lam::stencil::config::space_grid_only();
-//! let dataset = lam::stencil::oracle::generate_dataset(&space, &machine, 42);
+//! let dataset = lam::stencil::oracle::generate_dataset(&machine, &space, 42);
+//!
+//! let workload = StencilWorkload::new(machine, space, 42);
+//! let config = EvaluationConfig::new(vec![0.02], 10, 7);
+//! let series = lam::core::evaluate::evaluate_model(&dataset, &config, |seed| {
+//!     Box::new(HybridModel::new(
+//!         workload.analytical_model(),
+//!         Box::new(ExtraTreesRegressor::new(seed)),
+//!         HybridConfig::with_aggregation(),
+//!     ))
+//! });
+//! println!("hybrid MAPE at 2% training: {:.1}%", series[0].summary.mean);
 //! ```
 
 pub use lam_analytical as analytical;
@@ -32,7 +43,9 @@ pub mod prelude {
     pub use lam_analytical::traits::AnalyticalModel;
     pub use lam_core::evaluate::{EvaluationConfig, TrialOutcome};
     pub use lam_core::hybrid::{HybridConfig, HybridModel};
+    pub use lam_core::workload::Workload;
     pub use lam_data::{Dataset, ParamRange, ParamSpace};
+    pub use lam_fmm::workload::FmmWorkload;
     pub use lam_machine::arch::MachineDescription;
     pub use lam_ml::metrics::mape;
     pub use lam_ml::model::Regressor;
@@ -40,4 +53,5 @@ pub mod prelude {
         forest::{ExtraTreesRegressor, RandomForestRegressor},
         tree::DecisionTreeRegressor,
     };
+    pub use lam_stencil::workload::StencilWorkload;
 }

@@ -4,15 +4,17 @@
 //! and `lam-core`.
 
 use lam::analytical::fmm::FmmAnalyticalModel;
-use lam::analytical::stencil::{BlockedStencilModel, StencilAnalyticalModel};
-use lam::core::evaluate::{analytical_mape, evaluate_model, EvaluationConfig};
+use lam::analytical::stencil::BlockedStencilModel;
+use lam::core::evaluate::{analytical_mape, evaluate_workload, EvaluationConfig};
 use lam::core::hybrid::{HybridConfig, HybridModel};
+use lam::core::workload::Workload;
+use lam::fmm::workload::FmmWorkload;
 use lam::machine::arch::MachineDescription;
 use lam::ml::forest::ExtraTreesRegressor;
 use lam::ml::metrics::mape;
 use lam::ml::model::Regressor;
 use lam::ml::sampling::train_test_split_fraction;
-use lam::stencil::oracle::StencilOracle;
+use lam::stencil::workload::StencilWorkload;
 
 const TIMESTEPS: usize = 4;
 
@@ -22,8 +24,8 @@ fn machine() -> MachineDescription {
 
 #[test]
 fn stencil_pipeline_hybrid_beats_pure_ml_at_small_window() {
-    let oracle = StencilOracle::new(machine(), 1);
-    let data = oracle.generate_dataset(&lam::stencil::config::space_grid_only());
+    let workload = StencilWorkload::new(machine(), lam::stencil::config::space_grid_only(), 1);
+    let data = workload.generate_dataset();
     let (train, test) = train_test_split_fraction(&data, 0.02, 5);
 
     let mut pure = ExtraTreesRegressor::with_params(60, Default::default(), 2);
@@ -31,7 +33,7 @@ fn stencil_pipeline_hybrid_beats_pure_ml_at_small_window() {
     let pure_mape = mape(test.response(), &pure.predict(&test)).unwrap();
 
     let mut hybrid = HybridModel::new(
-        Box::new(StencilAnalyticalModel::new(machine(), TIMESTEPS)),
+        workload.analytical_model(),
         Box::new(ExtraTreesRegressor::with_params(60, Default::default(), 2)),
         HybridConfig::with_aggregation(),
     );
@@ -42,16 +44,15 @@ fn stencil_pipeline_hybrid_beats_pure_ml_at_small_window() {
         hybrid_mape < pure_mape,
         "hybrid {hybrid_mape:.1}% should beat pure {pure_mape:.1}%"
     );
-    assert!(hybrid_mape < 15.0, "hybrid should be accurate: {hybrid_mape:.1}%");
+    assert!(
+        hybrid_mape < 15.0,
+        "hybrid should be accurate: {hybrid_mape:.1}%"
+    );
 }
 
 #[test]
 fn fmm_pipeline_hybrid_beats_pure_ml() {
-    let data = lam::fmm::oracle::generate_dataset(
-        &lam::fmm::config::space_small(),
-        &machine(),
-        3,
-    );
+    let data = lam::fmm::oracle::generate_dataset(&machine(), &lam::fmm::config::space_small(), 3);
     let (train, test) = train_test_split_fraction(&data, 0.2, 9);
 
     let mut pure = ExtraTreesRegressor::with_params(60, Default::default(), 4);
@@ -79,17 +80,13 @@ fn fmm_pipeline_hybrid_beats_pure_ml() {
 fn analytical_models_are_inaccurate_but_correlated() {
     // The §VII regime: blocking AM ~40-60%, FMM AM ~100-250% on our
     // simulated node — far from exact, far from useless.
-    let blocking = StencilOracle::new(machine(), 7)
-        .generate_dataset(&lam::stencil::config::space_grid_blocking());
+    let blocking = StencilWorkload::new(machine(), lam::stencil::config::space_grid_blocking(), 7)
+        .generate_dataset();
     let am = BlockedStencilModel::new(machine(), TIMESTEPS);
     let m = analytical_mape(&blocking, &am);
     assert!((20.0..90.0).contains(&m), "blocking AM MAPE {m:.1}%");
 
-    let fmm = lam::fmm::oracle::generate_dataset(
-        &lam::fmm::config::space_paper(),
-        &machine(),
-        7,
-    );
+    let fmm = lam::fmm::oracle::generate_dataset(&machine(), &lam::fmm::config::space_paper(), 7);
     let am = FmmAnalyticalModel::new(machine());
     let m = analytical_mape(&fmm, &am);
     assert!((60.0..400.0).contains(&m), "FMM AM MAPE {m:.1}%");
@@ -97,11 +94,14 @@ fn analytical_models_are_inaccurate_but_correlated() {
 
 #[test]
 fn evaluation_protocol_runs_end_to_end() {
-    let data = StencilOracle::new(machine(), 11)
-        .generate_dataset(&lam::stencil::config::space_grid_only());
+    let workload = StencilWorkload::new(machine(), lam::stencil::config::space_grid_only(), 11);
     let cfg = EvaluationConfig::new(vec![0.02, 0.10], 3, 13);
-    let series = evaluate_model(&data, &cfg, |seed| {
-        Box::new(ExtraTreesRegressor::with_params(30, Default::default(), seed))
+    let series = evaluate_workload(&workload, &cfg, |seed| {
+        Box::new(ExtraTreesRegressor::with_params(
+            30,
+            Default::default(),
+            seed,
+        ))
     });
     assert_eq!(series.len(), 2);
     // More training data → lower error (the universal Fig 3 shape).
@@ -109,9 +109,30 @@ fn evaluation_protocol_runs_end_to_end() {
 }
 
 #[test]
+fn workloads_share_one_generic_pipeline() {
+    // The same generic protocol runs over both applications — the
+    // refactor's point: scenario-specific code ends at the Workload impl.
+    fn mean_mape_at<W: Workload>(workload: &W, fraction: f64) -> f64 {
+        let cfg = EvaluationConfig::new(vec![fraction], 3, 17);
+        let series = evaluate_workload(workload, &cfg, |seed| {
+            Box::new(ExtraTreesRegressor::with_params(
+                30,
+                Default::default(),
+                seed,
+            ))
+        });
+        series[0].summary.mean
+    }
+    let stencil = StencilWorkload::new(machine(), lam::stencil::config::space_grid_only(), 3);
+    let fmm = FmmWorkload::new(machine(), lam::fmm::config::space_small(), 3);
+    assert!(mean_mape_at(&stencil, 0.1).is_finite());
+    assert!(mean_mape_at(&fmm, 0.2).is_finite());
+}
+
+#[test]
 fn dataset_round_trips_through_csv_and_json() {
-    let data = StencilOracle::new(machine(), 2)
-        .generate_dataset(&lam::stencil::config::space_grid_only());
+    let data = StencilWorkload::new(machine(), lam::stencil::config::space_grid_only(), 2)
+        .generate_dataset();
     let dir = std::env::temp_dir().join("lam_integration_io");
     std::fs::create_dir_all(&dir).unwrap();
 
@@ -132,15 +153,18 @@ fn dataset_round_trips_through_csv_and_json() {
 
 #[test]
 fn fitted_model_serializes_and_restores() {
-    let data = StencilOracle::new(machine(), 4)
-        .generate_dataset(&lam::stencil::config::space_grid_only());
+    let data = StencilWorkload::new(machine(), lam::stencil::config::space_grid_only(), 4)
+        .generate_dataset();
     let (train, test) = train_test_split_fraction(&data, 0.1, 1);
     let mut model = ExtraTreesRegressor::with_params(20, Default::default(), 6);
     model.fit(&train).unwrap();
     let json = serde_json::to_string(&model).unwrap();
     let restored: ExtraTreesRegressor = serde_json::from_str(&json).unwrap();
     for i in 0..test.len().min(50) {
-        assert_eq!(model.predict_row(test.row(i)), restored.predict_row(test.row(i)));
+        assert_eq!(
+            model.predict_row(test.row(i)),
+            restored.predict_row(test.row(i))
+        );
     }
 }
 

@@ -1,0 +1,5 @@
+/root/repo/vendor/criterion/target/debug/deps/criterion-022f3873ba254032.d: src/lib.rs
+
+/root/repo/vendor/criterion/target/debug/deps/criterion-022f3873ba254032: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/criterion/target/debug/deps/criterion-0dbd8a650bc32712.d: src/lib.rs
+
+/root/repo/vendor/criterion/target/debug/deps/libcriterion-0dbd8a650bc32712.rlib: src/lib.rs
+
+/root/repo/vendor/criterion/target/debug/deps/libcriterion-0dbd8a650bc32712.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-3bda1f59ca4f3e31.d: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/proptest-3bda1f59ca4f3e31: src/lib.rs
+
+src/lib.rs:

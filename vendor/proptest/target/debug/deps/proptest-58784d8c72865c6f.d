@@ -1,0 +1,7 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-58784d8c72865c6f.d: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-58784d8c72865c6f.rlib: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-58784d8c72865c6f.rmeta: src/lib.rs
+
+src/lib.rs:

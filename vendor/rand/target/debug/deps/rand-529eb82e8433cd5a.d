@@ -1,0 +1,5 @@
+/root/repo/vendor/rand/target/debug/deps/rand-529eb82e8433cd5a.d: src/lib.rs
+
+/root/repo/vendor/rand/target/debug/deps/rand-529eb82e8433cd5a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/rand/target/debug/deps/rand-c0b3cda7f38e6d19.d: src/lib.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-c0b3cda7f38e6d19.rlib: src/lib.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-c0b3cda7f38e6d19.rmeta: src/lib.rs
+
+src/lib.rs:

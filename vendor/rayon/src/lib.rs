@@ -1,0 +1,473 @@
+//! Vendored data-parallelism shim exposing the subset of the `rayon` API
+//! this workspace uses, built on `std::thread::scope`.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rayon` cannot be fetched. This crate keeps the call sites source
+//! compatible while still providing genuine multi-core execution:
+//!
+//! * `slice.par_iter()` / `vec.par_iter()` (+ `.enumerate()`, `.map(..)`,
+//!   `.collect()` into `Vec<T>` or `Result<Vec<T>, E>`, `.for_each(..)`);
+//! * `(0..n).into_par_iter()` over `usize` ranges;
+//! * `slice.par_chunks_mut(n).enumerate().for_each(..)`;
+//! * `ThreadPoolBuilder::new().num_threads(t).build()?.install(..)`.
+//!
+//! Parallel maps are *order preserving*: results are stitched back in
+//! input order, so a parallel map is observably identical to its
+//! sequential counterpart for pure per-item functions. Work is handed out
+//! in dynamically claimed chunks (atomic cursor), giving load balancing
+//! close to rayon's for the coarse-grained loops used here.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads the next parallel call may use.
+fn current_threads() -> usize {
+    POOL_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Run `f(0..n)` across threads, returning results in index order.
+fn run_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    // Chunks small enough for balance, large enough to amortize locking.
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let cursor = AtomicUsize::new(0);
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                let out: Vec<R> = (start..end).map(&f).collect();
+                parts.lock().expect("worker panicked").push((start, out));
+            });
+        }
+    });
+    let mut parts = parts.into_inner().expect("worker panicked");
+    parts.sort_unstable_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut p) in parts {
+        out.append(&mut p);
+    }
+    out
+}
+
+/// An indexed parallel pipeline stage: a random-access source of items.
+///
+/// Unlike real rayon's producer/consumer machinery, every combinator here
+/// is index addressable, which is all the workspace needs and keeps the
+/// implementation small.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item produced at each index.
+    type Item: Send;
+
+    /// Number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produce the item at `index` (pure; called from worker threads).
+    fn par_get(&self, index: usize) -> Self::Item;
+
+    /// Map each item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Apply `f` to every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let n = self.par_len();
+        run_indexed(n, current_threads(), |i| f(self.par_get(i)));
+    }
+
+    /// Collect all items, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Conversion into a parallel iterator (owned sources).
+pub trait IntoParallelIterator {
+    /// Resulting iterator type.
+    type Iter: ParallelIterator;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `.par_iter()` on `&self` borrowing sources (slices, `Vec`s).
+pub trait IntoParallelRefIterator<'a> {
+    /// Resulting iterator type.
+    type Iter: ParallelIterator;
+    /// Borrowing parallel iterator over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel iterator over a slice.
+pub struct SliceIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+    fn par_get(&self, index: usize) -> Self::Item {
+        &self.items[index]
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        SliceIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        SliceIter { items: self }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    fn par_len(&self) -> usize {
+        self.len
+    }
+    fn par_get(&self, index: usize) -> Self::Item {
+        self.start + index
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> Self::Iter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+/// Parallel map stage.
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+    fn par_get(&self, index: usize) -> Self::Item {
+        (self.f)(self.inner.par_get(index))
+    }
+}
+
+/// Parallel enumerate stage.
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+    fn par_get(&self, index: usize) -> Self::Item {
+        (index, self.inner.par_get(index))
+    }
+}
+
+/// Containers a parallel iterator can collect into.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Collect `iter`, preserving item order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        run_indexed(iter.par_len(), current_threads(), |i| iter.par_get(i))
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+{
+    fn from_par_iter<I: ParallelIterator<Item = Result<T, E>>>(iter: I) -> Self {
+        run_indexed(iter.par_len(), current_threads(), |i| iter.par_get(i))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// `.par_chunks_mut(..)` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of `chunk_size` (last may be shorter),
+    /// processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Mutable-chunk pipeline; only the `enumerate().for_each(..)` shape the
+/// workspace uses is provided (mutable borrows cannot be re-produced from
+/// a shared `&self`, so this is a separate owned pipeline).
+pub struct ChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut {
+            chunks: self.chunks,
+        }
+    }
+}
+
+/// Enumerated mutable chunks.
+pub struct EnumerateChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> EnumerateChunksMut<'a, T> {
+    /// Run `f` on every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let mut work: Vec<Option<(usize, &'a mut [T])>> =
+            self.chunks.into_iter().enumerate().map(Some).collect();
+        let n = work.len();
+        let threads = current_threads().clamp(1, n.max(1));
+        if threads <= 1 {
+            for item in work.into_iter().flatten() {
+                f(item);
+            }
+            return;
+        }
+        let queue = Mutex::new(work.iter_mut().collect::<Vec<_>>());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let slot = queue.lock().expect("worker panicked").pop();
+                    match slot {
+                        Some(slot) => {
+                            if let Some(item) = slot.take() {
+                                f(item);
+                            }
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this shim,
+/// but part of the API surface).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with default (machine) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `n` threads (`0` = machine default, as in rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count limit; parallel calls made inside
+/// [`ThreadPool::install`] use at most the configured thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread budget installed.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev =
+            POOL_THREADS.with(|c| c.replace(self.num_threads.or_else(|| Some(current_threads()))));
+        let guard = RestoreThreads(prev);
+        let out = f();
+        drop(guard);
+        out
+    }
+}
+
+/// Restores the previous thread budget even if `f` panics.
+struct RestoreThreads(Option<usize>);
+
+impl Drop for RestoreThreads {
+    fn drop(&mut self) {
+        let prev = self.0;
+        POOL_THREADS.with(|c| c.set(prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..257).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 257);
+        assert_eq!(squares[256], 256 * 256);
+    }
+
+    #[test]
+    fn enumerate_indices_match() {
+        let xs = vec![10, 20, 30, 40];
+        let pairs: Vec<(usize, i32)> = xs.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(pairs, vec![(0, 10), (1, 20), (2, 30), (3, 40)]);
+    }
+
+    #[test]
+    fn collect_result_propagates_error() {
+        let xs: Vec<usize> = (0..100).collect();
+        let ok: Result<Vec<usize>, String> = xs.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<usize>, String> = xs
+            .par_iter()
+            .map(|&x| {
+                if x == 50 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn chunks_mut_disjoint_writes() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i / 10);
+        }
+    }
+
+    #[test]
+    fn pool_install_limits_and_restores() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let before = current_threads();
+        let sum: usize = pool
+            .install(|| {
+                assert_eq!(current_threads(), 2);
+                (0..100usize).into_par_iter().map(|x| x).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .sum();
+        assert_eq!(sum, 4950);
+        assert_eq!(current_threads(), before);
+    }
+}

@@ -1,0 +1,7 @@
+/root/repo/vendor/rayon/target/debug/deps/rayon-1040e77443238bf1.d: src/lib.rs
+
+/root/repo/vendor/rayon/target/debug/deps/librayon-1040e77443238bf1.rlib: src/lib.rs
+
+/root/repo/vendor/rayon/target/debug/deps/librayon-1040e77443238bf1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/rayon/target/debug/deps/rayon-f30ae04723cc7f89.d: src/lib.rs
+
+/root/repo/vendor/rayon/target/debug/deps/rayon-f30ae04723cc7f89: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/serde/target/debug/deps/serde-0982fd183db32026.d: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/serde-0982fd183db32026: src/lib.rs
+
+src/lib.rs:

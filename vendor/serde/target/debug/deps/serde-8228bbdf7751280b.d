@@ -1,0 +1,7 @@
+/root/repo/vendor/serde/target/debug/deps/serde-8228bbdf7751280b.d: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/libserde-8228bbdf7751280b.rlib: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/libserde-8228bbdf7751280b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/serde/target/debug/deps/serde_derive-17fb0c79d0e71335.d: /root/repo/vendor/serde_derive/src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/libserde_derive-17fb0c79d0e71335.so: /root/repo/vendor/serde_derive/src/lib.rs
+
+/root/repo/vendor/serde_derive/src/lib.rs:

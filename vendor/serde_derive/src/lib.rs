@@ -1,0 +1,434 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the build
+//! environment cannot fetch `syn`/`quote`). Supports the item shapes this
+//! workspace derives on:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple, and struct variants;
+//! * no generic parameters, no `#[serde(..)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (shim): renders the type as a `serde::Value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derive `serde::Deserialize` (shim): rebuilds the type from a
+/// `serde::Value`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Cursor over a flat token-tree list.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip `#[...]` attributes (incl. doc comments) and visibility.
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1; // '#'
+                    if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                    {
+                        self.pos += 1; // [...]
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    self.pos += 1; // pub
+                    if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        self.pos += 1; // (crate) etc.
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs_and_vis();
+    let keyword = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("item name");
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: Kind::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                kind: Kind::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                kind: Kind::UnitStruct,
+            },
+            None => Item {
+                name,
+                kind: Kind::UnitStruct,
+            },
+            other => panic!("serde_derive: unexpected token after struct name: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: Kind::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive: expected struct or enum, found `{other}`"),
+    }
+}
+
+/// Parse `name: Type, ...` field lists, returning field names. Commas
+/// inside angle brackets (e.g. generic arguments) are not separators.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs_and_vis();
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        // Consume the type: everything until a comma at angle depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match c.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let ch = p.as_char();
+                    if ch == ',' && angle_depth == 0 {
+                        c.pos += 1;
+                        break;
+                    }
+                    if ch == '<' {
+                        angle_depth += 1;
+                    } else if ch == '>' {
+                        angle_depth -= 1;
+                    }
+                    c.pos += 1;
+                }
+                Some(_) => c.pos += 1,
+            }
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) => {
+                let ch = p.as_char();
+                if ch == ',' && angle_depth == 0 {
+                    count += 1;
+                    saw_tokens = false;
+                    continue;
+                }
+                if ch == '<' {
+                    angle_depth += 1;
+                } else if ch == '>' {
+                    angle_depth -= 1;
+                }
+                saw_tokens = true;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs_and_vis();
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.pos += 1;
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.pos += 1;
+                Shape::Tuple(n)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            c.pos += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pushes}])")
+        }
+        Kind::UnitStruct => "::serde::Value::Object(::std::vec![])".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: String = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Array(::std::vec![{items}]))]),",
+                                binders.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let items: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Object(::std::vec![{items}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let gets: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__get_field(__fields, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "let __fields = __v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\", __v))?;\n\
+                 ::std::result::Result::Ok({name} {{ {gets} }})"
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let gets: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}\", __v))?;\n\
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"expected {n} elements for {name}, found {{}}\", __items.len()))); }}\n\
+                 ::std::result::Result::Ok({name}({gets}))"
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => unreachable!(),
+                        Shape::Tuple(1) => format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__payload)?)),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let gets: String = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?,")
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                 let __items = __payload.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}::{vname}\", __payload))?;\n\
+                                 if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"expected {n} elements for {name}::{vname}, found {{}}\", __items.len()))); }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({gets}))\n\
+                                 }},"
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let gets: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::__get_field(__inner, \"{f}\", \"{name}::{vname}\")?,"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                 let __inner = __payload.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}::{vname}\", __payload))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {gets} }})\n\
+                                 }},"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__obj) if __obj.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__obj[0];\n\
+                 match __tag.as_str() {{\n\
+                 {payload_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-key object\", \"{name}\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,5 @@
+/root/repo/vendor/serde_derive/target/debug/deps/serde_derive-5a4f9c66bf4da684.d: src/lib.rs
+
+/root/repo/vendor/serde_derive/target/debug/deps/serde_derive-5a4f9c66bf4da684: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/serde_derive/target/debug/deps/serde_derive-ce20d114082e759c.d: src/lib.rs
+
+/root/repo/vendor/serde_derive/target/debug/deps/libserde_derive-ce20d114082e759c.so: src/lib.rs
+
+src/lib.rs:

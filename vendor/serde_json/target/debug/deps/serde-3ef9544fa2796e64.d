@@ -1,0 +1,7 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde-3ef9544fa2796e64.d: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde-3ef9544fa2796e64.rlib: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde-3ef9544fa2796e64.rmeta: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-9fe0064b0acc08bd.d: src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-9fe0064b0acc08bd: src/lib.rs
+
+src/lib.rs:

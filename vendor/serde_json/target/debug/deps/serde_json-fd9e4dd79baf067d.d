@@ -1,0 +1,7 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-fd9e4dd79baf067d.d: src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde_json-fd9e4dd79baf067d.rlib: src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde_json-fd9e4dd79baf067d.rmeta: src/lib.rs
+
+src/lib.rs:
