@@ -10,12 +10,13 @@
 use lam_analytical::traits::AnalyticalModel;
 use lam_data::Dataset;
 use lam_ml::model::{FitError, Regressor};
+use serde::{Deserialize, Serialize};
 
 /// Name of the stacked feature column added to augmented datasets.
 pub const AM_FEATURE: &str = "am_prediction";
 
 /// Hybrid-model options.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HybridConfig {
     /// Aggregate the analytical and stacked predictions (Fig 4's optional
     /// "Results Aggregation" stage). Weight below applies to the stacked
@@ -48,6 +49,17 @@ impl HybridConfig {
             ..Self::default()
         }
     }
+
+    /// The stacked-feature value for an analytical prediction under this
+    /// configuration. Public so persistence layers can rebuild augmented
+    /// feature rows identically to [`HybridModel`].
+    pub fn stacked_feature(&self, am_pred: f64) -> f64 {
+        if self.log_feature {
+            am_pred.max(f64::MIN_POSITIVE).ln()
+        } else {
+            am_pred
+        }
+    }
 }
 
 /// A hybrid model: analytical model + ML regressor, stacked (and optionally
@@ -70,6 +82,27 @@ impl HybridModel {
         }
     }
 
+    /// Reassemble a hybrid whose ML component is *already fitted* on an
+    /// augmented dataset (e.g. loaded from disk). The returned model is
+    /// immediately ready to predict; no refit happens.
+    ///
+    /// The caller is responsible for `ml` having been trained on rows
+    /// augmented exactly as [`HybridModel::augment`] does for `config` —
+    /// model persistence stores the configuration alongside the fitted
+    /// regressor so this invariant survives a save/load cycle.
+    pub fn from_fitted_parts(
+        am: Box<dyn AnalyticalModel>,
+        ml: Box<dyn Regressor>,
+        config: HybridConfig,
+    ) -> Self {
+        Self {
+            am,
+            ml,
+            config,
+            fitted: true,
+        }
+    }
+
     /// The model's configuration.
     pub fn config(&self) -> &HybridConfig {
         &self.config
@@ -81,11 +114,7 @@ impl HybridModel {
     }
 
     fn stacked_feature(&self, am_pred: f64) -> f64 {
-        if self.config.log_feature {
-            am_pred.max(f64::MIN_POSITIVE).ln()
-        } else {
-            am_pred
-        }
+        self.config.stacked_feature(am_pred)
     }
 
     /// Augment a dataset with the analytical-model feature column.
@@ -281,6 +310,50 @@ mod tests {
             HybridConfig::default(),
         );
         h.predict_row(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_fitted_parts_matches_original() {
+        let data = synthetic();
+        let config = HybridConfig::with_aggregation();
+        let mut original = HybridModel::new(Box::new(RoughModel), extra_trees(5), config);
+        original.fit(&data).unwrap();
+
+        // Refit an identical inner model on the augmented dataset, then
+        // reassemble without calling `fit` on the hybrid.
+        let mut ml = extra_trees(5);
+        ml.fit(&original.augment(&data)).unwrap();
+        let rebuilt = HybridModel::from_fitted_parts(Box::new(RoughModel), ml, config);
+        for i in 0..data.len() {
+            assert_eq!(
+                original.predict_row(data.row(i)),
+                rebuilt.predict_row(data.row(i))
+            );
+        }
+    }
+
+    #[test]
+    fn config_stacked_feature_matches_model() {
+        let log = HybridConfig {
+            log_feature: true,
+            ..HybridConfig::default()
+        };
+        assert_eq!(log.stacked_feature(std::f64::consts::E), 1.0);
+        assert_eq!(log.stacked_feature(-4.0), f64::MIN_POSITIVE.ln());
+        let raw = HybridConfig::default();
+        assert_eq!(raw.stacked_feature(3.25), 3.25);
+    }
+
+    #[test]
+    fn hybrid_config_serde_round_trip() {
+        let cfg = HybridConfig {
+            aggregate: true,
+            stacked_weight: 0.25,
+            log_feature: true,
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: HybridConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
     }
 
     #[test]

@@ -21,10 +21,12 @@
 //! [`workload`] abstracts one application scenario (configuration space,
 //! feature projection, oracle, analytical model) behind a single trait so
 //! the whole pipeline — dataset generation, evaluation, figure binaries —
-//! is generic over scenarios.
+//! is generic over scenarios. [`predict`] exposes the object-safe
+//! read-only [`PredictRow`] surface serving layers share across threads.
 
 pub mod evaluate;
 pub mod hybrid;
+pub mod predict;
 pub mod workload;
 pub mod wrap;
 
@@ -32,5 +34,6 @@ pub use evaluate::{
     evaluate_model, evaluate_workload, EvaluationConfig, SeriesPoint, TrialOutcome,
 };
 pub use hybrid::{HybridConfig, HybridModel};
+pub use predict::PredictRow;
 pub use workload::Workload;
 pub use wrap::AnalyticalRegressor;

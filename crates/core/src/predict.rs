@@ -1,0 +1,59 @@
+//! The [`PredictRow`] surface: a minimal, object-safe, read-only view of a
+//! fitted model.
+//!
+//! [`Regressor`] couples prediction with fitting (`fit` takes `&mut self`),
+//! which is the right shape for training pipelines but the wrong one for a
+//! serving layer that shares one immutable fitted model across worker
+//! threads. `PredictRow` strips the contract down to "map a feature row to
+//! a prediction" so a server can hold `Arc<dyn PredictRow>` and never see a
+//! mutable method. Every regressor gets the trait for free via the blanket
+//! impl.
+
+use lam_ml::model::Regressor;
+
+/// Read-only prediction surface of a fitted model.
+///
+/// Object-safe and `Send + Sync`, so trained models can be shared behind
+/// `Arc<dyn PredictRow>` across serving threads.
+pub trait PredictRow: Send + Sync {
+    /// Predict the response for a single feature row.
+    fn predict_row(&self, x: &[f64]) -> f64;
+
+    /// Predict a batch of rows, preserving input order.
+    fn predict_rows(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict_row(r)).collect()
+    }
+}
+
+impl<T: Regressor + ?Sized> PredictRow for T {
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        Regressor::predict_row(self, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lam_ml::model::MeanRegressor;
+    use std::sync::Arc;
+
+    #[test]
+    fn regressors_predict_through_the_trait_object() {
+        let d = lam_data::Dataset::new(vec!["x".into()], vec![1.0, 2.0], vec![4.0, 6.0]).unwrap();
+        let mut m = MeanRegressor::new();
+        Regressor::fit(&mut m, &d).unwrap();
+        let shared: Arc<dyn PredictRow> = Arc::new(m);
+        assert_eq!(shared.predict_row(&[0.0]), 5.0);
+        assert_eq!(shared.predict_rows(&[vec![0.0], vec![9.0]]), vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn boxed_dyn_regressor_is_predict_row() {
+        let d = lam_data::Dataset::new(vec!["x".into()], vec![1.0], vec![3.0]).unwrap();
+        let mut boxed: Box<dyn Regressor> = Box::new(MeanRegressor::new());
+        boxed.fit(&d).unwrap();
+        // `Box<dyn Regressor>` satisfies the blanket impl.
+        let view: &dyn PredictRow = &boxed;
+        assert_eq!(view.predict_row(&[0.0]), 3.0);
+    }
+}

@@ -2,6 +2,7 @@
 //! fitting errors shared across models.
 
 use lam_data::Dataset;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors raised by `fit`.
@@ -88,7 +89,7 @@ impl Regressor for Box<dyn Regressor> {
 
 /// Trivial baseline predicting the training-set mean. Useful in tests and as
 /// a sanity floor in experiment reports.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct MeanRegressor {
     mean: Option<f64>,
 }

@@ -1,0 +1,114 @@
+//! Load generator: hammer a running `serve` instance's `/predict` with
+//! batched requests from concurrent keep-alive connections and report
+//! throughput and p50/p95/p99 latency.
+//!
+//! ```text
+//! loadgen (--addr HOST:PORT | --addr-file PATH)
+//!         [--workload fmm-small] [--kind hybrid] [--version 1]
+//!         [--seconds 3] [--connections 4] [--batch 64] [--pool 256]
+//!         [--out results/loadgen.json] [--min-throughput 1]
+//! ```
+//!
+//! Exits non-zero when any request errored or measured throughput falls
+//! below `--min-throughput` predictions/sec — the CI smoke gate.
+
+use lam_serve::loadgen::{format_report, run, LoadgenOptions};
+use lam_serve::ServeError;
+
+struct Args {
+    opts: LoadgenOptions,
+    addr_file: Option<String>,
+    out: Option<String>,
+    min_throughput: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        opts: LoadgenOptions::default(),
+        addr_file: None,
+        out: None,
+        min_throughput: 1.0,
+    };
+    let mut addr_set = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => {
+                args.opts.addr = value("--addr")?;
+                addr_set = true;
+            }
+            "--addr-file" => args.addr_file = Some(value("--addr-file")?),
+            "--workload" => args.opts.workload = value("--workload")?.parse().map_err(err_str)?,
+            "--kind" => args.opts.kind = value("--kind")?.parse().map_err(err_str)?,
+            "--version" => args.opts.version = value("--version")?.parse().map_err(err_str)?,
+            "--seconds" => args.opts.seconds = value("--seconds")?.parse().map_err(err_str)?,
+            "--connections" => {
+                args.opts.connections = value("--connections")?.parse().map_err(err_str)?
+            }
+            "--batch" => args.opts.batch = value("--batch")?.parse().map_err(err_str)?,
+            "--pool" => args.opts.pool = value("--pool")?.parse().map_err(err_str)?,
+            "--out" => args.out = Some(value("--out")?),
+            "--min-throughput" => {
+                args.min_throughput = value("--min-throughput")?.parse().map_err(err_str)?
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if !addr_set && args.addr_file.is_none() {
+        return Err("one of --addr or --addr-file is required".to_string());
+    }
+    Ok(args)
+}
+
+fn err_str<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+fn main() {
+    if let Err(e) = run_main() {
+        eprintln!("loadgen: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run_main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = parse_args().map_err(ServeError::Http)?;
+    if let Some(path) = &args.addr_file {
+        args.opts.addr = std::fs::read_to_string(path)?.trim().to_string();
+    }
+    println!(
+        "loadgen: {} connections x {}-row batches against http://{} for {:.1}s ({}/{}/v{})",
+        args.opts.connections,
+        args.opts.batch,
+        args.opts.addr,
+        args.opts.seconds,
+        args.opts.workload,
+        args.opts.kind,
+        args.opts.version
+    );
+    let report = run(&args.opts)?;
+    println!("{}", format_report(&report));
+
+    if let Some(out) = &args.out {
+        if let Some(parent) = std::path::Path::new(out).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(out, serde_json::to_string_pretty(&report)?)?;
+        println!("report written to {out}");
+    }
+
+    if report.errors > 0 {
+        return Err(format!("{} request(s) failed", report.errors).into());
+    }
+    if report.throughput < args.min_throughput {
+        return Err(format!(
+            "throughput {:.0} predictions/s below required {:.0}",
+            report.throughput, args.min_throughput
+        )
+        .into());
+    }
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! Prediction server: train-or-load a model through the registry, then
+//! serve it over HTTP.
+//!
+//! ```text
+//! serve [--workload fmm-small] [--kind hybrid] [--version 1]
+//!       [--models-dir results/models] [--addr 127.0.0.1:0] [--workers 4]
+//!       [--train-only] [--addr-file PATH] [--max-seconds S]
+//! ```
+//!
+//! `--addr 127.0.0.1:0` (the default) binds a random free port; the
+//! resolved address is printed and, with `--addr-file`, written to a file
+//! scripts can read. `--max-seconds` makes the server shut down cleanly
+//! on its own — used by the CI smoke test. `--train-only` trains and
+//! persists the artifact, then exits without serving.
+
+use lam_serve::persist::ModelKind;
+use lam_serve::registry::{ModelKey, ModelRegistry};
+use lam_serve::workload::WorkloadId;
+use lam_serve::{http, ServeError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    workload: WorkloadId,
+    kind: ModelKind,
+    version: u32,
+    models_dir: String,
+    addr: String,
+    workers: usize,
+    train_only: bool,
+    addr_file: Option<String>,
+    max_seconds: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: WorkloadId::FmmSmall,
+        kind: ModelKind::Hybrid,
+        version: 1,
+        models_dir: ModelRegistry::default_root().display().to_string(),
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        train_only: false,
+        addr_file: None,
+        max_seconds: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--workload" => args.workload = value("--workload")?.parse().map_err(err_str)?,
+            "--kind" => args.kind = value("--kind")?.parse().map_err(err_str)?,
+            "--version" => args.version = value("--version")?.parse().map_err(err_str)?,
+            "--models-dir" => args.models_dir = value("--models-dir")?,
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => args.workers = value("--workers")?.parse().map_err(err_str)?,
+            "--train-only" => args.train_only = true,
+            "--addr-file" => args.addr_file = Some(value("--addr-file")?),
+            "--max-seconds" => {
+                args.max_seconds = Some(value("--max-seconds")?.parse().map_err(err_str)?)
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn err_str<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(ServeError::Http)?;
+    let registry = Arc::new(ModelRegistry::new(&args.models_dir));
+    let key = ModelKey::new(args.workload, args.kind, args.version);
+
+    let trained_at = Instant::now();
+    let model = registry.get(key)?;
+    println!(
+        "model {key}: {} features, {} training rows, ready in {:.2}s ({})",
+        model.feature_names.len(),
+        model.trained_rows,
+        trained_at.elapsed().as_secs_f64(),
+        registry.path_for(key).display()
+    );
+    if args.train_only {
+        return Ok(());
+    }
+
+    let handle = http::start(
+        Arc::clone(&registry),
+        http::ServerOptions {
+            addr: args.addr.clone(),
+            workers: args.workers,
+            ..http::ServerOptions::default()
+        },
+    )?;
+    let addr = handle.local_addr();
+    println!("serving on http://{addr} ({} workers)", args.workers);
+    if let Some(path) = &args.addr_file {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, addr.to_string())?;
+        println!("address written to {path}");
+    }
+
+    match args.max_seconds {
+        Some(s) => {
+            std::thread::sleep(Duration::from_secs_f64(s));
+            println!("max-seconds reached; shutting down");
+            handle.stop();
+            println!("shutdown complete");
+        }
+        None => loop {
+            // Serve until killed.
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    Ok(())
+}

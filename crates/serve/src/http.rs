@@ -1,0 +1,515 @@
+//! Minimal HTTP/1.1 JSON server over `std::net::TcpListener` — no
+//! external dependencies, which is the point: the container cannot fetch
+//! an async stack, and the API surface (three endpoints, JSON bodies) does
+//! not need one.
+//!
+//! | Endpoint        | Method | Body                                     |
+//! |-----------------|--------|------------------------------------------|
+//! | `/healthz`      | GET    | — → status, uptime, loaded-model count   |
+//! | `/models`       | GET    | — → registry catalog                     |
+//! | `/predict`      | POST   | [`PredictRequest`] → [`PredictResponse`] |
+//!
+//! Concurrency model: `workers` threads share the listener (`accept` is
+//! thread-safe) and each owns one connection at a time, serving keep-alive
+//! requests until the peer closes. Read timeouts keep idle connections
+//! from pinning workers past shutdown: every timeout tick re-checks the
+//! stop flag.
+
+use crate::registry::{ModelKey, ModelRegistry};
+use crate::workload::WorkloadId;
+use crate::ServeError;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// `/predict` request body. `version` defaults to 1 when absent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// Workload name (e.g. `fmm-small`).
+    pub workload: String,
+    /// Model kind (e.g. `hybrid`).
+    pub kind: String,
+    /// Artifact version; `None` means 1.
+    pub version: Option<u32>,
+    /// Feature rows to predict, answered in order.
+    pub rows: Vec<Vec<f64>>,
+}
+
+/// `/predict` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// The model that answered, as `workload/kind/vN`.
+    pub model: String,
+    /// One prediction per request row, in request order.
+    pub predictions: Vec<f64>,
+    /// Rows answered from the prediction cache.
+    pub cache_hits: u64,
+    /// Server-side handling time, microseconds.
+    pub micros: u64,
+}
+
+/// `/healthz` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always `"ok"` when the server can respond at all.
+    pub status: String,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Models memoized in the registry.
+    pub models_loaded: usize,
+}
+
+/// One `/models` catalog row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelEntry {
+    /// Workload name.
+    pub workload: String,
+    /// Model kind.
+    pub kind: String,
+    /// Artifact version.
+    pub version: u32,
+    /// Loaded into memory in this process.
+    pub loaded: bool,
+    /// Artifact path.
+    pub path: String,
+}
+
+/// `/models` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelsResponse {
+    /// Catalog rows, sorted by key.
+    pub models: Vec<ModelEntry>,
+}
+
+/// Error response body (any non-2xx status).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Human-readable diagnostic.
+    pub error: String,
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads sharing the listener.
+    pub workers: usize,
+    /// Largest accepted request body, bytes.
+    pub max_body: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_body: 8 << 20,
+        }
+    }
+}
+
+/// A running server; dropping the handle leaves it running, call
+/// [`ServerHandle::stop`] for a clean shutdown.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signal shutdown and join every worker. Idempotent-safe: workers
+    /// notice the flag on their next accept/read timeout tick.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge blocked accepts awake.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.local_addr);
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Start serving `registry` per `opts`. Returns once the listener is
+/// bound; serving happens on background workers.
+pub fn start(
+    registry: Arc<ModelRegistry>,
+    opts: ServerOptions,
+) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(&opts.addr)?;
+    let local_addr = listener.local_addr()?;
+    let listener = Arc::new(listener);
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let workers = (0..opts.workers.max(1))
+        .map(|_| {
+            let listener = Arc::clone(&listener);
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            let max_body = opts.max_body;
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            handle_connection(stream, &registry, &stop, started, max_body)
+                        }
+                        // Transient accept errors (ECONNABORTED from a
+                        // client resetting mid-handshake, EMFILE under fd
+                        // pressure) must not kill the worker; back off
+                        // briefly and keep accepting until shutdown.
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            })
+        })
+        .collect();
+    Ok(ServerHandle {
+        local_addr,
+        stop,
+        workers,
+    })
+}
+
+/// One parsed HTTP request.
+struct Request {
+    method: String,
+    path: String,
+    keep_alive: bool,
+    body: Vec<u8>,
+}
+
+/// Serve keep-alive requests on one connection until the peer closes,
+/// a request asks to close, or shutdown is signalled.
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Arc<ModelRegistry>,
+    stop: &AtomicBool,
+    started: Instant,
+    max_body: usize,
+) {
+    // Short read timeout so idle keep-alive connections re-check the stop
+    // flag a few times a second.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_nodelay(true);
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = stream;
+    while !stop.load(Ordering::SeqCst) {
+        match read_request(&mut reader, stop, max_body) {
+            Ok(Some(req)) => {
+                let keep_alive = req.keep_alive;
+                let (status, body) = route(&req, registry, started);
+                if write_response(&mut writer, status, &body, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Ok(None) => return,               // peer closed cleanly
+            Err(ReadError::Idle) => continue, // timeout before any byte: poll stop flag
+            Err(ReadError::Malformed(msg)) => {
+                let body = serde_json::to_string(&ErrorResponse { error: msg })
+                    .unwrap_or_else(|_| "{}".to_string());
+                let _ = write_response(&mut writer, 400, &body, false);
+                return;
+            }
+            Err(ReadError::Closed) => return,
+        }
+    }
+}
+
+enum ReadError {
+    /// Timeout with no bytes consumed — safe to retry.
+    Idle,
+    /// Connection died (possibly mid-request).
+    Closed,
+    /// Syntactically invalid request.
+    Malformed(String),
+}
+
+/// Longest accepted request line or header line, bytes. Bounds
+/// per-connection memory for the pre-body part of a request the way
+/// `max_body` bounds the body.
+const MAX_HEADER_LINE: usize = 16 << 10;
+
+/// Read one `\n`-terminated line without losing partially received bytes
+/// across read timeouts: `read_until` keeps consumed bytes in `buf` on
+/// error, where `read_line`'s UTF-8 guard would discard them and corrupt
+/// the next parse. `Ok(None)` means EOF with nothing read; a line beyond
+/// [`MAX_HEADER_LINE`] is malformed (never an unbounded buffer).
+///
+/// `idle_on_empty` distinguishes the request line (a timeout before any
+/// byte is an idle keep-alive tick the caller polls through) from header
+/// lines (mid-request, so a stall just keeps waiting until shutdown).
+fn read_line_resilient(
+    reader: &mut BufReader<TcpStream>,
+    stop: &AtomicBool,
+    idle_on_empty: bool,
+) -> Result<Option<String>, ReadError> {
+    let mut raw = Vec::new();
+    loop {
+        // Bound each fill so an endless un-terminated stream trips the
+        // length check instead of growing `raw` without limit.
+        let budget = MAX_HEADER_LINE + 1 - raw.len().min(MAX_HEADER_LINE);
+        match (&mut *reader)
+            .take(budget as u64)
+            .read_until(b'\n', &mut raw)
+        {
+            Ok(0) => {
+                return if raw.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(ReadError::Closed)
+                };
+            }
+            Ok(_) if raw.last() == Some(&b'\n') => break,
+            Ok(_) => {
+                if raw.len() > MAX_HEADER_LINE {
+                    return Err(ReadError::Malformed(format!(
+                        "request line or header exceeds {MAX_HEADER_LINE} bytes"
+                    )));
+                }
+                // Short read without a newline: keep accumulating.
+            }
+            Err(e) if is_timeout(&e) => {
+                if stop.load(Ordering::SeqCst) {
+                    return Err(ReadError::Closed);
+                }
+                if raw.is_empty() && idle_on_empty {
+                    return Err(ReadError::Idle);
+                }
+                // Stalled mid-line: the partial bytes stay in `raw`.
+            }
+            Err(_) => return Err(ReadError::Closed),
+        }
+    }
+    String::from_utf8(raw)
+        .map(Some)
+        .map_err(|_| ReadError::Malformed("request bytes are not utf-8".to_string()))
+}
+
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    stop: &AtomicBool,
+    max_body: usize,
+) -> Result<Option<Request>, ReadError> {
+    // Request line.
+    let Some(line) = read_line_resilient(reader, stop, true)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(ReadError::Malformed("malformed request line".to_string()));
+    };
+    let method = method.to_string();
+    let path = path.to_string();
+
+    // Headers.
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    loop {
+        let Some(header) = read_line_resilient(reader, stop, false)? else {
+            return Err(ReadError::Closed);
+        };
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| ReadError::Malformed("bad content-length".to_string()))?;
+                }
+                "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+                _ => {}
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(ReadError::Malformed(format!(
+            "body of {content_length} bytes exceeds limit {max_body}"
+        )));
+    }
+
+    // Body, tolerating timeouts mid-transfer (progress is kept in `body`).
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0usize;
+    while filled < content_length {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(ReadError::Closed),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                if stop.load(Ordering::SeqCst) {
+                    return Err(ReadError::Closed);
+                }
+            }
+            Err(_) => return Err(ReadError::Closed),
+        }
+    }
+    Ok(Some(Request {
+        method,
+        path,
+        keep_alive,
+        body,
+    }))
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Dispatch a request to its endpoint; returns `(status, json body)`.
+fn route(req: &Request, registry: &Arc<ModelRegistry>, started: Instant) -> (u16, String) {
+    let result = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(registry, started),
+        ("GET", "/models") => models(registry),
+        ("POST", "/predict") => predict(req, registry),
+        ("GET", "/predict") => Err((405, "use POST for /predict".to_string())),
+        _ => Err((404, format!("no route for {} {}", req.method, req.path))),
+    };
+    match result {
+        Ok(body) => (200, body),
+        Err((status, error)) => (
+            status,
+            serde_json::to_string(&ErrorResponse { error }).unwrap_or_else(|_| "{}".to_string()),
+        ),
+    }
+}
+
+type RouteResult = Result<String, (u16, String)>;
+
+fn json_ok<T: serde::Serialize>(value: &T) -> RouteResult {
+    serde_json::to_string(value).map_err(|e| (500, e.to_string()))
+}
+
+fn healthz(registry: &Arc<ModelRegistry>, started: Instant) -> RouteResult {
+    json_ok(&HealthResponse {
+        status: "ok".to_string(),
+        uptime_ms: started.elapsed().as_millis() as u64,
+        models_loaded: registry.loaded_count(),
+    })
+}
+
+fn models(registry: &Arc<ModelRegistry>) -> RouteResult {
+    let catalog = registry.catalog().map_err(|e| (500, e.to_string()))?;
+    json_ok(&ModelsResponse {
+        models: catalog
+            .into_iter()
+            .map(|e| ModelEntry {
+                workload: e.key.workload.to_string(),
+                kind: e.key.kind.to_string(),
+                version: e.key.version,
+                loaded: e.loaded,
+                path: e.path.display().to_string(),
+            })
+            .collect(),
+    })
+}
+
+/// Highest artifact version `/predict` resolves. Resolution can train on
+/// miss (that is the registry's contract), so the remotely reachable key
+/// space must be finite: workloads × kinds × versions, not an arbitrary
+/// `u32` a client can sweep to force unbounded training, disk artifacts,
+/// and memo growth.
+pub const MAX_SERVED_VERSION: u32 = 32;
+
+fn predict(req: &Request, registry: &Arc<ModelRegistry>) -> RouteResult {
+    let start = Instant::now();
+    let body =
+        std::str::from_utf8(&req.body).map_err(|_| (400, "body is not utf-8".to_string()))?;
+    let parsed: PredictRequest = serde_json::from_str(body).map_err(|e| (400, e.to_string()))?;
+    let workload: WorkloadId = parsed.workload.parse().map_err(bad_request)?;
+    let kind = parsed.kind.parse().map_err(bad_request)?;
+    let version = parsed.version.unwrap_or(1);
+    if !(1..=MAX_SERVED_VERSION).contains(&version) {
+        return Err((
+            400,
+            format!("version {version} outside 1..={MAX_SERVED_VERSION}"),
+        ));
+    }
+    let key = ModelKey::new(workload, kind, version);
+    let model = registry.get(key).map_err(|e| (500, e.to_string()))?;
+    let outcome = model.predict_checked(&parsed.rows).map_err(bad_request)?;
+    json_ok(&PredictResponse {
+        model: key.to_string(),
+        predictions: outcome.predictions,
+        cache_hits: outcome.cache_hits,
+        micros: start.elapsed().as_micros() as u64,
+    })
+}
+
+fn bad_request(e: ServeError) -> (u16, String) {
+    (400, e.to_string())
+}
+
+fn write_response(
+    writer: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predict_request_tolerates_missing_version() {
+        let req: PredictRequest = serde_json::from_str(
+            r#"{"workload":"fmm-small","kind":"cart","rows":[[1.0,2.0,3.0,4.0]]}"#,
+        )
+        .unwrap();
+        assert_eq!(req.version, None);
+        assert_eq!(req.rows.len(), 1);
+    }
+
+    #[test]
+    fn predict_request_rejects_missing_rows() {
+        let err = serde_json::from_str::<PredictRequest>(r#"{"workload":"fmm","kind":"cart"}"#);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn response_bodies_round_trip() {
+        let resp = PredictResponse {
+            model: "fmm/cart/v1".to_string(),
+            predictions: vec![1.5, 2.5],
+            cache_hits: 1,
+            micros: 42,
+        };
+        let back: PredictResponse =
+            serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(back.predictions, resp.predictions);
+        assert_eq!(back.cache_hits, 1);
+    }
+}

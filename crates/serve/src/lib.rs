@@ -1,0 +1,122 @@
+//! # lam-serve
+//!
+//! Turns trained hybrid performance models from one-shot experiment
+//! artifacts into durable, servable assets:
+//!
+//! * [`persist`] — save/load every trained model family (CART trees,
+//!   forests, extra trees, boosting, k-NN, linear, and the hybrid) as JSON
+//!   under `results/models/`, with bit-exact prediction round-trips;
+//! * [`workload`] — a closed, serializable enumeration of the study's
+//!   application scenarios, so a saved model can rebuild its analytical
+//!   component from first principles on load;
+//! * [`registry`] — a [`registry::ModelRegistry`] keyed by
+//!   `(workload, kind, version)` that trains on miss, persists the result,
+//!   and memoizes loaded models behind `Arc`;
+//! * [`batch`] — a sharded prediction cache plus an order-preserving
+//!   micro-batch executor that fans inference across cores;
+//! * [`http`] — a dependency-free HTTP/JSON server over
+//!   `std::net::TcpListener` with `/predict`, `/models`, and `/healthz`;
+//! * [`loadgen`] — a load generator reporting throughput and
+//!   p50/p95/p99 latency against a running server.
+//!
+//! ## Quick example
+//!
+//! ```no_run
+//! use lam_serve::registry::{ModelKey, ModelRegistry};
+//! use lam_serve::persist::ModelKind;
+//! use lam_serve::workload::WorkloadId;
+//!
+//! let registry = ModelRegistry::new("results/models");
+//! // Trains, persists, and memoizes on first call; loads from disk after
+//! // a restart; pure memo hit afterwards.
+//! let model = registry
+//!     .get(ModelKey::new(WorkloadId::FmmSmall, ModelKind::Hybrid, 1))
+//!     .unwrap();
+//! let y = model.predict(&[vec![2.0, 8192.0, 64.0, 4.0]]).predictions[0];
+//! assert!(y > 0.0);
+//! ```
+
+pub mod batch;
+pub mod http;
+pub mod loadgen;
+pub mod persist;
+pub mod registry;
+pub mod workload;
+
+use std::fmt;
+
+/// Errors produced across the serving subsystem.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Unknown workload name in a request or CLI flag.
+    UnknownWorkload(String),
+    /// Unknown model kind in a request or CLI flag.
+    UnknownKind(String),
+    /// A request row had the wrong number of features.
+    FeatureCount {
+        /// Features the model expects.
+        expected: usize,
+        /// Features the offending row carried.
+        actual: usize,
+        /// Index of the offending row within the request.
+        row: usize,
+    },
+    /// Training failed.
+    Fit(lam_ml::model::FitError),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(String),
+    /// Malformed HTTP traffic.
+    Http(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownWorkload(w) => write!(f, "unknown workload `{w}`"),
+            ServeError::UnknownKind(k) => write!(f, "unknown model kind `{k}`"),
+            ServeError::FeatureCount {
+                expected,
+                actual,
+                row,
+            } => write!(
+                f,
+                "row {row} has {actual} features, model expects {expected}"
+            ),
+            ServeError::Fit(e) => write!(f, "training failed: {e}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Json(m) => write!(f, "json error: {m}"),
+            ServeError::Http(m) => write!(f, "http error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<lam_ml::model::FitError> for ServeError {
+    fn from(e: lam_ml::model::FitError) -> Self {
+        ServeError::Fit(e)
+    }
+}
+
+impl From<serde_json::Error> for ServeError {
+    fn from(e: serde_json::Error) -> Self {
+        ServeError::Json(e.to_string())
+    }
+}
+
+impl From<lam_data::io::IoError> for ServeError {
+    fn from(e: lam_data::io::IoError) -> Self {
+        match e {
+            lam_data::io::IoError::Io(io) => ServeError::Io(io),
+            other => ServeError::Json(other.to_string()),
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Load generation against a running `lam-serve` HTTP server: hammer
+//! `/predict` from concurrent keep-alive connections and report
+//! throughput plus p50/p95/p99 latency.
+//!
+//! Request bodies are prebuilt from a rotating pool of real feature rows
+//! (drawn from the target workload's configuration space), so after the
+//! first rotation the server answers from its prediction cache — the
+//! steady-state regime the acceptance criterion measures.
+
+use crate::http::{PredictRequest, PredictResponse};
+use crate::persist::ModelKind;
+use crate::workload::WorkloadId;
+use crate::ServeError;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Workload whose model is queried.
+    pub workload: WorkloadId,
+    /// Model kind queried.
+    pub kind: ModelKind,
+    /// Artifact version queried.
+    pub version: u32,
+    /// Wall-clock run duration, seconds.
+    pub seconds: f64,
+    /// Concurrent keep-alive connections.
+    pub connections: usize,
+    /// Rows per `/predict` request.
+    pub batch: usize,
+    /// Distinct feature rows in the rotating pool.
+    pub pool: usize,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workload: WorkloadId::FmmSmall,
+            kind: ModelKind::Hybrid,
+            version: 1,
+            seconds: 3.0,
+            connections: 4,
+            batch: 64,
+            pool: 256,
+        }
+    }
+}
+
+/// Aggregated outcome of one load run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Requests completed successfully.
+    pub requests: u64,
+    /// Predictions returned (rows across all successful requests).
+    pub predictions: u64,
+    /// Failed requests (transport or non-200).
+    pub errors: u64,
+    /// Measured wall-clock duration, seconds.
+    pub elapsed_s: f64,
+    /// Predictions per second.
+    pub throughput: f64,
+    /// Requests per second.
+    pub rps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// Fraction of predictions answered from the server's cache.
+    pub cache_hit_fraction: f64,
+}
+
+/// A keep-alive HTTP/1.1 client for one connection.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    host: String,
+}
+
+impl HttpClient {
+    /// Connect to `host:port`.
+    pub fn connect(addr: &str) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: stream,
+            host: addr.to_string(),
+        })
+    }
+
+    /// Send a request and read the response; returns `(status, body)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<(u16, String), ServeError> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            self.host,
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// POST a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> Result<(u16, String), ServeError> {
+        self.request("POST", path, body)
+    }
+
+    /// GET a path.
+    pub fn get(&mut self, path: &str) -> Result<(u16, String), ServeError> {
+        self.request("GET", path, "")
+    }
+
+    fn read_response(&mut self) -> Result<(u16, String), ServeError> {
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(ServeError::Http("server closed the connection".to_string()));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ServeError::Http(format!("bad status line `{}`", status_line.trim())))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(ServeError::Http("truncated response headers".to_string()));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| ServeError::Http("bad content-length".to_string()))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|b| (status, b))
+            .map_err(|_| ServeError::Http("response body is not utf-8".to_string()))
+    }
+}
+
+/// Latency percentile over raw samples (nearest-rank on the sorted set).
+pub fn percentile_us(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank] as f64
+}
+
+/// Prebuilt request bodies rotating through the feature-row pool.
+fn build_bodies(opts: &LoadgenOptions) -> Vec<String> {
+    let pool = opts.workload.sample_rows(opts.pool.max(opts.batch));
+    let n_bodies = (pool.len() / opts.batch).max(1);
+    (0..n_bodies)
+        .map(|i| {
+            let start = i * opts.batch;
+            let rows: Vec<Vec<f64>> = (0..opts.batch)
+                .map(|j| pool[(start + j) % pool.len()].clone())
+                .collect();
+            serde_json::to_string(&PredictRequest {
+                workload: opts.workload.to_string(),
+                kind: opts.kind.to_string(),
+                version: Some(opts.version),
+                rows,
+            })
+            .expect("request serializes")
+        })
+        .collect()
+}
+
+/// Per-connection tallies.
+#[derive(Default)]
+struct WorkerStats {
+    latencies_us: Vec<u64>,
+    predictions: u64,
+    cache_hits: u64,
+    errors: u64,
+}
+
+/// Run the load and aggregate a [`LoadReport`].
+///
+/// The first request per connection is an untimed warm-up (it may train
+/// or load the model server-side, which can take seconds on a cold
+/// registry); a barrier then opens the timed window simultaneously for
+/// every connection, so warm-up cost never lands in the throughput
+/// denominator.
+pub fn run(opts: &LoadgenOptions) -> Result<LoadReport, ServeError> {
+    let bodies = build_bodies(opts);
+    let deadline = Duration::from_secs_f64(opts.seconds);
+    let connections = opts.connections.max(1);
+    let barrier = std::sync::Barrier::new(connections);
+    let results: Vec<(WorkerStats, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|worker| {
+                let bodies = &bodies;
+                let addr = opts.addr.clone();
+                let barrier = &barrier;
+                scope.spawn(move || -> Result<(WorkerStats, f64), ServeError> {
+                    // Connect + warm-up, then *always* reach the barrier
+                    // (an early return here would deadlock the others).
+                    let setup = (|| -> Result<HttpClient, ServeError> {
+                        let mut client = HttpClient::connect(&addr)?;
+                        let _ = client.post("/predict", &bodies[worker % bodies.len()])?;
+                        Ok(client)
+                    })();
+                    barrier.wait();
+                    let mut client = setup?;
+                    let mut stats = WorkerStats::default();
+                    let start = Instant::now();
+                    let mut i = worker;
+                    while start.elapsed() < deadline {
+                        let body = &bodies[i % bodies.len()];
+                        i += 1;
+                        let sent = Instant::now();
+                        match client.post("/predict", body) {
+                            Ok((200, response)) => {
+                                let parsed: Result<PredictResponse, _> =
+                                    serde_json::from_str(&response);
+                                match parsed {
+                                    Ok(r) => {
+                                        stats.latencies_us.push(sent.elapsed().as_micros() as u64);
+                                        stats.predictions += r.predictions.len() as u64;
+                                        stats.cache_hits += r.cache_hits;
+                                    }
+                                    Err(_) => stats.errors += 1,
+                                }
+                            }
+                            Ok(_) => stats.errors += 1,
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    Ok((stats, start.elapsed().as_secs_f64()))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen worker panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    // The timed windows start together at the barrier; the run's elapsed
+    // time is the longest window.
+    let elapsed_s = results
+        .iter()
+        .map(|(_, e)| *e)
+        .fold(f64::MIN_POSITIVE, f64::max);
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut predictions = 0u64;
+    let mut cache_hits = 0u64;
+    let mut errors = 0u64;
+    for (s, _) in results {
+        latencies.extend(s.latencies_us);
+        predictions += s.predictions;
+        cache_hits += s.cache_hits;
+        errors += s.errors;
+    }
+    latencies.sort_unstable();
+    let requests = latencies.len() as u64;
+    Ok(LoadReport {
+        requests,
+        predictions,
+        errors,
+        elapsed_s,
+        throughput: predictions as f64 / elapsed_s,
+        rps: requests as f64 / elapsed_s,
+        p50_us: percentile_us(&latencies, 0.50),
+        p95_us: percentile_us(&latencies, 0.95),
+        p99_us: percentile_us(&latencies, 0.99),
+        cache_hit_fraction: if predictions == 0 {
+            0.0
+        } else {
+            cache_hits as f64 / predictions as f64
+        },
+    })
+}
+
+/// Render a report as an aligned human-readable block.
+pub fn format_report(r: &LoadReport) -> String {
+    format!(
+        "requests      {:>12}\n\
+         predictions   {:>12}\n\
+         errors        {:>12}\n\
+         elapsed       {:>11.2}s\n\
+         throughput    {:>12.0} predictions/s\n\
+         request rate  {:>12.0} req/s\n\
+         latency p50   {:>11.0}us\n\
+         latency p95   {:>11.0}us\n\
+         latency p99   {:>11.0}us\n\
+         cache hits    {:>11.1}%",
+        r.requests,
+        r.predictions,
+        r.errors,
+        r.elapsed_s,
+        r.throughput,
+        r.rps,
+        r.p50_us,
+        r.p95_us,
+        r.p99_us,
+        100.0 * r.cache_hit_fraction
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&sorted, 0.50), 51.0);
+        assert_eq!(percentile_us(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_us(&sorted, 1.0), 100.0);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+        assert_eq!(percentile_us(&[7], 0.99), 7.0);
+    }
+
+    #[test]
+    fn bodies_rotate_the_pool() {
+        let opts = LoadgenOptions {
+            batch: 8,
+            pool: 32,
+            ..LoadgenOptions::default()
+        };
+        let bodies = build_bodies(&opts);
+        assert_eq!(bodies.len(), 4);
+        // All bodies parse back and carry `batch` rows each.
+        for b in &bodies {
+            let req: PredictRequest = serde_json::from_str(b).unwrap();
+            assert_eq!(req.rows.len(), 8);
+            assert_eq!(req.workload, "fmm-small");
+        }
+        assert_ne!(bodies[0], bodies[1]);
+    }
+
+    #[test]
+    fn report_formats() {
+        let r = LoadReport {
+            requests: 10,
+            predictions: 640,
+            errors: 0,
+            elapsed_s: 1.0,
+            throughput: 640.0,
+            rps: 10.0,
+            p50_us: 100.0,
+            p95_us: 200.0,
+            p99_us: 300.0,
+            cache_hit_fraction: 0.5,
+        };
+        let s = format_report(&r);
+        assert!(s.contains("throughput"));
+        assert!(s.contains("640 predictions/s"));
+        let back: LoadReport = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back.requests, 10);
+    }
+}

@@ -1,0 +1,397 @@
+//! Trained-model persistence: every model family the workspace trains can
+//! be saved as JSON and loaded back with *bit-identical* predictions.
+//!
+//! The trained state of each family is a plain serializable struct
+//! ([`lam_ml`] derives the vendored serde traits on all of them); this
+//! module adds the closed [`TrainedMl`] sum over those families plus the
+//! [`SavedModel`] envelope carrying the metadata a later process needs to
+//! serve the model: the scenario ([`WorkloadId`]), the model kind, a
+//! version, the feature schema, and — for hybrids — the
+//! [`HybridConfig`] whose analytical component is rebuilt from the
+//! workload id at load time (analytical models are closed-form and carry
+//! no trained state, so persisting their name is persisting the model).
+//!
+//! Floats survive the trip exactly: the vendored `serde_json` writes
+//! shortest-exact `f64` and parses with `FromStr`, so a reloaded tree
+//! splits on bit-equal thresholds and a reloaded forest averages
+//! bit-equal leaves.
+
+use crate::workload::WorkloadId;
+use crate::ServeError;
+use lam_core::hybrid::HybridConfig;
+use lam_core::hybrid::HybridModel;
+use lam_core::predict::PredictRow;
+use lam_ml::ensemble::GradientBoostingRegressor;
+use lam_ml::forest::{ExtraTreesRegressor, RandomForestRegressor};
+use lam_ml::knn::KnnRegressor;
+use lam_ml::linear::LinearRegressor;
+use lam_ml::model::Regressor;
+use lam_ml::tree::DecisionTreeRegressor;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+/// Version tag written into every model file; bump on breaking layout
+/// changes so stale artifacts fail loudly instead of deserializing wrong.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The servable model families, by stable name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Single CART regression tree.
+    Cart,
+    /// Random forest (bootstrap + best splits).
+    RandomForest,
+    /// Extremely randomized trees — the paper's best pure-ML model.
+    ExtraTrees,
+    /// Gradient-boosted trees.
+    Boosting,
+    /// Distance-weighted k-nearest neighbours.
+    Knn,
+    /// Ridge-regularized linear regression.
+    Linear,
+    /// The paper's hybrid: analytical model stacked under extra trees.
+    Hybrid,
+}
+
+impl ModelKind {
+    /// Every servable kind, in canonical order.
+    pub fn all() -> [ModelKind; 7] {
+        [
+            ModelKind::Cart,
+            ModelKind::RandomForest,
+            ModelKind::ExtraTrees,
+            ModelKind::Boosting,
+            ModelKind::Knn,
+            ModelKind::Linear,
+            ModelKind::Hybrid,
+        ]
+    }
+
+    /// Stable name used in URLs, file names, and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Cart => "cart",
+            ModelKind::RandomForest => "random-forest",
+            ModelKind::ExtraTrees => "extra-trees",
+            ModelKind::Boosting => "boosting",
+            ModelKind::Knn => "knn",
+            ModelKind::Linear => "linear",
+            ModelKind::Hybrid => "hybrid",
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ModelKind {
+    type Err = ServeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ModelKind::all()
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| ServeError::UnknownKind(s.to_string()))
+    }
+}
+
+impl Serialize for ModelKind {
+    fn to_value(&self) -> Value {
+        Value::String(self.name().to_string())
+    }
+}
+
+impl Deserialize for ModelKind {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeError::expected("string", "ModelKind", value))?;
+        s.parse()
+            .map_err(|_| DeError::custom(format!("unknown model kind `{s}`")))
+    }
+}
+
+/// The trained state of one ML model, as a closed serializable sum.
+///
+/// For [`ModelKind::Hybrid`] this is the *stacked* component — the
+/// regressor fitted on rows augmented with the analytical prediction; the
+/// analytical side lives in the enclosing [`SavedModel`] as a
+/// [`WorkloadId`] + [`HybridConfig`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum TrainedMl {
+    /// A fitted CART tree.
+    Cart(DecisionTreeRegressor),
+    /// A fitted random forest.
+    RandomForest(RandomForestRegressor),
+    /// A fitted extra-trees forest.
+    ExtraTrees(ExtraTreesRegressor),
+    /// A fitted boosting ensemble.
+    Boosting(GradientBoostingRegressor),
+    /// A fitted k-NN model (stores its training set).
+    Knn(KnnRegressor),
+    /// A fitted linear model.
+    Linear(LinearRegressor),
+}
+
+impl TrainedMl {
+    /// Move the trained model into a boxed [`Regressor`].
+    pub fn into_regressor(self) -> Box<dyn Regressor> {
+        match self {
+            TrainedMl::Cart(m) => Box::new(m),
+            TrainedMl::RandomForest(m) => Box::new(m),
+            TrainedMl::ExtraTrees(m) => Box::new(m),
+            TrainedMl::Boosting(m) => Box::new(m),
+            TrainedMl::Knn(m) => Box::new(m),
+            TrainedMl::Linear(m) => Box::new(m),
+        }
+    }
+
+    /// Box the trained model directly as a [`PredictRow`] (no double
+    /// indirection through `Box<dyn Regressor>`).
+    fn into_regressor_predictor(self) -> Box<dyn PredictRow> {
+        match self {
+            TrainedMl::Cart(m) => Box::new(m),
+            TrainedMl::RandomForest(m) => Box::new(m),
+            TrainedMl::ExtraTrees(m) => Box::new(m),
+            TrainedMl::Boosting(m) => Box::new(m),
+            TrainedMl::Knn(m) => Box::new(m),
+            TrainedMl::Linear(m) => Box::new(m),
+        }
+    }
+}
+
+/// A persisted trained model: metadata + trained state, the unit written
+/// to and read from `results/models/`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedModel {
+    /// File-format version ([`FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Scenario the model was trained for.
+    pub workload: WorkloadId,
+    /// Model family.
+    pub kind: ModelKind,
+    /// Artifact version within `(workload, kind)`.
+    pub version: u32,
+    /// Feature-column names of *request* rows (pre-augmentation).
+    pub feature_names: Vec<String>,
+    /// Number of training rows used.
+    pub trained_rows: usize,
+    /// Hybrid configuration; `Some` exactly when `kind` is
+    /// [`ModelKind::Hybrid`].
+    pub hybrid: Option<HybridConfig>,
+    /// The trained (stacked, for hybrids) regressor.
+    pub ml: TrainedMl,
+}
+
+impl SavedModel {
+    /// Canonical file name of this artifact: `{workload}__{kind}__v{n}.json`.
+    pub fn file_name(workload: WorkloadId, kind: ModelKind, version: u32) -> String {
+        format!("{workload}__{kind}__v{version}.json")
+    }
+
+    /// Parse a [`SavedModel::file_name`]-shaped name back into its key
+    /// parts; `None` for foreign files.
+    pub fn parse_file_name(name: &str) -> Option<(WorkloadId, ModelKind, u32)> {
+        let stem = name.strip_suffix(".json")?;
+        let mut parts = stem.split("__");
+        let workload = parts.next()?.parse().ok()?;
+        let kind = parts.next()?.parse().ok()?;
+        let version = parts.next()?.strip_prefix('v')?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some((workload, kind, version))
+    }
+
+    /// Write the model as pretty JSON under `dir`, creating the directory
+    /// if needed. Publication is atomic (write to a temp file, then
+    /// rename): registries in other processes polling `path.is_file()`
+    /// never observe a truncated artifact. The temp name carries the pid
+    /// *and* a process-wide counter so concurrent train-on-miss saves of
+    /// the same key (the registry deliberately lets racers both train)
+    /// never collide on the temp path. Returns the path written.
+    pub fn save(&self, dir: &Path) -> Result<PathBuf, ServeError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+        std::fs::create_dir_all(dir)?;
+        let name = Self::file_name(self.workload, self.kind, self.version);
+        let path = dir.join(&name);
+        let tmp = dir.join(format!(
+            ".{name}.tmp-{}-{}",
+            std::process::id(),
+            SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        lam_data::io::write_json(self, &tmp)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Load a model written by [`SavedModel::save`].
+    pub fn load(path: &Path) -> Result<Self, ServeError> {
+        let model: SavedModel = lam_data::io::read_json(path)?;
+        if model.format_version != FORMAT_VERSION {
+            return Err(ServeError::Json(format!(
+                "model file {} has format version {}, this build reads {}",
+                path.display(),
+                model.format_version,
+                FORMAT_VERSION
+            )));
+        }
+        // A hybrid without its config (or vice versa) would silently serve
+        // the stacked model on unaugmented rows — and the stacked forest
+        // splits on the augmentation column, so predictions would index
+        // out of bounds. Refuse the artifact instead.
+        if (model.kind == ModelKind::Hybrid) != model.hybrid.is_some() {
+            return Err(ServeError::Json(format!(
+                "model file {} is inconsistent: kind `{}` with hybrid config {}",
+                path.display(),
+                model.kind,
+                if model.hybrid.is_some() {
+                    "present"
+                } else {
+                    "absent"
+                }
+            )));
+        }
+        // Training validates stacked_weight ∈ [0, 1]; a hand-edited or
+        // corrupted config must not bypass that and serve extrapolated
+        // aggregations (e.g. negative runtimes).
+        if let Some(config) = &model.hybrid {
+            if !(0.0..=1.0).contains(&config.stacked_weight) {
+                return Err(ServeError::Json(format!(
+                    "model file {} has stacked_weight {} outside [0, 1]",
+                    path.display(),
+                    config.stacked_weight
+                )));
+            }
+        }
+        Ok(model)
+    }
+
+    /// Assemble the servable predictor: the plain regressor for pure-ML
+    /// kinds, or a [`HybridModel`] reassembled from the persisted stacked
+    /// model, the persisted configuration, and the workload's analytical
+    /// model for hybrids.
+    pub fn into_predictor(self) -> Box<dyn PredictRow> {
+        match self.hybrid {
+            Some(config) => Box::new(HybridModel::from_fitted_parts(
+                self.workload.analytical_model(),
+                self.ml.into_regressor(),
+                config,
+            )),
+            None => self.ml.into_regressor_predictor(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in ModelKind::all() {
+            assert_eq!(k.name().parse::<ModelKind>().unwrap(), k);
+        }
+        assert!("gbm".parse::<ModelKind>().is_err());
+    }
+
+    #[test]
+    fn file_names_round_trip() {
+        for w in WorkloadId::all() {
+            for k in ModelKind::all() {
+                let name = SavedModel::file_name(w, k, 3);
+                assert_eq!(SavedModel::parse_file_name(&name), Some((w, k, 3)));
+            }
+        }
+        assert_eq!(SavedModel::parse_file_name("notes.txt"), None);
+        assert_eq!(SavedModel::parse_file_name("a__b__v1.json"), None);
+        assert_eq!(
+            SavedModel::parse_file_name("fmm-small__cart__v1__extra.json"),
+            None
+        );
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        use lam_ml::model::Regressor as _;
+        let data = WorkloadId::FmmSmall.dataset();
+        let mut tree = DecisionTreeRegressor::new(lam_ml::tree::TreeParams::default(), 7);
+        tree.fit(&data).unwrap();
+        let saved = SavedModel {
+            format_version: FORMAT_VERSION,
+            workload: WorkloadId::FmmSmall,
+            kind: ModelKind::Cart,
+            version: 1,
+            feature_names: WorkloadId::FmmSmall.feature_names(),
+            trained_rows: data.len(),
+            hybrid: None,
+            ml: TrainedMl::Cart(tree.clone()),
+        };
+        let dir = std::env::temp_dir().join("lam_serve_persist_test");
+        let path = saved.save(&dir).unwrap();
+        let back = SavedModel::load(&path).unwrap();
+        assert_eq!(back.version, 1);
+        assert_eq!(back.kind, ModelKind::Cart);
+        let predictor = back.into_predictor();
+        for i in 0..data.len() {
+            assert_eq!(
+                lam_ml::model::Regressor::predict_row(&tree, data.row(i)).to_bits(),
+                predictor.predict_row(data.row(i)).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_config_invariant_enforced_on_load() {
+        use lam_ml::model::Regressor as _;
+        let dir = std::env::temp_dir().join("lam_serve_persist_badhybrid");
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = lam_data::Dataset::new(vec!["x".into()], vec![1.0, 2.0], vec![1.0, 2.0]).unwrap();
+        let mut lin = LinearRegressor::new(0.0);
+        lin.fit(&d).unwrap();
+        // Claims to be a hybrid but carries no hybrid config.
+        let path = dir.join("fmm-small__hybrid__v3.json");
+        let inconsistent = SavedModel {
+            format_version: FORMAT_VERSION,
+            workload: WorkloadId::FmmSmall,
+            kind: ModelKind::Hybrid,
+            version: 3,
+            feature_names: vec!["x".into()],
+            trained_rows: 2,
+            hybrid: None,
+            ml: TrainedMl::Linear(lin),
+        };
+        lam_data::io::write_json(&inconsistent, &path).unwrap();
+        assert!(matches!(SavedModel::load(&path), Err(ServeError::Json(_))));
+    }
+
+    #[test]
+    fn format_version_mismatch_rejected() {
+        let dir = std::env::temp_dir().join("lam_serve_persist_badver");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fmm-small__linear__v9.json");
+        // Hand-write a file with a wrong format version.
+        let mut lin = LinearRegressor::new(0.0);
+        let d = lam_data::Dataset::new(vec!["x".into()], vec![1.0, 2.0], vec![1.0, 2.0]).unwrap();
+        use lam_ml::model::Regressor;
+        lin.fit(&d).unwrap();
+        let bad = SavedModel {
+            format_version: FORMAT_VERSION + 1,
+            workload: WorkloadId::FmmSmall,
+            kind: ModelKind::Linear,
+            version: 9,
+            feature_names: vec!["x".into()],
+            trained_rows: 2,
+            hybrid: None,
+            ml: TrainedMl::Linear(lin),
+        };
+        lam_data::io::write_json(&bad, &path).unwrap();
+        assert!(matches!(SavedModel::load(&path), Err(ServeError::Json(_))));
+    }
+}

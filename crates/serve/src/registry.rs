@@ -1,0 +1,434 @@
+//! The model registry: `(workload, kind, version)` → a loaded, servable
+//! model.
+//!
+//! Resolution order on [`ModelRegistry::get`]:
+//!
+//! 1. **memo** — models already loaded this process, shared behind `Arc`;
+//! 2. **disk** — a JSON artifact under the registry root written by an
+//!    earlier process;
+//! 3. **train** — generate the workload dataset, fit the requested model
+//!    family deterministically (seed derived from the key), persist the
+//!    artifact, then memoize it.
+//!
+//! Training happens *outside* the registry lock, so a cold miss on one
+//! model never blocks serving traffic on already-loaded ones; if two
+//! threads race on the same cold key, the first insert wins and the loser
+//! adopts the winner's `Arc` (training is deterministic, so both built
+//! the same model).
+
+use crate::batch::{BatchEngine, BatchOutcome};
+use crate::persist::{ModelKind, SavedModel, TrainedMl, FORMAT_VERSION};
+use crate::workload::WorkloadId;
+use crate::ServeError;
+use lam_core::predict::PredictRow;
+use lam_ml::ensemble::GradientBoostingRegressor;
+use lam_ml::forest::{ExtraTreesRegressor, RandomForestRegressor};
+use lam_ml::knn::KnnRegressor;
+use lam_ml::linear::LinearRegressor;
+use lam_ml::model::Regressor;
+use lam_ml::sampling::train_test_split_fraction;
+use lam_ml::tree::{DecisionTreeRegressor, TreeParams};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Fraction of the workload dataset used to train servable models (the
+/// rest is the serving surface the paper's protocol predicts onto).
+pub const TRAIN_FRACTION: f64 = 0.35;
+
+/// Trees per servable forest (smaller than the figure experiments' 100:
+/// serving favours latency, and accuracy saturates well before this).
+pub const N_TREES: usize = 50;
+
+/// Identity of one servable model artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// Scenario the model serves.
+    pub workload: WorkloadId,
+    /// Model family.
+    pub kind: ModelKind,
+    /// Artifact version within `(workload, kind)`.
+    pub version: u32,
+}
+
+impl ModelKey {
+    /// Assemble a key.
+    pub fn new(workload: WorkloadId, kind: ModelKind, version: u32) -> Self {
+        Self {
+            workload,
+            kind,
+            version,
+        }
+    }
+
+    /// Deterministic training seed: stable across processes so a retrain
+    /// of the same key reproduces the same artifact bit for bit.
+    fn train_seed(&self) -> u64 {
+        let kind_ix = ModelKind::all()
+            .iter()
+            .position(|k| *k == self.kind)
+            .expect("kind in canonical list") as u64;
+        0x5E_ED_1A_A1 ^ (kind_ix << 32) ^ u64::from(self.version)
+    }
+}
+
+impl fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/v{}", self.workload, self.kind, self.version)
+    }
+}
+
+/// A loaded model ready to serve: metadata, the immutable predictor, and
+/// its private batched-inference engine (the cache is keyed by feature
+/// vector, so sharing one across models would alias their entries).
+pub struct LoadedModel {
+    /// The model's identity.
+    pub key: ModelKey,
+    /// Feature schema requests must match.
+    pub feature_names: Vec<String>,
+    /// Training rows used when the artifact was built.
+    pub trained_rows: usize,
+    predictor: Box<dyn PredictRow>,
+    engine: BatchEngine,
+}
+
+impl LoadedModel {
+    fn from_saved(key: ModelKey, saved: SavedModel) -> Self {
+        Self {
+            key,
+            feature_names: saved.feature_names.clone(),
+            trained_rows: saved.trained_rows,
+            predictor: saved.into_predictor(),
+            engine: BatchEngine::default(),
+        }
+    }
+
+    /// Validate feature counts, then predict the batch through the cache
+    /// and micro-batch executor. Response order matches request order.
+    pub fn predict_checked(&self, rows: &[Vec<f64>]) -> Result<BatchOutcome, ServeError> {
+        let expected = self.feature_names.len();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != expected {
+                return Err(ServeError::FeatureCount {
+                    expected,
+                    actual: row.len(),
+                    row: i,
+                });
+            }
+        }
+        Ok(self.engine.predict(&*self.predictor, rows))
+    }
+
+    /// Predict a batch, panicking on schema mismatch (test/bench helper).
+    pub fn predict(&self, rows: &[Vec<f64>]) -> BatchOutcome {
+        self.predict_checked(rows).expect("feature count matches")
+    }
+
+    /// Direct, cache-bypassing single-row prediction.
+    pub fn predict_row_uncached(&self, row: &[f64]) -> f64 {
+        self.predictor.predict_row(row)
+    }
+
+    /// The model's batched-inference engine.
+    pub fn engine(&self) -> &BatchEngine {
+        &self.engine
+    }
+}
+
+/// One row of the registry's catalog (the `/models` endpoint).
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// The artifact's identity.
+    pub key: ModelKey,
+    /// Artifact path under the registry root.
+    pub path: PathBuf,
+    /// `true` when the model is memoized in this process.
+    pub loaded: bool,
+}
+
+/// Train-on-miss, persist, memoize model registry.
+pub struct ModelRegistry {
+    root: PathBuf,
+    memo: Mutex<HashMap<ModelKey, Arc<LoadedModel>>>,
+}
+
+impl ModelRegistry {
+    /// Registry rooted at `root` (conventionally `results/models`). The
+    /// directory is created lazily on first persist.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self {
+            root: root.into(),
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The conventional on-disk root.
+    pub fn default_root() -> PathBuf {
+        PathBuf::from("results/models")
+    }
+
+    /// Artifact path for a key.
+    pub fn path_for(&self, key: ModelKey) -> PathBuf {
+        self.root
+            .join(SavedModel::file_name(key.workload, key.kind, key.version))
+    }
+
+    /// Registry root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of models memoized in this process.
+    pub fn loaded_count(&self) -> usize {
+        self.memo.lock().expect("registry poisoned").len()
+    }
+
+    /// Resolve a key: memo, then disk, then train + persist (see module
+    /// docs for the concurrency contract).
+    pub fn get(&self, key: ModelKey) -> Result<Arc<LoadedModel>, ServeError> {
+        if let Some(hit) = self.memo.lock().expect("registry poisoned").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let path = self.path_for(key);
+        let saved = if path.is_file() {
+            let saved = SavedModel::load(&path)?;
+            // A renamed or tampered artifact must not be served under the
+            // requested identity (wrong schema, silently wrong answers).
+            let embedded = ModelKey::new(saved.workload, saved.kind, saved.version);
+            if embedded != key {
+                return Err(ServeError::Json(format!(
+                    "artifact {} embeds key {embedded}, expected {key}",
+                    path.display()
+                )));
+            }
+            saved
+        } else {
+            let trained = train(key)?;
+            trained.save(&self.root)?;
+            trained
+        };
+        let loaded = Arc::new(LoadedModel::from_saved(key, saved));
+        let mut memo = self.memo.lock().expect("registry poisoned");
+        // First insert wins; a racing trainer built the identical model.
+        Ok(Arc::clone(memo.entry(key).or_insert(loaded)))
+    }
+
+    /// Everything the registry can serve without training: artifacts on
+    /// disk plus models memoized in this process, sorted by name.
+    pub fn catalog(&self) -> Result<Vec<CatalogEntry>, ServeError> {
+        let memo = self.memo.lock().expect("registry poisoned");
+        let mut entries: HashMap<ModelKey, CatalogEntry> = memo
+            .keys()
+            .map(|&key| {
+                (
+                    key,
+                    CatalogEntry {
+                        key,
+                        path: self.path_for(key),
+                        loaded: true,
+                    },
+                )
+            })
+            .collect();
+        drop(memo);
+        if self.root.is_dir() {
+            for entry in std::fs::read_dir(&self.root)? {
+                let name = entry?.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let Some((workload, kind, version)) = SavedModel::parse_file_name(name) else {
+                    continue;
+                };
+                let key = ModelKey::new(workload, kind, version);
+                entries.entry(key).or_insert_with(|| CatalogEntry {
+                    key,
+                    path: self.root.join(name),
+                    loaded: false,
+                });
+            }
+        }
+        let mut list: Vec<CatalogEntry> = entries.into_values().collect();
+        list.sort_by_key(|e| e.key.to_string());
+        Ok(list)
+    }
+}
+
+/// Train the model a key names, deterministically.
+pub fn train(key: ModelKey) -> Result<SavedModel, ServeError> {
+    let data = key.workload.dataset();
+    let seed = key.train_seed();
+    let (train, _) = train_test_split_fraction(&data, TRAIN_FRACTION, seed);
+    let params = TreeParams::default();
+
+    let (hybrid, ml) = match key.kind {
+        ModelKind::Cart => {
+            let mut m = DecisionTreeRegressor::new(params, seed);
+            m.fit(&train)?;
+            (None, TrainedMl::Cart(m))
+        }
+        ModelKind::RandomForest => {
+            let mut m = RandomForestRegressor::with_params(N_TREES, params, seed);
+            m.fit(&train)?;
+            (None, TrainedMl::RandomForest(m))
+        }
+        ModelKind::ExtraTrees => {
+            let mut m = ExtraTreesRegressor::with_params(N_TREES, params, seed);
+            m.fit(&train)?;
+            (None, TrainedMl::ExtraTrees(m))
+        }
+        ModelKind::Boosting => {
+            let mut m = GradientBoostingRegressor::new(200, 0.1, seed);
+            m.fit(&train)?;
+            (None, TrainedMl::Boosting(m))
+        }
+        ModelKind::Knn => {
+            let mut m = KnnRegressor::new(5).weighted();
+            m.fit(&train)?;
+            (None, TrainedMl::Knn(m))
+        }
+        ModelKind::Linear => {
+            let mut m = LinearRegressor::new(1e-9);
+            m.fit(&train)?;
+            (None, TrainedMl::Linear(m))
+        }
+        ModelKind::Hybrid => {
+            // Augment exactly as HybridModel::fit would, fit the stacked
+            // extra trees on the augmented rows, and persist the parts the
+            // hybrid is reassembled from at load time.
+            let config = key.workload.hybrid_config();
+            let am = key.workload.analytical_model();
+            let am_feature: Vec<f64> = (0..train.len())
+                .map(|i| config.stacked_feature(am.predict(train.row(i))))
+                .collect();
+            let augmented = train
+                .with_column(lam_core::hybrid::AM_FEATURE, &am_feature)
+                .expect("augmentation length matches dataset");
+            let mut m = ExtraTreesRegressor::with_params(N_TREES, params, seed);
+            m.fit(&augmented)?;
+            (Some(config), TrainedMl::ExtraTrees(m))
+        }
+    };
+
+    Ok(SavedModel {
+        format_version: FORMAT_VERSION,
+        workload: key.workload,
+        kind: key.kind,
+        version: key.version,
+        feature_names: key.workload.feature_names(),
+        trained_rows: train.len(),
+        hybrid,
+        ml,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_registry(tag: &str) -> ModelRegistry {
+        let dir = std::env::temp_dir().join(format!("lam_serve_registry_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        ModelRegistry::new(dir)
+    }
+
+    #[test]
+    fn get_trains_persists_and_memoizes() {
+        let reg = temp_registry("basic");
+        let key = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Cart, 1);
+        assert!(!reg.path_for(key).exists());
+        let a = reg.get(key).unwrap();
+        assert!(reg.path_for(key).is_file(), "artifact persisted");
+        assert_eq!(reg.loaded_count(), 1);
+        // Second get is a pure memo hit: the same Arc.
+        let b = reg.get(key).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn restart_loads_from_disk_with_identical_predictions() {
+        let reg = temp_registry("restart");
+        let key = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Hybrid, 2);
+        let first = reg.get(key).unwrap();
+        let rows = WorkloadId::FmmSmall.sample_rows(32);
+        let before = first.predict(&rows).predictions;
+
+        // A fresh registry over the same root simulates a process restart.
+        let reg2 = ModelRegistry::new(reg.root().to_path_buf());
+        let second = reg2.get(key).unwrap();
+        let after = second.predict(&rows).predictions;
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_per_key() {
+        let key = ModelKey::new(WorkloadId::FmmSmall, ModelKind::ExtraTrees, 7);
+        let a = train(key).unwrap();
+        let b = train(key).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn versions_are_distinct_artifacts() {
+        let reg = temp_registry("versions");
+        let v1 = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Cart, 1);
+        let v2 = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Cart, 2);
+        reg.get(v1).unwrap();
+        reg.get(v2).unwrap();
+        assert_ne!(reg.path_for(v1), reg.path_for(v2));
+        assert!(reg.path_for(v1).is_file() && reg.path_for(v2).is_file());
+        assert_eq!(reg.loaded_count(), 2);
+    }
+
+    #[test]
+    fn catalog_merges_disk_and_memo() {
+        let reg = temp_registry("catalog");
+        let key = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Linear, 1);
+        reg.get(key).unwrap();
+        // A foreign file in the root is ignored.
+        std::fs::write(reg.root().join("README.txt"), "not a model").unwrap();
+        let catalog = reg.catalog().unwrap();
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(catalog[0].key, key);
+        assert!(catalog[0].loaded);
+
+        // A fresh registry sees the artifact on disk, unloaded.
+        let reg2 = ModelRegistry::new(reg.root().to_path_buf());
+        let catalog2 = reg2.catalog().unwrap();
+        assert_eq!(catalog2.len(), 1);
+        assert!(!catalog2[0].loaded);
+    }
+
+    #[test]
+    fn renamed_artifact_rejected() {
+        let reg = temp_registry("renamed");
+        let key = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Cart, 1);
+        reg.get(key).unwrap();
+        // An artifact copied under another key's filename must not be
+        // served as that key.
+        let other = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Cart, 2);
+        std::fs::copy(reg.path_for(key), reg.path_for(other)).unwrap();
+        let fresh = ModelRegistry::new(reg.root().to_path_buf());
+        assert!(matches!(fresh.get(other), Err(ServeError::Json(_))));
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let reg = temp_registry("schema");
+        let key = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Linear, 1);
+        let model = reg.get(key).unwrap();
+        let bad = vec![vec![1.0, 2.0]]; // fmm rows have 4 features
+        assert!(matches!(
+            model.predict_checked(&bad),
+            Err(ServeError::FeatureCount {
+                expected: 4,
+                actual: 2,
+                row: 0
+            })
+        ));
+    }
+}

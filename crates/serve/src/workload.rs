@@ -1,0 +1,214 @@
+//! A closed, serializable enumeration of the study's application
+//! scenarios.
+//!
+//! The training pipeline is generic over [`lam_core::Workload`], but a
+//! *persisted* model must name its scenario so a later process — with no
+//! memory of the training run — can rebuild the matching analytical model
+//! and feature layout from first principles. [`WorkloadId`] is that name:
+//! a small enum whose variants map 1:1 onto the paper's dataset spaces,
+//! each with a deterministic construction (fixed machine description and
+//! noise seed), so "same id" always means "same dataset, same analytical
+//! model".
+
+use lam_analytical::traits::AnalyticalModel;
+use lam_core::hybrid::HybridConfig;
+use lam_core::workload::Workload;
+use lam_data::Dataset;
+use lam_fmm::workload::FmmWorkload;
+use lam_machine::arch::MachineDescription;
+use lam_stencil::workload::StencilWorkload;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+use std::str::FromStr;
+
+/// Noise seed for servable datasets — matches the figure experiments so a
+/// served model and a figure binary agree on the ground truth.
+pub const NOISE_SEED: u64 = 20190520;
+
+/// One of the study's application scenarios, by stable name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadId {
+    /// Stencil, grid sizes only (Fig 5 space, 729 configurations).
+    StencilGrid,
+    /// Stencil, grids × loop blocks (Fig 3A / Fig 6 space).
+    StencilGridBlocking,
+    /// Stencil, planar grids × threads (Fig 7 space).
+    StencilGridThreads,
+    /// FMM, the paper's full `(t, N, q, k)` space (Fig 3B / Fig 8).
+    Fmm,
+    /// FMM, the reduced space used by quick tests and examples.
+    FmmSmall,
+}
+
+impl WorkloadId {
+    /// Every servable scenario, in canonical order.
+    pub fn all() -> [WorkloadId; 5] {
+        [
+            WorkloadId::StencilGrid,
+            WorkloadId::StencilGridBlocking,
+            WorkloadId::StencilGridThreads,
+            WorkloadId::Fmm,
+            WorkloadId::FmmSmall,
+        ]
+    }
+
+    /// Stable name used in URLs, file names, and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadId::StencilGrid => "stencil-grid",
+            WorkloadId::StencilGridBlocking => "stencil-grid-blocking",
+            WorkloadId::StencilGridThreads => "stencil-grid-threads",
+            WorkloadId::Fmm => "fmm",
+            WorkloadId::FmmSmall => "fmm-small",
+        }
+    }
+
+    /// Feature-column names of this scenario's dataset.
+    pub fn feature_names(&self) -> Vec<String> {
+        match self {
+            WorkloadId::StencilGrid
+            | WorkloadId::StencilGridBlocking
+            | WorkloadId::StencilGridThreads => self.stencil().feature_names(),
+            WorkloadId::Fmm | WorkloadId::FmmSmall => self.fmm().feature_names(),
+        }
+    }
+
+    /// Generate this scenario's full dataset (deterministic: fixed machine
+    /// and noise seed).
+    pub fn dataset(&self) -> Dataset {
+        match self {
+            WorkloadId::StencilGrid
+            | WorkloadId::StencilGridBlocking
+            | WorkloadId::StencilGridThreads => self.stencil().generate_dataset(),
+            WorkloadId::Fmm | WorkloadId::FmmSmall => self.fmm().generate_dataset(),
+        }
+    }
+
+    /// The scenario's untuned analytical model (rebuildable at load time —
+    /// analytical models carry no trained state).
+    pub fn analytical_model(&self) -> Box<dyn AnalyticalModel> {
+        match self {
+            WorkloadId::StencilGrid
+            | WorkloadId::StencilGridBlocking
+            | WorkloadId::StencilGridThreads => self.stencil().analytical_model(),
+            WorkloadId::Fmm | WorkloadId::FmmSmall => self.fmm().analytical_model(),
+        }
+    }
+
+    /// The hybrid configuration the experiments pair with this scenario
+    /// (FMM responses span decades, so its hybrid stacks `ln(am)`).
+    pub fn hybrid_config(&self) -> HybridConfig {
+        HybridConfig {
+            log_feature: matches!(self, WorkloadId::Fmm | WorkloadId::FmmSmall),
+            ..HybridConfig::default()
+        }
+    }
+
+    /// Sample feature rows for load generation and benches: the first
+    /// `n` configurations of the space, cycled if `n` exceeds it.
+    pub fn sample_rows(&self, n: usize) -> Vec<Vec<f64>> {
+        let data = self.dataset();
+        (0..n).map(|i| data.row(i % data.len()).to_vec()).collect()
+    }
+
+    fn stencil(&self) -> StencilWorkload {
+        let space = match self {
+            WorkloadId::StencilGrid => lam_stencil::config::space_grid_only(),
+            WorkloadId::StencilGridBlocking => lam_stencil::config::space_grid_blocking(),
+            WorkloadId::StencilGridThreads => lam_stencil::config::space_grid_threads(),
+            _ => unreachable!("stencil() called on an FMM id"),
+        };
+        StencilWorkload::new(MachineDescription::blue_waters_xe6(), space, NOISE_SEED)
+    }
+
+    fn fmm(&self) -> FmmWorkload {
+        let space = match self {
+            WorkloadId::Fmm => lam_fmm::config::space_paper(),
+            WorkloadId::FmmSmall => lam_fmm::config::space_small(),
+            _ => unreachable!("fmm() called on a stencil id"),
+        };
+        FmmWorkload::new(MachineDescription::blue_waters_xe6(), space, NOISE_SEED)
+    }
+}
+
+impl fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for WorkloadId {
+    type Err = crate::ServeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        WorkloadId::all()
+            .into_iter()
+            .find(|w| w.name() == s)
+            .ok_or_else(|| crate::ServeError::UnknownWorkload(s.to_string()))
+    }
+}
+
+// Serialized as the stable kebab-case name (not the Rust variant name) so
+// model files and the HTTP API share one spelling.
+impl Serialize for WorkloadId {
+    fn to_value(&self) -> Value {
+        Value::String(self.name().to_string())
+    }
+}
+
+impl Deserialize for WorkloadId {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeError::expected("string", "WorkloadId", value))?;
+        s.parse()
+            .map_err(|_| DeError::custom(format!("unknown workload `{s}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_fromstr() {
+        for w in WorkloadId::all() {
+            assert_eq!(w.name().parse::<WorkloadId>().unwrap(), w);
+        }
+        assert!("no-such-workload".parse::<WorkloadId>().is_err());
+    }
+
+    #[test]
+    fn serde_uses_stable_names() {
+        let json = serde_json::to_string(&WorkloadId::FmmSmall).unwrap();
+        assert_eq!(json, "\"fmm-small\"");
+        let back: WorkloadId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, WorkloadId::FmmSmall);
+    }
+
+    #[test]
+    fn fmm_small_dataset_is_deterministic_and_shaped() {
+        let a = WorkloadId::FmmSmall.dataset();
+        let b = WorkloadId::FmmSmall.dataset();
+        assert_eq!(a, b);
+        assert_eq!(a.n_features(), WorkloadId::FmmSmall.feature_names().len());
+        assert!(a.len() > 100);
+    }
+
+    #[test]
+    fn sample_rows_cycle_the_space() {
+        let rows = WorkloadId::FmmSmall.sample_rows(3);
+        assert_eq!(rows.len(), 3);
+        let data = WorkloadId::FmmSmall.dataset();
+        assert_eq!(rows[0], data.row(0));
+        let wrapped = WorkloadId::FmmSmall.sample_rows(data.len() + 2);
+        assert_eq!(wrapped[data.len()], data.row(0));
+    }
+
+    #[test]
+    fn hybrid_config_logs_fmm_only() {
+        assert!(WorkloadId::Fmm.hybrid_config().log_feature);
+        assert!(WorkloadId::FmmSmall.hybrid_config().log_feature);
+        assert!(!WorkloadId::StencilGrid.hybrid_config().log_feature);
+    }
+}

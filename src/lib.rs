@@ -36,6 +36,7 @@ pub use lam_data as data;
 pub use lam_fmm as fmm;
 pub use lam_machine as machine;
 pub use lam_ml as ml;
+pub use lam_serve as serve;
 pub use lam_stencil as stencil;
 
 /// Convenience re-exports of the most commonly used items.
@@ -53,5 +54,8 @@ pub mod prelude {
         forest::{ExtraTreesRegressor, RandomForestRegressor},
         tree::DecisionTreeRegressor,
     };
+    pub use lam_serve::persist::ModelKind;
+    pub use lam_serve::registry::{ModelKey, ModelRegistry};
+    pub use lam_serve::workload::WorkloadId;
     pub use lam_stencil::workload::StencilWorkload;
 }

@@ -10,6 +10,13 @@
 //!
 //! Integers are preserved exactly ([`Number`] keeps `u64`/`i64` lossless);
 //! floats round-trip via Rust's shortest-exact `Display`/`FromStr`.
+//!
+//! Derived struct deserialization treats an *absent* field as
+//! [`Value::Null`] before reporting an error (see [`__get_field`]), so
+//! `Option<T>` fields tolerate missing keys — required by the `lam-serve`
+//! HTTP API, whose request bodies carry optional fields (e.g. a model
+//! version), and harmless for mandatory fields, which still fail with a
+//! "missing field" error because they reject `Null`.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -179,6 +186,10 @@ pub mod de {
 }
 
 /// Fetch and deserialize a struct field (used by derived code).
+///
+/// An absent field deserializes as [`Value::Null`] when the target type
+/// accepts it (i.e. `Option<T>` fields default to `None`); types that
+/// reject `Null` keep the "missing field" diagnostic.
 #[doc(hidden)]
 pub fn __get_field<T: Deserialize>(
     fields: &[(String, Value)],
@@ -189,7 +200,8 @@ pub fn __get_field<T: Deserialize>(
         Some((_, v)) => {
             T::from_value(v).map_err(|e| DeError::custom(format!("in field `{name}` of {ty}: {e}")))
         }
-        None => Err(DeError::custom(format!("missing field `{name}` in {ty}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError::custom(format!("missing field `{name}` in {ty}"))),
     }
 }
 
@@ -476,5 +488,16 @@ mod tests {
         assert!(u32::from_value(&Value::String("no".into())).is_err());
         assert!(u8::from_value(&300u64.to_value()).is_err());
         assert!(<[f64; 3]>::from_value(&vec![1.0f64].to_value()).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_none_for_option_and_error_otherwise() {
+        let fields = vec![("present".to_string(), Value::Number(Number::PosInt(7)))];
+        let opt: Option<u64> = __get_field(&fields, "absent", "T").unwrap();
+        assert_eq!(opt, None);
+        let present: Option<u64> = __get_field(&fields, "present", "T").unwrap();
+        assert_eq!(present, Some(7));
+        let err = __get_field::<u64>(&fields, "absent", "T").unwrap_err();
+        assert!(err.to_string().contains("missing field `absent`"));
     }
 }

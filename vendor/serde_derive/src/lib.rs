@@ -7,6 +7,12 @@
 //! * structs with named fields, tuple structs, unit structs;
 //! * enums with unit, tuple, and struct variants;
 //! * no generic parameters, no `#[serde(..)]` attributes.
+//!
+//! Generated struct deserialization goes through `serde::__get_field`,
+//! which maps *absent* fields to `Value::Null` before erroring — so
+//! `Option<T>` fields behave as `#[serde(default)]` does upstream (absent
+//! key → `None`), which model-persistence and the `lam-serve` HTTP API
+//! rely on for optional request fields.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
