@@ -11,13 +11,18 @@
 //!   (eq 15);
 //! * [`fmm`] — computation costs of P2P and M2L (eqs 8–9) and the
 //!   cache-oblivious memory bounds (eqs 10–14);
+//! * [`spmv`] — the roofline bound for the SpMV scenario the workspace
+//!   adds beyond the paper (memory-bound at ~2 flops per nonzero;
+//!   blocking and threads deliberately ignored);
 //! * [`traits`] — the [`traits::AnalyticalModel`] abstraction the hybrid
 //!   model in `lam-core` stacks on.
 
 pub mod fmm;
+pub mod spmv;
 pub mod stencil;
 pub mod traits;
 
 pub use fmm::FmmAnalyticalModel;
+pub use spmv::SpmvRooflineModel;
 pub use stencil::{BlockedStencilModel, StencilAnalyticalModel};
 pub use traits::AnalyticalModel;

@@ -1,0 +1,121 @@
+//! Analytical SpMV model: the classic roofline bound.
+//!
+//! CSR SpMV performs ~2 flops per stored nonzero while streaming 12 bytes
+//! of matrix data (8-byte value + 4-byte column index) plus the vector
+//! traffic, so its arithmetic intensity sits far below the ridge point of
+//! any modern machine — it is the textbook memory-bound kernel. The model
+//! is therefore one line: `time = flops / attainable(ai)` on the
+//! single-core roofline of [`lam_machine::roofline::Roofline`].
+//!
+//! Like the paper's §IV models it is deliberately **untuned**: it assumes
+//! perfect streaming (every `x` element fetched exactly once), and it
+//! ignores row blocking, loop overheads, and threads entirely — the same
+//! "does not capture the parallelism" stance the paper takes for the
+//! threaded stencil space. Those inaccuracies are the signal the hybrid
+//! model corrects.
+
+use crate::traits::AnalyticalModel;
+use lam_machine::arch::MachineDescription;
+use lam_machine::roofline::Roofline;
+
+/// Flops charged per stored nonzero (multiply + add). Must agree with the
+/// SpMV kernel's own accounting.
+pub const FLOPS_PER_NNZ: f64 = 2.0;
+
+/// Bytes streamed per stored nonzero: 8-byte value + 4-byte column index.
+pub const BYTES_PER_NNZ: f64 = 12.0;
+
+/// Bytes charged per matrix row: `x` read once (8), `y` write-allocate
+/// fill + write-back (16), one `row_ptr` entry (8).
+pub const BYTES_PER_ROW: f64 = 32.0;
+
+/// Roofline-bound SpMV model over the feature layout
+/// `(rows, nnz_per_row, row_block, threads)`.
+#[derive(Debug, Clone)]
+pub struct SpmvRooflineModel {
+    machine: MachineDescription,
+    /// Sweeps per modeled run; must match the oracle's setting.
+    pub sweeps: usize,
+}
+
+impl SpmvRooflineModel {
+    /// Model on a machine, timing `sweeps` repeated applications.
+    pub fn new(machine: MachineDescription, sweeps: usize) -> Self {
+        Self { machine, sweeps }
+    }
+
+    /// Arithmetic intensity (flops/byte) of an `n × n` band matrix with
+    /// `nnz_row` nonzeros per row.
+    pub fn intensity(n: f64, nnz_row: f64) -> f64 {
+        let nnz = n * nnz_row;
+        FLOPS_PER_NNZ * nnz / (BYTES_PER_NNZ * nnz + BYTES_PER_ROW * n)
+    }
+}
+
+impl AnalyticalModel for SpmvRooflineModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let n = x.first().copied().unwrap_or(1.0).max(1.0);
+        let nnz_row = x.get(1).copied().unwrap_or(1.0).max(1.0);
+        let flops = FLOPS_PER_NNZ * n * nnz_row;
+        let roofline = Roofline::per_core(&self.machine);
+        let attainable = roofline.attainable(Self::intensity(n, nnz_row));
+        self.sweeps as f64 * flops / attainable
+    }
+
+    fn name(&self) -> &'static str {
+        "spmv_roofline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SpmvRooflineModel {
+        SpmvRooflineModel::new(MachineDescription::blue_waters_xe6(), 8)
+    }
+
+    #[test]
+    fn spmv_sits_below_the_blue_waters_ridge() {
+        let m = MachineDescription::blue_waters_xe6();
+        let r = Roofline::per_core(&m);
+        // 2 flops per ~12.5 bytes ≈ 0.16 flop/B, well under the ridge.
+        let ai = SpmvRooflineModel::intensity(65_536.0, 9.0);
+        assert!(ai < 0.2, "ai {ai}");
+        assert!(r.memory_bound(ai), "SpMV must be memory-bound (ai {ai})");
+    }
+
+    #[test]
+    fn prediction_is_bandwidth_time() {
+        let m = model();
+        let (n, nnz_row) = (65_536.0, 9.0);
+        let t = m.predict(&[n, nnz_row, 1024.0, 1.0]);
+        // Memory-bound: time = sweeps * bytes / peak_bandwidth.
+        let bytes = BYTES_PER_NNZ * n * nnz_row + BYTES_PER_ROW * n;
+        let expect = 8.0 * bytes / (25.6e9);
+        assert!((t - expect).abs() / expect < 1e-9, "t {t} expect {expect}");
+    }
+
+    #[test]
+    fn model_grows_with_rows_and_band() {
+        let m = model();
+        let base = m.predict(&[16_384.0, 3.0, 64.0, 1.0]);
+        assert!(m.predict(&[131_072.0, 3.0, 64.0, 1.0]) > base * 7.0);
+        assert!(m.predict(&[16_384.0, 65.0, 64.0, 1.0]) > base * 5.0);
+    }
+
+    #[test]
+    fn model_deliberately_ignores_blocking_and_threads() {
+        let m = model();
+        let a = m.predict(&[16_384.0, 9.0, 64.0, 1.0]);
+        let b = m.predict(&[16_384.0, 9.0, 16_384.0, 8.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_features_stay_finite() {
+        let m = model();
+        assert!(m.predict(&[]).is_finite());
+        assert!(m.predict(&[0.0, 0.0]) > 0.0);
+    }
+}

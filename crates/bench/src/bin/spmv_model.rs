@@ -1,0 +1,40 @@
+//! SpMV panel — the third scenario, beyond the paper's figures: pure
+//! Extra Trees vs the hybrid built on the untuned roofline bound, over
+//! the `(rows, nnz, rb, t)` space, with the analytical-only MAPE printed
+//! as the baseline the hybrid must beat.
+//!
+//! The roofline model knows the bandwidth bound cold but ignores row
+//! blocking, loop overheads, and threads entirely, so it lands far from
+//! the oracle on the threaded part of the space — the same
+//! "representative but inaccurate" regime the paper exploits for the
+//! stencil and FMM scenarios. Responses span decades across the space, so
+//! the hybrid stacks `ln(am)`.
+//!
+//! Run: `cargo run -p lam-bench --release --bin spmv_model`
+
+use lam_bench::runners::{blue_waters_spmv, run_et_vs_hybrid, EtVsHybridSpec};
+use lam_core::hybrid::HybridConfig;
+use lam_spmv::config::space_spmv;
+
+fn main() {
+    let workload = blue_waters_spmv(space_spmv());
+    let report = run_et_vs_hybrid(
+        &workload,
+        EtVsHybridSpec {
+            figure: "spmv".into(),
+            title: "SpMV — banded CSR, (rows, nnz, rb, t) space".into(),
+            et_fractions: vec![0.05, 0.10, 0.20],
+            hybrid_fractions: vec![0.05, 0.10, 0.20],
+            hybrid_config: HybridConfig {
+                log_feature: true,
+                ..HybridConfig::default()
+            },
+            et_label: "Extra Trees (5/10/20% training)".into(),
+            hybrid_label: "Hybrid roofline+ET (5/10/20% training)".into(),
+            et_seed: 71,
+            hybrid_seed: 72,
+        },
+    );
+    let path = report.save().expect("write results");
+    println!("saved {}", path.display());
+}

@@ -14,6 +14,8 @@ use lam_machine::arch::MachineDescription;
 use lam_ml::forest::{ExtraTreesRegressor, RandomForestRegressor};
 use lam_ml::model::Regressor;
 use lam_ml::tree::{DecisionTreeRegressor, TreeParams};
+use lam_spmv::config::SpmvSpace;
+use lam_spmv::workload::SpmvWorkload;
 use lam_stencil::config::StencilSpace;
 use lam_stencil::workload::StencilWorkload;
 
@@ -48,6 +50,15 @@ pub fn blue_waters_fmm(space: FmmSpace) -> FmmWorkload {
     )
 }
 
+/// The SpMV scenario on the Blue Waters description.
+pub fn blue_waters_spmv(space: SpmvSpace) -> SpmvWorkload {
+    SpmvWorkload::new(
+        MachineDescription::blue_waters_xe6(),
+        space,
+        defaults::NOISE_SEED,
+    )
+}
+
 /// Generate a stencil dataset on the Blue Waters description.
 pub fn stencil_dataset(space: &StencilSpace) -> Dataset {
     blue_waters_stencil(space.clone()).generate_dataset()
@@ -56,6 +67,11 @@ pub fn stencil_dataset(space: &StencilSpace) -> Dataset {
 /// Generate the FMM dataset on the Blue Waters description.
 pub fn fmm_dataset(space: &FmmSpace) -> Dataset {
     blue_waters_fmm(space.clone()).generate_dataset()
+}
+
+/// Generate an SpMV dataset on the Blue Waters description.
+pub fn spmv_dataset(space: &SpmvSpace) -> Dataset {
+    blue_waters_spmv(space.clone()).generate_dataset()
 }
 
 /// Factories for the model families the paper compares.
@@ -216,6 +232,39 @@ mod tests {
         assert_eq!(d.len(), 729);
         let d = fmm_dataset(&lam_fmm::config::space_small());
         assert!(!d.is_empty());
+        let d = spmv_dataset(&lam_spmv::config::space_small());
+        assert!(!d.is_empty());
+    }
+
+    /// The SpMV acceptance property on the full `spmv_model` space: the
+    /// hybrid (roofline stacked under extra trees) beats the pure
+    /// analytical roofline's MAPE, which the thread dimension pushes near
+    /// 90% (the roofline deliberately models a single core).
+    #[test]
+    fn spmv_hybrid_beats_pure_analytical() {
+        use lam_core::evaluate::analytical_mape;
+        use lam_ml::metrics::mape;
+        use lam_ml::sampling::train_test_split_fraction;
+
+        let workload = blue_waters_spmv(lam_spmv::config::space_spmv());
+        let data = workload.generate_dataset();
+        let am_mape = analytical_mape(&data, &*workload.analytical_model());
+
+        let (train, test) = train_test_split_fraction(&data, 0.10, 17);
+        let mut hybrid = StandardModels::hybrid_for(
+            &workload,
+            HybridConfig {
+                log_feature: true,
+                ..HybridConfig::default()
+            },
+            3,
+        );
+        hybrid.fit(&train).expect("fit hybrid");
+        let hybrid_mape = mape(test.response(), &hybrid.predict(&test)).unwrap();
+        assert!(
+            hybrid_mape < am_mape,
+            "hybrid {hybrid_mape:.1}% must beat analytical {am_mape:.1}%"
+        );
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! an untuned analytical model. This trait captures that contract once so
 //! dataset generation, evaluation, and every figure binary are generic —
 //! adding a third scenario is one trait impl, not another copy of the
-//! pipeline.
+//! pipeline. The workspace's SpMV scenario (`lam-spmv`, a workload the
+//! paper never measured) is that claim made good: its `SpmvWorkload` impl
+//! plus `WorkloadId` registration in `lam-serve` carry it through the
+//! whole pipeline, training to HTTP serving.
 //!
 //! [`Workload::generate_dataset`] has a rayon-parallel default
 //! implementation; because each oracle evaluation is a pure function of

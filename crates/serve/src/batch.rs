@@ -12,11 +12,36 @@
 //! order preserving (results are stitched back in input order), so
 //! response position `i` always answers request row `i`.
 
+use crate::ServeError;
 use lam_core::predict::PredictRow;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Validate request rows before any model dispatch: every row must carry
+/// exactly `expected` features and every value must be finite.
+///
+/// This is the serving path's input firewall. A NaN or infinity that
+/// slipped through would be cached under its bit pattern and then panic
+/// the first non-total comparison downstream (k-NN's distance
+/// `partial_cmp`, metric sorts), killing the handler thread — so reject
+/// with a client error instead.
+pub fn validate_rows(expected: usize, rows: &[Vec<f64>]) -> Result<(), ServeError> {
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != expected {
+            return Err(ServeError::FeatureCount {
+                expected,
+                actual: row.len(),
+                row: i,
+            });
+        }
+        if let Some(col) = row.iter().position(|v| !v.is_finite()) {
+            return Err(ServeError::NonFiniteFeature { row: i, col });
+        }
+    }
+    Ok(())
+}
 
 /// Cache-key for one feature row: the exact bit patterns of its floats
 /// (no epsilon grouping — only a bit-identical row is "the same query").
@@ -289,6 +314,27 @@ mod tests {
         let k = kept[0];
         cache.insert(&[k], -1.0);
         assert_eq!(cache.get(&[k]), Some(-1.0));
+    }
+
+    #[test]
+    fn validate_rows_rejects_bad_input() {
+        use crate::ServeError;
+        assert!(validate_rows(2, &[vec![1.0, 2.0], vec![3.0, 4.0]]).is_ok());
+        assert!(validate_rows(0, &[]).is_ok());
+        assert!(matches!(
+            validate_rows(2, &[vec![1.0]]),
+            Err(ServeError::FeatureCount {
+                expected: 2,
+                actual: 1,
+                row: 0
+            })
+        ));
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                validate_rows(2, &[vec![1.0, 2.0], vec![1.0, bad]]),
+                Err(ServeError::NonFiniteFeature { row: 1, col: 1 })
+            ));
+        }
     }
 
     #[test]

@@ -441,6 +441,11 @@ fn predict(req: &Request, registry: &Arc<ModelRegistry>) -> RouteResult {
             format!("version {version} outside 1..={MAX_SERVED_VERSION}"),
         ));
     }
+    // Reject wrong-arity and non-finite rows before any model dispatch:
+    // a bad request must not trigger train-on-miss, and a NaN/infinity
+    // must never reach the cache or a k-NN distance sort (which would
+    // panic the handler thread).
+    crate::batch::validate_rows(workload.n_features(), &parsed.rows).map_err(bad_request)?;
     let key = ModelKey::new(workload, kind, version);
     let model = registry.get(key).map_err(|e| (500, e.to_string()))?;
     let outcome = model.predict_checked(&parsed.rows).map_err(bad_request)?;

@@ -61,6 +61,15 @@ pub enum ServeError {
         /// Index of the offending row within the request.
         row: usize,
     },
+    /// A request row carried a NaN or infinite feature value. Rejected up
+    /// front: non-finite values would poison the prediction cache's key
+    /// space and panic distance sorts in k-NN and metric code.
+    NonFiniteFeature {
+        /// Index of the offending row within the request.
+        row: usize,
+        /// Column of the offending value within the row.
+        col: usize,
+    },
     /// Training failed.
     Fit(lam_ml::model::FitError),
     /// Filesystem failure.
@@ -84,6 +93,9 @@ impl fmt::Display for ServeError {
                 f,
                 "row {row} has {actual} features, model expects {expected}"
             ),
+            ServeError::NonFiniteFeature { row, col } => {
+                write!(f, "row {row} feature {col} is not finite")
+            }
             ServeError::Fit(e) => write!(f, "training failed: {e}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
             ServeError::Json(m) => write!(f, "json error: {m}"),

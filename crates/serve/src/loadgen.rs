@@ -163,13 +163,16 @@ impl HttpClient {
     }
 }
 
-/// Latency percentile over raw samples (nearest-rank on the sorted set).
+/// Latency percentile over raw sorted samples: linear interpolation
+/// between the two bracketing ranks, delegating to
+/// [`lam_data::stats::percentile_sorted`] (the one percentile
+/// implementation the workspace keeps). Returns 0 for an empty sample.
 pub fn percentile_us(sorted: &[u64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[rank] as f64
+    let as_f64: Vec<f64> = sorted.iter().map(|&v| v as f64).collect();
+    lam_data::stats::percentile_sorted(&as_f64, q)
 }
 
 /// Prebuilt request bodies rotating through the feature-row pool.
@@ -331,13 +334,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_nearest_rank() {
+    fn percentiles_interpolate_like_lam_data() {
         let sorted: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile_us(&sorted, 0.50), 51.0);
+        assert_eq!(percentile_us(&sorted, 0.50), 50.5);
         assert_eq!(percentile_us(&sorted, 0.0), 1.0);
         assert_eq!(percentile_us(&sorted, 1.0), 100.0);
         assert_eq!(percentile_us(&[], 0.5), 0.0);
         assert_eq!(percentile_us(&[7], 0.99), 7.0);
+        // Bit-identical to the lam-data implementation it delegates to.
+        let as_f64: Vec<f64> = sorted.iter().map(|&v| v as f64).collect();
+        for q in [0.25, 0.5, 0.95, 0.99] {
+            assert_eq!(
+                percentile_us(&sorted, q),
+                lam_data::stats::percentile_sorted(&as_f64, q)
+            );
+        }
     }
 
     #[test]

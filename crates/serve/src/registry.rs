@@ -104,19 +104,11 @@ impl LoadedModel {
         }
     }
 
-    /// Validate feature counts, then predict the batch through the cache
-    /// and micro-batch executor. Response order matches request order.
+    /// Validate feature counts and finiteness, then predict the batch
+    /// through the cache and micro-batch executor. Response order matches
+    /// request order.
     pub fn predict_checked(&self, rows: &[Vec<f64>]) -> Result<BatchOutcome, ServeError> {
-        let expected = self.feature_names.len();
-        for (i, row) in rows.iter().enumerate() {
-            if row.len() != expected {
-                return Err(ServeError::FeatureCount {
-                    expected,
-                    actual: row.len(),
-                    row: i,
-                });
-            }
-        }
+        crate::batch::validate_rows(self.feature_names.len(), rows)?;
         Ok(self.engine.predict(&*self.predictor, rows))
     }
 

@@ -5,10 +5,11 @@
 //! *persisted* model must name its scenario so a later process — with no
 //! memory of the training run — can rebuild the matching analytical model
 //! and feature layout from first principles. [`WorkloadId`] is that name:
-//! a small enum whose variants map 1:1 onto the paper's dataset spaces,
-//! each with a deterministic construction (fixed machine description and
-//! noise seed), so "same id" always means "same dataset, same analytical
-//! model".
+//! a small enum whose variants map 1:1 onto the study's dataset spaces
+//! (the paper's stencil and FMM spaces plus the workspace's own SpMV
+//! extension), each with a deterministic construction (fixed machine
+//! description and noise seed), so "same id" always means "same dataset,
+//! same analytical model".
 
 use lam_analytical::traits::AnalyticalModel;
 use lam_core::hybrid::HybridConfig;
@@ -16,6 +17,7 @@ use lam_core::workload::Workload;
 use lam_data::Dataset;
 use lam_fmm::workload::FmmWorkload;
 use lam_machine::arch::MachineDescription;
+use lam_spmv::workload::SpmvWorkload;
 use lam_stencil::workload::StencilWorkload;
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
@@ -38,17 +40,23 @@ pub enum WorkloadId {
     Fmm,
     /// FMM, the reduced space used by quick tests and examples.
     FmmSmall,
+    /// SpMV, the full `(rows, nnz, rb, t)` space (beyond the paper).
+    Spmv,
+    /// SpMV, the reduced space used by quick tests and smoke runs.
+    SpmvSmall,
 }
 
 impl WorkloadId {
     /// Every servable scenario, in canonical order.
-    pub fn all() -> [WorkloadId; 5] {
+    pub fn all() -> [WorkloadId; 7] {
         [
             WorkloadId::StencilGrid,
             WorkloadId::StencilGridBlocking,
             WorkloadId::StencilGridThreads,
             WorkloadId::Fmm,
             WorkloadId::FmmSmall,
+            WorkloadId::Spmv,
+            WorkloadId::SpmvSmall,
         ]
     }
 
@@ -60,27 +68,53 @@ impl WorkloadId {
             WorkloadId::StencilGridThreads => "stencil-grid-threads",
             WorkloadId::Fmm => "fmm",
             WorkloadId::FmmSmall => "fmm-small",
+            WorkloadId::Spmv => "spmv",
+            WorkloadId::SpmvSmall => "spmv-small",
         }
     }
 
-    /// Feature-column names of this scenario's dataset.
+    /// Feature-column names of this scenario's dataset. Derived from the
+    /// feature layout alone — never from constructing the configuration
+    /// space — because `/predict` consults this on every request to
+    /// validate row arity before model dispatch.
     pub fn feature_names(&self) -> Vec<String> {
+        use lam_stencil::config::StencilFeatures;
         match self {
-            WorkloadId::StencilGrid
-            | WorkloadId::StencilGridBlocking
-            | WorkloadId::StencilGridThreads => self.stencil().feature_names(),
-            WorkloadId::Fmm | WorkloadId::FmmSmall => self.fmm().feature_names(),
+            WorkloadId::StencilGrid => StencilFeatures::GridOnly.names(),
+            WorkloadId::StencilGridBlocking => StencilFeatures::GridAndBlocking.names(),
+            WorkloadId::StencilGridThreads => StencilFeatures::GridAndThreads.names(),
+            WorkloadId::Fmm | WorkloadId::FmmSmall => lam_fmm::config::FmmConfig::feature_names(),
+            WorkloadId::Spmv | WorkloadId::SpmvSmall => {
+                lam_spmv::config::SpmvConfig::feature_names()
+            }
+        }
+    }
+
+    /// Feature count of this scenario's rows, allocation-free — the
+    /// arity `/predict` checks incoming rows against.
+    pub fn n_features(&self) -> usize {
+        match self {
+            WorkloadId::StencilGrid => 3,
+            WorkloadId::StencilGridThreads
+            | WorkloadId::Fmm
+            | WorkloadId::FmmSmall
+            | WorkloadId::Spmv
+            | WorkloadId::SpmvSmall => 4,
+            WorkloadId::StencilGridBlocking => 6,
         }
     }
 
     /// Generate this scenario's full dataset (deterministic: fixed machine
-    /// and noise seed).
+    /// and noise seed). This runs the oracle over every configuration —
+    /// use [`WorkloadId::feature_rows`] when only the feature side is
+    /// needed.
     pub fn dataset(&self) -> Dataset {
         match self {
             WorkloadId::StencilGrid
             | WorkloadId::StencilGridBlocking
             | WorkloadId::StencilGridThreads => self.stencil().generate_dataset(),
             WorkloadId::Fmm | WorkloadId::FmmSmall => self.fmm().generate_dataset(),
+            WorkloadId::Spmv | WorkloadId::SpmvSmall => self.spmv().generate_dataset(),
         }
     }
 
@@ -92,23 +126,47 @@ impl WorkloadId {
             | WorkloadId::StencilGridBlocking
             | WorkloadId::StencilGridThreads => self.stencil().analytical_model(),
             WorkloadId::Fmm | WorkloadId::FmmSmall => self.fmm().analytical_model(),
+            WorkloadId::Spmv | WorkloadId::SpmvSmall => self.spmv().analytical_model(),
         }
     }
 
     /// The hybrid configuration the experiments pair with this scenario
-    /// (FMM responses span decades, so its hybrid stacks `ln(am)`).
+    /// (FMM and SpMV responses span decades, so their hybrids stack
+    /// `ln(am)`).
     pub fn hybrid_config(&self) -> HybridConfig {
         HybridConfig {
-            log_feature: matches!(self, WorkloadId::Fmm | WorkloadId::FmmSmall),
+            log_feature: matches!(
+                self,
+                WorkloadId::Fmm | WorkloadId::FmmSmall | WorkloadId::Spmv | WorkloadId::SpmvSmall
+            ),
             ..HybridConfig::default()
         }
     }
 
+    /// Feature rows of every configuration, in canonical space order —
+    /// projected straight from the parameter space, **without** running
+    /// the oracle (identical to the feature side of
+    /// [`WorkloadId::dataset`], at a tiny fraction of the cost).
+    pub fn feature_rows(&self) -> Vec<Vec<f64>> {
+        fn project<W: Workload>(w: &W) -> Vec<Vec<f64>> {
+            w.param_space().iter().map(|c| w.features(c)).collect()
+        }
+        match self {
+            WorkloadId::StencilGrid
+            | WorkloadId::StencilGridBlocking
+            | WorkloadId::StencilGridThreads => project(&self.stencil()),
+            WorkloadId::Fmm | WorkloadId::FmmSmall => project(&self.fmm()),
+            WorkloadId::Spmv | WorkloadId::SpmvSmall => project(&self.spmv()),
+        }
+    }
+
     /// Sample feature rows for load generation and benches: the first
-    /// `n` configurations of the space, cycled if `n` exceeds it.
+    /// `n` configurations of the space, cycled if `n` exceeds it. Pure
+    /// feature projection — loadgen startup never pays for an oracle
+    /// sweep of the space.
     pub fn sample_rows(&self, n: usize) -> Vec<Vec<f64>> {
-        let data = self.dataset();
-        (0..n).map(|i| data.row(i % data.len()).to_vec()).collect()
+        let rows = self.feature_rows();
+        (0..n).map(|i| rows[i % rows.len()].clone()).collect()
     }
 
     fn stencil(&self) -> StencilWorkload {
@@ -116,7 +174,7 @@ impl WorkloadId {
             WorkloadId::StencilGrid => lam_stencil::config::space_grid_only(),
             WorkloadId::StencilGridBlocking => lam_stencil::config::space_grid_blocking(),
             WorkloadId::StencilGridThreads => lam_stencil::config::space_grid_threads(),
-            _ => unreachable!("stencil() called on an FMM id"),
+            _ => unreachable!("stencil() called on a non-stencil id"),
         };
         StencilWorkload::new(MachineDescription::blue_waters_xe6(), space, NOISE_SEED)
     }
@@ -125,9 +183,18 @@ impl WorkloadId {
         let space = match self {
             WorkloadId::Fmm => lam_fmm::config::space_paper(),
             WorkloadId::FmmSmall => lam_fmm::config::space_small(),
-            _ => unreachable!("fmm() called on a stencil id"),
+            _ => unreachable!("fmm() called on a non-FMM id"),
         };
         FmmWorkload::new(MachineDescription::blue_waters_xe6(), space, NOISE_SEED)
+    }
+
+    fn spmv(&self) -> SpmvWorkload {
+        let space = match self {
+            WorkloadId::Spmv => lam_spmv::config::space_spmv(),
+            WorkloadId::SpmvSmall => lam_spmv::config::space_small(),
+            _ => unreachable!("spmv() called on a non-SpMV id"),
+        };
+        SpmvWorkload::new(MachineDescription::blue_waters_xe6(), space, NOISE_SEED)
     }
 }
 
@@ -206,9 +273,54 @@ mod tests {
     }
 
     #[test]
-    fn hybrid_config_logs_fmm_only() {
+    fn feature_rows_match_dataset_without_the_oracle() {
+        // The oracle-free projection must agree bit for bit with the
+        // feature side of the full dataset, for every scenario family.
+        for id in [
+            WorkloadId::FmmSmall,
+            WorkloadId::SpmvSmall,
+            WorkloadId::StencilGrid,
+        ] {
+            let rows = id.feature_rows();
+            let data = id.dataset();
+            assert_eq!(rows.len(), data.len(), "{id}");
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(row.as_slice(), data.row(i), "{id} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn feature_names_and_arity_match_the_datasets() {
+        // The request-path shortcuts (layout-derived names, hardcoded
+        // arity) must agree with what dataset generation actually
+        // produces, for every servable id.
+        for id in WorkloadId::all() {
+            assert_eq!(id.n_features(), id.feature_names().len(), "{id}");
+        }
+        for id in [
+            WorkloadId::StencilGrid,
+            WorkloadId::FmmSmall,
+            WorkloadId::SpmvSmall,
+        ] {
+            assert_eq!(id.feature_names(), id.dataset().feature_names(), "{id}");
+        }
+    }
+
+    #[test]
+    fn spmv_small_dataset_is_deterministic_and_shaped() {
+        let a = WorkloadId::SpmvSmall.dataset();
+        assert_eq!(a, WorkloadId::SpmvSmall.dataset());
+        assert_eq!(a.n_features(), WorkloadId::SpmvSmall.feature_names().len());
+        assert!(a.len() >= 96);
+    }
+
+    #[test]
+    fn hybrid_config_logs_wide_range_scenarios_only() {
         assert!(WorkloadId::Fmm.hybrid_config().log_feature);
         assert!(WorkloadId::FmmSmall.hybrid_config().log_feature);
+        assert!(WorkloadId::Spmv.hybrid_config().log_feature);
+        assert!(WorkloadId::SpmvSmall.hybrid_config().log_feature);
         assert!(!WorkloadId::StencilGrid.hybrid_config().log_feature);
     }
 }

@@ -147,6 +147,52 @@ fn serve_restart_predict_and_loadgen_end_to_end() {
 }
 
 #[test]
+fn spmv_small_served_for_all_model_kinds() {
+    // The third scenario must be a first-class citizen of the serving
+    // path: every model family trains, persists, and answers `/predict`
+    // for `spmv-small` exactly like the paper's scenarios.
+    let root = temp_root("spmv_kinds");
+    let registry = Arc::new(ModelRegistry::new(root));
+    let handle = start_server(Arc::clone(&registry));
+    let addr = handle.local_addr().to_string();
+    let mut client = HttpClient::connect(&addr).expect("connects");
+
+    let rows = WorkloadId::SpmvSmall.sample_rows(8);
+    for kind in ModelKind::all() {
+        let request = PredictRequest {
+            workload: "spmv-small".to_string(),
+            kind: kind.to_string(),
+            version: Some(1),
+            rows: rows.clone(),
+        };
+        let (status, body) = client
+            .post("/predict", &serde_json::to_string(&request).unwrap())
+            .unwrap();
+        assert_eq!(status, 200, "kind {kind}: {body}");
+        let response: PredictResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(response.model, format!("spmv-small/{kind}/v1"));
+        assert_eq!(response.predictions.len(), rows.len());
+        assert!(
+            response.predictions.iter().all(|p| p.is_finite()),
+            "kind {kind}: predictions must be finite: {:?}",
+            response.predictions
+        );
+        // Tree-based families average training responses, so they stay
+        // positive; the unconstrained linear family is exempt.
+        if kind != ModelKind::Linear {
+            assert!(
+                response.predictions.iter().all(|p| *p > 0.0),
+                "kind {kind}: predictions must be positive times: {:?}",
+                response.predictions
+            );
+        }
+        let key = ModelKey::new(WorkloadId::SpmvSmall, kind, 1);
+        assert!(registry.path_for(key).is_file(), "kind {kind} persisted");
+    }
+    handle.stop();
+}
+
+#[test]
 fn predict_trains_on_miss_over_http() {
     let root = temp_root("miss");
     let registry = Arc::new(ModelRegistry::new(root));

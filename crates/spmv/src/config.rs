@@ -1,0 +1,225 @@
+//! SpMV configurations and dataset spaces.
+//!
+//! The modeling vector is `X = (rows, nnz, rb, t)`: matrix dimension,
+//! nonzeros per row (set by the band half-width, `nnz = 2·band + 1`),
+//! row-block size of the tiled CSR loop, and worker threads. The paper
+//! never measured SpMV — this space is the workspace's test that the
+//! `Workload` abstraction extends beyond the two published scenarios.
+
+use serde::{Deserialize, Serialize};
+
+/// A concrete SpMV run configuration (the full modeling vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpmvConfig {
+    /// Matrix rows (= columns; matrices are square).
+    pub rows: usize,
+    /// Band half-width: row `i` holds columns `i-band ..= i+band`.
+    pub band: usize,
+    /// Rows per block of the tiled CSR loop (`1 ..= rows`).
+    pub row_block: usize,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl SpmvConfig {
+    /// Feature names of the modeling vector.
+    pub fn feature_names() -> Vec<String> {
+        vec!["rows".into(), "nnz".into(), "rb".into(), "t".into()]
+    }
+
+    /// Feature vector `(rows, nnz_per_row, row_block, threads)` as `f64`.
+    pub fn features(&self) -> Vec<f64> {
+        vec![
+            self.rows as f64,
+            self.nnz_per_row() as f64,
+            self.row_block as f64,
+            self.threads as f64,
+        ]
+    }
+
+    /// Nonzeros per interior row, `2·band + 1` clipped to the dimension.
+    pub fn nnz_per_row(&self) -> usize {
+        (2 * self.band + 1).min(self.rows)
+    }
+
+    /// Modeled total nonzeros, `rows · nnz_per_row` (boundary rows store
+    /// slightly fewer; the deficit is `O(band²)` against `O(rows·band)`).
+    pub fn total_nnz(&self) -> usize {
+        self.rows * self.nnz_per_row()
+    }
+
+    /// Clamp the row block into `[1, rows]` and threads to `≥ 1`.
+    pub fn normalized(mut self) -> Self {
+        self.row_block = self.row_block.clamp(1, self.rows.max(1));
+        self.threads = self.threads.max(1);
+        self
+    }
+
+    /// Validity: nonzero dimension, row block within the matrix, at least
+    /// one thread.
+    pub fn is_valid(&self) -> bool {
+        self.rows >= 1 && (1..=self.rows).contains(&self.row_block) && self.threads >= 1
+    }
+
+    /// Stable configuration hash for the noise model.
+    pub fn hash64(&self) -> u64 {
+        lam_machine::noise::hash_config(&[
+            self.rows as u64,
+            self.band as u64,
+            self.row_block as u64,
+            self.threads as u64,
+        ])
+    }
+}
+
+/// An enumerable SpMV configuration space.
+#[derive(Debug, Clone)]
+pub struct SpmvSpace {
+    /// Label for reports.
+    pub name: &'static str,
+    configs: Vec<SpmvConfig>,
+}
+
+impl SpmvSpace {
+    /// All configurations in the space.
+    pub fn configs(&self) -> &[SpmvConfig] {
+        &self.configs
+    }
+
+    /// Number of configurations.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// `true` when empty (never for the shipped spaces).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+}
+
+fn cross(
+    name: &'static str,
+    rows: &[usize],
+    bands: &[usize],
+    row_blocks: &[usize],
+    max_threads: usize,
+) -> SpmvSpace {
+    let mut configs = Vec::new();
+    for &n in rows {
+        for &band in bands {
+            for &rb in row_blocks {
+                for t in 1..=max_threads {
+                    let c = SpmvConfig {
+                        rows: n,
+                        band,
+                        row_block: rb,
+                        threads: t,
+                    }
+                    .normalized();
+                    debug_assert!(c.is_valid());
+                    configs.push(c);
+                }
+            }
+        }
+    }
+    SpmvSpace { name, configs }
+}
+
+/// The full SpMV space: rows `16Ki … 128Ki`, band half-widths `1 … 32`
+/// (3 … 65 nonzeros per row), row blocks `64 / 1Ki / 16Ki`, threads
+/// `1 … 8` — 576 configurations, comparable to the paper's stencil grid.
+pub fn space_spmv() -> SpmvSpace {
+    cross(
+        "spmv",
+        &[16_384, 32_768, 65_536, 131_072],
+        &[1, 2, 4, 8, 16, 32],
+        &[64, 1024, 16_384],
+        8,
+    )
+}
+
+/// A reduced space for quick tests, examples, and serving smoke runs.
+pub fn space_small() -> SpmvSpace {
+    cross(
+        "spmv-small",
+        &[2048, 4096, 8192, 16_384],
+        &[1, 4, 16],
+        &[64, 1024],
+        4,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_round_trip() {
+        let c = SpmvConfig {
+            rows: 4096,
+            band: 4,
+            row_block: 64,
+            threads: 2,
+        };
+        assert_eq!(c.nnz_per_row(), 9);
+        assert_eq!(c.total_nnz(), 4096 * 9);
+        assert_eq!(c.features(), vec![4096.0, 9.0, 64.0, 2.0]);
+        assert_eq!(SpmvConfig::feature_names().len(), 4);
+    }
+
+    #[test]
+    fn nnz_clips_to_dimension() {
+        let c = SpmvConfig {
+            rows: 8,
+            band: 100,
+            row_block: 8,
+            threads: 1,
+        };
+        assert_eq!(c.nnz_per_row(), 8);
+    }
+
+    #[test]
+    fn normalization_clamps() {
+        let c = SpmvConfig {
+            rows: 16,
+            band: 1,
+            row_block: 0,
+            threads: 0,
+        }
+        .normalized();
+        assert!(c.is_valid());
+        assert_eq!(c.row_block, 1);
+        assert_eq!(c.threads, 1);
+        let c = SpmvConfig {
+            rows: 16,
+            band: 1,
+            row_block: 4096,
+            threads: 2,
+        }
+        .normalized();
+        assert_eq!(c.row_block, 16);
+    }
+
+    #[test]
+    fn space_shapes() {
+        let full = space_spmv();
+        assert_eq!(full.len(), 4 * 6 * 3 * 8);
+        assert!(full.configs().iter().all(|c| c.is_valid()));
+        let small = space_small();
+        assert_eq!(small.len(), 4 * 3 * 2 * 4);
+        assert!(small.configs().iter().all(|c| c.is_valid()));
+    }
+
+    #[test]
+    fn hash_distinguishes_configs() {
+        let a = SpmvConfig {
+            rows: 4096,
+            band: 4,
+            row_block: 64,
+            threads: 2,
+        };
+        let b = SpmvConfig { band: 8, ..a };
+        assert_ne!(a.hash64(), b.hash64());
+        assert_eq!(a.hash64(), a.hash64());
+    }
+}

@@ -1,0 +1,33 @@
+//! # lam-spmv
+//!
+//! The sparse matrix–vector multiply application scenario — the third
+//! workload of the workspace, and the first one the source paper never
+//! measured. It exists to test the claim the `Workload` abstraction was
+//! built on: adding a scenario is one trait impl, and the entire pipeline
+//! (dataset sweep, §VII evaluation, figure runners, model serving)
+//! follows from it.
+//!
+//! * [`matrix`] — CSR storage and deterministic banded-matrix generation;
+//! * [`kernel`] — runnable serial / row-blocked / rayon-parallel SpMV,
+//!   all bit-identical;
+//! * [`config`] — the `(rows, nnz, rb, t)` tuning space;
+//! * [`oracle`] — the simulated-measurement oracle over
+//!   `lam_machine`'s cache/contention/noise models;
+//! * [`workload`] — [`workload::SpmvWorkload`], the `Workload` impl.
+//!
+//! The matching untuned analytical model is
+//! [`lam_analytical::spmv::SpmvRooflineModel`]: SpMV runs ~2 flops per
+//! stored nonzero against ~12 streamed bytes, far below the Blue Waters
+//! ridge point, so the roofline bound finally earns its keep in a model
+//! rather than just documentation.
+
+pub mod config;
+pub mod kernel;
+pub mod matrix;
+pub mod oracle;
+pub mod workload;
+
+pub use config::{space_small, space_spmv, SpmvConfig, SpmvSpace};
+pub use matrix::CsrMatrix;
+pub use oracle::SpmvOracle;
+pub use workload::SpmvWorkload;

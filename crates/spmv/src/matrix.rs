@@ -1,0 +1,147 @@
+//! Compressed-sparse-row matrices and deterministic synthetic banded
+//! generation.
+//!
+//! The SpMV scenario models iterative-solver workloads: a square banded
+//! matrix (the sparsity pattern of a discretized PDE operator) applied to
+//! a dense vector over and over. Matrices are generated deterministically
+//! from a seed so every dataset, test, and served model agrees on the
+//! ground truth bit for bit.
+
+use lam_machine::noise::mix;
+
+/// A square sparse matrix in CSR layout.
+///
+/// Column indices are `u32` (4 bytes) — half the width of a value — which
+/// is both the common production choice and the traffic ratio the oracle
+/// and the roofline model charge per nonzero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    /// Rows (= columns; the matrix is square).
+    pub n: usize,
+    /// `row_ptr[i]..row_ptr[i+1]` indexes row `i`'s nonzeros.
+    pub row_ptr: Vec<usize>,
+    /// Column index of each nonzero.
+    pub col_idx: Vec<u32>,
+    /// Value of each nonzero.
+    pub values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Total stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Nonzeros in row `i`.
+    pub fn nnz_in_row(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Structural sanity: monotone row pointers, in-bounds columns,
+    /// matching index/value lengths.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.row_ptr.len() != self.n + 1 {
+            return Err(format!(
+                "row_ptr has {} entries for {} rows",
+                self.row_ptr.len(),
+                self.n
+            ));
+        }
+        if self.col_idx.len() != self.values.len() {
+            return Err("col_idx and values lengths differ".to_string());
+        }
+        if *self.row_ptr.last().unwrap_or(&0) != self.values.len() {
+            return Err("row_ptr does not cover all nonzeros".to_string());
+        }
+        for w in self.row_ptr.windows(2) {
+            if w[1] < w[0] {
+                return Err("row_ptr not monotone".to_string());
+            }
+        }
+        if self.col_idx.iter().any(|&c| c as usize >= self.n) {
+            return Err("column index out of bounds".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic value for entry `(i, j)` of the seeded matrix, in
+/// `[0.5, 1.5)` — bounded away from zero so row sums (and therefore SpMV
+/// results) never cancel to non-reproducible tiny values.
+fn entry_value(seed: u64, i: usize, j: usize) -> f64 {
+    let h = mix(mix(seed, i as u64), j as u64);
+    0.5 + (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Build the `n × n` banded matrix with half-bandwidth `band`: row `i`
+/// holds nonzeros at columns `i-band ..= i+band` clipped to the matrix,
+/// values seeded deterministically. `band = 0` is the diagonal.
+pub fn banded(n: usize, band: usize, seed: u64) -> CsrMatrix {
+    assert!(n >= 1, "matrix must have at least one row");
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    row_ptr.push(0);
+    for i in 0..n {
+        let lo = i.saturating_sub(band);
+        let hi = (i + band).min(n - 1);
+        for j in lo..=hi {
+            col_idx.push(j as u32);
+            values.push(entry_value(seed, i, j));
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix {
+        n,
+        row_ptr,
+        col_idx,
+        values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banded_structure() {
+        let a = banded(8, 1, 42);
+        a.validate().unwrap();
+        // Tridiagonal: interior rows have 3 nonzeros, the two edge rows 2.
+        assert_eq!(a.nnz(), 3 * 8 - 2);
+        assert_eq!(a.nnz_in_row(0), 2);
+        assert_eq!(a.nnz_in_row(4), 3);
+        assert_eq!(a.nnz_in_row(7), 2);
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = banded(5, 0, 1);
+        a.validate().unwrap();
+        assert_eq!(a.nnz(), 5);
+        assert!(a.col_idx.iter().enumerate().all(|(i, &c)| c as usize == i));
+    }
+
+    #[test]
+    fn wide_band_clips_to_dense() {
+        let a = banded(4, 10, 7);
+        a.validate().unwrap();
+        assert_eq!(a.nnz(), 16);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seeded() {
+        let a = banded(16, 2, 9);
+        let b = banded(16, 2, 9);
+        assert_eq!(a, b);
+        let c = banded(16, 2, 10);
+        assert_ne!(a.values, c.values);
+        assert_eq!(a.col_idx, c.col_idx, "seed changes values, not structure");
+    }
+
+    #[test]
+    fn values_bounded_away_from_zero() {
+        let a = banded(64, 4, 3);
+        assert!(a.values.iter().all(|&v| (0.5..1.5).contains(&v)));
+    }
+}

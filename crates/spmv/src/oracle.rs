@@ -1,0 +1,244 @@
+//! Simulated-execution oracle for SpMV: reproducible ground-truth
+//! execution times over a [`MachineDescription`].
+//!
+//! SpMV streams the CSR value/index arrays once per sweep and gathers the
+//! input vector through the cache hierarchy, so the coarse structure is
+//! `max(Tflops, Tmem)` like the roofline model — but the oracle layers on
+//! what the untuned roofline ignores and the hybrid model must learn:
+//!
+//! * gather residency of the active `x` window (row block + band wide),
+//! * prefetcher efficiency driven by the per-row streak length,
+//! * loop/block overheads that punish tiny row blocks and short rows,
+//! * reduction-dependence stalls on very short rows,
+//! * thread scaling with bandwidth saturation and block-granular
+//!   load imbalance,
+//! * multiplicative lognormal measurement noise.
+
+use crate::config::{SpmvConfig, SpmvSpace};
+use crate::kernel::FLOPS_PER_NNZ;
+use lam_data::Dataset;
+use lam_machine::arch::MachineDescription;
+use lam_machine::contention::ThreadModel;
+use lam_machine::noise::NoiseModel;
+
+/// Sweeps (repeated `y = A x` applications) per modeled run — the
+/// iterative-solver setting. The analytical model must agree on this
+/// count, exactly as the stencil model agrees on `timesteps`.
+pub const DEFAULT_SWEEPS: usize = 8;
+
+/// SpMV ground-truth time model over a machine.
+#[derive(Debug, Clone)]
+pub struct SpmvOracle {
+    machine: MachineDescription,
+    thread_model: ThreadModel,
+    noise: NoiseModel,
+    /// Number of `y = A x` sweeps the modeled run executes.
+    pub sweeps: usize,
+}
+
+impl SpmvOracle {
+    /// Oracle with the default thread model and 3% measurement noise.
+    pub fn new(machine: MachineDescription, noise_seed: u64) -> Self {
+        Self {
+            machine,
+            thread_model: ThreadModel::default(),
+            noise: NoiseModel::new(0.03, noise_seed),
+            sweeps: DEFAULT_SWEEPS,
+        }
+    }
+
+    /// Disable measurement noise (model validation, conformance tests).
+    pub fn without_noise(mut self) -> Self {
+        self.noise = NoiseModel::none();
+        self
+    }
+
+    /// The machine this oracle simulates.
+    pub fn machine(&self) -> &MachineDescription {
+        &self.machine
+    }
+
+    /// Deterministic "measured" execution time in seconds for one
+    /// configuration (all sweeps).
+    pub fn execution_time(&self, cfg: &SpmvConfig) -> f64 {
+        let cfg = cfg.normalized();
+        let serial = self.serial_time(&cfg);
+        let mem_share = self.memory_share(&cfg);
+        let mut t = self
+            .thread_model
+            .scale_time(serial, cfg.threads, mem_share, &self.machine);
+        if cfg.threads > 1 {
+            // Work is handed out in whole row blocks: when the block count
+            // is not a multiple of the thread count, the tail round runs
+            // under-subscribed and every other thread idles.
+            let blocks = (cfg.rows as f64 / cfg.row_block as f64).ceil();
+            let t_f = cfg.threads as f64;
+            t *= (blocks / t_f).ceil() * t_f / blocks;
+            // Fork/join barrier once per sweep.
+            t += self.sweeps as f64 * self.thread_model.sync_overhead_s * cfg.threads as f64;
+        }
+        self.noise.apply(t, cfg.hash64())
+    }
+
+    /// Single-thread detailed time for one sweep, times `sweeps`.
+    fn serial_time(&self, cfg: &SpmvConfig) -> f64 {
+        let m = &self.machine;
+        let n = cfg.rows as f64;
+        let nnz_row = cfg.nnz_per_row() as f64;
+        let nnz = n * nnz_row;
+
+        // --- Compute: 2 flops per nonzero, but each row is a loop-carried
+        // reduction; short rows never fill the FMA pipeline.
+        let fma_eff = 0.40 + 0.45 * nnz_row / (nnz_row + 8.0);
+        let t_flop = nnz * FLOPS_PER_NNZ * m.time_per_flop() / fma_eff;
+
+        // --- Streamed CSR traffic: 8-byte value + 4-byte column index per
+        // nonzero = 1.5 elements. The arrays are perfectly sequential;
+        // longer rows let the hardware prefetcher hide more latency.
+        let prefetch_eff = nnz_row / (nnz_row + 4.0);
+        let beta_stream = m.beta_mem() * (1.0 - 0.18 * prefetch_eff);
+        let t_stream = nnz * 1.5 * beta_stream;
+
+        // --- Gather: one `x` access per nonzero. The active window while
+        // sweeping one row block spans `row_block + 2·band` elements; it is
+        // served by the smallest cache level that holds it alongside the
+        // streams (half-capacity rule), falling through to memory.
+        let window_bytes = (cfg.row_block as f64 + 2.0 * cfg.band as f64) * m.element_bytes as f64;
+        let mut beta_x = m.beta_mem();
+        for (li, level) in m.caches.iter().enumerate() {
+            if window_bytes <= 0.5 * level.size_bytes as f64 {
+                beta_x = m.beta_cache(li);
+                break;
+            }
+        }
+        let t_gather = nnz * beta_x;
+
+        // --- Per-row traffic: y store (write-allocate fill + write-back)
+        // and one row_ptr read.
+        let t_rows = n * 3.0 * m.beta_mem();
+
+        // --- Loop overhead: row loop control plus per-block setup; tiny
+        // row blocks explode the block count.
+        let blocks = (n / cfg.row_block as f64).ceil();
+        let overhead = (n * 6.0 + blocks * 90.0) * m.cycle_seconds();
+
+        let t_mem = t_stream + t_gather + t_rows;
+        (t_flop.max(t_mem) + overhead) * self.sweeps as f64
+    }
+
+    /// Memory-bound share of the runtime (drives the thread-scaling mix).
+    fn memory_share(&self, _cfg: &SpmvConfig) -> f64 {
+        let m = &self.machine;
+        let t_flop = FLOPS_PER_NNZ * m.time_per_flop();
+        let t_mem = 2.5 * m.beta_mem();
+        (t_mem / (t_mem + t_flop)).clamp(0.0, 1.0)
+    }
+}
+
+/// Convenience mirroring `lam_stencil::oracle::generate_dataset`: wrap the
+/// machine and space in a
+/// [`SpmvWorkload`](crate::workload::SpmvWorkload) and generate its
+/// dataset (rayon-parallel, deterministic for a fixed seed).
+pub fn generate_dataset(
+    machine: &MachineDescription,
+    space: &SpmvSpace,
+    noise_seed: u64,
+) -> Dataset {
+    use lam_core::workload::Workload as _;
+    crate::workload::SpmvWorkload::new(machine.clone(), space.clone(), noise_seed)
+        .generate_dataset()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::space_small;
+
+    fn oracle() -> SpmvOracle {
+        SpmvOracle::new(MachineDescription::blue_waters_xe6(), 13)
+    }
+
+    fn cfg(rows: usize, band: usize, rb: usize, t: usize) -> SpmvConfig {
+        SpmvConfig {
+            rows,
+            band,
+            row_block: rb,
+            threads: t,
+        }
+    }
+
+    #[test]
+    fn time_positive_and_deterministic() {
+        let o = oracle();
+        let c = cfg(8192, 4, 256, 1);
+        let t = o.execution_time(&c);
+        assert!(t > 0.0);
+        assert_eq!(t, o.execution_time(&c));
+    }
+
+    #[test]
+    fn more_nonzeros_cost_more() {
+        let o = oracle().without_noise();
+        let narrow = o.execution_time(&cfg(16_384, 1, 1024, 1));
+        let wide = o.execution_time(&cfg(16_384, 32, 1024, 1));
+        assert!(wide > narrow * 5.0, "narrow {narrow} wide {wide}");
+        let small = o.execution_time(&cfg(4096, 4, 1024, 1));
+        let large = o.execution_time(&cfg(65_536, 4, 1024, 1));
+        assert!(large > small * 8.0, "small {small} large {large}");
+    }
+
+    #[test]
+    fn spmv_is_memory_bound_on_blue_waters() {
+        let o = oracle();
+        let share = o.memory_share(&cfg(16_384, 4, 1024, 1));
+        assert!(share > 0.5, "memory share {share}");
+    }
+
+    #[test]
+    fn tiny_row_blocks_pay_overhead() {
+        let o = oracle().without_noise();
+        let tuned = o.execution_time(&cfg(65_536, 1, 1024, 1));
+        let tiny = o.execution_time(&cfg(65_536, 1, 1, 1));
+        assert!(tiny > tuned * 1.2, "tiny {tiny} tuned {tuned}");
+    }
+
+    #[test]
+    fn threads_speed_up_large_matrices_sublinearly() {
+        let o = oracle().without_noise();
+        let t1 = o.execution_time(&cfg(131_072, 8, 1024, 1));
+        let t4 = o.execution_time(&cfg(131_072, 8, 1024, 4));
+        assert!(t4 < t1, "t1 {t1} t4 {t4}");
+        assert!(t4 > t1 / 8.0, "superlinear scaling is a bug: {t1} vs {t4}");
+    }
+
+    #[test]
+    fn one_giant_block_cannot_parallelize() {
+        // A single row block is one unit of work: threads cannot help.
+        let o = oracle().without_noise();
+        let serial = o.execution_time(&cfg(16_384, 4, 16_384, 1));
+        let threaded = o.execution_time(&cfg(16_384, 4, 16_384, 8));
+        assert!(
+            threaded > serial * 0.9,
+            "serial {serial} threaded {threaded}"
+        );
+    }
+
+    #[test]
+    fn noise_is_small_but_present() {
+        let noisy = oracle();
+        let clean = oracle().without_noise();
+        let c = cfg(8192, 4, 256, 2);
+        let ratio = noisy.execution_time(&c) / clean.execution_time(&c);
+        assert!(ratio != 1.0);
+        assert!((ratio - 1.0).abs() < 0.25, "ratio {ratio}");
+    }
+
+    #[test]
+    fn free_generate_dataset_covers_space() {
+        let machine = MachineDescription::blue_waters_xe6();
+        let s = space_small();
+        let d = generate_dataset(&machine, &s, 42);
+        assert_eq!(d.len(), s.len());
+        assert_eq!(d, generate_dataset(&machine, &s, 42));
+    }
+}

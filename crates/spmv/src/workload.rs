@@ -1,0 +1,141 @@
+//! [`Workload`] implementation for the SpMV application: one value ties
+//! together a configuration space, the simulated-measurement oracle, and
+//! the roofline analytical model.
+//!
+//! This is the workspace's third scenario — the one the paper never
+//! measured — so it doubles as the proof that the `Workload` abstraction
+//! scales: the whole pipeline (dataset sweep, evaluation protocol, figure
+//! runners, serving) picks it up from this one impl.
+
+use crate::config::{SpmvConfig, SpmvSpace};
+use crate::oracle::SpmvOracle;
+use lam_analytical::spmv::SpmvRooflineModel;
+use lam_analytical::traits::AnalyticalModel;
+use lam_core::workload::Workload;
+use lam_machine::arch::MachineDescription;
+
+/// The SpMV scenario: an [`SpmvSpace`] evaluated by an [`SpmvOracle`] on
+/// one machine.
+#[derive(Debug, Clone)]
+pub struct SpmvWorkload {
+    oracle: SpmvOracle,
+    space: SpmvSpace,
+}
+
+impl SpmvWorkload {
+    /// Build the scenario on a machine with the given noise seed.
+    pub fn new(machine: MachineDescription, space: SpmvSpace, noise_seed: u64) -> Self {
+        Self {
+            oracle: SpmvOracle::new(machine, noise_seed),
+            space,
+        }
+    }
+
+    /// Disable measurement noise (model validation, conformance tests).
+    pub fn without_noise(mut self) -> Self {
+        self.oracle = self.oracle.without_noise();
+        self
+    }
+
+    /// The underlying oracle.
+    pub fn oracle(&self) -> &SpmvOracle {
+        &self.oracle
+    }
+
+    /// The configuration space.
+    pub fn space(&self) -> &SpmvSpace {
+        &self.space
+    }
+}
+
+impl Workload for SpmvWorkload {
+    type Config = SpmvConfig;
+
+    fn name(&self) -> &str {
+        self.space.name
+    }
+
+    fn feature_names(&self) -> Vec<String> {
+        SpmvConfig::feature_names()
+    }
+
+    fn param_space(&self) -> &[SpmvConfig] {
+        self.space.configs()
+    }
+
+    fn features(&self, cfg: &SpmvConfig) -> Vec<f64> {
+        cfg.features()
+    }
+
+    fn execution_time(&self, cfg: &SpmvConfig) -> f64 {
+        self.oracle.execution_time(cfg)
+    }
+
+    fn problem_size(&self, cfg: &SpmvConfig) -> f64 {
+        cfg.total_nnz() as f64
+    }
+
+    /// The untuned roofline bound (sweeps matched to the oracle's);
+    /// blocking and thread effects are deliberately left for the hybrid
+    /// model to learn.
+    fn analytical_model(&self) -> Box<dyn AnalyticalModel> {
+        Box::new(SpmvRooflineModel::new(
+            self.oracle.machine().clone(),
+            self.oracle.sweeps,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{space_small, space_spmv};
+
+    fn workload(space: SpmvSpace) -> SpmvWorkload {
+        SpmvWorkload::new(MachineDescription::blue_waters_xe6(), space, 13)
+    }
+
+    #[test]
+    fn dataset_matches_space() {
+        let w = workload(space_small());
+        let d = w.generate_dataset();
+        assert_eq!(d.len(), w.space().len());
+        assert_eq!(d.n_features(), 4);
+        assert_eq!(w.generate_dataset(), d);
+    }
+
+    #[test]
+    fn analytical_model_predicts_on_features() {
+        let w = workload(space_spmv());
+        let am = w.analytical_model();
+        let x = w.features(&w.param_space()[0]);
+        assert!(am.predict(&x) > 0.0);
+    }
+
+    #[test]
+    fn analytical_model_is_correlated_but_untuned() {
+        // The roofline bound must sit within an order of magnitude of the
+        // noise-free oracle at one thread (correlated), yet not match it
+        // (untuned) — the regime hybrid stacking exploits.
+        let w = workload(space_small()).without_noise();
+        let am = w.analytical_model();
+        for cfg in w.param_space().iter().filter(|c| c.threads == 1) {
+            let predicted = am.predict(&w.features(cfg));
+            let actual = w.execution_time(cfg);
+            let ratio = predicted / actual;
+            assert!((0.1..=10.0).contains(&ratio), "ratio {ratio} at {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn problem_size_is_total_nnz() {
+        let w = workload(space_small());
+        let c = SpmvConfig {
+            rows: 4096,
+            band: 4,
+            row_block: 64,
+            threads: 1,
+        };
+        assert_eq!(w.problem_size(&c), (4096 * 9) as f64);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests: every tuned SpMV variant computes exactly the
+//! serial result, banded generation is structurally sound, and the oracle
+//! behaves like a time.
+
+use lam_machine::arch::MachineDescription;
+use lam_spmv::config::SpmvConfig;
+use lam_spmv::kernel::{spmv, spmv_blocked, spmv_parallel};
+use lam_spmv::matrix::banded;
+use lam_spmv::oracle::SpmvOracle;
+use proptest::prelude::*;
+
+fn vector(n: usize, salt: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E3779B9).wrapping_add(salt);
+            1.0 + ((h % 13) as f64) * 0.125
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked and parallel kernels ≡ serial kernel, bit for bit, for any
+    /// matrix shape and row-block size.
+    #[test]
+    fn tuned_kernels_equal_serial(
+        n in 1usize..200,
+        band in 0usize..8,
+        rb in 1usize..64,
+        salt in 0u64..100,
+    ) {
+        let a = banded(n, band, salt);
+        let x = vector(n, salt);
+        let mut y_serial = vec![0.0; n];
+        spmv(&a, &x, &mut y_serial);
+        let mut y_blocked = vec![0.0; n];
+        spmv_blocked(&a, &x, &mut y_blocked, rb);
+        let mut y_par = vec![0.0; n];
+        spmv_parallel(&a, &x, &mut y_par, rb);
+        for i in 0..n {
+            prop_assert_eq!(y_serial[i].to_bits(), y_blocked[i].to_bits());
+            prop_assert_eq!(y_serial[i].to_bits(), y_par[i].to_bits());
+        }
+    }
+
+    /// Banded matrices validate and store the expected nonzero count:
+    /// full band in the interior, clipped at the edges.
+    #[test]
+    fn banded_structure_sound(n in 1usize..300, band in 0usize..12, seed in 0u64..50) {
+        let a = banded(n, band, seed);
+        prop_assert!(a.validate().is_ok());
+        let expect: usize = (0..n)
+            .map(|i| (i + band).min(n - 1) + 1 - i.saturating_sub(band))
+            .sum();
+        prop_assert_eq!(a.nnz(), expect);
+    }
+
+    /// Oracle times are positive, finite, and deterministic everywhere in
+    /// (a superset of) the tuning space.
+    #[test]
+    fn oracle_is_a_time(
+        rows_exp in 8u32..16,
+        band in 0usize..40,
+        rb in 1usize..40_000,
+        threads in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let o = SpmvOracle::new(MachineDescription::blue_waters_xe6(), seed);
+        let cfg = SpmvConfig {
+            rows: 1usize << rows_exp,
+            band,
+            row_block: rb,
+            threads,
+        };
+        let t = o.execution_time(&cfg);
+        prop_assert!(t.is_finite() && t > 0.0, "t = {}", t);
+        prop_assert_eq!(t, o.execution_time(&cfg));
+    }
+}

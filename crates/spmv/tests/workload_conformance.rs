@@ -1,0 +1,25 @@
+//! The shared `lam-core` Workload conformance suite, run against both
+//! SpMV configuration spaces — the same contract `StencilWorkload` and
+//! `FmmWorkload` pass.
+
+use lam_core::workload::conformance;
+use lam_machine::arch::MachineDescription;
+use lam_spmv::config::{space_small, space_spmv, SpmvSpace};
+use lam_spmv::workload::SpmvWorkload;
+
+fn check(space: fn() -> SpmvSpace) {
+    let machine = MachineDescription::blue_waters_xe6();
+    let make = || SpmvWorkload::new(machine.clone(), space(), 42);
+    let noise_free = make().without_noise();
+    conformance::assert_workload_conformance(make, &noise_free);
+}
+
+#[test]
+fn spmv_space_conforms() {
+    check(space_spmv);
+}
+
+#[test]
+fn spmv_small_space_conforms() {
+    check(space_small);
+}

@@ -1,0 +1,84 @@
+//! SpMV — the third scenario, end to end: place the kernel on the Blue
+//! Waters roofline, run the real CSR kernel once, train the hybrid
+//! (roofline + extra trees) on a slice of the tuning space, and use it to
+//! pick a row-block size.
+//!
+//! Run: `cargo run --release --example spmv_tuning`
+
+use lam::analytical::spmv::SpmvRooflineModel;
+use lam::core::hybrid::{HybridConfig, HybridModel};
+use lam::core::workload::Workload;
+use lam::machine::arch::MachineDescription;
+use lam::machine::roofline::Roofline;
+use lam::ml::forest::ExtraTreesRegressor;
+use lam::ml::model::Regressor;
+use lam::ml::sampling::train_test_split_fraction;
+use lam::spmv::config::{space_spmv, SpmvConfig};
+use lam::spmv::kernel::{spmv_parallel, FLOPS_PER_NNZ};
+use lam::spmv::matrix::banded;
+use lam::spmv::workload::SpmvWorkload;
+
+fn main() {
+    let machine = MachineDescription::blue_waters_xe6();
+
+    // 1. Where does SpMV sit on the roofline? ~2 flops per ~12.5 bytes:
+    //    far left of the ridge, firmly memory-bound.
+    let roofline = Roofline::per_core(&machine);
+    let ai = SpmvRooflineModel::intensity(65_536.0, 9.0);
+    println!(
+        "SpMV arithmetic intensity {:.3} flop/B vs ridge {:.3} flop/B -> {}",
+        ai,
+        roofline.ridge(),
+        if roofline.memory_bound(ai) {
+            "memory-bound"
+        } else {
+            "compute-bound"
+        }
+    );
+
+    // 2. The kernel is real: apply a banded matrix once and count flops.
+    let a = banded(65_536, 4, 7);
+    let x: Vec<f64> = (0..a.n).map(|i| 1.0 + (i % 3) as f64).collect();
+    let mut y = vec![0.0; a.n];
+    spmv_parallel(&a, &x, &mut y, 1024);
+    println!(
+        "applied {}x{} band matrix: {} nnz, {:.1} Mflop per sweep",
+        a.n,
+        a.n,
+        a.nnz(),
+        a.nnz() as f64 * FLOPS_PER_NNZ / 1e6
+    );
+
+    // 3. Train the hybrid on 10% of the (rows, nnz, rb, t) space.
+    let workload = SpmvWorkload::new(machine, space_spmv(), 99);
+    let data = workload.generate_dataset();
+    let (train, _) = train_test_split_fraction(&data, 0.10, 11);
+    let mut model = HybridModel::new(
+        workload.analytical_model(),
+        Box::new(ExtraTreesRegressor::new(8)),
+        HybridConfig {
+            log_feature: true,
+            ..HybridConfig::default()
+        },
+    );
+    model.fit(&train).expect("fit hybrid");
+
+    // 4. Tune: best row block for a 131072-row, 17-nnz matrix on 8 threads?
+    println!("predicted runtime for rows=131072, nnz=17, t=8 as rb varies:");
+    let mut best = (0usize, f64::INFINITY);
+    for &rb in &[64usize, 1024, 16_384] {
+        let cfg = SpmvConfig {
+            rows: 131_072,
+            band: 8,
+            row_block: rb,
+            threads: 8,
+        };
+        let pred = model.predict_row(&cfg.features());
+        let actual = workload.oracle().execution_time(&cfg);
+        println!("  rb = {rb:>6}: predicted {pred:.6} s  (oracle {actual:.6} s)");
+        if pred < best.1 {
+            best = (rb, pred);
+        }
+    }
+    println!("hybrid picks rb = {}", best.0);
+}

@@ -37,6 +37,7 @@ pub use lam_fmm as fmm;
 pub use lam_machine as machine;
 pub use lam_ml as ml;
 pub use lam_serve as serve;
+pub use lam_spmv as spmv;
 pub use lam_stencil as stencil;
 
 /// Convenience re-exports of the most commonly used items.
@@ -57,5 +58,6 @@ pub mod prelude {
     pub use lam_serve::persist::ModelKind;
     pub use lam_serve::registry::{ModelKey, ModelRegistry};
     pub use lam_serve::workload::WorkloadId;
+    pub use lam_spmv::workload::SpmvWorkload;
     pub use lam_stencil::workload::StencilWorkload;
 }
