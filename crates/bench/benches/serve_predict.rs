@@ -11,10 +11,14 @@ use lam_serve::workload::WorkloadId;
 
 const BATCH: usize = 256;
 
+fn wid(name: &str) -> WorkloadId {
+    WorkloadId::get(name).expect("builtin workload")
+}
+
 fn bench_serve_predict(c: &mut Criterion) {
     let root = std::env::temp_dir().join("lam_serve_bench_models");
     let registry = ModelRegistry::new(root);
-    let workload = WorkloadId::FmmSmall;
+    let workload = wid("fmm-small");
     let rows = workload.sample_rows(BATCH);
     let row = rows[0].clone();
 

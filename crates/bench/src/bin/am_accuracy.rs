@@ -9,34 +9,30 @@
 //! Run: `cargo run -p lam-bench --release --bin am_accuracy`
 
 use lam_bench::report::print_note;
-use lam_bench::runners::{blue_waters_fmm, blue_waters_stencil};
+use lam_bench::runners::servable;
 use lam_core::evaluate::analytical_mape;
-use lam_core::workload::Workload;
-use lam_stencil::config::{space_grid_blocking, space_grid_only, space_grid_threads};
 
-fn report_am<W: Workload>(label: &str, workload: &W) {
-    let data = workload.generate_dataset();
-    print_note(label, analytical_mape(&data, &*workload.analytical_model()));
+fn report_am(label: &str, name: &str) {
+    let entry = servable(name).expect("builtin workload");
+    let data = entry.dataset();
+    print_note(
+        label,
+        analytical_mape(&data, &*entry.workload().analytical_model()),
+    );
 }
 
 fn main() {
     println!("Analytical-model MAPE on the simulated Blue Waters node");
     println!("(paper, untuned on Blue Waters: blocking 42%, FMM 84.5%)\n");
 
-    report_am(
-        "stencil grid-only AM MAPE (Fig 5 regime)",
-        &blue_waters_stencil(space_grid_only()),
-    );
+    report_am("stencil grid-only AM MAPE (Fig 5 regime)", "stencil-grid");
     report_am(
         "stencil grid+blocking AM MAPE (paper: 42)",
-        &blue_waters_stencil(space_grid_blocking()),
+        "stencil-grid-blocking",
     );
     report_am(
         "stencil grid+threads, serial AM MAPE (Fig 7 regime)",
-        &blue_waters_stencil(space_grid_threads()),
+        "stencil-grid-threads",
     );
-    report_am(
-        "fmm AM MAPE (paper: 84.5)",
-        &blue_waters_fmm(lam_fmm::config::space_paper()),
-    );
+    report_am("fmm AM MAPE (paper: 84.5)", "fmm");
 }

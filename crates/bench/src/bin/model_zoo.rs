@@ -4,17 +4,18 @@
 //! in `lam-ml` (mean, linear/ridge, k-NN, single tree, random forest,
 //! extra trees, gradient boosting) and the hybrid, at one representative
 //! training window per application — a quick map of where each model
-//! family lands. Generic over [`Workload`]: the hybrid entry stacks each
-//! scenario's own analytical model, so adding a scenario adds a panel
+//! family lands. Scenarios are resolved by name from the workload
+//! catalog: the hybrid entry stacks each scenario's own analytical model
+//! with its own hybrid configuration, so adding a scenario adds a panel
 //! without new code here.
 //!
 //! Run: `cargo run -p lam-bench --release --bin model_zoo`
 
 use lam_bench::report::{print_series, FigureReport, NamedSeries};
-use lam_bench::runners::{blue_waters_fmm, blue_waters_stencil, defaults, StandardModels};
+use lam_bench::runners::{defaults, servable, StandardModels};
+use lam_core::catalog::{DynWorkload, WorkloadEntry};
 use lam_core::evaluate::{evaluate_model, EvaluationConfig};
 use lam_core::hybrid::HybridConfig;
-use lam_core::workload::Workload;
 use lam_ml::ensemble::GradientBoostingRegressor;
 use lam_ml::knn::KnnRegressor;
 use lam_ml::linear::LinearRegressor;
@@ -24,8 +25,8 @@ type Factory<'a> = Box<dyn Fn(u64) -> Box<dyn Regressor> + Sync + 'a>;
 
 /// All model families, ending with the hybrid built from the workload's
 /// own analytical model.
-fn zoo<'a, W: Workload>(
-    workload: &'a W,
+fn zoo<'a>(
+    workload: &'a dyn DynWorkload,
     hybrid_config: HybridConfig,
 ) -> Vec<(&'static str, Factory<'a>)> {
     vec![
@@ -49,26 +50,25 @@ fn zoo<'a, W: Workload>(
     ]
 }
 
-fn run<W: Workload>(
-    workload: &W,
-    hybrid_config: HybridConfig,
-    fraction: f64,
-    seed: u64,
-    series: &mut Vec<NamedSeries>,
-) -> usize {
-    let data = workload.generate_dataset();
+fn run(entry: &WorkloadEntry, fraction: f64, seed: u64, series: &mut Vec<NamedSeries>) -> usize {
+    let workload = entry.workload();
+    // Memoized in the catalog entry: repeated panels over one scenario
+    // pay a single oracle sweep.
+    let data = entry.dataset();
     println!(
         "=== model zoo: {} @ {:.0}% training ({} rows) ===",
-        workload.name(),
+        entry.name(),
         fraction * 100.0,
         data.len()
     );
     let cfg = EvaluationConfig::new(vec![fraction], defaults::TRIALS, seed);
-    for (label, factory) in zoo(workload, hybrid_config) {
+    // The scenario supplies its own hybrid configuration (FMM stacks
+    // ln(am); the stencil stacks the raw prediction).
+    for (label, factory) in zoo(workload, workload.hybrid_config()) {
         let points = evaluate_model(&data, &cfg, |s| factory(s));
-        print_series(&format!("{}: {label}", workload.name()), &points);
+        print_series(&format!("{}: {label}", entry.name()), &points);
         series.push(NamedSeries {
-            label: format!("{}: {label}", workload.name()),
+            label: format!("{}: {label}", entry.name()),
             points,
         });
     }
@@ -79,22 +79,13 @@ fn main() {
     let mut series = Vec::new();
     let mut notes = Vec::new();
 
-    let stencil = blue_waters_stencil(lam_stencil::config::space_grid_blocking());
-    let stencil_rows = run(&stencil, HybridConfig::default(), 0.04, 101, &mut series);
+    let stencil = servable("stencil-grid-blocking").expect("builtin workload");
+    let stencil_rows = run(&stencil, 0.04, 101, &mut series);
     notes.push(("stencil_dataset_rows".to_string(), stencil_rows as f64));
 
     println!();
-    let fmm = blue_waters_fmm(lam_fmm::config::space_paper());
-    let fmm_rows = run(
-        &fmm,
-        HybridConfig {
-            log_feature: true,
-            ..HybridConfig::default()
-        },
-        0.20,
-        102,
-        &mut series,
-    );
+    let fmm = servable("fmm").expect("builtin workload");
+    let fmm_rows = run(&fmm, 0.20, 102, &mut series);
     notes.push(("fmm_dataset_rows".to_string(), fmm_rows as f64));
 
     let report = FigureReport {

@@ -1,12 +1,18 @@
-//! Shared experiment plumbing, generic over [`Workload`]s: dataset
-//! construction on the simulated Blue Waters node, the standard model
-//! factories the figures compare, and the two figure-panel protocols
-//! (pure-ML comparison, Extra Trees vs hybrid) every binary reuses.
+//! Shared experiment plumbing over erased [`DynWorkload`]s: dataset
+//! construction on the simulated Blue Waters node, catalog lookups for
+//! the servable scenarios, the standard model factories the figures
+//! compare, and the two figure-panel protocols (pure-ML comparison,
+//! Extra Trees vs hybrid) every binary reuses.
+//!
+//! The panel protocols take `&dyn DynWorkload`, so they run equally on a
+//! concrete workload value (`blue_waters_stencil(...)`) and on a catalog
+//! entry resolved by name ([`servable`]) — including scenarios other
+//! crates registered at runtime.
 
 use crate::report::{print_series, FigureReport, NamedSeries};
+use lam_core::catalog::{CatalogError, DynWorkload, WorkloadCatalog, WorkloadEntry};
 use lam_core::evaluate::{analytical_mape, evaluate_model, EvaluationConfig};
 use lam_core::hybrid::{HybridConfig, HybridModel};
-use lam_core::workload::Workload;
 use lam_data::Dataset;
 use lam_fmm::config::FmmSpace;
 use lam_fmm::workload::FmmWorkload;
@@ -18,18 +24,38 @@ use lam_spmv::config::SpmvSpace;
 use lam_spmv::workload::SpmvWorkload;
 use lam_stencil::config::StencilSpace;
 use lam_stencil::workload::StencilWorkload;
+use std::sync::Arc;
 
 /// Workspace-wide experiment constants.
 pub mod defaults {
     /// Timesteps per modeled stencil run (oracle and analytical model must
     /// agree).
     pub const STENCIL_TIMESTEPS: usize = 4;
-    /// Noise seed for dataset generation (fixed → reproducible datasets).
-    pub const NOISE_SEED: u64 = 20190520;
+    /// Noise seed for dataset generation (fixed → reproducible datasets);
+    /// the same seed the serving catalog pins, so figures and served
+    /// models agree on the ground truth.
+    pub const NOISE_SEED: u64 = lam_core::catalog::SERVE_NOISE_SEED;
     /// Trees per forest in the figure experiments.
     pub const N_TREES: usize = 100;
     /// Resampling trials per training-window size.
     pub const TRIALS: usize = 15;
+}
+
+/// Resolve a servable scenario by catalog name, registering the built-in
+/// descriptors on first use. Figure binaries address scenarios by stable
+/// name through this instead of hand-wiring space constructors, and the
+/// returned entry's [`WorkloadEntry::dataset`] memo means repeated panels
+/// over one scenario pay a single oracle sweep.
+pub fn servable(name: &str) -> Result<Arc<WorkloadEntry>, CatalogError> {
+    // One shared built-in list for the whole workspace: the serving
+    // layer's lazy registration.
+    lam_serve::workload::ensure_builtin_workloads();
+    WorkloadCatalog::global().resolve(name)
+}
+
+/// A servable scenario's memoized dataset, by catalog name.
+pub fn servable_dataset(name: &str) -> Result<Arc<Dataset>, CatalogError> {
+    Ok(servable(name)?.dataset())
 }
 
 /// The stencil scenario on the Blue Waters description.
@@ -112,8 +138,8 @@ impl StandardModels {
 
     /// Hybrid for a workload: stacks the scenario's own analytical model
     /// under extra trees.
-    pub fn hybrid_for<W: Workload>(
-        workload: &W,
+    pub fn hybrid_for(
+        workload: &dyn DynWorkload,
         config: HybridConfig,
         seed: u64,
     ) -> Box<dyn Regressor> {
@@ -124,8 +150,8 @@ impl StandardModels {
 /// The Fig 3 protocol: decision trees / extra trees / random forests on
 /// one workload's dataset across training windows. Prints each series and
 /// returns the report.
-pub fn run_pure_ml_panel<W: Workload>(
-    workload: &W,
+pub fn run_pure_ml_panel(
+    workload: &dyn DynWorkload,
     figure: &str,
     title: &str,
     train_fractions: Vec<f64>,
@@ -185,7 +211,7 @@ pub struct EtVsHybridSpec {
 /// The Figs 5–8 protocol: pure Extra Trees vs the hybrid built from the
 /// workload's own analytical model, plus the analytical-only MAPE note.
 /// Prints both series and returns the report.
-pub fn run_et_vs_hybrid<W: Workload>(workload: &W, spec: EtVsHybridSpec) -> FigureReport {
+pub fn run_et_vs_hybrid(workload: &dyn DynWorkload, spec: EtVsHybridSpec) -> FigureReport {
     let data = workload.generate_dataset();
     println!("{} ({} configs)", spec.title, data.len());
 
@@ -268,14 +294,29 @@ mod tests {
     }
 
     #[test]
-    fn workload_dataset_is_generic() {
-        fn rows<W: Workload>(w: &W) -> usize {
+    fn workload_dataset_is_erased() {
+        fn rows(w: &dyn DynWorkload) -> usize {
             w.generate_dataset().len()
         }
         let w = blue_waters_stencil(space_grid_only());
         assert_eq!(rows(&w), 729);
         let w = blue_waters_fmm(lam_fmm::config::space_small());
         assert_eq!(rows(&w), w.space().len());
+    }
+
+    #[test]
+    fn servable_resolves_and_memoizes_by_name() {
+        let entry = servable("spmv-small").expect("builtin name resolves");
+        assert_eq!(entry.name(), "spmv-small");
+        assert_eq!(entry.workload().space_size(), entry.dataset().len());
+        // The memo: two dataset fetches share one Arc.
+        let a = servable_dataset("spmv-small").unwrap();
+        let b = servable_dataset("spmv-small").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // The memoized dataset equals a from-scratch sweep of the same
+        // descriptor (same space, machine, and seed).
+        assert_eq!(*a, spmv_dataset(&lam_spmv::config::space_small()));
+        assert!(servable("never-registered").is_err());
     }
 
     #[test]

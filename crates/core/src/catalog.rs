@@ -1,0 +1,482 @@
+//! The dynamic workload catalog: an object-safe erasure of [`Workload`]
+//! plus a process-wide registry of named scenario descriptors.
+//!
+//! The [`Workload`] trait is deliberately generic (`type Config`) so the
+//! training pipeline stays monomorphized and fast — but a *serving* layer
+//! cannot be generic over scenarios it learns about at runtime. This
+//! module closes that gap:
+//!
+//! * [`DynWorkload`] erases `Workload::Config` behind an object-safe
+//!   surface: everything the serving and persistence layers need (name,
+//!   feature layout, dataset generation, analytical-model construction,
+//!   feature-row projection) without ever naming a configuration type. A
+//!   blanket adapter implements it for every `Workload`, so existing
+//!   scenario impls are catalog-ready with zero extra code.
+//! * [`WorkloadCatalog`] maps validated kebab-case names to registered
+//!   descriptors. Registration is the *only* step a new scenario needs to
+//!   become servable — the serving layer resolves names against the
+//!   catalog instead of matching on a closed enum.
+//! * [`WorkloadEntry`] memoizes the scenario dataset behind a `OnceLock`,
+//!   so training every model family for one workload pays exactly one
+//!   oracle sweep instead of one per family.
+//!
+//! Entries are never removed: a name handed out by the catalog stays
+//! valid for the life of the process, which is what lets callers hold
+//! `&'static str` handles (e.g. `lam-serve`'s `WorkloadId`) without
+//! lifetime plumbing.
+
+use crate::hybrid::HybridConfig;
+use crate::workload::Workload;
+use lam_analytical::traits::AnalyticalModel;
+use lam_data::Dataset;
+use std::fmt;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Noise seed every *servable* descriptor must construct its oracle with.
+/// Matches the figure experiments, so a served model and a figure binary
+/// agree on the ground truth.
+pub const SERVE_NOISE_SEED: u64 = 20190520;
+
+/// Object-safe view of one application scenario — [`Workload`] with the
+/// associated `Config` type erased.
+///
+/// Every method is answerable without naming a configuration: feature
+/// rows come pre-projected, datasets pre-swept. Implemented for free for
+/// every [`Workload`] by a blanket adapter; hand-rolled impls (test
+/// probes, scenarios without an enumerable config type) are equally
+/// welcome in the catalog.
+pub trait DynWorkload: Send + Sync {
+    /// Short scenario label for reports and diagnostics.
+    fn name(&self) -> &str;
+
+    /// Feature-column names, in projection order.
+    fn feature_names(&self) -> Vec<String>;
+
+    /// Feature count of this scenario's rows — derived from the feature
+    /// layout, never hand-maintained, so it cannot drift from
+    /// [`DynWorkload::feature_names`].
+    fn n_features(&self) -> usize {
+        self.feature_names().len()
+    }
+
+    /// Number of configurations in the scenario's space.
+    fn space_size(&self) -> usize;
+
+    /// Feature rows of every configuration, in canonical space order,
+    /// **without** running the oracle — identical to the feature side of
+    /// [`DynWorkload::generate_dataset`] at a tiny fraction of the cost.
+    fn feature_rows(&self) -> Vec<Vec<f64>>;
+
+    /// Generate the full scenario dataset (runs the oracle over every
+    /// configuration). Callers wanting the memoized copy go through
+    /// [`WorkloadEntry::dataset`] instead.
+    fn generate_dataset(&self) -> Dataset;
+
+    /// The scenario's untuned analytical model (a fresh boxed instance;
+    /// analytical models carry no trained state).
+    fn analytical_model(&self) -> Box<dyn AnalyticalModel>;
+
+    /// The hybrid configuration the experiments pair with this scenario.
+    fn hybrid_config(&self) -> HybridConfig;
+}
+
+// The blanket adapter: every generic `Workload` is a `DynWorkload`.
+// Method bodies name the `Workload` methods explicitly because both
+// traits share spellings.
+impl<W: Workload> DynWorkload for W {
+    fn name(&self) -> &str {
+        Workload::name(self)
+    }
+
+    fn feature_names(&self) -> Vec<String> {
+        Workload::feature_names(self)
+    }
+
+    fn space_size(&self) -> usize {
+        self.param_space().len()
+    }
+
+    fn feature_rows(&self) -> Vec<Vec<f64>> {
+        self.param_space()
+            .iter()
+            .map(|c| self.features(c))
+            .collect()
+    }
+
+    fn generate_dataset(&self) -> Dataset {
+        Workload::generate_dataset(self)
+    }
+
+    fn analytical_model(&self) -> Box<dyn AnalyticalModel> {
+        Workload::analytical_model(self)
+    }
+
+    fn hybrid_config(&self) -> HybridConfig {
+        Workload::hybrid_config(self)
+    }
+}
+
+/// Errors from catalog registration and lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The name is not a valid catalog handle (see
+    /// [`WorkloadCatalog::validate_name`]).
+    InvalidName(String),
+    /// The workload's configuration space is empty — it could never be
+    /// sampled, trained, or served, so registration refuses it up front.
+    EmptySpace(String),
+    /// A descriptor is already registered under this name.
+    Duplicate(String),
+    /// No descriptor is registered under this name.
+    Unknown(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::InvalidName(n) => write!(
+                f,
+                "invalid workload name `{n}`: use non-empty kebab-case \
+                 ([a-z0-9] and interior dashes)"
+            ),
+            CatalogError::EmptySpace(n) => {
+                write!(f, "workload `{n}` has an empty configuration space")
+            }
+            CatalogError::Duplicate(n) => write!(f, "workload `{n}` is already registered"),
+            CatalogError::Unknown(n) => write!(f, "unknown workload `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// One registered scenario: its interned name, the erased workload, and
+/// the memoized dataset.
+pub struct WorkloadEntry {
+    name: &'static str,
+    workload: Box<dyn DynWorkload>,
+    n_features: usize,
+    dataset: OnceLock<Arc<Dataset>>,
+}
+
+impl WorkloadEntry {
+    /// The interned catalog name — stable for the life of the process.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The erased scenario.
+    pub fn workload(&self) -> &dyn DynWorkload {
+        &*self.workload
+    }
+
+    /// Feature arity, cached at registration so request-validation hot
+    /// paths never materialize the feature-name strings just to count
+    /// them.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The scenario dataset, generated on first call and memoized: no
+    /// matter how many model families train against this entry, the
+    /// oracle sweeps the configuration space exactly once per process.
+    /// Concurrent first callers block on the single in-flight sweep.
+    pub fn dataset(&self) -> Arc<Dataset> {
+        Arc::clone(
+            self.dataset
+                .get_or_init(|| Arc::new(self.workload.generate_dataset())),
+        )
+    }
+
+    /// `true` once the memoized dataset has been generated.
+    pub fn dataset_generated(&self) -> bool {
+        self.dataset.get().is_some()
+    }
+}
+
+impl fmt::Debug for WorkloadEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkloadEntry")
+            .field("name", &self.name)
+            .field("space_size", &self.workload.space_size())
+            .field("dataset_generated", &self.dataset_generated())
+            .finish()
+    }
+}
+
+/// A registry of named workload descriptors, preserving registration
+/// order. Most callers want the process-wide
+/// [`WorkloadCatalog::global`]; independent instances exist for tests.
+pub struct WorkloadCatalog {
+    entries: RwLock<Vec<Arc<WorkloadEntry>>>,
+}
+
+impl WorkloadCatalog {
+    /// An empty catalog.
+    pub const fn new() -> Self {
+        Self {
+            entries: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The process-wide catalog every serving-layer lookup resolves
+    /// against. Registering here is the one call that makes a scenario
+    /// servable.
+    pub fn global() -> &'static WorkloadCatalog {
+        static GLOBAL: WorkloadCatalog = WorkloadCatalog::new();
+        &GLOBAL
+    }
+
+    /// Check that `name` is a usable catalog handle: non-empty
+    /// kebab-case (`[a-z0-9]` and interior single dashes). This keeps
+    /// every registered name safe for URLs, JSON, and the
+    /// `{workload}__{kind}__v{n}.json` artifact-file grammar (which
+    /// a `_` or `.` in a name would corrupt).
+    pub fn validate_name(name: &str) -> Result<(), CatalogError> {
+        let kebab = !name.is_empty()
+            && !name.starts_with('-')
+            && !name.ends_with('-')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-');
+        if kebab {
+            Ok(())
+        } else {
+            Err(CatalogError::InvalidName(name.to_string()))
+        }
+    }
+
+    /// Register an erased workload under `name`. Returns the interned
+    /// name on success; rejects invalid names and duplicates (entries are
+    /// never replaced or removed — handles must stay valid forever).
+    pub fn register(
+        &self,
+        name: &str,
+        workload: Box<dyn DynWorkload>,
+    ) -> Result<&'static str, CatalogError> {
+        Self::validate_name(name)?;
+        // Interrogate the user-supplied workload *before* taking the
+        // write lock: a delegating impl that consults this catalog must
+        // not deadlock, and an unsampleable empty space must never enter
+        // the catalog (samplers cycle rows with `i % len`).
+        if workload.space_size() == 0 {
+            return Err(CatalogError::EmptySpace(name.to_string()));
+        }
+        let n_features = workload.n_features();
+        let mut entries = self.entries.write().expect("catalog poisoned");
+        if entries.iter().any(|e| e.name == name) {
+            return Err(CatalogError::Duplicate(name.to_string()));
+        }
+        // Interned only after validation + duplicate check, so leaks are
+        // bounded by successful registrations.
+        let interned: &'static str = Box::leak(name.to_string().into_boxed_str());
+        entries.push(Arc::new(WorkloadEntry {
+            name: interned,
+            workload,
+            n_features,
+            dataset: OnceLock::new(),
+        }));
+        Ok(interned)
+    }
+
+    /// Register a generic [`Workload`] under `name` (boxes it through the
+    /// blanket [`DynWorkload`] adapter).
+    pub fn register_workload<W: Workload + 'static>(
+        &self,
+        name: &str,
+        workload: W,
+    ) -> Result<&'static str, CatalogError> {
+        self.register(name, Box::new(workload))
+    }
+
+    /// Look up an entry by name.
+    pub fn lookup(&self, name: &str) -> Option<Arc<WorkloadEntry>> {
+        self.entries
+            .read()
+            .expect("catalog poisoned")
+            .iter()
+            .find(|e| e.name == name)
+            .map(Arc::clone)
+    }
+
+    /// Look up an entry by name, with a typed error for the miss.
+    pub fn resolve(&self, name: &str) -> Result<Arc<WorkloadEntry>, CatalogError> {
+        self.lookup(name)
+            .ok_or_else(|| CatalogError::Unknown(name.to_string()))
+    }
+
+    /// Every registered entry, in registration order.
+    pub fn entries(&self) -> Vec<Arc<WorkloadEntry>> {
+        self.entries.read().expect("catalog poisoned").clone()
+    }
+
+    /// Every registered name, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries
+            .read()
+            .expect("catalog poisoned")
+            .iter()
+            .map(|e| e.name)
+            .collect()
+    }
+
+    /// Number of registered entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("catalog poisoned").len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for WorkloadCatalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lam_analytical::traits::ConstantModel;
+
+    /// A tiny synthetic workload for catalog tests.
+    struct Toy {
+        configs: Vec<u64>,
+    }
+
+    impl Toy {
+        fn new(n: u64) -> Self {
+            Self {
+                configs: (1..=n).collect(),
+            }
+        }
+    }
+
+    impl Workload for Toy {
+        type Config = u64;
+        fn name(&self) -> &str {
+            "toy"
+        }
+        fn feature_names(&self) -> Vec<String> {
+            vec!["n".to_string()]
+        }
+        fn param_space(&self) -> &[u64] {
+            &self.configs
+        }
+        fn features(&self, cfg: &u64) -> Vec<f64> {
+            vec![*cfg as f64]
+        }
+        fn execution_time(&self, cfg: &u64) -> f64 {
+            *cfg as f64 * 1e-3
+        }
+        fn problem_size(&self, cfg: &u64) -> f64 {
+            *cfg as f64
+        }
+        fn analytical_model(&self) -> Box<dyn AnalyticalModel> {
+            Box::new(ConstantModel(1.0))
+        }
+    }
+
+    #[test]
+    fn blanket_adapter_erases_a_generic_workload() {
+        let erased: Box<dyn DynWorkload> = Box::new(Toy::new(12));
+        assert_eq!(erased.name(), "toy");
+        assert_eq!(erased.space_size(), 12);
+        assert_eq!(erased.n_features(), erased.feature_names().len());
+        let rows = erased.feature_rows();
+        assert_eq!(rows.len(), 12);
+        assert_eq!(rows[0], vec![1.0]);
+        let data = erased.generate_dataset();
+        assert_eq!(data.len(), 12);
+        assert!(!erased.hybrid_config().log_feature);
+        assert!(erased.analytical_model().predict(&rows[0]).is_finite());
+    }
+
+    #[test]
+    fn register_lookup_and_order() {
+        let catalog = WorkloadCatalog::new();
+        assert!(catalog.is_empty());
+        catalog.register_workload("toy-a", Toy::new(3)).unwrap();
+        catalog.register_workload("toy-b", Toy::new(5)).unwrap();
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.names(), vec!["toy-a", "toy-b"]);
+        assert_eq!(catalog.lookup("toy-b").unwrap().workload().space_size(), 5);
+        assert!(catalog.lookup("toy-c").is_none());
+        assert_eq!(
+            catalog.resolve("toy-c").unwrap_err(),
+            CatalogError::Unknown("toy-c".to_string())
+        );
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let catalog = WorkloadCatalog::new();
+        catalog.register_workload("toy", Toy::new(3)).unwrap();
+        assert_eq!(
+            catalog.register_workload("toy", Toy::new(4)).unwrap_err(),
+            CatalogError::Duplicate("toy".to_string())
+        );
+        // The original registration is untouched.
+        assert_eq!(catalog.lookup("toy").unwrap().workload().space_size(), 3);
+    }
+
+    #[test]
+    fn names_are_validated_kebab_case() {
+        for good in ["a", "toy-2", "stencil-grid-blocking", "x9"] {
+            assert!(WorkloadCatalog::validate_name(good).is_ok(), "{good}");
+        }
+        for bad in [
+            "", "Toy", "toy_2", "-toy", "toy-", "toy.json", "a b", "a__b", "ün",
+        ] {
+            assert!(
+                matches!(
+                    WorkloadCatalog::validate_name(bad),
+                    Err(CatalogError::InvalidName(_))
+                ),
+                "{bad}"
+            );
+            let catalog = WorkloadCatalog::new();
+            assert!(catalog.register_workload(bad, Toy::new(1)).is_err());
+        }
+    }
+
+    #[test]
+    fn empty_space_rejected() {
+        let catalog = WorkloadCatalog::new();
+        assert_eq!(
+            catalog
+                .register_workload("toy", Toy { configs: vec![] })
+                .unwrap_err(),
+            CatalogError::EmptySpace("toy".to_string())
+        );
+        assert!(catalog.is_empty());
+    }
+
+    #[test]
+    fn dataset_is_memoized_per_entry() {
+        let catalog = WorkloadCatalog::new();
+        catalog.register_workload("toy", Toy::new(8)).unwrap();
+        let entry = catalog.lookup("toy").unwrap();
+        assert!(!entry.dataset_generated());
+        let a = entry.dataset();
+        assert!(entry.dataset_generated());
+        let b = entry.dataset();
+        // Same Arc, not merely equal data: the sweep ran once.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn interned_names_outlive_the_lookup() {
+        let catalog = WorkloadCatalog::new();
+        let interned = catalog.register_workload("toy", Toy::new(2)).unwrap();
+        let entry = catalog.lookup("toy").unwrap();
+        assert_eq!(interned, entry.name());
+        // &'static str: usable after every temporary is gone.
+        drop(entry);
+        assert_eq!(interned, "toy");
+    }
+}

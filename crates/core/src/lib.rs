@@ -21,15 +21,22 @@
 //! [`workload`] abstracts one application scenario (configuration space,
 //! feature projection, oracle, analytical model) behind a single trait so
 //! the whole pipeline — dataset generation, evaluation, figure binaries —
-//! is generic over scenarios. [`predict`] exposes the object-safe
-//! read-only [`PredictRow`] surface serving layers share across threads.
+//! is generic over scenarios. [`catalog`] erases that trait's associated
+//! `Config` type behind the object-safe [`catalog::DynWorkload`] and keeps
+//! a process-wide [`catalog::WorkloadCatalog`] of named scenario
+//! descriptors with memoized datasets — the layer that lets serving code
+//! pick up new scenarios from one registration call instead of an enum
+//! edit. [`predict`] exposes the object-safe read-only [`PredictRow`]
+//! surface serving layers share across threads.
 
+pub mod catalog;
 pub mod evaluate;
 pub mod hybrid;
 pub mod predict;
 pub mod workload;
 pub mod wrap;
 
+pub use catalog::{CatalogError, DynWorkload, WorkloadCatalog, WorkloadEntry};
 pub use evaluate::{
     evaluate_model, evaluate_workload, EvaluationConfig, SeriesPoint, TrialOutcome,
 };

@@ -19,6 +19,7 @@
 //! [`Workload::generate_dataset_seq`] (asserted by
 //! [`conformance::assert_parallel_matches_sequential`]).
 
+use crate::hybrid::HybridConfig;
 use lam_analytical::traits::AnalyticalModel;
 use lam_data::Dataset;
 use rayon::prelude::*;
@@ -50,6 +51,13 @@ pub trait Workload: Send + Sync {
     /// The paper's untuned analytical model for this scenario's feature
     /// layout (a fresh boxed instance; cheap to construct).
     fn analytical_model(&self) -> Box<dyn AnalyticalModel>;
+
+    /// The hybrid configuration the experiments pair with this scenario.
+    /// Scenarios whose responses span decades (FMM, SpMV) override this
+    /// to stack `ln(am)` instead of the raw analytical prediction.
+    fn hybrid_config(&self) -> HybridConfig {
+        HybridConfig::default()
+    }
 
     /// Generate the scenario dataset: one row per configuration, features
     /// per [`Workload::features`], response from the oracle. Rows are

@@ -6,6 +6,8 @@ use crate::config::{FmmConfig, FmmSpace};
 use crate::oracle::FmmOracle;
 use lam_analytical::fmm::FmmAnalyticalModel;
 use lam_analytical::traits::AnalyticalModel;
+use lam_core::catalog::{CatalogError, WorkloadCatalog, SERVE_NOISE_SEED};
+use lam_core::hybrid::HybridConfig;
 use lam_core::workload::Workload;
 use lam_machine::arch::MachineDescription;
 
@@ -73,6 +75,43 @@ impl Workload for FmmWorkload {
     fn analytical_model(&self) -> Box<dyn AnalyticalModel> {
         Box::new(FmmAnalyticalModel::new(self.oracle.machine().clone()))
     }
+
+    /// FMM runtimes span decades across the `(t, N, q, k)` space, so the
+    /// hybrid stacks `ln(am)`.
+    fn hybrid_config(&self) -> HybridConfig {
+        HybridConfig {
+            log_feature: true,
+            ..HybridConfig::default()
+        }
+    }
+}
+
+/// Register the FMM scenarios' servable descriptors: the paper's full
+/// `(t, N, q, k)` space as `fmm` and the reduced quick-test space as
+/// `fmm-small`, both on the Blue Waters description with the shared
+/// [`SERVE_NOISE_SEED`] — so "same name" always means "same dataset,
+/// same analytical model".
+pub fn register_servable(catalog: &WorkloadCatalog) -> Result<(), CatalogError> {
+    for (name, space) in [
+        ("fmm", crate::config::space_paper()),
+        ("fmm-small", crate::config::space_small()),
+    ] {
+        match catalog.register_workload(
+            name,
+            FmmWorkload::new(
+                MachineDescription::blue_waters_xe6(),
+                space,
+                SERVE_NOISE_SEED,
+            ),
+        ) {
+            // Idempotent per name: an earlier registration (a repeat call,
+            // or a user claiming one name first) wins; the *other* names
+            // still register.
+            Ok(_) | Err(CatalogError::Duplicate(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

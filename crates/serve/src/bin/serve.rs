@@ -34,7 +34,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        workload: WorkloadId::FmmSmall,
+        workload: WorkloadId::get("fmm-small").expect("builtin fmm-small registered"),
         kind: ModelKind::Hybrid,
         version: 1,
         models_dir: ModelRegistry::default_root().display().to_string(),

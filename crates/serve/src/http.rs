@@ -3,11 +3,13 @@
 //! an async stack, and the API surface (three endpoints, JSON bodies) does
 //! not need one.
 //!
-//! | Endpoint        | Method | Body                                     |
-//! |-----------------|--------|------------------------------------------|
-//! | `/healthz`      | GET    | — → status, uptime, loaded-model count   |
-//! | `/models`       | GET    | — → registry catalog                     |
-//! | `/predict`      | POST   | [`PredictRequest`] → [`PredictResponse`] |
+//! | Endpoint            | Method | Body                                     |
+//! |---------------------|--------|------------------------------------------|
+//! | `/healthz`          | GET    | — → status, uptime, loaded-model count   |
+//! | `/models`           | GET    | — → registry catalog                     |
+//! | `/workloads`        | GET    | — → servable scenarios (workload catalog)|
+//! | `/workloads/{name}` | GET    | — → one scenario, `404` when unknown     |
+//! | `/predict`          | POST   | [`PredictRequest`] → [`PredictResponse`] |
 //!
 //! Concurrency model: `workers` threads share the listener (`accept` is
 //! thread-safe) and each owns one connection at a time, serving keep-alive
@@ -83,6 +85,27 @@ pub struct ModelEntry {
 pub struct ModelsResponse {
     /// Catalog rows, sorted by key.
     pub models: Vec<ModelEntry>,
+}
+
+/// One `/workloads` row: a servable scenario's schema, straight from the
+/// workload catalog.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadInfo {
+    /// Stable scenario name (`/predict`'s `workload` field).
+    pub name: String,
+    /// Feature-column names, in request-row order.
+    pub feature_names: Vec<String>,
+    /// Feature count request rows must match.
+    pub n_features: usize,
+    /// Number of configurations in the scenario's space.
+    pub space_size: usize,
+}
+
+/// `/workloads` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadsResponse {
+    /// Servable scenarios, in catalog registration order.
+    pub workloads: Vec<WorkloadInfo>,
 }
 
 /// Error response body (any non-2xx status).
@@ -377,6 +400,10 @@ fn route(req: &Request, registry: &Arc<ModelRegistry>, started: Instant) -> (u16
     let result = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(registry, started),
         ("GET", "/models") => models(registry),
+        ("GET", "/workloads") => workloads(),
+        ("GET", path) if path.starts_with("/workloads/") => {
+            workload_detail(&path["/workloads/".len()..])
+        }
         ("POST", "/predict") => predict(req, registry),
         ("GET", "/predict") => Err((405, "use POST for /predict".to_string())),
         _ => Err((404, format!("no route for {} {}", req.method, req.path))),
@@ -418,6 +445,32 @@ fn models(registry: &Arc<ModelRegistry>) -> RouteResult {
             })
             .collect(),
     })
+}
+
+fn workload_info(entry: &lam_core::catalog::WorkloadEntry) -> WorkloadInfo {
+    WorkloadInfo {
+        name: entry.name().to_string(),
+        feature_names: entry.workload().feature_names(),
+        n_features: entry.n_features(),
+        space_size: entry.workload().space_size(),
+    }
+}
+
+fn workloads() -> RouteResult {
+    // One locked read of the catalog for the whole listing.
+    crate::workload::ensure_builtin_workloads();
+    json_ok(&WorkloadsResponse {
+        workloads: lam_core::catalog::WorkloadCatalog::global()
+            .entries()
+            .iter()
+            .map(|entry| workload_info(entry))
+            .collect(),
+    })
+}
+
+fn workload_detail(name: &str) -> RouteResult {
+    let id = WorkloadId::get(name).map_err(|e| (404, e.to_string()))?;
+    json_ok(&workload_info(&id.entry()))
 }
 
 /// Highest artifact version `/predict` resolves. Resolution can train on

@@ -6,9 +6,11 @@
 //! * [`persist`] — save/load every trained model family (CART trees,
 //!   forests, extra trees, boosting, k-NN, linear, and the hybrid) as JSON
 //!   under `results/models/`, with bit-exact prediction round-trips;
-//! * [`workload`] — a closed, serializable enumeration of the study's
-//!   application scenarios, so a saved model can rebuild its analytical
-//!   component from first principles on load;
+//! * [`workload`] — [`workload::WorkloadId`], a validated interned-name
+//!   handle into the process-wide [`lam_core::catalog::WorkloadCatalog`],
+//!   so a saved model can rebuild its analytical component from first
+//!   principles on load — and so a scenario registered at runtime is
+//!   trained, persisted, and served with zero edits to this crate;
 //! * [`registry`] — a [`registry::ModelRegistry`] keyed by
 //!   `(workload, kind, version)` that trains on miss, persists the result,
 //!   and memoizes loaded models behind `Arc`;
@@ -29,8 +31,9 @@
 //! let registry = ModelRegistry::new("results/models");
 //! // Trains, persists, and memoizes on first call; loads from disk after
 //! // a restart; pure memo hit afterwards.
+//! let fmm_small = WorkloadId::get("fmm-small").unwrap();
 //! let model = registry
-//!     .get(ModelKey::new(WorkloadId::FmmSmall, ModelKind::Hybrid, 1))
+//!     .get(ModelKey::new(fmm_small, ModelKind::Hybrid, 1))
 //!     .unwrap();
 //! let y = model.predict(&[vec![2.0, 8192.0, 64.0, 4.0]]).predictions[0];
 //! assert!(y > 0.0);

@@ -41,7 +41,7 @@ impl Default for LoadgenOptions {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".to_string(),
-            workload: WorkloadId::FmmSmall,
+            workload: WorkloadId::get("fmm-small").expect("builtin fmm-small registered"),
             kind: ModelKind::Hybrid,
             version: 1,
             seconds: 3.0,

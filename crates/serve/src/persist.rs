@@ -293,6 +293,10 @@ impl SavedModel {
 mod tests {
     use super::*;
 
+    fn fmm_small() -> WorkloadId {
+        WorkloadId::get("fmm-small").expect("builtin workload")
+    }
+
     #[test]
     fn kind_names_round_trip() {
         for k in ModelKind::all() {
@@ -320,15 +324,15 @@ mod tests {
     #[test]
     fn save_load_round_trip_preserves_predictions() {
         use lam_ml::model::Regressor as _;
-        let data = WorkloadId::FmmSmall.dataset();
+        let data = fmm_small().dataset();
         let mut tree = DecisionTreeRegressor::new(lam_ml::tree::TreeParams::default(), 7);
         tree.fit(&data).unwrap();
         let saved = SavedModel {
             format_version: FORMAT_VERSION,
-            workload: WorkloadId::FmmSmall,
+            workload: fmm_small(),
             kind: ModelKind::Cart,
             version: 1,
-            feature_names: WorkloadId::FmmSmall.feature_names(),
+            feature_names: fmm_small().feature_names(),
             trained_rows: data.len(),
             hybrid: None,
             ml: TrainedMl::Cart(tree.clone()),
@@ -359,7 +363,7 @@ mod tests {
         let path = dir.join("fmm-small__hybrid__v3.json");
         let inconsistent = SavedModel {
             format_version: FORMAT_VERSION,
-            workload: WorkloadId::FmmSmall,
+            workload: fmm_small(),
             kind: ModelKind::Hybrid,
             version: 3,
             feature_names: vec!["x".into()],
@@ -383,7 +387,7 @@ mod tests {
         lin.fit(&d).unwrap();
         let bad = SavedModel {
             format_version: FORMAT_VERSION + 1,
-            workload: WorkloadId::FmmSmall,
+            workload: fmm_small(),
             kind: ModelKind::Linear,
             version: 9,
             feature_names: vec!["x".into()],

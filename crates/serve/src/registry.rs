@@ -245,7 +245,9 @@ impl ModelRegistry {
     }
 }
 
-/// Train the model a key names, deterministically.
+/// Train the model a key names, deterministically. The workload dataset
+/// comes from the catalog entry's memo, so training all model kinds for
+/// one workload pays exactly one oracle sweep.
 pub fn train(key: ModelKey) -> Result<SavedModel, ServeError> {
     let data = key.workload.dataset();
     let seed = key.train_seed();
@@ -323,10 +325,14 @@ mod tests {
         ModelRegistry::new(dir)
     }
 
+    fn fmm_small() -> WorkloadId {
+        WorkloadId::get("fmm-small").expect("builtin workload")
+    }
+
     #[test]
     fn get_trains_persists_and_memoizes() {
         let reg = temp_registry("basic");
-        let key = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Cart, 1);
+        let key = ModelKey::new(fmm_small(), ModelKind::Cart, 1);
         assert!(!reg.path_for(key).exists());
         let a = reg.get(key).unwrap();
         assert!(reg.path_for(key).is_file(), "artifact persisted");
@@ -339,9 +345,9 @@ mod tests {
     #[test]
     fn restart_loads_from_disk_with_identical_predictions() {
         let reg = temp_registry("restart");
-        let key = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Hybrid, 2);
+        let key = ModelKey::new(fmm_small(), ModelKind::Hybrid, 2);
         let first = reg.get(key).unwrap();
-        let rows = WorkloadId::FmmSmall.sample_rows(32);
+        let rows = fmm_small().sample_rows(32);
         let before = first.predict(&rows).predictions;
 
         // A fresh registry over the same root simulates a process restart.
@@ -355,7 +361,7 @@ mod tests {
 
     #[test]
     fn training_is_deterministic_per_key() {
-        let key = ModelKey::new(WorkloadId::FmmSmall, ModelKind::ExtraTrees, 7);
+        let key = ModelKey::new(fmm_small(), ModelKind::ExtraTrees, 7);
         let a = train(key).unwrap();
         let b = train(key).unwrap();
         assert_eq!(
@@ -367,8 +373,8 @@ mod tests {
     #[test]
     fn versions_are_distinct_artifacts() {
         let reg = temp_registry("versions");
-        let v1 = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Cart, 1);
-        let v2 = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Cart, 2);
+        let v1 = ModelKey::new(fmm_small(), ModelKind::Cart, 1);
+        let v2 = ModelKey::new(fmm_small(), ModelKind::Cart, 2);
         reg.get(v1).unwrap();
         reg.get(v2).unwrap();
         assert_ne!(reg.path_for(v1), reg.path_for(v2));
@@ -379,7 +385,7 @@ mod tests {
     #[test]
     fn catalog_merges_disk_and_memo() {
         let reg = temp_registry("catalog");
-        let key = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Linear, 1);
+        let key = ModelKey::new(fmm_small(), ModelKind::Linear, 1);
         reg.get(key).unwrap();
         // A foreign file in the root is ignored.
         std::fs::write(reg.root().join("README.txt"), "not a model").unwrap();
@@ -398,11 +404,11 @@ mod tests {
     #[test]
     fn renamed_artifact_rejected() {
         let reg = temp_registry("renamed");
-        let key = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Cart, 1);
+        let key = ModelKey::new(fmm_small(), ModelKind::Cart, 1);
         reg.get(key).unwrap();
         // An artifact copied under another key's filename must not be
         // served as that key.
-        let other = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Cart, 2);
+        let other = ModelKey::new(fmm_small(), ModelKind::Cart, 2);
         std::fs::copy(reg.path_for(key), reg.path_for(other)).unwrap();
         let fresh = ModelRegistry::new(reg.root().to_path_buf());
         assert!(matches!(fresh.get(other), Err(ServeError::Json(_))));
@@ -411,7 +417,7 @@ mod tests {
     #[test]
     fn schema_mismatch_rejected() {
         let reg = temp_registry("schema");
-        let key = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Linear, 1);
+        let key = ModelKey::new(fmm_small(), ModelKind::Linear, 1);
         let model = reg.get(key).unwrap();
         let bad = vec![vec![1.0, 2.0]]; // fmm rows have 4 features
         assert!(matches!(

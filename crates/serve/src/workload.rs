@@ -1,146 +1,150 @@
-//! A closed, serializable enumeration of the study's application
-//! scenarios.
+//! Workload identity for the serving layer: a validated, interned-name
+//! handle into the process-wide [`WorkloadCatalog`].
 //!
 //! The training pipeline is generic over [`lam_core::Workload`], but a
 //! *persisted* model must name its scenario so a later process — with no
 //! memory of the training run — can rebuild the matching analytical model
-//! and feature layout from first principles. [`WorkloadId`] is that name:
-//! a small enum whose variants map 1:1 onto the study's dataset spaces
-//! (the paper's stencil and FMM spaces plus the workspace's own SpMV
-//! extension), each with a deterministic construction (fixed machine
-//! description and noise seed), so "same id" always means "same dataset,
-//! same analytical model".
+//! and feature layout from first principles. [`WorkloadId`] is that name.
+//! It used to be a closed seven-variant enum with hand-routed `match`
+//! arms; it is now a thin `Copy` handle onto a catalog entry, so making a
+//! new scenario servable is **one registration call**
+//! ([`WorkloadCatalog::register`]) with zero edits to this crate:
+//!
+//! ```no_run
+//! use lam_core::catalog::WorkloadCatalog;
+//! # let my_workload: Box<dyn lam_core::catalog::DynWorkload> = unimplemented!();
+//! WorkloadCatalog::global().register("my-scenario", my_workload).unwrap();
+//! let id = lam_serve::workload::WorkloadId::get("my-scenario").unwrap();
+//! // Trains, persists, and serves over HTTP like any built-in scenario.
+//! ```
+//!
+//! The study's own scenarios (the paper's stencil and FMM spaces plus the
+//! workspace's SpMV extension) are registered lazily by
+//! [`ensure_builtin_workloads`] the first time any id is resolved, each
+//! with a deterministic construction (fixed machine description and the
+//! shared noise seed), so "same name" always means "same dataset, same
+//! analytical model". Wire formats are untouched: ids still serialize as
+//! their stable kebab-case names in URLs, file names, and JSON.
 
 use lam_analytical::traits::AnalyticalModel;
+use lam_core::catalog::{WorkloadCatalog, WorkloadEntry};
 use lam_core::hybrid::HybridConfig;
-use lam_core::workload::Workload;
 use lam_data::Dataset;
-use lam_fmm::workload::FmmWorkload;
-use lam_machine::arch::MachineDescription;
-use lam_spmv::workload::SpmvWorkload;
-use lam_stencil::workload::StencilWorkload;
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
+use std::sync::Once;
 
 /// Noise seed for servable datasets — matches the figure experiments so a
 /// served model and a figure binary agree on the ground truth.
-pub const NOISE_SEED: u64 = 20190520;
+pub const NOISE_SEED: u64 = lam_core::catalog::SERVE_NOISE_SEED;
 
-/// One of the study's application scenarios, by stable name.
+/// Register the study's built-in scenarios in the global catalog, once
+/// per process. Every [`WorkloadId`] resolution path calls this first, so
+/// the built-ins are always visible; scenarios other crates registered
+/// are left untouched (duplicate built-in names mean someone registered
+/// them earlier, which is fine — first registration wins).
+pub fn ensure_builtin_workloads() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        // register_servable is idempotent per name (duplicates are
+        // skipped, the rest still register), so only genuine failures —
+        // an invalid built-in name — surface here.
+        let catalog = WorkloadCatalog::global();
+        lam_stencil::workload::register_servable(catalog).expect("stencil built-ins register");
+        lam_fmm::workload::register_servable(catalog).expect("fmm built-ins register");
+        lam_spmv::workload::register_servable(catalog).expect("spmv built-ins register");
+    });
+}
+
+/// One registered application scenario, by stable interned name.
+///
+/// A `WorkloadId` can only be obtained through a successful catalog
+/// lookup ([`WorkloadId::get`] / `FromStr` / deserialization), so holding
+/// one proves the scenario is registered — and catalog entries are never
+/// removed, so the handle stays valid for the life of the process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum WorkloadId {
-    /// Stencil, grid sizes only (Fig 5 space, 729 configurations).
-    StencilGrid,
-    /// Stencil, grids × loop blocks (Fig 3A / Fig 6 space).
-    StencilGridBlocking,
-    /// Stencil, planar grids × threads (Fig 7 space).
-    StencilGridThreads,
-    /// FMM, the paper's full `(t, N, q, k)` space (Fig 3B / Fig 8).
-    Fmm,
-    /// FMM, the reduced space used by quick tests and examples.
-    FmmSmall,
-    /// SpMV, the full `(rows, nnz, rb, t)` space (beyond the paper).
-    Spmv,
-    /// SpMV, the reduced space used by quick tests and smoke runs.
-    SpmvSmall,
+pub struct WorkloadId {
+    name: &'static str,
 }
 
 impl WorkloadId {
-    /// Every servable scenario, in canonical order.
-    pub fn all() -> [WorkloadId; 7] {
-        [
-            WorkloadId::StencilGrid,
-            WorkloadId::StencilGridBlocking,
-            WorkloadId::StencilGridThreads,
-            WorkloadId::Fmm,
-            WorkloadId::FmmSmall,
-            WorkloadId::Spmv,
-            WorkloadId::SpmvSmall,
-        ]
+    /// Resolve a name against the catalog (registering built-ins first).
+    pub fn get(name: &str) -> Result<WorkloadId, crate::ServeError> {
+        ensure_builtin_workloads();
+        WorkloadCatalog::global()
+            .lookup(name)
+            .map(|entry| WorkloadId { name: entry.name() })
+            .ok_or_else(|| crate::ServeError::UnknownWorkload(name.to_string()))
+    }
+
+    /// Every servable scenario, in catalog registration order (built-ins
+    /// first, then anything registered at runtime).
+    pub fn all() -> Vec<WorkloadId> {
+        ensure_builtin_workloads();
+        WorkloadCatalog::global()
+            .entries()
+            .into_iter()
+            .map(|entry| WorkloadId { name: entry.name() })
+            .collect()
     }
 
     /// Stable name used in URLs, file names, and JSON.
     pub fn name(&self) -> &'static str {
-        match self {
-            WorkloadId::StencilGrid => "stencil-grid",
-            WorkloadId::StencilGridBlocking => "stencil-grid-blocking",
-            WorkloadId::StencilGridThreads => "stencil-grid-threads",
-            WorkloadId::Fmm => "fmm",
-            WorkloadId::FmmSmall => "fmm-small",
-            WorkloadId::Spmv => "spmv",
-            WorkloadId::SpmvSmall => "spmv-small",
-        }
+        self.name
+    }
+
+    /// This id's catalog entry. Infallible by construction: ids only come
+    /// from successful lookups and entries are never removed.
+    pub fn entry(&self) -> Arc<WorkloadEntry> {
+        WorkloadCatalog::global()
+            .lookup(self.name)
+            .expect("WorkloadId names a registered catalog entry")
     }
 
     /// Feature-column names of this scenario's dataset. Derived from the
-    /// feature layout alone — never from constructing the configuration
-    /// space — because `/predict` consults this on every request to
-    /// validate row arity before model dispatch.
+    /// scenario's feature layout — never from constructing the
+    /// configuration space — because `/predict` consults this on every
+    /// request to validate row arity before model dispatch.
     pub fn feature_names(&self) -> Vec<String> {
-        use lam_stencil::config::StencilFeatures;
-        match self {
-            WorkloadId::StencilGrid => StencilFeatures::GridOnly.names(),
-            WorkloadId::StencilGridBlocking => StencilFeatures::GridAndBlocking.names(),
-            WorkloadId::StencilGridThreads => StencilFeatures::GridAndThreads.names(),
-            WorkloadId::Fmm | WorkloadId::FmmSmall => lam_fmm::config::FmmConfig::feature_names(),
-            WorkloadId::Spmv | WorkloadId::SpmvSmall => {
-                lam_spmv::config::SpmvConfig::feature_names()
-            }
-        }
+        self.entry().workload().feature_names()
     }
 
-    /// Feature count of this scenario's rows, allocation-free — the
-    /// arity `/predict` checks incoming rows against.
+    /// Feature count of this scenario's rows — the arity `/predict`
+    /// checks incoming rows against. Derived from the feature layout
+    /// (see [`lam_core::catalog::DynWorkload::n_features`]) and cached in
+    /// the catalog entry, so the request hot path never allocates the
+    /// name strings and the count cannot drift from
+    /// [`WorkloadId::feature_names`].
     pub fn n_features(&self) -> usize {
-        match self {
-            WorkloadId::StencilGrid => 3,
-            WorkloadId::StencilGridThreads
-            | WorkloadId::Fmm
-            | WorkloadId::FmmSmall
-            | WorkloadId::Spmv
-            | WorkloadId::SpmvSmall => 4,
-            WorkloadId::StencilGridBlocking => 6,
-        }
+        self.entry().n_features()
     }
 
-    /// Generate this scenario's full dataset (deterministic: fixed machine
-    /// and noise seed). This runs the oracle over every configuration —
-    /// use [`WorkloadId::feature_rows`] when only the feature side is
-    /// needed.
-    pub fn dataset(&self) -> Dataset {
-        match self {
-            WorkloadId::StencilGrid
-            | WorkloadId::StencilGridBlocking
-            | WorkloadId::StencilGridThreads => self.stencil().generate_dataset(),
-            WorkloadId::Fmm | WorkloadId::FmmSmall => self.fmm().generate_dataset(),
-            WorkloadId::Spmv | WorkloadId::SpmvSmall => self.spmv().generate_dataset(),
-        }
+    /// Number of configurations in this scenario's space.
+    pub fn space_size(&self) -> usize {
+        self.entry().workload().space_size()
+    }
+
+    /// This scenario's full dataset (deterministic: fixed machine and
+    /// noise seed), memoized in the catalog entry — training every model
+    /// family for one workload runs exactly one oracle sweep. Use
+    /// [`WorkloadId::feature_rows`] when only the feature side is needed.
+    pub fn dataset(&self) -> Arc<Dataset> {
+        self.entry().dataset()
     }
 
     /// The scenario's untuned analytical model (rebuildable at load time —
     /// analytical models carry no trained state).
     pub fn analytical_model(&self) -> Box<dyn AnalyticalModel> {
-        match self {
-            WorkloadId::StencilGrid
-            | WorkloadId::StencilGridBlocking
-            | WorkloadId::StencilGridThreads => self.stencil().analytical_model(),
-            WorkloadId::Fmm | WorkloadId::FmmSmall => self.fmm().analytical_model(),
-            WorkloadId::Spmv | WorkloadId::SpmvSmall => self.spmv().analytical_model(),
-        }
+        self.entry().workload().analytical_model()
     }
 
     /// The hybrid configuration the experiments pair with this scenario
     /// (FMM and SpMV responses span decades, so their hybrids stack
     /// `ln(am)`).
     pub fn hybrid_config(&self) -> HybridConfig {
-        HybridConfig {
-            log_feature: matches!(
-                self,
-                WorkloadId::Fmm | WorkloadId::FmmSmall | WorkloadId::Spmv | WorkloadId::SpmvSmall
-            ),
-            ..HybridConfig::default()
-        }
+        self.entry().workload().hybrid_config()
     }
 
     /// Feature rows of every configuration, in canonical space order —
@@ -148,16 +152,7 @@ impl WorkloadId {
     /// the oracle (identical to the feature side of
     /// [`WorkloadId::dataset`], at a tiny fraction of the cost).
     pub fn feature_rows(&self) -> Vec<Vec<f64>> {
-        fn project<W: Workload>(w: &W) -> Vec<Vec<f64>> {
-            w.param_space().iter().map(|c| w.features(c)).collect()
-        }
-        match self {
-            WorkloadId::StencilGrid
-            | WorkloadId::StencilGridBlocking
-            | WorkloadId::StencilGridThreads => project(&self.stencil()),
-            WorkloadId::Fmm | WorkloadId::FmmSmall => project(&self.fmm()),
-            WorkloadId::Spmv | WorkloadId::SpmvSmall => project(&self.spmv()),
-        }
+        self.entry().workload().feature_rows()
     }
 
     /// Sample feature rows for load generation and benches: the first
@@ -167,34 +162,6 @@ impl WorkloadId {
     pub fn sample_rows(&self, n: usize) -> Vec<Vec<f64>> {
         let rows = self.feature_rows();
         (0..n).map(|i| rows[i % rows.len()].clone()).collect()
-    }
-
-    fn stencil(&self) -> StencilWorkload {
-        let space = match self {
-            WorkloadId::StencilGrid => lam_stencil::config::space_grid_only(),
-            WorkloadId::StencilGridBlocking => lam_stencil::config::space_grid_blocking(),
-            WorkloadId::StencilGridThreads => lam_stencil::config::space_grid_threads(),
-            _ => unreachable!("stencil() called on a non-stencil id"),
-        };
-        StencilWorkload::new(MachineDescription::blue_waters_xe6(), space, NOISE_SEED)
-    }
-
-    fn fmm(&self) -> FmmWorkload {
-        let space = match self {
-            WorkloadId::Fmm => lam_fmm::config::space_paper(),
-            WorkloadId::FmmSmall => lam_fmm::config::space_small(),
-            _ => unreachable!("fmm() called on a non-FMM id"),
-        };
-        FmmWorkload::new(MachineDescription::blue_waters_xe6(), space, NOISE_SEED)
-    }
-
-    fn spmv(&self) -> SpmvWorkload {
-        let space = match self {
-            WorkloadId::Spmv => lam_spmv::config::space_spmv(),
-            WorkloadId::SpmvSmall => lam_spmv::config::space_small(),
-            _ => unreachable!("spmv() called on a non-SpMV id"),
-        };
-        SpmvWorkload::new(MachineDescription::blue_waters_xe6(), space, NOISE_SEED)
     }
 }
 
@@ -208,15 +175,14 @@ impl FromStr for WorkloadId {
     type Err = crate::ServeError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        WorkloadId::all()
-            .into_iter()
-            .find(|w| w.name() == s)
-            .ok_or_else(|| crate::ServeError::UnknownWorkload(s.to_string()))
+        WorkloadId::get(s)
     }
 }
 
-// Serialized as the stable kebab-case name (not the Rust variant name) so
-// model files and the HTTP API share one spelling.
+// Serialized as the stable kebab-case name so model files and the HTTP
+// API share one spelling; deserialization is a catalog lookup, so an
+// envelope naming an unregistered scenario fails loudly instead of
+// producing an unservable id.
 impl Serialize for WorkloadId {
     fn to_value(&self) -> Value {
         Value::String(self.name().to_string())
@@ -237,6 +203,27 @@ impl Deserialize for WorkloadId {
 mod tests {
     use super::*;
 
+    fn id(name: &str) -> WorkloadId {
+        WorkloadId::get(name).expect("builtin workload")
+    }
+
+    #[test]
+    fn builtins_are_registered_in_canonical_order() {
+        let names: Vec<&str> = WorkloadId::all().iter().map(|w| w.name()).collect();
+        // Built-ins lead in registration order; runtime registrations (from
+        // concurrently running tests) may follow.
+        let builtin = [
+            "stencil-grid",
+            "stencil-grid-blocking",
+            "stencil-grid-threads",
+            "fmm",
+            "fmm-small",
+            "spmv",
+            "spmv-small",
+        ];
+        assert_eq!(&names[..builtin.len()], &builtin);
+    }
+
     #[test]
     fn names_round_trip_through_fromstr() {
         for w in WorkloadId::all() {
@@ -247,28 +234,50 @@ mod tests {
 
     #[test]
     fn serde_uses_stable_names() {
-        let json = serde_json::to_string(&WorkloadId::FmmSmall).unwrap();
+        let json = serde_json::to_string(&id("fmm-small")).unwrap();
         assert_eq!(json, "\"fmm-small\"");
         let back: WorkloadId = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, WorkloadId::FmmSmall);
+        assert_eq!(back, id("fmm-small"));
+    }
+
+    #[test]
+    fn unknown_name_fails_deserialization() {
+        let err = serde_json::from_str::<WorkloadId>("\"never-registered\"");
+        assert!(err.is_err(), "unknown workload must not deserialize");
     }
 
     #[test]
     fn fmm_small_dataset_is_deterministic_and_shaped() {
-        let a = WorkloadId::FmmSmall.dataset();
-        let b = WorkloadId::FmmSmall.dataset();
-        assert_eq!(a, b);
-        assert_eq!(a.n_features(), WorkloadId::FmmSmall.feature_names().len());
-        assert!(a.len() > 100);
+        // The memoized dataset must agree with a from-scratch construction
+        // of the same descriptor (same space, machine, and noise seed).
+        let memoized = id("fmm-small").dataset();
+        let fresh = lam_fmm::workload::FmmWorkload::new(
+            lam_machine::arch::MachineDescription::blue_waters_xe6(),
+            lam_fmm::config::space_small(),
+            NOISE_SEED,
+        );
+        assert_eq!(
+            *memoized,
+            lam_core::workload::Workload::generate_dataset(&fresh)
+        );
+        assert_eq!(memoized.n_features(), id("fmm-small").feature_names().len());
+        assert!(memoized.len() > 100);
+    }
+
+    #[test]
+    fn dataset_is_memoized_per_id() {
+        let a = id("fmm-small").dataset();
+        let b = id("fmm-small").dataset();
+        assert!(Arc::ptr_eq(&a, &b), "second call must be the memo hit");
     }
 
     #[test]
     fn sample_rows_cycle_the_space() {
-        let rows = WorkloadId::FmmSmall.sample_rows(3);
+        let rows = id("fmm-small").sample_rows(3);
         assert_eq!(rows.len(), 3);
-        let data = WorkloadId::FmmSmall.dataset();
+        let data = id("fmm-small").dataset();
         assert_eq!(rows[0], data.row(0));
-        let wrapped = WorkloadId::FmmSmall.sample_rows(data.len() + 2);
+        let wrapped = id("fmm-small").sample_rows(data.len() + 2);
         assert_eq!(wrapped[data.len()], data.row(0));
     }
 
@@ -276,51 +285,53 @@ mod tests {
     fn feature_rows_match_dataset_without_the_oracle() {
         // The oracle-free projection must agree bit for bit with the
         // feature side of the full dataset, for every scenario family.
-        for id in [
-            WorkloadId::FmmSmall,
-            WorkloadId::SpmvSmall,
-            WorkloadId::StencilGrid,
-        ] {
-            let rows = id.feature_rows();
-            let data = id.dataset();
-            assert_eq!(rows.len(), data.len(), "{id}");
+        for w in ["fmm-small", "spmv-small", "stencil-grid"].map(id) {
+            let rows = w.feature_rows();
+            let data = w.dataset();
+            assert_eq!(rows.len(), data.len(), "{w}");
             for (i, row) in rows.iter().enumerate() {
-                assert_eq!(row.as_slice(), data.row(i), "{id} row {i}");
+                assert_eq!(row.as_slice(), data.row(i), "{w} row {i}");
             }
         }
     }
 
     #[test]
-    fn feature_names_and_arity_match_the_datasets() {
-        // The request-path shortcuts (layout-derived names, hardcoded
-        // arity) must agree with what dataset generation actually
-        // produces, for every servable id.
-        for id in WorkloadId::all() {
-            assert_eq!(id.n_features(), id.feature_names().len(), "{id}");
+    fn feature_names_and_arity_agree_for_every_catalog_entry() {
+        // The conformance check the old hand-written `n_features()` match
+        // kept drifting from: arity must equal the feature-name count and
+        // the projected row width, for *every* registered entry — runtime
+        // registrations included.
+        for w in WorkloadId::all() {
+            assert_eq!(w.n_features(), w.feature_names().len(), "{w}");
+            let rows = w.feature_rows();
+            assert!(!rows.is_empty(), "{w}: empty space");
+            assert_eq!(rows[0].len(), w.n_features(), "{w}: row width");
+            assert_eq!(w.space_size(), rows.len(), "{w}: space size");
         }
-        for id in [
-            WorkloadId::StencilGrid,
-            WorkloadId::FmmSmall,
-            WorkloadId::SpmvSmall,
-        ] {
-            assert_eq!(id.feature_names(), id.dataset().feature_names(), "{id}");
+        for w in ["stencil-grid", "fmm-small", "spmv-small"].map(id) {
+            assert_eq!(w.feature_names(), w.dataset().feature_names(), "{w}");
         }
     }
 
     #[test]
     fn spmv_small_dataset_is_deterministic_and_shaped() {
-        let a = WorkloadId::SpmvSmall.dataset();
-        assert_eq!(a, WorkloadId::SpmvSmall.dataset());
-        assert_eq!(a.n_features(), WorkloadId::SpmvSmall.feature_names().len());
+        let a = id("spmv-small").dataset();
+        assert_eq!(a, id("spmv-small").dataset());
+        assert_eq!(a.n_features(), id("spmv-small").feature_names().len());
         assert!(a.len() >= 96);
     }
 
     #[test]
     fn hybrid_config_logs_wide_range_scenarios_only() {
-        assert!(WorkloadId::Fmm.hybrid_config().log_feature);
-        assert!(WorkloadId::FmmSmall.hybrid_config().log_feature);
-        assert!(WorkloadId::Spmv.hybrid_config().log_feature);
-        assert!(WorkloadId::SpmvSmall.hybrid_config().log_feature);
-        assert!(!WorkloadId::StencilGrid.hybrid_config().log_feature);
+        for w in ["fmm", "fmm-small", "spmv", "spmv-small"] {
+            assert!(id(w).hybrid_config().log_feature, "{w}");
+        }
+        for w in [
+            "stencil-grid",
+            "stencil-grid-blocking",
+            "stencil-grid-threads",
+        ] {
+            assert!(!id(w).hybrid_config().log_feature, "{w}");
+        }
     }
 }

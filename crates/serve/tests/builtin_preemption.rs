@@ -1,0 +1,77 @@
+//! Regression test for built-in registration resilience: a user who
+//! claims one built-in name *before* the serving layer's lazy
+//! registration runs must preempt only that name — every other built-in
+//! still registers. (An early version of `register_servable` aborted a
+//! whole crate's list on the first `Duplicate`, silently losing
+//! `fmm-small` when a user pre-registered `fmm`.)
+//!
+//! This lives in its own test binary so the pre-registration is
+//! guaranteed to be the process's first catalog touch.
+
+use lam_analytical::traits::{AnalyticalModel, ConstantModel};
+use lam_core::catalog::WorkloadCatalog;
+use lam_core::workload::Workload;
+use lam_serve::workload::WorkloadId;
+
+/// A stand-in scenario registered under a built-in's name.
+struct Usurper;
+
+impl Workload for Usurper {
+    type Config = u64;
+
+    fn name(&self) -> &str {
+        "usurper"
+    }
+
+    fn feature_names(&self) -> Vec<String> {
+        vec!["n".to_string()]
+    }
+
+    fn param_space(&self) -> &[u64] {
+        &[1, 2, 3]
+    }
+
+    fn features(&self, cfg: &u64) -> Vec<f64> {
+        vec![*cfg as f64]
+    }
+
+    fn execution_time(&self, cfg: &u64) -> f64 {
+        *cfg as f64 * 1e-3
+    }
+
+    fn problem_size(&self, cfg: &u64) -> f64 {
+        *cfg as f64
+    }
+
+    fn analytical_model(&self) -> Box<dyn AnalyticalModel> {
+        Box::new(ConstantModel(1e-3))
+    }
+}
+
+#[test]
+fn preempting_one_builtin_name_does_not_lose_the_others() {
+    // First catalog touch in this process: claim `fmm` before any
+    // WorkloadId resolution triggers the built-in registration.
+    WorkloadCatalog::global()
+        .register_workload("fmm", Usurper)
+        .expect("first registration of `fmm` wins");
+
+    // `fmm` resolves to the usurper (first registration wins)...
+    let fmm = WorkloadId::get("fmm").expect("pre-registered name resolves");
+    assert_eq!(fmm.space_size(), 3, "usurper's space, not the built-in's");
+    assert_eq!(fmm.n_features(), 1);
+
+    // ...and every *other* built-in still registered.
+    for (name, arity) in [
+        ("stencil-grid", 3),
+        ("stencil-grid-blocking", 6),
+        ("stencil-grid-threads", 4),
+        ("fmm-small", 4),
+        ("spmv", 4),
+        ("spmv-small", 4),
+    ] {
+        let id = WorkloadId::get(name)
+            .unwrap_or_else(|e| panic!("{name} lost to a duplicate-abort: {e}"));
+        assert_eq!(id.n_features(), arity, "{name}");
+    }
+}

@@ -8,7 +8,9 @@
 //! the same connection (or a fresh one, where the protocol demands a
 //! close) still serves a valid request.
 
-use lam_serve::http::{self, PredictRequest, PredictResponse, ServerOptions};
+use lam_serve::http::{
+    self, PredictRequest, PredictResponse, ServerOptions, WorkloadInfo, WorkloadsResponse,
+};
 use lam_serve::loadgen::HttpClient;
 use lam_serve::persist::ModelKind;
 use lam_serve::registry::{ModelKey, ModelRegistry};
@@ -21,13 +23,17 @@ fn temp_root(tag: &str) -> std::path::PathBuf {
     dir
 }
 
+fn wid(name: &str) -> WorkloadId {
+    WorkloadId::get(name).expect("builtin workload")
+}
+
 /// Server over a fresh registry with a k-NN model for the small SpMV
 /// space pre-trained (k-NN is the family whose distance sort the original
 /// NaN panic reached).
 fn start(tag: &str, max_body: usize) -> (http::ServerHandle, Arc<ModelRegistry>, String) {
     let registry = Arc::new(ModelRegistry::new(temp_root(tag)));
     registry
-        .get(ModelKey::new(WorkloadId::SpmvSmall, ModelKind::Knn, 1))
+        .get(ModelKey::new(wid("spmv-small"), ModelKind::Knn, 1))
         .expect("train k-NN on spmv-small");
     let handle = http::start(
         Arc::clone(&registry),
@@ -47,7 +53,7 @@ fn valid_body() -> String {
         workload: "spmv-small".to_string(),
         kind: "knn".to_string(),
         version: Some(1),
-        rows: WorkloadId::SpmvSmall.sample_rows(2),
+        rows: wid("spmv-small").sample_rows(2),
     })
     .expect("serializes")
 }
@@ -69,7 +75,7 @@ fn non_finite_feature_rows_return_400_and_connection_survives() {
     // `1e999` parses to +inf — the non-finite value JSON can actually
     // smuggle in. Before the fix this reached the k-NN distance sort and
     // panicked the worker; now it must be a clean 400.
-    let rows = WorkloadId::SpmvSmall.sample_rows(1);
+    let rows = wid("spmv-small").sample_rows(1);
     let inf_body = format!(
         r#"{{"workload":"spmv-small","kind":"knn","rows":[[1e999,{},{},{}]]}}"#,
         rows[0][1], rows[0][2], rows[0][3]
@@ -95,7 +101,7 @@ fn bad_rows_never_trigger_train_on_miss() {
 
     // A request for an untrained key with invalid rows must be rejected
     // before the registry resolves (and would otherwise train) the model.
-    let untrained = ModelKey::new(WorkloadId::SpmvSmall, ModelKind::Cart, 1);
+    let untrained = ModelKey::new(wid("spmv-small"), ModelKind::Cart, 1);
     assert!(!registry.path_for(untrained).exists());
     let body = r#"{"workload":"spmv-small","kind":"cart","rows":[[1e999,3,64,1]]}"#;
     let (status, _) = client.post("/predict", body).expect("round-trip");
@@ -139,6 +145,44 @@ fn malformed_json_returns_400_and_connection_survives() {
         let (status, _) = client.post("/predict", body).expect("round-trip");
         assert_eq!(status, 400, "body `{body}`");
     }
+    assert_connection_usable(&mut client);
+    handle.stop();
+}
+
+#[test]
+fn workloads_endpoint_lists_catalog_and_unknown_name_is_404() {
+    let (handle, _registry, addr) = start("workloads", 1 << 20);
+    let mut client = HttpClient::connect(&addr).expect("connects");
+
+    // /workloads lists every servable scenario with its schema.
+    let (status, body) = client.get("/workloads").expect("round-trip");
+    assert_eq!(status, 200, "body: {body}");
+    let parsed: WorkloadsResponse = serde_json::from_str(&body).expect("parses");
+    for expected in ["stencil-grid", "fmm", "fmm-small", "spmv-small"] {
+        assert!(
+            parsed.workloads.iter().any(|w| w.name == expected),
+            "{expected} missing from /workloads: {body}"
+        );
+    }
+    for w in &parsed.workloads {
+        assert_eq!(w.n_features, w.feature_names.len(), "{}", w.name);
+        assert!(w.space_size > 0, "{}", w.name);
+    }
+
+    // /workloads/{name} answers one scenario's schema.
+    let (status, body) = client.get("/workloads/spmv-small").expect("round-trip");
+    assert_eq!(status, 200, "body: {body}");
+    let detail: WorkloadInfo = serde_json::from_str(&body).expect("parses");
+    assert_eq!(detail.name, "spmv-small");
+    assert_eq!(detail.n_features, 4);
+    assert!(detail.space_size >= 96);
+
+    // An unknown name is a clean 404, and the connection survives.
+    let (status, body) = client
+        .get("/workloads/no-such-workload")
+        .expect("round-trip");
+    assert_eq!(status, 404, "body: {body}");
+    assert!(body.contains("unknown workload"), "body: {body}");
     assert_connection_usable(&mut client);
     handle.stop();
 }

@@ -20,6 +20,10 @@ fn temp_root(tag: &str) -> std::path::PathBuf {
     dir
 }
 
+fn wid(name: &str) -> WorkloadId {
+    WorkloadId::get(name).expect("builtin workload")
+}
+
 fn start_server(registry: Arc<ModelRegistry>) -> http::ServerHandle {
     http::start(
         registry,
@@ -35,7 +39,7 @@ fn start_server(registry: Arc<ModelRegistry>) -> http::ServerHandle {
 #[test]
 fn serve_restart_predict_and_loadgen_end_to_end() {
     let root = temp_root("e2e");
-    let key = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Hybrid, 1);
+    let key = ModelKey::new(wid("fmm-small"), ModelKind::Hybrid, 1);
 
     // Phase 1: train + persist, then drop the registry (process "exit").
     {
@@ -69,7 +73,7 @@ fn serve_restart_predict_and_loadgen_end_to_end() {
         .any(|m| m.workload == "fmm-small" && m.kind == "hybrid" && m.version == 1));
 
     // /predict answers in request order with the model's own predictions.
-    let rows = WorkloadId::FmmSmall.sample_rows(96);
+    let rows = wid("fmm-small").sample_rows(96);
     let request = PredictRequest {
         workload: "fmm-small".to_string(),
         kind: "hybrid".to_string(),
@@ -115,7 +119,7 @@ fn serve_restart_predict_and_loadgen_end_to_end() {
     // Loadgen sustains real throughput against the cached model.
     let report = loadgen::run(&LoadgenOptions {
         addr: addr.clone(),
-        workload: WorkloadId::FmmSmall,
+        workload: wid("fmm-small"),
         kind: ModelKind::Hybrid,
         version: 1,
         seconds: 1.0,
@@ -157,7 +161,7 @@ fn spmv_small_served_for_all_model_kinds() {
     let addr = handle.local_addr().to_string();
     let mut client = HttpClient::connect(&addr).expect("connects");
 
-    let rows = WorkloadId::SpmvSmall.sample_rows(8);
+    let rows = wid("spmv-small").sample_rows(8);
     for kind in ModelKind::all() {
         let request = PredictRequest {
             workload: "spmv-small".to_string(),
@@ -186,7 +190,7 @@ fn spmv_small_served_for_all_model_kinds() {
                 response.predictions
             );
         }
-        let key = ModelKey::new(WorkloadId::SpmvSmall, kind, 1);
+        let key = ModelKey::new(wid("spmv-small"), kind, 1);
         assert!(registry.path_for(key).is_file(), "kind {kind} persisted");
     }
     handle.stop();
@@ -200,13 +204,13 @@ fn predict_trains_on_miss_over_http() {
     let addr = handle.local_addr().to_string();
 
     // No artifact exists; the first request trains, persists, and serves.
-    let key = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Linear, 1);
+    let key = ModelKey::new(wid("fmm-small"), ModelKind::Linear, 1);
     assert!(!registry.path_for(key).is_file());
     let request = PredictRequest {
         workload: "fmm-small".to_string(),
         kind: "linear".to_string(),
         version: None, // defaults to v1
-        rows: WorkloadId::FmmSmall.sample_rows(4),
+        rows: wid("fmm-small").sample_rows(4),
     };
     let mut client = HttpClient::connect(&addr).unwrap();
     let (status, body) = client

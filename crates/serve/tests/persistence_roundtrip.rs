@@ -15,6 +15,10 @@ use lam_serve::registry::{train, ModelKey};
 use lam_serve::workload::WorkloadId;
 use proptest::prelude::*;
 
+fn wid(name: &str) -> WorkloadId {
+    WorkloadId::get(name).expect("builtin workload")
+}
+
 /// Train → save → load → compare over every row of the workload space.
 fn assert_roundtrip_bit_identical(
     workload: WorkloadId,
@@ -57,12 +61,12 @@ proptest! {
 
     #[test]
     fn stencil_roundtrip_bit_identical(kind in any_kind(), version in 1u32..4) {
-        assert_roundtrip_bit_identical(WorkloadId::StencilGrid, kind, version)?;
+        assert_roundtrip_bit_identical(wid("stencil-grid"), kind, version)?;
     }
 
     #[test]
     fn fmm_roundtrip_bit_identical(kind in any_kind(), version in 1u32..4) {
-        assert_roundtrip_bit_identical(WorkloadId::FmmSmall, kind, version)?;
+        assert_roundtrip_bit_identical(wid("fmm-small"), kind, version)?;
     }
 }
 
@@ -71,6 +75,6 @@ fn every_kind_roundtrips_on_fmm() {
     // Deterministic exhaustive sweep alongside the drawn cases: every
     // family at version 1 on the quick FMM space.
     for kind in ModelKind::all() {
-        assert_roundtrip_bit_identical(WorkloadId::FmmSmall, kind, 1).unwrap();
+        assert_roundtrip_bit_identical(wid("fmm-small"), kind, 1).unwrap();
     }
 }

@@ -11,6 +11,8 @@ use crate::config::{SpmvConfig, SpmvSpace};
 use crate::oracle::SpmvOracle;
 use lam_analytical::spmv::SpmvRooflineModel;
 use lam_analytical::traits::AnalyticalModel;
+use lam_core::catalog::{CatalogError, WorkloadCatalog, SERVE_NOISE_SEED};
+use lam_core::hybrid::HybridConfig;
 use lam_core::workload::Workload;
 use lam_machine::arch::MachineDescription;
 
@@ -84,6 +86,42 @@ impl Workload for SpmvWorkload {
             self.oracle.sweeps,
         ))
     }
+
+    /// SpMV runtimes span decades across matrix sizes, so the hybrid
+    /// stacks `ln(am)` like FMM does.
+    fn hybrid_config(&self) -> HybridConfig {
+        HybridConfig {
+            log_feature: true,
+            ..HybridConfig::default()
+        }
+    }
+}
+
+/// Register the SpMV scenarios' servable descriptors: the full
+/// `(rows, nnz, rb, t)` space as `spmv` and the reduced smoke-run space
+/// as `spmv-small`, both on the Blue Waters description with the shared
+/// [`SERVE_NOISE_SEED`].
+pub fn register_servable(catalog: &WorkloadCatalog) -> Result<(), CatalogError> {
+    for (name, space) in [
+        ("spmv", crate::config::space_spmv()),
+        ("spmv-small", crate::config::space_small()),
+    ] {
+        match catalog.register_workload(
+            name,
+            SpmvWorkload::new(
+                MachineDescription::blue_waters_xe6(),
+                space,
+                SERVE_NOISE_SEED,
+            ),
+        ) {
+            // Idempotent per name: an earlier registration (a repeat call,
+            // or a user claiming one name first) wins; the *other* names
+            // still register.
+            Ok(_) | Err(CatalogError::Duplicate(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

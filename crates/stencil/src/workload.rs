@@ -6,6 +6,7 @@ use crate::config::{StencilConfig, StencilFeatures, StencilSpace};
 use crate::oracle::StencilOracle;
 use lam_analytical::stencil::{BlockedStencilModel, StencilAnalyticalModel};
 use lam_analytical::traits::AnalyticalModel;
+use lam_core::catalog::{CatalogError, WorkloadCatalog, SERVE_NOISE_SEED};
 use lam_core::workload::Workload;
 use lam_machine::arch::MachineDescription;
 
@@ -87,6 +88,35 @@ impl Workload for StencilWorkload {
             }
         }
     }
+}
+
+/// Register the stencil scenarios' servable descriptors — the three
+/// paper spaces under their stable names (`stencil-grid`,
+/// `stencil-grid-blocking`, `stencil-grid-threads`) — on the Blue Waters
+/// description with the shared [`SERVE_NOISE_SEED`].
+pub fn register_servable(catalog: &WorkloadCatalog) -> Result<(), CatalogError> {
+    for space in [
+        crate::config::space_grid_only(),
+        crate::config::space_grid_blocking(),
+        crate::config::space_grid_threads(),
+    ] {
+        let name = space.name;
+        match catalog.register_workload(
+            name,
+            StencilWorkload::new(
+                MachineDescription::blue_waters_xe6(),
+                space,
+                SERVE_NOISE_SEED,
+            ),
+        ) {
+            // Idempotent per name: an earlier registration (a repeat call,
+            // or a user claiming one name first) wins; the *other* names
+            // still register.
+            Ok(_) | Err(CatalogError::Duplicate(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -10,11 +10,15 @@ use lam::serve::registry::{ModelKey, ModelRegistry};
 use lam::serve::workload::WorkloadId;
 use std::sync::Arc;
 
+fn wid(name: &str) -> WorkloadId {
+    WorkloadId::get(name).expect("builtin workload")
+}
+
 fn main() {
     // 1. Resolve the model through the registry: trains + persists under
     //    results/models/ on first run, loads the JSON artifact afterwards.
     let registry = Arc::new(ModelRegistry::new(ModelRegistry::default_root()));
-    let key = ModelKey::new(WorkloadId::FmmSmall, ModelKind::Hybrid, 1);
+    let key = ModelKey::new(wid("fmm-small"), ModelKind::Hybrid, 1);
     let model = registry.get(key).expect("train or load hybrid model");
     println!(
         "model {key}: {} features, artifact at {}",
@@ -35,7 +39,7 @@ fn main() {
     println!("serving on http://{addr}");
 
     // 3. Query it over real HTTP: batched rows, answered in order.
-    let rows = WorkloadId::FmmSmall.sample_rows(8);
+    let rows = wid("fmm-small").sample_rows(8);
     let request = PredictRequest {
         workload: key.workload.to_string(),
         kind: key.kind.to_string(),

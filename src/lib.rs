@@ -43,6 +43,11 @@ pub use lam_stencil as stencil;
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use lam_analytical::traits::AnalyticalModel;
+    // Note: `DynWorkload` is deliberately *not* in the prelude — importing
+    // it alongside `Workload` would make same-named method calls on
+    // concrete workload types ambiguous. Reach it via
+    // `lam::core::catalog::DynWorkload`.
+    pub use lam_core::catalog::WorkloadCatalog;
     pub use lam_core::evaluate::{EvaluationConfig, TrialOutcome};
     pub use lam_core::hybrid::{HybridConfig, HybridModel};
     pub use lam_core::workload::Workload;
