@@ -1,0 +1,158 @@
+//! Strategy comparison: regret-vs-budget curves for every `lam-tune`
+//! strategy (plus the active learner) on the stencil, small-FMM, and
+//! small-SpMV scenarios.
+//!
+//! For each scenario a hybrid guide model is trained once on 10% of the
+//! space; each strategy then tunes under growing oracle budgets, and the
+//! regret of its recommendation (best measured time / true best) is
+//! recorded against the budget. The active learner runs the same budgets
+//! with its in-loop refits. Results print as aligned tables and land in
+//! `results/tune_strategies.json`.
+//!
+//! Run: `cargo run -p lam-bench --release --bin tune_strategies`
+
+use lam_bench::runners::{servable, StandardModels};
+use lam_core::predict::PredictRow;
+use lam_ml::sampling::train_test_split_fraction;
+use lam_tune::{active_learn, all_strategies, ActiveLearnOptions, TuneRequest, ACTIVE_STRATEGY};
+use serde::{Deserialize, Serialize};
+
+/// Budgets swept per strategy (oracle evaluations).
+const BUDGETS: [usize; 4] = [8, 16, 32, 64];
+/// Scenarios compared.
+const SCENARIOS: [&str; 3] = ["stencil-grid", "fmm-small", "spmv-small"];
+/// Guide-model training fraction.
+const TRAIN_FRACTION: f64 = 0.10;
+/// Seed for the guide-model split and every strategy run.
+const SEED: u64 = 20190520;
+
+/// One (scenario, strategy, budget) observation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RegretPoint {
+    workload: String,
+    strategy: String,
+    budget: usize,
+    evaluations: usize,
+    best_oracle_s: f64,
+    true_best_s: f64,
+    regret: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TuneStrategiesReport {
+    title: String,
+    train_fraction: f64,
+    seed: u64,
+    points: Vec<RegretPoint>,
+}
+
+fn main() {
+    let mut points = Vec::new();
+    for name in SCENARIOS {
+        let entry = servable(name).expect("builtin scenario resolves");
+        let workload = entry.workload();
+        let data = entry.dataset();
+        let true_best = data
+            .response()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+
+        // One guide model per scenario: the workload's own hybrid on a
+        // 10% sample, exactly like the figure experiments.
+        let (train, _) = train_test_split_fraction(&data, TRAIN_FRACTION, SEED);
+        let mut guide = StandardModels::hybrid_for(workload, workload.hybrid_config(), SEED);
+        guide.fit(&train).expect("guide model fits");
+        let model: &dyn PredictRow = &guide;
+
+        println!(
+            "\n{name}: {} configs, true best {:.4} ms, guide hybrid on {} rows",
+            data.len(),
+            true_best * 1e3,
+            train.len()
+        );
+        println!(
+            "  {:>11} | {}",
+            "strategy",
+            BUDGETS.map(|b| format!("b={b:<4}")).join("  ")
+        );
+        println!("  {}", "-".repeat(13 + 8 * BUDGETS.len()));
+
+        for tuner in all_strategies() {
+            let mut regrets = Vec::new();
+            for budget in BUDGETS {
+                let mut report = tuner
+                    .tune(
+                        workload,
+                        model,
+                        &TuneRequest {
+                            budget,
+                            top_k: 5,
+                            seed: SEED,
+                        },
+                    )
+                    .expect("strategy runs");
+                report.attach_regret(data.response());
+                let regret = report.regret.expect("regret attached");
+                regrets.push(regret);
+                points.push(RegretPoint {
+                    workload: name.to_string(),
+                    strategy: tuner.name().to_string(),
+                    budget,
+                    evaluations: report.evaluations,
+                    best_oracle_s: report.best.oracle.expect("measured best"),
+                    true_best_s: report.true_best.expect("true best"),
+                    regret,
+                });
+            }
+            print_row(tuner.name(), &regrets);
+        }
+
+        // The active learner under the same budgets.
+        let mut regrets = Vec::new();
+        for budget in BUDGETS {
+            let mut report = active_learn(
+                workload,
+                &ActiveLearnOptions {
+                    budget,
+                    seed: SEED,
+                    ..ActiveLearnOptions::default()
+                },
+            )
+            .expect("active learning runs");
+            report.attach_regret(data.response());
+            let regret = report.regret.expect("regret attached");
+            regrets.push(regret);
+            points.push(RegretPoint {
+                workload: name.to_string(),
+                strategy: ACTIVE_STRATEGY.to_string(),
+                budget,
+                evaluations: report.evaluations,
+                best_oracle_s: report.best.oracle.expect("measured best"),
+                true_best_s: report.true_best.expect("true best"),
+                regret,
+            });
+        }
+        print_row(ACTIVE_STRATEGY, &regrets);
+    }
+
+    let report = TuneStrategiesReport {
+        title: "lam-tune strategy comparison: regret vs oracle-evaluation budget".to_string(),
+        train_fraction: TRAIN_FRACTION,
+        seed: SEED,
+        points,
+    };
+    std::fs::create_dir_all("results").expect("results dir");
+    let path = "results/tune_strategies.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serializable"),
+    )
+    .expect("report written");
+    println!("\nreport written to {path}");
+}
+
+fn print_row(name: &str, regrets: &[f64]) {
+    let cells: Vec<String> = regrets.iter().map(|r| format!("{r:5.2}x")).collect();
+    println!("  {name:>11} | {}", cells.join("  "));
+}

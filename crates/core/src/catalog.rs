@@ -67,6 +67,16 @@ pub trait DynWorkload: Send + Sync {
     /// [`DynWorkload::generate_dataset`] at a tiny fraction of the cost.
     fn feature_rows(&self) -> Vec<Vec<f64>>;
 
+    /// Ground-truth execution time of configuration `index` (in canonical
+    /// space order) — the oracle on one point. This is what autotuners
+    /// "measure": a single-config evaluation whose cost the tuner budgets,
+    /// as opposed to [`DynWorkload::generate_dataset`]'s full sweep.
+    /// Agrees exactly with `generate_dataset().response()[index]`.
+    ///
+    /// # Panics
+    /// Implementations may panic when `index >= space_size()`.
+    fn measure(&self, index: usize) -> f64;
+
     /// Generate the full scenario dataset (runs the oracle over every
     /// configuration). Callers wanting the memoized copy go through
     /// [`WorkloadEntry::dataset`] instead.
@@ -101,6 +111,10 @@ impl<W: Workload> DynWorkload for W {
             .iter()
             .map(|c| self.features(c))
             .collect()
+    }
+
+    fn measure(&self, index: usize) -> f64 {
+        self.execution_time(&self.param_space()[index])
     }
 
     fn generate_dataset(&self) -> Dataset {
@@ -391,6 +405,10 @@ mod tests {
         assert_eq!(rows[0], vec![1.0]);
         let data = erased.generate_dataset();
         assert_eq!(data.len(), 12);
+        // The per-index oracle agrees bit for bit with the full sweep.
+        for i in 0..data.len() {
+            assert_eq!(erased.measure(i).to_bits(), data.response()[i].to_bits());
+        }
         assert!(!erased.hybrid_config().log_feature);
         assert!(erased.analytical_model().predict(&rows[0]).is_finite());
     }

@@ -27,8 +27,11 @@
 //! descriptors with memoized datasets — the layer that lets serving code
 //! pick up new scenarios from one registration call instead of an enum
 //! edit. [`predict`] exposes the object-safe read-only [`PredictRow`]
-//! surface serving layers share across threads.
+//! surface serving layers share across threads, and [`batch`] the sharded
+//! prediction cache + order-preserving micro-batch executor that both the
+//! serving layer and the autotuner score models through.
 
+pub mod batch;
 pub mod catalog;
 pub mod evaluate;
 pub mod hybrid;
@@ -36,6 +39,7 @@ pub mod predict;
 pub mod workload;
 pub mod wrap;
 
+pub use batch::{BatchEngine, BatchOutcome, PredictionCache};
 pub use catalog::{CatalogError, DynWorkload, WorkloadCatalog, WorkloadEntry};
 pub use evaluate::{
     evaluate_model, evaluate_workload, EvaluationConfig, SeriesPoint, TrialOutcome,

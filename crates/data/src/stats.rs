@@ -66,6 +66,28 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     }
 }
 
+/// Linear-interpolated percentile of an already sorted `u64` slice, `p`
+/// in `[0, 1]` — the integer-native twin of [`percentile_sorted`], so
+/// latency reports (microsecond samples) never materialize an `f64` copy
+/// of the sample just to query a percentile. Only the two bracketing
+/// ranks are converted.
+pub fn percentile_sorted_u64(sorted: &[u64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 1.0);
+    if sorted.len() == 1 {
+        return sorted[0] as f64;
+    }
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo] as f64
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] as f64 * (1.0 - w) + sorted[hi] as f64 * w
+    }
+}
+
 /// Mean of a slice (0 for empty, which is convenient for accumulators).
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -128,6 +150,20 @@ mod tests {
         assert!((percentile_sorted(&v, 0.5) - 5.0).abs() < 1e-12);
         assert_eq!(percentile_sorted(&v, 0.0), 0.0);
         assert_eq!(percentile_sorted(&v, 1.0), 10.0);
+    }
+
+    #[test]
+    fn u64_percentile_matches_f64_path_bit_for_bit() {
+        let sorted: Vec<u64> = (1..=100).chain([1_000_000, u32::MAX as u64]).collect();
+        let as_f64: Vec<f64> = sorted.iter().map(|&v| v as f64).collect();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0, -0.3, 1.7] {
+            assert_eq!(
+                percentile_sorted_u64(&sorted, q).to_bits(),
+                percentile_sorted(&as_f64, q).to_bits(),
+                "q={q}"
+            );
+        }
+        assert_eq!(percentile_sorted_u64(&[7], 0.4), 7.0);
     }
 
     #[test]

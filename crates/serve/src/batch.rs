@@ -1,23 +1,19 @@
-//! Batched inference: a sharded prediction cache plus an order-preserving
-//! micro-batch executor.
+//! Serving-side batched inference: request-row validation in front of the
+//! shared micro-batch executor.
 //!
-//! Configuration spaces are finite, so production traffic revisits the
-//! same feature vectors constantly; a cache turns a tree-walk (or a k-NN
-//! scan) into one hash lookup. The cache is sharded — each shard is its
-//! own `Mutex<HashMap>` picked by key hash — so concurrent serving
-//! threads rarely contend on the same lock.
-//!
-//! The executor splits a request's rows into fixed-size micro-batches and
-//! fans them across cores with the vendored rayon, whose parallel map is
-//! order preserving (results are stitched back in input order), so
-//! response position `i` always answers request row `i`.
+//! The cache and executor themselves live in [`lam_core::batch`] — they
+//! have a second consumer in `lam-tune`'s model-guided search — and are
+//! re-exported here so serving code (and its historical callers) keep one
+//! import path. What stays in this module is the serving-specific piece:
+//! [`validate_rows`], the input firewall that turns malformed client rows
+//! into typed [`ServeError`]s before any model dispatch.
 
 use crate::ServeError;
-use lam_core::predict::PredictRow;
-use rayon::prelude::*;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+
+pub use lam_core::batch::{
+    BatchEngine, BatchOutcome, CacheStats, PredictionCache, DEFAULT_MAX_ENTRIES,
+    DEFAULT_MICRO_BATCH,
+};
 
 /// Validate request rows before any model dispatch: every row must carry
 /// exactly `expected` features and every value must be finite.
@@ -43,278 +39,10 @@ pub fn validate_rows(expected: usize, rows: &[Vec<f64>]) -> Result<(), ServeErro
     Ok(())
 }
 
-/// Cache-key for one feature row: the exact bit patterns of its floats
-/// (no epsilon grouping — only a bit-identical row is "the same query").
-fn row_key(row: &[f64]) -> Box<[u64]> {
-    row.iter().map(|v| v.to_bits()).collect()
-}
-
-/// FNV-1a over the key bits, for shard selection.
-fn key_hash(key: &[u64]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &w in key {
-        for b in w.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-    h
-}
-
-/// Hit/miss counters of a [`PredictionCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Lookups answered from the cache.
-    pub hits: u64,
-    /// Lookups that fell through to the model.
-    pub misses: u64,
-}
-
-/// Default total entry cap of a [`PredictionCache`]. The configuration
-/// spaces this workspace enumerates stay in the thousands; the cap only
-/// exists so arbitrary client-supplied rows (fuzzing, jittered floats)
-/// cannot grow a long-running server without bound.
-pub const DEFAULT_MAX_ENTRIES: usize = 1 << 20;
-
-/// A sharded feature-vector → prediction cache, capped at a fixed entry
-/// budget (inserts beyond a full shard are dropped; predictions are then
-/// simply recomputed, so the cap degrades throughput, never correctness).
-pub struct PredictionCache {
-    shards: Vec<Mutex<HashMap<Box<[u64]>, f64>>>,
-    per_shard_cap: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
-
-impl PredictionCache {
-    /// Cache with `shards` independent lock domains (clamped to ≥ 1) and
-    /// the [`DEFAULT_MAX_ENTRIES`] budget.
-    pub fn new(shards: usize) -> Self {
-        Self::with_capacity(shards, DEFAULT_MAX_ENTRIES)
-    }
-
-    /// Cache with an explicit total entry budget, split across shards.
-    pub fn with_capacity(shards: usize, max_entries: usize) -> Self {
-        let shards = shards.max(1);
-        Self {
-            per_shard_cap: max_entries.div_ceil(shards).max(1),
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
-    }
-
-    fn shard(&self, key: &[u64]) -> &Mutex<HashMap<Box<[u64]>, f64>> {
-        &self.shards[(key_hash(key) % self.shards.len() as u64) as usize]
-    }
-
-    /// Cached prediction for `row`, if present. Counts a hit or miss.
-    pub fn get(&self, row: &[f64]) -> Option<f64> {
-        let key = row_key(row);
-        let found = self
-            .shard(&key)
-            .lock()
-            .expect("cache poisoned")
-            .get(&key)
-            .copied();
-        match found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
-    }
-
-    /// Record a computed prediction. A full shard drops the insert
-    /// (bounded memory beats caching one more row).
-    pub fn insert(&self, row: &[f64], prediction: f64) {
-        let key = row_key(row);
-        let mut shard = self.shard(&key).lock().expect("cache poisoned");
-        if shard.len() < self.per_shard_cap || shard.contains_key(&key) {
-            shard.insert(key, prediction);
-        }
-    }
-
-    /// Number of cached feature vectors.
-    pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache poisoned").len())
-            .sum()
-    }
-
-    /// `true` when nothing is cached.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Lifetime hit/miss counters.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// Outcome of one batched prediction call.
-#[derive(Debug, Clone, PartialEq)]
-pub struct BatchOutcome {
-    /// One prediction per request row, in request order.
-    pub predictions: Vec<f64>,
-    /// How many rows were answered from the cache.
-    pub cache_hits: u64,
-}
-
-/// Order-preserving micro-batch executor over a [`PredictionCache`].
-pub struct BatchEngine {
-    cache: PredictionCache,
-    micro_batch: usize,
-}
-
-/// Micro-batch size balancing per-batch overhead against load balance;
-/// also the default shard count.
-pub const DEFAULT_MICRO_BATCH: usize = 64;
-
-impl Default for BatchEngine {
-    fn default() -> Self {
-        Self::new(DEFAULT_MICRO_BATCH, DEFAULT_MICRO_BATCH)
-    }
-}
-
-impl BatchEngine {
-    /// Engine with explicit micro-batch size and cache shard count.
-    pub fn new(micro_batch: usize, shards: usize) -> Self {
-        Self {
-            cache: PredictionCache::new(shards),
-            micro_batch: micro_batch.max(1),
-        }
-    }
-
-    /// The underlying cache.
-    pub fn cache(&self) -> &PredictionCache {
-        &self.cache
-    }
-
-    /// Predict one micro-batch through the cache, counting hits locally
-    /// (not from the global counters, which concurrent requests advance
-    /// too).
-    fn predict_micro_batch(&self, model: &dyn PredictRow, batch: &[Vec<f64>]) -> (Vec<f64>, u64) {
-        let mut hits = 0u64;
-        let predictions = batch
-            .iter()
-            .map(|row| match self.cache.get(row) {
-                Some(y) => {
-                    hits += 1;
-                    y
-                }
-                None => {
-                    let y = model.predict_row(row);
-                    self.cache.insert(row, y);
-                    y
-                }
-            })
-            .collect();
-        (predictions, hits)
-    }
-
-    /// Predict every row of the request through the cache, fanning
-    /// micro-batches across cores. Response order matches request order.
-    ///
-    /// Requests that fit in one micro-batch skip the parallel executor
-    /// entirely — its fixed entry cost would dominate a single cache
-    /// lookup.
-    pub fn predict(&self, model: &dyn PredictRow, rows: &[Vec<f64>]) -> BatchOutcome {
-        if rows.len() <= self.micro_batch {
-            let (predictions, cache_hits) = self.predict_micro_batch(model, rows);
-            return BatchOutcome {
-                predictions,
-                cache_hits,
-            };
-        }
-        let batches: Vec<&[Vec<f64>]> = rows.chunks(self.micro_batch).collect();
-        let parts: Vec<(Vec<f64>, u64)> = batches
-            .par_iter()
-            .map(|batch| self.predict_micro_batch(model, batch))
-            .collect();
-        let cache_hits = parts.iter().map(|(_, h)| h).sum();
-        let predictions: Vec<f64> = parts.into_iter().flat_map(|(p, _)| p).collect();
-        BatchOutcome {
-            predictions,
-            cache_hits,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// Deterministic toy model: y = 2*x0 + x1.
-    struct Toy;
-    impl PredictRow for Toy {
-        fn predict_row(&self, x: &[f64]) -> f64 {
-            2.0 * x[0] + x.get(1).copied().unwrap_or(0.0)
-        }
-    }
-
-    fn rows(n: usize) -> Vec<Vec<f64>> {
-        (0..n).map(|i| vec![i as f64, (i % 7) as f64]).collect()
-    }
-
-    #[test]
-    fn batched_predictions_preserve_request_order() {
-        let engine = BatchEngine::new(8, 4);
-        let rows = rows(1000);
-        let out = engine.predict(&Toy, &rows);
-        assert_eq!(out.predictions.len(), rows.len());
-        for (i, row) in rows.iter().enumerate() {
-            assert_eq!(out.predictions[i], Toy.predict_row(row), "row {i}");
-        }
-    }
-
-    #[test]
-    fn second_pass_is_all_cache_hits() {
-        let engine = BatchEngine::new(16, 8);
-        let rows = rows(300);
-        let cold = engine.predict(&Toy, &rows);
-        assert_eq!(cold.cache_hits, 0);
-        assert_eq!(engine.cache().len(), rows.len());
-        let warm = engine.predict(&Toy, &rows);
-        assert_eq!(warm.cache_hits, rows.len() as u64);
-        assert_eq!(warm.predictions, cold.predictions);
-    }
-
-    #[test]
-    fn cache_distinguishes_bitwise_different_rows() {
-        let cache = PredictionCache::new(4);
-        cache.insert(&[1.0, 2.0], 10.0);
-        assert_eq!(cache.get(&[1.0, 2.0]), Some(10.0));
-        assert_eq!(cache.get(&[1.0, 2.0000000000000004]), None);
-        assert_eq!(cache.get(&[1.0]), None);
-        // -0.0 and 0.0 differ bitwise: distinct cache entries.
-        cache.insert(&[0.0], 1.0);
-        assert_eq!(cache.get(&[-0.0]), None);
-        let stats = cache.stats();
-        assert_eq!(stats.hits, 1);
-        assert_eq!(stats.misses, 3);
-    }
-
-    #[test]
-    fn capacity_bounds_entries_without_breaking_predictions() {
-        let cache = PredictionCache::with_capacity(2, 4);
-        for i in 0..100 {
-            cache.insert(&[i as f64], i as f64);
-        }
-        assert!(cache.len() <= 4, "len {}", cache.len());
-        // Overwriting an existing key still works at capacity.
-        let kept: Vec<f64> = (0..100)
-            .map(|i| i as f64)
-            .filter(|&x| cache.get(&[x]).is_some())
-            .collect();
-        let k = kept[0];
-        cache.insert(&[k], -1.0);
-        assert_eq!(cache.get(&[k]), Some(-1.0));
-    }
+    use lam_core::predict::PredictRow;
 
     #[test]
     fn validate_rows_rejects_bad_input() {
@@ -338,27 +66,17 @@ mod tests {
     }
 
     #[test]
-    fn empty_request_is_fine() {
+    fn reexported_engine_serves_validated_rows() {
+        struct Toy;
+        impl PredictRow for Toy {
+            fn predict_row(&self, x: &[f64]) -> f64 {
+                x[0] + 1.0
+            }
+        }
+        let rows = vec![vec![1.0], vec![2.0]];
+        validate_rows(1, &rows).unwrap();
         let engine = BatchEngine::default();
-        let out = engine.predict(&Toy, &[]);
-        assert!(out.predictions.is_empty());
-        assert_eq!(out.cache_hits, 0);
-        assert!(engine.cache().is_empty());
-    }
-
-    #[test]
-    fn duplicate_rows_in_one_request_hit_after_first_compute() {
-        let engine = BatchEngine::new(1, 2);
-        let rows = vec![vec![5.0, 1.0]; 10];
-        // One worker thread makes the hit count deterministic: the first
-        // occurrence computes, the other nine hit.
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(1)
-            .build()
-            .unwrap();
-        let out = pool.install(|| engine.predict(&Toy, &rows));
-        assert_eq!(out.cache_hits, 9);
-        assert!(out.predictions.iter().all(|&y| y == 11.0));
-        assert_eq!(engine.cache().len(), 1);
+        let out = engine.predict(&Toy, &rows);
+        assert_eq!(out.predictions, vec![2.0, 3.0]);
     }
 }

@@ -1,0 +1,127 @@
+//! Autotune a workload from the command line: resolve (or train) the
+//! guiding model through the registry, run a `lam-tune` strategy under a
+//! measurement budget, and print the recommendation.
+//!
+//! ```text
+//! tune --workload stencil-grid --strategy halving
+//!      [--kind hybrid] [--version 1] [--budget 32] [--top-k 5] [--seed 0]
+//!      [--models-dir results/models] [--out results/tune.json]
+//! ```
+//!
+//! `--strategy active` runs the active-learning loop (initial sample →
+//! refit → propose → measure) instead of a fixed-model strategy; `--kind`
+//! and `--version` are ignored there because the loop refits its own
+//! hybrid as measurements arrive. Dispatch and regret reporting go
+//! through [`lam_serve::tuning::run_tune`] — the same code path as the
+//! server's `POST /tune`.
+
+use lam_serve::persist::ModelKind;
+use lam_serve::registry::ModelRegistry;
+use lam_serve::tuning::{run_tune, TuneSpec};
+use lam_serve::workload::WorkloadId;
+use lam_serve::ServeError;
+
+struct Args {
+    spec: TuneSpec,
+    models_dir: String,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        spec: TuneSpec {
+            workload: WorkloadId::get("stencil-grid").expect("builtin stencil-grid registered"),
+            strategy: "active".to_string(),
+            kind: ModelKind::Hybrid,
+            version: 1,
+            budget: 32,
+            top_k: 5,
+            seed: 0,
+        },
+        models_dir: ModelRegistry::default_root().display().to_string(),
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--workload" => args.spec.workload = value("--workload")?.parse().map_err(err_str)?,
+            "--strategy" => args.spec.strategy = value("--strategy")?,
+            "--kind" => args.spec.kind = value("--kind")?.parse().map_err(err_str)?,
+            "--version" => args.spec.version = value("--version")?.parse().map_err(err_str)?,
+            "--budget" => args.spec.budget = value("--budget")?.parse().map_err(err_str)?,
+            "--top-k" => args.spec.top_k = value("--top-k")?.parse().map_err(err_str)?,
+            "--seed" => args.spec.seed = value("--seed")?.parse().map_err(err_str)?,
+            "--models-dir" => args.models_dir = value("--models-dir")?,
+            "--out" => args.out = Some(value("--out")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn err_str<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("tune: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(ServeError::Http)?;
+    let spec = &args.spec;
+    println!(
+        "{} search on {} (space {}, budget {})",
+        spec.strategy,
+        spec.workload,
+        spec.workload.space_size(),
+        spec.budget
+    );
+
+    let registry = ModelRegistry::new(&args.models_dir);
+    let (model_name, report) = run_tune(&registry, spec)?;
+    if let Some(model) = &model_name {
+        println!("guided by {model} ({})", registry.root().display());
+    }
+
+    println!(
+        "spent {}/{} oracle evaluations; recommending config #{}",
+        report.evaluations, report.budget, report.best.index
+    );
+    println!("  rank  config  predicted      measured      features");
+    for (rank, cfg) in report.top.iter().enumerate() {
+        let measured = cfg
+            .oracle
+            .map(|t| format!("{:>10.3} ms", t * 1e3))
+            .unwrap_or_else(|| "         —   ".to_string());
+        println!(
+            "  {:>4}  #{:<5} {:>10.3} ms {measured}  {:?}",
+            rank + 1,
+            cfg.index,
+            cfg.predicted * 1e3,
+            cfg.features
+        );
+    }
+    if let (Some(regret), Some(true_best)) = (report.regret, report.true_best) {
+        println!(
+            "regret vs true best: {:.3}x (true best {:.3} ms)",
+            regret,
+            true_best * 1e3
+        );
+    }
+
+    if let Some(path) = &args.out {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+        println!("report written to {path}");
+    }
+    Ok(())
+}

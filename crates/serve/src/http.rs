@@ -5,11 +5,12 @@
 //!
 //! | Endpoint            | Method | Body                                     |
 //! |---------------------|--------|------------------------------------------|
-//! | `/healthz`          | GET    | — → status, uptime, loaded-model count   |
+//! | `/healthz`          | GET    | — → status, uptime, model/workload counts|
 //! | `/models`           | GET    | — → registry catalog                     |
 //! | `/workloads`        | GET    | — → servable scenarios (workload catalog)|
 //! | `/workloads/{name}` | GET    | — → one scenario, `404` when unknown     |
 //! | `/predict`          | POST   | [`PredictRequest`] → [`PredictResponse`] |
+//! | `/tune`             | POST   | [`TuneHttpRequest`] → [`TuneHttpResponse`] |
 //!
 //! Concurrency model: `workers` threads share the listener (`accept` is
 //! thread-safe) and each owns one connection at a time, serving keep-alive
@@ -61,8 +62,14 @@ pub struct HealthResponse {
     pub status: String,
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
+    /// Seconds since the server started (same clock as `uptime_ms`, for
+    /// smoke tests that think in seconds).
+    pub uptime_s: f64,
     /// Models memoized in the registry.
     pub models_loaded: usize,
+    /// Entries in the workload catalog — lets smoke tests assert the
+    /// catalog was populated without a second request.
+    pub workloads: usize,
 }
 
 /// One `/models` catalog row.
@@ -106,6 +113,41 @@ pub struct WorkloadInfo {
 pub struct WorkloadsResponse {
     /// Servable scenarios, in catalog registration order.
     pub workloads: Vec<WorkloadInfo>,
+}
+
+/// `/tune` request body: ask the autotuner what configuration to run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuneHttpRequest {
+    /// Workload to tune (a catalog name, e.g. `stencil-grid`).
+    pub workload: String,
+    /// Search strategy: `exhaustive`, `random`, `local`, `halving`, or
+    /// `active` (the in-loop-refitting active learner).
+    pub strategy: String,
+    /// Oracle-evaluation budget the strategy may spend.
+    pub budget: usize,
+    /// Model kind guiding the search (e.g. `hybrid`); `None` means
+    /// hybrid. Ignored by `active`, which refits its own hybrid in-loop.
+    pub kind: Option<String>,
+    /// Ranked configurations to return; `None` means 5.
+    pub top_k: Option<usize>,
+    /// Search seed; `None` means 0 (responses are deterministic per seed).
+    pub seed: Option<u64>,
+    /// Artifact version of the guiding model; `None` means 1.
+    pub version: Option<u32>,
+}
+
+/// `/tune` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuneHttpResponse {
+    /// The guiding model, as `workload/kind/vN` — `None` for `active`,
+    /// which refits in-loop instead of consulting the registry.
+    pub model: Option<String>,
+    /// The tuning result: recommendation, ranked configurations with
+    /// predicted (and, where measured, oracle) times, budget accounting,
+    /// trajectory, and regret when the full dataset was already memoized.
+    pub report: lam_tune::TuneReport,
+    /// Server-side handling time, microseconds.
+    pub micros: u64,
 }
 
 /// Error response body (any non-2xx status).
@@ -405,7 +447,9 @@ fn route(req: &Request, registry: &Arc<ModelRegistry>, started: Instant) -> (u16
             workload_detail(&path["/workloads/".len()..])
         }
         ("POST", "/predict") => predict(req, registry),
+        ("POST", "/tune") => tune(req, registry),
         ("GET", "/predict") => Err((405, "use POST for /predict".to_string())),
+        ("GET", "/tune") => Err((405, "use POST for /tune".to_string())),
         _ => Err((404, format!("no route for {} {}", req.method, req.path))),
     };
     match result {
@@ -424,10 +468,14 @@ fn json_ok<T: serde::Serialize>(value: &T) -> RouteResult {
 }
 
 fn healthz(registry: &Arc<ModelRegistry>, started: Instant) -> RouteResult {
+    crate::workload::ensure_builtin_workloads();
+    let uptime = started.elapsed();
     json_ok(&HealthResponse {
         status: "ok".to_string(),
-        uptime_ms: started.elapsed().as_millis() as u64,
+        uptime_ms: uptime.as_millis() as u64,
+        uptime_s: uptime.as_secs_f64(),
         models_loaded: registry.loaded_count(),
+        workloads: lam_core::catalog::WorkloadCatalog::global().len(),
     })
 }
 
@@ -512,6 +560,70 @@ fn predict(req: &Request, registry: &Arc<ModelRegistry>) -> RouteResult {
 
 fn bad_request(e: ServeError) -> (u16, String) {
     (400, e.to_string())
+}
+
+/// Largest `/tune` budget a client may request. Oracle evaluations run
+/// server-side, so the remotely reachable work per request must be
+/// finite — the built-in spaces top out near 2k configurations anyway.
+pub const MAX_TUNE_BUDGET: usize = 4096;
+
+/// Largest `/tune` `top_k` (bounds the response body).
+pub const MAX_TUNE_TOP_K: usize = 100;
+
+fn tune(req: &Request, registry: &Arc<ModelRegistry>) -> RouteResult {
+    let start = Instant::now();
+    let body =
+        std::str::from_utf8(&req.body).map_err(|_| (400, "body is not utf-8".to_string()))?;
+    let parsed: TuneHttpRequest = serde_json::from_str(body).map_err(|e| (400, e.to_string()))?;
+    let workload: WorkloadId = parsed.workload.parse().map_err(bad_request)?;
+    if !(1..=MAX_TUNE_BUDGET).contains(&parsed.budget) {
+        return Err((
+            400,
+            format!("budget {} outside 1..={MAX_TUNE_BUDGET}", parsed.budget),
+        ));
+    }
+    let top_k = parsed.top_k.unwrap_or(5);
+    if !(1..=MAX_TUNE_TOP_K).contains(&top_k) {
+        return Err((400, format!("top_k {top_k} outside 1..={MAX_TUNE_TOP_K}")));
+    }
+    let kind = parsed
+        .kind
+        .as_deref()
+        .unwrap_or("hybrid")
+        .parse()
+        .map_err(bad_request)?;
+    let version = parsed.version.unwrap_or(1);
+    if !(1..=MAX_SERVED_VERSION).contains(&version) {
+        return Err((
+            400,
+            format!("version {version} outside 1..={MAX_SERVED_VERSION}"),
+        ));
+    }
+
+    // Dispatch + regret attachment are shared with the `tune` CLI.
+    let spec = crate::tuning::TuneSpec {
+        workload,
+        strategy: parsed.strategy,
+        kind,
+        version,
+        budget: parsed.budget,
+        top_k,
+        seed: parsed.seed.unwrap_or(0),
+    };
+    let (model_name, report) = crate::tuning::run_tune(registry, &spec).map_err(|e| match e {
+        ServeError::UnknownStrategy(_)
+        | ServeError::UnknownWorkload(_)
+        | ServeError::UnknownKind(_) => (400, e.to_string()),
+        ServeError::Tune(
+            te @ (lam_tune::TuneError::EmptySpace(_) | lam_tune::TuneError::InvalidRequest(_)),
+        ) => (400, te.to_string()),
+        other => (500, other.to_string()),
+    })?;
+    json_ok(&TuneHttpResponse {
+        model: model_name,
+        report,
+        micros: start.elapsed().as_micros() as u64,
+    })
 }
 
 fn write_response(

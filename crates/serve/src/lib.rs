@@ -14,12 +14,16 @@
 //! * [`registry`] — a [`registry::ModelRegistry`] keyed by
 //!   `(workload, kind, version)` that trains on miss, persists the result,
 //!   and memoizes loaded models behind `Arc`;
-//! * [`batch`] — a sharded prediction cache plus an order-preserving
-//!   micro-batch executor that fans inference across cores;
+//! * [`batch`] — request-row validation in front of the shared
+//!   [`lam_core::batch`] prediction cache + micro-batch executor;
 //! * [`http`] — a dependency-free HTTP/JSON server over
-//!   `std::net::TcpListener` with `/predict`, `/models`, and `/healthz`;
+//!   `std::net::TcpListener` with `/predict`, `/tune` (a thin shim over
+//!   the `lam-tune` autotuner), `/models`, `/workloads`, and `/healthz`;
 //! * [`loadgen`] — a load generator reporting throughput and
 //!   p50/p95/p99 latency against a running server.
+//!
+//! Binaries: `serve` (train-or-load + HTTP), `loadgen`, and `tune`
+//! (autotune a workload from the command line).
 //!
 //! ## Quick example
 //!
@@ -44,6 +48,7 @@ pub mod http;
 pub mod loadgen;
 pub mod persist;
 pub mod registry;
+pub mod tuning;
 pub mod workload;
 
 use std::fmt;
@@ -55,6 +60,10 @@ pub enum ServeError {
     UnknownWorkload(String),
     /// Unknown model kind in a request or CLI flag.
     UnknownKind(String),
+    /// Unknown tuning strategy in a request or CLI flag.
+    UnknownStrategy(String),
+    /// The autotuner failed (see [`lam_tune::TuneError`]).
+    Tune(lam_tune::TuneError),
     /// A request row had the wrong number of features.
     FeatureCount {
         /// Features the model expects.
@@ -88,6 +97,13 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::UnknownWorkload(w) => write!(f, "unknown workload `{w}`"),
             ServeError::UnknownKind(k) => write!(f, "unknown model kind `{k}`"),
+            ServeError::UnknownStrategy(s) => write!(
+                f,
+                "unknown strategy `{s}`: use one of {:?} or `{}`",
+                lam_tune::STRATEGY_NAMES,
+                lam_tune::ACTIVE_STRATEGY
+            ),
+            ServeError::Tune(e) => write!(f, "tuning failed: {e}"),
             ServeError::FeatureCount {
                 expected,
                 actual,
@@ -118,6 +134,12 @@ impl From<std::io::Error> for ServeError {
 impl From<lam_ml::model::FitError> for ServeError {
     fn from(e: lam_ml::model::FitError) -> Self {
         ServeError::Fit(e)
+    }
+}
+
+impl From<lam_tune::TuneError> for ServeError {
+    fn from(e: lam_tune::TuneError) -> Self {
+        ServeError::Tune(e)
     }
 }
 

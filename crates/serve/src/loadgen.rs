@@ -164,15 +164,15 @@ impl HttpClient {
 }
 
 /// Latency percentile over raw sorted samples: linear interpolation
-/// between the two bracketing ranks, delegating to
-/// [`lam_data::stats::percentile_sorted`] (the one percentile
-/// implementation the workspace keeps). Returns 0 for an empty sample.
+/// between the two bracketing ranks, delegating to the `u64`-native
+/// [`lam_data::stats::percentile_sorted_u64`] — no `f64` copy of the
+/// sample is ever allocated, no matter how many percentiles a report
+/// queries. Returns 0 for an empty sample.
 pub fn percentile_us(sorted: &[u64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let as_f64: Vec<f64> = sorted.iter().map(|&v| v as f64).collect();
-    lam_data::stats::percentile_sorted(&as_f64, q)
+    lam_data::stats::percentile_sorted_u64(sorted, q)
 }
 
 /// Prebuilt request bodies rotating through the feature-row pool.

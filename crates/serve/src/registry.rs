@@ -128,6 +128,19 @@ impl LoadedModel {
     }
 }
 
+// A loaded model is directly usable wherever an object-safe predictor is
+// expected — e.g. as the guiding model of a `lam-tune` strategy. Batch
+// prediction routes through the model's own cache + executor.
+impl PredictRow for LoadedModel {
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        self.predictor.predict_row(x)
+    }
+
+    fn predict_rows(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        self.engine.predict(&*self.predictor, rows).predictions
+    }
+}
+
 /// One row of the registry's catalog (the `/models` endpoint).
 #[derive(Debug, Clone)]
 pub struct CatalogEntry {

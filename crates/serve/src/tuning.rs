@@ -1,0 +1,124 @@
+//! The one shim between `lam-tune` and the serving layer, shared by the
+//! HTTP `/tune` handler and the `tune` CLI binary so the two entry
+//! points cannot drift: strategy dispatch (fixed-model strategies vs the
+//! active learner), guiding-model resolution through the registry, and
+//! the regret-attachment rule (only when the full dataset sweep was
+//! already paid for in this process).
+
+use crate::persist::ModelKind;
+use crate::registry::{ModelKey, ModelRegistry};
+use crate::workload::WorkloadId;
+use crate::ServeError;
+use lam_tune::{ActiveLearnOptions, TuneReport, TuneRequest, ACTIVE_STRATEGY};
+
+/// One fully resolved tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneSpec {
+    /// Workload to tune.
+    pub workload: WorkloadId,
+    /// Strategy name: one of [`lam_tune::STRATEGY_NAMES`] or
+    /// [`ACTIVE_STRATEGY`].
+    pub strategy: String,
+    /// Model kind guiding a fixed-model strategy (ignored by `active`,
+    /// which refits its own hybrid in-loop).
+    pub kind: ModelKind,
+    /// Artifact version of the guiding model (ignored by `active`).
+    pub version: u32,
+    /// Oracle-evaluation budget.
+    pub budget: usize,
+    /// Ranked configurations to return.
+    pub top_k: usize,
+    /// Search seed.
+    pub seed: u64,
+}
+
+/// Run a tuning spec: resolve (or train) the guiding model when the
+/// strategy needs one, tune, and attach regret iff the workload's full
+/// dataset is already memoized (never run a sweep just to report it).
+/// Returns the guiding model's name (`None` for `active`) and the report.
+pub fn run_tune(
+    registry: &ModelRegistry,
+    spec: &TuneSpec,
+) -> Result<(Option<String>, TuneReport), ServeError> {
+    let entry = spec.workload.entry();
+    let (model_name, mut report) = if spec.strategy == ACTIVE_STRATEGY {
+        let report = lam_tune::active_learn(
+            entry.workload(),
+            &ActiveLearnOptions {
+                budget: spec.budget,
+                top_k: spec.top_k,
+                seed: spec.seed,
+                ..ActiveLearnOptions::default()
+            },
+        )?;
+        (None, report)
+    } else {
+        let tuner = lam_tune::by_name(&spec.strategy)
+            .ok_or_else(|| ServeError::UnknownStrategy(spec.strategy.clone()))?;
+        let key = ModelKey::new(spec.workload, spec.kind, spec.version);
+        let model = registry.get(key)?;
+        let report = tuner.tune(
+            entry.workload(),
+            &*model,
+            &TuneRequest {
+                budget: spec.budget,
+                top_k: spec.top_k,
+                seed: spec.seed,
+            },
+        )?;
+        (Some(key.to_string()), report)
+    };
+    if entry.dataset_generated() {
+        report.attach_regret(entry.dataset().response());
+    }
+    Ok((model_name, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_registry(tag: &str) -> ModelRegistry {
+        let dir = std::env::temp_dir().join(format!("lam_serve_tuning_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        ModelRegistry::new(dir)
+    }
+
+    fn spec(strategy: &str) -> TuneSpec {
+        TuneSpec {
+            workload: WorkloadId::get("fmm-small").expect("builtin"),
+            strategy: strategy.to_string(),
+            kind: ModelKind::Linear, // cheapest guide to train
+            version: 1,
+            budget: 6,
+            top_k: 3,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn fixed_model_strategy_names_its_guide_and_attaches_regret() {
+        let registry = temp_registry("fixed");
+        let (model, report) = run_tune(&registry, &spec("random")).unwrap();
+        assert_eq!(model.as_deref(), Some("fmm-small/linear/v1"));
+        // Training the guide memoized the dataset in-process.
+        assert!(report.regret.is_some());
+        assert!(report.evaluations <= 6);
+    }
+
+    #[test]
+    fn active_has_no_guide_model() {
+        let registry = temp_registry("active");
+        let (model, report) = run_tune(&registry, &spec(ACTIVE_STRATEGY)).unwrap();
+        assert!(model.is_none());
+        assert_eq!(report.strategy, ACTIVE_STRATEGY);
+    }
+
+    #[test]
+    fn unknown_strategy_is_a_typed_error() {
+        let registry = temp_registry("unknown");
+        let err = run_tune(&registry, &spec("annealing")).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownStrategy(ref s) if s == "annealing"));
+        assert!(err.to_string().contains("unknown strategy"));
+    }
+}

@@ -201,6 +201,12 @@ impl DynWorkload for ProbeWorkload {
         (1..=48).map(|i| vec![i as f64, (i * i) as f64]).collect()
     }
 
+    fn measure(&self, index: usize) -> f64 {
+        // One point, not a sweep: must not bump the sweep counter.
+        let row = &self.feature_rows()[index];
+        1e-3 * row[0] + 1e-6 * row[1]
+    }
+
     fn generate_dataset(&self) -> Dataset {
         PROBE_SWEEPS.fetch_add(1, Ordering::SeqCst);
         let mut data = Dataset::empty(self.feature_names());

@@ -1,0 +1,155 @@
+//! `/tune` end to end over a real socket: every strategy (plus the
+//! active learner) returns a well-formed, deterministic recommendation;
+//! malformed requests get 4xx without hurting the connection; `/healthz`
+//! reports the populated workload catalog.
+
+use lam_serve::http::{self, HealthResponse, ServerOptions, TuneHttpRequest, TuneHttpResponse};
+use lam_serve::loadgen::HttpClient;
+use lam_serve::registry::ModelRegistry;
+use lam_serve::workload::WorkloadId;
+use std::sync::Arc;
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lam_serve_tune_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start() -> (http::ServerHandle, HttpClient) {
+    let registry = Arc::new(ModelRegistry::new(temp_root("e2e")));
+    let handle = http::start(
+        registry,
+        ServerOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("server binds");
+    let client = HttpClient::connect(&handle.local_addr().to_string()).expect("connects");
+    (handle, client)
+}
+
+fn tune_body(strategy: &str, budget: usize, seed: u64) -> String {
+    serde_json::to_string(&TuneHttpRequest {
+        workload: "fmm-small".to_string(),
+        strategy: strategy.to_string(),
+        budget,
+        kind: None,
+        top_k: Some(4),
+        seed: Some(seed),
+        version: None,
+    })
+    .expect("serializes")
+}
+
+#[test]
+fn every_strategy_tunes_over_http_deterministically() {
+    let (handle, mut client) = start();
+    let workload = WorkloadId::get("fmm-small").unwrap();
+    let rows = workload.feature_rows();
+
+    for strategy in ["exhaustive", "random", "local", "halving", "active"] {
+        let body = tune_body(strategy, 16, 42);
+        let (status, first) = client.post("/tune", &body).unwrap();
+        assert_eq!(status, 200, "{strategy}: {first}");
+        let a: TuneHttpResponse = serde_json::from_str(&first).unwrap();
+        assert_eq!(a.report.strategy, strategy);
+        assert_eq!(a.report.workload, "fmm-small");
+        assert_eq!(a.report.space_size, rows.len());
+        assert!(a.report.evaluations <= 16, "{strategy}");
+        assert!(a.report.top.len() <= 4);
+        assert!(
+            a.report.best.oracle.is_some(),
+            "{strategy}: unmeasured best"
+        );
+        assert!(a.report.best.index < rows.len());
+        assert_eq!(a.report.best.features, rows[a.report.best.index]);
+        if strategy == "active" {
+            assert!(a.model.is_none(), "active refits in-loop");
+        } else {
+            assert_eq!(a.model.as_deref(), Some("fmm-small/hybrid/v1"));
+            // Training memoized the dataset, so regret comes for free.
+            let regret = a.report.regret.expect("regret attached");
+            assert!(regret >= 1.0, "{strategy}: regret {regret}");
+        }
+
+        // Same request ⇒ identical report (micros may differ).
+        let (status, second) = client.post("/tune", &body).unwrap();
+        assert_eq!(status, 200);
+        let b: TuneHttpResponse = serde_json::from_str(&second).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a.report).unwrap(),
+            serde_json::to_string(&b.report).unwrap(),
+            "{strategy} not deterministic over HTTP"
+        );
+    }
+    handle.stop();
+}
+
+#[test]
+fn tune_rejects_bad_requests_and_survives() {
+    let (handle, mut client) = start();
+
+    // Unknown strategy.
+    let (status, body) = client
+        .post("/tune", &tune_body("gradient-descent", 8, 0))
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("unknown strategy"), "{body}");
+
+    // Zero and oversized budgets.
+    for budget in [0, http::MAX_TUNE_BUDGET + 1] {
+        let (status, body) = client
+            .post("/tune", &tune_body("random", budget, 0))
+            .unwrap();
+        assert_eq!(status, 400, "budget {budget}: {body}");
+    }
+
+    // Unknown workload and unknown kind.
+    let mut req: TuneHttpRequest = serde_json::from_str(&tune_body("random", 8, 0)).unwrap();
+    req.workload = "never-registered".to_string();
+    let (status, _) = client
+        .post("/tune", &serde_json::to_string(&req).unwrap())
+        .unwrap();
+    assert_eq!(status, 400);
+    let mut req: TuneHttpRequest = serde_json::from_str(&tune_body("random", 8, 0)).unwrap();
+    req.kind = Some("perceptron".to_string());
+    let (status, _) = client
+        .post("/tune", &serde_json::to_string(&req).unwrap())
+        .unwrap();
+    assert_eq!(status, 400);
+
+    // Oversized top_k, malformed JSON, wrong method.
+    let mut req: TuneHttpRequest = serde_json::from_str(&tune_body("random", 8, 0)).unwrap();
+    req.top_k = Some(http::MAX_TUNE_TOP_K + 1);
+    let (status, _) = client
+        .post("/tune", &serde_json::to_string(&req).unwrap())
+        .unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = client.post("/tune", "{not json").unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = client.get("/tune").unwrap();
+    assert_eq!(status, 405);
+
+    // The connection is still healthy: a good request succeeds.
+    let (status, body) = client.post("/tune", &tune_body("random", 4, 1)).unwrap();
+    assert_eq!(status, 200, "{body}");
+    handle.stop();
+}
+
+#[test]
+fn healthz_reports_the_workload_catalog() {
+    let (handle, mut client) = start();
+    let (status, body) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    let health: HealthResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(health.status, "ok");
+    // The seven built-ins are always registered; concurrent tests may add
+    // more.
+    assert!(health.workloads >= 7, "workloads {}", health.workloads);
+    assert!(health.uptime_s >= 0.0);
+    // The two uptime fields tick the same clock.
+    assert!(health.uptime_s * 1000.0 >= health.uptime_ms as f64 - 1.0);
+    handle.stop();
+}

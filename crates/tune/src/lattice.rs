@@ -1,0 +1,154 @@
+//! The parameter lattice: a neighborhood structure over a workload's
+//! feature rows, for local search.
+//!
+//! Two configurations are *lattice neighbors* when they differ in exactly
+//! one feature column, and in that column by one step along the sorted
+//! distinct values the space actually contains. This recovers the natural
+//! "adjacent grid size / adjacent block size / one more thread" moves of
+//! a factorial tuning space without knowing anything about the concrete
+//! configuration type — and on non-factorial spaces (e.g. blocking spaces
+//! where `bj ≤ J`), a stepped row that does not exist in the space is
+//! simply not a neighbor.
+
+use lam_core::batch::row_key;
+use std::collections::HashMap;
+
+/// Neighborhood structure over one workload's canonical feature rows.
+pub struct ParamLattice {
+    rows: Vec<Vec<f64>>,
+    index_of: HashMap<Box<[u64]>, usize>,
+    /// Per feature column: the sorted distinct values present in the space.
+    axis_values: Vec<Vec<f64>>,
+}
+
+impl ParamLattice {
+    /// Build the lattice for a space's feature rows (canonical order).
+    pub fn new(rows: Vec<Vec<f64>>) -> Self {
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut axis_values: Vec<Vec<f64>> = vec![Vec::new(); n_cols];
+        for row in &rows {
+            for (c, &v) in row.iter().enumerate() {
+                axis_values[c].push(v);
+            }
+        }
+        for axis in &mut axis_values {
+            axis.sort_by(f64::total_cmp);
+            axis.dedup();
+        }
+        // Duplicate rows (spaces never contain them, but a hand-rolled
+        // DynWorkload might): first index wins, deterministically.
+        let mut index_of = HashMap::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            index_of.entry(row_key(row)).or_insert(i);
+        }
+        Self {
+            rows,
+            index_of,
+            axis_values,
+        }
+    }
+
+    /// The feature rows the lattice was built over.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Number of configurations.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` for an empty space.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Space index of a feature row, if the space contains it.
+    pub fn index_of(&self, row: &[f64]) -> Option<usize> {
+        self.index_of.get(&row_key(row)).copied()
+    }
+
+    /// Lattice neighbors of configuration `index`: one axis stepped to an
+    /// adjacent distinct value, the resulting row present in the space.
+    /// Deterministic order (axis-major, down-step before up-step).
+    pub fn neighbors(&self, index: usize) -> Vec<usize> {
+        let row = &self.rows[index];
+        let mut out = Vec::new();
+        for (c, &v) in row.iter().enumerate() {
+            let axis = &self.axis_values[c];
+            let pos = axis
+                .binary_search_by(|a| a.total_cmp(&v))
+                .expect("row value present in its own axis");
+            let mut step = |to: usize| {
+                let mut stepped = row.clone();
+                stepped[c] = axis[to];
+                if let Some(&j) = self.index_of.get(&row_key(&stepped)) {
+                    if j != index && !out.contains(&j) {
+                        out.push(j);
+                    }
+                }
+            };
+            if pos > 0 {
+                step(pos - 1);
+            }
+            if pos + 1 < axis.len() {
+                step(pos + 1);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3×3 factorial space over (a, b) ∈ {1,2,4} × {10, 20, 30}.
+    fn grid() -> ParamLattice {
+        let mut rows = Vec::new();
+        for a in [1.0, 2.0, 4.0] {
+            for b in [10.0, 20.0, 30.0] {
+                rows.push(vec![a, b]);
+            }
+        }
+        ParamLattice::new(rows)
+    }
+
+    #[test]
+    fn interior_point_has_four_neighbors() {
+        let lattice = grid();
+        let center = lattice.index_of(&[2.0, 20.0]).unwrap();
+        let mut n = lattice.neighbors(center);
+        n.sort_unstable();
+        let mut expected: Vec<usize> = [[1.0, 20.0], [2.0, 10.0], [2.0, 30.0], [4.0, 20.0]]
+            .iter()
+            .map(|r| lattice.index_of(r).unwrap())
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(n, expected);
+    }
+
+    #[test]
+    fn corner_point_has_two_neighbors() {
+        let lattice = grid();
+        let corner = lattice.index_of(&[1.0, 10.0]).unwrap();
+        assert_eq!(lattice.neighbors(corner).len(), 2);
+    }
+
+    #[test]
+    fn missing_stepped_rows_are_not_neighbors() {
+        // Non-factorial space: (4, 30) removed, so (4, 20)'s up-step in b
+        // and (2, 30)'s up-step in a both vanish.
+        let rows: Vec<Vec<f64>> = grid()
+            .rows()
+            .iter()
+            .filter(|r| r.as_slice() != [4.0, 30.0])
+            .cloned()
+            .collect();
+        let lattice = ParamLattice::new(rows);
+        let i = lattice.index_of(&[4.0, 20.0]).unwrap();
+        let n = lattice.neighbors(i);
+        assert!(!n.iter().any(|&j| lattice.rows()[j] == [4.0, 30.0]));
+        assert_eq!(n.len(), 2); // (2, 20) and (4, 10)
+    }
+}

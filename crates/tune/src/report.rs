@@ -1,0 +1,123 @@
+//! The autotuner's result type: what was recommended, what it cost to
+//! find, and how close it landed to the true optimum.
+
+use serde::{Deserialize, Serialize};
+
+/// One configuration in a tuning result, identified by its index in the
+/// workload's canonical parameter space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedConfig {
+    /// Index into the workload's `param_space` (canonical space order).
+    pub index: usize,
+    /// The configuration's feature row.
+    pub features: Vec<f64>,
+    /// The model's predicted execution time, seconds.
+    pub predicted: f64,
+    /// The oracle-measured execution time, seconds — `None` when the
+    /// strategy ranked this configuration without spending a measurement
+    /// on it.
+    pub oracle: Option<f64>,
+}
+
+/// One point of a tuning run's trajectory, recorded after every oracle
+/// measurement: the incumbent (best measured configuration so far) as a
+/// function of evaluations spent. Plotting `best_oracle` against
+/// `evaluations` across strategies gives the regret-vs-budget curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Oracle evaluations spent when this point was recorded.
+    pub evaluations: usize,
+    /// Space index of the incumbent.
+    pub incumbent: usize,
+    /// Measured execution time of the incumbent, seconds.
+    pub best_oracle: f64,
+}
+
+/// Outcome of one tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneReport {
+    /// Workload name the run tuned.
+    pub workload: String,
+    /// Strategy that produced the result.
+    pub strategy: String,
+    /// Configurations in the workload's space.
+    pub space_size: usize,
+    /// Oracle-evaluation budget the run was given.
+    pub budget: usize,
+    /// Oracle evaluations actually spent (≤ `budget`).
+    pub evaluations: usize,
+    /// The recommendation: best *measured* configuration (its `oracle`
+    /// field is always `Some`).
+    pub best: RankedConfig,
+    /// Top configurations by the strategy's final ranking — measured ones
+    /// first (by oracle time), then unmeasured ones by predicted time.
+    pub top: Vec<RankedConfig>,
+    /// True-best oracle time over the whole space; populated by
+    /// [`TuneReport::attach_regret`] when the memoized full dataset is
+    /// available.
+    pub true_best: Option<f64>,
+    /// `best.oracle / true_best` (1.0 = found the optimum); populated
+    /// alongside `true_best`.
+    pub regret: Option<f64>,
+    /// Incumbent after every oracle evaluation, in evaluation order.
+    pub trajectory: Vec<TrajectoryPoint>,
+}
+
+impl TuneReport {
+    /// Fill `true_best` and `regret` from a full-space response vector
+    /// (the memoized dataset's oracle sweep). Call this only when the
+    /// sweep has already been paid for — computing it just to report
+    /// regret would defeat the budget the tuner accounted for.
+    pub fn attach_regret(&mut self, full_response: &[f64]) {
+        let true_best = full_response.iter().copied().fold(f64::INFINITY, f64::min);
+        self.true_best = Some(true_best);
+        self.regret = self.best.oracle.map(|t| t / true_best);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> TuneReport {
+        TuneReport {
+            workload: "toy".into(),
+            strategy: "random".into(),
+            space_size: 10,
+            budget: 4,
+            evaluations: 3,
+            best: RankedConfig {
+                index: 7,
+                features: vec![7.0],
+                predicted: 0.9,
+                oracle: Some(1.1),
+            },
+            top: vec![],
+            true_best: None,
+            regret: None,
+            trajectory: vec![TrajectoryPoint {
+                evaluations: 1,
+                incumbent: 7,
+                best_oracle: 1.1,
+            }],
+        }
+    }
+
+    #[test]
+    fn attach_regret_uses_space_minimum() {
+        let mut r = report();
+        r.attach_regret(&[2.0, 1.0, 5.5]);
+        assert_eq!(r.true_best, Some(1.0));
+        assert!((r.regret.unwrap() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TuneReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.best.oracle, Some(1.1));
+        assert_eq!(back.true_best, None);
+    }
+}

@@ -1,0 +1,307 @@
+//! The strategy contract, checked for all four tuners against both a
+//! runtime-registered catalog workload and the built-in stencil
+//! scenarios:
+//!
+//! * **seeded determinism** — the same (workload, model, request) produces
+//!   a byte-identical [`TuneReport`];
+//! * **in-space proposals** — every configuration a report names is a
+//!   member of the workload's parameter space, its features equal the
+//!   canonical feature row, and every claimed oracle time matches the
+//!   oracle;
+//! * **budget accounting** — evaluations never exceed the budget and the
+//!   trajectory has exactly one point per evaluation.
+
+use lam_analytical::traits::{AnalyticalModel, ConstantModel};
+use lam_core::catalog::{DynWorkload, WorkloadCatalog};
+use lam_core::predict::PredictRow;
+use lam_core::workload::Workload;
+use lam_machine::arch::MachineDescription;
+use lam_stencil::config::space_grid_threads;
+use lam_stencil::workload::StencilWorkload;
+use lam_tune::{all_strategies, by_name, TuneReport, TuneRequest, STRATEGY_NAMES};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A synthetic factorial workload with a known interior optimum at
+/// (a, b) = (6, 10): a 2-D bowl, so local search has a real lattice to
+/// climb.
+struct BowlWorkload {
+    configs: Vec<(i64, i64)>,
+}
+
+impl BowlWorkload {
+    fn new() -> Self {
+        let mut configs = Vec::new();
+        for a in (2..=12).step_by(2) {
+            for b in (5..=40).step_by(5) {
+                configs.push((a, b));
+            }
+        }
+        Self { configs }
+    }
+}
+
+impl Workload for BowlWorkload {
+    type Config = (i64, i64);
+    fn name(&self) -> &str {
+        "tune-bowl"
+    }
+    fn feature_names(&self) -> Vec<String> {
+        vec!["a".to_string(), "b".to_string()]
+    }
+    fn param_space(&self) -> &[(i64, i64)] {
+        &self.configs
+    }
+    fn features(&self, cfg: &(i64, i64)) -> Vec<f64> {
+        vec![cfg.0 as f64, cfg.1 as f64]
+    }
+    fn execution_time(&self, cfg: &(i64, i64)) -> f64 {
+        let (a, b) = (cfg.0 as f64, cfg.1 as f64);
+        1e-3 * (1.0 + (a - 6.0).powi(2) + 0.01 * (b - 10.0).powi(2))
+    }
+    fn problem_size(&self, cfg: &(i64, i64)) -> f64 {
+        (cfg.0 * cfg.1) as f64
+    }
+    fn analytical_model(&self) -> Box<dyn AnalyticalModel> {
+        Box::new(ConstantModel(1e-3))
+    }
+}
+
+/// An imperfect-but-correlated "trained model": the truth plus a
+/// deterministic structured wiggle, so model-guided strategies have
+/// something useful (but not oracle-perfect) to rank with.
+struct WiggleModel;
+
+impl PredictRow for WiggleModel {
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        let (a, b) = (x[0], x[1]);
+        let truth = 1e-3 * (1.0 + (a - 6.0).powi(2) + 0.01 * (b - 10.0).powi(2));
+        truth * (1.0 + 0.2 * ((a * 7.0 + b * 3.0).sin()))
+    }
+}
+
+/// The bowl, registered **at runtime** in the global catalog — the same
+/// path a user scenario takes.
+fn bowl_entry() -> Arc<lam_core::catalog::WorkloadEntry> {
+    let catalog = WorkloadCatalog::global();
+    if catalog.lookup("tune-bowl").is_none() {
+        // A racing registration from another test is fine: first wins.
+        let _ = catalog.register_workload("tune-bowl", BowlWorkload::new());
+    }
+    catalog.lookup("tune-bowl").expect("registered above")
+}
+
+/// Check every claim a report makes against the workload itself.
+fn assert_report_in_space(report: &TuneReport, workload: &dyn DynWorkload, request: &TuneRequest) {
+    let rows = workload.feature_rows();
+    assert_eq!(report.space_size, rows.len());
+    assert_eq!(report.budget, request.budget);
+    assert!(
+        report.evaluations <= request.budget,
+        "{}: spent {} of {}",
+        report.strategy,
+        report.evaluations,
+        request.budget
+    );
+    assert_eq!(
+        report.trajectory.len(),
+        report.evaluations,
+        "{}: one trajectory point per evaluation",
+        report.strategy
+    );
+    assert!(report.top.len() <= request.top_k);
+    assert!(!report.top.is_empty());
+
+    let check = |cfg: &lam_tune::RankedConfig| {
+        assert!(
+            cfg.index < rows.len(),
+            "{}: index in space",
+            report.strategy
+        );
+        assert_eq!(
+            cfg.features, rows[cfg.index],
+            "{}: features",
+            report.strategy
+        );
+        if let Some(t) = cfg.oracle {
+            assert_eq!(
+                t.to_bits(),
+                workload.measure(cfg.index).to_bits(),
+                "{}: claimed oracle time is the oracle's",
+                report.strategy
+            );
+        }
+    };
+    check(&report.best);
+    assert!(
+        report.best.oracle.is_some(),
+        "{}: the recommendation must be measured",
+        report.strategy
+    );
+    for cfg in &report.top {
+        check(cfg);
+    }
+    // The recommendation is the best measurement the trajectory ever saw.
+    let last = report.trajectory.last().expect("non-empty trajectory");
+    assert_eq!(last.incumbent, report.best.index);
+    assert_eq!(
+        Some(last.best_oracle),
+        report.best.oracle,
+        "{}: incumbent mismatch",
+        report.strategy
+    );
+    for w in report.trajectory.windows(2) {
+        assert!(
+            w[1].best_oracle <= w[0].best_oracle,
+            "{}: incumbent must never regress",
+            report.strategy
+        );
+        assert_eq!(w[1].evaluations, w[0].evaluations + 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same seed ⇒ identical report; every proposal in-space — for every
+    /// strategy, against the runtime-registered bowl.
+    #[test]
+    fn strategies_are_seeded_deterministic_and_in_space(
+        seed in 0u64..1_000,
+        budget in 1usize..40,
+        top_k in 1usize..8,
+    ) {
+        let entry = bowl_entry();
+        let workload = entry.workload();
+        let request = TuneRequest { budget, top_k, seed };
+        for tuner in all_strategies() {
+            let a = tuner.tune(workload, &WiggleModel, &request).unwrap();
+            let b = tuner.tune(workload, &WiggleModel, &request).unwrap();
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap(),
+                "{} not deterministic under seed {}",
+                tuner.name(),
+                seed
+            );
+            assert_report_in_space(&a, workload, &request);
+            assert_eq!(a.strategy.as_str(), tuner.name());
+        }
+    }
+
+    /// Distinct seeds may differ, but both stay valid (random search —
+    /// the strategy most sensitive to the seed).
+    #[test]
+    fn random_search_seed_changes_are_still_in_space(seed in 0u64..1_000) {
+        let entry = bowl_entry();
+        let workload = entry.workload();
+        let tuner = by_name("random").unwrap();
+        for s in [seed, seed + 1] {
+            let request = TuneRequest { budget: 12, top_k: 4, seed: s };
+            let report = tuner.tune(workload, &WiggleModel, &request).unwrap();
+            assert_report_in_space(&report, workload, &request);
+        }
+    }
+}
+
+#[test]
+fn strategy_names_resolve_and_unknown_does_not() {
+    for name in STRATEGY_NAMES {
+        assert_eq!(by_name(name).unwrap().name(), name);
+    }
+    assert!(by_name("simulated-annealing").is_none());
+    assert!(by_name("").is_none());
+}
+
+#[test]
+fn model_guided_strategies_find_the_bowl_minimum_with_a_tiny_budget() {
+    let entry = bowl_entry();
+    let workload = entry.workload();
+    let full = entry.dataset();
+    let true_best = full
+        .response()
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    // Model-guided strategies with budget 8 on a 48-config space must land
+    // within 2× of the optimum; exhaustive (which trusts the model most)
+    // must find it outright despite the 20% model wiggle.
+    for name in ["exhaustive", "local", "halving"] {
+        let tuner = by_name(name).unwrap();
+        let mut report = tuner
+            .tune(
+                workload,
+                &WiggleModel,
+                &TuneRequest {
+                    budget: 8,
+                    top_k: 3,
+                    seed: 7,
+                },
+            )
+            .unwrap();
+        report.attach_regret(full.response());
+        let regret = report.regret.unwrap();
+        assert!(regret < 2.0, "{name}: regret {regret}");
+        if name == "exhaustive" {
+            assert_eq!(report.best.oracle.unwrap(), true_best, "{name}");
+        }
+    }
+}
+
+/// The same contract holds on a built-in scenario with a genuinely
+/// trained model: the paper's threaded stencil space under its own
+/// hybrid.
+#[test]
+fn strategies_hold_on_a_builtin_stencil_space_with_a_trained_hybrid() {
+    use lam_core::hybrid::HybridModel;
+    use lam_ml::forest::ExtraTreesRegressor;
+    use lam_ml::model::Regressor;
+    use lam_ml::sampling::train_test_split_fraction;
+    use lam_ml::tree::TreeParams;
+
+    let workload = StencilWorkload::new(
+        MachineDescription::blue_waters_xe6(),
+        space_grid_threads(),
+        lam_core::catalog::SERVE_NOISE_SEED,
+    );
+    let erased: &dyn DynWorkload = &workload;
+    let data = erased.generate_dataset();
+    let (train, _) = train_test_split_fraction(&data, 0.10, 5);
+    let mut hybrid = HybridModel::new(
+        erased.analytical_model(),
+        Box::new(ExtraTreesRegressor::with_params(
+            30,
+            TreeParams::default(),
+            5,
+        )),
+        erased.hybrid_config(),
+    );
+    hybrid.fit(&train).expect("fit hybrid");
+    let model: &dyn PredictRow = &hybrid;
+
+    let request = TuneRequest {
+        budget: 24,
+        top_k: 5,
+        seed: 3,
+    };
+    for tuner in all_strategies() {
+        let a = tuner.tune(erased, model, &request).unwrap();
+        let b = tuner.tune(erased, model, &request).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "{} not deterministic on stencil-grid-threads",
+            tuner.name()
+        );
+        assert_report_in_space(&a, erased, &request);
+        let mut report = a;
+        report.attach_regret(data.response());
+        assert!(
+            report.regret.unwrap() < 3.0,
+            "{}: regret {} with 24/{} budget",
+            tuner.name(),
+            report.regret.unwrap(),
+            data.len()
+        );
+    }
+}

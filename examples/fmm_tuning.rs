@@ -1,83 +1,55 @@
-//! FMM parameter tuning (the paper's §VII-B scenario): choose the leaf
-//! population `q` and gauge the cost of raising the expansion order `k`
-//! using a hybrid model, and cross-check the *real* FMM implementation's
+//! FMM parameter tuning (the paper's §VII-B scenario) as a thin
+//! `lam-tune` call, cross-checked against the *real* FMM implementation's
 //! accuracy-order tradeoff.
+//!
+//! The hand-rolled train-and-rank logic this example used to carry lives
+//! in `lam_tune` now (see `crates/tune` and the README's "Autotuning
+//! quickstart"); what remains here is the part only the FMM can answer:
+//! what accuracy does the recommended expansion order actually buy?
 //!
 //! Run: `cargo run --release --example fmm_tuning`
 
-use lam::core::hybrid::{HybridConfig, HybridModel};
-use lam::core::workload::Workload;
 use lam::fmm::accuracy::{direct_potentials, relative_l2_error};
-use lam::fmm::config::{space_paper, FmmConfig};
 use lam::fmm::exec::Fmm;
 use lam::fmm::particle::random_cube;
-use lam::fmm::workload::FmmWorkload;
-use lam::machine::arch::MachineDescription;
-use lam::ml::forest::ExtraTreesRegressor;
-use lam::ml::model::Regressor;
-use lam::ml::sampling::train_test_split_fraction;
+use lam::prelude::*;
 
 fn main() {
-    let machine = MachineDescription::blue_waters_xe6();
-    let workload = FmmWorkload::new(machine, space_paper(), 99);
-    let data = workload.generate_dataset();
-    let oracle = workload.oracle();
-
-    // Train the hybrid on 20% of the (t, N, q, k) space.
-    let (train, _) = train_test_split_fraction(&data, 0.20, 11);
-    let mut model = HybridModel::new(
-        workload.analytical_model(),
-        Box::new(ExtraTreesRegressor::new(8)),
-        HybridConfig {
-            log_feature: true,
-            ..HybridConfig::default()
+    // Tune the paper's (t, N, q, k) space with the active-learning loop:
+    // measure ~3%, refit the hybrid, spend ≤ 5% of the space total.
+    let entry = WorkloadId::get("fmm").expect("builtin scenario").entry();
+    let space = entry.workload().space_size();
+    let budget = (space / 20).max(8);
+    let mut report = active_learn(
+        entry.workload(),
+        &ActiveLearnOptions {
+            budget,
+            ..ActiveLearnOptions::default()
         },
+    )
+    .expect("active learning runs");
+    report.attach_regret(entry.dataset().response());
+
+    println!(
+        "FMM space: {space} configs; best after {} measurements: #{} {:?}",
+        report.evaluations, report.best.index, report.best.features
     );
-    model.fit(&train).expect("fit hybrid");
+    println!(
+        "  measured {:.2} ms, regret {:.2}x vs true best",
+        report.best.oracle.unwrap() * 1e3,
+        report.regret.unwrap()
+    );
 
-    // Question 1: best q for N = 16384, k = 8, t = 8?
-    println!("predicted runtime for N=16384, k=8, t=8 as q varies:");
-    let mut best = (0usize, f64::INFINITY);
-    for &q in &[32usize, 64, 128, 256] {
-        let cfg = FmmConfig {
-            t: 8,
-            n: 16384,
-            q,
-            k: 8,
-        };
-        let pred = model.predict_row(&cfg.features());
-        let actual = oracle.execution_time(&cfg);
-        println!(
-            "  q = {q:>3}: predicted {:.1} ms, actual {:.1} ms",
-            pred * 1e3,
-            actual * 1e3
-        );
-        if pred < best.1 {
-            best = (q, pred);
-        }
-    }
-    println!("model recommends q = {}", best.0);
-
-    // Question 2: how much does each expansion order cost, and what
-    // accuracy does it buy? Run the *real* FMM for the accuracy half.
+    // The model ranks runtime; the real FMM answers what each expansion
+    // order buys in accuracy. Run it.
     let particles = random_cube(4096, 17);
     let exact = direct_potentials(&particles);
-    println!("\ncost/accuracy frontier at N=4096, q=64, t=1:");
+    println!("\ncost/accuracy frontier at N=4096, q=64 (real FMM):");
     for k in [2usize, 4, 6] {
-        let cfg = FmmConfig {
-            t: 1,
-            n: 4096,
-            q: 64,
-            k,
-        };
-        let pred_time = model.predict_row(&cfg.features());
         let phi = Fmm::new(k, 64, 1).potentials(&particles);
         let err = relative_l2_error(&phi, &exact);
-        println!(
-            "  k = {k}: predicted {:.2} ms on Blue Waters, measured L2 error {err:.2e}",
-            pred_time * 1e3
-        );
+        println!("  k = {k}: measured L2 error {err:.2e}");
     }
     println!("\nhigher order buys accuracy at a k^6 runtime cost — the tradeoff");
-    println!("the hybrid model lets you navigate without running the sweep.");
+    println!("lam-tune lets you navigate without running the sweep.");
 }

@@ -1,22 +1,20 @@
-//! SpMV — the third scenario, end to end: place the kernel on the Blue
-//! Waters roofline, run the real CSR kernel once, train the hybrid
-//! (roofline + extra trees) on a slice of the tuning space, and use it to
-//! pick a row-block size.
+//! SpMV — the third scenario: place the kernel on the Blue Waters
+//! roofline, run the real CSR kernel once, then pick a row-block size
+//! with a thin `lam-tune` call (successive halving guided by a served
+//! hybrid model).
+//!
+//! The hand-rolled train-and-rank logic this example used to carry lives
+//! in `lam_tune` now (see `crates/tune` and the README's "Autotuning
+//! quickstart").
 //!
 //! Run: `cargo run --release --example spmv_tuning`
 
 use lam::analytical::spmv::SpmvRooflineModel;
-use lam::core::hybrid::{HybridConfig, HybridModel};
-use lam::core::workload::Workload;
-use lam::machine::arch::MachineDescription;
 use lam::machine::roofline::Roofline;
-use lam::ml::forest::ExtraTreesRegressor;
-use lam::ml::model::Regressor;
-use lam::ml::sampling::train_test_split_fraction;
-use lam::spmv::config::{space_spmv, SpmvConfig};
+use lam::prelude::*;
 use lam::spmv::kernel::{spmv_parallel, FLOPS_PER_NNZ};
 use lam::spmv::matrix::banded;
-use lam::spmv::workload::SpmvWorkload;
+use lam::tune::by_name;
 
 fn main() {
     let machine = MachineDescription::blue_waters_xe6();
@@ -49,36 +47,42 @@ fn main() {
         a.nnz() as f64 * FLOPS_PER_NNZ / 1e6
     );
 
-    // 3. Train the hybrid on 10% of the (rows, nnz, rb, t) space.
-    let workload = SpmvWorkload::new(machine, space_spmv(), 99);
-    let data = workload.generate_dataset();
-    let (train, _) = train_test_split_fraction(&data, 0.10, 11);
-    let mut model = HybridModel::new(
-        workload.analytical_model(),
-        Box::new(ExtraTreesRegressor::new(8)),
-        HybridConfig {
-            log_feature: true,
-            ..HybridConfig::default()
-        },
-    );
-    model.fit(&train).expect("fit hybrid");
+    // 3. Tune the (rows, nnz, rb, t) space: train-or-load the hybrid
+    //    through the registry, then successive-halve under a tiny budget.
+    let id = WorkloadId::get("spmv").expect("builtin scenario");
+    let model = ModelRegistry::new(ModelRegistry::default_root())
+        .get(ModelKey::new(id, ModelKind::Hybrid, 1))
+        .expect("train-or-load hybrid");
+    let tuner = by_name("halving").expect("builtin strategy");
+    let mut report = tuner
+        .tune(
+            id.entry().workload(),
+            &*model,
+            &lam::tune::TuneRequest {
+                budget: 24,
+                top_k: 3,
+                ..lam::tune::TuneRequest::default()
+            },
+        )
+        .expect("halving runs");
+    report.attach_regret(id.entry().dataset().response());
 
-    // 4. Tune: best row block for a 131072-row, 17-nnz matrix on 8 threads?
-    println!("predicted runtime for rows=131072, nnz=17, t=8 as rb varies:");
-    let mut best = (0usize, f64::INFINITY);
-    for &rb in &[64usize, 1024, 16_384] {
-        let cfg = SpmvConfig {
-            rows: 131_072,
-            band: 8,
-            row_block: rb,
-            threads: 8,
-        };
-        let pred = model.predict_row(&cfg.features());
-        let actual = workload.oracle().execution_time(&cfg);
-        println!("  rb = {rb:>6}: predicted {pred:.6} s  (oracle {actual:.6} s)");
-        if pred < best.1 {
-            best = (rb, pred);
-        }
+    println!(
+        "halving over {} configs: best #{} {:?} at {:.4} ms ({} evaluations, regret {:.2}x)",
+        report.space_size,
+        report.best.index,
+        report.best.features,
+        report.best.oracle.unwrap() * 1e3,
+        report.evaluations,
+        report.regret.unwrap()
+    );
+    for (rank, cfg) in report.top.iter().enumerate() {
+        println!(
+            "  top-{}: #{:<4} predicted {:.4} ms {:?}",
+            rank + 1,
+            cfg.index,
+            cfg.predicted * 1e3,
+            cfg.features
+        );
     }
-    println!("hybrid picks rb = {}", best.0);
 }

@@ -1,94 +1,56 @@
-//! Autotuning with a hybrid model: pick the best loop-blocking
-//! configuration for a stencil *without* measuring every candidate.
+//! Autotuning a stencil's loop blocking with `lam-tune` — the workload
+//! the paper's introduction motivates, now one library call: the
+//! active-learning loop measures a ~3% sample, refits the hybrid, and
+//! spends a ≤ 5%-of-the-space budget on model-proposed measurements.
 //!
-//! This is the workload the paper's introduction motivates: the blocking
-//! space is too large to measure exhaustively, a pure ML model needs too
-//! many samples, and the analytical model alone is ~50% off. The hybrid
-//! model trained on a 3% sample ranks configurations well enough to find a
-//! near-optimal blocking.
+//! The search layer this example used to hand-roll (sample → fit →
+//! rank → compare against the oracle) lives in `lam_tune::active_learn`;
+//! see `crates/tune` and the README's "Autotuning quickstart".
 //!
 //! Run: `cargo run --release --example stencil_autotune`
 
-use lam::core::hybrid::{HybridConfig, HybridModel};
-use lam::core::workload::Workload;
-use lam::machine::arch::MachineDescription;
-use lam::ml::forest::ExtraTreesRegressor;
-use lam::ml::model::Regressor;
-use lam::ml::sampling::train_test_split_fraction;
-use lam::stencil::config::space_grid_blocking;
-use lam::stencil::workload::StencilWorkload;
+use lam::prelude::*;
 
 fn main() {
-    let machine = MachineDescription::blue_waters_xe6();
-    let workload = StencilWorkload::new(machine, space_grid_blocking(), 2024);
-    let space = workload.space().clone();
-    let data = workload.generate_dataset();
-    let oracle = workload.oracle();
+    // The paper's Fig 3A/6 blocking space, as registered in the workload
+    // catalog (same machine and noise seed as the serving layer).
+    let entry = WorkloadId::get("stencil-grid-blocking")
+        .expect("builtin scenario")
+        .entry();
+    let space = entry.workload().space_size();
+    let budget = space / 20; // ≤ 5% of the space, initial sample included
+    println!("blocking space: {space} configurations; budget: {budget} measurements");
 
-    // "Measure" only 3% of the space.
-    let (train, _) = train_test_split_fraction(&data, 0.03, 5);
+    let mut report = active_learn(
+        entry.workload(),
+        &ActiveLearnOptions {
+            budget,
+            initial_fraction: 0.03,
+            ..ActiveLearnOptions::default()
+        },
+    )
+    .expect("active learning runs");
+
+    // Regret against the full oracle sweep (the tuner itself never saw it).
+    report.attach_regret(entry.dataset().response());
+    let best = &report.best;
     println!(
-        "blocking space: {} configurations; measured sample: {}",
-        space.len(),
-        train.len()
-    );
-
-    let mut model = HybridModel::new(
-        workload.analytical_model(),
-        Box::new(ExtraTreesRegressor::new(3)),
-        HybridConfig::default(),
-    );
-    model.fit(&train).expect("fit hybrid");
-
-    // Rank every candidate for one target grid by *predicted* time.
-    let target = (1usize, 128usize, 128usize);
-    let mut candidates: Vec<(usize, f64)> = space
-        .configs()
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| (c.i, c.j, c.k) == target)
-        .map(|(idx, c)| {
-            let x = space.features.project(c);
-            (idx, model.predict_row(&x))
-        })
-        .collect();
-    candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"));
-
-    // Compare the predicted-best block against the true best and worst.
-    let truth: Vec<(usize, f64)> = space
-        .configs()
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| (c.i, c.j, c.k) == target)
-        .map(|(idx, c)| (idx, oracle.execution_time(c)))
-        .collect();
-    let true_best = truth
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .unwrap();
-    let true_worst = truth
-        .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .unwrap();
-    let chosen = candidates[0].0;
-    let chosen_time = oracle.execution_time(&space.configs()[chosen]);
-
-    let cfg = &space.configs()[chosen];
-    println!(
-        "target grid {}x{}x{}: predicted-best blocking = {}x{}x{}",
-        target.0, target.1, target.2, cfg.bi, cfg.bj, cfg.bk
+        "recommended blocking (config #{}): features {:?}",
+        best.index, best.features
     );
     println!(
-        "  actual time of chosen blocking: {:.3} ms",
-        chosen_time * 1e3
+        "  measured time {:.3} ms after {} evaluations",
+        best.oracle.expect("recommendation is measured") * 1e3,
+        report.evaluations
     );
-    println!("  true best  : {:.3} ms", true_best.1 * 1e3);
-    println!("  true worst : {:.3} ms", true_worst.1 * 1e3);
-    let regret = chosen_time / true_best.1;
-    println!("  regret vs true best: {:.2}x", regret);
+    let regret = report.regret.expect("full dataset attached");
+    println!(
+        "  true best {:.3} ms -> regret {:.2}x",
+        report.true_best.unwrap() * 1e3,
+        regret
+    );
     assert!(
         regret < 1.5,
         "hybrid-guided tuning should land within 50% of the optimum"
     );
-    assert!(chosen_time < true_worst.1 * 0.5, "and far from the worst");
 }

@@ -39,6 +39,7 @@ pub use lam_ml as ml;
 pub use lam_serve as serve;
 pub use lam_spmv as spmv;
 pub use lam_stencil as stencil;
+pub use lam_tune as tune;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
@@ -65,4 +66,5 @@ pub mod prelude {
     pub use lam_serve::workload::WorkloadId;
     pub use lam_spmv::workload::SpmvWorkload;
     pub use lam_stencil::workload::StencilWorkload;
+    pub use lam_tune::{active_learn, ActiveLearnOptions, TuneReport, TuneRequest, Tuner};
 }
