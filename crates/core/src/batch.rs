@@ -181,22 +181,37 @@ impl BatchEngine {
     /// Predict one micro-batch through the cache, counting hits locally
     /// (not from the global counters, which concurrent requests advance
     /// too).
+    ///
+    /// Misses are gathered by reference and handed to the model in **one**
+    /// [`PredictRow::predict_rows_by_ref`] call, so models with a batch
+    /// fast path (arena-compiled trees evaluate misses block-wise) see the
+    /// whole miss set instead of a per-row callback. Duplicate rows within
+    /// one micro-batch are computed together in that call; they produce
+    /// identical values, so the cache still converges to one entry.
     fn predict_micro_batch(&self, model: &dyn PredictRow, batch: &[Vec<f64>]) -> (Vec<f64>, u64) {
         let mut hits = 0u64;
-        let predictions = batch
-            .iter()
-            .map(|row| match self.cache.get(row) {
+        let mut predictions = vec![0.0f64; batch.len()];
+        let mut miss_idx: Vec<usize> = Vec::new();
+        let mut miss_rows: Vec<&[f64]> = Vec::new();
+        for (i, row) in batch.iter().enumerate() {
+            match self.cache.get(row) {
                 Some(y) => {
                     hits += 1;
-                    y
+                    predictions[i] = y;
                 }
                 None => {
-                    let y = model.predict_row(row);
-                    self.cache.insert(row, y);
-                    y
+                    miss_idx.push(i);
+                    miss_rows.push(row);
                 }
-            })
-            .collect();
+            }
+        }
+        if !miss_rows.is_empty() {
+            let computed = model.predict_rows_by_ref(&miss_rows);
+            for ((&i, row), y) in miss_idx.iter().zip(&miss_rows).zip(computed) {
+                self.cache.insert(row, y);
+                predictions[i] = y;
+            }
+        }
         (predictions, hits)
     }
 

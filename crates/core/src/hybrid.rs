@@ -127,6 +127,90 @@ impl HybridModel {
     }
 }
 
+/// A read-only, batch-capable hybrid predictor assembled from *fitted*
+/// parts: the workload's analytical model, any stacked predictor (for the
+/// serving path, the stacked forest arena-compiled via
+/// [`lam_ml::compile`]), and the [`HybridConfig`] the stacked model was
+/// trained under.
+///
+/// Per-row arithmetic is exactly [`HybridModel::predict_row`]'s (augment,
+/// stacked predict, optional aggregation), so predictions are
+/// bit-identical to the training-time hybrid when the stacked predictor
+/// is bit-identical to the training-time regressor — which the compiled
+/// arena guarantees. Unlike [`HybridModel`], batch prediction augments
+/// the whole batch first and scores it through the stacked model's own
+/// `predict_rows`, so compiled stacked models evaluate block-wise.
+pub struct HybridPredictor {
+    am: Box<dyn AnalyticalModel>,
+    stacked: Box<dyn crate::predict::PredictRow>,
+    config: HybridConfig,
+}
+
+impl HybridPredictor {
+    /// Assemble from fitted parts; ready to predict immediately.
+    pub fn new(
+        am: Box<dyn AnalyticalModel>,
+        stacked: Box<dyn crate::predict::PredictRow>,
+        config: HybridConfig,
+    ) -> Self {
+        Self {
+            am,
+            stacked,
+            config,
+        }
+    }
+
+    /// The predictor's configuration.
+    pub fn config(&self) -> &HybridConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn augment_row(&self, x: &[f64]) -> (Vec<f64>, f64) {
+        let am_pred = self.am.predict(x);
+        let mut row = Vec::with_capacity(x.len() + 1);
+        row.extend_from_slice(x);
+        row.push(self.config.stacked_feature(am_pred));
+        (row, am_pred)
+    }
+
+    #[inline]
+    fn finish(&self, stacked: f64, am_pred: f64) -> f64 {
+        if self.config.aggregate {
+            let w = self.config.stacked_weight;
+            w * stacked + (1.0 - w) * am_pred
+        } else {
+            stacked
+        }
+    }
+
+    fn predict_augmented<'a>(&self, rows: impl Iterator<Item = &'a [f64]>) -> Vec<f64> {
+        let (augmented, am_preds): (Vec<Vec<f64>>, Vec<f64>) =
+            rows.map(|r| self.augment_row(r)).unzip();
+        let stacked = self.stacked.predict_rows(&augmented);
+        stacked
+            .into_iter()
+            .zip(am_preds)
+            .map(|(s, am)| self.finish(s, am))
+            .collect()
+    }
+}
+
+impl crate::predict::PredictRow for HybridPredictor {
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        let (row, am_pred) = self.augment_row(x);
+        self.finish(self.stacked.predict_row(&row), am_pred)
+    }
+
+    fn predict_rows(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        self.predict_augmented(rows.iter().map(Vec::as_slice))
+    }
+
+    fn predict_rows_by_ref(&self, rows: &[&[f64]]) -> Vec<f64> {
+        self.predict_augmented(rows.iter().copied())
+    }
+}
+
 impl Regressor for HybridModel {
     fn fit(&mut self, data: &Dataset) -> Result<(), FitError> {
         if !(0.0..=1.0).contains(&self.config.stacked_weight) {

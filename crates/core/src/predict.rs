@@ -9,6 +9,7 @@
 //! mutable method. Every regressor gets the trait for free via the blanket
 //! impl.
 
+use lam_ml::compile::CompiledTrees;
 use lam_ml::model::Regressor;
 
 /// Read-only prediction surface of a fitted model.
@@ -23,11 +24,52 @@ pub trait PredictRow: Send + Sync {
     fn predict_rows(&self, rows: &[Vec<f64>]) -> Vec<f64> {
         rows.iter().map(|r| self.predict_row(r)).collect()
     }
+
+    /// Predict a batch of borrowed rows, preserving input order.
+    ///
+    /// The batch executor gathers cache-miss rows by reference and hands
+    /// them to the model in one call through this method, so models with
+    /// a real batch fast path (the arena-compiled trees' blocked
+    /// evaluation) receive whole miss sets instead of row-at-a-time
+    /// callbacks — no cloning in between.
+    fn predict_rows_by_ref(&self, rows: &[&[f64]]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict_row(r)).collect()
+    }
 }
 
 impl<T: Regressor + ?Sized> PredictRow for T {
     fn predict_row(&self, x: &[f64]) -> f64 {
         Regressor::predict_row(self, x)
+    }
+}
+
+/// An arena-compiled tree ensemble bound into the [`PredictRow`] surface.
+///
+/// A newtype rather than a direct impl because the blanket
+/// `impl<T: Regressor> PredictRow for T` would overlap a bare
+/// `impl PredictRow for CompiledTrees` under coherence rules. Batch calls
+/// route through the arena's blocked, branchless evaluation (see
+/// [`lam_ml::compile`]); predictions are bit-identical to the interpreted
+/// model the arena was lowered from.
+pub struct Compiled(pub CompiledTrees);
+
+impl From<CompiledTrees> for Compiled {
+    fn from(arena: CompiledTrees) -> Self {
+        Compiled(arena)
+    }
+}
+
+impl PredictRow for Compiled {
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        self.0.predict_row(x)
+    }
+
+    fn predict_rows(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        self.0.predict_rows(rows)
+    }
+
+    fn predict_rows_by_ref(&self, rows: &[&[f64]]) -> Vec<f64> {
+        self.0.predict_rows_by_ref(rows)
     }
 }
 

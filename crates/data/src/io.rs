@@ -21,6 +21,8 @@ pub enum IoError {
     Dataset(DatasetError),
     /// JSON (de)serialization failure.
     Json(serde_json::Error),
+    /// Binary codec failure (see [`crate::binio`]).
+    Binary(String),
 }
 
 impl std::fmt::Display for IoError {
@@ -30,6 +32,7 @@ impl std::fmt::Display for IoError {
             IoError::Parse(m) => write!(f, "csv parse error: {m}"),
             IoError::Dataset(e) => write!(f, "dataset error: {e}"),
             IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::Binary(m) => write!(f, "binary codec error: {m}"),
         }
     }
 }

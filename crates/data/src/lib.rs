@@ -10,6 +10,7 @@
 //! both the applications (which *generate* data) and the models (which
 //! *consume* data) depend on.
 
+pub mod binio;
 pub mod dataset;
 pub mod io;
 pub mod space;

@@ -52,6 +52,17 @@ impl GradientBoostingRegressor {
         self.stages.len()
     }
 
+    /// The fitted stage trees (empty before `fit`).
+    pub fn stages(&self) -> &[DecisionTreeRegressor] {
+        &self.stages
+    }
+
+    /// The base (mean-response) prediction every stage corrects (0 before
+    /// `fit`).
+    pub fn base_prediction(&self) -> f64 {
+        self.base
+    }
+
     /// Staged prediction: value after each boosting stage (for monitoring
     /// or early stopping).
     pub fn staged_predict_row(&self, x: &[f64]) -> Vec<f64> {

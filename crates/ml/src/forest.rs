@@ -101,12 +101,22 @@ impl Forest {
         sum / self.trees.len() as f64
     }
 
+    /// Mean and population standard deviation of the member-tree
+    /// predictions in one streaming Welford pass — no per-row `Vec` of
+    /// per-tree predictions is allocated.
     fn predict_row_with_std_impl(&self, x: &[f64]) -> (f64, f64) {
         assert!(!self.trees.is_empty(), "forest used before fit");
-        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict_row(x)).collect();
-        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
-        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / preds.len() as f64;
-        (mean, var.sqrt())
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        for (k, tree) in self.trees.iter().enumerate() {
+            let p = tree.predict_row(x);
+            let delta = p - mean;
+            mean += delta / (k + 1) as f64;
+            m2 += delta * (p - mean);
+        }
+        // Each Welford term is a product of same-signed factors, so m2 is
+        // non-negative and the sqrt is safe.
+        (mean, (m2 / self.trees.len() as f64).sqrt())
     }
 }
 

@@ -26,6 +26,7 @@
 //! assert!((yhat - 20.0).abs() < 4.0);
 //! ```
 
+pub mod compile;
 pub mod ensemble;
 pub mod forest;
 pub mod knn;

@@ -116,6 +116,17 @@ impl DecisionTreeRegressor {
         self.nodes.len()
     }
 
+    /// Number of feature columns seen at fit time (0 before fitting).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The flat node storage (empty before fitting). Crate-internal: the
+    /// arena compiler lowers these into its SoA layout.
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
     /// Number of leaves in the fitted tree.
     pub fn n_leaves(&self) -> usize {
         self.nodes.iter().filter(|n| n.is_leaf()).count()
@@ -238,11 +249,12 @@ impl Regressor for DecisionTreeRegressor {
         Ok(())
     }
 
+    /// Walk the tree to a leaf. Fitted-ness is *not* re-checked per call
+    /// (hoisted to fit/compile time — see [`crate::compile`]); calling an
+    /// unfitted tree panics on the root index instead of an assert, and
+    /// compiled use surfaces a typed
+    /// [`crate::compile::CompileError::NotFitted`] up front.
     fn predict_row(&self, x: &[f64]) -> f64 {
-        assert!(
-            !self.nodes.is_empty(),
-            "DecisionTreeRegressor used before fit"
-        );
         let mut id = 0usize;
         loop {
             match self.nodes[id] {

@@ -1,0 +1,137 @@
+//! Property tests certifying the arena-compiled fast path
+//! ([`lam_ml::compile`]) is a *bit-identical* drop-in for interpreted
+//! evaluation, for every tree-backed model family, over arbitrary fitted
+//! models and arbitrary query rows — including rows far outside the
+//! training range and rows carrying `NaN`, infinities, and `-0.0`
+//! (the branchless descent must route them exactly as the interpreted
+//! `x <= t` comparison does).
+
+use lam_data::Dataset;
+use lam_ml::ensemble::GradientBoostingRegressor;
+use lam_ml::forest::{ExtraTreesRegressor, RandomForestRegressor};
+use lam_ml::model::Regressor;
+use lam_ml::tree::{DecisionTreeRegressor, TreeParams};
+use proptest::prelude::*;
+
+/// Arbitrary small dataset: n rows, 3 features, finite values.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (6usize..50).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-50.0f64..50.0, n * 3),
+            proptest::collection::vec(0.1f64..500.0, n),
+        )
+            .prop_map(|(features, response)| {
+                Dataset::new(vec!["a".into(), "b".into(), "c".into()], features, response).unwrap()
+            })
+    })
+}
+
+/// Query rows that stress the descent: any finite value, plus the special
+/// values the comparison contract must preserve.
+fn query_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    let special = (0usize..8, -200.0f64..200.0).prop_map(|(k, v)| match k {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -0.0,
+        4 => 0.0,
+        _ => v,
+    });
+    proptest::collection::vec(proptest::collection::vec(special, 3), 1..150)
+}
+
+fn assert_bit_identical(
+    interpreted: &dyn Fn(&[f64]) -> f64,
+    compiled: &lam_ml::compile::CompiledTrees,
+    queries: &[Vec<f64>],
+) -> Result<(), TestCaseError> {
+    // Row-at-a-time path.
+    for q in queries {
+        let a = interpreted(q);
+        let b = compiled.predict_row(q);
+        prop_assert!(
+            a.to_bits() == b.to_bits(),
+            "row diverged on {q:?}: interpreted {a} vs compiled {b}"
+        );
+    }
+    // Blocked batch path must agree with its own row path (and hence the
+    // interpreter) regardless of how queries split into blocks.
+    let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+    let batch = compiled.predict_rows_by_ref(&refs);
+    for (q, b) in queries.iter().zip(&batch) {
+        let a = interpreted(q);
+        prop_assert!(
+            a.to_bits() == b.to_bits(),
+            "batch diverged on {q:?}: interpreted {a} vs blocked {b}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cart_compiles_bit_identical(data in dataset_strategy(), queries in query_strategy(), seed in 0u64..1000) {
+        let mut m = DecisionTreeRegressor::new(TreeParams::default(), seed);
+        m.fit(&data).unwrap();
+        let compiled = m.compile().unwrap();
+        assert_bit_identical(&|q| m.predict_row(q), &compiled, &queries)?;
+    }
+
+    #[test]
+    fn random_forest_compiles_bit_identical(data in dataset_strategy(), queries in query_strategy(), seed in 0u64..1000) {
+        let mut m = RandomForestRegressor::with_params(12, TreeParams::default(), seed);
+        m.fit(&data).unwrap();
+        let compiled = m.compile().unwrap();
+        assert_bit_identical(&|q| m.predict_row(q), &compiled, &queries)?;
+    }
+
+    #[test]
+    fn extra_trees_compile_bit_identical(data in dataset_strategy(), queries in query_strategy(), seed in 0u64..1000) {
+        let mut m = ExtraTreesRegressor::with_params(12, TreeParams::default(), seed);
+        m.fit(&data).unwrap();
+        let compiled = m.compile().unwrap();
+        assert_bit_identical(&|q| m.predict_row(q), &compiled, &queries)?;
+    }
+
+    #[test]
+    fn boosting_compiles_bit_identical(data in dataset_strategy(), queries in query_strategy(), seed in 0u64..1000) {
+        let mut m = GradientBoostingRegressor::new(40, 0.1, seed);
+        m.fit(&data).unwrap();
+        let compiled = m.compile().unwrap();
+        assert_bit_identical(&|q| m.predict_row(q), &compiled, &queries)?;
+    }
+
+    /// Batch sizes straddling the block boundary (63, 64, 65, …) all
+    /// agree with the row path — no off-by-one in remainder handling.
+    #[test]
+    fn block_remainders_are_exact(n in 1usize..200, seed in 0u64..100) {
+        let xs: Vec<f64> = (0..40).flat_map(|i| [i as f64, (i * i % 17) as f64, -(i as f64)]).collect();
+        let ys: Vec<f64> = (0..40).map(|i| (i as f64).cos() + 2.0).collect();
+        let data = Dataset::new(vec!["a".into(), "b".into(), "c".into()], xs, ys).unwrap();
+        let mut m = ExtraTreesRegressor::with_params(8, TreeParams::default(), seed);
+        m.fit(&data).unwrap();
+        let compiled = m.compile().unwrap();
+        let queries: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 0.7, i as f64 - 3.0, 0.5]).collect();
+        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+        let batch = compiled.predict_rows_by_ref(&refs);
+        prop_assert_eq!(batch.len(), n);
+        for (q, b) in queries.iter().zip(&batch) {
+            prop_assert!(compiled.predict_row(q).to_bits() == b.to_bits());
+        }
+    }
+}
+
+#[test]
+fn unfitted_models_fail_to_compile_with_typed_error() {
+    use lam_ml::compile::CompileError;
+    let tree = DecisionTreeRegressor::new(TreeParams::default(), 0);
+    assert_eq!(tree.compile().unwrap_err(), CompileError::NotFitted);
+    let forest = RandomForestRegressor::with_params(4, TreeParams::default(), 0);
+    assert_eq!(forest.compile().unwrap_err(), CompileError::NotFitted);
+    let et = ExtraTreesRegressor::with_params(4, TreeParams::default(), 0);
+    assert_eq!(et.compile().unwrap_err(), CompileError::NotFitted);
+    let gbm = GradientBoostingRegressor::new(10, 0.1, 0);
+    assert_eq!(gbm.compile().unwrap_err(), CompileError::NotFitted);
+}

@@ -90,6 +90,10 @@ pub enum ServeError {
     Json(String),
     /// Malformed HTTP traffic.
     Http(String),
+    /// A persisted model could not be lowered into its servable form
+    /// (e.g. an artifact with an unfitted tree — see
+    /// [`lam_ml::compile::CompileError`]).
+    Model(String),
 }
 
 impl fmt::Display for ServeError {
@@ -119,6 +123,7 @@ impl fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "io error: {e}"),
             ServeError::Json(m) => write!(f, "json error: {m}"),
             ServeError::Http(m) => write!(f, "http error: {m}"),
+            ServeError::Model(m) => write!(f, "model error: {m}"),
         }
     }
 }
@@ -146,6 +151,12 @@ impl From<lam_tune::TuneError> for ServeError {
 impl From<serde_json::Error> for ServeError {
     fn from(e: serde_json::Error) -> Self {
         ServeError::Json(e.to_string())
+    }
+}
+
+impl From<lam_ml::compile::CompileError> for ServeError {
+    fn from(e: lam_ml::compile::CompileError) -> Self {
+        ServeError::Model(e.to_string())
     }
 }
 

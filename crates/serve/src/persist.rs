@@ -1,5 +1,5 @@
 //! Trained-model persistence: every model family the workspace trains can
-//! be saved as JSON and loaded back with *bit-identical* predictions.
+//! be saved and loaded back with *bit-identical* predictions.
 //!
 //! The trained state of each family is a plain serializable struct
 //! ([`lam_ml`] derives the vendored serde traits on all of them); this
@@ -11,16 +11,35 @@
 //! workload id at load time (analytical models are closed-form and carry
 //! no trained state, so persisting their name is persisting the model).
 //!
-//! Floats survive the trip exactly: the vendored `serde_json` writes
-//! shortest-exact `f64` and parses with `FromStr`, so a reloaded tree
-//! splits on bit-equal thresholds and a reloaded forest averages
-//! bit-equal leaves.
+//! ## Two artifact formats
+//!
+//! The canonical artifact is **compact binary** (`.lamb`, see
+//! [`lam_data::binio`]): `f64` bit patterns are written verbatim in
+//! little-endian order behind a versioned magic header, so loading a
+//! forest is a bounds-checked byte walk with no float parsing — an
+//! order of magnitude faster cold start than JSON. [`SavedModel::save`]
+//! writes it; registries resolve it first.
+//!
+//! **JSON** (`.json`, via [`SavedModel::save_json`]) remains fully
+//! supported for human inspection and for artifacts written by earlier
+//! builds; [`SavedModel::load`] dispatches on the file extension and
+//! registries fall back to it when no binary artifact exists. Floats
+//! survive the JSON trip exactly too: the vendored `serde_json` writes
+//! shortest-exact `f64` and parses with `FromStr`, so both formats load
+//! bit-equal thresholds and leaves.
+//!
+//! Loading also *compiles*: [`SavedModel::into_predictor`] lowers tree
+//! ensembles into the [`lam_ml::compile`] SoA arena, so everything
+//! downstream of a load (the registry, the batch engine, the tuning
+//! strategies) serves from the blocked, branchless fast path while
+//! staying bit-identical to the interpreted model.
 
 use crate::workload::WorkloadId;
 use crate::ServeError;
 use lam_core::hybrid::HybridConfig;
-use lam_core::hybrid::HybridModel;
-use lam_core::predict::PredictRow;
+use lam_core::hybrid::{HybridModel, HybridPredictor};
+use lam_core::predict::{Compiled, PredictRow};
+use lam_ml::compile::CompileError;
 use lam_ml::ensemble::GradientBoostingRegressor;
 use lam_ml::forest::{ExtraTreesRegressor, RandomForestRegressor};
 use lam_ml::knn::KnnRegressor;
@@ -151,17 +170,22 @@ impl TrainedMl {
         }
     }
 
-    /// Box the trained model directly as a [`PredictRow`] (no double
-    /// indirection through `Box<dyn Regressor>`).
-    fn into_regressor_predictor(self) -> Box<dyn PredictRow> {
-        match self {
-            TrainedMl::Cart(m) => Box::new(m),
-            TrainedMl::RandomForest(m) => Box::new(m),
-            TrainedMl::ExtraTrees(m) => Box::new(m),
-            TrainedMl::Boosting(m) => Box::new(m),
+    /// Lower the trained model into its fastest [`PredictRow`] form: tree
+    /// families are arena-compiled ([`lam_ml::compile`], bit-identical
+    /// predictions, blocked batch evaluation); k-NN and linear models are
+    /// boxed directly (no tree structure to compile).
+    ///
+    /// An artifact carrying an unfitted tree surfaces here as a typed
+    /// [`CompileError::NotFitted`] — once per load, not per prediction.
+    pub fn into_fast_predictor(self) -> Result<Box<dyn PredictRow>, CompileError> {
+        Ok(match self {
+            TrainedMl::Cart(m) => Box::new(Compiled(m.compile()?)),
+            TrainedMl::RandomForest(m) => Box::new(Compiled(m.compile()?)),
+            TrainedMl::ExtraTrees(m) => Box::new(Compiled(m.compile()?)),
+            TrainedMl::Boosting(m) => Box::new(Compiled(m.compile()?)),
             TrainedMl::Knn(m) => Box::new(m),
             TrainedMl::Linear(m) => Box::new(m),
-        }
+        })
     }
 }
 
@@ -189,15 +213,23 @@ pub struct SavedModel {
 }
 
 impl SavedModel {
-    /// Canonical file name of this artifact: `{workload}__{kind}__v{n}.json`.
+    /// Canonical (binary) file name of this artifact:
+    /// `{workload}__{kind}__v{n}.lamb`.
     pub fn file_name(workload: WorkloadId, kind: ModelKind, version: u32) -> String {
+        format!("{workload}__{kind}__v{version}.lamb")
+    }
+
+    /// JSON file name of this artifact: `{workload}__{kind}__v{n}.json`.
+    pub fn json_file_name(workload: WorkloadId, kind: ModelKind, version: u32) -> String {
         format!("{workload}__{kind}__v{version}.json")
     }
 
-    /// Parse a [`SavedModel::file_name`]-shaped name back into its key
-    /// parts; `None` for foreign files.
+    /// Parse an artifact file name (either format's extension) back into
+    /// its key parts; `None` for foreign files.
     pub fn parse_file_name(name: &str) -> Option<(WorkloadId, ModelKind, u32)> {
-        let stem = name.strip_suffix(".json")?;
+        let stem = name
+            .strip_suffix(".lamb")
+            .or_else(|| name.strip_suffix(".json"))?;
         let mut parts = stem.split("__");
         let workload = parts.next()?.parse().ok()?;
         let kind = parts.next()?.parse().ok()?;
@@ -208,32 +240,54 @@ impl SavedModel {
         Some((workload, kind, version))
     }
 
-    /// Write the model as pretty JSON under `dir`, creating the directory
-    /// if needed. Publication is atomic (write to a temp file, then
-    /// rename): registries in other processes polling `path.is_file()`
-    /// never observe a truncated artifact. The temp name carries the pid
-    /// *and* a process-wide counter so concurrent train-on-miss saves of
-    /// the same key (the registry deliberately lets racers both train)
-    /// never collide on the temp path. Returns the path written.
-    pub fn save(&self, dir: &Path) -> Result<PathBuf, ServeError> {
+    /// Atomically publish `bytes` as `dir/name` (write to a temp file,
+    /// then rename): registries in other processes polling
+    /// `path.is_file()` never observe a truncated artifact. The temp name
+    /// carries the pid *and* a process-wide counter so concurrent
+    /// train-on-miss saves of the same key (the registry deliberately lets
+    /// racers both train) never collide on the temp path.
+    fn publish(dir: &Path, name: &str, bytes: &[u8]) -> Result<PathBuf, ServeError> {
         use std::sync::atomic::{AtomicU64, Ordering};
         static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
         std::fs::create_dir_all(dir)?;
-        let name = Self::file_name(self.workload, self.kind, self.version);
-        let path = dir.join(&name);
+        let path = dir.join(name);
         let tmp = dir.join(format!(
             ".{name}.tmp-{}-{}",
             std::process::id(),
             SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        lam_data::io::write_json(self, &tmp)?;
+        std::fs::write(&tmp, bytes)?;
         std::fs::rename(&tmp, &path)?;
         Ok(path)
     }
 
-    /// Load a model written by [`SavedModel::save`].
+    /// Write the model in the canonical compact binary format under
+    /// `dir`, creating the directory if needed. Publication is atomic.
+    /// Returns the path written.
+    pub fn save(&self, dir: &Path) -> Result<PathBuf, ServeError> {
+        let name = Self::file_name(self.workload, self.kind, self.version);
+        let bytes = lam_data::binio::to_bytes(self)?;
+        Self::publish(dir, &name, &bytes)
+    }
+
+    /// Write the model as pretty JSON under `dir` — the human-readable
+    /// sibling of [`SavedModel::save`], same atomic publication.
+    pub fn save_json(&self, dir: &Path) -> Result<PathBuf, ServeError> {
+        let name = Self::json_file_name(self.workload, self.kind, self.version);
+        let bytes = serde_json::to_string_pretty(self)?.into_bytes();
+        Self::publish(dir, &name, &bytes)
+    }
+
+    /// Load a model written by [`SavedModel::save`] or
+    /// [`SavedModel::save_json`], dispatching on the file extension
+    /// (`.lamb` → binary, anything else → JSON).
     pub fn load(path: &Path) -> Result<Self, ServeError> {
-        let model: SavedModel = lam_data::io::read_json(path)?;
+        let is_binary = path.extension().is_some_and(|e| e == "lamb");
+        let model: SavedModel = if is_binary {
+            lam_data::binio::read_binary(path)?
+        } else {
+            lam_data::io::read_json(path)?
+        };
         if model.format_version != FORMAT_VERSION {
             return Err(ServeError::Json(format!(
                 "model file {} has format version {}, this build reads {}",
@@ -273,18 +327,40 @@ impl SavedModel {
         Ok(model)
     }
 
-    /// Assemble the servable predictor: the plain regressor for pure-ML
-    /// kinds, or a [`HybridModel`] reassembled from the persisted stacked
-    /// model, the persisted configuration, and the workload's analytical
-    /// model for hybrids.
-    pub fn into_predictor(self) -> Box<dyn PredictRow> {
+    /// Assemble the servable predictor, arena-compiling every tree
+    /// ensemble on the way ([`TrainedMl::into_fast_predictor`]): pure-ML
+    /// kinds serve the compiled model directly; hybrids become a
+    /// [`HybridPredictor`] over the compiled stacked model, the persisted
+    /// configuration, and the workload's analytical model. Predictions are
+    /// bit-identical to the interpreted assembly
+    /// ([`SavedModel::into_interpreted_predictor`]).
+    pub fn into_predictor(self) -> Result<Box<dyn PredictRow>, ServeError> {
+        match self.hybrid {
+            Some(config) => Ok(Box::new(HybridPredictor::new(
+                self.workload.analytical_model(),
+                self.ml.into_fast_predictor()?,
+                config,
+            ))),
+            None => Ok(self.ml.into_fast_predictor()?),
+        }
+    }
+
+    /// Assemble the predictor *without* arena compilation: the plain
+    /// regressor for pure-ML kinds, or a [`HybridModel`] reassembled from
+    /// fitted parts for hybrids. This is the pre-compilation serving path,
+    /// kept as the reference implementation that equivalence tests and
+    /// benchmarks compare [`SavedModel::into_predictor`] against.
+    pub fn into_interpreted_predictor(self) -> Box<dyn PredictRow> {
         match self.hybrid {
             Some(config) => Box::new(HybridModel::from_fitted_parts(
                 self.workload.analytical_model(),
                 self.ml.into_regressor(),
                 config,
             )),
-            None => self.ml.into_regressor_predictor(),
+            None => {
+                let boxed: Box<dyn Regressor> = self.ml.into_regressor();
+                Box::new(boxed)
+            }
         }
     }
 }
@@ -310,7 +386,11 @@ mod tests {
         for w in WorkloadId::all() {
             for k in ModelKind::all() {
                 let name = SavedModel::file_name(w, k, 3);
+                assert!(name.ends_with(".lamb"));
                 assert_eq!(SavedModel::parse_file_name(&name), Some((w, k, 3)));
+                let json = SavedModel::json_file_name(w, k, 3);
+                assert!(json.ends_with(".json"));
+                assert_eq!(SavedModel::parse_file_name(&json), Some((w, k, 3)));
             }
         }
         assert_eq!(SavedModel::parse_file_name("notes.txt"), None);
@@ -342,7 +422,7 @@ mod tests {
         let back = SavedModel::load(&path).unwrap();
         assert_eq!(back.version, 1);
         assert_eq!(back.kind, ModelKind::Cart);
-        let predictor = back.into_predictor();
+        let predictor = back.into_predictor().unwrap();
         for i in 0..data.len() {
             assert_eq!(
                 lam_ml::model::Regressor::predict_row(&tree, data.row(i)).to_bits(),

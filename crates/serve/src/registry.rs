@@ -4,11 +4,17 @@
 //! Resolution order on [`ModelRegistry::get`]:
 //!
 //! 1. **memo** — models already loaded this process, shared behind `Arc`;
-//! 2. **disk** — a JSON artifact under the registry root written by an
-//!    earlier process;
-//! 3. **train** — generate the workload dataset, fit the requested model
+//! 2. **binary artifact** — a compact `.lamb` file under the registry
+//!    root written by an earlier process (the canonical format — loads
+//!    without any float parsing);
+//! 3. **JSON artifact** — a `.json` file under the root (artifacts from
+//!    earlier builds, or written for inspection);
+//! 4. **train** — generate the workload dataset, fit the requested model
 //!    family deterministically (seed derived from the key), persist the
-//!    artifact, then memoize it.
+//!    binary artifact, then memoize it.
+//!
+//! Loading arena-compiles tree ensembles ([`SavedModel::into_predictor`]),
+//! so every served prediction runs the blocked, branchless fast path.
 //!
 //! Training happens *outside* the registry lock, so a cold miss on one
 //! model never blocks serving traffic on already-loaded ones; if two
@@ -94,14 +100,14 @@ pub struct LoadedModel {
 }
 
 impl LoadedModel {
-    fn from_saved(key: ModelKey, saved: SavedModel) -> Self {
-        Self {
+    fn from_saved(key: ModelKey, saved: SavedModel) -> Result<Self, ServeError> {
+        Ok(Self {
             key,
             feature_names: saved.feature_names.clone(),
             trained_rows: saved.trained_rows,
-            predictor: saved.into_predictor(),
+            predictor: saved.into_predictor()?,
             engine: BatchEngine::default(),
-        }
+        })
     }
 
     /// Validate feature counts and finiteness, then predict the batch
@@ -173,10 +179,19 @@ impl ModelRegistry {
         PathBuf::from("results/models")
     }
 
-    /// Artifact path for a key.
+    /// Canonical (binary) artifact path for a key.
     pub fn path_for(&self, key: ModelKey) -> PathBuf {
         self.root
             .join(SavedModel::file_name(key.workload, key.kind, key.version))
+    }
+
+    /// JSON artifact path for a key (the fallback format).
+    pub fn json_path_for(&self, key: ModelKey) -> PathBuf {
+        self.root.join(SavedModel::json_file_name(
+            key.workload,
+            key.kind,
+            key.version,
+        ))
     }
 
     /// Registry root directory.
@@ -195,25 +210,32 @@ impl ModelRegistry {
         if let Some(hit) = self.memo.lock().expect("registry poisoned").get(&key) {
             return Ok(Arc::clone(hit));
         }
-        let path = self.path_for(key);
-        let saved = if path.is_file() {
-            let saved = SavedModel::load(&path)?;
-            // A renamed or tampered artifact must not be served under the
-            // requested identity (wrong schema, silently wrong answers).
-            let embedded = ModelKey::new(saved.workload, saved.kind, saved.version);
-            if embedded != key {
-                return Err(ServeError::Json(format!(
-                    "artifact {} embeds key {embedded}, expected {key}",
-                    path.display()
-                )));
+        // Binary first, JSON fallback (see module docs).
+        let on_disk = [self.path_for(key), self.json_path_for(key)]
+            .into_iter()
+            .find(|p| p.is_file());
+        let saved = match on_disk {
+            Some(path) => {
+                let saved = SavedModel::load(&path)?;
+                // A renamed or tampered artifact must not be served under
+                // the requested identity (wrong schema, silently wrong
+                // answers).
+                let embedded = ModelKey::new(saved.workload, saved.kind, saved.version);
+                if embedded != key {
+                    return Err(ServeError::Json(format!(
+                        "artifact {} embeds key {embedded}, expected {key}",
+                        path.display()
+                    )));
+                }
+                saved
             }
-            saved
-        } else {
-            let trained = train(key)?;
-            trained.save(&self.root)?;
-            trained
+            None => {
+                let trained = train(key)?;
+                trained.save(&self.root)?;
+                trained
+            }
         };
-        let loaded = Arc::new(LoadedModel::from_saved(key, saved));
+        let loaded = Arc::new(LoadedModel::from_saved(key, saved)?);
         let mut memo = self.memo.lock().expect("registry poisoned");
         // First insert wins; a racing trainer built the identical model.
         Ok(Arc::clone(memo.entry(key).or_insert(loaded)))
@@ -245,11 +267,20 @@ impl ModelRegistry {
                     continue;
                 };
                 let key = ModelKey::new(workload, kind, version);
-                entries.entry(key).or_insert_with(|| CatalogEntry {
-                    key,
-                    path: self.root.join(name),
-                    loaded: false,
-                });
+                // A key persisted in both formats catalogs once, under its
+                // canonical binary path.
+                entries
+                    .entry(key)
+                    .and_modify(|e| {
+                        if name.ends_with(".lamb") {
+                            e.path = self.root.join(name);
+                        }
+                    })
+                    .or_insert_with(|| CatalogEntry {
+                        key,
+                        path: self.root.join(name),
+                        loaded: false,
+                    });
             }
         }
         let mut list: Vec<CatalogEntry> = entries.into_values().collect();
@@ -412,6 +443,45 @@ mod tests {
         let catalog2 = reg2.catalog().unwrap();
         assert_eq!(catalog2.len(), 1);
         assert!(!catalog2[0].loaded);
+    }
+
+    #[test]
+    fn json_artifact_resolves_when_no_binary_exists() {
+        let reg = temp_registry("json_fallback");
+        let key = ModelKey::new(fmm_small(), ModelKind::Cart, 1);
+        train(key).unwrap().save_json(reg.root()).unwrap();
+        assert!(!reg.path_for(key).exists());
+        let model = reg.get(key).unwrap();
+        // Train-on-miss would have persisted a binary artifact; its
+        // absence proves the JSON fallback served the request.
+        assert!(
+            !reg.path_for(key).exists(),
+            "resolved from JSON without retraining"
+        );
+        assert_eq!(model.key, key);
+    }
+
+    #[test]
+    fn binary_artifact_preferred_over_json() {
+        let reg = temp_registry("binary_first");
+        let key = ModelKey::new(fmm_small(), ModelKind::Cart, 1);
+        train(key).unwrap().save(reg.root()).unwrap();
+        // A corrupt JSON sibling must never be read when the binary
+        // artifact exists.
+        std::fs::write(reg.json_path_for(key), "{ not json").unwrap();
+        assert!(reg.get(key).is_ok());
+    }
+
+    #[test]
+    fn catalog_lists_dual_format_artifacts_once() {
+        let reg = temp_registry("dual_catalog");
+        let key = ModelKey::new(fmm_small(), ModelKind::Linear, 1);
+        let trained = train(key).unwrap();
+        trained.save(reg.root()).unwrap();
+        trained.save_json(reg.root()).unwrap();
+        let catalog = reg.catalog().unwrap();
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(catalog[0].path, reg.path_for(key), "canonical binary path");
     }
 
     #[test]

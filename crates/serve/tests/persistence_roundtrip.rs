@@ -7,8 +7,12 @@
 //! The proptest strategy draws the model family and artifact version;
 //! the scenario is exercised exhaustively (every row of the space), so a
 //! pass means no float in any persisted tree threshold, leaf, forest
-//! member, k-NN training row, or linear coefficient drifted through the
-//! JSON round trip.
+//! member, k-NN training row, or linear coefficient drifted through
+//! either round trip — the compact binary format (`.lamb`, the canonical
+//! artifact) or JSON (the fallback). Each comparison also pits the
+//! arena-compiled serving predictor against the interpreted reference
+//! assembly, so a pass certifies the whole chain:
+//! train → persist (both formats) → load → compile ≡ train → interpret.
 
 use lam_serve::persist::{ModelKind, SavedModel};
 use lam_serve::registry::{train, ModelKey};
@@ -29,23 +33,31 @@ fn assert_roundtrip_bit_identical(
     let trained = train(key).expect("training succeeds");
     let dir =
         std::env::temp_dir().join(format!("lam_serve_roundtrip_{workload}_{kind}_v{version}"));
-    let path = trained.save(&dir).expect("save succeeds");
-    let loaded = SavedModel::load(&path).expect("load succeeds");
+    let bin_path = trained.save(&dir).expect("binary save succeeds");
+    let json_path = trained.save_json(&dir).expect("json save succeeds");
+    prop_assert!(bin_path != json_path);
+    let from_bin = SavedModel::load(&bin_path).expect("binary load succeeds");
+    let from_json = SavedModel::load(&json_path).expect("json load succeeds");
 
-    let original = trained.into_predictor();
-    let reloaded = loaded.into_predictor();
+    // The interpreted assembly of the in-memory model is the reference;
+    // both reloads serve through the compiled fast path.
+    let reference = trained.into_interpreted_predictor();
+    let compiled_bin = from_bin.into_predictor().expect("compiles");
+    let compiled_json = from_json.into_predictor().expect("compiles");
     let data = workload.dataset();
     for i in 0..data.len() {
         let row = data.row(i);
-        let a = original.predict_row(row);
-        let b = reloaded.predict_row(row);
+        let a = reference.predict_row(row);
+        let b = compiled_bin.predict_row(row);
+        let c = compiled_json.predict_row(row);
         prop_assert!(
-            a.to_bits() == b.to_bits(),
-            "{}: row {} diverged after reload: {} vs {}",
+            a.to_bits() == b.to_bits() && a.to_bits() == c.to_bits(),
+            "{}: row {} diverged after reload: interpreted {} vs binary {} vs json {}",
             key,
             i,
             a,
-            b
+            b,
+            c
         );
     }
     Ok(())
@@ -67,6 +79,11 @@ proptest! {
     #[test]
     fn fmm_roundtrip_bit_identical(kind in any_kind(), version in 1u32..4) {
         assert_roundtrip_bit_identical(wid("fmm-small"), kind, version)?;
+    }
+
+    #[test]
+    fn spmv_roundtrip_bit_identical(kind in any_kind(), version in 1u32..4) {
+        assert_roundtrip_bit_identical(wid("spmv-small"), kind, version)?;
     }
 }
 

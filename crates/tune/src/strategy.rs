@@ -111,10 +111,12 @@ pub const STRATEGY_NAMES: [&str; 4] = ["exhaustive", "random", "local", "halving
 /// Model-score `rows`. Sets larger than one micro-batch go through the
 /// shared executor for the parallel fan-out; small sets (a local-search
 /// frontier, a random sample) skip its cache and shard setup — within
-/// one call every row is distinct, so the cache could never hit anyway.
+/// one call every row is distinct, so the cache could never hit anyway —
+/// but still call the model's own batch entry point, so arena-compiled
+/// guides evaluate the frontier block-wise instead of row at a time.
 pub(crate) fn score_rows(model: &dyn PredictRow, rows: &[Vec<f64>]) -> Vec<f64> {
     if rows.len() <= lam_core::batch::DEFAULT_MICRO_BATCH {
-        rows.iter().map(|r| model.predict_row(r)).collect()
+        model.predict_rows(rows)
     } else {
         BatchEngine::default().predict(model, rows).predictions
     }
