@@ -18,10 +18,12 @@
 //! configuration spaces through the same executor.
 
 use crate::predict::PredictRow;
+use lam_obs::{Counter, Histogram};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Cache-key for one feature row: the exact bit patterns of its floats
 /// (no epsilon grouping — only a bit-identical row is "the same query").
@@ -148,10 +150,87 @@ pub struct BatchOutcome {
     pub cache_hits: u64,
 }
 
+/// Pre-resolved global-metrics handles of one [`BatchEngine`], interned
+/// once at engine construction (label lookup never runs on the predict
+/// path). The `scope` label tells engines apart: serving engines use
+/// `workload/kind`, shared/anonymous engines use `"shared"`.
+struct EngineMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    batch_rows: Arc<Histogram>,
+    queue_wait_ns: Arc<Histogram>,
+    lookup_ns: Arc<Histogram>,
+    predict_ns: Arc<Histogram>,
+}
+
+/// Timings and tallies of one executed micro-batch. Measured inside the
+/// (possibly parallel) execution but recorded into the global registry
+/// only after the parallel section: concurrent `fetch_add`s from rayon
+/// workers onto the same counters bounce their cache lines, and that
+/// contention would be charged to the very request being measured.
+struct MicroBatchObs {
+    queue_wait_ns: u64,
+    rows: u64,
+    lookup_ns: Option<u64>,
+    predict_ns: Option<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EngineMetrics {
+    /// Flush one micro-batch's measurements (serial, uncontended).
+    fn record(&self, obs: &MicroBatchObs) {
+        self.queue_wait_ns.record(obs.queue_wait_ns);
+        self.batch_rows.record(obs.rows);
+        self.hits.add(obs.hits);
+        self.misses.add(obs.misses);
+        if let Some(ns) = obs.lookup_ns {
+            self.lookup_ns.record(ns);
+        }
+        if let Some(ns) = obs.predict_ns {
+            self.predict_ns.record(ns);
+        }
+    }
+
+    fn for_scope(scope: &str) -> Self {
+        let reg = lam_obs::global();
+        let labels = [("scope", scope)];
+        Self {
+            hits: reg.counter(
+                "lam_cache_hits_total",
+                "Prediction-cache lookups answered from the cache.",
+                &labels,
+            ),
+            misses: reg.counter(
+                "lam_cache_misses_total",
+                "Prediction-cache lookups that fell through to the model.",
+                &labels,
+            ),
+            batch_rows: reg.histogram("lam_batch_rows", "Rows per executed micro-batch.", &labels),
+            queue_wait_ns: reg.histogram(
+                "lam_batch_queue_wait_ns",
+                "Delay between request arrival at the engine and micro-batch execution start.",
+                &labels,
+            ),
+            lookup_ns: reg.histogram(
+                "lam_batch_phase_ns",
+                "Micro-batch phase duration, nanoseconds.",
+                &[("scope", scope), ("phase", "cache-lookup")],
+            ),
+            predict_ns: reg.histogram(
+                "lam_batch_phase_ns",
+                "Micro-batch phase duration, nanoseconds.",
+                &[("scope", scope), ("phase", "predict")],
+            ),
+        }
+    }
+}
+
 /// Order-preserving micro-batch executor over a [`PredictionCache`].
 pub struct BatchEngine {
     cache: PredictionCache,
     micro_batch: usize,
+    metrics: EngineMetrics,
 }
 
 /// Micro-batch size balancing per-batch overhead against load balance;
@@ -165,11 +244,20 @@ impl Default for BatchEngine {
 }
 
 impl BatchEngine {
-    /// Engine with explicit micro-batch size and cache shard count.
+    /// Engine with explicit micro-batch size and cache shard count,
+    /// reporting metrics under the anonymous `scope="shared"` label.
     pub fn new(micro_batch: usize, shards: usize) -> Self {
+        Self::scoped(micro_batch, shards, "shared")
+    }
+
+    /// Engine whose metrics carry `scope` as their label (serving engines
+    /// pass `workload/kind` so cache and batch telemetry is per-model).
+    /// Label interning happens here, once — never on the predict path.
+    pub fn scoped(micro_batch: usize, shards: usize, scope: &str) -> Self {
         Self {
             cache: PredictionCache::new(shards),
             micro_batch: micro_batch.max(1),
+            metrics: EngineMetrics::for_scope(scope),
         }
     }
 
@@ -188,7 +276,21 @@ impl BatchEngine {
     /// whole miss set instead of a per-row callback. Duplicate rows within
     /// one micro-batch are computed together in that call; they produce
     /// identical values, so the cache still converges to one entry.
-    fn predict_micro_batch(&self, model: &dyn PredictRow, batch: &[Vec<f64>]) -> (Vec<f64>, u64) {
+    /// `enqueued` is the engine-entry instant when observability is on
+    /// (`None` when recording is disabled — then no clocks are read and
+    /// no metrics are touched, the baseline the overhead bench measures).
+    /// The returned [`MicroBatchObs`] is the caller's to record, *after*
+    /// leaving any parallel section.
+    fn predict_micro_batch(
+        &self,
+        model: &dyn PredictRow,
+        batch: &[Vec<f64>],
+        enqueued: Option<Instant>,
+    ) -> (Vec<f64>, u64, Option<MicroBatchObs>) {
+        let started = enqueued.map(|t| {
+            let now = Instant::now();
+            ((now - t).as_nanos() as u64, now)
+        });
         let mut hits = 0u64;
         let mut predictions = vec![0.0f64; batch.len()];
         let mut miss_idx: Vec<usize> = Vec::new();
@@ -205,14 +307,38 @@ impl BatchEngine {
                 }
             }
         }
+        let mut obs = started.map(|(queue_wait_ns, _)| MicroBatchObs {
+            queue_wait_ns,
+            rows: batch.len() as u64,
+            lookup_ns: None,
+            predict_ns: None,
+            hits,
+            misses: miss_rows.len() as u64,
+        });
         if !miss_rows.is_empty() {
+            // Phase timings are only taken on miss-bearing micro-batches,
+            // where model compute dwarfs the clock reads. The all-hit fast
+            // path pays a single `Instant::now` (the queue-wait read above)
+            // — `Instant::now` costs ~44ns here, several times a counter
+            // add, and would dominate the <2% overhead budget otherwise.
+            // One `now` both closes the lookup phase and opens predict.
+            let predict_start = started.map(|(_, start)| {
+                let now = Instant::now();
+                if let Some(obs) = obs.as_mut() {
+                    obs.lookup_ns = Some((now - start).as_nanos() as u64);
+                }
+                now
+            });
             let computed = model.predict_rows_by_ref(&miss_rows);
             for ((&i, row), y) in miss_idx.iter().zip(&miss_rows).zip(computed) {
                 self.cache.insert(row, y);
                 predictions[i] = y;
             }
+            if let (Some(t), Some(obs)) = (predict_start, obs.as_mut()) {
+                obs.predict_ns = Some(t.elapsed().as_nanos() as u64);
+            }
         }
-        (predictions, hits)
+        (predictions, hits, obs)
     }
 
     /// Predict every row of the request through the cache, fanning
@@ -222,20 +348,31 @@ impl BatchEngine {
     /// entirely — its fixed entry cost would dominate a single cache
     /// lookup.
     pub fn predict(&self, model: &dyn PredictRow, rows: &[Vec<f64>]) -> BatchOutcome {
+        // One flag read and (when on) one clock read per request; every
+        // per-micro-batch record site keys off this `Option`.
+        let enqueued = lam_obs::enabled().then(Instant::now);
         if rows.len() <= self.micro_batch {
-            let (predictions, cache_hits) = self.predict_micro_batch(model, rows);
+            let (predictions, cache_hits, obs) = self.predict_micro_batch(model, rows, enqueued);
+            if let Some(obs) = obs {
+                self.metrics.record(&obs);
+            }
             return BatchOutcome {
                 predictions,
                 cache_hits,
             };
         }
         let batches: Vec<&[Vec<f64>]> = rows.chunks(self.micro_batch).collect();
-        let parts: Vec<(Vec<f64>, u64)> = batches
+        let parts: Vec<(Vec<f64>, u64, Option<MicroBatchObs>)> = batches
             .par_iter()
-            .map(|batch| self.predict_micro_batch(model, batch))
+            .map(|batch| self.predict_micro_batch(model, batch, enqueued))
             .collect();
-        let cache_hits = parts.iter().map(|(_, h)| h).sum();
-        let predictions: Vec<f64> = parts.into_iter().flat_map(|(p, _)| p).collect();
+        for (_, _, obs) in &parts {
+            if let Some(obs) = obs {
+                self.metrics.record(obs);
+            }
+        }
+        let cache_hits = parts.iter().map(|(_, h, _)| h).sum();
+        let predictions: Vec<f64> = parts.into_iter().flat_map(|(p, _, _)| p).collect();
         BatchOutcome {
             predictions,
             cache_hits,
@@ -321,6 +458,42 @@ mod tests {
         assert!(out.predictions.is_empty());
         assert_eq!(out.cache_hits, 0);
         assert!(engine.cache().is_empty());
+    }
+
+    #[test]
+    fn scoped_engine_feeds_the_global_metrics_registry() {
+        // A unique scope keeps this test independent of every other
+        // engine in the process.
+        let scope = "batch-metrics-selftest";
+        let engine = BatchEngine::scoped(8, 4, scope);
+        let rows = rows(20);
+        engine.predict(&Toy, &rows);
+        engine.predict(&Toy, &rows);
+        let reg = lam_obs::global();
+        let labels = [("scope", scope)];
+        let hits = reg.counter("lam_cache_hits_total", "", &labels).get();
+        let misses = reg.counter("lam_cache_misses_total", "", &labels).get();
+        assert_eq!(misses, 20, "first pass all misses");
+        assert_eq!(hits, 20, "second pass all hits");
+        let sizes = reg.histogram("lam_batch_rows", "", &labels).snapshot();
+        // 20 rows in 8-row micro-batches = 3 batches per pass.
+        assert_eq!(sizes.count(), 6);
+        assert_eq!(sizes.max, 8);
+        let waits = reg
+            .histogram("lam_batch_queue_wait_ns", "", &labels)
+            .snapshot();
+        assert_eq!(waits.count(), 6);
+        // Phase timings are only taken on miss-bearing micro-batches
+        // (the all-hit fast path skips the extra clock reads), so only
+        // the first pass's 3 micro-batches show up here.
+        let lookups = reg
+            .histogram(
+                "lam_batch_phase_ns",
+                "",
+                &[("scope", scope), ("phase", "cache-lookup")],
+            )
+            .snapshot();
+        assert_eq!(lookups.count(), 3);
     }
 
     #[test]

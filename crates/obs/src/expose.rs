@@ -1,0 +1,313 @@
+//! Render a registry [`Snapshot`] as Prometheus text exposition (the
+//! `GET /metrics` body) or as a compact JSON document (`/metrics.json`,
+//! for scrapers that want quantiles precomputed instead of `le` buckets).
+//!
+//! Both renderers are deterministic for a given snapshot: families sort
+//! by name and series by label values, so golden tests can pin the exact
+//! output.
+
+use crate::metrics::{bucket_upper_bound, HistogramSnapshot, HISTOGRAM_BUCKETS};
+use crate::registry::{FamilySnapshot, SeriesSnapshot, Snapshot, ValueSnapshot};
+use std::fmt::Write;
+
+/// Content type of the Prometheus text format, for HTTP servers.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(value: &str, out: &mut String) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render `{a="x",b="y"}` (empty string when there are no labels).
+/// `extra` appends one more pair (the histogram `le` label).
+fn label_block(
+    names: &[&'static str],
+    values: &[String],
+    extra: Option<(&str, &str)>,
+    out: &mut String,
+) {
+    if names.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (name, value) in names.iter().zip(values) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(name);
+        out.push_str("=\"");
+        escape_label(value, out);
+        out.push('"');
+    }
+    if let Some((name, value)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(name);
+        out.push_str("=\"");
+        escape_label(value, out);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn render_histogram_prometheus(
+    family: &FamilySnapshot,
+    series: &SeriesSnapshot,
+    h: &HistogramSnapshot,
+    out: &mut String,
+) {
+    // Cumulative `le` buckets up to the highest non-empty one; the
+    // log2 upper bounds (0, 1, 3, 7, …) are exact for integer samples.
+    let highest = h
+        .buckets
+        .iter()
+        .rposition(|&n| n > 0)
+        .map_or(0, |i| (i + 1).min(HISTOGRAM_BUCKETS - 1));
+    let mut cum = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate().take(highest + 1) {
+        cum += n;
+        out.push_str(family.name);
+        out.push_str("_bucket");
+        label_block(
+            &family.label_names,
+            &series.label_values,
+            Some(("le", &bucket_upper_bound(i).to_string())),
+            out,
+        );
+        let _ = writeln!(out, " {cum}");
+    }
+    let count = h.count();
+    out.push_str(family.name);
+    out.push_str("_bucket");
+    label_block(
+        &family.label_names,
+        &series.label_values,
+        Some(("le", "+Inf")),
+        out,
+    );
+    let _ = writeln!(out, " {count}");
+    out.push_str(family.name);
+    out.push_str("_sum");
+    label_block(&family.label_names, &series.label_values, None, out);
+    let _ = writeln!(out, " {}", h.sum);
+    out.push_str(family.name);
+    out.push_str("_count");
+    label_block(&family.label_names, &series.label_values, None, out);
+    let _ = writeln!(out, " {count}");
+}
+
+/// Render the whole snapshot in Prometheus text exposition format.
+pub fn render_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for family in &snapshot.families {
+        let _ = writeln!(out, "# HELP {} {}", family.name, family.help);
+        let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.name());
+        for series in &family.series {
+            match &series.value {
+                ValueSnapshot::Counter(v) => {
+                    out.push_str(family.name);
+                    label_block(&family.label_names, &series.label_values, None, &mut out);
+                    let _ = writeln!(out, " {v}");
+                }
+                ValueSnapshot::Gauge(v) => {
+                    out.push_str(family.name);
+                    label_block(&family.label_names, &series.label_values, None, &mut out);
+                    let _ = writeln!(out, " {v}");
+                }
+                ValueSnapshot::Histogram(h) => {
+                    render_histogram_prometheus(family, series, h, &mut out)
+                }
+            }
+        }
+    }
+    out
+}
+
+/// JSON string escaping (control characters, quote, backslash).
+fn escape_json(value: &str, out: &mut String) {
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_labels(names: &[&'static str], values: &[String], out: &mut String) {
+    out.push('{');
+    for (i, (name, value)) in names.iter().zip(values).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(name, out);
+        out.push_str("\":\"");
+        escape_json(value, out);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Format an estimate with enough precision for dashboards without
+/// drowning the payload in digits. Always a valid JSON number.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Render the snapshot as compact JSON:
+///
+/// ```json
+/// {"counters":[{"name":"...","labels":{...},"value":1}],
+///  "gauges":[{"name":"...","labels":{...},"value":0}],
+///  "histograms":[{"name":"...","labels":{...},"count":2,"sum":9,
+///                 "max":8,"mean":4.5,"p50":...,"p90":...,"p99":...}]}
+/// ```
+pub fn render_json(snapshot: &Snapshot) -> String {
+    let mut counters = String::new();
+    let mut gauges = String::new();
+    let mut histograms = String::new();
+    for family in &snapshot.families {
+        for series in &family.series {
+            let (out, body): (&mut String, String) = match &series.value {
+                ValueSnapshot::Counter(v) => (&mut counters, format!("\"value\":{v}")),
+                ValueSnapshot::Gauge(v) => (&mut gauges, format!("\"value\":{v}")),
+                ValueSnapshot::Histogram(h) => (
+                    &mut histograms,
+                    format!(
+                        "\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}",
+                        h.count(),
+                        h.sum,
+                        h.max,
+                        json_f64(h.mean()),
+                        json_f64(h.quantile(0.50)),
+                        json_f64(h.quantile(0.90)),
+                        json_f64(h.quantile(0.99)),
+                    ),
+                ),
+            };
+            if !out.is_empty() {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            escape_json(family.name, out);
+            out.push_str("\",\"labels\":");
+            json_labels(&family.label_names, &series.label_values, out);
+            out.push(',');
+            out.push_str(&body);
+            out.push('}');
+        }
+    }
+    format!("{{\"counters\":[{counters}],\"gauges\":[{gauges}],\"histograms\":[{histograms}]}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn prometheus_counter_and_gauge_lines() {
+        let reg = MetricsRegistry::new();
+        reg.counter("req_total", "Requests.", &[("endpoint", "predict")])
+            .add(3);
+        reg.gauge("in_flight", "In flight.", &[]).set(2);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# HELP req_total Requests.\n"));
+        assert!(text.contains("# TYPE req_total counter\n"));
+        assert!(text.contains("req_total{endpoint=\"predict\"} 3\n"));
+        assert!(text.contains("# TYPE in_flight gauge\n"));
+        assert!(text.contains("in_flight 2\n"));
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_ns", "Latency.", &[]);
+        h.record(1); // bucket 1 (le 1)
+        h.record(3); // bucket 2 (le 3)
+        h.record(3);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("lat_ns_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"3\"} 3\n"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_ns_sum 7\n"));
+        assert!(text.contains("lat_ns_count 3\n"));
+        // Buckets are cumulative and non-decreasing.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_ns_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total", "C.", &[("path", "a\\b\"c\nd")])
+            .inc();
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains(r#"c_total{path="a\\b\"c\nd"} 1"#), "{text}");
+        let json = render_json(&reg.snapshot());
+        assert!(json.contains(r#""path":"a\\b\"c\nd""#), "{json}");
+    }
+
+    #[test]
+    fn json_renders_quantiles_and_parses_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("n_total", "N.", &[("k", "v")]).add(9);
+        let h = reg.histogram("d_ns", "D.", &[("k", "v")]);
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let json = render_json(&reg.snapshot());
+        assert!(json.starts_with("{\"counters\":["));
+        assert!(json.contains("\"name\":\"n_total\""));
+        assert!(json.contains("\"value\":9"));
+        assert!(json.contains("\"count\":3"));
+        assert!(json.contains("\"sum\":60"));
+        assert!(json.contains("\"max\":30"));
+        assert!(json.contains("\"p99\":"));
+        // Balanced braces/brackets — cheap structural sanity without a
+        // JSON parser in this dependency-free crate (the serve e2e tests
+        // parse the real endpoint with serde_json).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_documents() {
+        let snap = MetricsRegistry::new().snapshot();
+        assert_eq!(render_prometheus(&snap), "");
+        assert_eq!(
+            render_json(&snap),
+            "{\"counters\":[],\"gauges\":[],\"histograms\":[]}"
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! The instruments: [`Counter`], [`Gauge`], and the lock-free
+//! log2-bucketed [`Histogram`].
+//!
+//! All three record with relaxed atomics only — no locks, no allocation,
+//! no clock reads. Reads (snapshots, quantiles) pay the derivation cost
+//! instead, which is the right trade for a serving hot path scraped a few
+//! times a minute.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Count `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (e.g. requests in flight).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Move the gauge by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increment by one and return an RAII guard that decrements on drop
+    /// — the in-flight-requests idiom, panic-safe by construction.
+    pub fn track(&self) -> GaugeGuard<'_> {
+        self.add(1);
+        GaugeGuard { gauge: self }
+    }
+
+    /// Set the gauge to an absolute value.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Decrements its gauge when dropped; see [`Gauge::track`].
+pub struct GaugeGuard<'a> {
+    gauge: &'a Gauge,
+}
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.gauge.add(-1);
+    }
+}
+
+/// Bucket count of a [`Histogram`]: bucket 0 holds zeros, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i - 1]`, and the last bucket absorbs
+/// everything above `2^62 - 1`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Bucket index a value lands in (public so exposition and tests agree
+/// with the recorder by construction).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last bucket,
+/// which also absorbs the overflow range).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+#[inline]
+fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// A lock-free log2-bucketed histogram over `u64` samples (typically
+/// nanoseconds or row counts).
+///
+/// `record` is three relaxed atomic ops — one bucket `fetch_add`, one sum
+/// `fetch_add`, one `fetch_max` — so concurrent recorders never contend
+/// on a lock and totals stay exact: the bucket sum always equals the
+/// number of `record` calls, no matter the interleaving (asserted by the
+/// concurrency stress test).
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far (sum over buckets).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough point-in-time copy for exposition. Buckets, sum,
+    /// and max are read independently with relaxed loads; a snapshot taken
+    /// while recorders run may be off by in-flight samples, never by more.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`]'s state; quantiles are derived here,
+/// on the read side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean sample, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`): find the bucket holding the
+    /// target rank, interpolate linearly inside it, and clamp to the
+    /// observed max (the true value is within one power of two). Returns
+    /// 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= target {
+                let lo = bucket_lower_bound(i) as f64;
+                let hi = bucket_upper_bound(i).min(self.max) as f64;
+                let frac = (target - cum) as f64 / n as f64;
+                return (lo + frac * (hi - lo)).min(self.max as f64);
+            }
+            cum += n;
+        }
+        self.max as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+
+        let g = Gauge::new();
+        g.add(3);
+        g.add(-1);
+        assert_eq!(g.get(), 2);
+        {
+            let _in_flight = g.track();
+            assert_eq!(g.get(), 3);
+        }
+        assert_eq!(g.get(), 2);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Every bucket's bounds bracket the values that land in it.
+        for v in [0u64, 1, 2, 7, 8, 1000, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v >= super::bucket_lower_bound(i) || v == 0);
+            assert!(v <= bucket_upper_bound(i));
+        }
+    }
+
+    #[test]
+    fn histogram_counts_sum_and_max_are_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 5, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1107);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[bucket_index(1)], 2);
+        assert_eq!(s.buckets[bucket_index(0)], 1);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.50);
+        let p99 = s.quantile(0.99);
+        // Log2 buckets are coarse: the estimate must land within the
+        // bucket containing the true quantile (one power of two).
+        assert!((256.0..=1000.0).contains(&p50), "p50 {p50}");
+        assert!((512.0..=1000.0).contains(&p99), "p99 {p99}");
+        assert!(p50 <= p99);
+        assert_eq!(s.quantile(1.0), 1000.0);
+        assert!(s.quantile(0.0) > 0.0);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn single_sample_quantile_is_exact() {
+        let h = Histogram::new();
+        h.record(777);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert!(s.quantile(q) <= 777.0);
+            assert!(s.quantile(q) >= 512.0);
+        }
+        assert_eq!(s.quantile(1.0), 777.0);
+    }
+}

@@ -1,0 +1,360 @@
+//! The labeled metrics registry: `(metric name, label values)` →
+//! interned instrument.
+//!
+//! Interning happens under an `RwLock` and is meant to run **off** the
+//! hot path: a subsystem resolves its `Arc<Counter>`/`Arc<Histogram>`
+//! handles once (at construction, at model load, at first request for a
+//! label set) and then records through the handle with no registry
+//! involvement at all. Scrapes take one read lock to snapshot.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// What a metric family measures, for the `# TYPE` exposition line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Signed instantaneous value.
+    Gauge,
+    /// Log2-bucketed sample distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The exposition-format type name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One instrument behind its family's label values.
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// All series of one metric name, sharing help text, kind, and label
+/// schema.
+struct Family {
+    help: &'static str,
+    kind: MetricKind,
+    label_names: Vec<&'static str>,
+    series: BTreeMap<Vec<String>, Series>,
+}
+
+/// A labeled metrics registry; see the module docs for the interning
+/// contract. Use [`crate::global`] for the process-wide instance.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: RwLock<BTreeMap<&'static str, Family>>,
+}
+
+/// `true` iff `name` is a valid exposition metric or label name
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`; we don't use the colon namespace).
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl MetricsRegistry {
+    /// An empty registry (unit tests; production code records into
+    /// [`crate::global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern the counter `name{labels}`, registering the family on first
+    /// use. Panics if `name` is already registered as a different kind or
+    /// with a different label schema — that is a programming error, not a
+    /// runtime condition.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Counter> {
+        match self.intern(name, help, MetricKind::Counter, labels, || {
+            Series::Counter(Arc::new(Counter::new()))
+        }) {
+            Series::Counter(c) => c,
+            _ => unreachable!("kind checked in intern"),
+        }
+    }
+
+    /// Intern the gauge `name{labels}`; see [`MetricsRegistry::counter`].
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Gauge> {
+        match self.intern(name, help, MetricKind::Gauge, labels, || {
+            Series::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Series::Gauge(g) => g,
+            _ => unreachable!("kind checked in intern"),
+        }
+    }
+
+    /// Intern the histogram `name{labels}`; see
+    /// [`MetricsRegistry::counter`].
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Histogram> {
+        match self.intern(name, help, MetricKind::Histogram, labels, || {
+            Series::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Series::Histogram(h) => h,
+            _ => unreachable!("kind checked in intern"),
+        }
+    }
+
+    fn intern(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: MetricKind,
+        labels: &[(&'static str, &str)],
+        make: impl FnOnce() -> Series,
+    ) -> Series {
+        let values: Vec<String> = labels.iter().map(|(_, v)| v.to_string()).collect();
+        // Fast path: family and series already exist.
+        {
+            let families = self.families.read().expect("metrics registry poisoned");
+            if let Some(family) = families.get(name) {
+                Self::check_schema(name, family, kind, labels);
+                if let Some(series) = family.series.get(&values) {
+                    return clone_series(series);
+                }
+            }
+        }
+        // Slow path (first sighting of this series): take the write lock.
+        let mut families = self.families.write().expect("metrics registry poisoned");
+        let family = families.entry(name).or_insert_with(|| {
+            assert!(valid_name(name), "invalid metric name `{name}`");
+            for (label, _) in labels {
+                assert!(
+                    valid_name(label),
+                    "invalid label name `{label}` on `{name}`"
+                );
+            }
+            Family {
+                help,
+                kind,
+                label_names: labels.iter().map(|(n, _)| *n).collect(),
+                series: BTreeMap::new(),
+            }
+        });
+        Self::check_schema(name, family, kind, labels);
+        clone_series(family.series.entry(values).or_insert_with(make))
+    }
+
+    fn check_schema(
+        name: &str,
+        family: &Family,
+        kind: MetricKind,
+        labels: &[(&'static str, &str)],
+    ) {
+        assert!(
+            family.kind == kind,
+            "metric `{name}` registered as {} but requested as {}",
+            family.kind.name(),
+            kind.name()
+        );
+        assert!(
+            family.label_names.len() == labels.len()
+                && family
+                    .label_names
+                    .iter()
+                    .zip(labels)
+                    .all(|(have, (want, _))| have == want),
+            "metric `{name}` label schema mismatch: registered {:?}, requested {:?}",
+            family.label_names,
+            labels.iter().map(|(n, _)| *n).collect::<Vec<_>>()
+        );
+    }
+
+    /// Sum of a counter family across every label set (0 when the family
+    /// does not exist) — the `/healthz` totals query.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        let families = self.families.read().expect("metrics registry poisoned");
+        families.get(name).map_or(0, |family| {
+            family
+                .series
+                .values()
+                .map(|s| match s {
+                    Series::Counter(c) => c.get(),
+                    _ => 0,
+                })
+                .sum()
+        })
+    }
+
+    /// Point-in-time copy of every family for exposition, sorted by
+    /// metric name (BTreeMap order), series sorted by label values.
+    pub fn snapshot(&self) -> Snapshot {
+        let families = self.families.read().expect("metrics registry poisoned");
+        Snapshot {
+            families: families
+                .iter()
+                .map(|(&name, family)| FamilySnapshot {
+                    name,
+                    help: family.help,
+                    kind: family.kind,
+                    label_names: family.label_names.clone(),
+                    series: family
+                        .series
+                        .iter()
+                        .map(|(values, series)| SeriesSnapshot {
+                            label_values: values.clone(),
+                            value: match series {
+                                Series::Counter(c) => ValueSnapshot::Counter(c.get()),
+                                Series::Gauge(g) => ValueSnapshot::Gauge(g.get()),
+                                Series::Histogram(h) => {
+                                    ValueSnapshot::Histogram(Box::new(h.snapshot()))
+                                }
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+fn clone_series(series: &Series) -> Series {
+    match series {
+        Series::Counter(c) => Series::Counter(Arc::clone(c)),
+        Series::Gauge(g) => Series::Gauge(Arc::clone(g)),
+        Series::Histogram(h) => Series::Histogram(Arc::clone(h)),
+    }
+}
+
+/// Point-in-time copy of a whole registry.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Families sorted by metric name.
+    pub families: Vec<FamilySnapshot>,
+}
+
+/// Snapshot of one metric family.
+#[derive(Debug, Clone)]
+pub struct FamilySnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Help text for the `# HELP` line.
+    pub help: &'static str,
+    /// Family kind.
+    pub kind: MetricKind,
+    /// Label schema shared by every series.
+    pub label_names: Vec<&'static str>,
+    /// Series sorted by label values.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// Snapshot of one series within a family.
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    /// Label values, aligned with the family's `label_names`.
+    pub label_values: Vec<String>,
+    /// The instrument's state.
+    pub value: ValueSnapshot,
+}
+
+/// Snapshot of one instrument.
+#[derive(Debug, Clone)]
+pub enum ValueSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state (boxed: the bucket array dwarfs the scalar
+    /// variants, and snapshots are read-path-only values).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_returns_the_same_instrument() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("requests_total", "Requests.", &[("endpoint", "predict")]);
+        let b = reg.counter("requests_total", "Requests.", &[("endpoint", "predict")]);
+        a.inc();
+        b.add(2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.get(), 3);
+        // A different label value is a different series.
+        let c = reg.counter("requests_total", "Requests.", &[("endpoint", "tune")]);
+        assert_eq!(c.get(), 0);
+        assert_eq!(reg.counter_total("requests_total"), 3);
+    }
+
+    #[test]
+    fn counter_total_sums_across_label_sets() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hits_total", "Hits.", &[("scope", "a")]).add(5);
+        reg.counter("hits_total", "Hits.", &[("scope", "b")]).add(7);
+        assert_eq!(reg.counter_total("hits_total"), 12);
+        assert_eq!(reg.counter_total("no_such_metric"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", "x.", &[]);
+        reg.gauge("m", "x.", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label schema mismatch")]
+    fn label_schema_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", "x.", &[("a", "1")]);
+        reg.counter("m", "x.", &[("b", "1")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_metric_name_panics() {
+        MetricsRegistry::new().counter("bad name", "x.", &[]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b_total", "B.", &[]).inc();
+        reg.gauge("a_gauge", "A.", &[]).set(-4);
+        reg.histogram("c_ns", "C.", &[("phase", "parse")]).record(9);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.families.iter().map(|f| f.name).collect();
+        assert_eq!(names, vec!["a_gauge", "b_total", "c_ns"]);
+        match &snap.families[2].series[0].value {
+            ValueSnapshot::Histogram(h) => assert_eq!(h.count(), 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = crate::global().counter("obs_selftest_total", "Self test.", &[]);
+        crate::global()
+            .counter("obs_selftest_total", "Self test.", &[])
+            .inc();
+        assert!(a.get() >= 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Request tracing: decompose one request into named, timed phases.
+//!
+//! A [`PhaseSet`] interns one histogram per phase name up front (off the
+//! hot path); a [`SpanTimer`] then walks a request through its phases,
+//! recording the elapsed nanoseconds of each into its histogram, and —
+//! when the set was built with a total histogram — records the whole
+//! span RAII-style on drop, so early-return error paths are still
+//! accounted.
+//!
+//! When recording is disabled ([`crate::enabled`] is false at span
+//! start), the timer takes no clock readings at all and every `mark` is
+//! a no-op.
+
+use crate::metrics::Histogram;
+use crate::registry::MetricsRegistry;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Interned per-phase histograms for one endpoint (or any traced
+/// operation). Build once, store in a `static`/field, and start a
+/// [`SpanTimer`] per request.
+pub struct PhaseSet {
+    phases: Vec<(&'static str, Arc<Histogram>)>,
+    total: Option<Arc<Histogram>>,
+}
+
+impl PhaseSet {
+    /// Intern `metric{…fixed_labels, phase="<p>"}` histograms for every
+    /// phase name, in `registry`.
+    pub fn register(
+        registry: &MetricsRegistry,
+        metric: &'static str,
+        help: &'static str,
+        fixed_labels: &[(&'static str, &str)],
+        phases: &[&'static str],
+    ) -> Self {
+        let phases = phases
+            .iter()
+            .map(|&phase| {
+                let mut labels: Vec<(&'static str, &str)> = fixed_labels.to_vec();
+                labels.push(("phase", phase));
+                (phase, registry.histogram(metric, help, &labels))
+            })
+            .collect();
+        Self {
+            phases,
+            total: None,
+        }
+    }
+
+    /// Also record every span's total duration into `metric{fixed_labels}`
+    /// when the timer drops.
+    pub fn with_total(
+        mut self,
+        registry: &MetricsRegistry,
+        metric: &'static str,
+        help: &'static str,
+        fixed_labels: &[(&'static str, &str)],
+    ) -> Self {
+        self.total = Some(registry.histogram(metric, help, fixed_labels));
+        self
+    }
+
+    /// Begin timing one request. Reads the clock only when recording is
+    /// enabled.
+    pub fn start(&self) -> SpanTimer<'_> {
+        let now = crate::enabled().then(Instant::now);
+        SpanTimer {
+            set: self,
+            started: now,
+            last: now,
+        }
+    }
+}
+
+/// One in-flight request walking through its phases; see [`PhaseSet`].
+pub struct SpanTimer<'a> {
+    set: &'a PhaseSet,
+    started: Option<Instant>,
+    last: Option<Instant>,
+}
+
+impl SpanTimer<'_> {
+    /// Close the current phase under `phase`'s histogram and open the
+    /// next. Unknown phase names are ignored (a misspelling must never
+    /// panic a request handler); no-op when recording is disabled.
+    pub fn mark(&mut self, phase: &'static str) {
+        let Some(last) = self.last else { return };
+        let now = Instant::now();
+        if let Some((_, hist)) = self.set.phases.iter().find(|(name, _)| *name == phase) {
+            hist.record((now - last).as_nanos() as u64);
+        }
+        self.last = Some(now);
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if let (Some(started), Some(total)) = (self.started, &self.set.total) {
+            total.record(started.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ValueSnapshot;
+
+    fn hist_count(reg: &MetricsRegistry, name: &str) -> u64 {
+        reg.snapshot()
+            .families
+            .iter()
+            .filter(|f| f.name == name)
+            .flat_map(|f| &f.series)
+            .map(|s| match &s.value {
+                ValueSnapshot::Histogram(h) => h.count(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn phases_and_total_are_recorded() {
+        let reg = MetricsRegistry::new();
+        let set = PhaseSet::register(
+            &reg,
+            "phase_ns",
+            "Phase duration.",
+            &[("endpoint", "predict")],
+            &["parse", "predict", "serialize"],
+        )
+        .with_total(
+            &reg,
+            "req_ns",
+            "Request duration.",
+            &[("endpoint", "predict")],
+        );
+        {
+            let mut span = set.start();
+            span.mark("parse");
+            span.mark("predict");
+            span.mark("serialize");
+        } // drop records the total
+        assert_eq!(hist_count(&reg, "phase_ns"), 3);
+        assert_eq!(hist_count(&reg, "req_ns"), 1);
+    }
+
+    #[test]
+    fn early_return_still_records_total() {
+        let reg = MetricsRegistry::new();
+        let set = PhaseSet::register(&reg, "p_ns", "P.", &[], &["parse", "predict"]).with_total(
+            &reg,
+            "t_ns",
+            "T.",
+            &[],
+        );
+        {
+            let mut span = set.start();
+            span.mark("parse");
+            // error path: predict never runs
+        }
+        assert_eq!(hist_count(&reg, "p_ns"), 1);
+        assert_eq!(hist_count(&reg, "t_ns"), 1);
+    }
+
+    #[test]
+    fn unknown_phase_is_ignored() {
+        let reg = MetricsRegistry::new();
+        let set = PhaseSet::register(&reg, "p2_ns", "P.", &[], &["parse"]);
+        let mut span = set.start();
+        span.mark("not-a-phase");
+        span.mark("parse");
+        drop(span);
+        assert_eq!(hist_count(&reg, "p2_ns"), 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Wall-clock formatting without chrono: RFC 3339 UTC timestamps from a
+//! `SystemTime`/unix-seconds value, for the `/healthz` `started_at`
+//! field.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Proleptic-Gregorian date from days since 1970-01-01 (Howard Hinnant's
+/// `civil_from_days` algorithm, exact over the whole `i64` day range we
+/// can encounter).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // day of era [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // year of era
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // day of year [0, 365]
+    let mp = (5 * doy + 2) / 153; // month offset from March
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Format unix seconds as RFC 3339 UTC, e.g. `2026-08-07T09:30:00Z`.
+pub fn rfc3339_from_unix(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let rem = unix_secs % 86_400;
+    let (year, month, day) = civil_from_days(days);
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}Z",
+        rem / 3600,
+        (rem / 60) % 60,
+        rem % 60
+    )
+}
+
+/// RFC 3339 UTC rendering of a `SystemTime` (times before the epoch
+/// clamp to it — they cannot occur on a sane clock).
+pub fn rfc3339(t: SystemTime) -> String {
+    rfc3339_from_unix(
+        t.duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_timestamps_format_exactly() {
+        assert_eq!(rfc3339_from_unix(0), "1970-01-01T00:00:00Z");
+        assert_eq!(rfc3339_from_unix(86_399), "1970-01-01T23:59:59Z");
+        assert_eq!(rfc3339_from_unix(86_400), "1970-01-02T00:00:00Z");
+        // Leap day 2000 (divisible-by-400 century leap year).
+        assert_eq!(rfc3339_from_unix(951_782_400), "2000-02-29T00:00:00Z");
+        // Day after a Feb 28 in a non-leap year.
+        assert_eq!(rfc3339_from_unix(1_109_548_800), "2005-02-28T00:00:00Z");
+        assert_eq!(rfc3339_from_unix(1_109_635_200), "2005-03-01T00:00:00Z");
+        // Recent dates with a time-of-day component (cross-checked
+        // against GNU `date -u`).
+        assert_eq!(rfc3339_from_unix(1_754_560_922), "2025-08-07T10:02:02Z");
+        assert_eq!(rfc3339_from_unix(1_786_094_522), "2026-08-07T09:22:02Z");
+    }
+
+    #[test]
+    fn round_trips_day_arithmetic() {
+        // Every day boundary over several leap cycles formats to a date
+        // whose day-of-month never exceeds its month's length.
+        for day in 0..(366 * 12) {
+            let s = rfc3339_from_unix(day as u64 * 86_400);
+            let month: u32 = s[5..7].parse().unwrap();
+            let dom: u32 = s[8..10].parse().unwrap();
+            assert!((1..=12).contains(&month), "{s}");
+            assert!((1..=31).contains(&dom), "{s}");
+        }
+    }
+
+    #[test]
+    fn system_time_now_is_parseable_shape() {
+        let s = rfc3339(SystemTime::now());
+        assert_eq!(s.len(), 20);
+        assert_eq!(&s[4..5], "-");
+        assert_eq!(&s[10..11], "T");
+        assert!(s.ends_with('Z'));
+    }
+}

@@ -1,0 +1,137 @@
+//! Concurrency stress tests: the histogram and counters are lock-free
+//! and must stay *exact* under contention — N threads × M records must
+//! yield totals and per-bucket counts identical to the sequential sum,
+//! no matter the interleaving.
+
+use lam_obs::metrics::{bucket_index, HISTOGRAM_BUCKETS};
+use lam_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const RECORDS_PER_THREAD: usize = 50_000;
+
+/// Deterministic per-thread value stream covering zeros, small values,
+/// bucket boundaries, and huge values.
+fn value(thread: usize, i: usize) -> u64 {
+    match i % 5 {
+        0 => 0,
+        1 => (i as u64) % 7,
+        2 => 1u64 << (i % 40),
+        3 => (1u64 << (i % 40)).wrapping_sub(1),
+        _ => (thread as u64 + 1) * 1_000_003 + i as u64,
+    }
+}
+
+#[test]
+fn histogram_is_exact_under_contention() {
+    let hist = Arc::new(Histogram::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let hist = Arc::clone(&hist);
+            scope.spawn(move || {
+                for i in 0..RECORDS_PER_THREAD {
+                    hist.record(value(t, i));
+                }
+            });
+        }
+    });
+
+    // Sequential reference tally.
+    let mut expect_buckets = [0u64; HISTOGRAM_BUCKETS];
+    let mut expect_sum = 0u128;
+    let mut expect_max = 0u64;
+    for t in 0..THREADS {
+        for i in 0..RECORDS_PER_THREAD {
+            let v = value(t, i);
+            expect_buckets[bucket_index(v)] += 1;
+            expect_sum += u128::from(v);
+            expect_max = expect_max.max(v);
+        }
+    }
+
+    let snap = hist.snapshot();
+    assert_eq!(snap.count(), (THREADS * RECORDS_PER_THREAD) as u64);
+    assert_eq!(snap.buckets, expect_buckets, "per-bucket counts exact");
+    // The sum wraps mod 2^64 by construction of fetch_add; the reference
+    // must wrap identically.
+    assert_eq!(snap.sum, expect_sum as u64, "sum exact (mod 2^64)");
+    assert_eq!(snap.max, expect_max, "max exact");
+}
+
+#[test]
+fn counters_and_gauges_are_exact_under_contention() {
+    let counter = Arc::new(Counter::new());
+    let gauge = Arc::new(Gauge::new());
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = Arc::clone(&counter);
+            let gauge = Arc::clone(&gauge);
+            scope.spawn(move || {
+                for i in 0..RECORDS_PER_THREAD {
+                    counter.add(1 + (i as u64 % 3));
+                    let _guard = gauge.track();
+                }
+            });
+        }
+    });
+    let expect: u64 = (0..RECORDS_PER_THREAD as u64).map(|i| 1 + (i % 3)).sum();
+    assert_eq!(counter.get(), expect * THREADS as u64);
+    // Every RAII guard dropped: the in-flight gauge is back to zero.
+    assert_eq!(gauge.get(), 0);
+}
+
+#[test]
+fn interning_races_resolve_to_one_series() {
+    let reg = Arc::new(MetricsRegistry::new());
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let reg = Arc::clone(&reg);
+            scope.spawn(move || {
+                for i in 0..1_000 {
+                    // All threads hammer the same (name, labels): every
+                    // clone must alias one underlying counter.
+                    reg.counter("race_total", "Race.", &[("shard", "a")]).inc();
+                    if i % 100 == 0 {
+                        reg.histogram("race_ns", "Race.", &[("shard", "a")])
+                            .record(i as u64);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(reg.counter_total("race_total"), (THREADS * 1_000) as u64);
+    // Scrape while idle: snapshot sees exactly one series per family.
+    let snap = reg.snapshot();
+    for family in &snap.families {
+        assert_eq!(family.series.len(), 1, "family {}", family.name);
+    }
+}
+
+#[test]
+fn snapshot_during_recording_never_tears_totals_backwards() {
+    // A scrape racing recorders may miss in-flight samples but must never
+    // read a bucket total larger than the records issued so far.
+    let hist = Arc::new(Histogram::new());
+    let total = (THREADS * 10_000) as u64;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let hist = Arc::clone(&hist);
+            scope.spawn(move || {
+                for i in 0..10_000 {
+                    hist.record(value(t, i));
+                }
+            });
+        }
+        let hist = Arc::clone(&hist);
+        scope.spawn(move || {
+            let mut last = 0u64;
+            for _ in 0..1_000 {
+                let n = hist.snapshot().count();
+                assert!(n <= total, "count {n} beyond records issued {total}");
+                assert!(n >= last, "count went backwards: {last} -> {n}");
+                last = n;
+            }
+        });
+    });
+    assert_eq!(hist.count(), total);
+}

@@ -1,0 +1,120 @@
+//! Exposition-format golden test: the exact `/metrics` text for a fixed
+//! registry state is pinned here. Metric names, HELP/TYPE lines, label
+//! order, escaping, and histogram bucket layout are a public contract —
+//! dashboards and the CI smoke step grep for these strings — so any
+//! change to the renderer must consciously update this golden.
+
+use lam_obs::expose::{render_json, render_prometheus, PROMETHEUS_CONTENT_TYPE};
+use lam_obs::MetricsRegistry;
+
+fn fixed_registry() -> MetricsRegistry {
+    let reg = MetricsRegistry::new();
+    reg.counter(
+        "lam_requests_total",
+        "HTTP requests handled, by endpoint and status class.",
+        &[("endpoint", "predict"), ("status", "2xx")],
+    )
+    .add(7);
+    reg.counter(
+        "lam_requests_total",
+        "HTTP requests handled, by endpoint and status class.",
+        &[("endpoint", "predict"), ("status", "4xx")],
+    )
+    .add(2);
+    reg.gauge(
+        "lam_requests_in_flight",
+        "Requests currently being handled.",
+        &[],
+    )
+    .set(1);
+    let h = reg.histogram(
+        "lam_request_duration_ns",
+        "Request handling time, nanoseconds.",
+        &[("endpoint", "predict")],
+    );
+    h.record(0);
+    h.record(1);
+    h.record(3);
+    h.record(6);
+    reg.counter(
+        "lam_cache_hits_total",
+        "Prediction-cache hits.",
+        &[("scope", "fmm-small/hybrid")],
+    )
+    .add(640);
+    reg
+}
+
+const GOLDEN: &str = "\
+# HELP lam_cache_hits_total Prediction-cache hits.
+# TYPE lam_cache_hits_total counter
+lam_cache_hits_total{scope=\"fmm-small/hybrid\"} 640
+# HELP lam_request_duration_ns Request handling time, nanoseconds.
+# TYPE lam_request_duration_ns histogram
+lam_request_duration_ns_bucket{endpoint=\"predict\",le=\"0\"} 1
+lam_request_duration_ns_bucket{endpoint=\"predict\",le=\"1\"} 2
+lam_request_duration_ns_bucket{endpoint=\"predict\",le=\"3\"} 3
+lam_request_duration_ns_bucket{endpoint=\"predict\",le=\"7\"} 4
+lam_request_duration_ns_bucket{endpoint=\"predict\",le=\"15\"} 4
+lam_request_duration_ns_bucket{endpoint=\"predict\",le=\"+Inf\"} 4
+lam_request_duration_ns_sum{endpoint=\"predict\"} 10
+lam_request_duration_ns_count{endpoint=\"predict\"} 4
+# HELP lam_requests_in_flight Requests currently being handled.
+# TYPE lam_requests_in_flight gauge
+lam_requests_in_flight 1
+# HELP lam_requests_total HTTP requests handled, by endpoint and status class.
+# TYPE lam_requests_total counter
+lam_requests_total{endpoint=\"predict\",status=\"2xx\"} 7
+lam_requests_total{endpoint=\"predict\",status=\"4xx\"} 2
+";
+
+#[test]
+fn prometheus_text_matches_golden() {
+    assert_eq!(render_prometheus(&fixed_registry().snapshot()), GOLDEN);
+}
+
+#[test]
+fn content_type_is_the_text_exposition_one() {
+    assert_eq!(PROMETHEUS_CONTENT_TYPE, "text/plain; version=0.0.4");
+}
+
+#[test]
+fn json_matches_golden() {
+    let json = render_json(&fixed_registry().snapshot());
+    let golden = concat!(
+        "{\"counters\":[",
+        "{\"name\":\"lam_cache_hits_total\",\"labels\":{\"scope\":\"fmm-small/hybrid\"},\"value\":640},",
+        "{\"name\":\"lam_requests_total\",\"labels\":{\"endpoint\":\"predict\",\"status\":\"2xx\"},\"value\":7},",
+        "{\"name\":\"lam_requests_total\",\"labels\":{\"endpoint\":\"predict\",\"status\":\"4xx\"},\"value\":2}",
+        "],\"gauges\":[",
+        "{\"name\":\"lam_requests_in_flight\",\"labels\":{},\"value\":1}",
+        "],\"histograms\":[",
+        "{\"name\":\"lam_request_duration_ns\",\"labels\":{\"endpoint\":\"predict\"},",
+        "\"count\":4,\"sum\":10,\"max\":6,\"mean\":2.5,\"p50\":1.0,\"p90\":6.0,\"p99\":6.0}",
+        "]}"
+    );
+    assert_eq!(json, golden);
+}
+
+#[test]
+fn label_escaping_survives_exposition() {
+    let reg = MetricsRegistry::new();
+    reg.counter(
+        "lam_escape_total",
+        "Escaping.",
+        &[("path", "C:\\tmp\"x\"\nend")],
+    )
+    .inc();
+    let text = render_prometheus(&reg.snapshot());
+    assert!(
+        text.contains("lam_escape_total{path=\"C:\\\\tmp\\\"x\\\"\\nend\"} 1"),
+        "{text}"
+    );
+    // The rendered text stays one logical series line: the raw newline
+    // must never split the line.
+    let series_lines: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("lam_escape_total{"))
+        .collect();
+    assert_eq!(series_lines.len(), 1);
+}

@@ -11,8 +11,16 @@
 //!
 //! Exits non-zero when any request errored or measured throughput falls
 //! below `--min-throughput` predictions/sec — the CI smoke gate.
+//!
+//! The server's `/metrics.json` is scraped before and after the timed
+//! window; the delta is printed as a server-side breakdown (per-phase
+//! `/predict` time, cache hit rate, micro-batch shape), so one loadgen
+//! run answers *where* the latency went, not just how much there was.
+//! `--no-scrape` skips it (e.g. against servers without the endpoint).
 
-use lam_serve::loadgen::{format_report, run, LoadgenOptions};
+use lam_serve::loadgen::{
+    format_report, format_server_breakdown, run, HttpClient, LoadgenOptions, MetricsScrape,
+};
 use lam_serve::ServeError;
 
 struct Args {
@@ -20,6 +28,7 @@ struct Args {
     addr_file: Option<String>,
     out: Option<String>,
     min_throughput: f64,
+    scrape: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         addr_file: None,
         out: None,
         min_throughput: 1.0,
+        scrape: true,
     };
     let mut addr_set = false;
     let mut it = std::env::args().skip(1);
@@ -52,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
             "--min-throughput" => {
                 args.min_throughput = value("--min-throughput")?.parse().map_err(err_str)?
             }
+            "--no-scrape" => args.scrape = false,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -87,8 +98,26 @@ fn run_main() -> Result<(), Box<dyn std::error::Error>> {
         args.opts.kind,
         args.opts.version
     );
+    // Bracket the run with metric scrapes; a scrape failure degrades to
+    // a warning (the load numbers are still the primary product).
+    let scrape = |label: &str| -> Option<MetricsScrape> {
+        if !args.scrape {
+            return None;
+        }
+        match HttpClient::connect(&args.opts.addr).and_then(|mut c| MetricsScrape::fetch(&mut c)) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("loadgen: {label} metrics scrape failed: {e}");
+                None
+            }
+        }
+    };
+    let before = scrape("pre-run");
     let report = run(&args.opts)?;
     println!("{}", format_report(&report));
+    if let (Some(before), Some(after)) = (before, scrape("post-run")) {
+        println!("{}", format_server_breakdown(&before, &after));
+    }
 
     if let Some(out) = &args.out {
         if let Some(parent) = std::path::Path::new(out).parent() {

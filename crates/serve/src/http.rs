@@ -11,6 +11,13 @@
 //! | `/workloads/{name}` | GET    | — → one scenario, `404` when unknown     |
 //! | `/predict`          | POST   | [`PredictRequest`] → [`PredictResponse`] |
 //! | `/tune`             | POST   | [`TuneHttpRequest`] → [`TuneHttpResponse`] |
+//! | `/metrics`          | GET    | — → Prometheus text exposition           |
+//! | `/metrics.json`     | GET    | — → same snapshot as compact JSON        |
+//!
+//! Every served request — including one whose bytes never parse into a
+//! request — lands in `lam_requests_total{endpoint,status}`; endpoint
+//! labels come from a fixed classification (never the raw path, which a
+//! client controls and would be unbounded label cardinality).
 //!
 //! Concurrency model: `workers` threads share the listener (`accept` is
 //! thread-safe) and each owns one connection at a time, serving keep-alive
@@ -21,11 +28,13 @@
 use crate::registry::{ModelKey, ModelRegistry};
 use crate::workload::WorkloadId;
 use crate::ServeError;
+use lam_obs::expose::PROMETHEUS_CONTENT_TYPE;
+use lam_obs::{Counter, Gauge, Histogram, PhaseSet};
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -60,6 +69,8 @@ pub struct PredictResponse {
 pub struct HealthResponse {
     /// Always `"ok"` when the server can respond at all.
     pub status: String,
+    /// Wall-clock server start time, RFC 3339 (UTC).
+    pub started_at: String,
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
     /// Seconds since the server started (same clock as `uptime_ms`, for
@@ -70,6 +81,13 @@ pub struct HealthResponse {
     /// Entries in the workload catalog — lets smoke tests assert the
     /// catalog was populated without a second request.
     pub workloads: usize,
+    /// Requests served process-wide (every endpoint and status class) —
+    /// the `lam_requests_total` total, surfaced here so a health probe
+    /// sees traffic without parsing the exposition format.
+    pub requests_total: u64,
+    /// Prediction-cache hits / (hits + misses), process-wide; `0.0`
+    /// before the first lookup.
+    pub cache_hit_ratio: f64,
 }
 
 /// One `/models` catalog row.
@@ -206,6 +224,15 @@ impl ServerHandle {
     }
 }
 
+/// The server's birth time on both clocks: monotonic (`started`, drives
+/// uptime) and wall (`started_at`, pre-formatted RFC 3339 so `/healthz`
+/// never formats a timestamp per request).
+#[derive(Clone)]
+struct ServerClock {
+    started: Instant,
+    started_at: Arc<str>,
+}
+
 /// Start serving `registry` per `opts`. Returns once the listener is
 /// bound; serving happens on background workers.
 pub fn start(
@@ -216,18 +243,22 @@ pub fn start(
     let local_addr = listener.local_addr()?;
     let listener = Arc::new(listener);
     let stop = Arc::new(AtomicBool::new(false));
-    let started = Instant::now();
+    let clock = ServerClock {
+        started: Instant::now(),
+        started_at: lam_obs::time::rfc3339(std::time::SystemTime::now()).into(),
+    };
     let workers = (0..opts.workers.max(1))
         .map(|_| {
             let listener = Arc::clone(&listener);
             let registry = Arc::clone(&registry);
             let stop = Arc::clone(&stop);
+            let clock = clock.clone();
             let max_body = opts.max_body;
             std::thread::spawn(move || {
                 while !stop.load(Ordering::SeqCst) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            handle_connection(stream, &registry, &stop, started, max_body)
+                            handle_connection(stream, &registry, &stop, &clock, max_body)
                         }
                         // Transient accept errors (ECONNABORTED from a
                         // client resetting mid-handshake, EMFILE under fd
@@ -254,13 +285,108 @@ struct Request {
     body: Vec<u8>,
 }
 
+/// Endpoint labels for request metrics — a fixed classification, because
+/// the raw path is client-controlled and would be unbounded cardinality.
+/// `malformed` is the endpoint of a request whose bytes never parsed into
+/// a request at all; `other` is any routed-but-unknown method/path.
+const ENDPOINTS: [&str; 10] = [
+    "healthz",
+    "models",
+    "workloads",
+    "workload-detail",
+    "predict",
+    "tune",
+    "metrics",
+    "metrics-json",
+    "malformed",
+    "other",
+];
+
+/// Status-class labels, indexed by [`status_class_index`].
+const STATUS_CLASSES: [&str; 3] = ["2xx", "4xx", "5xx"];
+
+/// Pre-resolved handles for per-request accounting: one counter per
+/// `(endpoint, status class)`, one latency histogram per endpoint, one
+/// in-flight gauge. Interned once; the per-request cost is a relaxed
+/// `fetch_add` or three, never a registry lock.
+struct HttpMetrics {
+    requests: Vec<[Arc<Counter>; 3]>,
+    duration: Vec<Arc<Histogram>>,
+    in_flight: Arc<Gauge>,
+}
+
+fn http_metrics() -> &'static HttpMetrics {
+    static METRICS: OnceLock<HttpMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = lam_obs::global();
+        HttpMetrics {
+            requests: ENDPOINTS
+                .iter()
+                .map(|&endpoint| {
+                    std::array::from_fn(|class| {
+                        reg.counter(
+                            "lam_requests_total",
+                            "HTTP requests served, by endpoint and status class.",
+                            &[("endpoint", endpoint), ("status", STATUS_CLASSES[class])],
+                        )
+                    })
+                })
+                .collect(),
+            duration: ENDPOINTS
+                .iter()
+                .map(|&endpoint| {
+                    reg.histogram(
+                        "lam_request_duration_ns",
+                        "Server-side request handling time, nanoseconds.",
+                        &[("endpoint", endpoint)],
+                    )
+                })
+                .collect(),
+            in_flight: reg.gauge(
+                "lam_requests_in_flight",
+                "Requests currently being handled.",
+                &[],
+            ),
+        }
+    })
+}
+
+/// Index into [`ENDPOINTS`] for a parsed request.
+fn endpoint_index(method: &str, path: &str) -> usize {
+    let name = match (method, path) {
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/models") => "models",
+        ("GET", "/workloads") => "workloads",
+        ("GET", p) if p.starts_with("/workloads/") => "workload-detail",
+        (_, "/predict") => "predict",
+        (_, "/tune") => "tune",
+        ("GET", "/metrics") => "metrics",
+        ("GET", "/metrics.json") => "metrics-json",
+        _ => "other",
+    };
+    ENDPOINTS
+        .iter()
+        .position(|&e| e == name)
+        .expect("every classification name is in ENDPOINTS")
+}
+
+/// Index into [`STATUS_CLASSES`]. The server never emits 1xx/3xx, so
+/// everything below 400 is success and everything from 500 up is 5xx.
+fn status_class_index(status: u16) -> usize {
+    match status {
+        0..=399 => 0,
+        400..=499 => 1,
+        _ => 2,
+    }
+}
+
 /// Serve keep-alive requests on one connection until the peer closes,
 /// a request asks to close, or shutdown is signalled.
 fn handle_connection(
     stream: TcpStream,
     registry: &Arc<ModelRegistry>,
     stop: &AtomicBool,
-    started: Instant,
+    clock: &ServerClock,
     max_body: usize,
 ) {
     // Short read timeout so idle keep-alive connections re-check the stop
@@ -276,17 +402,37 @@ fn handle_connection(
         match read_request(&mut reader, stop, max_body) {
             Ok(Some(req)) => {
                 let keep_alive = req.keep_alive;
-                let (status, body) = route(&req, registry, started);
-                if write_response(&mut writer, status, &body, keep_alive).is_err() || !keep_alive {
+                let metrics = http_metrics();
+                let _in_flight = metrics.in_flight.track();
+                let handling_started = lam_obs::enabled().then(Instant::now);
+                let (status, content_type, body) = route(&req, registry, clock);
+                let endpoint = endpoint_index(&req.method, &req.path);
+                metrics.requests[endpoint][status_class_index(status)].inc();
+                if let Some(started) = handling_started {
+                    metrics.duration[endpoint].record(started.elapsed().as_nanos() as u64);
+                }
+                if write_response(&mut writer, status, content_type, &body, keep_alive).is_err()
+                    || !keep_alive
+                {
                     return;
                 }
             }
             Ok(None) => return,               // peer closed cleanly
             Err(ReadError::Idle) => continue, // timeout before any byte: poll stop flag
             Err(ReadError::Malformed(msg)) => {
+                // A response is still served, so the request must land in
+                // the same status-class accounting as routed requests —
+                // previously this path bypassed accounting entirely and a
+                // garbage request was indistinguishable from no request.
+                let metrics = http_metrics();
+                let malformed = ENDPOINTS
+                    .iter()
+                    .position(|&e| e == "malformed")
+                    .expect("malformed is in ENDPOINTS");
+                metrics.requests[malformed][status_class_index(400)].inc();
                 let body = serde_json::to_string(&ErrorResponse { error: msg })
                     .unwrap_or_else(|_| "{}".to_string());
-                let _ = write_response(&mut writer, 400, &body, false);
+                let _ = write_response(&mut writer, 400, JSON_CONTENT_TYPE, &body, false);
                 return;
             }
             Err(ReadError::Closed) => return,
@@ -437,10 +583,31 @@ fn is_timeout(e: &std::io::Error) -> bool {
     matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
 }
 
-/// Dispatch a request to its endpoint; returns `(status, json body)`.
-fn route(req: &Request, registry: &Arc<ModelRegistry>, started: Instant) -> (u16, String) {
+/// `content-type` of every JSON response.
+const JSON_CONTENT_TYPE: &str = "application/json";
+
+/// Dispatch a request to its endpoint; returns
+/// `(status, content-type, body)`.
+fn route(
+    req: &Request,
+    registry: &Arc<ModelRegistry>,
+    clock: &ServerClock,
+) -> (u16, &'static str, String) {
+    // The metrics endpoints render the exposition formats directly (the
+    // Prometheus one is not JSON), so they bypass the JSON route plumbing.
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/metrics") => {
+            let text = lam_obs::expose::render_prometheus(&lam_obs::global().snapshot());
+            return (200, PROMETHEUS_CONTENT_TYPE, text);
+        }
+        ("GET", "/metrics.json") => {
+            let text = lam_obs::expose::render_json(&lam_obs::global().snapshot());
+            return (200, JSON_CONTENT_TYPE, text);
+        }
+        _ => {}
+    }
     let result = match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => healthz(registry, started),
+        ("GET", "/healthz") => healthz(registry, clock),
         ("GET", "/models") => models(registry),
         ("GET", "/workloads") => workloads(),
         ("GET", path) if path.starts_with("/workloads/") => {
@@ -453,9 +620,10 @@ fn route(req: &Request, registry: &Arc<ModelRegistry>, started: Instant) -> (u16
         _ => Err((404, format!("no route for {} {}", req.method, req.path))),
     };
     match result {
-        Ok(body) => (200, body),
+        Ok(body) => (200, JSON_CONTENT_TYPE, body),
         Err((status, error)) => (
             status,
+            JSON_CONTENT_TYPE,
             serde_json::to_string(&ErrorResponse { error }).unwrap_or_else(|_| "{}".to_string()),
         ),
     }
@@ -467,15 +635,25 @@ fn json_ok<T: serde::Serialize>(value: &T) -> RouteResult {
     serde_json::to_string(value).map_err(|e| (500, e.to_string()))
 }
 
-fn healthz(registry: &Arc<ModelRegistry>, started: Instant) -> RouteResult {
+fn healthz(registry: &Arc<ModelRegistry>, clock: &ServerClock) -> RouteResult {
     crate::workload::ensure_builtin_workloads();
-    let uptime = started.elapsed();
+    let uptime = clock.started.elapsed();
+    let obs = lam_obs::global();
+    let hits = obs.counter_total("lam_cache_hits_total");
+    let lookups = hits + obs.counter_total("lam_cache_misses_total");
     json_ok(&HealthResponse {
         status: "ok".to_string(),
+        started_at: clock.started_at.to_string(),
         uptime_ms: uptime.as_millis() as u64,
         uptime_s: uptime.as_secs_f64(),
         models_loaded: registry.loaded_count(),
         workloads: lam_core::catalog::WorkloadCatalog::global().len(),
+        requests_total: obs.counter_total("lam_requests_total"),
+        cache_hit_ratio: if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        },
     })
 }
 
@@ -528,11 +706,30 @@ fn workload_detail(name: &str) -> RouteResult {
 /// and memo growth.
 pub const MAX_SERVED_VERSION: u32 = 32;
 
+/// Phase histograms decomposing `/predict` handling; a [`SpanTimer`]
+/// from this set walks each request through parse → validate → resolve →
+/// predict → serialize, so `/metrics` answers *where* predict latency
+/// goes, not just how much there is.
+fn predict_phases() -> &'static PhaseSet {
+    static PHASES: OnceLock<PhaseSet> = OnceLock::new();
+    PHASES.get_or_init(|| {
+        PhaseSet::register(
+            lam_obs::global(),
+            "lam_phase_duration_ns",
+            "Time spent in each handling phase, nanoseconds.",
+            &[("endpoint", "predict")],
+            &["parse", "validate", "resolve", "predict", "serialize"],
+        )
+    })
+}
+
 fn predict(req: &Request, registry: &Arc<ModelRegistry>) -> RouteResult {
     let start = Instant::now();
+    let mut span = predict_phases().start();
     let body =
         std::str::from_utf8(&req.body).map_err(|_| (400, "body is not utf-8".to_string()))?;
     let parsed: PredictRequest = serde_json::from_str(body).map_err(|e| (400, e.to_string()))?;
+    span.mark("parse");
     let workload: WorkloadId = parsed.workload.parse().map_err(bad_request)?;
     let kind = parsed.kind.parse().map_err(bad_request)?;
     let version = parsed.version.unwrap_or(1);
@@ -547,15 +744,20 @@ fn predict(req: &Request, registry: &Arc<ModelRegistry>) -> RouteResult {
     // must never reach the cache or a k-NN distance sort (which would
     // panic the handler thread).
     crate::batch::validate_rows(workload.n_features(), &parsed.rows).map_err(bad_request)?;
+    span.mark("validate");
     let key = ModelKey::new(workload, kind, version);
     let model = registry.get(key).map_err(|e| (500, e.to_string()))?;
+    span.mark("resolve");
     let outcome = model.predict_checked(&parsed.rows).map_err(bad_request)?;
-    json_ok(&PredictResponse {
+    span.mark("predict");
+    let response = json_ok(&PredictResponse {
         model: key.to_string(),
         predictions: outcome.predictions,
         cache_hits: outcome.cache_hits,
         micros: start.elapsed().as_micros() as u64,
-    })
+    });
+    span.mark("serialize");
+    response
 }
 
 fn bad_request(e: ServeError) -> (u16, String) {
@@ -629,6 +831,7 @@ fn tune(req: &Request, registry: &Arc<ModelRegistry>) -> RouteResult {
 fn write_response(
     writer: &mut TcpStream,
     status: u16,
+    content_type: &str,
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
@@ -641,7 +844,7 @@ fn write_response(
     };
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
         body.len()
     );
     writer.write_all(head.as_bytes())?;
@@ -652,6 +855,35 @@ fn write_response(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn endpoint_classification_is_fixed_cardinality() {
+        assert_eq!(ENDPOINTS[endpoint_index("GET", "/healthz")], "healthz");
+        assert_eq!(
+            ENDPOINTS[endpoint_index("GET", "/workloads/fmm-small")],
+            "workload-detail"
+        );
+        assert_eq!(ENDPOINTS[endpoint_index("POST", "/predict")], "predict");
+        // GET /predict is a 405, still accounted under the endpoint.
+        assert_eq!(ENDPOINTS[endpoint_index("GET", "/predict")], "predict");
+        assert_eq!(ENDPOINTS[endpoint_index("GET", "/metrics")], "metrics");
+        assert_eq!(
+            ENDPOINTS[endpoint_index("GET", "/metrics.json")],
+            "metrics-json"
+        );
+        // Arbitrary client paths collapse to one label value.
+        assert_eq!(ENDPOINTS[endpoint_index("GET", "/../../etc")], "other");
+        assert_eq!(ENDPOINTS[endpoint_index("DELETE", "/models")], "other");
+    }
+
+    #[test]
+    fn status_classes_cover_every_emitted_status() {
+        assert_eq!(STATUS_CLASSES[status_class_index(200)], "2xx");
+        assert_eq!(STATUS_CLASSES[status_class_index(400)], "4xx");
+        assert_eq!(STATUS_CLASSES[status_class_index(404)], "4xx");
+        assert_eq!(STATUS_CLASSES[status_class_index(405)], "4xx");
+        assert_eq!(STATUS_CLASSES[status_class_index(500)], "5xx");
+    }
 
     #[test]
     fn predict_request_tolerates_missing_version() {

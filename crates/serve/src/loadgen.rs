@@ -12,6 +12,8 @@ use crate::persist::ModelKind;
 use crate::workload::WorkloadId;
 use crate::ServeError;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -161,6 +163,203 @@ impl HttpClient {
             .map(|b| (status, b))
             .map_err(|_| ServeError::Http("response body is not utf-8".to_string()))
     }
+}
+
+/// A scraped label set (label name → value). Manual serde impls because
+/// the vendored shim derives structs only — a JSON *object* with dynamic
+/// keys needs `Value::Object` handled by hand.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Labels(pub BTreeMap<String, String>);
+
+impl Labels {
+    /// Value of label `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.0.get(name).map(String::as_str)
+    }
+}
+
+impl Serialize for Labels {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(
+            self.0
+                .iter()
+                .map(|(k, v)| (k.clone(), serde::Value::String(v.clone())))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for Labels {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        match value {
+            serde::Value::Null => Ok(Self::default()),
+            serde::Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| match v {
+                    serde::Value::String(s) => Ok((k.clone(), s.clone())),
+                    other => Err(serde::DeError::expected("string", "Labels", other)),
+                })
+                .collect::<Result<_, _>>()
+                .map(Self),
+            other => Err(serde::DeError::expected("object", "Labels", other)),
+        }
+    }
+}
+
+/// One series from a `/metrics.json` scrape (counter or gauge value).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScrapedValue {
+    /// Metric family name.
+    pub name: String,
+    /// Label name → value.
+    pub labels: Labels,
+    /// Current value (gauges are scraped as their signed value).
+    pub value: i64,
+}
+
+/// One histogram series from a `/metrics.json` scrape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScrapedHistogram {
+    /// Metric family name.
+    pub name: String,
+    /// Label name → value.
+    pub labels: Labels,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Mean sample (server-computed).
+    pub mean: f64,
+    /// Estimated quantiles (server-computed; not delta-able — use
+    /// `count`/`sum` deltas across two scrapes instead).
+    pub p50: f64,
+    /// 90th percentile estimate.
+    pub p90: f64,
+    /// 99th percentile estimate.
+    pub p99: f64,
+}
+
+/// One parsed scrape of a server's `GET /metrics.json`. Two scrapes
+/// bracket a load run; their counter/histogram-sum deltas attribute the
+/// run's server-side time without any client-side guessing.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricsScrape {
+    /// Counter series.
+    pub counters: Vec<ScrapedValue>,
+    /// Gauge series.
+    pub gauges: Vec<ScrapedValue>,
+    /// Histogram series.
+    pub histograms: Vec<ScrapedHistogram>,
+}
+
+impl MetricsScrape {
+    /// Scrape `GET /metrics.json` over `client`.
+    pub fn fetch(client: &mut HttpClient) -> Result<Self, ServeError> {
+        let (status, body) = client.get("/metrics.json")?;
+        if status != 200 {
+            return Err(ServeError::Http(format!("/metrics.json returned {status}")));
+        }
+        serde_json::from_str(&body)
+            .map_err(|e| ServeError::Http(format!("bad /metrics.json body: {e}")))
+    }
+
+    /// Sum of a counter family across all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value.max(0) as u64)
+            .sum()
+    }
+
+    /// `(count, sum)` of a histogram family across all label sets,
+    /// optionally restricted to series carrying `label == value`.
+    pub fn histogram_totals(&self, name: &str, label: Option<(&str, &str)>) -> (u64, u64) {
+        self.histograms
+            .iter()
+            .filter(|h| h.name == name)
+            .filter(|h| label.is_none_or(|(k, v)| h.labels.get(k).is_some_and(|lv| lv == v)))
+            .fold((0, 0), |(c, s), h| (c + h.count, s + h.sum))
+    }
+}
+
+/// The `/predict` phase names, in request order (must match the
+/// server's `PhaseSet`).
+const PREDICT_PHASES: [&str; 5] = ["parse", "validate", "resolve", "predict", "serialize"];
+
+/// Render the server-side delta between two scrapes bracketing a load
+/// run: request/cache totals, the mean time per `/predict` phase with
+/// its share of phase time, and micro-batch shape.
+pub fn format_server_breakdown(before: &MetricsScrape, after: &MetricsScrape) -> String {
+    let delta = |name: &str| {
+        after
+            .counter_total(name)
+            .saturating_sub(before.counter_total(name))
+    };
+    let hist_delta = |name: &str, label: Option<(&str, &str)>| {
+        let (c0, s0) = before.histogram_totals(name, label);
+        let (c1, s1) = after.histogram_totals(name, label);
+        (c1.saturating_sub(c0), s1.saturating_sub(s0))
+    };
+    let mean_us = |(count, sum_ns): (u64, u64)| {
+        if count == 0 {
+            0.0
+        } else {
+            sum_ns as f64 / count as f64 / 1_000.0
+        }
+    };
+
+    let requests = delta("lam_requests_total");
+    let hits = delta("lam_cache_hits_total");
+    let misses = delta("lam_cache_misses_total");
+    let lookups = hits + misses;
+    let mut out = String::new();
+    let _ = writeln!(out, "server-side breakdown (deltas over the run)");
+    let _ = writeln!(out, "  requests served  {requests:>12}");
+    let _ = writeln!(
+        out,
+        "  cache hits       {:>11.1}% ({hits}/{lookups})",
+        if lookups == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / lookups as f64
+        }
+    );
+
+    let phase_deltas: Vec<(&str, (u64, u64))> = PREDICT_PHASES
+        .iter()
+        .map(|&p| (p, hist_delta("lam_phase_duration_ns", Some(("phase", p)))))
+        .collect();
+    let phase_total_ns: u64 = phase_deltas.iter().map(|(_, (_, s))| s).sum();
+    let _ = writeln!(out, "  /predict phases (mean per request)");
+    for (phase, d) in &phase_deltas {
+        let share = if phase_total_ns == 0 {
+            0.0
+        } else {
+            100.0 * d.1 as f64 / phase_total_ns as f64
+        };
+        let _ = writeln!(
+            out,
+            "    {phase:<10} {:>10.1}us  {share:>5.1}%",
+            mean_us(*d)
+        );
+    }
+
+    let rows = hist_delta("lam_batch_rows", None);
+    let wait = hist_delta("lam_batch_queue_wait_ns", None);
+    let _ = writeln!(
+        out,
+        "  micro-batch rows {:>12.1} mean",
+        if rows.0 == 0 {
+            0.0
+        } else {
+            rows.1 as f64 / rows.0 as f64
+        }
+    );
+    let _ = write!(out, "  queue wait       {:>10.1}us mean", mean_us(wait));
+    out
 }
 
 /// Latency percentile over raw sorted samples: linear interpolation
@@ -367,6 +566,47 @@ mod tests {
             assert_eq!(req.workload, "fmm-small");
         }
         assert_ne!(bodies[0], bodies[1]);
+    }
+
+    #[test]
+    fn scrape_parses_and_breakdown_uses_deltas() {
+        let before: MetricsScrape = serde_json::from_str(
+            r#"{"counters":[
+                 {"name":"lam_requests_total","labels":{"endpoint":"predict","status":"2xx"},"value":10},
+                 {"name":"lam_cache_hits_total","labels":{"scope":"a"},"value":100},
+                 {"name":"lam_cache_misses_total","labels":{"scope":"a"},"value":100}],
+                "gauges":[],
+                "histograms":[
+                 {"name":"lam_phase_duration_ns","labels":{"endpoint":"predict","phase":"predict"},
+                  "count":10,"sum":10000,"max":2000,"mean":1000.0,"p50":900.0,"p90":1800.0,"p99":2000.0}]}"#,
+        )
+        .unwrap();
+        let after: MetricsScrape = serde_json::from_str(
+            r#"{"counters":[
+                 {"name":"lam_requests_total","labels":{"endpoint":"predict","status":"2xx"},"value":30},
+                 {"name":"lam_requests_total","labels":{"endpoint":"healthz","status":"2xx"},"value":2},
+                 {"name":"lam_cache_hits_total","labels":{"scope":"a"},"value":400},
+                 {"name":"lam_cache_misses_total","labels":{"scope":"a"},"value":200}],
+                "gauges":[],
+                "histograms":[
+                 {"name":"lam_phase_duration_ns","labels":{"endpoint":"predict","phase":"predict"},
+                  "count":30,"sum":50000,"max":4000,"mean":1666.0,"p50":900.0,"p90":1800.0,"p99":2000.0}]}"#,
+        )
+        .unwrap();
+        assert_eq!(before.counter_total("lam_requests_total"), 10);
+        assert_eq!(after.counter_total("lam_requests_total"), 32);
+        assert_eq!(
+            after.histogram_totals("lam_phase_duration_ns", Some(("phase", "predict"))),
+            (30, 50000)
+        );
+        let text = format_server_breakdown(&before, &after);
+        // 32 - 10 requests; 300 hits of 400 lookups; predict-phase mean
+        // (50000-10000)/(30-10) = 2000ns = 2.0us, 100% of phase time.
+        assert!(text.contains("requests served"), "{text}");
+        assert!(text.contains("22"), "{text}");
+        assert!(text.contains("75.0% (300/400)"), "{text}");
+        assert!(text.contains("2.0us"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
     }
 
     #[test]

@@ -34,10 +34,12 @@ use lam_ml::linear::LinearRegressor;
 use lam_ml::model::Regressor;
 use lam_ml::sampling::train_test_split_fraction;
 use lam_ml::tree::{DecisionTreeRegressor, TreeParams};
+use lam_obs::Counter;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Fraction of the workload dataset used to train servable models (the
 /// rest is the serving surface the paper's protocol predicts onto).
@@ -101,12 +103,20 @@ pub struct LoadedModel {
 
 impl LoadedModel {
     fn from_saved(key: ModelKey, saved: SavedModel) -> Result<Self, ServeError> {
+        // Per-model metric scope (`workload/kind`): cache hit rates and
+        // batch-size distributions are only actionable per model. Label
+        // interning happens here, at load time — never per prediction.
+        let scope = format!("{}/{}", key.workload, key.kind);
         Ok(Self {
             key,
             feature_names: saved.feature_names.clone(),
             trained_rows: saved.trained_rows,
             predictor: saved.into_predictor()?,
-            engine: BatchEngine::default(),
+            engine: BatchEngine::scoped(
+                lam_core::batch::DEFAULT_MICRO_BATCH,
+                lam_core::batch::DEFAULT_MICRO_BATCH,
+                &scope,
+            ),
         })
     }
 
@@ -158,10 +168,39 @@ pub struct CatalogEntry {
     pub loaded: bool,
 }
 
+/// Resolution-path counters of one registry, interned at construction:
+/// how a `get` was satisfied. The ratio of `memo` to the disk/train
+/// paths is the cold-start picture of a serving process.
+struct ResolutionCounters {
+    memo: Arc<Counter>,
+    disk_lamb: Arc<Counter>,
+    disk_json: Arc<Counter>,
+    train: Arc<Counter>,
+}
+
+impl ResolutionCounters {
+    fn new() -> Self {
+        let counter = |path: &str| {
+            lam_obs::global().counter(
+                "lam_registry_resolutions_total",
+                "Model-registry resolutions, by resolution path.",
+                &[("path", path)],
+            )
+        };
+        Self {
+            memo: counter("memo"),
+            disk_lamb: counter("disk-lamb"),
+            disk_json: counter("disk-json"),
+            train: counter("train"),
+        }
+    }
+}
+
 /// Train-on-miss, persist, memoize model registry.
 pub struct ModelRegistry {
     root: PathBuf,
     memo: Mutex<HashMap<ModelKey, Arc<LoadedModel>>>,
+    resolutions: ResolutionCounters,
 }
 
 impl ModelRegistry {
@@ -171,6 +210,7 @@ impl ModelRegistry {
         Self {
             root: root.into(),
             memo: Mutex::new(HashMap::new()),
+            resolutions: ResolutionCounters::new(),
         }
     }
 
@@ -208,6 +248,7 @@ impl ModelRegistry {
     /// docs for the concurrency contract).
     pub fn get(&self, key: ModelKey) -> Result<Arc<LoadedModel>, ServeError> {
         if let Some(hit) = self.memo.lock().expect("registry poisoned").get(&key) {
+            self.resolutions.memo.inc();
             return Ok(Arc::clone(hit));
         }
         // Binary first, JSON fallback (see module docs).
@@ -216,6 +257,11 @@ impl ModelRegistry {
             .find(|p| p.is_file());
         let saved = match on_disk {
             Some(path) => {
+                if path.extension().is_some_and(|e| e == "lamb") {
+                    self.resolutions.disk_lamb.inc();
+                } else {
+                    self.resolutions.disk_json.inc();
+                }
                 let saved = SavedModel::load(&path)?;
                 // A renamed or tampered artifact must not be served under
                 // the requested identity (wrong schema, silently wrong
@@ -230,7 +276,24 @@ impl ModelRegistry {
                 saved
             }
             None => {
+                self.resolutions.train.inc();
+                // Train duration is a cold-path metric: interning the
+                // (workload, kind) labels here costs nothing that
+                // matters next to the training run itself.
+                let timer = lam_obs::enabled().then(Instant::now);
                 let trained = train(key)?;
+                if let Some(t) = timer {
+                    lam_obs::global()
+                        .histogram(
+                            "lam_train_duration_ns",
+                            "Train-on-miss model training time, nanoseconds.",
+                            &[
+                                ("workload", &key.workload.to_string()),
+                                ("kind", key.kind.name()),
+                            ],
+                        )
+                        .record(t.elapsed().as_nanos() as u64);
+                }
                 trained.save(&self.root)?;
                 trained
             }
@@ -424,6 +487,36 @@ mod tests {
         assert_ne!(reg.path_for(v1), reg.path_for(v2));
         assert!(reg.path_for(v1).is_file() && reg.path_for(v2).is_file());
         assert_eq!(reg.loaded_count(), 2);
+    }
+
+    #[test]
+    fn resolution_paths_feed_the_metrics_registry() {
+        let path_counter = |path: &str| {
+            lam_obs::global()
+                .counter("lam_registry_resolutions_total", "", &[("path", path)])
+                .get()
+        };
+        let (memo0, lamb0, json0, train0) = (
+            path_counter("memo"),
+            path_counter("disk-lamb"),
+            path_counter("disk-json"),
+            path_counter("train"),
+        );
+        let reg = temp_registry("obs_paths");
+        let key = ModelKey::new(fmm_small(), ModelKind::Linear, 9);
+        reg.get(key).unwrap(); // cold: train
+        reg.get(key).unwrap(); // memo hit
+        let reg2 = ModelRegistry::new(reg.root().to_path_buf());
+        reg2.get(key).unwrap(); // binary artifact from disk
+        let reg3 = temp_registry("obs_paths_json");
+        train(key).unwrap().save_json(reg3.root()).unwrap();
+        reg3.get(key).unwrap(); // JSON fallback
+                                // Other tests in this binary bump the same global series
+                                // concurrently, so assert growth, not exact values.
+        assert!(path_counter("train") > train0);
+        assert!(path_counter("memo") > memo0);
+        assert!(path_counter("disk-lamb") > lamb0);
+        assert!(path_counter("disk-json") > json0);
     }
 
     #[test]

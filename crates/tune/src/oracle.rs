@@ -7,7 +7,10 @@
 
 use crate::report::TrajectoryPoint;
 use lam_core::catalog::DynWorkload;
+use lam_obs::{Counter, Histogram};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A budgeted, memoizing view of one workload's oracle.
 pub struct BudgetedOracle<'a> {
@@ -16,17 +19,34 @@ pub struct BudgetedOracle<'a> {
     measured: BTreeMap<usize, f64>,
     trajectory: Vec<TrajectoryPoint>,
     incumbent: Option<(usize, f64)>,
+    evaluations: Arc<Counter>,
+    measure_ns: Arc<Histogram>,
 }
 
 impl<'a> BudgetedOracle<'a> {
     /// Budget `budget` oracle evaluations against `workload`.
     pub fn new(workload: &'a dyn DynWorkload, budget: usize) -> Self {
+        // Tuning telemetry is per workload: evaluations actually spent
+        // (memo hits are free and not counted) and how long one oracle
+        // measurement takes. Interned once per tuning run, not per
+        // measurement.
+        let labels = [("workload", workload.name())];
         Self {
             workload,
             budget,
             measured: BTreeMap::new(),
             trajectory: Vec::new(),
             incumbent: None,
+            evaluations: lam_obs::global().counter(
+                "lam_tune_evaluations_total",
+                "Oracle evaluations spent by tuning strategies.",
+                &labels,
+            ),
+            measure_ns: lam_obs::global().histogram(
+                "lam_tune_measure_duration_ns",
+                "Duration of one oracle measurement, nanoseconds.",
+                &labels,
+            ),
         }
     }
 
@@ -40,7 +60,12 @@ impl<'a> BudgetedOracle<'a> {
         if self.measured.len() >= self.budget {
             return None;
         }
+        let started = lam_obs::enabled().then(Instant::now);
         let t = self.workload.measure(index);
+        self.evaluations.inc();
+        if let Some(started) = started {
+            self.measure_ns.record(started.elapsed().as_nanos() as u64);
+        }
         self.measured.insert(index, t);
         // Ties keep the earlier incumbent: strictly-better only.
         if self.incumbent.is_none_or(|(_, best)| t < best) {
@@ -144,6 +169,32 @@ mod tests {
         assert_eq!(oracle.measure(0), Some(10.0));
         assert_eq!(oracle.spent(), 2);
         assert_eq!(oracle.best(), Some((3, 7.0)));
+    }
+
+    #[test]
+    fn evaluations_feed_the_metrics_registry() {
+        let toy = Toy;
+        let labels = [("workload", "toy")];
+        let evals = lam_obs::global().counter(
+            "lam_tune_evaluations_total",
+            "Oracle evaluations spent by tuning strategies.",
+            &labels,
+        );
+        let durations = lam_obs::global().histogram(
+            "lam_tune_measure_duration_ns",
+            "Duration of one oracle measurement, nanoseconds.",
+            &labels,
+        );
+        // Other tests in this binary share the global registry, so
+        // assert on deltas, not absolute values.
+        let evals_before = evals.get();
+        let count_before = durations.snapshot().count();
+        let mut oracle = BudgetedOracle::new(&toy, 3);
+        oracle.measure(0);
+        oracle.measure(1);
+        oracle.measure(0); // memo hit: free, not counted
+        assert_eq!(evals.get() - evals_before, 2);
+        assert_eq!(durations.snapshot().count() - count_before, 2);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub use lam_data as data;
 pub use lam_fmm as fmm;
 pub use lam_machine as machine;
 pub use lam_ml as ml;
+pub use lam_obs as obs;
 pub use lam_serve as serve;
 pub use lam_spmv as spmv;
 pub use lam_stencil as stencil;
