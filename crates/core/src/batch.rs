@@ -21,9 +21,10 @@ use crate::predict::PredictRow;
 use lam_obs::{Counter, Histogram};
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Cache-key for one feature row: the exact bit patterns of its floats
 /// (no epsilon grouping — only a bit-identical row is "the same query").
@@ -177,6 +178,11 @@ struct MicroBatchObs {
     misses: u64,
 }
 
+/// One micro-batch's output: predictions (request order), cache hits,
+/// the indexes of rows that missed, and the observability sample to
+/// record once outside any parallel section.
+type MicroBatchParts = (Vec<f64>, u64, Vec<usize>, Option<MicroBatchObs>);
+
 impl EngineMetrics {
     /// Flush one micro-batch's measurements (serial, uncontended).
     fn record(&self, obs: &MicroBatchObs) {
@@ -286,7 +292,7 @@ impl BatchEngine {
         model: &dyn PredictRow,
         batch: &[Vec<f64>],
         enqueued: Option<Instant>,
-    ) -> (Vec<f64>, u64, Option<MicroBatchObs>) {
+    ) -> MicroBatchParts {
         let started = enqueued.map(|t| {
             let now = Instant::now();
             ((now - t).as_nanos() as u64, now)
@@ -338,7 +344,7 @@ impl BatchEngine {
                 obs.predict_ns = Some(t.elapsed().as_nanos() as u64);
             }
         }
-        (predictions, hits, obs)
+        (predictions, hits, miss_idx, obs)
     }
 
     /// Predict every row of the request through the cache, fanning
@@ -352,7 +358,7 @@ impl BatchEngine {
         // per-micro-batch record site keys off this `Option`.
         let enqueued = lam_obs::enabled().then(Instant::now);
         if rows.len() <= self.micro_batch {
-            let (predictions, cache_hits, obs) = self.predict_micro_batch(model, rows, enqueued);
+            let (predictions, cache_hits, _, obs) = self.predict_micro_batch(model, rows, enqueued);
             if let Some(obs) = obs {
                 self.metrics.record(&obs);
             }
@@ -362,21 +368,510 @@ impl BatchEngine {
             };
         }
         let batches: Vec<&[Vec<f64>]> = rows.chunks(self.micro_batch).collect();
-        let parts: Vec<(Vec<f64>, u64, Option<MicroBatchObs>)> = batches
+        let parts: Vec<MicroBatchParts> = batches
             .par_iter()
             .map(|batch| self.predict_micro_batch(model, batch, enqueued))
             .collect();
-        for (_, _, obs) in &parts {
+        for (_, _, _, obs) in &parts {
             if let Some(obs) = obs {
                 self.metrics.record(obs);
             }
         }
-        let cache_hits = parts.iter().map(|(_, h, _)| h).sum();
-        let predictions: Vec<f64> = parts.into_iter().flat_map(|(p, _, _)| p).collect();
+        let cache_hits = parts.iter().map(|(_, h, _, _)| h).sum();
+        let predictions: Vec<f64> = parts.into_iter().flat_map(|(p, _, _, _)| p).collect();
         BatchOutcome {
             predictions,
             cache_hits,
         }
+    }
+
+    /// Like [`BatchEngine::predict`], but also returns one cache-hit flag
+    /// per row. The [`BatchScheduler`] uses this to split a coalesced
+    /// cross-request batch back into exact per-request `cache_hits`
+    /// tallies (a proportional split would misattribute hits whenever one
+    /// request's rows are warm and another's are cold).
+    ///
+    /// Runs micro-batches sequentially: coalesced flushes are already the
+    /// parallelism unit upstream (scheduler workers), so nesting a rayon
+    /// fan-out here would only add entry cost.
+    pub fn predict_masked(&self, model: &dyn PredictRow, rows: &[Vec<f64>]) -> MaskedOutcome {
+        let enqueued = lam_obs::enabled().then(Instant::now);
+        let mut predictions = Vec::with_capacity(rows.len());
+        let mut hit_mask = vec![true; rows.len()];
+        let mut cache_hits = 0u64;
+        for (chunk_start, batch) in rows.chunks(self.micro_batch.max(1)).scan(0usize, |off, c| {
+            let start = *off;
+            *off += c.len();
+            Some((start, c))
+        }) {
+            let (preds, hits, miss_idx, obs) = self.predict_micro_batch(model, batch, enqueued);
+            if let Some(obs) = obs {
+                self.metrics.record(&obs);
+            }
+            cache_hits += hits;
+            for i in miss_idx {
+                hit_mask[chunk_start + i] = false;
+            }
+            predictions.extend(preds);
+        }
+        MaskedOutcome {
+            predictions,
+            hit_mask,
+            cache_hits,
+        }
+    }
+}
+
+/// A batched prediction outcome carrying one cache-hit flag per row; see
+/// [`BatchEngine::predict_masked`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskedOutcome {
+    /// One prediction per request row, in request order.
+    pub predictions: Vec<f64>,
+    /// `hit_mask[i]` is `true` when row `i` was answered from the cache.
+    pub hit_mask: Vec<bool>,
+    /// Total rows answered from the cache (`hit_mask` trues).
+    pub cache_hits: u64,
+}
+
+/// Something the [`BatchScheduler`] can execute a coalesced batch
+/// against. The serving layer implements this for its loaded models
+/// (routing through the model's own [`BatchEngine`] and compiled
+/// predictor); tests implement it directly.
+pub trait BatchTarget: Send + Sync {
+    /// Predict every row, returning per-row cache-hit flags so the
+    /// scheduler can split the outcome back per submission.
+    fn run_batch(&self, rows: &[Vec<f64>]) -> MaskedOutcome;
+}
+
+/// Why a submission was refused; the serving layer turns this into a
+/// `503` + `Retry-After` (load shedding), never a hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The scheduler's queued-row budget is exhausted.
+    QueueFull,
+    /// The scheduler is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "batch queue full"),
+            SubmitError::ShuttingDown => write!(f, "scheduler shutting down"),
+        }
+    }
+}
+
+/// Tuning knobs of a [`BatchScheduler`].
+#[derive(Debug, Clone)]
+pub struct SchedulerOptions {
+    /// Flush a lane once it holds at least this many rows.
+    pub max_batch_rows: usize,
+    /// Flush a lane this long after its first row arrived, even if it is
+    /// not full — bounds the latency cost of waiting for co-batchable
+    /// traffic.
+    pub flush_deadline: Duration,
+    /// Total rows allowed across all lanes; submissions beyond it are
+    /// refused ([`SubmitError::QueueFull`]) so overload sheds instead of
+    /// queueing without bound.
+    pub max_queued_rows: usize,
+    /// Executor threads draining ready lanes.
+    pub workers: usize,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> Self {
+        Self {
+            max_batch_rows: 256,
+            flush_deadline: Duration::from_micros(200),
+            max_queued_rows: 16 * 1024,
+            workers: 2,
+        }
+    }
+}
+
+/// One queued submission: rows plus the completion that receives its
+/// slice of the coalesced outcome.
+struct LaneEntry {
+    rows: Vec<Vec<f64>>,
+    enqueued: Instant,
+    complete: Box<dyn FnOnce(MaskedOutcome) + Send>,
+}
+
+/// All queued submissions against one target, coalesced into the next
+/// flush.
+struct Lane {
+    target: Arc<dyn BatchTarget>,
+    entries: Vec<LaneEntry>,
+    rows: usize,
+    opened: Instant,
+}
+
+struct SchedulerState {
+    lanes: HashMap<usize, Lane>,
+    queued_rows: usize,
+    stopping: bool,
+}
+
+/// Pre-interned scheduler metrics: how well cross-request coalescing is
+/// working. `lam_batch_occupancy` is the headline — its mean is the
+/// number of independent submissions answered per executed batch (1.0
+/// means no cross-request batching is forming at all).
+struct SchedulerMetrics {
+    occupancy: Arc<Histogram>,
+    flush_rows: Arc<Histogram>,
+    queue_wait_ns: Arc<Histogram>,
+    shed: Arc<Counter>,
+}
+
+impl SchedulerMetrics {
+    fn new() -> Self {
+        let reg = lam_obs::global();
+        let labels = [("scope", "sched")];
+        Self {
+            occupancy: reg.histogram(
+                "lam_batch_occupancy",
+                "Independent submissions coalesced into one executed batch.",
+                &labels,
+            ),
+            flush_rows: reg.histogram(
+                "lam_batch_flush_rows",
+                "Rows per coalesced cross-request batch flush.",
+                &labels,
+            ),
+            queue_wait_ns: reg.histogram(
+                "lam_batch_queue_wait_ns",
+                "Delay between request arrival at the engine and micro-batch execution start.",
+                &labels,
+            ),
+            shed: reg.counter(
+                "lam_requests_shed_total",
+                "Requests refused to bound queueing, by shedding site.",
+                &[("reason", "batch-queue")],
+            ),
+        }
+    }
+}
+
+/// A cross-request micro-batching executor: concurrent submissions
+/// against the same [`BatchTarget`] coalesce into one batched predict
+/// call, so many small independent requests get ensemble-batch
+/// throughput.
+///
+/// Lanes (one per target) flush when any of three conditions holds:
+///
+/// 1. **size** — the lane reached [`SchedulerOptions::max_batch_rows`];
+/// 2. **deadline** — [`SchedulerOptions::flush_deadline`] elapsed since
+///    the lane opened;
+/// 3. **idle producers** — the producer hint (see
+///    [`BatchScheduler::producer_hint`]) reports no request handler is
+///    currently working toward a submission, so waiting longer cannot
+///    grow the batch. This is what keeps low-concurrency traffic at
+///    native latency: a lone closed-loop client never waits out the
+///    deadline.
+///
+/// Backpressure is explicit: a submission that would exceed
+/// [`SchedulerOptions::max_queued_rows`] is refused with
+/// [`SubmitError::QueueFull`] and counted in `lam_requests_shed_total`,
+/// and the caller sheds (HTTP 503). Queue-wait and batch-occupancy
+/// histograms record what coalescing actually formed.
+pub struct BatchScheduler {
+    shared: Arc<SchedulerShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+struct SchedulerShared {
+    state: Mutex<SchedulerState>,
+    ready: Condvar,
+    opts: SchedulerOptions,
+    /// Request handlers mid-flight (parsed but not yet submitted); when
+    /// zero, waiting on a deadline cannot gain occupancy.
+    producers: AtomicUsize,
+    metrics: SchedulerMetrics,
+}
+
+impl BatchScheduler {
+    /// Start `opts.workers` executor threads.
+    pub fn new(opts: SchedulerOptions) -> Self {
+        let shared = Arc::new(SchedulerShared {
+            state: Mutex::new(SchedulerState {
+                lanes: HashMap::new(),
+                queued_rows: 0,
+                stopping: false,
+            }),
+            ready: Condvar::new(),
+            opts: SchedulerOptions {
+                max_batch_rows: opts.max_batch_rows.max(1),
+                workers: opts.workers.max(1),
+                ..opts
+            },
+            producers: AtomicUsize::new(0),
+            metrics: SchedulerMetrics::new(),
+        });
+        let workers = (0..shared.opts.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// RAII producer-hint guard: hold one while handling a request that
+    /// may submit, so the scheduler knows more rows may be coming and a
+    /// short deadline wait can pay off. The guard is owned (`Arc`-backed)
+    /// and `Send`, so it can ride along with a request across threads.
+    pub fn producer_hint(&self) -> ProducerGuard {
+        self.shared.producers.fetch_add(1, Ordering::SeqCst);
+        ProducerGuard {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Reserve queue budget for an `n_rows` submission. The two-step
+    /// reserve-then-[`SubmitPermit::submit`] shape lets a caller learn
+    /// the shed decision *before* constructing its completion (an HTTP
+    /// handler answers 503 with the response channel it would otherwise
+    /// move into the closure). Refusal is the backpressure signal:
+    /// beyond [`SchedulerOptions::max_queued_rows`] the caller sheds
+    /// instead of queueing without bound.
+    pub fn try_reserve(&self, n_rows: usize) -> Result<SubmitPermit, SubmitError> {
+        let mut state = self.shared.state.lock().expect("scheduler poisoned");
+        if state.stopping {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.queued_rows + n_rows > self.shared.opts.max_queued_rows {
+            self.shared.metrics.shed.inc();
+            return Err(SubmitError::QueueFull);
+        }
+        state.queued_rows += n_rows;
+        Ok(SubmitPermit {
+            shared: Arc::clone(&self.shared),
+            rows: n_rows,
+            consumed: false,
+        })
+    }
+
+    /// Rows currently queued across all lanes.
+    pub fn queued_rows(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("scheduler poisoned")
+            .queued_rows
+    }
+
+    /// Flush every remaining lane, then stop and join the executors.
+    /// Queued completions still run (graceful drain); new submissions are
+    /// refused from the moment this is called.
+    pub fn shutdown(mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("scheduler poisoned");
+            state.stopping = true;
+        }
+        self.shared.ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for BatchScheduler {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            {
+                let mut state = self.shared.state.lock().expect("scheduler poisoned");
+                state.stopping = true;
+            }
+            self.shared.ready.notify_all();
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+/// A reserved slice of the scheduler's queue budget; see
+/// [`BatchScheduler::try_reserve`]. Dropping an unsubmitted permit
+/// releases the reservation.
+pub struct SubmitPermit {
+    shared: Arc<SchedulerShared>,
+    rows: usize,
+    consumed: bool,
+}
+
+impl SubmitPermit {
+    /// Queue `rows` for a coalesced predict against `target`; `complete`
+    /// receives this submission's slice of the batched outcome on an
+    /// executor thread. `rows.len()` must match the reserved count.
+    ///
+    /// The completion is guaranteed to run exactly once: if the
+    /// scheduler began stopping after this permit was reserved, the
+    /// batch executes inline on the calling thread instead of being
+    /// queued behind executors that may already have drained and exited.
+    pub fn submit(
+        mut self,
+        target: Arc<dyn BatchTarget>,
+        rows: Vec<Vec<f64>>,
+        complete: Box<dyn FnOnce(MaskedOutcome) + Send>,
+    ) {
+        assert_eq!(
+            rows.len(),
+            self.rows,
+            "permit reserved a different row count"
+        );
+        self.consumed = true;
+        let n = rows.len();
+        let key = Arc::as_ptr(&target) as *const () as usize;
+        let mut state = self.shared.state.lock().expect("scheduler poisoned");
+        if state.stopping {
+            state.queued_rows -= n;
+            drop(state);
+            let outcome = target.run_batch(&rows);
+            complete(outcome);
+            return;
+        }
+        let now = Instant::now();
+        let lane = state.lanes.entry(key).or_insert_with(|| Lane {
+            target,
+            entries: Vec::new(),
+            rows: 0,
+            opened: now,
+        });
+        lane.rows += n;
+        lane.entries.push(LaneEntry {
+            rows,
+            enqueued: now,
+            complete,
+        });
+        drop(state);
+        // Executors sleep on a deadline-bounded wait, so one notify is
+        // enough whether or not the lane is already flush-ready.
+        self.shared.ready.notify_one();
+    }
+}
+
+impl Drop for SubmitPermit {
+    fn drop(&mut self) {
+        if !self.consumed {
+            let mut state = self.shared.state.lock().expect("scheduler poisoned");
+            state.queued_rows -= self.rows;
+        }
+    }
+}
+
+/// RAII guard for the scheduler's producer hint; see
+/// [`BatchScheduler::producer_hint`].
+pub struct ProducerGuard {
+    shared: Arc<SchedulerShared>,
+}
+
+impl Drop for ProducerGuard {
+    fn drop(&mut self) {
+        // The producer is done (its submission, if any, is queued): if it
+        // was the last one, wake an executor so an idle-flush can fire
+        // without waiting out the deadline.
+        if self.shared.producers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.shared.ready.notify_one();
+        }
+    }
+}
+
+/// Pop one flush-ready lane, or compute how long to wait for the nearest
+/// deadline. `stopping` makes every non-empty lane ready (drain).
+fn take_ready_lane(
+    state: &mut SchedulerState,
+    opts: &SchedulerOptions,
+    producers_idle: bool,
+    now: Instant,
+) -> Result<Lane, Option<Duration>> {
+    let mut next_deadline: Option<Duration> = None;
+    let mut ready_key = None;
+    for (&key, lane) in &state.lanes {
+        let age = now.saturating_duration_since(lane.opened);
+        if lane.rows >= opts.max_batch_rows
+            || age >= opts.flush_deadline
+            || producers_idle
+            || state.stopping
+        {
+            ready_key = Some(key);
+            break;
+        }
+        let remaining = opts.flush_deadline - age;
+        next_deadline = Some(match next_deadline {
+            Some(d) => d.min(remaining),
+            None => remaining,
+        });
+    }
+    match ready_key {
+        Some(key) => {
+            let lane = state.lanes.remove(&key).expect("key just seen");
+            state.queued_rows -= lane.rows;
+            Ok(lane)
+        }
+        None => Err(next_deadline),
+    }
+}
+
+fn worker_loop(shared: &SchedulerShared) {
+    let mut state = shared.state.lock().expect("scheduler poisoned");
+    loop {
+        let producers_idle = shared.producers.load(Ordering::SeqCst) == 0;
+        match take_ready_lane(&mut state, &shared.opts, producers_idle, Instant::now()) {
+            Ok(lane) => {
+                drop(state);
+                execute_lane(shared, lane);
+                state = shared.state.lock().expect("scheduler poisoned");
+            }
+            Err(next_deadline) => {
+                if state.stopping && state.lanes.is_empty() {
+                    return;
+                }
+                // No ready lane: sleep until the nearest deadline (or for
+                // a notify). An empty lane set waits purely on notifies,
+                // with a coarse cap so a missed wake cannot hang drain.
+                let wait = next_deadline.unwrap_or(Duration::from_millis(100));
+                state = shared
+                    .ready
+                    .wait_timeout(state, wait)
+                    .expect("scheduler poisoned")
+                    .0;
+            }
+        }
+    }
+}
+
+/// Execute one coalesced lane outside the scheduler lock and split the
+/// outcome back per submission, preserving each submission's row order.
+fn execute_lane(shared: &SchedulerShared, lane: Lane) {
+    let enabled = lam_obs::enabled();
+    let started = enabled.then(Instant::now);
+    let all_rows: Vec<Vec<f64>> = lane.entries.iter().flat_map(|e| e.rows.clone()).collect();
+    let outcome = lane.target.run_batch(&all_rows);
+    debug_assert_eq!(outcome.predictions.len(), all_rows.len());
+    if let Some(started) = started {
+        shared.metrics.occupancy.record(lane.entries.len() as u64);
+        shared.metrics.flush_rows.record(all_rows.len() as u64);
+        for e in &lane.entries {
+            shared
+                .metrics
+                .queue_wait_ns
+                .record((started - e.enqueued).as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+    let mut offset = 0usize;
+    for entry in lane.entries {
+        let n = entry.rows.len();
+        let predictions = outcome.predictions[offset..offset + n].to_vec();
+        let hit_mask = outcome.hit_mask[offset..offset + n].to_vec();
+        let cache_hits = hit_mask.iter().filter(|&&h| h).count() as u64;
+        offset += n;
+        (entry.complete)(MaskedOutcome {
+            predictions,
+            hit_mask,
+            cache_hits,
+        });
     }
 }
 
@@ -494,6 +989,203 @@ mod tests {
             )
             .snapshot();
         assert_eq!(lookups.count(), 3);
+    }
+
+    #[test]
+    fn masked_outcome_flags_hits_per_row() {
+        let engine = BatchEngine::new(4, 2);
+        // Warm rows 0..3; then predict a mix of warm and cold rows.
+        engine.predict(&Toy, &rows(3));
+        let mixed = vec![
+            vec![0.0, 0.0], // warm
+            vec![50.0, 1.0],
+            vec![1.0, 1.0], // warm
+            vec![60.0, 4.0],
+            vec![2.0, 2.0], // warm
+        ];
+        let out = engine.predict_masked(&Toy, &mixed);
+        assert_eq!(out.hit_mask, vec![true, false, true, false, true]);
+        assert_eq!(out.cache_hits, 3);
+        for (i, row) in mixed.iter().enumerate() {
+            assert_eq!(out.predictions[i], Toy.predict_row(row), "row {i}");
+        }
+    }
+
+    /// Minimal target over a shared engine, counting executed batches.
+    struct CountingTarget {
+        engine: BatchEngine,
+        calls: AtomicU64,
+    }
+    impl BatchTarget for CountingTarget {
+        fn run_batch(&self, rows: &[Vec<f64>]) -> MaskedOutcome {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            self.engine.predict_masked(&Toy, rows)
+        }
+    }
+
+    fn counting_target() -> Arc<CountingTarget> {
+        Arc::new(CountingTarget {
+            engine: BatchEngine::new(512, 4),
+            calls: AtomicU64::new(0),
+        })
+    }
+
+    fn submit_and_collect(
+        sched: &BatchScheduler,
+        target: Arc<CountingTarget>,
+        all_rows: Vec<Vec<Vec<f64>>>,
+    ) -> Vec<MaskedOutcome> {
+        let results: Arc<Mutex<Vec<Option<MaskedOutcome>>>> =
+            Arc::new(Mutex::new(vec![None; all_rows.len()]));
+        {
+            // Hold the producer hint across all submissions so the
+            // scheduler waits for the whole group before flushing.
+            let _hint = sched.producer_hint();
+            for (i, rows) in all_rows.into_iter().enumerate() {
+                let results = Arc::clone(&results);
+                let target: Arc<dyn BatchTarget> = target.clone();
+                let permit = sched.try_reserve(rows.len()).expect("reserve");
+                permit.submit(
+                    target,
+                    rows,
+                    Box::new(move |out| {
+                        results.lock().unwrap()[i] = Some(out);
+                    }),
+                );
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            {
+                let got = results.lock().unwrap();
+                if got.iter().all(|r| r.is_some()) {
+                    return got.iter().map(|r| r.clone().unwrap()).collect();
+                }
+            }
+            assert!(Instant::now() < deadline, "scheduler never completed");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn scheduler_coalesces_submissions_into_one_batch() {
+        let sched = BatchScheduler::new(SchedulerOptions {
+            flush_deadline: Duration::from_millis(50),
+            workers: 1,
+            ..SchedulerOptions::default()
+        });
+        let target = counting_target();
+        let outs = submit_and_collect(
+            &sched,
+            target.clone(),
+            (0..8).map(|i| vec![vec![i as f64, 1.0]]).collect(),
+        );
+        // All eight single-row submissions arrived under one producer
+        // hint within one deadline window: exactly one executed batch.
+        assert_eq!(target.calls.load(Ordering::SeqCst), 1);
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(out.predictions, vec![2.0 * i as f64 + 1.0]);
+            assert_eq!(out.hit_mask.len(), 1);
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn scheduler_splits_cache_hits_exactly_per_submission() {
+        let sched = BatchScheduler::new(SchedulerOptions {
+            flush_deadline: Duration::from_millis(20),
+            workers: 1,
+            ..SchedulerOptions::default()
+        });
+        let target = counting_target();
+        // Warm only the rows of the second submission.
+        target.engine.predict(&Toy, &[vec![7.0, 7.0]]);
+        let outs = submit_and_collect(
+            &sched,
+            target.clone(),
+            vec![
+                vec![vec![100.0, 0.0], vec![101.0, 0.0]], // cold, cold
+                vec![vec![7.0, 7.0]],                     // warm
+            ],
+        );
+        assert_eq!(outs[0].cache_hits, 0);
+        assert_eq!(outs[0].hit_mask, vec![false, false]);
+        assert_eq!(outs[1].cache_hits, 1);
+        assert_eq!(outs[1].hit_mask, vec![true]);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn scheduler_sheds_when_row_budget_is_exhausted() {
+        let sched = BatchScheduler::new(SchedulerOptions {
+            max_queued_rows: 3,
+            flush_deadline: Duration::from_secs(10),
+            workers: 1,
+            ..SchedulerOptions::default()
+        });
+        let target = counting_target();
+        // Keep the hint held so nothing flushes while we overfill.
+        let _hint = sched.producer_hint();
+        let t: Arc<dyn BatchTarget> = target.clone();
+        sched.try_reserve(3).expect("within budget").submit(
+            t,
+            vec![vec![1.0]; 3],
+            Box::new(|_| {}),
+        );
+        let Err(err) = sched.try_reserve(1) else {
+            panic!("over-budget reserve must be refused");
+        };
+        assert_eq!(err, SubmitError::QueueFull);
+        // A dropped (unsubmitted) permit releases its reservation.
+        drop(sched.try_reserve(0).expect("zero-row reserve"));
+        drop(_hint);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_submissions() {
+        let sched = BatchScheduler::new(SchedulerOptions {
+            flush_deadline: Duration::from_secs(10),
+            workers: 1,
+            ..SchedulerOptions::default()
+        });
+        let target = counting_target();
+        let done = Arc::new(AtomicU64::new(0));
+        {
+            let _hint = sched.producer_hint();
+            for i in 0..4 {
+                let done = Arc::clone(&done);
+                let t: Arc<dyn BatchTarget> = target.clone();
+                sched.try_reserve(1).expect("reserve").submit(
+                    t,
+                    vec![vec![i as f64, 0.0]],
+                    Box::new(move |_| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    }),
+                );
+            }
+            // Hint still held: with a 10s deadline nothing has flushed;
+            // shutdown must drain these, not drop them.
+            sched.shutdown();
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn idle_producers_flush_without_waiting_out_the_deadline() {
+        let sched = BatchScheduler::new(SchedulerOptions {
+            flush_deadline: Duration::from_secs(10),
+            workers: 1,
+            ..SchedulerOptions::default()
+        });
+        let target = counting_target();
+        let started = Instant::now();
+        let outs = submit_and_collect(&sched, target, vec![vec![vec![3.0, 1.0]]]);
+        // The hint dropped right after the lone submission, so the flush
+        // must fire on the idle hint, far inside the 10s deadline.
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert_eq!(outs[0].predictions, vec![7.0]);
+        sched.shutdown();
     }
 
     #[test]

@@ -1,13 +1,19 @@
 //! Load generator: hammer a running `serve` instance's `/predict` with
 //! batched requests from concurrent keep-alive connections and report
-//! throughput and p50/p95/p99 latency.
+//! throughput and p50/p90/p95/p99 latency.
 //!
 //! ```text
 //! loadgen (--addr HOST:PORT | --addr-file PATH)
 //!         [--workload fmm-small] [--kind hybrid] [--version 1]
 //!         [--seconds 3] [--connections 4] [--batch 64] [--pool 256]
+//!         [--pipeline N | --open-loop RPS]
 //!         [--out results/loadgen.json] [--min-throughput 1]
 //! ```
+//!
+//! `--pipeline N` keeps N requests in flight per connection; `--open-loop
+//! RPS` paces sends at a fixed offered rate across connections regardless
+//! of completions (503 sheds are reported separately, not as errors).
+//! Default is the closed loop.
 //!
 //! Exits non-zero when any request errored or measured throughput falls
 //! below `--min-throughput` predictions/sec — the CI smoke gate.
@@ -19,7 +25,8 @@
 //! `--no-scrape` skips it (e.g. against servers without the endpoint).
 
 use lam_serve::loadgen::{
-    format_report, format_server_breakdown, run, HttpClient, LoadgenOptions, MetricsScrape,
+    format_report, format_server_breakdown, run, HttpClient, LoadMode, LoadgenOptions,
+    MetricsScrape,
 };
 use lam_serve::ServeError;
 
@@ -58,6 +65,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--batch" => args.opts.batch = value("--batch")?.parse().map_err(err_str)?,
             "--pool" => args.opts.pool = value("--pool")?.parse().map_err(err_str)?,
+            "--pipeline" => {
+                args.opts.mode = LoadMode::Pipeline(value("--pipeline")?.parse().map_err(err_str)?)
+            }
+            "--open-loop" => {
+                args.opts.mode = LoadMode::OpenLoop {
+                    rps: value("--open-loop")?.parse().map_err(err_str)?,
+                }
+            }
             "--out" => args.out = Some(value("--out")?),
             "--min-throughput" => {
                 args.min_throughput = value("--min-throughput")?.parse().map_err(err_str)?
@@ -89,14 +104,15 @@ fn run_main() -> Result<(), Box<dyn std::error::Error>> {
         args.opts.addr = std::fs::read_to_string(path)?.trim().to_string();
     }
     println!(
-        "loadgen: {} connections x {}-row batches against http://{} for {:.1}s ({}/{}/v{})",
+        "loadgen: {} connections x {}-row batches against http://{} for {:.1}s ({}/{}/v{}, {})",
         args.opts.connections,
         args.opts.batch,
         args.opts.addr,
         args.opts.seconds,
         args.opts.workload,
         args.opts.kind,
-        args.opts.version
+        args.opts.version,
+        args.opts.mode,
     );
     // Bracket the run with metric scrapes; a scrape failure degrades to
     // a warning (the load numbers are still the primary product).

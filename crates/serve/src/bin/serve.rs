@@ -4,8 +4,15 @@
 //! ```text
 //! serve [--workload fmm-small] [--kind hybrid] [--version 1]
 //!       [--models-dir results/models] [--addr 127.0.0.1:0] [--workers 4]
+//!       [--max-connections 1024] [--dispatch-queue 256]
+//!       [--max-batch-rows 256] [--flush-deadline-us 200]
 //!       [--train-only] [--addr-file PATH] [--max-seconds S]
 //! ```
+//!
+//! `--max-connections` / `--dispatch-queue` bound the event-driven serve
+//! core (accepts and parsed requests beyond them shed with `503`);
+//! `--max-batch-rows` / `--flush-deadline-us` shape the cross-connection
+//! micro-batch scheduler.
 //!
 //! `--addr 127.0.0.1:0` (the default) binds a random free port; the
 //! resolved address is printed and, with `--addr-file`, written to a file
@@ -27,6 +34,10 @@ struct Args {
     models_dir: String,
     addr: String,
     workers: usize,
+    max_connections: Option<usize>,
+    dispatch_queue: Option<usize>,
+    max_batch_rows: Option<usize>,
+    flush_deadline_us: Option<u64>,
     train_only: bool,
     addr_file: Option<String>,
     max_seconds: Option<f64>,
@@ -40,6 +51,10 @@ fn parse_args() -> Result<Args, String> {
         models_dir: ModelRegistry::default_root().display().to_string(),
         addr: "127.0.0.1:0".to_string(),
         workers: 4,
+        max_connections: None,
+        dispatch_queue: None,
+        max_batch_rows: None,
+        flush_deadline_us: None,
         train_only: false,
         addr_file: None,
         max_seconds: None,
@@ -54,6 +69,19 @@ fn parse_args() -> Result<Args, String> {
             "--models-dir" => args.models_dir = value("--models-dir")?,
             "--addr" => args.addr = value("--addr")?,
             "--workers" => args.workers = value("--workers")?.parse().map_err(err_str)?,
+            "--max-connections" => {
+                args.max_connections = Some(value("--max-connections")?.parse().map_err(err_str)?)
+            }
+            "--dispatch-queue" => {
+                args.dispatch_queue = Some(value("--dispatch-queue")?.parse().map_err(err_str)?)
+            }
+            "--max-batch-rows" => {
+                args.max_batch_rows = Some(value("--max-batch-rows")?.parse().map_err(err_str)?)
+            }
+            "--flush-deadline-us" => {
+                args.flush_deadline_us =
+                    Some(value("--flush-deadline-us")?.parse().map_err(err_str)?)
+            }
             "--train-only" => args.train_only = true,
             "--addr-file" => args.addr_file = Some(value("--addr-file")?),
             "--max-seconds" => {
@@ -94,14 +122,24 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
 
-    let handle = http::start(
-        Arc::clone(&registry),
-        http::ServerOptions {
-            addr: args.addr.clone(),
-            workers: args.workers,
-            ..http::ServerOptions::default()
-        },
-    )?;
+    let mut cfg = http::ServeConfig::new(http::ServerOptions {
+        addr: args.addr.clone(),
+        workers: args.workers,
+        ..http::ServerOptions::default()
+    });
+    if let Some(n) = args.max_connections {
+        cfg.max_connections = n;
+    }
+    if let Some(n) = args.dispatch_queue {
+        cfg.dispatch_queue = n;
+    }
+    if let Some(n) = args.max_batch_rows {
+        cfg.batch.max_batch_rows = n;
+    }
+    if let Some(us) = args.flush_deadline_us {
+        cfg.batch.flush_deadline = Duration::from_micros(us);
+    }
+    let handle = http::start_with(Arc::clone(&registry), cfg)?;
     let addr = handle.local_addr();
     println!("serving on http://{addr} ({} workers)", args.workers);
     if let Some(path) = &args.addr_file {

@@ -19,20 +19,28 @@
 //! labels come from a fixed classification (never the raw path, which a
 //! client controls and would be unbounded label cardinality).
 //!
-//! Concurrency model: `workers` threads share the listener (`accept` is
-//! thread-safe) and each owns one connection at a time, serving keep-alive
-//! requests until the peer closes. Read timeouts keep idle connections
-//! from pinning workers past shutdown: every timeout tick re-checks the
-//! stop flag.
+//! Concurrency model (see [`crate::reactor`] for the full diagram): one
+//! epoll reactor thread owns every socket and the per-connection
+//! HTTP/1.1 state machines (incremental parsing, keep-alive, pipelining,
+//! idle/slowloris timeouts); `workers` handler threads route requests
+//! pulled from a bounded dispatch queue; small `/predict` requests
+//! submit their rows to a shared [`BatchScheduler`] that coalesces
+//! micro-batches *across connections*, completing responses back through
+//! the reactor. Both queues shed with `503` + `retry-after` instead of
+//! growing without bound, and shutdown drains in-flight requests. The
+//! previous blocking thread-per-connection implementation survives as
+//! [`crate::reference`], as the benchmark baseline.
 
-use crate::registry::{ModelKey, ModelRegistry};
+use crate::proto::ParsedRequest;
+use crate::reactor::{Job, JobQueue, Reactor, ReactorConfig, ReactorShared, Responder};
+use crate::registry::{LoadedModel, ModelKey, ModelRegistry};
 use crate::workload::WorkloadId;
 use crate::ServeError;
+use lam_core::batch::{BatchScheduler, BatchTarget, SchedulerOptions};
 use lam_obs::expose::PROMETHEUS_CONTENT_TYPE;
-use lam_obs::{Counter, Gauge, Histogram, PhaseSet};
+use lam_obs::{Counter, Gauge, Histogram, PhaseSet, SpanTimer};
 use serde::{Deserialize, Serialize};
-use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
@@ -196,12 +204,75 @@ impl Default for ServerOptions {
     }
 }
 
+/// Full event-driven server configuration: the compatible
+/// [`ServerOptions`] core plus the reactor, queueing, and batching knobs
+/// the event-driven rewrite added. [`start`] uses the defaults;
+/// [`start_with`] takes this.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, handler-thread count, and body cap.
+    pub opts: ServerOptions,
+    /// Open-connection cap; accepts beyond it are answered 503 + close.
+    pub max_connections: usize,
+    /// Close a connection with no request in progress after this long.
+    pub idle_timeout: Duration,
+    /// Close a connection stalled mid-request (slowloris) with a 408
+    /// after this long without a byte.
+    pub header_timeout: Duration,
+    /// In-flight pipelined requests per connection before the reactor
+    /// stops reading from it (backpressure, not an error).
+    pub pipeline_depth: usize,
+    /// Dispatch-queue depth between the reactor and the handler pool;
+    /// beyond it requests shed with 503 + `retry-after`.
+    pub dispatch_queue: usize,
+    /// How long graceful shutdown waits for in-flight requests before
+    /// force-closing.
+    pub drain_deadline: Duration,
+    /// `retry-after` seconds on shed responses.
+    pub retry_after_secs: u32,
+    /// Cross-connection micro-batching knobs (flush size/deadline, row
+    /// budget, executor threads).
+    pub batch: SchedulerOptions,
+    /// Requests with at least this many rows skip the coalescing
+    /// scheduler and predict directly on the handler thread — they are
+    /// already a full micro-batch, so queueing them buys nothing.
+    pub direct_batch_rows: usize,
+}
+
+impl ServeConfig {
+    /// Event-driven defaults around the given compatible core options.
+    pub fn new(opts: ServerOptions) -> Self {
+        Self {
+            opts,
+            max_connections: 1024,
+            idle_timeout: Duration::from_secs(60),
+            header_timeout: Duration::from_secs(10),
+            pipeline_depth: 32,
+            dispatch_queue: 256,
+            drain_deadline: Duration::from_secs(5),
+            retry_after_secs: 1,
+            batch: SchedulerOptions::default(),
+            direct_batch_rows: lam_core::batch::DEFAULT_MICRO_BATCH,
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::new(ServerOptions::default())
+    }
+}
+
 /// A running server; dropping the handle leaves it running, call
 /// [`ServerHandle::stop`] for a clean shutdown.
 pub struct ServerHandle {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    shared: Arc<ReactorShared>,
+    queue: Arc<JobQueue>,
+    reactor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    scheduler: Arc<BatchScheduler>,
 }
 
 impl ServerHandle {
@@ -210,17 +281,19 @@ impl ServerHandle {
         self.local_addr
     }
 
-    /// Signal shutdown and join every worker. Idempotent-safe: workers
-    /// notice the flag on their next accept/read timeout tick.
+    /// Graceful shutdown: stop accepting, let in-flight requests finish
+    /// (up to the configured drain deadline), then join every thread.
     pub fn stop(self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Nudge blocked accepts awake.
-        for _ in 0..self.workers.len() {
-            let _ = TcpStream::connect(self.local_addr);
-        }
+        self.shared.wake();
+        let _ = self.reactor.join();
+        self.queue.close();
         for w in self.workers {
             let _ = w.join();
         }
+        // Last-reference drop drains and joins the batch executors (the
+        // queue and workers holding hints/clones are gone by now).
+        drop(self.scheduler);
     }
 }
 
@@ -228,44 +301,68 @@ impl ServerHandle {
 /// uptime) and wall (`started_at`, pre-formatted RFC 3339 so `/healthz`
 /// never formats a timestamp per request).
 #[derive(Clone)]
-struct ServerClock {
-    started: Instant,
-    started_at: Arc<str>,
+pub(crate) struct ServerClock {
+    pub(crate) started: Instant,
+    pub(crate) started_at: Arc<str>,
 }
 
-/// Start serving `registry` per `opts`. Returns once the listener is
-/// bound; serving happens on background workers.
+/// Start serving `registry` per `opts` with default event-driven
+/// settings. Returns once the listener is bound; serving happens on the
+/// reactor + handler threads.
 pub fn start(
     registry: Arc<ModelRegistry>,
     opts: ServerOptions,
 ) -> Result<ServerHandle, ServeError> {
-    let listener = TcpListener::bind(&opts.addr)?;
+    start_with(registry, ServeConfig::new(opts))
+}
+
+/// Start serving `registry` with full control over the event-driven
+/// knobs. Returns once the listener is bound.
+pub fn start_with(
+    registry: Arc<ModelRegistry>,
+    cfg: ServeConfig,
+) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(&cfg.opts.addr)?;
     let local_addr = listener.local_addr()?;
-    let listener = Arc::new(listener);
     let stop = Arc::new(AtomicBool::new(false));
     let clock = ServerClock {
         started: Instant::now(),
         started_at: lam_obs::time::rfc3339(std::time::SystemTime::now()).into(),
     };
-    let workers = (0..opts.workers.max(1))
+    let scheduler = Arc::new(BatchScheduler::new(cfg.batch.clone()));
+    let queue = JobQueue::new(cfg.dispatch_queue);
+    queue.set_hint_source(Arc::clone(&scheduler));
+    let shared = ReactorShared::new()?;
+    let reactor = Reactor::new(
+        listener,
+        ReactorConfig {
+            max_body: cfg.opts.max_body,
+            max_connections: cfg.max_connections,
+            idle_timeout: cfg.idle_timeout,
+            header_timeout: cfg.header_timeout,
+            pipeline_depth: cfg.pipeline_depth.max(1),
+            drain_deadline: cfg.drain_deadline,
+            retry_after_secs: cfg.retry_after_secs,
+        },
+        Arc::clone(&queue),
+        Arc::clone(&shared),
+        Arc::clone(&stop),
+    )?;
+    let reactor = std::thread::spawn(move || reactor.run());
+    let ctx = Arc::new(HandlerCtx {
+        registry,
+        clock,
+        scheduler: Arc::clone(&scheduler),
+        retry_after_secs: cfg.retry_after_secs,
+        direct_batch_rows: cfg.direct_batch_rows.max(1),
+    });
+    let workers = (0..cfg.opts.workers.max(1))
         .map(|_| {
-            let listener = Arc::clone(&listener);
-            let registry = Arc::clone(&registry);
-            let stop = Arc::clone(&stop);
-            let clock = clock.clone();
-            let max_body = opts.max_body;
+            let queue = Arc::clone(&queue);
+            let ctx = Arc::clone(&ctx);
             std::thread::spawn(move || {
-                while !stop.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            handle_connection(stream, &registry, &stop, &clock, max_body)
-                        }
-                        // Transient accept errors (ECONNABORTED from a
-                        // client resetting mid-handshake, EMFILE under fd
-                        // pressure) must not kill the worker; back off
-                        // briefly and keep accepting until shutdown.
-                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
-                    }
+                while let Some(job) = queue.pop() {
+                    handle_job(job, &ctx);
                 }
             })
         })
@@ -273,16 +370,166 @@ pub fn start(
     Ok(ServerHandle {
         local_addr,
         stop,
+        shared,
+        queue,
+        reactor,
         workers,
+        scheduler,
     })
 }
 
-/// One parsed HTTP request.
-struct Request {
-    method: String,
-    path: String,
-    keep_alive: bool,
-    body: Vec<u8>,
+/// Everything a handler thread needs to serve one request.
+struct HandlerCtx {
+    registry: Arc<ModelRegistry>,
+    clock: ServerClock,
+    scheduler: Arc<BatchScheduler>,
+    retry_after_secs: u32,
+    direct_batch_rows: usize,
+}
+
+/// Serve one dispatched request on a handler thread. Most endpoints
+/// compute synchronously and answer through the responder; small
+/// `/predict` requests go asynchronous through the batch scheduler, and
+/// their accounting + response happen in the completion.
+fn handle_job(job: Job, ctx: &HandlerCtx) {
+    let Job {
+        req,
+        responder,
+        hint,
+    } = job;
+    let metrics = http_metrics();
+    let in_flight = metrics.in_flight.track();
+    let started = lam_obs::enabled().then(Instant::now);
+    let endpoint = endpoint_index(&req.method, &req.path);
+    if req.method == "POST" && req.path == "/predict" {
+        handle_predict(req, responder, ctx, hint, started, endpoint);
+        drop(in_flight);
+        return;
+    }
+    // No rows will be submitted from this request: release the
+    // scheduler's producer hint before potentially slow work (/tune) so
+    // co-batchable traffic is not held waiting on it.
+    drop(hint);
+    let (status, content_type, body) = route(&req, &ctx.registry, &ctx.clock);
+    metrics.requests[endpoint][status_class_index(status)].inc();
+    if let Some(started) = started {
+        metrics.duration[endpoint].record(started.elapsed().as_nanos() as u64);
+    }
+    responder.send(status, content_type, body, None);
+    drop(in_flight);
+}
+
+/// Close out one request's accounting: status-class counter + duration.
+fn account_request(endpoint: usize, status: u16, started: Option<Instant>) {
+    let metrics = http_metrics();
+    metrics.requests[endpoint][status_class_index(status)].inc();
+    if let Some(started) = started {
+        metrics.duration[endpoint].record(started.elapsed().as_nanos() as u64);
+    }
+}
+
+/// The `/predict` path of the event-driven server. Parse, validate, and
+/// resolve run here on the handler thread (errors answer immediately);
+/// small-row requests then submit to the cross-connection
+/// [`BatchScheduler`] and finish in its completion, while
+/// already-batch-sized requests predict directly — coalescing them buys
+/// nothing.
+fn handle_predict(
+    req: ParsedRequest,
+    responder: Responder,
+    ctx: &HandlerCtx,
+    hint: Option<lam_core::batch::ProducerGuard>,
+    started: Option<Instant>,
+    endpoint: usize,
+) {
+    let start = Instant::now();
+    let mut span = predict_phases().start();
+    let plan = match plan_predict(&req.body, &ctx.registry, &mut span) {
+        Ok(plan) => plan,
+        Err((status, error)) => {
+            drop(hint);
+            account_request(endpoint, status, started);
+            responder.send(status, JSON_CONTENT_TYPE, error_body(&error), None);
+            return;
+        }
+    };
+    if plan.rows.len() >= ctx.direct_batch_rows {
+        // Already batch-sized: coalescing with other requests buys
+        // nothing, so predict directly and keep the scheduler queue for
+        // the small requests that need it.
+        drop(hint);
+        let outcome = match plan.model.predict_checked(&plan.rows) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                account_request(endpoint, 400, started);
+                responder.send(400, JSON_CONTENT_TYPE, error_body(&e.to_string()), None);
+                return;
+            }
+        };
+        span.mark("predict");
+        let body = serde_json::to_string(&PredictResponse {
+            model: plan.key.to_string(),
+            predictions: outcome.predictions,
+            cache_hits: outcome.cache_hits,
+            micros: start.elapsed().as_micros() as u64,
+        });
+        span.mark("serialize");
+        match body {
+            Ok(body) => {
+                account_request(endpoint, 200, started);
+                responder.send(200, JSON_CONTENT_TYPE, body, None);
+            }
+            Err(e) => {
+                account_request(endpoint, 500, started);
+                responder.send(500, JSON_CONTENT_TYPE, error_body(&e.to_string()), None);
+            }
+        }
+        return;
+    }
+    let permit = match ctx.scheduler.try_reserve(plan.rows.len()) {
+        Ok(permit) => permit,
+        Err(e) => {
+            drop(hint);
+            account_request(endpoint, 503, started);
+            responder.send(
+                503,
+                JSON_CONTENT_TYPE,
+                error_body(&format!("server overloaded: {e}")),
+                Some(ctx.retry_after_secs),
+            );
+            return;
+        }
+    };
+    let key = plan.key.to_string();
+    let target: Arc<dyn BatchTarget> = plan.model;
+    permit.submit(
+        target,
+        plan.rows,
+        Box::new(move |outcome| {
+            span.mark("predict");
+            let body = serde_json::to_string(&PredictResponse {
+                model: key,
+                predictions: outcome.predictions,
+                cache_hits: outcome.cache_hits,
+                micros: start.elapsed().as_micros() as u64,
+            });
+            span.mark("serialize");
+            match body {
+                Ok(body) => {
+                    account_request(endpoint, 200, started);
+                    responder.send(200, JSON_CONTENT_TYPE, body, None);
+                }
+                Err(e) => {
+                    account_request(endpoint, 500, started);
+                    responder.send(500, JSON_CONTENT_TYPE, error_body(&e.to_string()), None);
+                }
+            }
+        }),
+    );
+    // The submission is queued: only now may the producer hint drop
+    // (releasing it earlier could flush a batch this request would have
+    // joined).
+    drop(hint);
 }
 
 /// Endpoint labels for request metrics — a fixed classification, because
@@ -309,13 +556,13 @@ const STATUS_CLASSES: [&str; 3] = ["2xx", "4xx", "5xx"];
 /// `(endpoint, status class)`, one latency histogram per endpoint, one
 /// in-flight gauge. Interned once; the per-request cost is a relaxed
 /// `fetch_add` or three, never a registry lock.
-struct HttpMetrics {
-    requests: Vec<[Arc<Counter>; 3]>,
-    duration: Vec<Arc<Histogram>>,
-    in_flight: Arc<Gauge>,
+pub(crate) struct HttpMetrics {
+    pub(crate) requests: Vec<[Arc<Counter>; 3]>,
+    pub(crate) duration: Vec<Arc<Histogram>>,
+    pub(crate) in_flight: Arc<Gauge>,
 }
 
-fn http_metrics() -> &'static HttpMetrics {
+pub(crate) fn http_metrics() -> &'static HttpMetrics {
     static METRICS: OnceLock<HttpMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let reg = lam_obs::global();
@@ -352,7 +599,7 @@ fn http_metrics() -> &'static HttpMetrics {
 }
 
 /// Index into [`ENDPOINTS`] for a parsed request.
-fn endpoint_index(method: &str, path: &str) -> usize {
+pub(crate) fn endpoint_index(method: &str, path: &str) -> usize {
     let name = match (method, path) {
         ("GET", "/healthz") => "healthz",
         ("GET", "/models") => "models",
@@ -372,7 +619,7 @@ fn endpoint_index(method: &str, path: &str) -> usize {
 
 /// Index into [`STATUS_CLASSES`]. The server never emits 1xx/3xx, so
 /// everything below 400 is success and everything from 500 up is 5xx.
-fn status_class_index(status: u16) -> usize {
+pub(crate) fn status_class_index(status: u16) -> usize {
     match status {
         0..=399 => 0,
         400..=499 => 1,
@@ -380,216 +627,43 @@ fn status_class_index(status: u16) -> usize {
     }
 }
 
-/// Serve keep-alive requests on one connection until the peer closes,
-/// a request asks to close, or shutdown is signalled.
-fn handle_connection(
-    stream: TcpStream,
-    registry: &Arc<ModelRegistry>,
-    stop: &AtomicBool,
-    clock: &ServerClock,
-    max_body: usize,
-) {
-    // Short read timeout so idle keep-alive connections re-check the stop
-    // flag a few times a second.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let _ = stream.set_nodelay(true);
-    let Ok(reader_stream) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(reader_stream);
-    let mut writer = stream;
-    while !stop.load(Ordering::SeqCst) {
-        match read_request(&mut reader, stop, max_body) {
-            Ok(Some(req)) => {
-                let keep_alive = req.keep_alive;
-                let metrics = http_metrics();
-                let _in_flight = metrics.in_flight.track();
-                let handling_started = lam_obs::enabled().then(Instant::now);
-                let (status, content_type, body) = route(&req, registry, clock);
-                let endpoint = endpoint_index(&req.method, &req.path);
-                metrics.requests[endpoint][status_class_index(status)].inc();
-                if let Some(started) = handling_started {
-                    metrics.duration[endpoint].record(started.elapsed().as_nanos() as u64);
-                }
-                if write_response(&mut writer, status, content_type, &body, keep_alive).is_err()
-                    || !keep_alive
-                {
-                    return;
-                }
-            }
-            Ok(None) => return,               // peer closed cleanly
-            Err(ReadError::Idle) => continue, // timeout before any byte: poll stop flag
-            Err(ReadError::Malformed(msg)) => {
-                // A response is still served, so the request must land in
-                // the same status-class accounting as routed requests —
-                // previously this path bypassed accounting entirely and a
-                // garbage request was indistinguishable from no request.
-                let metrics = http_metrics();
-                let malformed = ENDPOINTS
-                    .iter()
-                    .position(|&e| e == "malformed")
-                    .expect("malformed is in ENDPOINTS");
-                metrics.requests[malformed][status_class_index(400)].inc();
-                let body = serde_json::to_string(&ErrorResponse { error: msg })
-                    .unwrap_or_else(|_| "{}".to_string());
-                let _ = write_response(&mut writer, 400, JSON_CONTENT_TYPE, &body, false);
-                return;
-            }
-            Err(ReadError::Closed) => return,
-        }
-    }
-}
-
-enum ReadError {
-    /// Timeout with no bytes consumed — safe to retry.
-    Idle,
-    /// Connection died (possibly mid-request).
-    Closed,
-    /// Syntactically invalid request.
-    Malformed(String),
-}
-
-/// Longest accepted request line or header line, bytes. Bounds
-/// per-connection memory for the pre-body part of a request the way
-/// `max_body` bounds the body.
-const MAX_HEADER_LINE: usize = 16 << 10;
-
-/// Read one `\n`-terminated line without losing partially received bytes
-/// across read timeouts: `read_until` keeps consumed bytes in `buf` on
-/// error, where `read_line`'s UTF-8 guard would discard them and corrupt
-/// the next parse. `Ok(None)` means EOF with nothing read; a line beyond
-/// [`MAX_HEADER_LINE`] is malformed (never an unbounded buffer).
-///
-/// `idle_on_empty` distinguishes the request line (a timeout before any
-/// byte is an idle keep-alive tick the caller polls through) from header
-/// lines (mid-request, so a stall just keeps waiting until shutdown).
-fn read_line_resilient(
-    reader: &mut BufReader<TcpStream>,
-    stop: &AtomicBool,
-    idle_on_empty: bool,
-) -> Result<Option<String>, ReadError> {
-    let mut raw = Vec::new();
-    loop {
-        // Bound each fill so an endless un-terminated stream trips the
-        // length check instead of growing `raw` without limit.
-        let budget = MAX_HEADER_LINE + 1 - raw.len().min(MAX_HEADER_LINE);
-        match (&mut *reader)
-            .take(budget as u64)
-            .read_until(b'\n', &mut raw)
-        {
-            Ok(0) => {
-                return if raw.is_empty() {
-                    Ok(None)
-                } else {
-                    Err(ReadError::Closed)
-                };
-            }
-            Ok(_) if raw.last() == Some(&b'\n') => break,
-            Ok(_) => {
-                if raw.len() > MAX_HEADER_LINE {
-                    return Err(ReadError::Malformed(format!(
-                        "request line or header exceeds {MAX_HEADER_LINE} bytes"
-                    )));
-                }
-                // Short read without a newline: keep accumulating.
-            }
-            Err(e) if is_timeout(&e) => {
-                if stop.load(Ordering::SeqCst) {
-                    return Err(ReadError::Closed);
-                }
-                if raw.is_empty() && idle_on_empty {
-                    return Err(ReadError::Idle);
-                }
-                // Stalled mid-line: the partial bytes stay in `raw`.
-            }
-            Err(_) => return Err(ReadError::Closed),
-        }
-    }
-    String::from_utf8(raw)
-        .map(Some)
-        .map_err(|_| ReadError::Malformed("request bytes are not utf-8".to_string()))
-}
-
-fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    stop: &AtomicBool,
-    max_body: usize,
-) -> Result<Option<Request>, ReadError> {
-    // Request line.
-    let Some(line) = read_line_resilient(reader, stop, true)? else {
-        return Ok(None);
-    };
-    let mut parts = line.split_whitespace();
-    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
-        return Err(ReadError::Malformed("malformed request line".to_string()));
-    };
-    let method = method.to_string();
-    let path = path.to_string();
-
-    // Headers.
-    let mut content_length = 0usize;
-    let mut keep_alive = true; // HTTP/1.1 default
-    loop {
-        let Some(header) = read_line_resilient(reader, stop, false)? else {
-            return Err(ReadError::Closed);
-        };
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = header.split_once(':') {
-            let value = value.trim();
-            match name.to_ascii_lowercase().as_str() {
-                "content-length" => {
-                    content_length = value
-                        .parse()
-                        .map_err(|_| ReadError::Malformed("bad content-length".to_string()))?;
-                }
-                "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
-                _ => {}
-            }
-        }
-    }
-    if content_length > max_body {
-        return Err(ReadError::Malformed(format!(
-            "body of {content_length} bytes exceeds limit {max_body}"
-        )));
-    }
-
-    // Body, tolerating timeouts mid-transfer (progress is kept in `body`).
-    let mut body = vec![0u8; content_length];
-    let mut filled = 0usize;
-    while filled < content_length {
-        match reader.read(&mut body[filled..]) {
-            Ok(0) => return Err(ReadError::Closed),
-            Ok(n) => filled += n,
-            Err(e) if is_timeout(&e) => {
-                if stop.load(Ordering::SeqCst) {
-                    return Err(ReadError::Closed);
-                }
-            }
-            Err(_) => return Err(ReadError::Closed),
-        }
-    }
-    Ok(Some(Request {
-        method,
-        path,
-        keep_alive,
-        body,
-    }))
-}
-
-fn is_timeout(e: &std::io::Error) -> bool {
-    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
-}
-
 /// `content-type` of every JSON response.
-const JSON_CONTENT_TYPE: &str = "application/json";
+pub(crate) const JSON_CONTENT_TYPE: &str = "application/json";
+
+/// Serialize an [`ErrorResponse`] body for `msg`.
+pub(crate) fn error_body(msg: &str) -> String {
+    serde_json::to_string(&ErrorResponse {
+        error: msg.to_string(),
+    })
+    .unwrap_or_else(|_| "{}".to_string())
+}
+
+/// Account a request whose bytes never parsed into a request (or that
+/// timed out mid-headers): a response is still served, so it must land
+/// in the same status-class accounting as routed requests — otherwise a
+/// garbage request is indistinguishable from no request.
+pub(crate) fn account_malformed(status: u16) {
+    let malformed = ENDPOINTS
+        .iter()
+        .position(|&e| e == "malformed")
+        .expect("malformed is in ENDPOINTS");
+    http_metrics().requests[malformed][status_class_index(status)].inc();
+}
+
+/// Account a parsed-but-shed request (dispatch queue full or connection
+/// limit hit before a handler ever saw it). The 503 lands under the
+/// request's real endpoint so shed load is attributable per route; no
+/// duration is recorded because no handling happened.
+pub(crate) fn account_shed(req: &ParsedRequest) {
+    let endpoint = endpoint_index(&req.method, &req.path);
+    http_metrics().requests[endpoint][status_class_index(503)].inc();
+}
 
 /// Dispatch a request to its endpoint; returns
-/// `(status, content-type, body)`.
-fn route(
-    req: &Request,
+/// `(status, content-type, body)`. Shared by the event-driven handler
+/// pool and the reference blocking server.
+pub(crate) fn route(
+    req: &ParsedRequest,
     registry: &Arc<ModelRegistry>,
     clock: &ServerClock,
 ) -> (u16, &'static str, String) {
@@ -723,11 +797,24 @@ fn predict_phases() -> &'static PhaseSet {
     })
 }
 
-fn predict(req: &Request, registry: &Arc<ModelRegistry>) -> RouteResult {
-    let start = Instant::now();
-    let mut span = predict_phases().start();
-    let body =
-        std::str::from_utf8(&req.body).map_err(|_| (400, "body is not utf-8".to_string()))?;
+/// A validated, resolved `/predict` request, ready to execute: either
+/// inline (reference server, large batches) or via the cross-connection
+/// batch scheduler.
+struct PredictPlan {
+    key: ModelKey,
+    model: Arc<LoadedModel>,
+    rows: Vec<Vec<f64>>,
+}
+
+/// The parse → validate → resolve front half of `/predict`, shared by the
+/// synchronous [`predict`] route and the scheduler-backed
+/// [`handle_predict`]. Marks the phases it completes on `span`.
+fn plan_predict(
+    body: &[u8],
+    registry: &Arc<ModelRegistry>,
+    span: &mut SpanTimer<'static>,
+) -> Result<PredictPlan, (u16, String)> {
+    let body = std::str::from_utf8(body).map_err(|_| (400, "body is not utf-8".to_string()))?;
     let parsed: PredictRequest = serde_json::from_str(body).map_err(|e| (400, e.to_string()))?;
     span.mark("parse");
     let workload: WorkloadId = parsed.workload.parse().map_err(bad_request)?;
@@ -748,10 +835,24 @@ fn predict(req: &Request, registry: &Arc<ModelRegistry>) -> RouteResult {
     let key = ModelKey::new(workload, kind, version);
     let model = registry.get(key).map_err(|e| (500, e.to_string()))?;
     span.mark("resolve");
-    let outcome = model.predict_checked(&parsed.rows).map_err(bad_request)?;
+    Ok(PredictPlan {
+        key,
+        model,
+        rows: parsed.rows,
+    })
+}
+
+fn predict(req: &ParsedRequest, registry: &Arc<ModelRegistry>) -> RouteResult {
+    let start = Instant::now();
+    let mut span = predict_phases().start();
+    let plan = plan_predict(&req.body, registry, &mut span)?;
+    let outcome = plan
+        .model
+        .predict_checked(&plan.rows)
+        .map_err(bad_request)?;
     span.mark("predict");
     let response = json_ok(&PredictResponse {
-        model: key.to_string(),
+        model: plan.key.to_string(),
         predictions: outcome.predictions,
         cache_hits: outcome.cache_hits,
         micros: start.elapsed().as_micros() as u64,
@@ -772,7 +873,7 @@ pub const MAX_TUNE_BUDGET: usize = 4096;
 /// Largest `/tune` `top_k` (bounds the response body).
 pub const MAX_TUNE_TOP_K: usize = 100;
 
-fn tune(req: &Request, registry: &Arc<ModelRegistry>) -> RouteResult {
+fn tune(req: &ParsedRequest, registry: &Arc<ModelRegistry>) -> RouteResult {
     let start = Instant::now();
     let body =
         std::str::from_utf8(&req.body).map_err(|_| (400, "body is not utf-8".to_string()))?;
@@ -826,30 +927,6 @@ fn tune(req: &Request, registry: &Arc<ModelRegistry>) -> RouteResult {
         report,
         micros: start.elapsed().as_micros() as u64,
     })
-}
-
-fn write_response(
-    writer: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &str,
-    keep_alive: bool,
-) -> std::io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        _ => "Internal Server Error",
-    };
-    let connection = if keep_alive { "keep-alive" } else { "close" };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
-        body.len()
-    );
-    writer.write_all(head.as_bytes())?;
-    writer.write_all(body.as_bytes())?;
-    writer.flush()
 }
 
 #[cfg(test)]

@@ -16,11 +16,19 @@
 //!   and memoizes loaded models behind `Arc`;
 //! * [`batch`] — request-row validation in front of the shared
 //!   [`lam_core::batch`] prediction cache + micro-batch executor;
-//! * [`http`] — a dependency-free HTTP/JSON server over
-//!   `std::net::TcpListener` with `/predict`, `/tune` (a thin shim over
-//!   the `lam-tune` autotuner), `/models`, `/workloads`, and `/healthz`;
-//! * [`loadgen`] — a load generator reporting throughput and
-//!   p50/p95/p99 latency against a running server.
+//! * [`http`] — an event-driven HTTP/JSON server (epoll reactor, vendored
+//!   shim, no external async stack) with `/predict`, `/tune` (a thin shim
+//!   over the `lam-tune` autotuner), `/models`, `/workloads`, and
+//!   `/healthz`; small `/predict` requests coalesce into cross-connection
+//!   micro-batches, and both the dispatch queue and the batch queue shed
+//!   with `503` + `retry-after` under overload;
+//! * [`proto`] — the incremental HTTP/1.1 request parser and response
+//!   encoder shared by the reactor's per-connection state machines;
+//! * [`reference`] — the original blocking thread-per-connection server,
+//!   kept as the benchmark baseline for the reactor;
+//! * [`loadgen`] — a load generator (closed-loop, pipelined, or open-loop)
+//!   reporting throughput and p50/p90/p95/p99 latency against a running
+//!   server.
 //!
 //! Binaries: `serve` (train-or-load + HTTP), `loadgen`, and `tune`
 //! (autotune a workload from the command line).
@@ -47,6 +55,9 @@ pub mod batch;
 pub mod http;
 pub mod loadgen;
 pub mod persist;
+pub mod proto;
+pub(crate) mod reactor;
+pub mod reference;
 pub mod registry;
 pub mod tuning;
 pub mod workload;

@@ -1,6 +1,23 @@
 //! Load generation against a running `lam-serve` HTTP server: hammer
 //! `/predict` from concurrent keep-alive connections and report
-//! throughput plus p50/p95/p99 latency.
+//! throughput plus p50/p90/p95/p99 latency.
+//!
+//! Three drive modes ([`LoadMode`]):
+//!
+//! * **closed** — each connection waits for a response before sending the
+//!   next request; measures the server at the concurrency the client
+//!   imposes.
+//! * **pipeline(N)** — each connection keeps N requests in flight
+//!   (HTTP/1.1 pipelining); exercises the reactor's per-connection
+//!   in-order response queue and amortizes syscalls on both sides.
+//! * **open-loop(R)** — requests are paced at R per second across all
+//!   connections regardless of completions (bounded by a per-connection
+//!   in-flight window so a stalled server cannot wedge the client);
+//!   offered load beyond capacity shows up as rising latency and shed
+//!   `503`s rather than a silently slowing client.
+//!
+//! `503` responses are tallied separately as `shed` — they are the
+//! server's load-shedding contract working, not an error.
 //!
 //! Request bodies are prebuilt from a rotating pool of real feature rows
 //! (drawn from the target workload's configuration space), so after the
@@ -12,11 +29,37 @@ use crate::persist::ModelKind;
 use crate::workload::WorkloadId;
 use crate::ServeError;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
+
+/// How requests are driven onto the connections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// One request in flight per connection (request–response lockstep).
+    Closed,
+    /// Keep this many requests in flight per connection (HTTP/1.1
+    /// pipelining; responses are matched to sends in order).
+    Pipeline(usize),
+    /// Pace sends at this many requests per second across all
+    /// connections, independent of completions.
+    OpenLoop {
+        /// Offered request rate, requests/second, across all connections.
+        rps: f64,
+    },
+}
+
+impl std::fmt::Display for LoadMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadMode::Closed => write!(f, "closed"),
+            LoadMode::Pipeline(n) => write!(f, "pipeline({n})"),
+            LoadMode::OpenLoop { rps } => write!(f, "open-loop({rps:.0}/s)"),
+        }
+    }
+}
 
 /// Load-run parameters.
 #[derive(Debug, Clone)]
@@ -37,6 +80,8 @@ pub struct LoadgenOptions {
     pub batch: usize,
     /// Distinct feature rows in the rotating pool.
     pub pool: usize,
+    /// How requests are driven (closed loop, pipelined, or open loop).
+    pub mode: LoadMode,
 }
 
 impl Default for LoadgenOptions {
@@ -50,6 +95,7 @@ impl Default for LoadgenOptions {
             connections: 4,
             batch: 64,
             pool: 256,
+            mode: LoadMode::Closed,
         }
     }
 }
@@ -57,20 +103,30 @@ impl Default for LoadgenOptions {
 /// Aggregated outcome of one load run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LoadReport {
+    /// Drive mode the run used (rendered [`LoadMode`]).
+    pub mode: String,
     /// Requests completed successfully.
     pub requests: u64,
     /// Predictions returned (rows across all successful requests).
     pub predictions: u64,
-    /// Failed requests (transport or non-200).
+    /// Requests answered `503` — the server shedding load as designed.
+    pub shed: u64,
+    /// Failed requests (transport or unexpected status).
     pub errors: u64,
     /// Measured wall-clock duration, seconds.
     pub elapsed_s: f64,
     /// Predictions per second.
     pub throughput: f64,
-    /// Requests per second.
+    /// Completed (2xx) requests per second.
     pub rps: f64,
+    /// Sent requests per second — in open-loop mode the offered rate the
+    /// pacer actually achieved; elsewhere equals completions + sheds +
+    /// errors over elapsed.
+    pub offered_rps: f64,
     /// Median request latency, microseconds.
     pub p50_us: f64,
+    /// 90th-percentile request latency, microseconds.
+    pub p90_us: f64,
     /// 95th-percentile request latency, microseconds.
     pub p95_us: f64,
     /// 99th-percentile request latency, microseconds.
@@ -107,6 +163,13 @@ impl HttpClient {
         path: &str,
         body: &str,
     ) -> Result<(u16, String), ServeError> {
+        self.send(method, path, body)?;
+        self.recv()
+    }
+
+    /// Write a request without waiting for its response (pipelining);
+    /// match sends to [`HttpClient::recv`] calls in order.
+    pub fn send(&mut self, method: &str, path: &str, body: &str) -> Result<(), ServeError> {
         let head = format!(
             "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
             self.host,
@@ -115,6 +178,11 @@ impl HttpClient {
         self.writer.write_all(head.as_bytes())?;
         self.writer.write_all(body.as_bytes())?;
         self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Read the next response off the connection; returns `(status, body)`.
+    pub fn recv(&mut self) -> Result<(u16, String), ServeError> {
         self.read_response()
     }
 
@@ -274,6 +342,27 @@ impl MetricsScrape {
             .sum()
     }
 
+    /// Sum of a gauge family across all label sets (instantaneous, not
+    /// delta-able).
+    pub fn gauge_total(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .filter(|g| g.name == name)
+            .map(|g| g.value)
+            .sum()
+    }
+
+    /// Value of a counter series with `label == value`, summed across any
+    /// remaining labels.
+    pub fn counter_with_label(&self, name: &str, label: (&str, &str)) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .filter(|c| c.labels.get(label.0).is_some_and(|v| v == label.1))
+            .map(|c| c.value.max(0) as u64)
+            .sum()
+    }
+
     /// `(count, sum)` of a histogram family across all label sets,
     /// optionally restricted to series carrying `label == value`.
     pub fn histogram_totals(&self, name: &str, label: Option<(&str, &str)>) -> (u64, u64) {
@@ -358,7 +447,27 @@ pub fn format_server_breakdown(before: &MetricsScrape, after: &MetricsScrape) ->
             rows.1 as f64 / rows.0 as f64
         }
     );
-    let _ = write!(out, "  queue wait       {:>10.1}us mean", mean_us(wait));
+    let _ = writeln!(out, "  queue wait       {:>10.1}us mean", mean_us(wait));
+
+    // Event-driven serve core: how well cross-connection coalescing and
+    // shedding worked over the run.
+    let occupancy = hist_delta("lam_batch_occupancy", None);
+    let _ = writeln!(
+        out,
+        "  batch occupancy  {:>12.2} mean requests/flush",
+        if occupancy.0 == 0 {
+            0.0
+        } else {
+            occupancy.1 as f64 / occupancy.0 as f64
+        }
+    );
+    let shed = delta("lam_requests_shed_total");
+    let _ = writeln!(out, "  requests shed    {shed:>12}");
+    let _ = write!(
+        out,
+        "  connections open {:>12} (at scrape)",
+        after.gauge_total("lam_connections_open")
+    );
     out
 }
 
@@ -401,7 +510,141 @@ struct WorkerStats {
     latencies_us: Vec<u64>,
     predictions: u64,
     cache_hits: u64,
+    shed: u64,
     errors: u64,
+    offered: u64,
+}
+
+impl WorkerStats {
+    /// Classify one response: 2xx with a parseable body counts with its
+    /// latency, 503 is the server shedding (by design, not an error),
+    /// anything else is an error.
+    fn tally(&mut self, status: u16, body: &str, sent: Instant) {
+        match status {
+            200 => match serde_json::from_str::<PredictResponse>(body) {
+                Ok(r) => {
+                    self.latencies_us.push(sent.elapsed().as_micros() as u64);
+                    self.predictions += r.predictions.len() as u64;
+                    self.cache_hits += r.cache_hits;
+                }
+                Err(_) => self.errors += 1,
+            },
+            503 => self.shed += 1,
+            _ => self.errors += 1,
+        }
+    }
+}
+
+/// Closed loop: request–response lockstep per connection.
+fn drive_closed(
+    client: &mut HttpClient,
+    bodies: &[String],
+    mut i: usize,
+    deadline: Duration,
+    stats: &mut WorkerStats,
+) -> Result<(), ServeError> {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        let body = &bodies[i % bodies.len()];
+        i += 1;
+        let sent = Instant::now();
+        stats.offered += 1;
+        let (status, response) = client.request("POST", "/predict", body)?;
+        stats.tally(status, &response, sent);
+    }
+    Ok(())
+}
+
+/// Pipelined: keep `depth` requests in flight, matching responses to
+/// sends in order (the reactor guarantees in-order responses per
+/// connection).
+fn drive_pipelined(
+    client: &mut HttpClient,
+    bodies: &[String],
+    mut i: usize,
+    deadline: Duration,
+    depth: usize,
+    stats: &mut WorkerStats,
+) -> Result<(), ServeError> {
+    let start = Instant::now();
+    let mut in_flight: VecDeque<Instant> = VecDeque::with_capacity(depth);
+    while in_flight.len() < depth {
+        let sent = Instant::now();
+        client.send("POST", "/predict", &bodies[i % bodies.len()])?;
+        i += 1;
+        stats.offered += 1;
+        in_flight.push_back(sent);
+    }
+    while start.elapsed() < deadline {
+        let (status, response) = client.recv()?;
+        let sent = in_flight.pop_front().expect("a response implies a send");
+        stats.tally(status, &response, sent);
+        let sent = Instant::now();
+        client.send("POST", "/predict", &bodies[i % bodies.len()])?;
+        i += 1;
+        stats.offered += 1;
+        in_flight.push_back(sent);
+    }
+    // Drain the tail so the connection closes clean and every send is
+    // accounted.
+    while let Some(sent) = in_flight.pop_front() {
+        let (status, response) = client.recv()?;
+        stats.tally(status, &response, sent);
+    }
+    Ok(())
+}
+
+/// Largest per-connection in-flight window the open-loop pacer allows.
+/// Bounds client memory and keeps request bytes small enough that a
+/// send can never block against an unread response backlog (which would
+/// deadlock a single-threaded paced sender against a pipelining server).
+const OPEN_LOOP_WINDOW: usize = 64;
+
+/// Open loop: send on a fixed schedule (`interval` between sends)
+/// regardless of completions, up to [`OPEN_LOOP_WINDOW`] outstanding.
+/// When the window is full the pacer must block on a response first —
+/// offered load beyond that shows up in `offered_rps` falling short of
+/// the requested rate.
+fn drive_open_loop(
+    client: &mut HttpClient,
+    bodies: &[String],
+    mut i: usize,
+    deadline: Duration,
+    interval: Duration,
+    stats: &mut WorkerStats,
+) -> Result<(), ServeError> {
+    let start = Instant::now();
+    let mut next_send = start;
+    let mut in_flight: VecDeque<Instant> = VecDeque::new();
+    while start.elapsed() < deadline {
+        let now = Instant::now();
+        if now >= next_send && in_flight.len() < OPEN_LOOP_WINDOW {
+            let sent = Instant::now();
+            client.send("POST", "/predict", &bodies[i % bodies.len()])?;
+            i += 1;
+            stats.offered += 1;
+            in_flight.push_back(sent);
+            next_send += interval;
+            continue;
+        }
+        if in_flight.is_empty() {
+            // Ahead of schedule with nothing outstanding: sleep to the
+            // next slot (capped so the deadline check stays responsive).
+            let wait = next_send
+                .saturating_duration_since(now)
+                .min(Duration::from_millis(50));
+            std::thread::sleep(wait);
+            continue;
+        }
+        let (status, response) = client.recv()?;
+        let sent = in_flight.pop_front().expect("in_flight is non-empty");
+        stats.tally(status, &response, sent);
+    }
+    while let Some(sent) = in_flight.pop_front() {
+        let (status, response) = client.recv()?;
+        stats.tally(status, &response, sent);
+    }
+    Ok(())
 }
 
 /// Run the load and aggregate a [`LoadReport`].
@@ -415,6 +658,7 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadReport, ServeError> {
     let bodies = build_bodies(opts);
     let deadline = Duration::from_secs_f64(opts.seconds);
     let connections = opts.connections.max(1);
+    let mode = opts.mode;
     let barrier = std::sync::Barrier::new(connections);
     let results: Vec<(WorkerStats, f64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
@@ -434,26 +678,29 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadReport, ServeError> {
                     let mut client = setup?;
                     let mut stats = WorkerStats::default();
                     let start = Instant::now();
-                    let mut i = worker;
-                    while start.elapsed() < deadline {
-                        let body = &bodies[i % bodies.len()];
-                        i += 1;
-                        let sent = Instant::now();
-                        match client.post("/predict", body) {
-                            Ok((200, response)) => {
-                                let parsed: Result<PredictResponse, _> =
-                                    serde_json::from_str(&response);
-                                match parsed {
-                                    Ok(r) => {
-                                        stats.latencies_us.push(sent.elapsed().as_micros() as u64);
-                                        stats.predictions += r.predictions.len() as u64;
-                                        stats.cache_hits += r.cache_hits;
-                                    }
-                                    Err(_) => stats.errors += 1,
-                                }
-                            }
-                            Ok(_) => stats.errors += 1,
-                            Err(e) => return Err(e),
+                    match mode {
+                        LoadMode::Closed => {
+                            drive_closed(&mut client, bodies, worker, deadline, &mut stats)?
+                        }
+                        LoadMode::Pipeline(depth) => drive_pipelined(
+                            &mut client,
+                            bodies,
+                            worker,
+                            deadline,
+                            depth.max(1),
+                            &mut stats,
+                        )?,
+                        LoadMode::OpenLoop { rps } => {
+                            // Split the offered rate across connections.
+                            let per_conn = (rps / connections as f64).max(1e-3);
+                            drive_open_loop(
+                                &mut client,
+                                bodies,
+                                worker,
+                                deadline,
+                                Duration::from_secs_f64(1.0 / per_conn),
+                                &mut stats,
+                            )?
                         }
                     }
                     Ok((stats, start.elapsed().as_secs_f64()))
@@ -475,23 +722,31 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadReport, ServeError> {
     let mut latencies: Vec<u64> = Vec::new();
     let mut predictions = 0u64;
     let mut cache_hits = 0u64;
+    let mut shed = 0u64;
     let mut errors = 0u64;
+    let mut offered = 0u64;
     for (s, _) in results {
         latencies.extend(s.latencies_us);
         predictions += s.predictions;
         cache_hits += s.cache_hits;
+        shed += s.shed;
         errors += s.errors;
+        offered += s.offered;
     }
     latencies.sort_unstable();
     let requests = latencies.len() as u64;
     Ok(LoadReport {
+        mode: mode.to_string(),
         requests,
         predictions,
+        shed,
         errors,
         elapsed_s,
         throughput: predictions as f64 / elapsed_s,
         rps: requests as f64 / elapsed_s,
+        offered_rps: offered as f64 / elapsed_s,
         p50_us: percentile_us(&latencies, 0.50),
+        p90_us: percentile_us(&latencies, 0.90),
         p95_us: percentile_us(&latencies, 0.95),
         p99_us: percentile_us(&latencies, 0.99),
         cache_hit_fraction: if predictions == 0 {
@@ -505,23 +760,31 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadReport, ServeError> {
 /// Render a report as an aligned human-readable block.
 pub fn format_report(r: &LoadReport) -> String {
     format!(
-        "requests      {:>12}\n\
+        "mode          {:>12}\n\
+         requests      {:>12}\n\
          predictions   {:>12}\n\
+         shed (503)    {:>12}\n\
          errors        {:>12}\n\
          elapsed       {:>11.2}s\n\
          throughput    {:>12.0} predictions/s\n\
          request rate  {:>12.0} req/s\n\
+         offered rate  {:>12.0} req/s\n\
          latency p50   {:>11.0}us\n\
+         latency p90   {:>11.0}us\n\
          latency p95   {:>11.0}us\n\
          latency p99   {:>11.0}us\n\
          cache hits    {:>11.1}%",
+        r.mode,
         r.requests,
         r.predictions,
+        r.shed,
         r.errors,
         r.elapsed_s,
         r.throughput,
         r.rps,
+        r.offered_rps,
         r.p50_us,
+        r.p90_us,
         r.p95_us,
         r.p99_us,
         100.0 * r.cache_hit_fraction
@@ -612,13 +875,17 @@ mod tests {
     #[test]
     fn report_formats() {
         let r = LoadReport {
+            mode: LoadMode::Pipeline(8).to_string(),
             requests: 10,
             predictions: 640,
+            shed: 3,
             errors: 0,
             elapsed_s: 1.0,
             throughput: 640.0,
             rps: 10.0,
+            offered_rps: 13.0,
             p50_us: 100.0,
+            p90_us: 180.0,
             p95_us: 200.0,
             p99_us: 300.0,
             cache_hit_fraction: 0.5,
@@ -626,7 +893,22 @@ mod tests {
         let s = format_report(&r);
         assert!(s.contains("throughput"));
         assert!(s.contains("640 predictions/s"));
+        assert!(s.contains("pipeline(8)"));
+        assert!(s.contains("shed (503)"));
+        assert!(s.contains("p90"));
         let back: LoadReport = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
         assert_eq!(back.requests, 10);
+        assert_eq!(back.shed, 3);
+        assert_eq!(back.mode, "pipeline(8)");
+    }
+
+    #[test]
+    fn load_modes_render_for_reports() {
+        assert_eq!(LoadMode::Closed.to_string(), "closed");
+        assert_eq!(LoadMode::Pipeline(32).to_string(), "pipeline(32)");
+        assert_eq!(
+            LoadMode::OpenLoop { rps: 2500.0 }.to_string(),
+            "open-loop(2500/s)"
+        );
     }
 }

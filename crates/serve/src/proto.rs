@@ -1,0 +1,404 @@
+//! Incremental HTTP/1.1 request parsing and response encoding for the
+//! event-driven server: pure byte-buffer in, value out — no I/O, no
+//! blocking, so the reactor can feed it whatever a non-blocking read
+//! produced and resume exactly where the bytes ran out.
+//!
+//! The parser is deliberately the same dialect the old blocking reader
+//! accepted: request line + headers terminated by a blank line (bare `\n`
+//! line endings tolerated), `content-length` framing only (no chunked
+//! bodies — no client of this API sends them), `connection: close` as the
+//! sole keep-alive opt-out. What *is* new is that every limit is enforced
+//! incrementally: an unbounded header stream trips [`ParseStep::Invalid`]
+//! as soon as the buffered head exceeds the cap, not after an allocation.
+
+/// One fully parsed request, ready for routing.
+#[derive(Debug)]
+pub struct ParsedRequest {
+    /// Request method, e.g. `GET`.
+    pub method: String,
+    /// Request path, e.g. `/predict`.
+    pub path: String,
+    /// Whether the connection stays open after the response
+    /// (HTTP/1.1 default true; `connection: close` opts out).
+    pub keep_alive: bool,
+    /// Request body, exactly `content-length` bytes.
+    pub body: Vec<u8>,
+}
+
+/// Outcome of one [`RequestParser::poll`] call.
+#[derive(Debug)]
+pub enum ParseStep {
+    /// The buffer does not hold a full request yet; read more bytes.
+    Incomplete,
+    /// One request parsed and drained from the buffer. More pipelined
+    /// requests may follow — poll again.
+    Request(ParsedRequest),
+    /// The byte stream is not a request this server can serve. Answer
+    /// with `status`/`message` and close: after a framing error the
+    /// stream cannot be resynchronized.
+    Invalid {
+        /// Response status (always 4xx).
+        status: u16,
+        /// Human-readable diagnostic for the error body.
+        message: String,
+    },
+}
+
+/// Total bytes allowed for a request line + headers. Bounds
+/// per-connection memory for the pre-body part of a request the way
+/// `max_body` bounds the body, and is the slowloris attacker's budget.
+pub const MAX_HEAD_BYTES: usize = 16 << 10;
+
+/// Head parsed, waiting for `content_length` body bytes.
+#[derive(Debug)]
+struct PendingBody {
+    method: String,
+    path: String,
+    keep_alive: bool,
+    content_length: usize,
+}
+
+/// Per-connection incremental parser. Holds only *parse position*, never
+/// bytes — the connection's read buffer is the single copy of unconsumed
+/// input.
+#[derive(Debug)]
+pub struct RequestParser {
+    max_body: usize,
+    pending: Option<PendingBody>,
+    /// Prefix of the buffer already scanned for the head terminator, so
+    /// repeated polls over a slowly growing head stay linear overall.
+    scanned: usize,
+}
+
+impl RequestParser {
+    /// Parser enforcing `max_body` (the head cap is the fixed
+    /// [`MAX_HEAD_BYTES`]).
+    pub fn new(max_body: usize) -> Self {
+        Self {
+            max_body,
+            pending: None,
+            scanned: 0,
+        }
+    }
+
+    /// A request is mid-parse: some bytes arrived (or a head parsed) but
+    /// the request is not complete. Distinguishes a stalled sender (the
+    /// slowloris timeout applies) from an idle keep-alive connection (the
+    /// longer idle timeout applies).
+    pub fn mid_request(&self, buf: &[u8]) -> bool {
+        self.pending.is_some() || !buf.is_empty()
+    }
+
+    /// Try to parse one request out of `buf`, draining consumed bytes.
+    pub fn poll(&mut self, buf: &mut Vec<u8>) -> ParseStep {
+        if self.pending.is_none() {
+            match self.find_head_end(buf) {
+                Some(head_end) => {
+                    let step = self.parse_head(&buf[..head_end]);
+                    buf.drain(..head_end);
+                    self.scanned = 0;
+                    if let Some(invalid) = step {
+                        return invalid;
+                    }
+                }
+                None => {
+                    if buf.len() > MAX_HEAD_BYTES {
+                        return ParseStep::Invalid {
+                            status: 400,
+                            message: format!(
+                                "request line and headers exceed {MAX_HEAD_BYTES} bytes"
+                            ),
+                        };
+                    }
+                    return ParseStep::Incomplete;
+                }
+            }
+        }
+        let pending = self.pending.as_ref().expect("head parsed above");
+        if buf.len() < pending.content_length {
+            return ParseStep::Incomplete;
+        }
+        let pending = self.pending.take().expect("checked");
+        let body: Vec<u8> = buf.drain(..pending.content_length).collect();
+        ParseStep::Request(ParsedRequest {
+            method: pending.method,
+            path: pending.path,
+            keep_alive: pending.keep_alive,
+            body,
+        })
+    }
+
+    /// Index one past the head's terminating blank line (`\r\n\r\n` or
+    /// any `\n`-delimited empty line), or `None` if not yet received.
+    fn find_head_end(&mut self, buf: &[u8]) -> Option<usize> {
+        // Resume a few bytes back so a terminator split across reads is
+        // still seen: the scan anchors on the *first* `\n` of `\n\n` /
+        // `\n\r\n`, which can sit up to 3 bytes before the old end when
+        // the tail of a `\r\n\r\n` arrives in a later read.
+        let start = self.scanned.saturating_sub(3);
+        for i in start..buf.len() {
+            if buf[i] != b'\n' {
+                continue;
+            }
+            match buf.get(i + 1) {
+                Some(b'\n') => return Some(i + 2),
+                Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                _ => {}
+            }
+        }
+        self.scanned = buf.len();
+        None
+    }
+
+    /// Parse the request line + headers; on success stores the pending
+    /// body frame and returns `None`, otherwise returns the `Invalid`
+    /// step to serve.
+    fn parse_head(&mut self, head: &[u8]) -> Option<ParseStep> {
+        if head.len() > MAX_HEAD_BYTES {
+            return Some(ParseStep::Invalid {
+                status: 400,
+                message: format!("request line and headers exceed {MAX_HEAD_BYTES} bytes"),
+            });
+        }
+        let Ok(head) = std::str::from_utf8(head) else {
+            return Some(ParseStep::Invalid {
+                status: 400,
+                message: "request bytes are not utf-8".to_string(),
+            });
+        };
+        let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+            return Some(ParseStep::Invalid {
+                status: 400,
+                message: "malformed request line".to_string(),
+            });
+        };
+        let mut content_length = 0usize;
+        let mut keep_alive = true; // HTTP/1.1 default
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                let Ok(n) = value.parse() else {
+                    return Some(ParseStep::Invalid {
+                        status: 400,
+                        message: "bad content-length".to_string(),
+                    });
+                };
+                content_length = n;
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            }
+        }
+        if content_length > self.max_body {
+            return Some(ParseStep::Invalid {
+                status: 400,
+                message: format!(
+                    "body of {content_length} bytes exceeds limit {}",
+                    self.max_body
+                ),
+            });
+        }
+        self.pending = Some(PendingBody {
+            method: method.to_string(),
+            path: path.to_string(),
+            keep_alive,
+            content_length,
+        });
+        None
+    }
+}
+
+/// Reason phrase for every status this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Encode one response. `retry_after` adds a `retry-after: N` header
+/// (load-shedding responses carry it so clients back off instead of
+/// hammering).
+pub fn encode_response(
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    retry_after: Option<u32>,
+) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut out = Vec::with_capacity(160 + body.len());
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
+            reason(status),
+            body.len()
+        )
+        .as_bytes(),
+    );
+    if let Some(secs) = retry_after {
+        out.extend_from_slice(format!("retry-after: {secs}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poll_all(parser: &mut RequestParser, buf: &mut Vec<u8>) -> Vec<ParsedRequest> {
+        let mut out = Vec::new();
+        loop {
+            match parser.poll(buf) {
+                ParseStep::Request(r) => out.push(r),
+                ParseStep::Incomplete => return out,
+                ParseStep::Invalid { status, message } => {
+                    panic!("unexpected invalid ({status}): {message}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parses_a_request_delivered_byte_by_byte() {
+        let raw = b"POST /predict HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd";
+        let mut parser = RequestParser::new(1024);
+        let mut buf = Vec::new();
+        for (i, &b) in raw.iter().enumerate() {
+            buf.push(b);
+            match parser.poll(&mut buf) {
+                ParseStep::Incomplete => assert!(i + 1 < raw.len(), "never completed"),
+                ParseStep::Request(req) => {
+                    assert_eq!(i + 1, raw.len(), "completed early at byte {i}");
+                    assert_eq!(req.method, "POST");
+                    assert_eq!(req.path, "/predict");
+                    assert_eq!(req.body, b"abcd");
+                    assert!(req.keep_alive);
+                    assert!(buf.is_empty());
+                    return;
+                }
+                ParseStep::Invalid { message, .. } => panic!("invalid: {message}"),
+            }
+        }
+        panic!("request never parsed");
+    }
+
+    #[test]
+    fn parses_pipelined_requests_in_order() {
+        let mut parser = RequestParser::new(1024);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(
+            b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nconnection: close\r\n\r\n",
+        );
+        let reqs = poll_all(&mut parser, &mut buf);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].path, "/a");
+        assert!(reqs[0].keep_alive);
+        assert_eq!(reqs[1].path, "/b");
+        assert!(!reqs[1].keep_alive);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn tolerates_bare_newline_heads() {
+        let mut parser = RequestParser::new(1024);
+        let mut buf = b"GET /healthz HTTP/1.1\nhost: x\n\n".to_vec();
+        let reqs = poll_all(&mut parser, &mut buf);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].path, "/healthz");
+    }
+
+    #[test]
+    fn oversized_body_is_invalid_with_the_contract_message() {
+        let mut parser = RequestParser::new(8);
+        let mut buf = b"POST /predict HTTP/1.1\r\ncontent-length: 9\r\n\r\n".to_vec();
+        match parser.poll(&mut buf) {
+            ParseStep::Invalid { status, message } => {
+                assert_eq!(status, 400);
+                assert!(message.contains("exceeds limit"), "{message}");
+            }
+            other => panic!("expected invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_head_is_rejected_at_the_cap() {
+        let mut parser = RequestParser::new(1024);
+        let mut buf = b"GET / HTTP/1.1\r\n".to_vec();
+        // Headers forever, never a blank line.
+        while buf.len() <= MAX_HEAD_BYTES {
+            buf.extend_from_slice(b"x-filler: yyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyy\r\n");
+            match parser.poll(&mut buf) {
+                ParseStep::Incomplete => {}
+                ParseStep::Invalid { status, message } => {
+                    assert_eq!(status, 400);
+                    assert!(message.contains("exceed"), "{message}");
+                    return;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        match parser.poll(&mut buf) {
+            ParseStep::Invalid { .. } => {}
+            other => panic!("cap never enforced: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_request_line_is_invalid() {
+        let mut parser = RequestParser::new(1024);
+        let mut buf = b"NONSENSE\r\n\r\n".to_vec();
+        match parser.poll(&mut buf) {
+            ParseStep::Invalid { status, message } => {
+                assert_eq!(status, 400);
+                assert!(message.contains("malformed request line"), "{message}");
+            }
+            other => panic!("expected invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_request_distinguishes_idle_from_stalled() {
+        let mut parser = RequestParser::new(1024);
+        let mut buf = Vec::new();
+        assert!(!parser.mid_request(&buf), "idle connection");
+        buf.extend_from_slice(b"GET /he");
+        assert!(parser.mid_request(&buf), "partial head");
+        buf.clear();
+        buf.extend_from_slice(b"POST /p HTTP/1.1\r\ncontent-length: 5\r\n\r\nab");
+        assert!(matches!(parser.poll(&mut buf), ParseStep::Incomplete));
+        assert!(parser.mid_request(&buf), "head parsed, body outstanding");
+    }
+
+    #[test]
+    fn encode_response_shapes_the_wire_bytes() {
+        let bytes = encode_response(503, "application/json", "{}", true, Some(1));
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
+        assert!(text.contains("content-length: 2\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+        let bytes = encode_response(200, "application/json", "hi", false, None);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("connection: close"), "{text}");
+        assert!(!text.contains("retry-after"), "{text}");
+    }
+}

@@ -1,0 +1,317 @@
+//! The original blocking thread-per-connection HTTP server, preserved as
+//! the benchmark baseline for the event-driven reactor in
+//! [`crate::reactor`] / [`crate::http`].
+//!
+//! `serve_bench` starts both implementations on the same machine against
+//! the same registry and drives them with the same load generator, so
+//! the throughput ratio in `results/BENCH_serve.json` is an honest
+//! same-process A/B rather than a number copied from an older commit.
+//! Routing, accounting, and response bodies are shared with the live
+//! server ([`crate::http::route`] and friends); only the I/O strategy
+//! differs: blocking reads with a 250 ms poll timeout, one accept loop
+//! per worker thread, no cross-connection batching, no shedding.
+
+use crate::http::{self, ServerClock, ServerOptions};
+use crate::proto::ParsedRequest;
+use crate::registry::ModelRegistry;
+use crate::ServeError;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A running reference server; call [`ReferenceHandle::stop`] to shut it
+/// down (idle keep-alive connections notice within ~250 ms).
+pub struct ReferenceHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ReferenceHandle {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signal shutdown and join the worker threads.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Start the blocking reference server for `registry` per `opts`.
+pub fn start_reference(
+    registry: Arc<ModelRegistry>,
+    opts: ServerOptions,
+) -> Result<ReferenceHandle, ServeError> {
+    let listener = TcpListener::bind(&opts.addr)?;
+    let local_addr = listener.local_addr()?;
+    let listener = Arc::new(listener);
+    let stop = Arc::new(AtomicBool::new(false));
+    let clock = ServerClock {
+        started: Instant::now(),
+        started_at: lam_obs::time::rfc3339(std::time::SystemTime::now()).into(),
+    };
+    let workers = (0..opts.workers.max(1))
+        .map(|_| {
+            let listener = Arc::clone(&listener);
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            let clock = clock.clone();
+            let max_body = opts.max_body;
+            std::thread::spawn(move || {
+                // The listener stays blocking: a short accept timeout is
+                // not portable over std, so shutdown relies on the stop
+                // flag plus the next accepted (or failing) connection.
+                // Workers poll via the 250 ms read timeout once accepted.
+                let _ = listener.set_nonblocking(true);
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_nonblocking(false);
+                            handle_connection(stream, &registry, &stop, &clock, max_body)
+                        }
+                        Err(ref e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10))
+                        }
+                        // Transient accept errors (ECONNABORTED from a
+                        // client resetting mid-handshake, EMFILE under fd
+                        // pressure) must not kill the worker; back off
+                        // briefly and keep accepting until shutdown.
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            })
+        })
+        .collect();
+    Ok(ReferenceHandle {
+        local_addr,
+        stop,
+        workers,
+    })
+}
+
+/// Serve keep-alive requests on one connection until the peer closes,
+/// a request asks to close, or shutdown is signalled.
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Arc<ModelRegistry>,
+    stop: &AtomicBool,
+    clock: &ServerClock,
+    max_body: usize,
+) {
+    // Short read timeout so idle keep-alive connections re-check the stop
+    // flag a few times a second.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_nodelay(true);
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = stream;
+    while !stop.load(Ordering::SeqCst) {
+        match read_request(&mut reader, stop, max_body) {
+            Ok(Some(req)) => {
+                let keep_alive = req.keep_alive;
+                let metrics = http::http_metrics();
+                let _in_flight = metrics.in_flight.track();
+                let handling_started = lam_obs::enabled().then(Instant::now);
+                let (status, content_type, body) = http::route(&req, registry, clock);
+                let endpoint = http::endpoint_index(&req.method, &req.path);
+                metrics.requests[endpoint][http::status_class_index(status)].inc();
+                if let Some(started) = handling_started {
+                    metrics.duration[endpoint].record(started.elapsed().as_nanos() as u64);
+                }
+                if write_response(&mut writer, status, content_type, &body, keep_alive).is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Ok(None) => return,               // peer closed cleanly
+            Err(ReadError::Idle) => continue, // timeout before any byte: poll stop flag
+            Err(ReadError::Malformed(msg)) => {
+                // A response is still served, so the request lands in the
+                // same status-class accounting as routed requests.
+                http::account_malformed(400);
+                let body = http::error_body(&msg);
+                let _ = write_response(&mut writer, 400, http::JSON_CONTENT_TYPE, &body, false);
+                return;
+            }
+            Err(ReadError::Closed) => return,
+        }
+    }
+}
+
+enum ReadError {
+    /// Timeout with no bytes consumed — safe to retry.
+    Idle,
+    /// Connection died (possibly mid-request).
+    Closed,
+    /// Syntactically invalid request.
+    Malformed(String),
+}
+
+/// Longest accepted request line or header line, bytes. Bounds
+/// per-connection memory for the pre-body part of a request the way
+/// `max_body` bounds the body.
+const MAX_HEADER_LINE: usize = 16 << 10;
+
+/// Read one `\n`-terminated line without losing partially received bytes
+/// across read timeouts: `read_until` keeps consumed bytes in `buf` on
+/// error, where `read_line`'s UTF-8 guard would discard them and corrupt
+/// the next parse. `Ok(None)` means EOF with nothing read; a line beyond
+/// [`MAX_HEADER_LINE`] is malformed (never an unbounded buffer).
+///
+/// `idle_on_empty` distinguishes the request line (a timeout before any
+/// byte is an idle keep-alive tick the caller polls through) from header
+/// lines (mid-request, so a stall just keeps waiting until shutdown).
+fn read_line_resilient(
+    reader: &mut BufReader<TcpStream>,
+    stop: &AtomicBool,
+    idle_on_empty: bool,
+) -> Result<Option<String>, ReadError> {
+    let mut raw = Vec::new();
+    loop {
+        // Bound each fill so an endless un-terminated stream trips the
+        // length check instead of growing `raw` without limit.
+        let budget = MAX_HEADER_LINE + 1 - raw.len().min(MAX_HEADER_LINE);
+        match (&mut *reader)
+            .take(budget as u64)
+            .read_until(b'\n', &mut raw)
+        {
+            Ok(0) => {
+                return if raw.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(ReadError::Closed)
+                };
+            }
+            Ok(_) if raw.last() == Some(&b'\n') => break,
+            Ok(_) => {
+                if raw.len() > MAX_HEADER_LINE {
+                    return Err(ReadError::Malformed(format!(
+                        "request line or header exceeds {MAX_HEADER_LINE} bytes"
+                    )));
+                }
+                // Short read without a newline: keep accumulating.
+            }
+            Err(e) if is_timeout(&e) => {
+                if stop.load(Ordering::SeqCst) {
+                    return Err(ReadError::Closed);
+                }
+                if raw.is_empty() && idle_on_empty {
+                    return Err(ReadError::Idle);
+                }
+                // Stalled mid-line: the partial bytes stay in `raw`.
+            }
+            Err(_) => return Err(ReadError::Closed),
+        }
+    }
+    String::from_utf8(raw)
+        .map(Some)
+        .map_err(|_| ReadError::Malformed("request bytes are not utf-8".to_string()))
+}
+
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    stop: &AtomicBool,
+    max_body: usize,
+) -> Result<Option<ParsedRequest>, ReadError> {
+    // Request line.
+    let Some(line) = read_line_resilient(reader, stop, true)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(ReadError::Malformed("malformed request line".to_string()));
+    };
+    let method = method.to_string();
+    let path = path.to_string();
+
+    // Headers.
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    loop {
+        let Some(header) = read_line_resilient(reader, stop, false)? else {
+            return Err(ReadError::Closed);
+        };
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| ReadError::Malformed("bad content-length".to_string()))?;
+                }
+                "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+                _ => {}
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(ReadError::Malformed(format!(
+            "body of {content_length} bytes exceeds limit {max_body}"
+        )));
+    }
+
+    // Body, tolerating timeouts mid-transfer (progress is kept in `body`).
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0usize;
+    while filled < content_length {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(ReadError::Closed),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                if stop.load(Ordering::SeqCst) {
+                    return Err(ReadError::Closed);
+                }
+            }
+            Err(_) => return Err(ReadError::Closed),
+        }
+    }
+    Ok(Some(ParsedRequest {
+        method,
+        path,
+        keep_alive,
+        body,
+    }))
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+fn write_response(
+    writer: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}

@@ -144,6 +144,17 @@ impl LoadedModel {
     }
 }
 
+// A loaded model is a coalescing target for the cross-connection
+// `BatchScheduler`: rows gathered from many concurrent requests run as
+// one batch through this model's own cache + executor, and the per-row
+// hit mask lets the scheduler hand each request back its exact
+// `cache_hits` share.
+impl lam_core::batch::BatchTarget for LoadedModel {
+    fn run_batch(&self, rows: &[Vec<f64>]) -> lam_core::batch::MaskedOutcome {
+        self.engine.predict_masked(&*self.predictor, rows)
+    }
+}
+
 // A loaded model is directly usable wherever an object-safe predictor is
 // expected — e.g. as the guiding model of a `lam-tune` strategy. Batch
 // prediction routes through the model's own cache + executor.

@@ -126,6 +126,7 @@ fn serve_restart_predict_and_loadgen_end_to_end() {
         connections: 3,
         batch: 64,
         pool: 192,
+        mode: loadgen::LoadMode::Closed,
     })
     .expect("loadgen runs");
     assert_eq!(report.errors, 0);

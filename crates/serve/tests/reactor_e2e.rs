@@ -1,0 +1,448 @@
+//! End-to-end tests for the event-driven serve core: pipelining with
+//! strict response ordering, graceful drain, load shedding under
+//! overload, slowloris/oversized-head defenses, idle reaping, and
+//! cross-connection micro-batch formation — all over real sockets
+//! against a real server.
+
+use lam_serve::http::{self, PredictRequest, ServeConfig, ServerOptions};
+use lam_serve::loadgen::{self, HttpClient, LoadMode, LoadgenOptions, MetricsScrape};
+use lam_serve::persist::ModelKind;
+use lam_serve::registry::{ModelKey, ModelRegistry};
+use lam_serve::workload::WorkloadId;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lam_serve_reactor_e2e_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn wid(name: &str) -> WorkloadId {
+    WorkloadId::get(name).expect("builtin workload")
+}
+
+fn base_config(workers: usize) -> ServeConfig {
+    ServeConfig::new(ServerOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        ..ServerOptions::default()
+    })
+}
+
+/// One parsed raw response: status, headers (lowercased names), body.
+struct RawResponse {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl RawResponse {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read exactly `n` pipelined responses off a raw socket.
+fn read_responses(stream: &mut TcpStream, n: usize) -> Vec<RawResponse> {
+    let mut bytes = Vec::new();
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while out.len() < n {
+        // Parse as many complete responses as the buffer holds.
+        while out.len() < n {
+            let Some(head_end) = bytes.windows(4).position(|w| w == b"\r\n\r\n") else {
+                break;
+            };
+            let head = String::from_utf8(bytes[..head_end].to_vec()).expect("ascii head");
+            let mut lines = head.split("\r\n");
+            let status: u16 = lines
+                .next()
+                .expect("status line")
+                .split_whitespace()
+                .nth(1)
+                .expect("status code")
+                .parse()
+                .expect("numeric status");
+            let headers: Vec<(String, String)> = lines
+                .filter_map(|l| l.split_once(':'))
+                .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+                .collect();
+            let content_length: usize = headers
+                .iter()
+                .find(|(k, _)| k == "content-length")
+                .map(|(_, v)| v.parse().expect("numeric content-length"))
+                .unwrap_or(0);
+            if bytes.len() < head_end + 4 + content_length {
+                break;
+            }
+            let body =
+                String::from_utf8(bytes[head_end + 4..head_end + 4 + content_length].to_vec())
+                    .expect("utf-8 body");
+            bytes.drain(..head_end + 4 + content_length);
+            out.push(RawResponse {
+                status,
+                headers,
+                body,
+            });
+        }
+        if out.len() >= n {
+            break;
+        }
+        assert!(Instant::now() < deadline, "timed out awaiting responses");
+        match stream.read(&mut chunk) {
+            Ok(0) => panic!(
+                "server closed after {} of {n} expected responses",
+                out.len()
+            ),
+            Ok(read) => bytes.extend_from_slice(&chunk[..read]),
+            Err(e) => panic!("read failed after {} responses: {e}", out.len()),
+        }
+    }
+    out
+}
+
+fn raw_request(method: &str, path: &str, body: &str) -> String {
+    format!(
+        "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Read until EOF, returning everything received (for close-after-error
+/// paths where the response count is exactly one).
+fn read_to_eof(stream: &mut TcpStream) -> String {
+    let mut text = String::new();
+    let _ = stream.read_to_string(&mut text);
+    text
+}
+
+#[test]
+fn pipelined_requests_answer_strictly_in_order() {
+    let registry = Arc::new(ModelRegistry::new(temp_root("pipeline")));
+    // Train ahead of time so pipelined /predict answers are fast.
+    registry
+        .get(ModelKey::new(wid("fmm-small"), ModelKind::Linear, 1))
+        .expect("trains");
+    let handle = http::start_with(Arc::clone(&registry), base_config(2)).expect("binds");
+    let addr = handle.local_addr();
+
+    let rows = wid("fmm-small").sample_rows(1);
+    let predict_body = serde_json::to_string(&PredictRequest {
+        workload: "fmm-small".to_string(),
+        kind: "linear".to_string(),
+        version: Some(1),
+        rows,
+    })
+    .unwrap();
+    // A mixed pipeline: sync routes and scheduler-routed predicts
+    // interleaved. Responses must come back in exactly this order even
+    // though predict completions arrive from scheduler workers.
+    let plan: Vec<(&str, &str, &str, &str)> = vec![
+        ("GET", "/healthz", "", "\"uptime_ms\""),
+        ("POST", "/predict", &predict_body, "\"predictions\""),
+        ("GET", "/workloads/fmm-small", "", "\"fmm-small\""),
+        ("POST", "/predict", &predict_body, "\"predictions\""),
+        ("GET", "/workloads/spmv-small", "", "\"spmv-small\""),
+        ("POST", "/predict", &predict_body, "\"predictions\""),
+        ("GET", "/healthz", "", "\"uptime_ms\""),
+    ];
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    let mut wire = String::new();
+    for (method, path, body, _) in &plan {
+        wire.push_str(&raw_request(method, path, body));
+    }
+    stream.write_all(wire.as_bytes()).expect("writes pipeline");
+
+    let responses = read_responses(&mut stream, plan.len());
+    for (i, (resp, (method, path, _, marker))) in responses.iter().zip(&plan).enumerate() {
+        assert_eq!(resp.status, 200, "request {i} ({method} {path})");
+        assert!(
+            resp.body.contains(marker),
+            "response {i} out of order: expected {method} {path} (marker {marker}), got {}",
+            resp.body
+        );
+    }
+    handle.stop();
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_requests() {
+    let registry = Arc::new(ModelRegistry::new(temp_root("drain")));
+    registry
+        .get(ModelKey::new(wid("fmm-small"), ModelKind::Linear, 1))
+        .expect("trains");
+    let mut cfg = base_config(2);
+    // The in-flight request must win over the drain deadline, not race it.
+    cfg.drain_deadline = Duration::from_secs(30);
+    let handle = http::start_with(Arc::clone(&registry), cfg).expect("binds");
+    let addr = handle.local_addr();
+
+    // A /tune request does real server-side work (model-guided search over
+    // the configuration space), so it is still in flight when shutdown
+    // begins.
+    let tune_body = r#"{"workload":"fmm-small","strategy":"random","kind":"linear","budget":48,"top_k":3,"seed":7}"#;
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .write_all(raw_request("POST", "/tune", tune_body).as_bytes())
+        .expect("writes");
+    std::thread::sleep(Duration::from_millis(30));
+
+    let reader = std::thread::spawn(move || read_responses(&mut stream, 1));
+    handle.stop(); // must wait for the in-flight tune, not abandon it
+    let responses = reader.join().expect("reader thread");
+    assert_eq!(responses[0].status, 200, "body: {}", responses[0].body);
+    assert!(responses[0].body.contains("\"report\""));
+
+    // The server is gone: new connections are refused or dead.
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            let mut c = HttpClient::connect(&addr.to_string()).unwrap();
+            c.get("/healthz").is_err()
+        }
+    );
+}
+
+#[test]
+fn overload_sheds_503_with_retry_after_and_survives() {
+    let registry = Arc::new(ModelRegistry::new(temp_root("overload")));
+    registry
+        .get(ModelKey::new(wid("fmm-small"), ModelKind::Linear, 1))
+        .expect("trains");
+    // One handler thread and a single-slot dispatch queue: a deep
+    // pipeline must overflow it.
+    let mut cfg = base_config(1);
+    cfg.dispatch_queue = 1;
+    cfg.pipeline_depth = 64;
+    let handle = http::start_with(Arc::clone(&registry), cfg).expect("binds");
+    let addr = handle.local_addr();
+
+    let rows = wid("fmm-small").sample_rows(2);
+    let body = serde_json::to_string(&PredictRequest {
+        workload: "fmm-small".to_string(),
+        kind: "linear".to_string(),
+        version: Some(1),
+        rows,
+    })
+    .unwrap();
+    let total = 60;
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    let mut wire = String::new();
+    for _ in 0..total {
+        wire.push_str(&raw_request("POST", "/predict", &body));
+    }
+    stream.write_all(wire.as_bytes()).expect("writes burst");
+
+    let responses = read_responses(&mut stream, total);
+    let ok = responses.iter().filter(|r| r.status == 200).count();
+    let shed: Vec<&RawResponse> = responses.iter().filter(|r| r.status == 503).collect();
+    let other = responses
+        .iter()
+        .filter(|r| r.status != 200 && r.status != 503)
+        .count();
+    assert!(ok >= 1, "some requests must be served ({ok} of {total})");
+    assert!(
+        !shed.is_empty(),
+        "a 1-deep dispatch queue under a {total}-request burst must shed"
+    );
+    assert_eq!(other, 0, "only 200s and 503s are acceptable");
+    for r in &shed {
+        assert_eq!(
+            r.header("retry-after"),
+            Some("1"),
+            "every shed response tells the client when to return"
+        );
+    }
+
+    // Shedding is survival, not failure: the same connection and fresh
+    // connections keep working, and the shed counter says why.
+    stream
+        .write_all(raw_request("GET", "/healthz", "").as_bytes())
+        .expect("same connection still works");
+    let after = read_responses(&mut stream, 1);
+    assert_eq!(after[0].status, 200);
+
+    let mut client = HttpClient::connect(&addr.to_string()).expect("fresh connection");
+    let scrape = MetricsScrape::fetch(&mut client).expect("scrapes");
+    assert!(
+        scrape.counter_with_label("lam_requests_shed_total", ("reason", "dispatch-queue"))
+            >= shed.len() as u64,
+        "shed responses must be attributed to the dispatch queue"
+    );
+    handle.stop();
+}
+
+#[test]
+fn slowloris_connections_get_408_within_the_header_timeout() {
+    let registry = Arc::new(ModelRegistry::new(temp_root("slowloris")));
+    let mut cfg = base_config(1);
+    cfg.header_timeout = Duration::from_millis(150);
+    let handle = http::start_with(registry, cfg).expect("binds");
+    let addr = handle.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Trickle a partial request and stall mid-header, holding the
+    // connection hostage the way a slowloris client would.
+    stream
+        .write_all(b"POST /predict HTTP/1.1\r\ncontent-le")
+        .expect("partial write");
+    let started = Instant::now();
+    let text = read_to_eof(&mut stream);
+    assert!(
+        text.starts_with("HTTP/1.1 408 "),
+        "stalled request must get 408, got: {text:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "408 must arrive promptly, not at some long idle cutoff"
+    );
+    handle.stop();
+}
+
+#[test]
+fn oversized_request_heads_are_rejected_not_buffered() {
+    let registry = Arc::new(ModelRegistry::new(temp_root("bighead")));
+    let handle = http::start_with(registry, base_config(1)).expect("binds");
+    let addr = handle.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    // Headers forever, no terminating blank line; the server must cut
+    // this off at its head cap instead of buffering without bound.
+    let filler = format!("x-filler: {}\r\n", "y".repeat(120));
+    for _ in 0..((16 << 10) / filler.len() + 4) {
+        if stream.write_all(filler.as_bytes()).is_err() {
+            break; // server already closed on us — also acceptable
+        }
+    }
+    let text = read_to_eof(&mut stream);
+    assert!(
+        text.starts_with("HTTP/1.1 400 "),
+        "oversized head must get 400, got: {text:?}"
+    );
+    assert!(text.contains("exceed"), "diagnostic names the cap: {text}");
+    handle.stop();
+}
+
+#[test]
+fn idle_connections_are_reaped() {
+    let registry = Arc::new(ModelRegistry::new(temp_root("idle")));
+    let mut cfg = base_config(1);
+    cfg.idle_timeout = Duration::from_millis(150);
+    let handle = http::start_with(registry, cfg).expect("binds");
+    let addr = handle.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // A completed request keeps the connection alive...
+    stream
+        .write_all(raw_request("GET", "/healthz", "").as_bytes())
+        .unwrap();
+    let first = read_responses(&mut stream, 1);
+    assert_eq!(first[0].status, 200);
+    // ...but going quiet past the idle timeout gets it closed (EOF, no
+    // error response — an idle keep-alive is not a protocol violation).
+    let text = read_to_eof(&mut stream);
+    assert_eq!(text, "", "idle close is silent");
+    handle.stop();
+}
+
+#[test]
+fn connection_cap_sheds_new_connections_with_503() {
+    let registry = Arc::new(ModelRegistry::new(temp_root("conncap")));
+    let mut cfg = base_config(1);
+    cfg.max_connections = 1;
+    let handle = http::start_with(registry, cfg).expect("binds");
+    let addr = handle.local_addr();
+
+    // First connection occupies the only slot.
+    let mut first = TcpStream::connect(addr).expect("connects");
+    first
+        .write_all(raw_request("GET", "/healthz", "").as_bytes())
+        .unwrap();
+    assert_eq!(read_responses(&mut first, 1)[0].status, 200);
+
+    // The second is told to come back, then closed.
+    let mut second = TcpStream::connect(addr).expect("tcp accept still happens");
+    second
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let text = read_to_eof(&mut second);
+    assert!(
+        text.starts_with("HTTP/1.1 503 "),
+        "over-cap connection must get 503, got: {text:?}"
+    );
+    assert!(text.contains("retry-after: 1"), "{text}");
+
+    // The first connection is unaffected.
+    first
+        .write_all(raw_request("GET", "/healthz", "").as_bytes())
+        .unwrap();
+    assert_eq!(read_responses(&mut first, 1)[0].status, 200);
+    handle.stop();
+}
+
+#[test]
+fn concurrent_single_row_traffic_forms_cross_connection_batches() {
+    let registry = Arc::new(ModelRegistry::new(temp_root("occupancy")));
+    registry
+        .get(ModelKey::new(wid("fmm-small"), ModelKind::Linear, 1))
+        .expect("trains");
+    let mut cfg = base_config(4);
+    // A slightly longer coalescing window makes batch formation robust on
+    // a single-core CI box; correctness does not depend on it.
+    cfg.batch.flush_deadline = Duration::from_millis(1);
+    let handle = http::start_with(Arc::clone(&registry), cfg).expect("binds");
+    let addr = handle.local_addr().to_string();
+
+    let before = {
+        let mut c = HttpClient::connect(&addr).expect("scrape conn");
+        MetricsScrape::fetch(&mut c).expect("scrapes")
+    };
+    let report = loadgen::run(&LoadgenOptions {
+        addr: addr.clone(),
+        workload: wid("fmm-small"),
+        kind: ModelKind::Linear,
+        version: 1,
+        seconds: 1.5,
+        connections: 4,
+        batch: 1, // single-row requests: any batching must come from coalescing
+        pool: 64,
+        mode: LoadMode::Pipeline(8),
+    })
+    .expect("loadgen runs");
+    assert_eq!(report.errors, 0, "no transport errors");
+    assert!(report.requests > 0);
+
+    let mut c = HttpClient::connect(&addr).expect("scrape conn");
+    let after = MetricsScrape::fetch(&mut c).expect("scrapes");
+    let (c0, s0) = before.histogram_totals("lam_batch_occupancy", None);
+    let (c1, s1) = after.histogram_totals("lam_batch_occupancy", None);
+    let (flushes, submissions) = (c1 - c0, s1 - s0);
+    assert!(flushes > 0, "the scheduler must have executed batches");
+    let occupancy = submissions as f64 / flushes as f64;
+    assert!(
+        occupancy > 1.0,
+        "single-row requests from 4 pipelined connections must coalesce \
+         (mean occupancy {occupancy:.3} over {flushes} flushes)"
+    );
+    assert!(
+        after.gauge_total("lam_connections_open") >= 1,
+        "the scrape's own connection is registered with the reactor"
+    );
+    handle.stop();
+}

@@ -1,0 +1,345 @@
+//! Vendored epoll shim: the minimal readiness-notification surface the
+//! event-driven serve core needs, built directly on the `epoll_create1` /
+//! `epoll_ctl` / `epoll_wait` / `eventfd` syscalls.
+//!
+//! The build environment has no network access to crates.io, so `mio` (or
+//! the `libc` crate itself) cannot be fetched. `std` on Linux already
+//! links the platform C library, so the four symbols this crate needs are
+//! declared `extern "C"` and called through safe wrappers:
+//!
+//! * [`Epoll`] — owns an epoll instance; `add`/`modify`/`delete` register
+//!   interest (`EPOLLIN`/`EPOLLOUT`/`EPOLLRDHUP`) under a caller-chosen
+//!   `u64` token, `wait` blocks up to a timeout and fills a caller buffer
+//!   with ready events. Level-triggered only — edge-triggered (`EPOLLET`)
+//!   is deliberately not exposed: the serve reactor drains sockets until
+//!   `WouldBlock` anyway, and level-triggered cannot lose wakeups.
+//! * [`EventFd`] — a wakeup doorbell for cross-thread notification:
+//!   worker threads `notify()` and the reactor, which has the fd
+//!   registered in its epoll set, wakes from `wait` and `drain()`s it.
+//!
+//! Nonblocking socket setup itself stays on `std` (`TcpListener` /
+//! `TcpStream::set_nonblocking`), so this crate never touches `fcntl`.
+//!
+//! Everything here is Linux-only, which matches the repo's target (the
+//! paper's platform study and the CI runner are both Linux).
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// Readable interest (and readiness).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable interest (and readiness).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (always reported, never requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half (request it to see half-closes promptly).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// One readiness event, ABI-compatible with the kernel's
+/// `struct epoll_event`. On x86-64 the kernel (and glibc) declare the
+/// struct packed — `events` at offset 0, `data` at offset 4 — so the
+/// Rust mirror must be packed too; other 64-bit targets use natural
+/// alignment.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready-state bitmask (`EPOLLIN` | `EPOLLOUT` | …).
+    pub events: u32,
+    /// The token registered with the fd.
+    pub data: u64,
+}
+
+/// One readiness event (naturally aligned layout on non-x86-64).
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready-state bitmask (`EPOLLIN` | `EPOLLOUT` | …).
+    pub events: u32,
+    /// The token registered with the fd.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// An empty event (fills `wait` buffers).
+    pub const fn zeroed() -> Self {
+        Self { events: 0, data: 0 }
+    }
+
+    /// Ready-state bitmask. Reading a field of a packed struct through a
+    /// reference is UB; this copies it out safely.
+    pub fn events(&self) -> u32 {
+        let e = *self;
+        e.events
+    }
+
+    /// The registered token.
+    pub fn token(&self) -> u64 {
+        let e = *self;
+        e.data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned epoll instance. Closed on drop.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Create an epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: epoll_create1 takes a flags int and returns an fd or -1.
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Self { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; DEL ignores the event pointer
+        // (passed anyway for pre-2.6.9 kernel compatibility, per the man
+        // page).
+        cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Register `fd` with `interest`, reporting `token` in its events.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Change the interest set of an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Deregister `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Block until at least one registered fd is ready, `timeout` elapses
+    /// (`None` = forever), or a signal lands. Returns the number of
+    /// entries filled at the front of `events`. A timeout fills zero.
+    /// `EINTR` is retried internally — callers never see it.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout: Option<std::time::Duration>) -> usize {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 100µs timeout is not a busy-loop 0.
+            Some(d) => d.as_millis().min(i32::MAX as u128).max(1) as i32,
+        };
+        loop {
+            // SAFETY: the buffer pointer/length pair is valid for the
+            // call's duration; the kernel writes at most `len` entries.
+            let n = unsafe {
+                epoll_wait(
+                    self.fd,
+                    events.as_mut_ptr(),
+                    events.len().min(i32::MAX as usize) as i32,
+                    timeout_ms,
+                )
+            };
+            if n >= 0 {
+                return n as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                // Programming errors (EBADF/EINVAL) cannot be handled by
+                // the event loop; surface loudly instead of spinning.
+                panic!("epoll_wait failed: {err}");
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: `fd` is an fd this struct owns exclusively.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A cross-thread wakeup doorbell over `eventfd(2)`: any thread calls
+/// [`EventFd::notify`], the owner has [`EventFd::as_raw_fd`] registered
+/// for `EPOLLIN` and calls [`EventFd::drain`] after waking. Nonblocking,
+/// so a drain with no pending notifications returns immediately.
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// Create a nonblocking eventfd.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: eventfd takes (initval, flags), returns an fd or -1.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(Self { fd })
+    }
+
+    /// The fd to register for `EPOLLIN` in an [`Epoll`].
+    pub fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Ring the doorbell. Safe from any thread; never blocks (an eventfd
+    /// counter saturating at `u64::MAX - 1` would fail `EAGAIN`, which is
+    /// fine — the receiver is already due to wake).
+    pub fn notify(&self) {
+        let one: u64 = 1;
+        // SAFETY: 8 bytes from a live stack value; eventfd writes must be
+        // exactly 8 bytes.
+        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Reset the doorbell; returns `true` if any notification was
+    /// pending.
+    pub fn drain(&self) -> bool {
+        let mut buf = 0u64;
+        // SAFETY: 8 writable bytes from a live stack value.
+        let n = unsafe { read(self.fd, (&mut buf as *mut u64).cast(), 8) };
+        n == 8 && buf > 0
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        // SAFETY: `fd` is an fd this struct owns exclusively.
+        unsafe { close(self.fd) };
+    }
+}
+
+// SAFETY: both types are plain fd owners; every syscall they make is
+// thread-safe per POSIX.
+unsafe impl Send for Epoll {}
+unsafe impl Sync for Epoll {}
+unsafe impl Send for EventFd {}
+unsafe impl Sync for EventFd {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::Duration;
+
+    #[test]
+    fn event_struct_layout_matches_kernel_abi() {
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(std::mem::size_of::<EpollEvent>(), 16);
+    }
+
+    #[test]
+    fn readiness_reports_the_registered_token() {
+        let ep = Epoll::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN, 0xDEAD_BEEF).unwrap();
+
+        let mut events = [EpollEvent::zeroed(); 8];
+        // Nothing written yet: a short wait times out empty.
+        assert_eq!(ep.wait(&mut events, Some(Duration::from_millis(10))), 0);
+
+        a.write_all(b"x").unwrap();
+        let n = ep.wait(&mut events, Some(Duration::from_secs(5)));
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 0xDEAD_BEEF);
+        assert_ne!(events[0].events() & EPOLLIN, 0);
+    }
+
+    #[test]
+    fn modify_and_delete_change_the_interest_set() {
+        let ep = Epoll::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN, 1).unwrap();
+        a.write_all(b"x").unwrap();
+
+        // Interest swapped to write-only: the pending readable byte no
+        // longer wakes us for EPOLLIN (EPOLLOUT fires instead — a unix
+        // socket with buffer space is always writable).
+        ep.modify(b.as_raw_fd(), EPOLLOUT, 2).unwrap();
+        let mut events = [EpollEvent::zeroed(); 8];
+        let n = ep.wait(&mut events, Some(Duration::from_secs(5)));
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 2);
+        assert_eq!(events[0].events() & EPOLLIN, 0);
+        assert_ne!(events[0].events() & EPOLLOUT, 0);
+
+        ep.delete(b.as_raw_fd()).unwrap();
+        assert_eq!(ep.wait(&mut events, Some(Duration::from_millis(10))), 0);
+    }
+
+    #[test]
+    fn hangup_is_reported_without_being_requested() {
+        let ep = Epoll::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 7).unwrap();
+        drop(a);
+        let mut events = [EpollEvent::zeroed(); 8];
+        let n = ep.wait(&mut events, Some(Duration::from_secs(5)));
+        assert_eq!(n, 1);
+        assert_ne!(events[0].events() & (EPOLLHUP | EPOLLRDHUP), 0);
+    }
+
+    #[test]
+    fn eventfd_wakes_an_epoll_wait_across_threads() {
+        let ep = Epoll::new().unwrap();
+        let doorbell = std::sync::Arc::new(EventFd::new().unwrap());
+        ep.add(doorbell.as_raw_fd(), EPOLLIN, 42).unwrap();
+
+        // Nothing pending: drain is a no-op, wait times out.
+        assert!(!doorbell.drain());
+        let mut events = [EpollEvent::zeroed(); 4];
+        assert_eq!(ep.wait(&mut events, Some(Duration::from_millis(10))), 0);
+
+        let remote = std::sync::Arc::clone(&doorbell);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            remote.notify();
+            remote.notify();
+        });
+        let n = ep.wait(&mut events, Some(Duration::from_secs(5)));
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        t.join().unwrap();
+        // Two notifies coalesce into one pending counter; one drain
+        // clears it.
+        assert!(doorbell.drain());
+        assert!(!doorbell.drain());
+        assert_eq!(ep.wait(&mut events, Some(Duration::from_millis(10))), 0);
+    }
+}
