@@ -1,0 +1,290 @@
+//! Cluster-gateway benchmark: what the consistent-hash gateway costs over
+//! talking to a backend directly, how replicated scatter/gather behaves
+//! as backends are added, and whether killing a backend mid-run leaks
+//! errors to clients. Written to `results/BENCH_cluster.json`.
+//!
+//! Four measurements, all closed-loop 256-row `/predict` traffic from 4
+//! keep-alive connections against in-process servers on loopback:
+//!
+//! 1. **direct** — loadgen straight at one reactor backend. The floor.
+//! 2. **gateway passthrough** — the same backend fronted by the gateway
+//!    (1 backend, replicas 1): the single-shard fast path forwards the
+//!    raw body without a JSON parse. Direct and gateway windows are
+//!    interleaved against the same live backend and each side's best
+//!    p50 is compared. The gate: p50 latency overhead over direct must
+//!    stay within 25%.
+//! 3. **scaling curve** — N = 2..4 backends with `replicas = N`, so every
+//!    request scatters into N row chunks answered in parallel and merged.
+//!    Numbers are recorded honestly per N together with the `cores`
+//!    field: on a 1-core CI runner client, gateway, and all N backends
+//!    time-share one CPU, so the curve shows fan-out *cost*, not the
+//!    speedup concurrent hardware would show.
+//! 4. **failover** — 2 backends, one killed halfway through the run. The
+//!    gate: zero client-visible errors (connection failures to the dead
+//!    backend are retried and failed over inside the gateway).
+//!
+//! Run: `cargo run --release -p lam-bench --bin cluster_bench`
+//! Flags: `--seconds N` (default 3) `--out PATH`
+
+use lam_serve::cluster::{start_gateway, GatewayConfig, GatewayHandle};
+use lam_serve::http::{self, ServeConfig, ServerOptions};
+use lam_serve::loadgen::{self, LoadMode, LoadReport, LoadgenOptions};
+use lam_serve::persist::ModelKind;
+use lam_serve::registry::{ModelKey, ModelRegistry};
+use lam_serve::workload::WorkloadId;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+const CONNECTIONS: usize = 4;
+// 256-row requests so per-request predict work dominates: the gateway's
+// cost is a roughly fixed per-request hop (~100us of extra socket +
+// dispatch on this box), so tiny requests would measure loopback RTT
+// noise, not the routing tax the overhead gate is about.
+const BATCH_ROWS: usize = 256;
+/// Window pairs per ratio cell; the best p50 of each side is compared.
+/// Many short interleaved windows because the measured box can be one
+/// time-shared core: a background stall poisons whole windows, so each
+/// side needs enough independent shots at a clean one.
+const RATIO_RUNS: usize = 6;
+const POOL: usize = 256;
+
+/// One measured topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ClusterCell {
+    label: String,
+    backends: usize,
+    replicas: usize,
+    requests: u64,
+    predictions: u64,
+    errors: u64,
+    shed: u64,
+    throughput_preds_per_s: f64,
+    p50_us: f64,
+    p90_us: f64,
+    p99_us: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ClusterReport {
+    workload: String,
+    kind: String,
+    connections: usize,
+    batch_rows: usize,
+    seconds: f64,
+    /// Cores shared by loadgen, gateway, and every backend. On one core
+    /// the scaling curve is bound by time-sharing, not by shards.
+    cores: usize,
+    direct: ClusterCell,
+    gateway_passthrough: ClusterCell,
+    /// `gateway_passthrough.p50_us / direct.p50_us` — the routing tax.
+    overhead_p50_ratio: f64,
+    /// N backends with replicas = N: full scatter/gather on every request.
+    scaling: Vec<ClusterCell>,
+    failover: ClusterCell,
+}
+
+fn cell(label: &str, backends: usize, replicas: usize, report: &LoadReport) -> ClusterCell {
+    ClusterCell {
+        label: label.to_string(),
+        backends,
+        replicas,
+        requests: report.requests,
+        predictions: report.predictions,
+        errors: report.errors,
+        shed: report.shed,
+        throughput_preds_per_s: report.throughput,
+        p50_us: report.p50_us,
+        p90_us: report.p90_us,
+        p99_us: report.p99_us,
+    }
+}
+
+fn print_cell(c: &ClusterCell) {
+    println!(
+        "  {:>22} ({} backend(s), r={}) | {:>12.0} preds/s  p50 {:>6.0}us  p99 {:>7.0}us  errors {:>3}  shed {:>3}",
+        c.label, c.backends, c.replicas, c.throughput_preds_per_s, c.p50_us, c.p99_us, c.errors, c.shed
+    );
+}
+
+fn drive(addr: &str, seconds: f64) -> LoadReport {
+    loadgen::run(&LoadgenOptions {
+        addrs: vec![addr.to_string()],
+        workload: WorkloadId::get("fmm-small").expect("builtin"),
+        kind: ModelKind::Hybrid,
+        version: 1,
+        seconds,
+        connections: CONNECTIONS,
+        batch: BATCH_ROWS,
+        pool: POOL,
+        mode: LoadMode::Closed,
+    })
+    .expect("loadgen run")
+}
+
+fn start_backend(registry: Arc<ModelRegistry>) -> http::ServerHandle {
+    http::start_with(
+        registry,
+        ServeConfig::new(ServerOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..ServerOptions::default()
+        }),
+    )
+    .expect("backend binds")
+}
+
+fn start_cluster(
+    root: &Path,
+    n: usize,
+    replicas: usize,
+) -> (Vec<http::ServerHandle>, GatewayHandle) {
+    let handles: Vec<http::ServerHandle> = (0..n)
+        .map(|_| start_backend(Arc::new(ModelRegistry::new(root.to_path_buf()))))
+        .collect();
+    let mut cfg = GatewayConfig::new(handles.iter().map(|h| h.local_addr().to_string()).collect());
+    // Gateway workers block on upstream exchanges, so anything below the
+    // concurrent-connection count queues requests behind a full upstream
+    // round-trip and shows up directly as p50.
+    cfg.serve.opts.workers = CONNECTIONS + 2;
+    cfg.replicas = replicas;
+    cfg.probe_interval = Duration::from_millis(200);
+    let gateway = start_gateway(cfg).expect("gateway binds");
+    (handles, gateway)
+}
+
+fn main() {
+    let mut seconds: f64 = 3.0;
+    let mut out = "results/BENCH_cluster.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seconds" => {
+                seconds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seconds requires a number")
+            }
+            "--out" => out = it.next().expect("--out requires a path"),
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+
+    let workload = WorkloadId::get("fmm-small").expect("builtin workload");
+    let key = ModelKey::new(workload, ModelKind::Hybrid, 1);
+    let root = std::env::temp_dir().join("lam_cluster_bench_models");
+    println!("training {key}...");
+    ModelRegistry::new(root.clone())
+        .get(key)
+        .expect("model trains");
+
+    println!(
+        "\ncluster gateway bench: {CONNECTIONS} connections, {BATCH_ROWS}-row requests, {seconds:.0}s per run\n"
+    );
+
+    // 1 + 2. Direct vs gateway passthrough (single shard, so the raw
+    // body is forwarded without a JSON parse), measured as RATIO_RUNS
+    // *interleaved* window pairs against the same live backend: both
+    // sides sample the same noise regime, and the best p50 of each side
+    // is compared so one noisy-neighbor window cannot decide the gate.
+    let best_of = |runs: Vec<LoadReport>| {
+        runs.into_iter()
+            .min_by(|a, b| a.p50_us.total_cmp(&b.p50_us))
+            .expect("at least one run")
+    };
+    let (direct, passthrough) = {
+        let backend = start_backend(Arc::new(ModelRegistry::new(root.clone())));
+        let backend_addr = backend.local_addr().to_string();
+        let mut cfg = GatewayConfig::new(vec![backend_addr.clone()]);
+        cfg.serve.opts.workers = CONNECTIONS + 2;
+        let gateway = start_gateway(cfg).expect("gateway binds");
+        let gateway_addr = gateway.local_addr().to_string();
+        let window = (seconds / 2.0).max(0.5);
+        let mut direct_runs = Vec::new();
+        let mut gateway_runs = Vec::new();
+        for _ in 0..RATIO_RUNS {
+            direct_runs.push(drive(&backend_addr, window));
+            gateway_runs.push(drive(&gateway_addr, window));
+        }
+        gateway.stop();
+        backend.stop();
+        (
+            cell("direct", 1, 1, &best_of(direct_runs)),
+            cell("gateway passthrough", 1, 1, &best_of(gateway_runs)),
+        )
+    };
+    print_cell(&direct);
+    print_cell(&passthrough);
+    let overhead = passthrough.p50_us / direct.p50_us.max(1e-9);
+    println!(
+        "  gateway p50 overhead over direct: {:.2}x (gate: <= 1.25x)\n",
+        overhead
+    );
+
+    // 3. Scaling curve: replicas = backends, so every request scatters
+    //    across all N and gathers. Honest single-core numbers.
+    let mut scaling = Vec::new();
+    for n in 2..=4 {
+        let (backends, gateway) = start_cluster(&root, n, n);
+        let report = drive(&gateway.local_addr().to_string(), seconds);
+        gateway.stop();
+        for b in backends {
+            b.stop();
+        }
+        let c = cell("scatter/gather", n, n, &report);
+        print_cell(&c);
+        scaling.push(c);
+    }
+
+    // 4. Failover: 2 backends, kill one halfway through the run. The
+    //    client must see zero errors.
+    let failover = {
+        let (mut backends, gateway) = start_cluster(&root, 2, 1);
+        let victim = backends.pop().expect("two backends started");
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs_f64(seconds / 2.0));
+            victim.stop();
+        });
+        let report = drive(&gateway.local_addr().to_string(), seconds);
+        killer.join().expect("killer thread");
+        gateway.stop();
+        for b in backends {
+            b.stop();
+        }
+        cell("failover (1 of 2 killed)", 2, 1, &report)
+    };
+    print_cell(&failover);
+
+    assert!(
+        overhead <= 1.25,
+        "gateway passthrough p50 {:.0}us exceeds 25% over direct p50 {:.0}us ({overhead:.2}x)",
+        passthrough.p50_us,
+        direct.p50_us
+    );
+    assert_eq!(
+        failover.errors, 0,
+        "killing a backend leaked {} error(s) to clients",
+        failover.errors
+    );
+    println!("\n  gates passed: overhead {overhead:.2}x <= 1.25x, failover errors == 0");
+
+    let report = ClusterReport {
+        workload: workload.to_string(),
+        kind: ModelKind::Hybrid.to_string(),
+        connections: CONNECTIONS,
+        batch_rows: BATCH_ROWS,
+        seconds,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        direct,
+        gateway_passthrough: passthrough,
+        overhead_p50_ratio: overhead,
+        scaling,
+        failover,
+    };
+    if let Some(parent) = Path::new(&out).parent() {
+        std::fs::create_dir_all(parent).expect("results dir");
+    }
+    std::fs::write(&out, serde_json::to_string_pretty(&report).expect("json")).expect("write");
+    println!("  report written to {out}");
+}

@@ -97,7 +97,7 @@ fn drive(addr: &str, mode: LoadMode, seconds: f64) -> (LoadReport, f64) {
     };
     let before = scrape(addr);
     let report = loadgen::run(&LoadgenOptions {
-        addr: addr.to_string(),
+        addrs: vec![addr.to_string()],
         workload: WorkloadId::get("fmm-small").expect("builtin"),
         kind: ModelKind::Hybrid,
         version: 1,

@@ -1,0 +1,160 @@
+//! Cluster gateway: front a set of `serve` backends with consistent-hash
+//! routing, scatter/gather `/predict` batching, health-check failover,
+//! and load shedding.
+//!
+//! ```text
+//! gateway (--backend HOST:PORT ... | --backend-file PATH ...)
+//!         [--addr 127.0.0.1:0] [--workers 4] [--vnodes 64] [--replicas 1]
+//!         [--probe-interval-ms 500] [--fail-threshold 3]
+//!         [--recover-threshold 2] [--max-connections 1024]
+//!         [--addr-file PATH] [--max-seconds S]
+//! ```
+//!
+//! `--backend` repeats, one per lam-serve backend; `--backend-file`
+//! repeats and reads each address from a file a backend wrote with its
+//! own `--addr-file` (the random-port handshake scripts use). `--addr
+//! 127.0.0.1:0` (the default) binds a random free port and prints it;
+//! `--addr-file` writes it for scripts. `--max-seconds` shuts the
+//! gateway down cleanly on its own — used by the CI smoke test.
+
+use lam_serve::cluster::{start_gateway, GatewayConfig};
+use lam_serve::http::{ServeConfig, ServerOptions};
+use lam_serve::ServeError;
+use std::time::Duration;
+
+struct Args {
+    backends: Vec<String>,
+    addr: String,
+    workers: usize,
+    vnodes: usize,
+    replicas: usize,
+    probe_interval_ms: u64,
+    fail_threshold: u32,
+    recover_threshold: u32,
+    max_connections: Option<usize>,
+    addr_file: Option<String>,
+    max_seconds: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        backends: Vec::new(),
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        vnodes: 64,
+        replicas: 1,
+        probe_interval_ms: 500,
+        fail_threshold: 3,
+        recover_threshold: 2,
+        max_connections: None,
+        addr_file: None,
+        max_seconds: None,
+    };
+    let mut backend_files = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--backend" => args.backends.push(value("--backend")?),
+            "--backend-file" => backend_files.push(value("--backend-file")?),
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => args.workers = value("--workers")?.parse().map_err(err_str)?,
+            "--vnodes" => args.vnodes = value("--vnodes")?.parse().map_err(err_str)?,
+            "--replicas" => args.replicas = value("--replicas")?.parse().map_err(err_str)?,
+            "--probe-interval-ms" => {
+                args.probe_interval_ms = value("--probe-interval-ms")?.parse().map_err(err_str)?
+            }
+            "--fail-threshold" => {
+                args.fail_threshold = value("--fail-threshold")?.parse().map_err(err_str)?
+            }
+            "--recover-threshold" => {
+                args.recover_threshold = value("--recover-threshold")?.parse().map_err(err_str)?
+            }
+            "--max-connections" => {
+                args.max_connections = Some(value("--max-connections")?.parse().map_err(err_str)?)
+            }
+            "--addr-file" => args.addr_file = Some(value("--addr-file")?),
+            "--max-seconds" => {
+                args.max_seconds = Some(value("--max-seconds")?.parse().map_err(err_str)?)
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    for path in backend_files {
+        let addr =
+            std::fs::read_to_string(&path).map_err(|e| format!("--backend-file {path}: {e}"))?;
+        args.backends.push(addr.trim().to_string());
+    }
+    if args.backends.is_empty() {
+        return Err("at least one --backend or --backend-file is required".to_string());
+    }
+    Ok(args)
+}
+
+fn err_str<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("gateway: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(ServeError::Http)?;
+    let mut cfg = GatewayConfig::new(args.backends.clone());
+    cfg.serve = ServeConfig::new(ServerOptions {
+        addr: args.addr.clone(),
+        workers: args.workers,
+        ..ServerOptions::default()
+    });
+    if let Some(n) = args.max_connections {
+        cfg.serve.max_connections = n;
+    }
+    cfg.vnodes = args.vnodes;
+    cfg.replicas = args.replicas;
+    cfg.probe_interval = Duration::from_millis(args.probe_interval_ms);
+    cfg.fail_threshold = args.fail_threshold;
+    cfg.recover_threshold = args.recover_threshold;
+
+    let handle = start_gateway(cfg)?;
+    let addr = handle.local_addr();
+    println!(
+        "gateway on http://{addr} fronting {} backend(s): {}",
+        args.backends.len(),
+        args.backends.join(", ")
+    );
+    println!(
+        "vnodes={} replicas={} probe={}ms eject@{} recover@{}",
+        args.vnodes,
+        args.replicas,
+        args.probe_interval_ms,
+        args.fail_threshold,
+        args.recover_threshold
+    );
+    if let Some(path) = &args.addr_file {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, addr.to_string())?;
+        println!("address written to {path}");
+    }
+
+    match args.max_seconds {
+        Some(s) => {
+            std::thread::sleep(Duration::from_secs_f64(s));
+            println!("max-seconds reached; shutting down");
+            handle.stop();
+            println!("shutdown complete");
+        }
+        None => loop {
+            // Serve until killed.
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    Ok(())
+}

@@ -3,7 +3,8 @@
 //! throughput and p50/p90/p95/p99 latency.
 //!
 //! ```text
-//! loadgen (--addr HOST:PORT | --addr-file PATH)
+//! loadgen (--addr HOST:PORT ... | --addr-file PATH ...)
+//!         [--cluster]
 //!         [--workload fmm-small] [--kind hybrid] [--version 1]
 //!         [--seconds 3] [--connections 4] [--batch 64] [--pool 256]
 //!         [--pipeline N | --open-loop RPS]
@@ -15,6 +16,12 @@
 //! of completions (503 sheds are reported separately, not as errors).
 //! Default is the closed loop.
 //!
+//! `--addr` / `--addr-file` repeat: several targets spread connections
+//! round-robin and the report appends per-target request counts.
+//! `--cluster` additionally scrapes the first address as a *gateway* and
+//! prints its upstream shard balance, backend health, and `/predict`
+//! fan-out — point it at a `gateway` process fronting the backends.
+//!
 //! Exits non-zero when any request errored or measured throughput falls
 //! below `--min-throughput` predictions/sec — the CI smoke gate.
 //!
@@ -25,37 +32,37 @@
 //! `--no-scrape` skips it (e.g. against servers without the endpoint).
 
 use lam_serve::loadgen::{
-    format_report, format_server_breakdown, run, HttpClient, LoadMode, LoadgenOptions,
-    MetricsScrape,
+    format_cluster_summary, format_report, format_server_breakdown, run, HttpClient, LoadMode,
+    LoadgenOptions, MetricsScrape,
 };
 use lam_serve::ServeError;
 
 struct Args {
     opts: LoadgenOptions,
-    addr_file: Option<String>,
+    addr_files: Vec<String>,
     out: Option<String>,
     min_throughput: f64,
     scrape: bool,
+    cluster: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         opts: LoadgenOptions::default(),
-        addr_file: None,
+        addr_files: Vec::new(),
         out: None,
         min_throughput: 1.0,
         scrape: true,
+        cluster: false,
     };
-    let mut addr_set = false;
+    let mut addrs = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
-            "--addr" => {
-                args.opts.addr = value("--addr")?;
-                addr_set = true;
-            }
-            "--addr-file" => args.addr_file = Some(value("--addr-file")?),
+            "--addr" => addrs.push(value("--addr")?),
+            "--addr-file" => args.addr_files.push(value("--addr-file")?),
+            "--cluster" => args.cluster = true,
             "--workload" => args.opts.workload = value("--workload")?.parse().map_err(err_str)?,
             "--kind" => args.opts.kind = value("--kind")?.parse().map_err(err_str)?,
             "--version" => args.opts.version = value("--version")?.parse().map_err(err_str)?,
@@ -81,8 +88,13 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if !addr_set && args.addr_file.is_none() {
+    if addrs.is_empty() && args.addr_files.is_empty() {
         return Err("one of --addr or --addr-file is required".to_string());
+    }
+    if !addrs.is_empty() {
+        args.opts.addrs = addrs;
+    } else {
+        args.opts.addrs.clear();
     }
     Ok(args)
 }
@@ -100,27 +112,31 @@ fn main() {
 
 fn run_main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = parse_args().map_err(ServeError::Http)?;
-    if let Some(path) = &args.addr_file {
-        args.opts.addr = std::fs::read_to_string(path)?.trim().to_string();
+    for path in &args.addr_files {
+        args.opts
+            .addrs
+            .push(std::fs::read_to_string(path)?.trim().to_string());
     }
     println!(
         "loadgen: {} connections x {}-row batches against http://{} for {:.1}s ({}/{}/v{}, {})",
         args.opts.connections,
         args.opts.batch,
-        args.opts.addr,
+        args.opts.addrs.join(", http://"),
         args.opts.seconds,
         args.opts.workload,
         args.opts.kind,
         args.opts.version,
         args.opts.mode,
     );
-    // Bracket the run with metric scrapes; a scrape failure degrades to
+    // Bracket the run with metric scrapes of the first target (in
+    // --cluster mode that is the gateway); a scrape failure degrades to
     // a warning (the load numbers are still the primary product).
+    let scrape_addr = args.opts.addrs[0].clone();
     let scrape = |label: &str| -> Option<MetricsScrape> {
         if !args.scrape {
             return None;
         }
-        match HttpClient::connect(&args.opts.addr).and_then(|mut c| MetricsScrape::fetch(&mut c)) {
+        match HttpClient::connect(&scrape_addr).and_then(|mut c| MetricsScrape::fetch(&mut c)) {
             Ok(s) => Some(s),
             Err(e) => {
                 eprintln!("loadgen: {label} metrics scrape failed: {e}");
@@ -131,8 +147,11 @@ fn run_main() -> Result<(), Box<dyn std::error::Error>> {
     let before = scrape("pre-run");
     let report = run(&args.opts)?;
     println!("{}", format_report(&report));
-    if let (Some(before), Some(after)) = (before, scrape("post-run")) {
-        println!("{}", format_server_breakdown(&before, &after));
+    if let (Some(before), Some(after)) = (before.as_ref(), scrape("post-run")) {
+        println!("{}", format_server_breakdown(before, &after));
+        if args.cluster {
+            println!("{}", format_cluster_summary(before, &after));
+        }
     }
 
     if let Some(out) = &args.out {

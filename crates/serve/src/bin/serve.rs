@@ -6,8 +6,15 @@
 //!       [--models-dir results/models] [--addr 127.0.0.1:0] [--workers 4]
 //!       [--max-connections 1024] [--dispatch-queue 256]
 //!       [--max-batch-rows 256] [--flush-deadline-us 200]
+//!       [--peer HOST:PORT ...] [--peer-file PATH ...]
 //!       [--train-only] [--addr-file PATH] [--max-seconds S]
 //! ```
+//!
+//! `--peer` (repeatable; `--peer-file` reads an address from a file a
+//! peer wrote with `--addr-file`) names sibling backends in a cluster:
+//! on a registry miss not answered by disk, the model's binary `.lamb`
+//! artifact is fetched from the first peer that has it before falling
+//! back to training — so one cluster trains each model exactly once.
 //!
 //! `--max-connections` / `--dispatch-queue` bound the event-driven serve
 //! core (accepts and parsed requests beyond them shed with `503`);
@@ -38,6 +45,7 @@ struct Args {
     dispatch_queue: Option<usize>,
     max_batch_rows: Option<usize>,
     flush_deadline_us: Option<u64>,
+    peers: Vec<String>,
     train_only: bool,
     addr_file: Option<String>,
     max_seconds: Option<f64>,
@@ -55,10 +63,12 @@ fn parse_args() -> Result<Args, String> {
         dispatch_queue: None,
         max_batch_rows: None,
         flush_deadline_us: None,
+        peers: Vec::new(),
         train_only: false,
         addr_file: None,
         max_seconds: None,
     };
+    let mut peer_files = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
@@ -82,6 +92,8 @@ fn parse_args() -> Result<Args, String> {
                 args.flush_deadline_us =
                     Some(value("--flush-deadline-us")?.parse().map_err(err_str)?)
             }
+            "--peer" => args.peers.push(value("--peer")?),
+            "--peer-file" => peer_files.push(value("--peer-file")?),
             "--train-only" => args.train_only = true,
             "--addr-file" => args.addr_file = Some(value("--addr-file")?),
             "--max-seconds" => {
@@ -89,6 +101,11 @@ fn parse_args() -> Result<Args, String> {
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    for path in peer_files {
+        let addr =
+            std::fs::read_to_string(&path).map_err(|e| format!("--peer-file {path}: {e}"))?;
+        args.peers.push(addr.trim().to_string());
     }
     Ok(args)
 }
@@ -106,7 +123,16 @@ fn main() {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(ServeError::Http)?;
-    let registry = Arc::new(ModelRegistry::new(&args.models_dir));
+    let registry = Arc::new(ModelRegistry::with_peers(
+        &args.models_dir,
+        args.peers.clone(),
+    ));
+    if !args.peers.is_empty() {
+        println!(
+            "replicating artifacts from peer(s): {}",
+            args.peers.join(", ")
+        );
+    }
     let key = ModelKey::new(args.workload, args.kind, args.version);
 
     let trained_at = Instant::now();

@@ -1,0 +1,1214 @@
+//! The cluster gateway: one event-driven front process that
+//! consistent-hash-routes `(workload, kind)` traffic across N lam-serve
+//! backends, splits multi-row `/predict` bodies across the key's
+//! replica set, re-merges responses preserving row order, health-checks
+//! backends with failure-count ejection, and sheds `503` + `retry-after`
+//! when no replica is live.
+//!
+//! ```text
+//!                ┌─────────────────────────────┐
+//!   clients ────▶│ gateway (epoll reactor +    │     /healthz probes
+//!                │ handler pool, this module)  │──────────┐
+//!                └──────┬──────────────────────┘          │
+//!                       │ consistent hash on             ▼
+//!                       │ (workload, kind)      ┌────────────────┐
+//!            ┌──────────┼──────────┐            │ health ejector │
+//!            ▼          ▼          ▼            └────────────────┘
+//!        lam-serve  lam-serve  lam-serve
+//!          :9001      :9002      :9003   ←— peers replicate .lamb
+//!                                            artifacts on cold miss
+//! ```
+//!
+//! The gateway reuses the serve stack end to end: the same epoll
+//! reactor and bounded dispatch queue face the clients
+//! ([`crate::http::start_engine`]); upstream requests ride non-blocking
+//! keep-alive connections multiplexed on a per-handler-thread epoll
+//! instance, so a scatter across R replicas overlaps its upstream I/O
+//! instead of paying R round trips in sequence.
+//!
+//! **Routing.** A [`HashRing`] with virtual nodes maps every
+//! `(workload, kind)` to a preference permutation of all backends (see
+//! [`crate::route`]). The serving set of a key is the first `replicas`
+//! *healthy* entries of that permutation — ejecting a dead backend is
+//! just skipping it, which leaves every other key's routing untouched.
+//!
+//! **Failover without client errors.** An upstream failure on a
+//! *reused* keep-alive connection is retried once against the same
+//! backend on a fresh connection (a stale pooled connection is not
+//! evidence the backend is down); a fresh-connection failure bumps the
+//! backend's consecutive-failure count (ejecting it at the threshold)
+//! and fails over to the next healthy candidate. `/predict` and `/tune`
+//! are idempotent, so retries are safe by construction.
+//!
+//! **Replication.** Backends started `--peers`-aware extend registry
+//! resolution with a peer-fetch step (memo → disk → peer → train): a
+//! cold backend pulls the binary `.lamb` artifact from a sibling via
+//! `GET /models/{workload}/{kind}/artifact` instead of re-training it.
+//! The endpoint never trains, so exactly one process ever pays the
+//! training cost for a key.
+
+use crate::http::{
+    account_request, endpoint_index, error_body, start_engine, PredictRequest, PredictResponse,
+    ServeConfig, JSON_CONTENT_TYPE, LAMB_CONTENT_TYPE,
+};
+use crate::proto::{encode_request, ParsedResponse, ResponseParser, ResponseStep};
+use crate::reactor::Job;
+use crate::registry::ModelKey;
+use crate::route::HashRing;
+use crate::ServeError;
+use epoll::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use lam_obs::expose::PROMETHEUS_CONTENT_TYPE;
+use lam_obs::{Counter, Gauge, Histogram};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Gateway configuration: the serve-engine knobs plus routing,
+/// replication, and health-checking.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Reactor/queue knobs for the client-facing side (bind address,
+    /// handler threads, body cap, shedding).
+    pub serve: ServeConfig,
+    /// Backend addresses (`host:port`), the ring's identity set.
+    pub backends: Vec<String>,
+    /// Virtual nodes per backend on the hash ring.
+    pub vnodes: usize,
+    /// Replicas serving each key: multi-row `/predict` bodies scatter
+    /// across this many healthy backends (1 = pure sharding).
+    pub replicas: usize,
+    /// How often the health thread probes each backend's `/healthz`.
+    pub probe_interval: Duration,
+    /// Consecutive failures (probe or traffic) that eject a backend.
+    pub fail_threshold: u32,
+    /// Consecutive probe successes that restore an ejected backend.
+    pub recover_threshold: u32,
+    /// Per-exchange upstream deadline for `/predict` and proxied GETs.
+    pub upstream_timeout: Duration,
+    /// Upstream deadline for `/tune` (oracle evaluations run upstream,
+    /// so this is minutes, not milliseconds).
+    pub tune_timeout: Duration,
+}
+
+impl GatewayConfig {
+    /// Defaults for a local cluster over `backends`.
+    pub fn new(backends: Vec<String>) -> Self {
+        Self {
+            serve: ServeConfig::default(),
+            backends,
+            vnodes: 64,
+            replicas: 1,
+            probe_interval: Duration::from_millis(500),
+            fail_threshold: 3,
+            recover_threshold: 2,
+            upstream_timeout: Duration::from_secs(10),
+            tune_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// One backend's live state: health flag, consecutive-outcome counters,
+/// and pre-interned per-backend metrics.
+pub struct BackendState {
+    /// The backend's `host:port` (the ring identity and metric label).
+    pub addr: String,
+    healthy: AtomicBool,
+    consecutive_fails: AtomicU32,
+    consecutive_oks: AtomicU32,
+    /// `lam_gateway_upstream_requests_total{backend,status}` by status
+    /// class, indexed 2xx/4xx/5xx/err.
+    requests: [Arc<Counter>; 4],
+    healthy_gauge: Arc<Gauge>,
+}
+
+/// Index into [`BackendState::requests`] for an upstream HTTP status.
+fn upstream_class(status: u16) -> usize {
+    match status {
+        0..=399 => 0,
+        400..=499 => 1,
+        _ => 2,
+    }
+}
+
+/// Index into [`BackendState::requests`] for a connection-level failure
+/// (no HTTP status ever arrived).
+const UPSTREAM_ERR: usize = 3;
+
+impl BackendState {
+    fn new(addr: String) -> Self {
+        let reg = lam_obs::global();
+        let counter = |class: &str| {
+            reg.counter(
+                "lam_gateway_upstream_requests_total",
+                "Upstream requests sent by the gateway, by backend and status class.",
+                &[("backend", &addr), ("status", class)],
+            )
+        };
+        let healthy_gauge = reg.gauge(
+            "lam_gateway_backend_healthy",
+            "1 while the gateway considers the backend live, else 0.",
+            &[("backend", &addr)],
+        );
+        healthy_gauge.set(1);
+        let requests = [
+            counter("2xx"),
+            counter("4xx"),
+            counter("5xx"),
+            counter("err"),
+        ];
+        Self {
+            addr,
+            healthy: AtomicBool::new(true),
+            consecutive_fails: AtomicU32::new(0),
+            consecutive_oks: AtomicU32::new(0),
+            requests,
+            healthy_gauge,
+        }
+    }
+
+    /// Is the backend currently in the serving rotation?
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst)
+    }
+
+    fn record_response(&self, status: u16) {
+        self.requests[upstream_class(status)].inc();
+        self.consecutive_fails.store(0, Ordering::SeqCst);
+    }
+
+    /// A connection-level failure on a *fresh* connection: count it, and
+    /// eject at the threshold. (Reused-connection failures retry
+    /// silently — a stale keep-alive socket says nothing about health.)
+    fn record_failure(&self, fail_threshold: u32) {
+        self.requests[UPSTREAM_ERR].inc();
+        self.consecutive_oks.store(0, Ordering::SeqCst);
+        let fails = self.consecutive_fails.fetch_add(1, Ordering::SeqCst) + 1;
+        if fails >= fail_threshold && self.healthy.swap(false, Ordering::SeqCst) {
+            self.healthy_gauge.set(0);
+        }
+    }
+
+    /// A probe success: restore an ejected backend after enough in a row.
+    fn record_probe_success(&self, recover_threshold: u32) {
+        self.consecutive_fails.store(0, Ordering::SeqCst);
+        let oks = self.consecutive_oks.fetch_add(1, Ordering::SeqCst) + 1;
+        if !self.is_healthy()
+            && oks >= recover_threshold
+            && !self.healthy.swap(true, Ordering::SeqCst)
+        {
+            self.healthy_gauge.set(1);
+        }
+    }
+}
+
+/// Shared routing + health state of the gateway: the ring, every
+/// backend's state, and the fan-out histogram.
+pub struct ClusterState {
+    /// Per-backend state, indexed as the ring indexes them.
+    pub backends: Vec<BackendState>,
+    /// The consistent-hash ring over `backends`.
+    pub ring: HashRing,
+    replicas: usize,
+    fail_threshold: u32,
+    recover_threshold: u32,
+    fanout: Arc<Histogram>,
+}
+
+impl ClusterState {
+    fn new(cfg: &GatewayConfig) -> Self {
+        Self {
+            backends: cfg
+                .backends
+                .iter()
+                .cloned()
+                .map(BackendState::new)
+                .collect(),
+            ring: HashRing::new(&cfg.backends, cfg.vnodes),
+            replicas: cfg.replicas.max(1),
+            fail_threshold: cfg.fail_threshold.max(1),
+            recover_threshold: cfg.recover_threshold.max(1),
+            fanout: lam_obs::global().histogram(
+                "lam_gateway_fanout_size",
+                "Upstream subrequests one client /predict fanned out into.",
+                &[],
+            ),
+        }
+    }
+
+    /// Backends currently in the serving rotation.
+    pub fn healthy_count(&self) -> usize {
+        self.backends.iter().filter(|b| b.is_healthy()).count()
+    }
+
+    /// The key's healthy candidates, in ring preference order (failover
+    /// walks this list).
+    fn healthy_candidates(&self, workload: &str, kind: &str) -> Vec<usize> {
+        self.ring
+            .candidates(workload, kind)
+            .into_iter()
+            .filter(|&i| self.backends[i].is_healthy())
+            .collect()
+    }
+}
+
+/// Handle of a running gateway: the client-facing server plus the
+/// health-probe thread.
+pub struct GatewayHandle {
+    server: crate::http::ServerHandle,
+    probe_stop: Arc<AtomicBool>,
+    probe: JoinHandle<()>,
+    /// The routing/health state, shared for inspection (tests, CLIs).
+    pub cluster: Arc<ClusterState>,
+}
+
+impl GatewayHandle {
+    /// The gateway's bound client-facing address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Graceful shutdown of the server and the probe thread.
+    pub fn stop(self) {
+        self.probe_stop.store(true, Ordering::SeqCst);
+        let _ = self.probe.join();
+        self.server.stop();
+    }
+}
+
+/// Start the gateway. Returns once the client-facing listener is bound;
+/// routing, health probing, and upstream I/O happen on the engine's
+/// threads.
+pub fn start_gateway(cfg: GatewayConfig) -> Result<GatewayHandle, ServeError> {
+    if cfg.backends.is_empty() {
+        return Err(ServeError::Http(
+            "gateway needs at least one --backend".to_string(),
+        ));
+    }
+    let cluster = Arc::new(ClusterState::new(&cfg));
+    let ctx = Arc::new(GatewayCtx {
+        cluster: Arc::clone(&cluster),
+        retry_after_secs: cfg.serve.retry_after_secs,
+        upstream_timeout: cfg.upstream_timeout,
+        tune_timeout: cfg.tune_timeout,
+        max_upstream_body: cfg.serve.opts.max_body.max(1 << 20),
+    });
+    let server = start_engine(
+        &cfg.serve,
+        None,
+        Arc::new(move |job| handle_gateway_job(job, &ctx)),
+    )?;
+    let probe_stop = Arc::new(AtomicBool::new(false));
+    let probe = {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&probe_stop);
+        let interval = cfg.probe_interval.max(Duration::from_millis(10));
+        std::thread::spawn(move || probe_loop(&cluster, &stop, interval))
+    };
+    Ok(GatewayHandle {
+        server,
+        probe_stop,
+        probe,
+        cluster,
+    })
+}
+
+/// The health thread: probe every backend's `/healthz` each interval,
+/// sleeping in small slices so shutdown is prompt.
+fn probe_loop(cluster: &ClusterState, stop: &AtomicBool, interval: Duration) {
+    const PROBE_TIMEOUT: Duration = Duration::from_secs(2);
+    while !stop.load(Ordering::SeqCst) {
+        for backend in &cluster.backends {
+            match blocking_get(&backend.addr, "/healthz", PROBE_TIMEOUT, 1 << 20) {
+                Ok(resp) if resp.status == 200 => {
+                    backend.record_probe_success(cluster.recover_threshold)
+                }
+                _ => backend.record_failure(cluster.fail_threshold),
+            }
+        }
+        let mut slept = Duration::ZERO;
+        while slept < interval && !stop.load(Ordering::SeqCst) {
+            let slice = (interval - slept).min(Duration::from_millis(25));
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+    }
+}
+
+/// Everything a gateway handler thread needs for one request.
+struct GatewayCtx {
+    cluster: Arc<ClusterState>,
+    retry_after_secs: u32,
+    upstream_timeout: Duration,
+    tune_timeout: Duration,
+    max_upstream_body: usize,
+}
+
+/// A fully-formed gateway response (status, content type, body bytes,
+/// optional `retry-after`).
+type GatewayResponse = (u16, &'static str, Vec<u8>, Option<u32>);
+
+/// Map an upstream's content type onto our static label set (responder
+/// completions carry `&'static str`).
+fn static_content_type(ct: &str) -> &'static str {
+    if ct.starts_with(PROMETHEUS_CONTENT_TYPE) {
+        PROMETHEUS_CONTENT_TYPE
+    } else if ct.starts_with(LAMB_CONTENT_TYPE) {
+        LAMB_CONTENT_TYPE
+    } else {
+        JSON_CONTENT_TYPE
+    }
+}
+
+/// Serve one dispatched client request on a gateway handler thread.
+fn handle_gateway_job(job: Job, ctx: &GatewayCtx) {
+    let Job {
+        req,
+        responder,
+        hint,
+    } = job;
+    drop(hint); // the gateway schedules no rows
+    let started = lam_obs::enabled().then(Instant::now);
+    let endpoint = endpoint_index(&req.method, &req.path);
+    let (status, content_type, body, retry_after) = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/predict") => gateway_predict(&req.body, ctx),
+        ("POST", "/tune") => gateway_tune(&req.body, ctx),
+        ("GET", "/healthz") => gateway_healthz(ctx),
+        ("GET", "/metrics") => {
+            let text = lam_obs::expose::render_prometheus(&lam_obs::global().snapshot());
+            (200, PROMETHEUS_CONTENT_TYPE, text.into_bytes(), None)
+        }
+        ("GET", "/metrics.json") => {
+            let text = lam_obs::expose::render_json(&lam_obs::global().snapshot());
+            (200, JSON_CONTENT_TYPE, text.into_bytes(), None)
+        }
+        ("GET", p)
+            if p == "/models"
+                || p == "/workloads"
+                || p.starts_with("/workloads/")
+                || crate::http::parse_artifact_path(p).is_some() =>
+        {
+            gateway_proxy_get(p, ctx)
+        }
+        ("GET", "/predict") => bad(405, "use POST for /predict"),
+        ("GET", "/tune") => bad(405, "use POST for /tune"),
+        _ => bad(404, &format!("no route for {} {}", req.method, req.path)),
+    };
+    account_request(endpoint, status, started);
+    responder.send_bytes(status, content_type, body, retry_after);
+}
+
+fn bad(status: u16, msg: &str) -> GatewayResponse {
+    (
+        status,
+        JSON_CONTENT_TYPE,
+        error_body(msg).into_bytes(),
+        None,
+    )
+}
+
+/// `/healthz` response of the gateway itself.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GatewayHealthResponse {
+    /// `ok` while at least one backend is live, else `degraded`.
+    pub status: String,
+    /// Configured backend count.
+    pub backends: usize,
+    /// Backends currently in the serving rotation.
+    pub backends_healthy: usize,
+    /// Per-backend liveness, in ring order.
+    pub backend_status: Vec<GatewayBackendStatus>,
+}
+
+/// One backend's row in [`GatewayHealthResponse`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GatewayBackendStatus {
+    /// The backend's address.
+    pub addr: String,
+    /// Its current liveness.
+    pub healthy: bool,
+}
+
+fn gateway_healthz(ctx: &GatewayCtx) -> GatewayResponse {
+    let healthy = ctx.cluster.healthy_count();
+    let resp = GatewayHealthResponse {
+        status: if healthy > 0 { "ok" } else { "degraded" }.to_string(),
+        backends: ctx.cluster.backends.len(),
+        backends_healthy: healthy,
+        backend_status: ctx
+            .cluster
+            .backends
+            .iter()
+            .map(|b| GatewayBackendStatus {
+                addr: b.addr.clone(),
+                healthy: b.is_healthy(),
+            })
+            .collect(),
+    };
+    match serde_json::to_string(&resp) {
+        Ok(body) => (200, JSON_CONTENT_TYPE, body.into_bytes(), None),
+        Err(e) => bad(500, &e.to_string()),
+    }
+}
+
+/// Shed response when a key has no live replica.
+fn all_replicas_down(ctx: &GatewayCtx) -> GatewayResponse {
+    (
+        503,
+        JSON_CONTENT_TYPE,
+        error_body("no live backend replica for this key").into_bytes(),
+        Some(ctx.retry_after_secs),
+    )
+}
+
+/// `/predict` through the gateway.
+///
+/// The routing fields are extracted with a cheap byte scan — no full
+/// JSON parse on the passthrough path, which is what keeps single-shard
+/// gateway overhead inside the ≤ 25% budget on one core. When the
+/// serving set is one backend the raw body forwards verbatim; with
+/// replication the body is parsed once and its rows scatter as
+/// contiguous chunks across the replica set, gathered back in chunk
+/// order so the client sees row-order-preserving predictions.
+fn gateway_predict(body: &[u8], ctx: &GatewayCtx) -> GatewayResponse {
+    let Some((workload, kind)) = scan_routing_fields(body) else {
+        // The scan only fails on bodies that are not simple JSON
+        // objects with string `workload`/`kind` fields — let a backend
+        // produce the canonical 400 unless none is alive.
+        return match first_healthy(ctx) {
+            Some(order) => {
+                forward_with_failover(ctx, &order, "POST", "/predict", body, ctx.upstream_timeout)
+            }
+            None => all_replicas_down(ctx),
+        };
+    };
+    let candidates = ctx.cluster.healthy_candidates(&workload, &kind);
+    if candidates.is_empty() {
+        return all_replicas_down(ctx);
+    }
+    let serving = &candidates[..candidates.len().min(ctx.cluster.replicas)];
+    if serving.len() == 1 {
+        ctx.cluster.fanout.record(1);
+        return forward_with_failover(
+            ctx,
+            &candidates,
+            "POST",
+            "/predict",
+            body,
+            ctx.upstream_timeout,
+        );
+    }
+    scatter_predict(body, serving, &candidates, ctx)
+}
+
+/// `/tune` through the gateway: routed whole (budgets are not
+/// splittable), with the kind defaulting to `hybrid` exactly as the
+/// backend would default it.
+fn gateway_tune(body: &[u8], ctx: &GatewayCtx) -> GatewayResponse {
+    let key = scan_routing_fields(body);
+    let candidates = match &key {
+        Some((workload, kind)) => ctx.cluster.healthy_candidates(workload, kind),
+        None => first_healthy(ctx).unwrap_or_default(),
+    };
+    if candidates.is_empty() {
+        return all_replicas_down(ctx);
+    }
+    forward_with_failover(ctx, &candidates, "POST", "/tune", body, ctx.tune_timeout)
+}
+
+/// Proxy a GET (catalog, workloads, artifact) to a healthy backend.
+/// Artifact paths route by their embedded key so the request lands on
+/// the shard most likely to have the artifact; the rest go to the first
+/// healthy backend (every backend can answer them).
+fn gateway_proxy_get(path: &str, ctx: &GatewayCtx) -> GatewayResponse {
+    let candidates = match crate::http::parse_artifact_path(path) {
+        Some((workload, kind, _)) => {
+            let (workload, kind) = (workload.to_string(), kind.to_string());
+            ctx.cluster.healthy_candidates(&workload, &kind)
+        }
+        None => first_healthy(ctx).unwrap_or_default(),
+    };
+    if candidates.is_empty() {
+        return all_replicas_down(ctx);
+    }
+    forward_with_failover(ctx, &candidates, "GET", path, &[], ctx.upstream_timeout)
+}
+
+/// All healthy backends in index order (for keyless requests), `None`
+/// when the whole cluster is dark.
+fn first_healthy(ctx: &GatewayCtx) -> Option<Vec<usize>> {
+    let order: Vec<usize> = (0..ctx.cluster.backends.len())
+        .filter(|&i| ctx.cluster.backends[i].is_healthy())
+        .collect();
+    if order.is_empty() {
+        None
+    } else {
+        Some(order)
+    }
+}
+
+/// Scan a JSON object's raw bytes for its string-valued `workload` and
+/// `kind` fields without parsing the whole body (the rows array
+/// dominates the bytes and the passthrough path never needs it).
+/// Returns `None` on anything irregular — escaped strings, missing
+/// fields — and the caller falls back to a full parse or passthrough.
+fn scan_routing_fields(body: &[u8]) -> Option<(String, String)> {
+    Some((
+        scan_string_field(body, b"\"workload\"")?,
+        scan_string_field(body, b"\"kind\"")?,
+    ))
+}
+
+fn scan_string_field(body: &[u8], quoted_name: &[u8]) -> Option<String> {
+    let at = body
+        .windows(quoted_name.len())
+        .position(|w| w == quoted_name)?;
+    let mut i = at + quoted_name.len();
+    while i < body.len() && (body[i] as char).is_ascii_whitespace() {
+        i += 1;
+    }
+    if body.get(i) != Some(&b':') {
+        return None;
+    }
+    i += 1;
+    while i < body.len() && (body[i] as char).is_ascii_whitespace() {
+        i += 1;
+    }
+    if body.get(i) != Some(&b'"') {
+        return None;
+    }
+    i += 1;
+    let start = i;
+    while i < body.len() {
+        match body[i] {
+            b'"' => {
+                return String::from_utf8(body[start..i].to_vec()).ok();
+            }
+            // Workload and kind names never contain escapes; punt to the
+            // full parser rather than implement JSON unescaping here.
+            b'\\' => return None,
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Send one request to the first candidate that answers, walking the
+/// preference list on connection-level failures. An HTTP response —
+/// any status — ends the walk: statuses are deterministic answers
+/// (400) or explicit backpressure (503 + retry-after) that failover
+/// must not amplify into duplicated work.
+fn forward_with_failover(
+    ctx: &GatewayCtx,
+    candidates: &[usize],
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> GatewayResponse {
+    for &idx in candidates {
+        let addr = &ctx.cluster.backends[idx].addr;
+        let request = encode_request(method, path, addr, body);
+        match request_one(ctx, idx, request, timeout) {
+            Ok(resp) => {
+                return (
+                    resp.status,
+                    static_content_type(&resp.content_type),
+                    resp.body,
+                    None,
+                )
+            }
+            Err(_) => continue,
+        }
+    }
+    all_replicas_down(ctx)
+}
+
+/// Scatter a parsed multi-row `/predict` across the serving set and
+/// gather the merged response. Chunks are contiguous row ranges, so the
+/// concatenation of per-chunk predictions in chunk order *is* the
+/// client's row order. A failed chunk fails over to the key's remaining
+/// healthy candidates before the request is given up on.
+fn scatter_predict(
+    body: &[u8],
+    serving: &[usize],
+    candidates: &[usize],
+    ctx: &GatewayCtx,
+) -> GatewayResponse {
+    let start = Instant::now();
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return bad(400, "body is not utf-8"),
+    };
+    let parsed: PredictRequest = match serde_json::from_str(text) {
+        Ok(p) => p,
+        Err(e) => return bad(400, &e.to_string()),
+    };
+    let shards = serving.len().min(parsed.rows.len()).max(1);
+    ctx.cluster.fanout.record(shards as u64);
+    if shards == 1 {
+        return forward_with_failover(
+            ctx,
+            candidates,
+            "POST",
+            "/predict",
+            body,
+            ctx.upstream_timeout,
+        );
+    }
+    // Contiguous chunks, sizes differing by at most one row.
+    let base = parsed.rows.len() / shards;
+    let extra = parsed.rows.len() % shards;
+    let mut chunks: Vec<Vec<Vec<f64>>> = Vec::with_capacity(shards);
+    let mut rows = parsed.rows.into_iter();
+    for s in 0..shards {
+        let take = base + usize::from(s < extra);
+        chunks.push(rows.by_ref().take(take).collect());
+    }
+    let subrequests: Vec<(usize, Vec<u8>)> = chunks
+        .iter()
+        .enumerate()
+        .map(|(s, chunk)| {
+            let sub = PredictRequest {
+                workload: parsed.workload.clone(),
+                kind: parsed.kind.clone(),
+                version: parsed.version,
+                rows: chunk.clone(),
+            };
+            let body = serde_json::to_string(&sub).expect("predict request serializes");
+            let addr = &ctx.cluster.backends[serving[s]].addr;
+            (
+                serving[s],
+                encode_request("POST", "/predict", addr, body.as_bytes()),
+            )
+        })
+        .collect();
+    let mut results = exchange_parallel(ctx, subrequests, ctx.upstream_timeout);
+    // Failover pass: re-send each failed chunk to the key's other
+    // healthy candidates, sequentially (this is the rare path).
+    for (s, result) in results.iter_mut().enumerate() {
+        if result.is_ok() {
+            continue;
+        }
+        let failed_backend = serving[s];
+        let sub = PredictRequest {
+            workload: parsed.workload.clone(),
+            kind: parsed.kind.clone(),
+            version: parsed.version,
+            rows: chunks[s].clone(),
+        };
+        let body = serde_json::to_string(&sub).expect("predict request serializes");
+        for &idx in candidates.iter().filter(|&&i| i != failed_backend) {
+            if !ctx.cluster.backends[idx].is_healthy() {
+                continue;
+            }
+            let addr = &ctx.cluster.backends[idx].addr;
+            let request = encode_request("POST", "/predict", addr, body.as_bytes());
+            if let Ok(resp) = request_one(ctx, idx, request, ctx.upstream_timeout) {
+                *result = Ok(resp);
+                break;
+            }
+        }
+    }
+    // Merge. Any chunk still failed → 503; any upstream non-200 →
+    // forward it (every chunk shares the request's validity, so the
+    // first error is the request's error).
+    let mut predictions = Vec::new();
+    let mut cache_hits = 0u64;
+    let mut model = String::new();
+    for result in &results {
+        let resp = match result {
+            Ok(resp) => resp,
+            Err(_) => return all_replicas_down(ctx),
+        };
+        if resp.status != 200 {
+            return (
+                resp.status,
+                static_content_type(&resp.content_type),
+                resp.body.clone(),
+                None,
+            );
+        }
+        let text = match std::str::from_utf8(&resp.body) {
+            Ok(t) => t,
+            Err(_) => return bad(502, "backend returned non-utf-8 predict body"),
+        };
+        let part: PredictResponse = match serde_json::from_str(text) {
+            Ok(p) => p,
+            Err(e) => return bad(502, &format!("backend predict body unparseable: {e}")),
+        };
+        if model.is_empty() {
+            model = part.model;
+        }
+        predictions.extend(part.predictions);
+        cache_hits += part.cache_hits;
+    }
+    let merged = PredictResponse {
+        model,
+        predictions,
+        cache_hits,
+        micros: start.elapsed().as_micros() as u64,
+    };
+    match serde_json::to_string(&merged) {
+        Ok(body) => (200, JSON_CONTENT_TYPE, body.into_bytes(), None),
+        Err(e) => bad(500, &e.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Upstream I/O: per-handler-thread keep-alive pool + epoll multiplexing
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// Keep-alive upstream connections, pooled per backend address and
+    /// per handler thread (no cross-thread locking on the hot path).
+    static UPSTREAM_POOL: RefCell<HashMap<String, VecDeque<TcpStream>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Pooled keep-alive connections retained per backend per thread.
+const POOL_PER_BACKEND: usize = 4;
+
+fn pool_take(addr: &str) -> Option<TcpStream> {
+    UPSTREAM_POOL.with(|p| p.borrow_mut().get_mut(addr)?.pop_front())
+}
+
+fn pool_put(addr: &str, stream: TcpStream) {
+    UPSTREAM_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        let slot = pool.entry(addr.to_string()).or_default();
+        if slot.len() < POOL_PER_BACKEND {
+            slot.push_back(stream);
+        }
+    });
+}
+
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
+fn connect(addr: &str) -> std::io::Result<TcpStream> {
+    let resolved = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(ErrorKind::NotFound, "address resolves to nothing"))?;
+    let stream = TcpStream::connect_timeout(&resolved, CONNECT_TIMEOUT)?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// One upstream request/response over a blocking socket (the
+/// single-subrequest hot path — the passthrough predict, proxied GETs,
+/// probes). Implements the retry contract: a failure on a reused pooled
+/// connection retries once on a fresh one without recording a failure;
+/// a fresh-connection failure records one.
+fn request_one(
+    ctx: &GatewayCtx,
+    idx: usize,
+    request: Vec<u8>,
+    timeout: Duration,
+) -> Result<ParsedResponse, String> {
+    let backend = &ctx.cluster.backends[idx];
+    let addr = &backend.addr;
+    let pooled = pool_take(addr);
+    let reused = pooled.is_some();
+    let attempt = |stream: TcpStream| -> Result<ParsedResponse, String> {
+        blocking_exchange(stream, &request, timeout, ctx.max_upstream_body).map(|(resp, stream)| {
+            if resp.keep_alive {
+                pool_put(addr, stream);
+            }
+            resp
+        })
+    };
+    let first = match pooled {
+        Some(stream) => attempt(stream),
+        None => match connect(addr) {
+            Ok(stream) => attempt(stream),
+            Err(e) => {
+                backend.record_failure(ctx.cluster.fail_threshold);
+                return Err(format!("connect {addr}: {e}"));
+            }
+        },
+    };
+    match first {
+        Ok(resp) => {
+            backend.record_response(resp.status);
+            Ok(resp)
+        }
+        Err(first_err) if reused => {
+            // The pooled socket may simply have been closed by the
+            // backend between requests; that is not failure evidence.
+            let stream = connect(addr).map_err(|e| {
+                backend.record_failure(ctx.cluster.fail_threshold);
+                format!("connect {addr}: {e}")
+            })?;
+            match attempt(stream) {
+                Ok(resp) => {
+                    backend.record_response(resp.status);
+                    Ok(resp)
+                }
+                Err(e) => {
+                    backend.record_failure(ctx.cluster.fail_threshold);
+                    Err(format!("{first_err}; fresh retry: {e}"))
+                }
+            }
+        }
+        Err(e) => {
+            backend.record_failure(ctx.cluster.fail_threshold);
+            Err(e)
+        }
+    }
+}
+
+/// Write `request`, read one response, on a blocking socket with
+/// read/write timeouts carved from `timeout`. Returns the stream too so
+/// keep-alive sockets can be pooled.
+fn blocking_exchange(
+    stream: TcpStream,
+    request: &[u8],
+    timeout: Duration,
+    max_body: usize,
+) -> Result<(ParsedResponse, TcpStream), String> {
+    let mut stream = stream;
+    stream.set_nonblocking(false).map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    stream.write_all(request).map_err(|e| e.to_string())?;
+    let mut parser = ResponseParser::new(max_body);
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 << 10];
+    let deadline = Instant::now() + timeout;
+    loop {
+        match parser.poll(&mut buf) {
+            ResponseStep::Response(resp) => return Ok((resp, stream)),
+            ResponseStep::Invalid(msg) => return Err(msg),
+            ResponseStep::Incomplete => {}
+        }
+        if Instant::now() >= deadline {
+            return Err("upstream response timed out".to_string());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("upstream closed before a full response".to_string()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err("upstream response timed out".to_string())
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+/// One in-flight upstream subrequest of a scatter. `stream` is `None`
+/// once the flight is resolved (or never connected).
+struct Flight {
+    backend: usize,
+    addr: String,
+    stream: Option<TcpStream>,
+    reused: bool,
+    retried: bool,
+    request: Vec<u8>,
+    written: usize,
+    inbuf: Vec<u8>,
+    parser: ResponseParser,
+    result: Option<Result<ParsedResponse, String>>,
+}
+
+/// Fan a scatter's subrequests out concurrently over non-blocking
+/// keep-alive connections multiplexed on one epoll instance, applying
+/// the same per-flight retry contract as [`request_one`]. Results come
+/// back indexed like `subrequests`.
+fn exchange_parallel(
+    ctx: &GatewayCtx,
+    subrequests: Vec<(usize, Vec<u8>)>,
+    timeout: Duration,
+) -> Vec<Result<ParsedResponse, String>> {
+    let n = subrequests.len();
+    let epoll = match Epoll::new() {
+        Ok(e) => e,
+        Err(e) => return (0..n).map(|_| Err(format!("epoll: {e}"))).collect(),
+    };
+    let mut flights: Vec<Flight> = Vec::with_capacity(n);
+    for (i, (backend, request)) in subrequests.into_iter().enumerate() {
+        let addr = ctx.cluster.backends[backend].addr.clone();
+        let mut flight = Flight {
+            backend,
+            addr,
+            stream: None,
+            reused: false,
+            retried: false,
+            request,
+            written: 0,
+            inbuf: Vec::new(),
+            parser: ResponseParser::new(ctx.max_upstream_body),
+            result: None,
+        };
+        let stream = match pool_take(&flight.addr) {
+            Some(s) => {
+                flight.reused = true;
+                Some(s)
+            }
+            None => match connect(&flight.addr) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    ctx.cluster.backends[backend].record_failure(ctx.cluster.fail_threshold);
+                    flight.result = Some(Err(format!("connect {}: {e}", flight.addr)));
+                    None
+                }
+            },
+        };
+        if let Some(stream) = stream {
+            if stream.set_nonblocking(true).is_err() {
+                flight.result = Some(Err("set_nonblocking failed".to_string()));
+            } else if epoll
+                .add(
+                    stream.as_raw_fd(),
+                    EPOLLIN | EPOLLOUT | EPOLLRDHUP,
+                    i as u64,
+                )
+                .is_err()
+            {
+                flight.result = Some(Err("epoll add failed".to_string()));
+            } else {
+                flight.stream = Some(stream);
+            }
+        }
+        flights.push(flight);
+    }
+    let deadline = Instant::now() + timeout;
+    let mut events = [EpollEvent::zeroed(); 16];
+    while flights.iter().any(|f| f.result.is_none()) {
+        let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+            break;
+        };
+        if left.is_zero() {
+            break;
+        }
+        let n_ev = epoll.wait(&mut events, Some(left.min(Duration::from_millis(100))));
+        for ev in events.iter().take(n_ev) {
+            let i = ev.token() as usize;
+            if i >= flights.len() || flights[i].result.is_some() {
+                continue;
+            }
+            drive_flight(&mut flights[i], i as u64, ev.events(), &epoll, ctx);
+        }
+    }
+    for flight in &mut flights {
+        if flight.result.is_none() {
+            if let Some(stream) = flight.stream.take() {
+                let _ = epoll.delete(stream.as_raw_fd());
+            }
+            ctx.cluster.backends[flight.backend].record_failure(ctx.cluster.fail_threshold);
+            flight.result = Some(Err("upstream response timed out".to_string()));
+        }
+    }
+    flights
+        .into_iter()
+        .map(|f| f.result.expect("every flight resolved"))
+        .collect()
+}
+
+/// Advance one flight on readiness and settle the outcome: pool the
+/// connection back on a keep-alive response, reconnect fresh once when
+/// a *reused* pooled connection fails (a stale keep-alive socket is not
+/// failure evidence), record + resolve otherwise. `token` is the
+/// flight's index, re-used when the reconnect re-registers the new fd.
+fn drive_flight(flight: &mut Flight, token: u64, bits: u32, epoll: &Epoll, ctx: &GatewayCtx) {
+    match drive_flight_io(flight, bits) {
+        Ok(None) => {} // still in flight
+        Ok(Some(resp)) => {
+            if let Some(stream) = flight.stream.take() {
+                let _ = epoll.delete(stream.as_raw_fd());
+                if resp.keep_alive && stream.set_nonblocking(false).is_ok() {
+                    pool_put(&flight.addr, stream);
+                }
+            }
+            ctx.cluster.backends[flight.backend].record_response(resp.status);
+            flight.result = Some(Ok(resp));
+        }
+        Err(msg) => {
+            if let Some(stream) = flight.stream.take() {
+                let _ = epoll.delete(stream.as_raw_fd());
+            }
+            if flight.reused && !flight.retried {
+                if let Ok(stream) = connect(&flight.addr) {
+                    if stream.set_nonblocking(true).is_ok()
+                        && epoll
+                            .add(stream.as_raw_fd(), EPOLLIN | EPOLLOUT | EPOLLRDHUP, token)
+                            .is_ok()
+                    {
+                        flight.stream = Some(stream);
+                        flight.reused = false;
+                        flight.retried = true;
+                        flight.written = 0;
+                        flight.inbuf.clear();
+                        flight.parser = ResponseParser::new(ctx.max_upstream_body);
+                        return;
+                    }
+                }
+            }
+            ctx.cluster.backends[flight.backend].record_failure(ctx.cluster.fail_threshold);
+            flight.result = Some(Err(msg));
+        }
+    }
+}
+
+/// The pure I/O step of one flight: flush unwritten request bytes,
+/// drain readable bytes, poll the parser. `Ok(Some)` on a complete
+/// response, `Ok(None)` while still in flight, `Err` on any
+/// connection-level failure.
+fn drive_flight_io(flight: &mut Flight, bits: u32) -> Result<Option<ParsedResponse>, String> {
+    if bits & (EPOLLERR | EPOLLHUP) != 0 {
+        return Err("upstream connection error".to_string());
+    }
+    let Flight {
+        stream,
+        request,
+        written,
+        inbuf,
+        parser,
+        ..
+    } = flight;
+    // `&TcpStream` implements Read + Write, so disjoint field borrows
+    // let the parser state advance while the socket is being driven.
+    let Some(stream) = stream.as_ref() else {
+        return Ok(None);
+    };
+    let mut stream = stream;
+    while *written < request.len() {
+        match stream.write(&request[*written..]) {
+            Ok(0) => return Err("upstream write returned 0".to_string()),
+            Ok(n) => *written += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("upstream write: {e}")),
+        }
+    }
+    let mut chunk = [0u8; 16 << 10];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("upstream closed before a full response".to_string()),
+            Ok(n) => {
+                inbuf.extend_from_slice(&chunk[..n]);
+                match parser.poll(inbuf) {
+                    ResponseStep::Incomplete => {}
+                    ResponseStep::Invalid(msg) => return Err(msg),
+                    ResponseStep::Response(resp) => return Ok(Some(resp)),
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("upstream read: {e}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Blocking one-shot client (probes, peer artifact fetch)
+// ---------------------------------------------------------------------
+
+/// One-shot blocking GET: connect, request, read one response. No
+/// pooling — this is the probe/replication path, not the hot path.
+pub(crate) fn blocking_get(
+    addr: &str,
+    path: &str,
+    timeout: Duration,
+    max_body: usize,
+) -> Result<ParsedResponse, String> {
+    let stream = connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let request = encode_request("GET", path, addr, &[]);
+    blocking_exchange(stream, &request, timeout, max_body).map(|(resp, _)| resp)
+}
+
+/// Deadline and size cap for peer artifact fetches. Artifacts are a few
+/// MB at most (50-tree forests); 64 MiB is generous headroom.
+const ARTIFACT_FETCH_TIMEOUT: Duration = Duration::from_secs(10);
+const ARTIFACT_MAX_BYTES: usize = 64 << 20;
+
+/// Fetch a model artifact's binary bytes from a peer backend. Any
+/// non-200 answer is an error (the caller moves on to the next peer or
+/// trains).
+pub(crate) fn fetch_artifact(addr: &str, key: ModelKey) -> Result<Vec<u8>, ServeError> {
+    let path = format!(
+        "/models/{}/{}/artifact?version={}",
+        key.workload, key.kind, key.version
+    );
+    let resp = blocking_get(addr, &path, ARTIFACT_FETCH_TIMEOUT, ARTIFACT_MAX_BYTES)
+        .map_err(ServeError::Http)?;
+    if resp.status != 200 {
+        return Err(ServeError::Http(format!(
+            "peer {addr} answered {} for {key}",
+            resp.status
+        )));
+    }
+    Ok(resp.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_fields_scan_without_full_parse() {
+        let body = br#"{"workload":"fmm-small","kind":"hybrid","rows":[[1,2,3,4]]}"#;
+        assert_eq!(
+            scan_routing_fields(body),
+            Some(("fmm-small".to_string(), "hybrid".to_string()))
+        );
+        // Whitespace tolerated.
+        let spaced = br#"{ "workload" : "spmv-suite" , "kind" : "cart" }"#;
+        assert_eq!(
+            scan_routing_fields(spaced),
+            Some(("spmv-suite".to_string(), "cart".to_string()))
+        );
+        // Escapes punt to the full parser.
+        assert_eq!(
+            scan_routing_fields(br#"{"workload":"a\"b","kind":"c"}"#),
+            None
+        );
+        // Missing fields punt.
+        assert_eq!(scan_routing_fields(br#"{"kind":"cart"}"#), None);
+        assert_eq!(
+            scan_routing_fields(br#"{"workload":1,"kind":"cart"}"#),
+            None
+        );
+    }
+
+    #[test]
+    fn upstream_status_classes_partition() {
+        assert_eq!(upstream_class(200), 0);
+        assert_eq!(upstream_class(404), 1);
+        assert_eq!(upstream_class(500), 2);
+        assert_eq!(upstream_class(503), 2);
+        assert_eq!(UPSTREAM_ERR, 3);
+    }
+
+    #[test]
+    fn backend_health_ejects_and_recovers() {
+        let b = BackendState::new("127.0.0.1:1".to_string());
+        assert!(b.is_healthy());
+        b.record_failure(3);
+        b.record_failure(3);
+        assert!(b.is_healthy(), "below threshold");
+        b.record_failure(3);
+        assert!(!b.is_healthy(), "ejected at threshold");
+        b.record_probe_success(2);
+        assert!(!b.is_healthy(), "one probe is not recovery");
+        b.record_probe_success(2);
+        assert!(b.is_healthy(), "recovered after threshold probes");
+        // A success resets the failure streak.
+        b.record_failure(3);
+        b.record_response(200);
+        b.record_failure(3);
+        b.record_failure(3);
+        assert!(b.is_healthy(), "streak was broken by the success");
+    }
+}

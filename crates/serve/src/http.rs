@@ -11,6 +11,7 @@
 //! | `/workloads/{name}` | GET    | — → one scenario, `404` when unknown     |
 //! | `/predict`          | POST   | [`PredictRequest`] → [`PredictResponse`] |
 //! | `/tune`             | POST   | [`TuneHttpRequest`] → [`TuneHttpResponse`] |
+//! | `/models/{w}/{k}/artifact` | GET | — → binary `.lamb` artifact bytes (peer replication; never trains) |
 //! | `/metrics`          | GET    | — → Prometheus text exposition           |
 //! | `/metrics.json`     | GET    | — → same snapshot as compact JSON        |
 //!
@@ -31,6 +32,7 @@
 //! previous blocking thread-per-connection implementation survives as
 //! [`crate::reference`], as the benchmark baseline.
 
+use crate::persist::ModelKind;
 use crate::proto::ParsedRequest;
 use crate::reactor::{Job, JobQueue, Reactor, ReactorConfig, ReactorShared, Responder};
 use crate::registry::{LoadedModel, ModelKey, ModelRegistry};
@@ -272,7 +274,9 @@ pub struct ServerHandle {
     queue: Arc<JobQueue>,
     reactor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
-    scheduler: Arc<BatchScheduler>,
+    /// `None` for engines whose handler does not micro-batch (the
+    /// cluster gateway schedules nothing, it forwards).
+    scheduler: Option<Arc<BatchScheduler>>,
 }
 
 impl ServerHandle {
@@ -322,16 +326,42 @@ pub fn start_with(
     registry: Arc<ModelRegistry>,
     cfg: ServeConfig,
 ) -> Result<ServerHandle, ServeError> {
-    let listener = TcpListener::bind(&cfg.opts.addr)?;
-    let local_addr = listener.local_addr()?;
-    let stop = Arc::new(AtomicBool::new(false));
     let clock = ServerClock {
         started: Instant::now(),
         started_at: lam_obs::time::rfc3339(std::time::SystemTime::now()).into(),
     };
     let scheduler = Arc::new(BatchScheduler::new(cfg.batch.clone()));
+    let ctx = Arc::new(HandlerCtx {
+        registry,
+        clock,
+        scheduler: Arc::clone(&scheduler),
+        retry_after_secs: cfg.retry_after_secs,
+        direct_batch_rows: cfg.direct_batch_rows.max(1),
+    });
+    start_engine(
+        &cfg,
+        Some(scheduler),
+        Arc::new(move |job| handle_job(job, &ctx)),
+    )
+}
+
+/// The reusable event-driven server core: bind, spin up the reactor and
+/// a handler pool draining the dispatch queue into `handler`. The
+/// model-serving server ([`start_with`]) and the cluster gateway
+/// ([`crate::cluster`]) differ only in the handler (and in whether a
+/// [`BatchScheduler`] hints the queue).
+pub(crate) fn start_engine(
+    cfg: &ServeConfig,
+    scheduler: Option<Arc<BatchScheduler>>,
+    handler: Arc<dyn Fn(Job) + Send + Sync>,
+) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(&cfg.opts.addr)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
     let queue = JobQueue::new(cfg.dispatch_queue);
-    queue.set_hint_source(Arc::clone(&scheduler));
+    if let Some(scheduler) = &scheduler {
+        queue.set_hint_source(Arc::clone(scheduler));
+    }
     let shared = ReactorShared::new()?;
     let reactor = Reactor::new(
         listener,
@@ -349,20 +379,13 @@ pub fn start_with(
         Arc::clone(&stop),
     )?;
     let reactor = std::thread::spawn(move || reactor.run());
-    let ctx = Arc::new(HandlerCtx {
-        registry,
-        clock,
-        scheduler: Arc::clone(&scheduler),
-        retry_after_secs: cfg.retry_after_secs,
-        direct_batch_rows: cfg.direct_batch_rows.max(1),
-    });
     let workers = (0..cfg.opts.workers.max(1))
         .map(|_| {
             let queue = Arc::clone(&queue);
-            let ctx = Arc::clone(&ctx);
+            let handler = Arc::clone(&handler);
             std::thread::spawn(move || {
                 while let Some(job) = queue.pop() {
-                    handle_job(job, &ctx);
+                    handler(job);
                 }
             })
         })
@@ -410,6 +433,15 @@ fn handle_job(job: Job, ctx: &HandlerCtx) {
     // scheduler's producer hint before potentially slow work (/tune) so
     // co-batchable traffic is not held waiting on it.
     drop(hint);
+    if req.method == "GET" && parse_artifact_path(&req.path).is_some() {
+        // The artifact body is binary, so it bypasses the String-bodied
+        // route() and answers through the byte responder.
+        let (status, content_type, body) = artifact(&req.path, &ctx.registry);
+        account_request(endpoint, status, started);
+        responder.send_bytes(status, content_type, body, None);
+        drop(in_flight);
+        return;
+    }
     let (status, content_type, body) = route(&req, &ctx.registry, &ctx.clock);
     metrics.requests[endpoint][status_class_index(status)].inc();
     if let Some(started) = started {
@@ -420,7 +452,7 @@ fn handle_job(job: Job, ctx: &HandlerCtx) {
 }
 
 /// Close out one request's accounting: status-class counter + duration.
-fn account_request(endpoint: usize, status: u16, started: Option<Instant>) {
+pub(crate) fn account_request(endpoint: usize, status: u16, started: Option<Instant>) {
     let metrics = http_metrics();
     metrics.requests[endpoint][status_class_index(status)].inc();
     if let Some(started) = started {
@@ -536,9 +568,10 @@ fn handle_predict(
 /// the raw path is client-controlled and would be unbounded cardinality.
 /// `malformed` is the endpoint of a request whose bytes never parsed into
 /// a request at all; `other` is any routed-but-unknown method/path.
-const ENDPOINTS: [&str; 10] = [
+const ENDPOINTS: [&str; 11] = [
     "healthz",
     "models",
+    "model-artifact",
     "workloads",
     "workload-detail",
     "predict",
@@ -603,6 +636,7 @@ pub(crate) fn endpoint_index(method: &str, path: &str) -> usize {
     let name = match (method, path) {
         ("GET", "/healthz") => "healthz",
         ("GET", "/models") => "models",
+        ("GET", p) if parse_artifact_path(p).is_some() => "model-artifact",
         ("GET", "/workloads") => "workloads",
         ("GET", p) if p.starts_with("/workloads/") => "workload-detail",
         (_, "/predict") => "predict",
@@ -771,6 +805,69 @@ fn workloads() -> RouteResult {
 fn workload_detail(name: &str) -> RouteResult {
     let id = WorkloadId::get(name).map_err(|e| (404, e.to_string()))?;
     json_ok(&workload_info(&id.entry()))
+}
+
+/// `content-type` of binary model artifacts.
+pub(crate) const LAMB_CONTENT_TYPE: &str = "application/octet-stream";
+
+/// Split `/models/{workload}/{kind}/artifact[?version=N]` into its raw
+/// parts; `None` when the path is not artifact-shaped (it then falls
+/// through to normal routing and 404s there).
+pub(crate) fn parse_artifact_path(path: &str) -> Option<(&str, &str, Option<&str>)> {
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (path, None),
+    };
+    let rest = path.strip_prefix("/models/")?;
+    let rest = rest.strip_suffix("/artifact")?;
+    let (workload, kind) = rest.split_once('/')?;
+    if workload.is_empty() || kind.is_empty() || kind.contains('/') {
+        return None;
+    }
+    let version = match query {
+        Some(q) => Some(q.strip_prefix("version=")?),
+        None => None,
+    };
+    Some((workload, kind, version))
+}
+
+/// Serve `GET /models/{workload}/{kind}/artifact`: the binary `.lamb`
+/// bytes of an artifact this backend already has — and *only* already
+/// has. The endpoint never trains; peers replicating a missing model
+/// must not be able to stampede this process into training on their
+/// behalf (the requester trains exactly once if every peer 404s).
+fn artifact(path: &str, registry: &Arc<ModelRegistry>) -> (u16, &'static str, Vec<u8>) {
+    match artifact_inner(path, registry) {
+        Ok(bytes) => (200, LAMB_CONTENT_TYPE, bytes),
+        Err((status, msg)) => (status, JSON_CONTENT_TYPE, error_body(&msg).into_bytes()),
+    }
+}
+
+fn artifact_inner(path: &str, registry: &Arc<ModelRegistry>) -> Result<Vec<u8>, (u16, String)> {
+    let (workload, kind, version) =
+        parse_artifact_path(path).ok_or_else(|| (404, format!("no route for GET {path}")))?;
+    let workload: WorkloadId = workload
+        .parse()
+        .map_err(|e: ServeError| (404, e.to_string()))?;
+    let kind: ModelKind = kind.parse().map_err(|e: ServeError| (404, e.to_string()))?;
+    let version: u32 = match version {
+        Some(v) => v
+            .parse()
+            .map_err(|_| (400, format!("unparseable version `{v}`")))?,
+        None => 1,
+    };
+    if !(1..=MAX_SERVED_VERSION).contains(&version) {
+        return Err((
+            400,
+            format!("version {version} outside 1..={MAX_SERVED_VERSION}"),
+        ));
+    }
+    let key = ModelKey::new(workload, kind, version);
+    match registry.artifact_bytes(key) {
+        Ok(Some(bytes)) => Ok(bytes),
+        Ok(None) => Err((404, format!("no artifact for {key} on this backend"))),
+        Err(e) => Err((500, e.to_string())),
+    }
 }
 
 /// Highest artifact version `/predict` resolves. Resolution can train on
@@ -951,6 +1048,35 @@ mod tests {
         // Arbitrary client paths collapse to one label value.
         assert_eq!(ENDPOINTS[endpoint_index("GET", "/../../etc")], "other");
         assert_eq!(ENDPOINTS[endpoint_index("DELETE", "/models")], "other");
+        assert_eq!(
+            ENDPOINTS[endpoint_index("GET", "/models/fmm-small/cart/artifact")],
+            "model-artifact"
+        );
+        assert_eq!(
+            ENDPOINTS[endpoint_index("GET", "/models/fmm-small/cart/artifact?version=2")],
+            "model-artifact"
+        );
+        assert_eq!(
+            ENDPOINTS[endpoint_index("GET", "/models/fmm-small")],
+            "other"
+        );
+    }
+
+    #[test]
+    fn artifact_paths_parse_and_reject() {
+        assert_eq!(
+            parse_artifact_path("/models/fmm-small/cart/artifact"),
+            Some(("fmm-small", "cart", None))
+        );
+        assert_eq!(
+            parse_artifact_path("/models/fmm-small/hybrid/artifact?version=3"),
+            Some(("fmm-small", "hybrid", Some("3")))
+        );
+        assert_eq!(parse_artifact_path("/models/fmm-small/artifact"), None);
+        assert_eq!(parse_artifact_path("/models//cart/artifact"), None);
+        assert_eq!(parse_artifact_path("/models/a/b/c/artifact"), None);
+        assert_eq!(parse_artifact_path("/models/a/b/artifact?v=1"), None);
+        assert_eq!(parse_artifact_path("/models"), None);
     }
 
     #[test]

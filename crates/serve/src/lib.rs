@@ -52,6 +52,7 @@
 //! ```
 
 pub mod batch;
+pub mod cluster;
 pub mod http;
 pub mod loadgen;
 pub mod persist;
@@ -59,6 +60,7 @@ pub mod proto;
 pub(crate) mod reactor;
 pub mod reference;
 pub mod registry;
+pub mod route;
 pub mod tuning;
 pub mod workload;
 

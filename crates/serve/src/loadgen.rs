@@ -64,8 +64,12 @@ impl std::fmt::Display for LoadMode {
 /// Load-run parameters.
 #[derive(Debug, Clone)]
 pub struct LoadgenOptions {
-    /// Server address, `host:port`.
-    pub addr: String,
+    /// Server addresses, `host:port` each. One entry is the classic
+    /// single-server run; several entries spread connections across them
+    /// round-robin (worker `i` pins to `addrs[i % addrs.len()]`) — used
+    /// to drive a set of cluster backends directly, or compare against
+    /// the gateway fronting them.
+    pub addrs: Vec<String>,
     /// Workload whose model is queried.
     pub workload: WorkloadId,
     /// Model kind queried.
@@ -87,7 +91,7 @@ pub struct LoadgenOptions {
 impl Default for LoadgenOptions {
     fn default() -> Self {
         Self {
-            addr: "127.0.0.1:0".to_string(),
+            addrs: vec!["127.0.0.1:0".to_string()],
             workload: WorkloadId::get("fmm-small").expect("builtin fmm-small registered"),
             kind: ModelKind::Hybrid,
             version: 1,
@@ -133,6 +137,22 @@ pub struct LoadReport {
     pub p99_us: f64,
     /// Fraction of predictions answered from the server's cache.
     pub cache_hit_fraction: f64,
+    /// Per-target tallies, one row per distinct address driven (a single
+    /// row for the classic one-server run).
+    pub targets: Vec<TargetReport>,
+}
+
+/// Tallies for one driven address within a [`LoadReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TargetReport {
+    /// The driven `host:port`.
+    pub addr: String,
+    /// Requests completed 2xx against this address.
+    pub requests: u64,
+    /// Requests answered `503` by this address.
+    pub shed: u64,
+    /// Failed requests against this address.
+    pub errors: u64,
 }
 
 /// A keep-alive HTTP/1.1 client for one connection.
@@ -352,6 +372,17 @@ impl MetricsScrape {
             .sum()
     }
 
+    /// Sum of a gauge family restricted to series carrying
+    /// `label == value`.
+    pub fn gauge_with_label(&self, name: &str, label: (&str, &str)) -> i64 {
+        self.gauges
+            .iter()
+            .filter(|g| g.name == name)
+            .filter(|g| g.labels.get(label.0).is_some_and(|v| v == label.1))
+            .map(|g| g.value)
+            .sum()
+    }
+
     /// Value of a counter series with `label == value`, summed across any
     /// remaining labels.
     pub fn counter_with_label(&self, name: &str, label: (&str, &str)) -> u64 {
@@ -467,6 +498,70 @@ pub fn format_server_breakdown(before: &MetricsScrape, after: &MetricsScrape) ->
         out,
         "  connections open {:>12} (at scrape)",
         after.gauge_total("lam_connections_open")
+    );
+    out
+}
+
+/// Render the gateway-side delta between two scrapes of a *gateway's*
+/// `/metrics.json` bracketing a load run: upstream requests per backend
+/// (the shard-balance summary), backend liveness, and the `/predict`
+/// fan-out shape. Complements [`format_server_breakdown`], which reads
+/// the same scrape's serve-core families.
+pub fn format_cluster_summary(before: &MetricsScrape, after: &MetricsScrape) -> String {
+    const UPSTREAM: &str = "lam_gateway_upstream_requests_total";
+    let mut backends: Vec<String> = after
+        .counters
+        .iter()
+        .filter(|c| c.name == UPSTREAM)
+        .filter_map(|c| c.labels.get("backend").map(str::to_string))
+        .collect();
+    backends.sort();
+    backends.dedup();
+    let mut out = String::new();
+    let _ = writeln!(out, "gateway breakdown (deltas over the run)");
+    if backends.is_empty() {
+        let _ = write!(out, "  no gateway upstream series found in the scrape");
+        return out;
+    }
+    let mut totals: Vec<(String, u64, u64)> = Vec::with_capacity(backends.len());
+    for backend in backends {
+        let per_class = |class: &str| {
+            let sel = |s: &MetricsScrape| {
+                s.counters
+                    .iter()
+                    .filter(|c| c.name == UPSTREAM)
+                    .filter(|c| c.labels.get("backend").is_some_and(|v| v == backend))
+                    .filter(|c| c.labels.get("status").is_some_and(|v| v == class))
+                    .map(|c| c.value.max(0) as u64)
+                    .sum::<u64>()
+            };
+            sel(after).saturating_sub(sel(before))
+        };
+        let ok = per_class("2xx");
+        let bad = per_class("4xx") + per_class("5xx") + per_class("err");
+        totals.push((backend, ok, bad));
+    }
+    let grand: u64 = totals.iter().map(|(_, ok, _)| ok).sum();
+    for (backend, ok, bad) in &totals {
+        let share = if grand == 0 {
+            0.0
+        } else {
+            100.0 * *ok as f64 / grand as f64
+        };
+        let healthy = after.gauge_with_label("lam_gateway_backend_healthy", ("backend", backend));
+        let _ = writeln!(
+            out,
+            "  {backend:<21} {ok:>10} upstream 2xx ({share:>5.1}%), {bad} non-2xx/err, healthy={healthy}"
+        );
+    }
+    let fan = |s: &MetricsScrape| s.histogram_totals("lam_gateway_fanout_size", None);
+    let (fc0, fs0) = fan(before);
+    let (fc1, fs1) = fan(after);
+    let (fc, fs) = (fc1.saturating_sub(fc0), fs1.saturating_sub(fs0));
+    let _ = write!(
+        out,
+        "  /predict fan-out   {:>10.2} mean subrequests ({fc} fanned requests)",
+        if fc == 0 { 0.0 } else { fs as f64 / fc as f64 }
     );
     out
 }
@@ -655,18 +750,23 @@ fn drive_open_loop(
 /// every connection, so warm-up cost never lands in the throughput
 /// denominator.
 pub fn run(opts: &LoadgenOptions) -> Result<LoadReport, ServeError> {
+    if opts.addrs.is_empty() {
+        return Err(ServeError::Http(
+            "loadgen needs at least one address".to_string(),
+        ));
+    }
     let bodies = build_bodies(opts);
     let deadline = Duration::from_secs_f64(opts.seconds);
     let connections = opts.connections.max(1);
     let mode = opts.mode;
     let barrier = std::sync::Barrier::new(connections);
-    let results: Vec<(WorkerStats, f64)> = std::thread::scope(|scope| {
+    let results: Vec<(String, WorkerStats, f64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|worker| {
                 let bodies = &bodies;
-                let addr = opts.addr.clone();
+                let addr = opts.addrs[worker % opts.addrs.len()].clone();
                 let barrier = &barrier;
-                scope.spawn(move || -> Result<(WorkerStats, f64), ServeError> {
+                scope.spawn(move || -> Result<(String, WorkerStats, f64), ServeError> {
                     // Connect + warm-up, then *always* reach the barrier
                     // (an early return here would deadlock the others).
                     let setup = (|| -> Result<HttpClient, ServeError> {
@@ -703,7 +803,7 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadReport, ServeError> {
                             )?
                         }
                     }
-                    Ok((stats, start.elapsed().as_secs_f64()))
+                    Ok((addr, stats, start.elapsed().as_secs_f64()))
                 })
             })
             .collect();
@@ -716,7 +816,7 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadReport, ServeError> {
     // time is the longest window.
     let elapsed_s = results
         .iter()
-        .map(|(_, e)| *e)
+        .map(|(_, _, e)| *e)
         .fold(f64::MIN_POSITIVE, f64::max);
 
     let mut latencies: Vec<u64> = Vec::new();
@@ -725,7 +825,17 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadReport, ServeError> {
     let mut shed = 0u64;
     let mut errors = 0u64;
     let mut offered = 0u64;
-    for (s, _) in results {
+    let mut per_target: BTreeMap<String, TargetReport> = BTreeMap::new();
+    for (addr, s, _) in results {
+        let t = per_target.entry(addr.clone()).or_insert(TargetReport {
+            addr,
+            requests: 0,
+            shed: 0,
+            errors: 0,
+        });
+        t.requests += s.latencies_us.len() as u64;
+        t.shed += s.shed;
+        t.errors += s.errors;
         latencies.extend(s.latencies_us);
         predictions += s.predictions;
         cache_hits += s.cache_hits;
@@ -754,12 +864,14 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadReport, ServeError> {
         } else {
             cache_hits as f64 / predictions as f64
         },
+        targets: per_target.into_values().collect(),
     })
 }
 
-/// Render a report as an aligned human-readable block.
+/// Render a report as an aligned human-readable block. Runs spanning
+/// several addresses get a per-target breakdown appended.
 pub fn format_report(r: &LoadReport) -> String {
-    format!(
+    let mut out = format!(
         "mode          {:>12}\n\
          requests      {:>12}\n\
          predictions   {:>12}\n\
@@ -788,7 +900,18 @@ pub fn format_report(r: &LoadReport) -> String {
         r.p95_us,
         r.p99_us,
         100.0 * r.cache_hit_fraction
-    )
+    );
+    if r.targets.len() > 1 {
+        let _ = write!(out, "\nper-target requests");
+        for t in &r.targets {
+            let _ = write!(
+                out,
+                "\n  {:<21} {:>12} (shed {}, errors {})",
+                t.addr, t.requests, t.shed, t.errors
+            );
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -889,6 +1012,20 @@ mod tests {
             p95_us: 200.0,
             p99_us: 300.0,
             cache_hit_fraction: 0.5,
+            targets: vec![
+                TargetReport {
+                    addr: "127.0.0.1:9001".to_string(),
+                    requests: 6,
+                    shed: 2,
+                    errors: 0,
+                },
+                TargetReport {
+                    addr: "127.0.0.1:9002".to_string(),
+                    requests: 4,
+                    shed: 1,
+                    errors: 0,
+                },
+            ],
         };
         let s = format_report(&r);
         assert!(s.contains("throughput"));
@@ -896,6 +1033,8 @@ mod tests {
         assert!(s.contains("pipeline(8)"));
         assert!(s.contains("shed (503)"));
         assert!(s.contains("p90"));
+        assert!(s.contains("per-target requests"), "{s}");
+        assert!(s.contains("127.0.0.1:9002"), "{s}");
         let back: LoadReport = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
         assert_eq!(back.requests, 10);
         assert_eq!(back.shed, 3);

@@ -261,12 +261,29 @@ impl SavedModel {
         Ok(path)
     }
 
+    /// Encode the model in the canonical compact binary format — the
+    /// bytes [`SavedModel::save`] publishes and the
+    /// `GET /models/{workload}/{kind}/artifact` endpoint serves to peers.
+    pub fn to_lamb_bytes(&self) -> Result<Vec<u8>, ServeError> {
+        Ok(lam_data::binio::to_bytes(self)?)
+    }
+
+    /// Decode and validate binary artifact bytes. A peer-fetched artifact
+    /// is untrusted input exactly like a file on disk, so the same
+    /// invariants apply: format version, hybrid-config consistency, and
+    /// stacked-weight range. `source` labels errors (a path or peer URL).
+    pub fn from_lamb_bytes(bytes: &[u8], source: &str) -> Result<Self, ServeError> {
+        let model: SavedModel = lam_data::binio::from_bytes(bytes)?;
+        model.validate(source)?;
+        Ok(model)
+    }
+
     /// Write the model in the canonical compact binary format under
     /// `dir`, creating the directory if needed. Publication is atomic.
     /// Returns the path written.
     pub fn save(&self, dir: &Path) -> Result<PathBuf, ServeError> {
         let name = Self::file_name(self.workload, self.kind, self.version);
-        let bytes = lam_data::binio::to_bytes(self)?;
+        let bytes = self.to_lamb_bytes()?;
         Self::publish(dir, &name, &bytes)
     }
 
@@ -288,24 +305,28 @@ impl SavedModel {
         } else {
             lam_data::io::read_json(path)?
         };
-        if model.format_version != FORMAT_VERSION {
+        model.validate(&path.display().to_string())?;
+        Ok(model)
+    }
+
+    /// The invariants every artifact must satisfy before it may serve,
+    /// wherever its bytes came from (disk or a peer).
+    fn validate(&self, source: &str) -> Result<(), ServeError> {
+        if self.format_version != FORMAT_VERSION {
             return Err(ServeError::Json(format!(
-                "model file {} has format version {}, this build reads {}",
-                path.display(),
-                model.format_version,
-                FORMAT_VERSION
+                "model artifact {source} has format version {}, this build reads {}",
+                self.format_version, FORMAT_VERSION
             )));
         }
         // A hybrid without its config (or vice versa) would silently serve
         // the stacked model on unaugmented rows — and the stacked forest
         // splits on the augmentation column, so predictions would index
         // out of bounds. Refuse the artifact instead.
-        if (model.kind == ModelKind::Hybrid) != model.hybrid.is_some() {
+        if (self.kind == ModelKind::Hybrid) != self.hybrid.is_some() {
             return Err(ServeError::Json(format!(
-                "model file {} is inconsistent: kind `{}` with hybrid config {}",
-                path.display(),
-                model.kind,
-                if model.hybrid.is_some() {
+                "model artifact {source} is inconsistent: kind `{}` with hybrid config {}",
+                self.kind,
+                if self.hybrid.is_some() {
                     "present"
                 } else {
                     "absent"
@@ -315,16 +336,15 @@ impl SavedModel {
         // Training validates stacked_weight ∈ [0, 1]; a hand-edited or
         // corrupted config must not bypass that and serve extrapolated
         // aggregations (e.g. negative runtimes).
-        if let Some(config) = &model.hybrid {
+        if let Some(config) = &self.hybrid {
             if !(0.0..=1.0).contains(&config.stacked_weight) {
                 return Err(ServeError::Json(format!(
-                    "model file {} has stacked_weight {} outside [0, 1]",
-                    path.display(),
+                    "model artifact {source} has stacked_weight {} outside [0, 1]",
                     config.stacked_weight
                 )));
             }
         }
-        Ok(model)
+        Ok(())
     }
 
     /// Assemble the servable predictor, arena-compiling every tree

@@ -1,7 +1,9 @@
-//! Incremental HTTP/1.1 request parsing and response encoding for the
-//! event-driven server: pure byte-buffer in, value out — no I/O, no
-//! blocking, so the reactor can feed it whatever a non-blocking read
-//! produced and resume exactly where the bytes ran out.
+//! Incremental HTTP/1.1 request *and response* parsing plus response
+//! encoding for the event-driven server and the cluster gateway: pure
+//! byte-buffer in, value out — no I/O, no blocking, so the reactor (and
+//! the gateway's upstream scatter/gather loop) can feed it whatever a
+//! non-blocking read produced and resume exactly where the bytes ran
+//! out.
 //!
 //! The parser is deliberately the same dialect the old blocking reader
 //! accepted: request line + headers terminated by a blank line (bare `\n`
@@ -216,6 +218,162 @@ impl RequestParser {
     }
 }
 
+/// One fully parsed HTTP/1.1 response, as read from an upstream backend
+/// by the cluster gateway.
+#[derive(Debug)]
+pub struct ParsedResponse {
+    /// Response status code.
+    pub status: u16,
+    /// `content-type` header value (empty when absent).
+    pub content_type: String,
+    /// Whether the upstream connection stays open after this response.
+    pub keep_alive: bool,
+    /// Response body, exactly `content-length` bytes.
+    pub body: Vec<u8>,
+}
+
+/// Outcome of one [`ResponseParser::poll`] call.
+#[derive(Debug)]
+pub enum ResponseStep {
+    /// The buffer does not hold a full response yet; read more bytes.
+    Incomplete,
+    /// One response parsed and drained from the buffer.
+    Response(ParsedResponse),
+    /// The byte stream is not an HTTP/1.1 response this client can read
+    /// (the connection cannot be resynchronized afterwards).
+    Invalid(String),
+}
+
+/// Head parsed, waiting for `content_length` body bytes.
+#[derive(Debug)]
+struct PendingResponseBody {
+    status: u16,
+    content_type: String,
+    keep_alive: bool,
+    content_length: usize,
+}
+
+/// Per-upstream-connection incremental response parser — the mirror of
+/// [`RequestParser`] for the gateway's client side. Same dialect:
+/// `content-length` framing only (the backends it talks to never send
+/// chunked bodies), head capped at [`MAX_HEAD_BYTES`].
+#[derive(Debug)]
+pub struct ResponseParser {
+    max_body: usize,
+    pending: Option<PendingResponseBody>,
+    scanned: usize,
+}
+
+impl ResponseParser {
+    /// Parser enforcing `max_body` on response bodies.
+    pub fn new(max_body: usize) -> Self {
+        Self {
+            max_body,
+            pending: None,
+            scanned: 0,
+        }
+    }
+
+    /// Try to parse one response out of `buf`, draining consumed bytes.
+    pub fn poll(&mut self, buf: &mut Vec<u8>) -> ResponseStep {
+        if self.pending.is_none() {
+            let start = self.scanned.saturating_sub(3);
+            let head_end = (start..buf.len()).find_map(|i| {
+                if buf[i] != b'\n' {
+                    return None;
+                }
+                match buf.get(i + 1) {
+                    Some(b'\n') => Some(i + 2),
+                    Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => Some(i + 3),
+                    _ => None,
+                }
+            });
+            match head_end {
+                Some(end) => {
+                    let step = self.parse_head(&buf[..end]);
+                    buf.drain(..end);
+                    self.scanned = 0;
+                    if let Some(invalid) = step {
+                        return invalid;
+                    }
+                }
+                None => {
+                    if buf.len() > MAX_HEAD_BYTES {
+                        return ResponseStep::Invalid(format!(
+                            "response status line and headers exceed {MAX_HEAD_BYTES} bytes"
+                        ));
+                    }
+                    self.scanned = buf.len();
+                    return ResponseStep::Incomplete;
+                }
+            }
+        }
+        let pending = self.pending.as_ref().expect("head parsed above");
+        if buf.len() < pending.content_length {
+            return ResponseStep::Incomplete;
+        }
+        let pending = self.pending.take().expect("checked");
+        let body: Vec<u8> = buf.drain(..pending.content_length).collect();
+        ResponseStep::Response(ParsedResponse {
+            status: pending.status,
+            content_type: pending.content_type,
+            keep_alive: pending.keep_alive,
+            body,
+        })
+    }
+
+    fn parse_head(&mut self, head: &[u8]) -> Option<ResponseStep> {
+        let Ok(head) = std::str::from_utf8(head) else {
+            return Some(ResponseStep::Invalid(
+                "response head is not utf-8".to_string(),
+            ));
+        };
+        let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+        let status_line = lines.next().unwrap_or("");
+        let Some(status) = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+        else {
+            return Some(ResponseStep::Invalid(format!(
+                "malformed status line `{status_line}`"
+            )));
+        };
+        let mut content_length = 0usize;
+        let mut content_type = String::new();
+        let mut keep_alive = true; // HTTP/1.1 default
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                let Ok(n) = value.parse() else {
+                    return Some(ResponseStep::Invalid("bad content-length".to_string()));
+                };
+                content_length = n;
+            } else if name.eq_ignore_ascii_case("content-type") {
+                content_type = value.to_string();
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            }
+        }
+        if content_length > self.max_body {
+            return Some(ResponseStep::Invalid(format!(
+                "response body of {content_length} bytes exceeds limit {}",
+                self.max_body
+            )));
+        }
+        self.pending = Some(PendingResponseBody {
+            status,
+            content_type,
+            keep_alive,
+            content_length,
+        });
+        None
+    }
+}
+
 /// Reason phrase for every status this server emits.
 fn reason(status: u16) -> &'static str {
     match status {
@@ -229,13 +387,14 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Encode one response. `retry_after` adds a `retry-after: N` header
-/// (load-shedding responses carry it so clients back off instead of
-/// hammering).
+/// Encode one response. The body is raw bytes (JSON, Prometheus text,
+/// or a binary model artifact). `retry_after` adds a `retry-after: N`
+/// header (load-shedding responses carry it so clients back off instead
+/// of hammering).
 pub fn encode_response(
     status: u16,
     content_type: &str,
-    body: &str,
+    body: &[u8],
     keep_alive: bool,
     retry_after: Option<u32>,
 ) -> Vec<u8> {
@@ -253,7 +412,23 @@ pub fn encode_response(
         out.extend_from_slice(format!("retry-after: {secs}\r\n").as_bytes());
     }
     out.extend_from_slice(b"\r\n");
-    out.extend_from_slice(body.as_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Encode one request heading to an upstream backend: the gateway's
+/// mirror of [`encode_response`]. Keep-alive is implied (HTTP/1.1
+/// default) — upstream connections are pooled.
+pub fn encode_request(method: &str, path: &str, host: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    out.extend_from_slice(
+        format!(
+            "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body);
     out
 }
 
@@ -387,7 +562,7 @@ mod tests {
 
     #[test]
     fn encode_response_shapes_the_wire_bytes() {
-        let bytes = encode_response(503, "application/json", "{}", true, Some(1));
+        let bytes = encode_response(503, "application/json", b"{}", true, Some(1));
         let text = String::from_utf8(bytes).unwrap();
         assert!(
             text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
@@ -396,9 +571,80 @@ mod tests {
         assert!(text.contains("retry-after: 1\r\n"), "{text}");
         assert!(text.contains("content-length: 2\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{}"), "{text}");
-        let bytes = encode_response(200, "application/json", "hi", false, None);
+        let bytes = encode_response(200, "application/json", b"hi", false, None);
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.contains("connection: close"), "{text}");
         assert!(!text.contains("retry-after"), "{text}");
+    }
+
+    #[test]
+    fn encode_request_shapes_the_wire_bytes() {
+        let bytes = encode_request("POST", "/predict", "127.0.0.1:9", b"{\"x\":1}");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("POST /predict HTTP/1.1\r\n"), "{text}");
+        assert!(text.contains("host: 127.0.0.1:9\r\n"), "{text}");
+        assert!(text.contains("content-length: 7\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"x\":1}"), "{text}");
+    }
+
+    #[test]
+    fn response_parser_handles_byte_by_byte_delivery() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: 4\r\nconnection: keep-alive\r\n\r\nabcd";
+        let mut parser = ResponseParser::new(1024);
+        let mut buf = Vec::new();
+        for (i, &b) in raw.iter().enumerate() {
+            buf.push(b);
+            match parser.poll(&mut buf) {
+                ResponseStep::Incomplete => assert!(i + 1 < raw.len(), "never completed"),
+                ResponseStep::Response(resp) => {
+                    assert_eq!(i + 1, raw.len(), "completed early at byte {i}");
+                    assert_eq!(resp.status, 200);
+                    assert_eq!(resp.content_type, "application/json");
+                    assert_eq!(resp.body, b"abcd");
+                    assert!(resp.keep_alive);
+                    assert!(buf.is_empty());
+                    return;
+                }
+                ResponseStep::Invalid(message) => panic!("invalid: {message}"),
+            }
+        }
+        panic!("response never parsed");
+    }
+
+    #[test]
+    fn response_parser_handles_pipelined_responses_and_close() {
+        let mut parser = ResponseParser::new(1024);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok");
+        buf.extend_from_slice(
+            b"HTTP/1.1 503 Service Unavailable\r\ncontent-length: 0\r\nconnection: close\r\n\r\n",
+        );
+        let first = match parser.poll(&mut buf) {
+            ResponseStep::Response(r) => r,
+            other => panic!("expected first response, got {other:?}"),
+        };
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, b"ok");
+        assert!(first.keep_alive);
+        let second = match parser.poll(&mut buf) {
+            ResponseStep::Response(r) => r,
+            other => panic!("expected second response, got {other:?}"),
+        };
+        assert_eq!(second.status, 503);
+        assert!(second.body.is_empty());
+        assert!(!second.keep_alive);
+        assert!(matches!(parser.poll(&mut buf), ResponseStep::Incomplete));
+    }
+
+    #[test]
+    fn response_parser_rejects_oversized_bodies() {
+        let mut parser = ResponseParser::new(8);
+        let mut buf = b"HTTP/1.1 200 OK\r\ncontent-length: 9\r\n\r\n".to_vec();
+        match parser.poll(&mut buf) {
+            ResponseStep::Invalid(message) => {
+                assert!(message.contains("exceeds limit"), "{message}")
+            }
+            other => panic!("expected invalid, got {other:?}"),
+        }
     }
 }

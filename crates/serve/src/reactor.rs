@@ -155,7 +155,7 @@ struct Completion {
     seq: u64,
     status: u16,
     content_type: &'static str,
-    body: String,
+    body: Vec<u8>,
     retry_after: Option<u32>,
 }
 
@@ -218,10 +218,22 @@ impl Responder {
     }
 
     pub fn send(
-        mut self,
+        self,
         status: u16,
         content_type: &'static str,
         body: String,
+        retry_after: Option<u32>,
+    ) {
+        self.send_bytes(status, content_type, body.into_bytes(), retry_after);
+    }
+
+    /// Byte-body variant for non-textual payloads (binary model
+    /// artifacts proxied by the gateway).
+    pub fn send_bytes(
+        mut self,
+        status: u16,
+        content_type: &'static str,
+        body: Vec<u8>,
         retry_after: Option<u32>,
     ) {
         let (conn, gen, seq, shared) = self.inner.take().expect("responder sends once");
@@ -246,7 +258,7 @@ impl Drop for Responder {
                 seq,
                 status: 500,
                 content_type: crate::http::JSON_CONTENT_TYPE,
-                body: r#"{"error":"handler dropped the request"}"#.to_string(),
+                body: br#"{"error":"handler dropped the request"}"#.to_vec(),
                 retry_after: None,
             });
         }
@@ -497,7 +509,7 @@ impl Reactor {
                         let _ = s.write_all(&encode_response(
                             503,
                             crate::http::JSON_CONTENT_TYPE,
-                            r#"{"error":"connection limit reached"}"#,
+                            br#"{"error":"connection limit reached"}"#,
                             false,
                             Some(self.cfg.retry_after_secs),
                         ));
@@ -659,8 +671,13 @@ impl Reactor {
                     // `malformed`) and answered before the close.
                     crate::http::account_malformed(status);
                     let body = crate::http::error_body(&message);
-                    let bytes =
-                        encode_response(status, crate::http::JSON_CONTENT_TYPE, &body, false, None);
+                    let bytes = encode_response(
+                        status,
+                        crate::http::JSON_CONTENT_TYPE,
+                        body.as_bytes(),
+                        false,
+                        None,
+                    );
                     conn.next_seq += 1;
                     conn.slots.push_back(Slot {
                         keep_alive: false,
@@ -701,7 +718,7 @@ impl Reactor {
                 bytes: Some(encode_response(
                     503,
                     crate::http::JSON_CONTENT_TYPE,
-                    &body,
+                    body.as_bytes(),
                     keep_alive,
                     Some(self.cfg.retry_after_secs),
                 )),
@@ -850,7 +867,7 @@ impl Reactor {
                     bytes: Some(encode_response(
                         408,
                         crate::http::JSON_CONTENT_TYPE,
-                        &body,
+                        body.as_bytes(),
                         false,
                         None,
                     )),

@@ -9,7 +9,12 @@
 //!    without any float parsing);
 //! 3. **JSON artifact** — a `.json` file under the root (artifacts from
 //!    earlier builds, or written for inspection);
-//! 4. **train** — generate the workload dataset, fit the requested model
+//! 4. **peer fetch** — when the registry was built with
+//!    [`ModelRegistry::with_peers`], ask each peer's
+//!    `GET /models/{workload}/{kind}/artifact` for the binary artifact;
+//!    a hit is validated, persisted locally, and memoized — a cold
+//!    replica pulls an already-trained model instead of re-training it;
+//! 5. **train** — generate the workload dataset, fit the requested model
 //!    family deterministically (seed derived from the key), persist the
 //!    binary artifact, then memoize it.
 //!
@@ -186,6 +191,7 @@ struct ResolutionCounters {
     memo: Arc<Counter>,
     disk_lamb: Arc<Counter>,
     disk_json: Arc<Counter>,
+    peer: Arc<Counter>,
     train: Arc<Counter>,
 }
 
@@ -202,6 +208,7 @@ impl ResolutionCounters {
             memo: counter("memo"),
             disk_lamb: counter("disk-lamb"),
             disk_json: counter("disk-json"),
+            peer: counter("peer"),
             train: counter("train"),
         }
     }
@@ -212,6 +219,8 @@ pub struct ModelRegistry {
     root: PathBuf,
     memo: Mutex<HashMap<ModelKey, Arc<LoadedModel>>>,
     resolutions: ResolutionCounters,
+    /// Peer backends (`host:port`) asked for artifacts before training.
+    peers: Vec<String>,
 }
 
 impl ModelRegistry {
@@ -222,7 +231,17 @@ impl ModelRegistry {
             root: root.into(),
             memo: Mutex::new(HashMap::new()),
             resolutions: ResolutionCounters::new(),
+            peers: Vec::new(),
         }
+    }
+
+    /// Registry that asks `peers` (`host:port` addresses of other
+    /// lam-serve processes) for missing artifacts before falling back to
+    /// training them itself.
+    pub fn with_peers(root: impl Into<PathBuf>, peers: Vec<String>) -> Self {
+        let mut reg = Self::new(root);
+        reg.peers = peers;
+        reg
     }
 
     /// The conventional on-disk root.
@@ -286,33 +305,100 @@ impl ModelRegistry {
                 }
                 saved
             }
-            None => {
-                self.resolutions.train.inc();
-                // Train duration is a cold-path metric: interning the
-                // (workload, kind) labels here costs nothing that
-                // matters next to the training run itself.
-                let timer = lam_obs::enabled().then(Instant::now);
-                let trained = train(key)?;
-                if let Some(t) = timer {
-                    lam_obs::global()
-                        .histogram(
-                            "lam_train_duration_ns",
-                            "Train-on-miss model training time, nanoseconds.",
-                            &[
-                                ("workload", &key.workload.to_string()),
-                                ("kind", key.kind.name()),
-                            ],
-                        )
-                        .record(t.elapsed().as_nanos() as u64);
+            None => match self.fetch_from_peers(key) {
+                Some(fetched) => fetched,
+                None => {
+                    self.resolutions.train.inc();
+                    // Train duration is a cold-path metric: interning the
+                    // (workload, kind) labels here costs nothing that
+                    // matters next to the training run itself.
+                    let timer = lam_obs::enabled().then(Instant::now);
+                    let trained = train(key)?;
+                    if let Some(t) = timer {
+                        lam_obs::global()
+                            .histogram(
+                                "lam_train_duration_ns",
+                                "Train-on-miss model training time, nanoseconds.",
+                                &[
+                                    ("workload", &key.workload.to_string()),
+                                    ("kind", key.kind.name()),
+                                ],
+                            )
+                            .record(t.elapsed().as_nanos() as u64);
+                    }
+                    trained.save(&self.root)?;
+                    trained
                 }
-                trained.save(&self.root)?;
-                trained
-            }
+            },
         };
         let loaded = Arc::new(LoadedModel::from_saved(key, saved)?);
         let mut memo = self.memo.lock().expect("registry poisoned");
         // First insert wins; a racing trainer built the identical model.
         Ok(Arc::clone(memo.entry(key).or_insert(loaded)))
+    }
+
+    /// Ask each configured peer for the artifact, first answer wins. A
+    /// fetched artifact is validated (embedded key must match the
+    /// request) and persisted locally so the *next* cold start resolves
+    /// from disk. Any per-peer failure — connect refused, non-200, bytes
+    /// that do not decode — moves on to the next peer; `None` falls the
+    /// caller through to training.
+    fn fetch_from_peers(&self, key: ModelKey) -> Option<SavedModel> {
+        for peer in &self.peers {
+            let bytes = match crate::cluster::fetch_artifact(peer, key) {
+                Ok(bytes) => bytes,
+                Err(_) => continue,
+            };
+            let source = format!("peer {peer}");
+            let saved = match SavedModel::from_lamb_bytes(&bytes, &source) {
+                Ok(saved) => saved,
+                Err(_) => continue,
+            };
+            // Same defense as the disk path: a peer serving bytes for the
+            // wrong identity must not be served under the requested key.
+            let embedded = ModelKey::new(saved.workload, saved.kind, saved.version);
+            if embedded != key {
+                continue;
+            }
+            self.resolutions.peer.inc();
+            // Best-effort local persist: a full disk degrades the next
+            // cold start back to peer-fetch, it does not fail this one.
+            let _ = saved.save(&self.root);
+            return Some(saved);
+        }
+        None
+    }
+
+    /// The binary artifact bytes for a key, *without ever training*: the
+    /// `.lamb` file's bytes when present, else a conversion of the
+    /// `.json` artifact, else `None` (the artifact endpoint's 404). Peers
+    /// poll each other through this, so a miss must stay cheap.
+    pub fn artifact_bytes(&self, key: ModelKey) -> Result<Option<Vec<u8>>, ServeError> {
+        let lamb = self.path_for(key);
+        if lamb.is_file() {
+            // Validate before serving: replicating a corrupt or renamed
+            // artifact across the cluster would be worse than a 404.
+            let saved = SavedModel::load(&lamb)?;
+            if ModelKey::new(saved.workload, saved.kind, saved.version) != key {
+                return Err(ServeError::Json(format!(
+                    "artifact {} embeds a different key, refusing to serve it",
+                    lamb.display()
+                )));
+            }
+            return Ok(Some(std::fs::read(&lamb)?));
+        }
+        let json = self.json_path_for(key);
+        if json.is_file() {
+            let saved = SavedModel::load(&json)?;
+            if ModelKey::new(saved.workload, saved.kind, saved.version) != key {
+                return Err(ServeError::Json(format!(
+                    "artifact {} embeds a different key, refusing to serve it",
+                    json.display()
+                )));
+            }
+            return Ok(Some(saved.to_lamb_bytes()?));
+        }
+        Ok(None)
     }
 
     /// Everything the registry can serve without training: artifacts on

@@ -118,7 +118,7 @@ fn serve_restart_predict_and_loadgen_end_to_end() {
 
     // Loadgen sustains real throughput against the cached model.
     let report = loadgen::run(&LoadgenOptions {
-        addr: addr.clone(),
+        addrs: vec![addr.clone()],
         workload: wid("fmm-small"),
         kind: ModelKind::Hybrid,
         version: 1,

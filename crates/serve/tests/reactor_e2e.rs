@@ -414,7 +414,7 @@ fn concurrent_single_row_traffic_forms_cross_connection_batches() {
         MetricsScrape::fetch(&mut c).expect("scrapes")
     };
     let report = loadgen::run(&LoadgenOptions {
-        addr: addr.clone(),
+        addrs: vec![addr.clone()],
         workload: wid("fmm-small"),
         kind: ModelKind::Linear,
         version: 1,
