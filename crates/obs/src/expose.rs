@@ -134,8 +134,9 @@ pub fn render_prometheus(snapshot: &Snapshot) -> String {
     out
 }
 
-/// JSON string escaping (control characters, quote, backslash).
-fn escape_json(value: &str, out: &mut String) {
+/// JSON string escaping (control characters, quote, backslash). Shared
+/// with the span-record and metrics-history renderers.
+pub(crate) fn escape_json(value: &str, out: &mut String) {
     for c in value.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -151,7 +152,7 @@ fn escape_json(value: &str, out: &mut String) {
     }
 }
 
-fn json_labels(names: &[&'static str], values: &[String], out: &mut String) {
+pub(crate) fn json_labels(names: &[&'static str], values: &[String], out: &mut String) {
     out.push('{');
     for (i, (name, value)) in names.iter().zip(values).enumerate() {
         if i > 0 {

@@ -1,0 +1,300 @@
+//! Metrics history: a ring of timestamped registry deltas, so loadgen
+//! and CI can compute rates and windows from `GET /metrics/history`
+//! without running an external scraper.
+//!
+//! A background snapshotter (started once per process by the server)
+//! snapshots the global registry every interval and stores the *delta*
+//! frame against the previous snapshot: counter and histogram series
+//! keep only what moved (count/sum deltas), gauges keep their absolute
+//! value. Zero-delta series are omitted, so an idle process rings
+//! near-empty frames.
+
+use crate::registry::{Snapshot, ValueSnapshot};
+use std::collections::VecDeque;
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Duration;
+
+/// Default frames kept (one per snapshot interval).
+pub const DEFAULT_FRAMES: usize = 64;
+/// Default snapshot interval for [`start_snapshotter`].
+pub const DEFAULT_INTERVAL: Duration = Duration::from_secs(1);
+
+/// One series' movement within a frame.
+#[derive(Debug, Clone)]
+enum SeriesDelta {
+    /// Counter increase over the interval.
+    Counter(u64),
+    /// Gauge absolute value at frame time.
+    Gauge(i64),
+    /// Histogram `(count, sum)` increase over the interval.
+    Histogram(u64, u64),
+}
+
+/// One timestamped delta frame.
+#[derive(Debug, Clone)]
+struct Frame {
+    unix_ms: u64,
+    interval_ms: u64,
+    /// `(name, rendered label object, delta)` per moved series.
+    series: Vec<(&'static str, String, SeriesDelta)>,
+}
+
+/// The frame ring plus the previous snapshot the next delta diffs
+/// against. Use [`global`] for the process-wide instance.
+pub struct MetricsHistory {
+    inner: Mutex<HistoryInner>,
+    capacity: usize,
+}
+
+struct HistoryInner {
+    frames: VecDeque<Frame>,
+    last: Option<(u64, Snapshot)>,
+}
+
+/// Flatten a snapshot into `(name, labels-json, value)` triples.
+fn flatten(snapshot: &Snapshot) -> Vec<(&'static str, String, ValueSnapshot)> {
+    let mut out = Vec::new();
+    for family in &snapshot.families {
+        for series in &family.series {
+            let mut labels = String::new();
+            crate::expose::json_labels(&family.label_names, &series.label_values, &mut labels);
+            out.push((family.name, labels, series.value.clone()));
+        }
+    }
+    out
+}
+
+impl MetricsHistory {
+    /// A history ring keeping `capacity` frames (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(HistoryInner {
+                frames: VecDeque::new(),
+                last: None,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Take one snapshot of `snapshot` at wall-clock `unix_ms` and ring
+    /// the delta frame against the previous call. The first call only
+    /// seeds the baseline (there is nothing to diff yet).
+    pub fn observe(&self, snapshot: Snapshot, unix_ms: u64) {
+        let mut inner = self.inner.lock().expect("metrics history poisoned");
+        if let Some((last_ms, last_snapshot)) = &inner.last {
+            let last: std::collections::BTreeMap<(&'static str, String), ValueSnapshot> =
+                flatten(last_snapshot)
+                    .into_iter()
+                    .map(|(name, labels, value)| ((name, labels), value))
+                    .collect();
+            let mut series = Vec::new();
+            for (name, labels, value) in flatten(&snapshot) {
+                let prev = last.get(&(name, labels.clone()));
+                let delta = match (&value, prev) {
+                    (ValueSnapshot::Counter(now), prev) => {
+                        let before = match prev {
+                            Some(ValueSnapshot::Counter(v)) => *v,
+                            _ => 0,
+                        };
+                        let d = now.saturating_sub(before);
+                        (d > 0).then_some(SeriesDelta::Counter(d))
+                    }
+                    (ValueSnapshot::Gauge(now), _) => Some(SeriesDelta::Gauge(*now)),
+                    (ValueSnapshot::Histogram(now), prev) => {
+                        let (count0, sum0) = match prev {
+                            Some(ValueSnapshot::Histogram(h)) => (h.count(), h.sum),
+                            _ => (0, 0),
+                        };
+                        let dc = now.count().saturating_sub(count0);
+                        let ds = now.sum.saturating_sub(sum0);
+                        (dc > 0).then_some(SeriesDelta::Histogram(dc, ds))
+                    }
+                };
+                if let Some(delta) = delta {
+                    series.push((name, labels, delta));
+                }
+            }
+            let frame = Frame {
+                unix_ms,
+                interval_ms: unix_ms.saturating_sub(*last_ms),
+                series,
+            };
+            if inner.frames.len() == self.capacity {
+                inner.frames.pop_front();
+            }
+            inner.frames.push_back(frame);
+        }
+        inner.last = Some((unix_ms, snapshot));
+    }
+
+    /// Frames currently ringed.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("metrics history poisoned")
+            .frames
+            .len()
+    }
+
+    /// No frames yet?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render the ring as JSON, oldest frame first:
+    ///
+    /// ```json
+    /// {"frames":[{"unix_ms":...,"interval_ms":...,
+    ///   "counters":[{"name":"...","labels":{...},"delta":1}],
+    ///   "gauges":[{"name":"...","labels":{...},"value":0}],
+    ///   "histograms":[{"name":"...","labels":{...},
+    ///                  "delta_count":2,"delta_sum":90}]}]}
+    /// ```
+    pub fn render_json(&self) -> String {
+        let inner = self.inner.lock().expect("metrics history poisoned");
+        let frames: Vec<String> = inner
+            .frames
+            .iter()
+            .map(|frame| {
+                let mut counters = String::new();
+                let mut gauges = String::new();
+                let mut histograms = String::new();
+                for (name, labels, delta) in &frame.series {
+                    let (out, body) = match delta {
+                        SeriesDelta::Counter(d) => (&mut counters, format!("\"delta\":{d}")),
+                        SeriesDelta::Gauge(v) => (&mut gauges, format!("\"value\":{v}")),
+                        SeriesDelta::Histogram(dc, ds) => (
+                            &mut histograms,
+                            format!("\"delta_count\":{dc},\"delta_sum\":{ds}"),
+                        ),
+                    };
+                    if !out.is_empty() {
+                        out.push(',');
+                    }
+                    out.push_str("{\"name\":\"");
+                    crate::expose::escape_json(name, out);
+                    out.push_str("\",\"labels\":");
+                    out.push_str(labels);
+                    out.push(',');
+                    out.push_str(&body);
+                    out.push('}');
+                }
+                format!(
+                    "{{\"unix_ms\":{},\"interval_ms\":{},\"counters\":[{counters}],\"gauges\":[{gauges}],\"histograms\":[{histograms}]}}",
+                    frame.unix_ms, frame.interval_ms
+                )
+            })
+            .collect();
+        format!("{{\"frames\":[{}]}}", frames.join(","))
+    }
+}
+
+/// The process-global history ring (`LAM_METRICS_HISTORY_FRAMES`
+/// overrides the frame count on first touch).
+pub fn global() -> &'static MetricsHistory {
+    static GLOBAL: OnceLock<MetricsHistory> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let frames = std::env::var("LAM_METRICS_HISTORY_FRAMES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_FRAMES);
+        MetricsHistory::with_capacity(frames)
+    })
+}
+
+/// Start the background snapshotter thread (idempotent; the first call
+/// wins and fixes the interval). The thread diffs [`crate::global`]
+/// into [`global`] every `interval` and is detached — it costs one
+/// registry snapshot per tick and dies with the process.
+pub fn start_snapshotter(interval: Duration) {
+    static STARTED: Once = Once::new();
+    STARTED.call_once(|| {
+        std::thread::Builder::new()
+            .name("lam-obs-history".to_string())
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                global().observe(
+                    crate::global().snapshot(),
+                    crate::recorder::unix_now_ns() / 1_000_000,
+                );
+            })
+            .expect("spawn metrics-history snapshotter");
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn frames_carry_deltas_not_totals() {
+        let reg = MetricsRegistry::new();
+        let hits = reg.counter("h_total", "H.", &[("scope", "a")]);
+        let lat = reg.histogram("l_ns", "L.", &[]);
+        let inflight = reg.gauge("g", "G.", &[]);
+        let history = MetricsHistory::with_capacity(4);
+
+        hits.add(10);
+        lat.record(100);
+        inflight.set(3);
+        history.observe(reg.snapshot(), 1_000); // baseline only
+        assert!(history.is_empty());
+
+        hits.add(5);
+        lat.record(50);
+        lat.record(50);
+        inflight.set(1);
+        history.observe(reg.snapshot(), 2_000);
+        assert_eq!(history.len(), 1);
+        let json = history.render_json();
+        assert!(json.contains("\"unix_ms\":2000"), "{json}");
+        assert!(json.contains("\"interval_ms\":1000"), "{json}");
+        assert!(json.contains("\"name\":\"h_total\""), "{json}");
+        assert!(
+            json.contains("\"delta\":5"),
+            "delta, not the 15 total: {json}"
+        );
+        assert!(
+            json.contains("\"delta_count\":2,\"delta_sum\":100"),
+            "{json}"
+        );
+        assert!(json.contains("\"value\":1"), "gauges are absolute: {json}");
+        assert!(json.contains(r#""labels":{"scope":"a"}"#), "{json}");
+    }
+
+    #[test]
+    fn idle_intervals_ring_empty_frames_and_capacity_bounds() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c_total", "C.", &[]);
+        c.inc();
+        let history = MetricsHistory::with_capacity(2);
+        history.observe(reg.snapshot(), 0);
+        for t in 1..=5u64 {
+            history.observe(reg.snapshot(), t * 1_000);
+        }
+        assert_eq!(history.len(), 2, "ring is bounded");
+        let json = history.render_json();
+        // Nothing moved after the baseline: counters lists are empty.
+        assert!(json.contains("\"counters\":[]"), "{json}");
+        assert!(json.contains("\"unix_ms\":5000"), "{json}");
+        assert!(!json.contains("\"unix_ms\":1000"), "oldest evicted: {json}");
+    }
+
+    #[test]
+    fn render_is_balanced_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x_total", "X.", &[("k", "v\"w")]).inc();
+        let history = MetricsHistory::with_capacity(4);
+        history.observe(reg.snapshot(), 1);
+        reg.counter("x_total", "X.", &[("k", "v\"w")]).inc();
+        history.observe(reg.snapshot(), 2);
+        let json = history.render_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -17,6 +17,14 @@
 //!   phase histogram;
 //! * [`expose`] — Prometheus text exposition and a compact JSON
 //!   rendering of a registry [`Snapshot`];
+//! * [`trace`] — the distributed-tracing context: 128-bit trace id +
+//!   span id + flags, carried between processes in the `x-lam-trace`
+//!   header, with deterministic child-span derivation;
+//! * [`recorder`] — the flight recorder: a wait-free ring of completed
+//!   [`SpanRecord`]s with tail-based sampling (errors/sheds/slow/forced
+//!   always kept, bulk traffic sampled by trace id);
+//! * [`history`] — a ring of timestamped registry delta frames behind
+//!   `GET /metrics/history`;
 //! * [`time`] — an RFC 3339 formatter for wall-clock timestamps (no
 //!   chrono in this container).
 //!
@@ -41,16 +49,21 @@
 //! ```
 
 pub mod expose;
+pub mod history;
 pub mod metrics;
+pub mod recorder;
 pub mod registry;
 pub mod span;
 pub mod time;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, GaugeGuard, Histogram, HistogramSnapshot};
+pub use recorder::{FlightRecorder, SpanRecord, SpanStatus};
 pub use registry::{
     FamilySnapshot, MetricKind, MetricsRegistry, SeriesSnapshot, Snapshot, ValueSnapshot,
 };
 pub use span::{PhaseSet, SpanTimer};
+pub use trace::TraceContext;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

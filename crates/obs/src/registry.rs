@@ -248,6 +248,20 @@ pub struct Snapshot {
     pub families: Vec<FamilySnapshot>,
 }
 
+impl Snapshot {
+    /// Keep only families whose name starts with `prefix` (the
+    /// `?prefix=` filter on the metrics endpoints). Filtering happens on
+    /// the snapshot, *before* rendering, so an unfiltered render is
+    /// byte-identical with or without this method in the pipeline — the
+    /// empty prefix keeps everything.
+    pub fn retain_prefix(mut self, prefix: &str) -> Self {
+        if !prefix.is_empty() {
+            self.families.retain(|f| f.name.starts_with(prefix));
+        }
+        self
+    }
+}
+
 /// Snapshot of one metric family.
 #[derive(Debug, Clone)]
 pub struct FamilySnapshot {

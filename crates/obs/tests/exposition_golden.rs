@@ -97,6 +97,29 @@ fn json_matches_golden() {
 }
 
 #[test]
+fn empty_prefix_filter_is_byte_identical() {
+    // `?prefix=` (or no query at all) must not perturb the exposition
+    // in any way: the filtered snapshot renders the exact golden bytes.
+    let snap = fixed_registry().snapshot().retain_prefix("");
+    assert_eq!(render_prometheus(&snap), GOLDEN);
+}
+
+#[test]
+fn prefix_filter_keeps_exactly_the_matching_families() {
+    let snap = fixed_registry().snapshot().retain_prefix("lam_requests");
+    let text = render_prometheus(&snap);
+    // Retained families render exactly as in the unfiltered golden.
+    assert!(text.contains("lam_requests_total{endpoint=\"predict\",status=\"2xx\"} 7"));
+    assert!(text.contains("lam_requests_in_flight 1"));
+    // Everything else is gone, from text and JSON alike.
+    assert!(!text.contains("lam_cache_hits_total"), "{text}");
+    assert!(!text.contains("lam_request_duration_ns"), "{text}");
+    let json = render_json(&snap);
+    assert!(!json.contains("lam_cache_hits_total"), "{json}");
+    assert!(json.contains("\"histograms\":[]"), "{json}");
+}
+
+#[test]
 fn label_escaping_survives_exposition() {
     let reg = MetricsRegistry::new();
     reg.counter(

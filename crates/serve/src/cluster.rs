@@ -48,17 +48,22 @@
 //! training cost for a key.
 
 use crate::http::{
-    account_request, endpoint_index, error_body, start_engine, PredictRequest, PredictResponse,
-    ServeConfig, JSON_CONTENT_TYPE, LAMB_CONTENT_TYPE,
+    account_request, endpoint_index, error_body, query_param, start_engine, PredictRequest,
+    PredictResponse, ServeConfig, JSON_CONTENT_TYPE, LAMB_CONTENT_TYPE, RECENT_TRACES_LIMIT,
 };
-use crate::proto::{encode_request, ParsedResponse, ResponseParser, ResponseStep};
+use crate::proto::{
+    encode_request, encode_request_traced, ParsedRequest, ParsedResponse, ResponseParser,
+    ResponseStep,
+};
 use crate::reactor::Job;
 use crate::registry::ModelKey;
 use crate::route::HashRing;
 use crate::ServeError;
 use epoll::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use lam_obs::expose::PROMETHEUS_CONTENT_TYPE;
-use lam_obs::{Counter, Gauge, Histogram};
+use lam_obs::recorder::SpanStatus;
+use lam_obs::trace::TraceContext;
+use lam_obs::{Counter, Gauge, Histogram, SpanRecord};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -291,6 +296,9 @@ pub fn start_gateway(cfg: GatewayConfig) -> Result<GatewayHandle, ServeError> {
             "gateway needs at least one --backend".to_string(),
         ));
     }
+    // Span records from this process must be attributable to the gateway
+    // when a trace is assembled across the cluster.
+    lam_obs::recorder::set_service("gateway");
     let cluster = Arc::new(ClusterState::new(&cfg));
     let ctx = Arc::new(GatewayCtx {
         cluster: Arc::clone(&cluster),
@@ -376,17 +384,40 @@ fn handle_gateway_job(job: Job, ctx: &GatewayCtx) {
     drop(hint); // the gateway schedules no rows
     let started = lam_obs::enabled().then(Instant::now);
     let endpoint = endpoint_index(&req.method, &req.path);
-    let (status, content_type, body, retry_after) = match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/predict") => gateway_predict(&req.body, ctx),
-        ("POST", "/tune") => gateway_tune(&req.body, ctx),
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+    let mut trace = GatewayTrace::begin(&req, path);
+    let (status, content_type, body, retry_after) = match (req.method.as_str(), path) {
+        ("POST", "/predict") => gateway_predict(&req.body, ctx, trace.as_mut()),
+        ("POST", "/tune") => gateway_tune(&req.body, ctx, trace.as_ref().map(|t| t.ctx)),
         ("GET", "/healthz") => gateway_healthz(ctx),
         ("GET", "/metrics") => {
-            let text = lam_obs::expose::render_prometheus(&lam_obs::global().snapshot());
+            let snap = lam_obs::global()
+                .snapshot()
+                .retain_prefix(query_param(query, "prefix"));
+            let text = lam_obs::expose::render_prometheus(&snap);
             (200, PROMETHEUS_CONTENT_TYPE, text.into_bytes(), None)
         }
         ("GET", "/metrics.json") => {
-            let text = lam_obs::expose::render_json(&lam_obs::global().snapshot());
+            let snap = lam_obs::global()
+                .snapshot()
+                .retain_prefix(query_param(query, "prefix"));
+            let text = lam_obs::expose::render_json(&snap);
             (200, JSON_CONTENT_TYPE, text.into_bytes(), None)
+        }
+        ("GET", "/metrics/history") => {
+            let text = lam_obs::history::global().render_json();
+            (200, JSON_CONTENT_TYPE, text.into_bytes(), None)
+        }
+        ("GET", "/traces") => {
+            let records = lam_obs::recorder::global().iter_records();
+            let text = lam_obs::recorder::render_recent_json(&records, RECENT_TRACES_LIMIT);
+            (200, JSON_CONTENT_TYPE, text.into_bytes(), None)
+        }
+        ("GET", p) if p.starts_with("/traces/") => {
+            gateway_trace_detail(&p["/traces/".len()..], ctx)
         }
         ("GET", p)
             if p == "/models"
@@ -394,15 +425,139 @@ fn handle_gateway_job(job: Job, ctx: &GatewayCtx) {
                 || p.starts_with("/workloads/")
                 || crate::http::parse_artifact_path(p).is_some() =>
         {
-            gateway_proxy_get(p, ctx)
+            // Forward the original path: artifact GETs carry `?version=`.
+            gateway_proxy_get(&req.path, ctx)
         }
         ("GET", "/predict") => bad(405, "use POST for /predict"),
         ("GET", "/tune") => bad(405, "use POST for /tune"),
         _ => bad(404, &format!("no route for {} {}", req.method, req.path)),
     };
+    if let Some(t) = trace {
+        t.finish(status);
+    }
     account_request(endpoint, status, started);
     responder.send_bytes(status, content_type, body, retry_after);
 }
+
+/// Map an HTTP status onto the span outcome recorded for it.
+fn span_status(status_code: u16) -> SpanStatus {
+    match status_code {
+        503 => SpanStatus::Shed,
+        s if s >= 400 => SpanStatus::Error,
+        _ => SpanStatus::Ok,
+    }
+}
+
+/// The `gateway.request` root span of one traced client request.
+/// Only `/predict` and `/tune` are traced: probe and scrape endpoints
+/// would drown the flight recorder in uninteresting spans.
+struct GatewayTrace {
+    ctx: TraceContext,
+    parent_id: u64,
+    started: Instant,
+    annotations: Vec<(&'static str, String)>,
+}
+
+impl GatewayTrace {
+    fn begin(req: &ParsedRequest, path: &str) -> Option<Self> {
+        if !lam_obs::enabled() || req.method != "POST" || !matches!(path, "/predict" | "/tune") {
+            return None;
+        }
+        let (ctx, parent_id) = match req.trace.as_deref().and_then(TraceContext::parse) {
+            Some(parent) => (parent.child(0), parent.span_id),
+            None => (TraceContext::root(), 0),
+        };
+        Some(Self {
+            ctx,
+            parent_id,
+            started: Instant::now(),
+            annotations: Vec::new(),
+        })
+    }
+
+    fn annotate(&mut self, key: &'static str, value: impl Into<String>) {
+        self.annotations.push((key, value.into()));
+    }
+
+    fn finish(self, status_code: u16) {
+        let mut record = SpanRecord::finish(
+            &self.ctx,
+            self.parent_id,
+            "gateway.request",
+            self.started,
+            span_status(status_code),
+        )
+        .annotate("http_status", status_code.to_string());
+        for (key, value) in self.annotations {
+            record = record.annotate(key, value);
+        }
+        lam_obs::recorder::global().record(record);
+    }
+}
+
+/// `GET /traces/{id}` on the gateway: merge this process's retained
+/// spans for the trace with every backend's (fetched over HTTP), dedup
+/// by span id (an in-process test cluster shares one recorder), order
+/// by start time, and render the combined tree.
+fn gateway_trace_detail(segment: &str, ctx: &GatewayCtx) -> GatewayResponse {
+    let Some(trace_id) = lam_obs::trace::parse_trace_id(segment) else {
+        return bad(400, "trace id must be 32 hex digits");
+    };
+    // (span_id, start_unix_ns, rendered span object)
+    let mut spans: Vec<(u64, u64, String)> = lam_obs::recorder::global()
+        .find_trace(trace_id)
+        .into_iter()
+        .map(|r| (r.span_id, r.start_unix_ns, r.to_json()))
+        .collect();
+    let path = format!("/traces/{segment}");
+    for backend in &ctx.cluster.backends {
+        let Ok(resp) = blocking_get(&backend.addr, &path, TRACE_FETCH_TIMEOUT, 1 << 20) else {
+            continue; // a dead backend simply contributes no spans
+        };
+        if resp.status != 200 {
+            continue; // 404 means the backend retained nothing for this id
+        }
+        let Ok(text) = std::str::from_utf8(&resp.body) else {
+            continue;
+        };
+        let Ok(doc) = serde_json::from_str::<serde::Value>(text) else {
+            continue;
+        };
+        let Some(items) = doc.get("spans").and_then(|s| s.as_array()) else {
+            continue;
+        };
+        for item in items {
+            let Some(span_id) = item
+                .get("span_id")
+                .and_then(|v| v.as_str())
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+            else {
+                continue;
+            };
+            let start = match item.get("start_unix_ns") {
+                Some(serde::Value::Number(n)) => n.as_u64().unwrap_or(0),
+                _ => 0,
+            };
+            let Ok(json) = serde_json::to_string(item) else {
+                continue;
+            };
+            spans.push((span_id, start, json));
+        }
+    }
+    if spans.is_empty() {
+        return bad(404, &format!("no retained spans for trace {segment}"));
+    }
+    spans.sort_by_key(|s| (s.1, s.0));
+    spans.dedup_by_key(|s| s.0);
+    let jsons: Vec<String> = spans.into_iter().map(|s| s.2).collect();
+    let body = lam_obs::recorder::render_trace_json(trace_id, &jsons);
+    (200, JSON_CONTENT_TYPE, body.into_bytes(), None)
+}
+
+/// How long the gateway waits on each backend while assembling a
+/// cross-process trace. Trace inspection is a debugging path; it should
+/// fail towards partial trees, not hang the handler thread.
+const TRACE_FETCH_TIMEOUT: Duration = Duration::from_secs(2);
 
 fn bad(status: u16, msg: &str) -> GatewayResponse {
     (
@@ -418,6 +573,10 @@ fn bad(status: u16, msg: &str) -> GatewayResponse {
 pub struct GatewayHealthResponse {
     /// `ok` while at least one backend is live, else `degraded`.
     pub status: String,
+    /// Crate version of the gateway binary.
+    pub version: String,
+    /// Build profile (`debug` or `release`).
+    pub profile: String,
     /// Configured backend count.
     pub backends: usize,
     /// Backends currently in the serving rotation.
@@ -439,6 +598,8 @@ fn gateway_healthz(ctx: &GatewayCtx) -> GatewayResponse {
     let healthy = ctx.cluster.healthy_count();
     let resp = GatewayHealthResponse {
         status: if healthy > 0 { "ok" } else { "degraded" }.to_string(),
+        version: crate::http::BUILD_VERSION.to_string(),
+        profile: crate::http::BUILD_PROFILE.to_string(),
         backends: ctx.cluster.backends.len(),
         backends_healthy: healthy,
         backend_status: ctx
@@ -476,15 +637,26 @@ fn all_replicas_down(ctx: &GatewayCtx) -> GatewayResponse {
 /// replication the body is parsed once and its rows scatter as
 /// contiguous chunks across the replica set, gathered back in chunk
 /// order so the client sees row-order-preserving predictions.
-fn gateway_predict(body: &[u8], ctx: &GatewayCtx) -> GatewayResponse {
+fn gateway_predict(
+    body: &[u8],
+    ctx: &GatewayCtx,
+    mut trace: Option<&mut GatewayTrace>,
+) -> GatewayResponse {
+    let tctx = trace.as_ref().map(|t| t.ctx);
     let Some((workload, kind)) = scan_routing_fields(body) else {
         // The scan only fails on bodies that are not simple JSON
         // objects with string `workload`/`kind` fields — let a backend
         // produce the canonical 400 unless none is alive.
         return match first_healthy(ctx) {
-            Some(order) => {
-                forward_with_failover(ctx, &order, "POST", "/predict", body, ctx.upstream_timeout)
-            }
+            Some(order) => forward_with_failover(
+                ctx,
+                &order,
+                "POST",
+                "/predict",
+                body,
+                ctx.upstream_timeout,
+                tctx,
+            ),
             None => all_replicas_down(ctx),
         };
     };
@@ -495,6 +667,9 @@ fn gateway_predict(body: &[u8], ctx: &GatewayCtx) -> GatewayResponse {
     let serving = &candidates[..candidates.len().min(ctx.cluster.replicas)];
     if serving.len() == 1 {
         ctx.cluster.fanout.record(1);
+        if let Some(t) = trace.as_deref_mut() {
+            t.annotate("shards", "1");
+        }
         return forward_with_failover(
             ctx,
             &candidates,
@@ -502,15 +677,16 @@ fn gateway_predict(body: &[u8], ctx: &GatewayCtx) -> GatewayResponse {
             "/predict",
             body,
             ctx.upstream_timeout,
+            tctx,
         );
     }
-    scatter_predict(body, serving, &candidates, ctx)
+    scatter_predict(body, serving, &candidates, ctx, trace)
 }
 
 /// `/tune` through the gateway: routed whole (budgets are not
 /// splittable), with the kind defaulting to `hybrid` exactly as the
 /// backend would default it.
-fn gateway_tune(body: &[u8], ctx: &GatewayCtx) -> GatewayResponse {
+fn gateway_tune(body: &[u8], ctx: &GatewayCtx, trace: Option<TraceContext>) -> GatewayResponse {
     let key = scan_routing_fields(body);
     let candidates = match &key {
         Some((workload, kind)) => ctx.cluster.healthy_candidates(workload, kind),
@@ -519,7 +695,15 @@ fn gateway_tune(body: &[u8], ctx: &GatewayCtx) -> GatewayResponse {
     if candidates.is_empty() {
         return all_replicas_down(ctx);
     }
-    forward_with_failover(ctx, &candidates, "POST", "/tune", body, ctx.tune_timeout)
+    forward_with_failover(
+        ctx,
+        &candidates,
+        "POST",
+        "/tune",
+        body,
+        ctx.tune_timeout,
+        trace,
+    )
 }
 
 /// Proxy a GET (catalog, workloads, artifact) to a healthy backend.
@@ -537,7 +721,15 @@ fn gateway_proxy_get(path: &str, ctx: &GatewayCtx) -> GatewayResponse {
     if candidates.is_empty() {
         return all_replicas_down(ctx);
     }
-    forward_with_failover(ctx, &candidates, "GET", path, &[], ctx.upstream_timeout)
+    forward_with_failover(
+        ctx,
+        &candidates,
+        "GET",
+        path,
+        &[],
+        ctx.upstream_timeout,
+        None,
+    )
 }
 
 /// All healthy backends in index order (for keyless requests), `None`
@@ -604,6 +796,10 @@ fn scan_string_field(body: &[u8], quoted_name: &[u8]) -> Option<String> {
 /// any status — ends the walk: statuses are deterministic answers
 /// (400) or explicit backpressure (503 + retry-after) that failover
 /// must not amplify into duplicated work.
+///
+/// With a trace context, each attempt gets its own `gateway.shard`
+/// child span (sequence = attempt index) whose header rides to the
+/// backend, so failover attempts are distinguishable in the tree.
 fn forward_with_failover(
     ctx: &GatewayCtx,
     candidates: &[usize],
@@ -611,11 +807,26 @@ fn forward_with_failover(
     path: &str,
     body: &[u8],
     timeout: Duration,
+    trace: Option<TraceContext>,
 ) -> GatewayResponse {
-    for &idx in candidates {
+    for (attempt, &idx) in candidates.iter().enumerate() {
         let addr = &ctx.cluster.backends[idx].addr;
-        let request = encode_request(method, path, addr, body);
-        match request_one(ctx, idx, request, timeout) {
+        let leg = trace.map(|t| t.child(attempt as u64));
+        let header = leg.map(|l| l.header_value());
+        let request = encode_request_traced(method, path, addr, body, header.as_deref());
+        let leg_started = Instant::now();
+        let outcome = request_one(ctx, idx, request, timeout);
+        if let (Some(root), Some(leg)) = (&trace, &leg) {
+            let status = match &outcome {
+                Ok(resp) => span_status(resp.status),
+                Err(_) => SpanStatus::Error,
+            };
+            lam_obs::recorder::global().record(
+                SpanRecord::finish(leg, root.span_id, "gateway.shard", leg_started, status)
+                    .annotate("backend", addr.clone()),
+            );
+        }
+        match outcome {
             Ok(resp) => {
                 return (
                     resp.status,
@@ -640,6 +851,7 @@ fn scatter_predict(
     serving: &[usize],
     candidates: &[usize],
     ctx: &GatewayCtx,
+    trace: Option<&mut GatewayTrace>,
 ) -> GatewayResponse {
     let start = Instant::now();
     let text = match std::str::from_utf8(body) {
@@ -650,8 +862,17 @@ fn scatter_predict(
         Ok(p) => p,
         Err(e) => return bad(400, &e.to_string()),
     };
-    let shards = serving.len().min(parsed.rows.len()).max(1);
+    let total_rows = parsed.rows.len();
+    let shards = serving.len().min(total_rows).max(1);
     ctx.cluster.fanout.record(shards as u64);
+    let tctx = match trace {
+        Some(t) => {
+            t.annotate("rows", total_rows.to_string());
+            t.annotate("shards", shards.to_string());
+            Some(t.ctx)
+        }
+        None => None,
+    };
     if shards == 1 {
         return forward_with_failover(
             ctx,
@@ -660,15 +881,21 @@ fn scatter_predict(
             "/predict",
             body,
             ctx.upstream_timeout,
+            tctx,
         );
     }
-    // Contiguous chunks, sizes differing by at most one row.
-    let base = parsed.rows.len() / shards;
-    let extra = parsed.rows.len() % shards;
+    // Contiguous chunks, sizes differing by at most one row. `offsets`
+    // remembers each chunk's starting row for the shard spans below.
+    let base = total_rows / shards;
+    let extra = total_rows % shards;
     let mut chunks: Vec<Vec<Vec<f64>>> = Vec::with_capacity(shards);
+    let mut offsets: Vec<usize> = Vec::with_capacity(shards);
+    let mut offset = 0usize;
     let mut rows = parsed.rows.into_iter();
     for s in 0..shards {
         let take = base + usize::from(s < extra);
+        offsets.push(offset);
+        offset += take;
         chunks.push(rows.by_ref().take(take).collect());
     }
     let subrequests: Vec<(usize, Vec<u8>)> = chunks
@@ -683,15 +910,19 @@ fn scatter_predict(
             };
             let body = serde_json::to_string(&sub).expect("predict request serializes");
             let addr = &ctx.cluster.backends[serving[s]].addr;
+            let leg = tctx.map(|t| t.child(s as u64));
+            let header = leg.map(|l| l.header_value());
             (
                 serving[s],
-                encode_request("POST", "/predict", addr, body.as_bytes()),
+                encode_request_traced("POST", "/predict", addr, body.as_bytes(), header.as_deref()),
             )
         })
         .collect();
     let mut results = exchange_parallel(ctx, subrequests, ctx.upstream_timeout);
     // Failover pass: re-send each failed chunk to the key's other
-    // healthy candidates, sequentially (this is the rare path).
+    // healthy candidates, sequentially (this is the rare path). The
+    // retried leg keeps its chunk's span id so the trace stays whole.
+    let mut final_backends: Vec<usize> = serving.to_vec();
     for (s, result) in results.iter_mut().enumerate() {
         if result.is_ok() {
             continue;
@@ -704,16 +935,45 @@ fn scatter_predict(
             rows: chunks[s].clone(),
         };
         let body = serde_json::to_string(&sub).expect("predict request serializes");
+        let leg = tctx.map(|t| t.child(s as u64));
+        let header = leg.map(|l| l.header_value());
         for &idx in candidates.iter().filter(|&&i| i != failed_backend) {
             if !ctx.cluster.backends[idx].is_healthy() {
                 continue;
             }
             let addr = &ctx.cluster.backends[idx].addr;
-            let request = encode_request("POST", "/predict", addr, body.as_bytes());
+            let request =
+                encode_request_traced("POST", "/predict", addr, body.as_bytes(), header.as_deref());
             if let Ok(resp) = request_one(ctx, idx, request, ctx.upstream_timeout) {
                 *result = Ok(resp);
+                final_backends[s] = idx;
                 break;
             }
+        }
+    }
+    // One `gateway.shard` span per chunk, recorded before the merge so
+    // failed chunks still show up (status error) in the trace.
+    if let Some(root) = tctx {
+        for (s, result) in results.iter().enumerate() {
+            let status = match result {
+                Ok(resp) => span_status(resp.status),
+                Err(_) => SpanStatus::Error,
+            };
+            lam_obs::recorder::global().record(
+                SpanRecord::finish(
+                    &root.child(s as u64),
+                    root.span_id,
+                    "gateway.shard",
+                    start,
+                    status,
+                )
+                .annotate(
+                    "backend",
+                    ctx.cluster.backends[final_backends[s]].addr.clone(),
+                )
+                .annotate("offset", offsets[s].to_string())
+                .annotate("rows", chunks[s].len().to_string()),
+            );
         }
     }
     // Merge. Any chunk still failed → 503; any upstream non-200 →

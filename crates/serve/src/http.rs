@@ -12,8 +12,11 @@
 //! | `/predict`          | POST   | [`PredictRequest`] → [`PredictResponse`] |
 //! | `/tune`             | POST   | [`TuneHttpRequest`] → [`TuneHttpResponse`] |
 //! | `/models/{w}/{k}/artifact` | GET | — → binary `.lamb` artifact bytes (peer replication; never trains) |
-//! | `/metrics`          | GET    | — → Prometheus text exposition           |
-//! | `/metrics.json`     | GET    | — → same snapshot as compact JSON        |
+//! | `/metrics`          | GET    | — → Prometheus text exposition (`?prefix=` filters families) |
+//! | `/metrics.json`     | GET    | — → same snapshot as compact JSON (`?prefix=` too) |
+//! | `/metrics/history`  | GET    | — → ring of timestamped metric delta frames |
+//! | `/traces`           | GET    | — → recent flight-recorder trace summaries |
+//! | `/traces/{id}`      | GET    | — → one trace's retained span tree       |
 //!
 //! Every served request — including one whose bytes never parse into a
 //! request — lands in `lam_requests_total{endpoint,status}`; endpoint
@@ -40,7 +43,9 @@ use crate::workload::WorkloadId;
 use crate::ServeError;
 use lam_core::batch::{BatchScheduler, BatchTarget, SchedulerOptions};
 use lam_obs::expose::PROMETHEUS_CONTENT_TYPE;
-use lam_obs::{Counter, Gauge, Histogram, PhaseSet, SpanTimer};
+use lam_obs::recorder::SpanStatus;
+use lam_obs::trace::TraceContext;
+use lam_obs::{Counter, Gauge, Histogram, PhaseSet, SpanRecord, SpanTimer};
 use serde::{Deserialize, Serialize};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -79,6 +84,11 @@ pub struct PredictResponse {
 pub struct HealthResponse {
     /// Always `"ok"` when the server can respond at all.
     pub status: String,
+    /// Crate version serving this process (`lam_build_info`'s `version`
+    /// label, surfaced here so probes need not parse the exposition).
+    pub version: String,
+    /// Build profile: `debug` or `release`.
+    pub profile: String,
     /// Wall-clock server start time, RFC 3339 (UTC).
     pub started_at: String,
     /// Milliseconds since the server started.
@@ -355,6 +365,8 @@ pub(crate) fn start_engine(
     scheduler: Option<Arc<BatchScheduler>>,
     handler: Arc<dyn Fn(Job) + Send + Sync>,
 ) -> Result<ServerHandle, ServeError> {
+    register_build_info();
+    lam_obs::history::start_snapshotter(lam_obs::history::DEFAULT_INTERVAL);
     let listener = TcpListener::bind(&cfg.opts.addr)?;
     let local_addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -399,6 +411,29 @@ pub(crate) fn start_engine(
         workers,
         scheduler,
     })
+}
+
+/// Crate version baked into `/healthz` and `lam_build_info`.
+pub(crate) const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Build profile baked into `/healthz` and `lam_build_info`.
+pub(crate) const BUILD_PROFILE: &str = if cfg!(debug_assertions) {
+    "debug"
+} else {
+    "release"
+};
+
+/// Register `lam_build_info{version,profile} 1` — a constant-1 gauge
+/// whose labels carry the build facts, so any scrape can join "which
+/// build produced these numbers" onto every other series.
+pub(crate) fn register_build_info() {
+    lam_obs::global()
+        .gauge(
+            "lam_build_info",
+            "Build metadata; the value is always 1, the facts are the labels.",
+            &[("version", BUILD_VERSION), ("profile", BUILD_PROFILE)],
+        )
+        .set(1);
 }
 
 /// Everything a handler thread needs to serve one request.
@@ -460,6 +495,79 @@ pub(crate) fn account_request(endpoint: usize, status: u16, started: Option<Inst
     }
 }
 
+/// Child-derivation sequence numbers under a `serve.request` span. Kept
+/// distinct across modules so sibling spans never collide:
+/// [`crate::registry`] uses `CHILD_RESOLVE` for its `registry.resolve`
+/// span via the thread-local context.
+const CHILD_QUEUE: u64 = 1;
+const CHILD_PREDICT: u64 = 2;
+pub(crate) const CHILD_RESOLVE: u64 = 3;
+
+/// One `/predict` request's tracing state: the `serve.request` span in
+/// progress. `None` when observability is disabled — the hot-path cost
+/// is then exactly the one relaxed load in [`lam_obs::enabled`].
+#[derive(Clone, Copy)]
+struct RequestTrace {
+    ctx: TraceContext,
+    parent_id: u64,
+    started: Instant,
+}
+
+impl RequestTrace {
+    /// Begin the `serve.request` span: continue the caller's
+    /// `x-lam-trace` context as a child span (the gateway's scatter leg
+    /// becomes the parent), or mint a fresh root when the request
+    /// arrived untraced.
+    fn begin(req: &ParsedRequest, started: Instant) -> Option<Self> {
+        if !lam_obs::enabled() {
+            return None;
+        }
+        let (ctx, parent_id) = match req.trace.as_deref().and_then(TraceContext::parse) {
+            Some(parent) => (parent.child(0), parent.span_id),
+            None => (TraceContext::root(), 0),
+        };
+        Some(Self {
+            ctx,
+            parent_id,
+            started,
+        })
+    }
+
+    /// Close the `serve.request` span with its HTTP outcome.
+    fn finish(self, status_code: u16, rows: usize) {
+        let status = match status_code {
+            503 => SpanStatus::Shed,
+            s if s >= 400 => SpanStatus::Error,
+            _ => SpanStatus::Ok,
+        };
+        lam_obs::recorder::global().record(
+            SpanRecord::finish(
+                &self.ctx,
+                self.parent_id,
+                "serve.request",
+                self.started,
+                status,
+            )
+            .annotate("rows", rows.to_string())
+            .annotate("http_status", status_code.to_string()),
+        );
+    }
+
+    /// Record one completed child span under `serve.request`.
+    fn record_child(&self, seq: u64, name: &'static str, started: Instant, rows: usize) {
+        lam_obs::recorder::global().record(
+            SpanRecord::finish(
+                &self.ctx.child(seq),
+                self.ctx.span_id,
+                name,
+                started,
+                SpanStatus::Ok,
+            )
+            .annotate("rows", rows.to_string()),
+        );
+    }
+}
+
 /// The `/predict` path of the event-driven server. Parse, validate, and
 /// resolve run here on the handler thread (errors answer immediately);
 /// small-row requests then submit to the cross-connection
@@ -475,29 +583,45 @@ fn handle_predict(
     endpoint: usize,
 ) {
     let start = Instant::now();
+    let trace = RequestTrace::begin(&req, start);
     let mut span = predict_phases().start();
+    // Deep call sites (registry resolution) pick the context up from the
+    // thread-local instead of threading it through every signature.
+    let trace_scope = trace.map(|t| lam_obs::trace::set_scoped(t.ctx));
     let plan = match plan_predict(&req.body, &ctx.registry, &mut span) {
         Ok(plan) => plan,
         Err((status, error)) => {
             drop(hint);
+            if let Some(t) = trace {
+                t.finish(status, 0);
+            }
             account_request(endpoint, status, started);
             responder.send(status, JSON_CONTENT_TYPE, error_body(&error), None);
             return;
         }
     };
-    if plan.rows.len() >= ctx.direct_batch_rows {
+    drop(trace_scope);
+    let rows = plan.rows.len();
+    if rows >= ctx.direct_batch_rows {
         // Already batch-sized: coalescing with other requests buys
         // nothing, so predict directly and keep the scheduler queue for
         // the small requests that need it.
         drop(hint);
+        let predict_started = Instant::now();
         let outcome = match plan.model.predict_checked(&plan.rows) {
             Ok(outcome) => outcome,
             Err(e) => {
+                if let Some(t) = trace {
+                    t.finish(400, rows);
+                }
                 account_request(endpoint, 400, started);
                 responder.send(400, JSON_CONTENT_TYPE, error_body(&e.to_string()), None);
                 return;
             }
         };
+        if let Some(t) = &trace {
+            t.record_child(CHILD_PREDICT, "serve.predict", predict_started, rows);
+        }
         span.mark("predict");
         let body = serde_json::to_string(&PredictResponse {
             model: plan.key.to_string(),
@@ -508,20 +632,29 @@ fn handle_predict(
         span.mark("serialize");
         match body {
             Ok(body) => {
+                if let Some(t) = trace {
+                    t.finish(200, rows);
+                }
                 account_request(endpoint, 200, started);
                 responder.send(200, JSON_CONTENT_TYPE, body, None);
             }
             Err(e) => {
+                if let Some(t) = trace {
+                    t.finish(500, rows);
+                }
                 account_request(endpoint, 500, started);
                 responder.send(500, JSON_CONTENT_TYPE, error_body(&e.to_string()), None);
             }
         }
         return;
     }
-    let permit = match ctx.scheduler.try_reserve(plan.rows.len()) {
+    let permit = match ctx.scheduler.try_reserve(rows) {
         Ok(permit) => permit,
         Err(e) => {
             drop(hint);
+            if let Some(t) = trace {
+                t.finish(503, rows);
+            }
             account_request(endpoint, 503, started);
             responder.send(
                 503,
@@ -534,10 +667,16 @@ fn handle_predict(
     };
     let key = plan.key.to_string();
     let target: Arc<dyn BatchTarget> = plan.model;
+    let queued_at = Instant::now();
     permit.submit(
         target,
         plan.rows,
         Box::new(move |outcome| {
+            if let Some(t) = &trace {
+                // Submit → completion: queue wait plus the shared batch
+                // execution, the cost of coalescing this request.
+                t.record_child(CHILD_QUEUE, "serve.queue", queued_at, rows);
+            }
             span.mark("predict");
             let body = serde_json::to_string(&PredictResponse {
                 model: key,
@@ -548,10 +687,16 @@ fn handle_predict(
             span.mark("serialize");
             match body {
                 Ok(body) => {
+                    if let Some(t) = trace {
+                        t.finish(200, rows);
+                    }
                     account_request(endpoint, 200, started);
                     responder.send(200, JSON_CONTENT_TYPE, body, None);
                 }
                 Err(e) => {
+                    if let Some(t) = trace {
+                        t.finish(500, rows);
+                    }
                     account_request(endpoint, 500, started);
                     responder.send(500, JSON_CONTENT_TYPE, error_body(&e.to_string()), None);
                 }
@@ -568,7 +713,7 @@ fn handle_predict(
 /// the raw path is client-controlled and would be unbounded cardinality.
 /// `malformed` is the endpoint of a request whose bytes never parsed into
 /// a request at all; `other` is any routed-but-unknown method/path.
-const ENDPOINTS: [&str; 11] = [
+const ENDPOINTS: [&str; 14] = [
     "healthz",
     "models",
     "model-artifact",
@@ -578,6 +723,9 @@ const ENDPOINTS: [&str; 11] = [
     "tune",
     "metrics",
     "metrics-json",
+    "metrics-history",
+    "traces",
+    "traces-detail",
     "malformed",
     "other",
 ];
@@ -631,9 +779,12 @@ pub(crate) fn http_metrics() -> &'static HttpMetrics {
     })
 }
 
-/// Index into [`ENDPOINTS`] for a parsed request.
+/// Index into [`ENDPOINTS`] for a parsed request. The query string never
+/// selects the endpoint (`/metrics?prefix=x` is still `metrics`), so
+/// classification strips it up front.
 pub(crate) fn endpoint_index(method: &str, path: &str) -> usize {
-    let name = match (method, path) {
+    let bare = path.split_once('?').map_or(path, |(p, _)| p);
+    let name = match (method, bare) {
         ("GET", "/healthz") => "healthz",
         ("GET", "/models") => "models",
         ("GET", p) if parse_artifact_path(p).is_some() => "model-artifact",
@@ -643,6 +794,9 @@ pub(crate) fn endpoint_index(method: &str, path: &str) -> usize {
         (_, "/tune") => "tune",
         ("GET", "/metrics") => "metrics",
         ("GET", "/metrics.json") => "metrics-json",
+        ("GET", "/metrics/history") => "metrics-history",
+        ("GET", "/traces") => "traces",
+        ("GET", p) if p.starts_with("/traces/") => "traces-detail",
         _ => "other",
     };
     ENDPOINTS
@@ -691,6 +845,11 @@ pub(crate) fn account_malformed(status: u16) {
 pub(crate) fn account_shed(req: &ParsedRequest) {
     let endpoint = endpoint_index(&req.method, &req.path);
     http_metrics().requests[endpoint][status_class_index(503)].inc();
+    // A shed is exactly what the flight recorder's tail sampling always
+    // keeps, so the refusal leaves a span even though no handler ran.
+    if let Some(t) = RequestTrace::begin(req, Instant::now()) {
+        t.finish(503, 0);
+    }
 }
 
 /// Dispatch a request to its endpoint; returns
@@ -701,20 +860,50 @@ pub(crate) fn route(
     registry: &Arc<ModelRegistry>,
     clock: &ServerClock,
 ) -> (u16, &'static str, String) {
-    // The metrics endpoints render the exposition formats directly (the
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+    // The observability endpoints render their formats directly (the
     // Prometheus one is not JSON), so they bypass the JSON route plumbing.
-    match (req.method.as_str(), req.path.as_str()) {
+    match (req.method.as_str(), path) {
         ("GET", "/metrics") => {
-            let text = lam_obs::expose::render_prometheus(&lam_obs::global().snapshot());
-            return (200, PROMETHEUS_CONTENT_TYPE, text);
+            let snap = lam_obs::global()
+                .snapshot()
+                .retain_prefix(query_param(query, "prefix"));
+            return (
+                200,
+                PROMETHEUS_CONTENT_TYPE,
+                lam_obs::expose::render_prometheus(&snap),
+            );
         }
         ("GET", "/metrics.json") => {
-            let text = lam_obs::expose::render_json(&lam_obs::global().snapshot());
-            return (200, JSON_CONTENT_TYPE, text);
+            let snap = lam_obs::global()
+                .snapshot()
+                .retain_prefix(query_param(query, "prefix"));
+            return (200, JSON_CONTENT_TYPE, lam_obs::expose::render_json(&snap));
+        }
+        ("GET", "/metrics/history") => {
+            return (
+                200,
+                JSON_CONTENT_TYPE,
+                lam_obs::history::global().render_json(),
+            );
+        }
+        ("GET", "/traces") => {
+            let records = lam_obs::recorder::global().iter_records();
+            return (
+                200,
+                JSON_CONTENT_TYPE,
+                lam_obs::recorder::render_recent_json(&records, RECENT_TRACES_LIMIT),
+            );
+        }
+        ("GET", p) if p.starts_with("/traces/") => {
+            return trace_detail(&p["/traces/".len()..]);
         }
         _ => {}
     }
-    let result = match (req.method.as_str(), req.path.as_str()) {
+    let result = match (req.method.as_str(), path) {
         ("GET", "/healthz") => healthz(registry, clock),
         ("GET", "/models") => models(registry),
         ("GET", "/workloads") => workloads(),
@@ -737,6 +926,49 @@ pub(crate) fn route(
     }
 }
 
+/// Most traces a `/traces` summary listing returns.
+pub(crate) const RECENT_TRACES_LIMIT: usize = 50;
+
+/// The raw value of `name` in an HTTP query string (`a=1&b=2`); empty
+/// when absent. No percent-decoding — the consumers are the metric-name
+/// prefix filter and similar identifier-shaped values.
+pub(crate) fn query_param<'a>(query: &'a str, name: &str) -> &'a str {
+    query
+        .split('&')
+        .find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
+        .unwrap_or("")
+}
+
+/// Serve `GET /traces/{id}`: every span of one trace this process
+/// retained, ordered by start time. (The cluster gateway wraps this with
+/// a cross-process merge; see [`crate::cluster`].)
+fn trace_detail(segment: &str) -> (u16, &'static str, String) {
+    let Some(trace_id) = lam_obs::trace::parse_trace_id(segment) else {
+        return (
+            400,
+            JSON_CONTENT_TYPE,
+            error_body("trace id must be 32 hex digits"),
+        );
+    };
+    let spans = lam_obs::recorder::global().find_trace(trace_id);
+    if spans.is_empty() {
+        return (
+            404,
+            JSON_CONTENT_TYPE,
+            error_body(&format!("no retained spans for trace {segment}")),
+        );
+    }
+    let json: Vec<String> = spans.iter().map(|s| s.to_json()).collect();
+    (
+        200,
+        JSON_CONTENT_TYPE,
+        lam_obs::recorder::render_trace_json(trace_id, &json),
+    )
+}
+
 type RouteResult = Result<String, (u16, String)>;
 
 fn json_ok<T: serde::Serialize>(value: &T) -> RouteResult {
@@ -751,6 +983,8 @@ fn healthz(registry: &Arc<ModelRegistry>, clock: &ServerClock) -> RouteResult {
     let lookups = hits + obs.counter_total("lam_cache_misses_total");
     json_ok(&HealthResponse {
         status: "ok".to_string(),
+        version: BUILD_VERSION.to_string(),
+        profile: BUILD_PROFILE.to_string(),
         started_at: clock.started_at.to_string(),
         uptime_ms: uptime.as_millis() as u64,
         uptime_s: uptime.as_secs_f64(),
@@ -1060,6 +1294,33 @@ mod tests {
             ENDPOINTS[endpoint_index("GET", "/models/fmm-small")],
             "other"
         );
+        // Query strings never mint new label values.
+        assert_eq!(
+            ENDPOINTS[endpoint_index("GET", "/metrics?prefix=lam_gateway")],
+            "metrics"
+        );
+        assert_eq!(
+            ENDPOINTS[endpoint_index("GET", "/metrics.json?prefix=lam_")],
+            "metrics-json"
+        );
+        assert_eq!(
+            ENDPOINTS[endpoint_index("GET", "/metrics/history")],
+            "metrics-history"
+        );
+        assert_eq!(ENDPOINTS[endpoint_index("GET", "/traces")], "traces");
+        assert_eq!(
+            ENDPOINTS[endpoint_index("GET", "/traces/00ab")],
+            "traces-detail"
+        );
+    }
+
+    #[test]
+    fn query_params_parse_positionally_and_default_empty() {
+        assert_eq!(query_param("prefix=lam_", "prefix"), "lam_");
+        assert_eq!(query_param("a=1&prefix=lam_x&b=2", "prefix"), "lam_x");
+        assert_eq!(query_param("", "prefix"), "");
+        assert_eq!(query_param("prefix", "prefix"), "");
+        assert_eq!(query_param("other=1", "prefix"), "");
     }
 
     #[test]

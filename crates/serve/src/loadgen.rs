@@ -190,8 +190,24 @@ impl HttpClient {
     /// Write a request without waiting for its response (pipelining);
     /// match sends to [`HttpClient::recv`] calls in order.
     pub fn send(&mut self, method: &str, path: &str, body: &str) -> Result<(), ServeError> {
+        self.send_traced(method, path, body, None)
+    }
+
+    /// [`HttpClient::send`] with an optional `x-lam-trace` header, for
+    /// driving the distributed-tracing path from tests and benches.
+    pub fn send_traced(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        trace: Option<&str>,
+    ) -> Result<(), ServeError> {
+        let trace_header = match trace {
+            Some(value) => format!("x-lam-trace: {value}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\n{trace_header}content-length: {}\r\n\r\n",
             self.host,
             body.len()
         );
@@ -343,9 +359,11 @@ pub struct MetricsScrape {
 }
 
 impl MetricsScrape {
-    /// Scrape `GET /metrics.json` over `client`.
+    /// Scrape `GET /metrics.json` over `client`. Only `lam_`-prefixed
+    /// families feed the breakdowns, so the scrape asks the server to
+    /// filter server-side rather than shipping the whole registry.
     pub fn fetch(client: &mut HttpClient) -> Result<Self, ServeError> {
-        let (status, body) = client.get("/metrics.json")?;
+        let (status, body) = client.get("/metrics.json?prefix=lam_")?;
         if status != 200 {
             return Err(ServeError::Http(format!("/metrics.json returned {status}")));
         }

@@ -23,6 +23,10 @@ pub struct ParsedRequest {
     /// Whether the connection stays open after the response
     /// (HTTP/1.1 default true; `connection: close` opts out).
     pub keep_alive: bool,
+    /// Raw `x-lam-trace` header value, if the client sent one (parsed
+    /// lazily by handlers that trace; a malformed value is treated as
+    /// absent there, never rejected here).
+    pub trace: Option<String>,
     /// Request body, exactly `content-length` bytes.
     pub body: Vec<u8>,
 }
@@ -57,6 +61,7 @@ struct PendingBody {
     method: String,
     path: String,
     keep_alive: bool,
+    trace: Option<String>,
     content_length: usize,
 }
 
@@ -126,6 +131,7 @@ impl RequestParser {
             method: pending.method,
             path: pending.path,
             keep_alive: pending.keep_alive,
+            trace: pending.trace,
             body,
         })
     }
@@ -179,6 +185,7 @@ impl RequestParser {
         };
         let mut content_length = 0usize;
         let mut keep_alive = true; // HTTP/1.1 default
+        let mut trace = None;
         for line in lines {
             if line.is_empty() {
                 continue;
@@ -197,6 +204,8 @@ impl RequestParser {
                 content_length = n;
             } else if name.eq_ignore_ascii_case("connection") {
                 keep_alive = !value.eq_ignore_ascii_case("close");
+            } else if name.eq_ignore_ascii_case(lam_obs::trace::HEADER) {
+                trace = Some(value.to_string());
             }
         }
         if content_length > self.max_body {
@@ -212,6 +221,7 @@ impl RequestParser {
             method: method.to_string(),
             path: path.to_string(),
             keep_alive,
+            trace,
             content_length,
         });
         None
@@ -420,14 +430,30 @@ pub fn encode_response(
 /// mirror of [`encode_response`]. Keep-alive is implied (HTTP/1.1
 /// default) — upstream connections are pooled.
 pub fn encode_request(method: &str, path: &str, host: &str, body: &[u8]) -> Vec<u8> {
+    encode_request_traced(method, path, host, body, None)
+}
+
+/// [`encode_request`] with an optional `x-lam-trace` header carrying a
+/// propagated trace context to the upstream hop.
+pub fn encode_request_traced(
+    method: &str,
+    path: &str,
+    host: &str,
+    body: &[u8],
+    trace: Option<&str>,
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(128 + body.len());
     out.extend_from_slice(
         format!(
-            "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
             body.len()
         )
         .as_bytes(),
     );
+    if let Some(value) = trace {
+        out.extend_from_slice(format!("{}: {value}\r\n", lam_obs::trace::HEADER).as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
     out.extend_from_slice(body);
     out
 }
@@ -585,6 +611,32 @@ mod tests {
         assert!(text.contains("host: 127.0.0.1:9\r\n"), "{text}");
         assert!(text.contains("content-length: 7\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{\"x\":1}"), "{text}");
+    }
+
+    #[test]
+    fn trace_header_is_captured_and_injected() {
+        // Extraction: the parser surfaces the raw header value.
+        let mut parser = RequestParser::new(1024);
+        let mut buf =
+            b"POST /predict HTTP/1.1\r\nX-Lam-Trace: abc-def-01\r\ncontent-length: 0\r\n\r\n"
+                .to_vec();
+        let reqs = poll_all(&mut parser, &mut buf);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].trace.as_deref(), Some("abc-def-01"));
+        // Absent header parses to None.
+        let mut buf = b"GET /healthz HTTP/1.1\r\n\r\n".to_vec();
+        let reqs = poll_all(&mut parser, &mut buf);
+        assert_eq!(reqs[0].trace, None);
+        // Injection: the traced encoder adds exactly one extra header
+        // and the untraced one stays byte-identical to the old shape.
+        let traced = encode_request_traced("POST", "/predict", "h", b"{}", Some("t-s-00"));
+        let text = String::from_utf8(traced).unwrap();
+        assert!(text.contains("x-lam-trace: t-s-00\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+        // Round trip through the request parser.
+        let mut buf = text.into_bytes();
+        let reqs = poll_all(&mut parser, &mut buf);
+        assert_eq!(reqs[0].trace.as_deref(), Some("t-s-00"));
     }
 
     #[test]

@@ -284,6 +284,7 @@ fn read_request(
         method,
         path,
         keep_alive,
+        trace: None,
         body,
     }))
 }

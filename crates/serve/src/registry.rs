@@ -39,7 +39,8 @@ use lam_ml::linear::LinearRegressor;
 use lam_ml::model::Regressor;
 use lam_ml::sampling::train_test_split_fraction;
 use lam_ml::tree::{DecisionTreeRegressor, TreeParams};
-use lam_obs::Counter;
+use lam_obs::recorder::SpanStatus;
+use lam_obs::{Counter, SpanRecord};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -281,6 +282,11 @@ impl ModelRegistry {
             self.resolutions.memo.inc();
             return Ok(Arc::clone(hit));
         }
+        // Every non-memo path is slow (disk read, peer fetch, or a full
+        // training run), so it earns a `registry.resolve` span hung off
+        // the requesting handler's thread-local trace context.
+        let resolve_started = Instant::now();
+        let mut resolved_via = "disk-lamb";
         // Binary first, JSON fallback (see module docs).
         let on_disk = [self.path_for(key), self.json_path_for(key)]
             .into_iter()
@@ -291,6 +297,7 @@ impl ModelRegistry {
                     self.resolutions.disk_lamb.inc();
                 } else {
                     self.resolutions.disk_json.inc();
+                    resolved_via = "disk-json";
                 }
                 let saved = SavedModel::load(&path)?;
                 // A renamed or tampered artifact must not be served under
@@ -306,8 +313,12 @@ impl ModelRegistry {
                 saved
             }
             None => match self.fetch_from_peers(key) {
-                Some(fetched) => fetched,
+                Some(fetched) => {
+                    resolved_via = "peer";
+                    fetched
+                }
                 None => {
+                    resolved_via = "train";
                     self.resolutions.train.inc();
                     // Train duration is a cold-path metric: interning the
                     // (workload, kind) labels here costs nothing that
@@ -332,6 +343,19 @@ impl ModelRegistry {
             },
         };
         let loaded = Arc::new(LoadedModel::from_saved(key, saved)?);
+        if let Some(parent) = lam_obs::trace::current() {
+            lam_obs::recorder::global().record(
+                SpanRecord::finish(
+                    &parent.child(crate::http::CHILD_RESOLVE),
+                    parent.span_id,
+                    "registry.resolve",
+                    resolve_started,
+                    SpanStatus::Ok,
+                )
+                .annotate("path", resolved_via)
+                .annotate("model", key.to_string()),
+            );
+        }
         let mut memo = self.memo.lock().expect("registry poisoned");
         // First insert wins; a racing trainer built the identical model.
         Ok(Arc::clone(memo.entry(key).or_insert(loaded)))
